@@ -1,0 +1,212 @@
+// Package bench holds the repository-level benchmark harness: one
+// testing.B benchmark per reproduced paper figure (running the actual
+// experiment pipeline at a reduced budget and reporting the headline
+// metric), plus micro-benchmarks of the load-bearing kernels (circuit
+// evaluation, non-dominated sorting, hypervolume).
+//
+// Full paper-scale figures are regenerated with `go run ./cmd/expts`; these
+// benchmarks exist to give a stable, quick performance and regression
+// signal:
+//
+//	go test -bench=. -benchmem
+package bench
+
+import (
+	"math/rand"
+	"testing"
+
+	"sacga/internal/expt"
+	"sacga/internal/ga"
+	"sacga/internal/hypervolume"
+	"sacga/internal/pareto"
+	"sacga/internal/process"
+	"sacga/internal/rng"
+	"sacga/internal/sizing"
+)
+
+// benchCfg is the reduced-budget configuration used by the per-figure
+// benchmarks (~40–60 iterations instead of 800–1250).
+func benchCfg() expt.Config {
+	return expt.Config{
+		Seed:    7,
+		Scale:   0.05,
+		PopSize: 40,
+		Workers: 4,
+	}
+}
+
+func runExperiment(b *testing.B, id, metric string) {
+	b.Helper()
+	cfg := benchCfg()
+	var last float64
+	for i := 0; i < b.N; i++ {
+		rep, err := expt.Run(id, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rep.Values[metric]
+	}
+	b.ReportMetric(last, metric)
+}
+
+// BenchmarkFig2TPGFront regenerates the fig. 2 row: the NSGA-II baseline
+// front and its 4–5 pF cluster fraction.
+func BenchmarkFig2TPGFront(b *testing.B) {
+	runExperiment(b, "fig2", "cluster_fraction_4to5pF")
+}
+
+// BenchmarkFig4ProbCurves regenerates the fig. 4 row: eqn. (3) probability
+// curves (pure computation, no GA).
+func BenchmarkFig4ProbCurves(b *testing.B) {
+	runExperiment(b, "fig4", "p1_mid")
+}
+
+// BenchmarkFig5SACGAFront regenerates the fig. 5 row: TPG vs 8-partition
+// SACGA under one budget.
+func BenchmarkFig5SACGAFront(b *testing.B) {
+	runExperiment(b, "fig5", "hv_sacga")
+}
+
+// BenchmarkFig6PartitionSweep regenerates the fig. 6 row: the partition
+// count sweep.
+func BenchmarkFig6PartitionSweep(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Scale = 0.02
+	var last float64
+	for i := 0; i < b.N; i++ {
+		rep, err := expt.Run("fig6", cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rep.Values["best_m"]
+	}
+	b.ReportMetric(last, "best_m")
+}
+
+// BenchmarkFig8ThreeWay regenerates the fig. 8 row: the three-way front
+// comparison.
+func BenchmarkFig8ThreeWay(b *testing.B) {
+	runExperiment(b, "fig8", "hv_mesacga")
+}
+
+// BenchmarkFig9SpanSweep regenerates the fig. 9 row: quality vs preset
+// iteration budget.
+func BenchmarkFig9SpanSweep(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Scale = 0.03
+	var last float64
+	for i := 0; i < b.N; i++ {
+		rep, err := expt.Run("fig9", cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rep.Values["hv_iters1200"]
+	}
+	b.ReportMetric(last, "hv_iters1200")
+}
+
+// BenchmarkFig10PhaseTrace regenerates the fig. 10 row: per-phase HV of
+// MESACGA at three spans.
+func BenchmarkFig10PhaseTrace(b *testing.B) {
+	runExperiment(b, "fig10", "final_hv_span150")
+}
+
+// BenchmarkFig11HeadToHead regenerates the fig. 11 row: MESACGA vs the
+// best hand-tuned SACGA.
+func BenchmarkFig11HeadToHead(b *testing.B) {
+	runExperiment(b, "fig11", "ratio")
+}
+
+// BenchmarkTrendsLadder regenerates the §5 trends row over a reduced
+// specification ladder budget.
+func BenchmarkTrendsLadder(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Scale = 0.02
+	cfg.PopSize = 30
+	var last float64
+	for i := 0; i < b.N; i++ {
+		rep, err := expt.Run("trends", cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rep.Values["sacga_beats_tpg_count"]
+	}
+	b.ReportMetric(last, "sacga_beats_tpg")
+}
+
+// BenchmarkAblation regenerates the design-choice ablation row (annealed
+// mix vs extremes vs island model).
+func BenchmarkAblation(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Scale = 0.03
+	var last float64
+	for i := 0; i < b.N; i++ {
+		rep, err := expt.Run("ablation", cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rep.Values["hv_sacga"]
+	}
+	b.ReportMetric(last, "hv_sacga")
+}
+
+// ---- kernel micro-benchmarks ----
+
+// BenchmarkCircuitEvaluate measures one full sizing evaluation: 15-gene
+// decode, five corner analyses, constraint vector.
+func BenchmarkCircuitEvaluate(b *testing.B) {
+	prob := sizing.New(process.Default018(), sizing.PaperSpec())
+	s := rng.New(1)
+	lo, hi := prob.Bounds()
+	xs := make([][]float64, 64)
+	for i := range xs {
+		xs[i] = ga.NewRandom(s, lo, hi).X
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prob.Evaluate(xs[i%len(xs)])
+	}
+}
+
+// BenchmarkNondominatedSort measures the fast non-dominated sort on a
+// 200-point two-objective population.
+func BenchmarkNondominatedSort(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	pts := make([]pareto.Point, 200)
+	for i := range pts {
+		pts[i] = pareto.Point{Obj: []float64{r.Float64(), r.Float64()}}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pareto.SortFronts(pts)
+	}
+}
+
+// BenchmarkHypervolumePaper measures the staircase metric on a 100-point
+// front.
+func BenchmarkHypervolumePaper(b *testing.B) {
+	r := rand.New(rand.NewSource(2))
+	front := make([]hypervolume.Point2, 100)
+	for i := range front {
+		front[i] = hypervolume.Point2{X: 5e-12 * r.Float64(), Y: 1e-3 * r.Float64()}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hypervolume.PaperMetric(front)
+	}
+}
+
+// BenchmarkHypervolumeWFG measures the n-dimensional WFG hypervolume on a
+// 24-point three-objective front.
+func BenchmarkHypervolumeWFG(b *testing.B) {
+	r := rand.New(rand.NewSource(3))
+	front := make([][]float64, 24)
+	for i := range front {
+		front[i] = []float64{r.Float64(), r.Float64(), r.Float64()}
+	}
+	ref := []float64{1, 1, 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hypervolume.WFG(front, ref)
+	}
+}

@@ -1,0 +1,116 @@
+// Command circuit evaluates one integrator design point through the
+// analytic circuit model and prints every performance the paper
+// constrains, per process corner, plus the spec check and (optionally) the
+// Monte-Carlo robustness.
+//
+// The design is given in physical units:
+//
+//	circuit -w1 60 -l1 0.5 -w3 20 -l3 0.7 -w5 40 -l5 0.5 \
+//	        -w6 120 -l6 0.3 -w7 60 -l7 0.4 \
+//	        -itail 60 -k6 3 -cc 1.5 -cs 2.5 -cl 2.0 -mc 64
+//
+// (widths/lengths in µm, itail in µA, capacitors in pF.)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sacga/internal/opamp"
+	"sacga/internal/process"
+	"sacga/internal/scint"
+	"sacga/internal/sizing"
+	"sacga/internal/yield"
+)
+
+func main() {
+	var (
+		w1 = flag.Float64("w1", 60, "input pair width (µm)")
+		l1 = flag.Float64("l1", 0.5, "input pair length (µm)")
+		w3 = flag.Float64("w3", 20, "mirror load width (µm)")
+		l3 = flag.Float64("l3", 0.7, "mirror load length (µm)")
+		w5 = flag.Float64("w5", 40, "tail source width (µm)")
+		l5 = flag.Float64("l5", 0.5, "tail source length (µm)")
+		w6 = flag.Float64("w6", 120, "second-stage driver width (µm)")
+		l6 = flag.Float64("l6", 0.3, "second-stage driver length (µm)")
+		w7 = flag.Float64("w7", 60, "second-stage sink width (µm)")
+		l7 = flag.Float64("l7", 0.4, "second-stage sink length (µm)")
+		it = flag.Float64("itail", 60, "tail current (µA)")
+		k6 = flag.Float64("k6", 3, "second-stage current ratio")
+		cc = flag.Float64("cc", 1.5, "Miller capacitor (pF)")
+		cs = flag.Float64("cs", 2.5, "sampling capacitor (pF)")
+		cl = flag.Float64("cl", 2.0, "load capacitance (pF)")
+		mc = flag.Int("mc", 0, "Monte-Carlo robustness samples (0 = skip)")
+		gr = flag.Int("grade", 0, "spec grade 1..20 (0 = paper spec)")
+	)
+	flag.Parse()
+	const um, pf, ua = 1e-6, 1e-12, 1e-6
+
+	d := scint.Design{
+		Amp: opamp.Sizing{
+			W1: *w1 * um, L1: *l1 * um,
+			W3: *w3 * um, L3: *l3 * um,
+			W5: *w5 * um, L5: *l5 * um,
+			W6: *w6 * um, L6: *l6 * um,
+			W7: *w7 * um, L7: *l7 * um,
+			Itail: *it * ua, K6: *k6, Cc: *cc * pf,
+		},
+		Cs: *cs * pf,
+		CL: *cl * pf,
+	}
+	spec := sizing.PaperSpec()
+	if *gr >= 1 && *gr <= 20 {
+		spec = sizing.SpecLadder(20)[*gr-1]
+	} else if *gr != 0 {
+		fmt.Fprintln(os.Stderr, "circuit: -grade outside 1..20")
+		os.Exit(1)
+	}
+
+	tech := process.Default018()
+	sys := scint.DefaultSystem(tech.VDD)
+	sys.EpsSettle = spec.SEMax
+
+	fmt.Printf("spec %s: DR>=%.0fdB OR>=%.2fV ST<=%.3gus SE<=%.2g PM>=%.0fdeg robustness>=%.2f\n\n",
+		spec.Name, spec.DRMinDB, spec.ORMin, spec.STMax*1e6, spec.SEMax, spec.PMMinDeg, spec.RobustMin)
+	fmt.Printf("%-6s %8s %9s %9s %9s %8s %8s %9s %7s\n",
+		"corner", "DR(dB)", "ST(us)", "SE", "OR(V)", "PM(deg)", "P(mW)", "satmrg(V)", "bias")
+	worstOK := true
+	for _, corner := range process.Corners() {
+		ct := tech.AtCorner(corner)
+		p := scint.Evaluate(&ct, d, sys)
+		ok := p.BiasOK && p.DRdB >= spec.DRMinDB && p.OutputRange >= spec.ORMin &&
+			p.SettleTime <= spec.STMax && p.SettleErr <= spec.SEMax &&
+			p.PhaseMarginDeg >= spec.PMMinDeg && p.WorstSatMargin >= 0
+		if !ok {
+			worstOK = false
+		}
+		fmt.Printf("%-6s %8.2f %9.4f %9.2e %9.3f %8.1f %8.4f %9.3f %7v\n",
+			corner, p.DRdB, p.SettleTime*1e6, p.SettleErr, p.OutputRange,
+			p.PhaseMarginDeg, p.Power*1e3, p.WorstSatMargin, p.BiasOK)
+	}
+	tt := scint.Evaluate(&tech, d, sys)
+	fmt.Printf("\nnominal detail: A0=%.0f GBW=%.1f Mrad/s beta=%.3f CLeff=%.2f pF "+
+		"zeta=%.2f p2/wu=%.2f area=%.4f mm2\n",
+		tt.Amp.A0, tt.Amp.GBW/1e6, tt.Beta, tt.CLeff*1e12, tt.Zeta,
+		tt.P2/(tt.Beta*tt.Amp.GBW), tt.Area*1e6)
+
+	if *mc > 0 {
+		est := yield.NewEstimator(1, *mc)
+		rob := est.Robustness(&tech, d, sys, func(p *scint.Perf) bool {
+			return p.BiasOK && p.DRdB >= spec.DRMinDB && p.OutputRange >= spec.ORMin &&
+				p.SettleTime <= spec.STMax && p.SettleErr <= spec.SEMax &&
+				p.PhaseMarginDeg >= spec.PMMinDeg && p.WorstSatMargin >= 0
+		})
+		fmt.Printf("robustness (%d MC samples): %.3f (spec >= %.2f)\n", *mc, rob, spec.RobustMin)
+		if rob < spec.RobustMin {
+			worstOK = false
+		}
+	}
+	if worstOK {
+		fmt.Println("\nPASS: design meets the specification at every corner")
+	} else {
+		fmt.Println("\nFAIL: design violates the specification")
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,92 @@
+// Command expts regenerates the paper's figures. Each experiment writes
+// CSV data plus an ASCII chart into the output directory and prints its
+// headline numbers.
+//
+// Usage:
+//
+//	expts -fig all                    # every experiment at paper scale
+//	expts -fig fig8,fig11 -scale 0.2  # selected figures, reduced budget
+//	expts -list                       # enumerate experiments
+//
+// At -scale 1 (default) iteration budgets match the paper (pop 100,
+// 800–1250 iterations — several minutes of CPU in total); runs parallelize
+// across -workers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"sacga/internal/expt"
+)
+
+func main() {
+	var (
+		figs    = flag.String("fig", "all", "comma-separated experiment ids, or 'all'")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		out     = flag.String("out", "results", "output directory for CSV/chart artifacts ('' disables)")
+		seed    = flag.Int64("seed", 42, "master random seed")
+		scale   = flag.Float64("scale", 1.0, "budget scale (1.0 = paper iteration counts)")
+		pop     = flag.Int("pop", 100, "GA population size")
+		seeds   = flag.Int("seeds", 1, "independent repetitions to average")
+		robust  = flag.Int("robust", 8, "Monte-Carlo robustness samples (0 disables the constraint)")
+		workers = flag.Int("workers", 0, "parallel runs (0 = NumCPU)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range expt.IDs() {
+			fmt.Printf("%-7s %s\n", id, expt.Title(id))
+		}
+		return
+	}
+
+	cfg := expt.Config{
+		OutDir:        *out,
+		Seed:          *seed,
+		Scale:         *scale,
+		PopSize:       *pop,
+		Seeds:         *seeds,
+		RobustSamples: *robust,
+		Workers:       *workers,
+	}
+
+	var ids []string
+	if *figs == "all" {
+		ids = expt.IDs()
+	} else {
+		ids = strings.Split(*figs, ",")
+	}
+	failed := false
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		rep, err := expt.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "expts: %s: %v\n", id, err)
+			failed = true
+			continue
+		}
+		fmt.Printf("== %s — %s (%.1fs)\n", rep.ID, rep.Title, rep.Elapsed.Seconds())
+		for _, line := range rep.Summary {
+			fmt.Printf("   %s\n", line)
+		}
+		keys := make([]string, 0, len(rep.Values))
+		for k := range rep.Values {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("   %-28s %.4g\n", k, rep.Values[k])
+		}
+		for _, f := range rep.Files {
+			fmt.Printf("   wrote %s\n", f)
+		}
+		fmt.Println()
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

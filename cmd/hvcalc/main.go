@@ -1,0 +1,145 @@
+// Command hvcalc computes front-quality metrics for a CSV of
+// two-objective points.
+//
+// Input: a CSV whose first two numeric columns are x,y (a header row is
+// skipped automatically; the long-form "series,x,y" files written by
+// cmd/expts also work — pick one series with -series).
+//
+// Metrics: the paper's staircase hypervolume (x maximized, y minimized;
+// lower better), its coverage-pinned variant, the literal origin-box union,
+// the standard reference-point hypervolume, and diversity numbers.
+//
+// Example:
+//
+//	hvcalc -csv results/fig8_fronts.csv -series MESACGA -unit 1e-16
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"sacga/internal/frontfit"
+	"sacga/internal/hypervolume"
+	"sacga/internal/metrics"
+)
+
+func main() {
+	var (
+		path   = flag.String("csv", "", "input CSV path (required)")
+		series = flag.String("series", "", "series name filter for long-form files")
+		unit   = flag.Float64("unit", 1.0, "divide area metrics by this unit (0.1 mW·pF = 1e-16)")
+		xmax   = flag.Float64("xmax", 0, "coverage range for the pinned variant (0 = max x in data)")
+		ceil   = flag.Float64("ceiling", 0, "power ceiling for the pinned variant (0 = 2x max y)")
+		refx   = flag.Float64("refx", 0, "reference x for standard hypervolume (0 = 1.1x max)")
+		refy   = flag.Float64("refy", 0, "reference y for standard hypervolume (0 = 1.1x max)")
+		fit    = flag.Bool("fit", false, "also fit the power-law boundary model y = A + B*x^C")
+	)
+	flag.Parse()
+	if *path == "" {
+		fmt.Fprintln(os.Stderr, "hvcalc: -csv is required")
+		os.Exit(1)
+	}
+	pts, err := readPoints(*path, *series)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hvcalc:", err)
+		os.Exit(1)
+	}
+	if len(pts) == 0 {
+		fmt.Fprintln(os.Stderr, "hvcalc: no points read")
+		os.Exit(1)
+	}
+	maxX, maxY := pts[0].X, pts[0].Y
+	for _, p := range pts {
+		if p.X > maxX {
+			maxX = p.X
+		}
+		if p.Y > maxY {
+			maxY = p.Y
+		}
+	}
+	if *xmax == 0 {
+		*xmax = maxX
+	}
+	if *ceil == 0 {
+		*ceil = 2 * maxY
+	}
+	if *refx == 0 {
+		*refx = 1.1 * maxX
+	}
+	if *refy == 0 {
+		*refy = 1.1 * maxY
+	}
+
+	objs := make([][]float64, len(pts))
+	for i, p := range pts {
+		objs[i] = []float64{p.X, p.Y}
+	}
+	fmt.Printf("points:                 %d\n", len(pts))
+	fmt.Printf("paper hypervolume:      %.4f (lower better)\n",
+		hypervolume.PaperMetric(pts)/(*unit))
+	fmt.Printf("coverage-pinned HV:     %.4f (xmax=%g ceiling=%g)\n",
+		hypervolume.PaperMetricCovering(pts, *xmax, *ceil)/(*unit), *xmax, *ceil)
+	fmt.Printf("origin-box union:       %.4f (literal §4.2 reading)\n",
+		hypervolume.UnionBoxes(pts)/(*unit))
+	fmt.Printf("ref-point HV:           %.4f (ref=(%g,%g); higher better)\n",
+		hypervolume.RefPoint2D(pts, hypervolume.Point2{X: *refx, Y: *refy})/(*unit), *refx, *refy)
+	fmt.Printf("spacing:                %.4g\n", metrics.Spacing(objs))
+	fmt.Printf("spread delta:           %.4g\n", metrics.SpreadDelta(objs, nil))
+	ext := metrics.Extent(objs)
+	fmt.Printf("extent:                 x=%.4g y=%.4g\n", ext[0], ext[1])
+	fmt.Printf("nondominated (min-min): %d\n", metrics.ONVG(objs))
+
+	if *fit {
+		fpts := make([]frontfit.Point, len(pts))
+		for i, p := range pts {
+			fpts[i] = frontfit.Point{X: p.X, Y: p.Y}
+		}
+		model, err := frontfit.FitPowerLaw(fpts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hvcalc: fit:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("boundary model:         y = %.6g + %.6g*x^%.3f (rel RMSE %.2f%%)\n",
+			model.A, model.B, model.C, 100*model.RelRMSE(fpts))
+	}
+}
+
+func readPoints(path, series string) ([]hypervolume.Point2, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	r.FieldsPerRecord = -1
+	recs, err := r.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	var pts []hypervolume.Point2
+	for _, rec := range recs {
+		if len(rec) < 2 {
+			continue
+		}
+		// Long form: series,x,y — filter and shift.
+		cols := rec
+		if len(rec) >= 3 {
+			if _, err := strconv.ParseFloat(rec[0], 64); err != nil {
+				if series != "" && rec[0] != series {
+					continue
+				}
+				cols = rec[1:]
+			}
+		}
+		x, errX := strconv.ParseFloat(cols[0], 64)
+		y, errY := strconv.ParseFloat(cols[1], 64)
+		if errX != nil || errY != nil {
+			continue // header or junk row
+		}
+		pts = append(pts, hypervolume.Point2{X: x, Y: y})
+	}
+	return pts, nil
+}

@@ -1,0 +1,207 @@
+// Command sacga runs one multi-objective optimizer on one registered
+// problem and writes the resulting Pareto front.
+//
+// Problems: the analog integrator sizing problem ("integrator", optionally
+// with -grade to pick a spec from the 20-step difficulty ladder) and the
+// benchmark suite (zdt1..zdt6, schaffer, fonseca, kursawe, constr, srn,
+// tnk, bnh, dtlz1, dtlz2).
+//
+// Algorithms: tpg (NSGA-II), sacga, mesacga, local (local-competition-only
+// ablation), islands (parallel-population comparator).
+//
+// Example:
+//
+//	sacga -problem integrator -algo mesacga -iters 800 -pop 100 -out front.csv
+//	sacga -problem zdt3 -algo sacga -partitions 10 -iters 200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sacga/internal/benchfn"
+	"sacga/internal/ga"
+	"sacga/internal/hypervolume"
+	"sacga/internal/islands"
+	"sacga/internal/mesacga"
+	"sacga/internal/nsga2"
+	"sacga/internal/objective"
+	"sacga/internal/plot"
+	"sacga/internal/process"
+	"sacga/internal/sacga"
+	"sacga/internal/sizing"
+	"sacga/internal/yield"
+)
+
+func main() {
+	var (
+		problem    = flag.String("problem", "integrator", "problem name (integrator or a benchmark: "+strings.Join(benchfn.Names(), ",")+")")
+		algo       = flag.String("algo", "sacga", "optimizer: tpg|sacga|mesacga|local|islands")
+		pop        = flag.Int("pop", 100, "population size")
+		iters      = flag.Int("iters", 800, "total iterations")
+		partitions = flag.Int("partitions", 8, "SACGA partition count")
+		schedule   = flag.String("schedule", "20,13,8,5,3,2,1", "MESACGA partition schedule")
+		gentMax    = flag.Int("gent", 200, "phase-I iteration cap")
+		grade      = flag.Int("grade", 0, "integrator spec grade 1..20 (0 = the paper's spec)")
+		robust     = flag.Int("robust", 8, "robustness MC samples for the integrator (0 = off)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		out        = flag.String("out", "", "write the front to this CSV file")
+	)
+	flag.Parse()
+
+	prob, isCircuit, err := buildProblem(*problem, *grade, *robust, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sacga:", err)
+		os.Exit(1)
+	}
+	if err := objective.Validate(prob); err != nil {
+		fmt.Fprintln(os.Stderr, "sacga:", err)
+		os.Exit(1)
+	}
+	counter := objective.NewCounter(prob)
+
+	pLo, pHi, pObj := partitionRange(prob, isCircuit)
+	var front ga.Population
+	switch *algo {
+	case "tpg":
+		res := nsga2.Run(counter, nsga2.Config{PopSize: *pop, Generations: *iters, Seed: *seed})
+		front = res.Front
+	case "sacga":
+		e := sacga.NewEngine(counter, sacga.Config{
+			PopSize: *pop, Partitions: *partitions,
+			PartitionObjective: pObj, PartitionLo: pLo, PartitionHi: pHi,
+			GentMax: *gentMax, Seed: *seed,
+		})
+		gent := e.PhaseI(*gentMax)
+		e.MarkDead()
+		if span := *iters - gent; span > 0 {
+			e.PhaseII(span)
+		}
+		front = e.Front()
+	case "mesacga":
+		sched, err := parseSchedule(*schedule)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sacga:", err)
+			os.Exit(1)
+		}
+		span := (*iters - *gentMax) / len(sched)
+		if span < 1 {
+			span = 1
+		}
+		res := mesacga.Run(counter, mesacga.Config{
+			PopSize: *pop, Schedule: sched,
+			PartitionObjective: pObj, PartitionLo: pLo, PartitionHi: pHi,
+			GentMax: *gentMax, Span: span, Seed: *seed,
+		})
+		front = res.Front
+	case "local":
+		res := sacga.RunLocalOnly(counter, sacga.Config{
+			PopSize: *pop, Partitions: *partitions,
+			PartitionObjective: pObj, PartitionLo: pLo, PartitionHi: pHi,
+			Seed: *seed,
+		}, *iters)
+		front = res.Front
+	case "islands":
+		size := *pop / 5
+		if size < 4 {
+			size = 4
+		}
+		res := islands.Run(counter, islands.Config{
+			Islands: 5, IslandSize: size, Generations: *iters,
+			MigrationEvery: 10, Migrants: 2, Seed: *seed,
+		})
+		front = res.Front
+	default:
+		fmt.Fprintf(os.Stderr, "sacga: unknown algorithm %q\n", *algo)
+		os.Exit(1)
+	}
+
+	fmt.Printf("problem=%s algo=%s evaluations=%d front=%d feasible=%d\n",
+		prob.Name(), *algo, counter.Count(), len(front), front.FeasibleCount())
+	if isCircuit {
+		pts := make([]hypervolume.Point2, 0, len(front))
+		for _, ind := range front {
+			if ind.Feasible() {
+				cl, pw := sizing.ReportedPoint(ind.Objectives)
+				pts = append(pts, hypervolume.Point2{X: cl, Y: pw})
+			}
+		}
+		hv := hypervolume.PaperMetric(pts) / (0.1e-3 * 1e-12)
+		fmt.Printf("paper hypervolume: %.2f (x0.1 mW*pF, lower better)\n", hv)
+		for _, p := range pts {
+			fmt.Printf("  CL=%6.3f pF  P=%7.4f mW\n", p.X*1e12, p.Y*1e3)
+		}
+	} else {
+		for _, ind := range front {
+			fmt.Printf("  f=%v\n", ind.Objectives)
+		}
+	}
+
+	if *out != "" {
+		rows := make([][]float64, 0, len(front))
+		for _, ind := range front {
+			row := append([]float64{}, ind.Objectives...)
+			row = append(row, ind.Violation)
+			rows = append(rows, row)
+		}
+		header := make([]string, 0, 3)
+		for i := 0; i < prob.NumObjectives(); i++ {
+			header = append(header, fmt.Sprintf("f%d", i))
+		}
+		header = append(header, "violation")
+		if err := plot.WriteCSV(*out, header, rows); err != nil {
+			fmt.Fprintln(os.Stderr, "sacga:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}
+
+func buildProblem(name string, grade, robust int, seed int64) (objective.Problem, bool, error) {
+	if name == "integrator" {
+		spec := sizing.PaperSpec()
+		if grade >= 1 && grade <= 20 {
+			spec = sizing.SpecLadder(20)[grade-1]
+		} else if grade != 0 {
+			return nil, false, fmt.Errorf("grade %d outside 1..20", grade)
+		}
+		var opts []sizing.Option
+		if robust > 0 {
+			opts = append(opts, sizing.WithRobustness(yield.NewEstimator(seed, robust)))
+		}
+		return sizing.New(process.Default018(), spec, opts...), true, nil
+	}
+	if p := benchfn.ByName(name); p != nil {
+		return p, false, nil
+	}
+	return nil, false, fmt.Errorf("unknown problem %q", name)
+}
+
+// partitionRange picks the partitioned axis: the −CL objective for the
+// integrator, otherwise the first objective with a generous unit range
+// (benchmarks are normalized to ~[0,1]).
+func partitionRange(prob objective.Problem, isCircuit bool) (lo, hi float64, obj int) {
+	if isCircuit {
+		lo, hi = sizing.ObjectiveRangeCL()
+		return lo, hi, 1
+	}
+	return 0, 1, 0
+}
+
+func parseSchedule(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	sched := make([]int, 0, len(parts))
+	for _, p := range parts {
+		var m int
+		if _, err := fmt.Sscanf(strings.TrimSpace(p), "%d", &m); err != nil || m < 1 {
+			return nil, fmt.Errorf("bad schedule entry %q", p)
+		}
+		sched = append(sched, m)
+	}
+	if len(sched) == 0 {
+		return nil, fmt.Errorf("empty schedule")
+	}
+	return sched, nil
+}

@@ -1,0 +1,358 @@
+// Package benchfn provides standard multi-objective test problems (ZDT,
+// Schaffer, Fonseca–Fleming, Kursawe, DTLZ and classic constrained suites)
+// used to validate the optimizers against fronts with known geometry before
+// trusting them on the analog-sizing problem.
+package benchfn
+
+import (
+	"fmt"
+	"math"
+
+	"sacga/internal/objective"
+)
+
+// fnProblem adapts a plain function to objective.Problem.
+type fnProblem struct {
+	name   string
+	nvar   int
+	nobj   int
+	ncon   int
+	lo, hi []float64
+	eval   func(x []float64) objective.Result
+}
+
+func (p *fnProblem) Name() string                   { return p.name }
+func (p *fnProblem) NumVars() int                   { return p.nvar }
+func (p *fnProblem) NumObjectives() int             { return p.nobj }
+func (p *fnProblem) NumConstraints() int            { return p.ncon }
+func (p *fnProblem) Bounds() ([]float64, []float64) { return p.lo, p.hi }
+func (p *fnProblem) Evaluate(x []float64) objective.Result {
+	return p.eval(x)
+}
+
+func uniformBounds(n int, lo, hi float64) ([]float64, []float64) {
+	l := make([]float64, n)
+	h := make([]float64, n)
+	for i := range l {
+		l[i], h[i] = lo, hi
+	}
+	return l, h
+}
+
+// ZDT1 has a convex Pareto front f2 = 1 - sqrt(f1) on x1 in [0,1], g=1.
+func ZDT1(nvar int) objective.Problem {
+	lo, hi := uniformBounds(nvar, 0, 1)
+	return &fnProblem{
+		name: fmt.Sprintf("zdt1-%d", nvar), nvar: nvar, nobj: 2, lo: lo, hi: hi,
+		eval: func(x []float64) objective.Result {
+			g := zdtG(x)
+			f1 := x[0]
+			f2 := g * (1 - math.Sqrt(f1/g))
+			return objective.Result{Objectives: []float64{f1, f2}}
+		},
+	}
+}
+
+// ZDT2 has a concave front f2 = 1 - f1^2.
+func ZDT2(nvar int) objective.Problem {
+	lo, hi := uniformBounds(nvar, 0, 1)
+	return &fnProblem{
+		name: fmt.Sprintf("zdt2-%d", nvar), nvar: nvar, nobj: 2, lo: lo, hi: hi,
+		eval: func(x []float64) objective.Result {
+			g := zdtG(x)
+			f1 := x[0]
+			f2 := g * (1 - (f1/g)*(f1/g))
+			return objective.Result{Objectives: []float64{f1, f2}}
+		},
+	}
+}
+
+// ZDT3 has a disconnected front — a good stressor for diversity handling.
+func ZDT3(nvar int) objective.Problem {
+	lo, hi := uniformBounds(nvar, 0, 1)
+	return &fnProblem{
+		name: fmt.Sprintf("zdt3-%d", nvar), nvar: nvar, nobj: 2, lo: lo, hi: hi,
+		eval: func(x []float64) objective.Result {
+			g := zdtG(x)
+			f1 := x[0]
+			f2 := g * (1 - math.Sqrt(f1/g) - (f1/g)*math.Sin(10*math.Pi*f1))
+			return objective.Result{Objectives: []float64{f1, f2}}
+		},
+	}
+}
+
+// ZDT4 is multi-modal: 21^(n-1) local fronts.
+func ZDT4(nvar int) objective.Problem {
+	lo := make([]float64, nvar)
+	hi := make([]float64, nvar)
+	lo[0], hi[0] = 0, 1
+	for i := 1; i < nvar; i++ {
+		lo[i], hi[i] = -5, 5
+	}
+	return &fnProblem{
+		name: fmt.Sprintf("zdt4-%d", nvar), nvar: nvar, nobj: 2, lo: lo, hi: hi,
+		eval: func(x []float64) objective.Result {
+			g := 1 + 10*float64(len(x)-1)
+			for _, v := range x[1:] {
+				g += v*v - 10*math.Cos(4*math.Pi*v)
+			}
+			f1 := x[0]
+			f2 := g * (1 - math.Sqrt(f1/g))
+			return objective.Result{Objectives: []float64{f1, f2}}
+		},
+	}
+}
+
+// ZDT6 has a non-uniformly distributed, concave front.
+func ZDT6(nvar int) objective.Problem {
+	lo, hi := uniformBounds(nvar, 0, 1)
+	return &fnProblem{
+		name: fmt.Sprintf("zdt6-%d", nvar), nvar: nvar, nobj: 2, lo: lo, hi: hi,
+		eval: func(x []float64) objective.Result {
+			f1 := 1 - math.Exp(-4*x[0])*math.Pow(math.Sin(6*math.Pi*x[0]), 6)
+			sum := 0.0
+			for _, v := range x[1:] {
+				sum += v
+			}
+			g := 1 + 9*math.Pow(sum/float64(len(x)-1), 0.25)
+			f2 := g * (1 - (f1/g)*(f1/g))
+			return objective.Result{Objectives: []float64{f1, f2}}
+		},
+	}
+}
+
+func zdtG(x []float64) float64 {
+	sum := 0.0
+	for _, v := range x[1:] {
+		sum += v
+	}
+	return 1 + 9*sum/float64(len(x)-1)
+}
+
+// Schaffer is the classic single-variable SCH problem: f1=x^2, f2=(x-2)^2.
+func Schaffer() objective.Problem {
+	lo, hi := uniformBounds(1, -1000, 1000)
+	return &fnProblem{
+		name: "schaffer", nvar: 1, nobj: 2, lo: lo, hi: hi,
+		eval: func(x []float64) objective.Result {
+			return objective.Result{Objectives: []float64{
+				x[0] * x[0], (x[0] - 2) * (x[0] - 2),
+			}}
+		},
+	}
+}
+
+// Fonseca is the Fonseca–Fleming two-objective problem.
+func Fonseca(nvar int) objective.Problem {
+	lo, hi := uniformBounds(nvar, -4, 4)
+	inv := 1 / math.Sqrt(float64(nvar))
+	return &fnProblem{
+		name: fmt.Sprintf("fonseca-%d", nvar), nvar: nvar, nobj: 2, lo: lo, hi: hi,
+		eval: func(x []float64) objective.Result {
+			s1, s2 := 0.0, 0.0
+			for _, v := range x {
+				s1 += (v - inv) * (v - inv)
+				s2 += (v + inv) * (v + inv)
+			}
+			return objective.Result{Objectives: []float64{
+				1 - math.Exp(-s1), 1 - math.Exp(-s2),
+			}}
+		},
+	}
+}
+
+// Kursawe has a disconnected, non-convex front.
+func Kursawe(nvar int) objective.Problem {
+	lo, hi := uniformBounds(nvar, -5, 5)
+	return &fnProblem{
+		name: fmt.Sprintf("kursawe-%d", nvar), nvar: nvar, nobj: 2, lo: lo, hi: hi,
+		eval: func(x []float64) objective.Result {
+			f1 := 0.0
+			for i := 0; i < len(x)-1; i++ {
+				f1 += -10 * math.Exp(-0.2*math.Sqrt(x[i]*x[i]+x[i+1]*x[i+1]))
+			}
+			f2 := 0.0
+			for _, v := range x {
+				f2 += math.Pow(math.Abs(v), 0.8) + 5*math.Sin(v*v*v)
+			}
+			return objective.Result{Objectives: []float64{f1, f2}}
+		},
+	}
+}
+
+// Constr is Deb's CONSTR problem: 2 variables, 2 constraints; part of the
+// unconstrained front is cut away by the constraints.
+func Constr() objective.Problem {
+	return &fnProblem{
+		name: "constr", nvar: 2, nobj: 2, ncon: 2,
+		lo: []float64{0.1, 0}, hi: []float64{1, 5},
+		eval: func(x []float64) objective.Result {
+			f1 := x[0]
+			f2 := (1 + x[1]) / x[0]
+			g1 := x[1] + 9*x[0] - 6 // >= 0
+			g2 := -x[1] + 9*x[0] - 1
+			return objective.Result{
+				Objectives: []float64{f1, f2},
+				Violations: []float64{vio(g1), vio(g2)},
+			}
+		},
+	}
+}
+
+// SRN is the Srinivas–Deb constrained problem.
+func SRN() objective.Problem {
+	lo, hi := uniformBounds(2, -20, 20)
+	return &fnProblem{
+		name: "srn", nvar: 2, nobj: 2, ncon: 2, lo: lo, hi: hi,
+		eval: func(x []float64) objective.Result {
+			f1 := 2 + (x[0]-2)*(x[0]-2) + (x[1]-1)*(x[1]-1)
+			f2 := 9*x[0] - (x[1]-1)*(x[1]-1)
+			g1 := 225 - (x[0]*x[0] + x[1]*x[1]) // >= 0
+			g2 := -(x[0] - 3*x[1] + 10)         // x0 - 3x1 + 10 <= 0
+			return objective.Result{
+				Objectives: []float64{f1, f2},
+				Violations: []float64{vio(g1), vio(g2)},
+			}
+		},
+	}
+}
+
+// TNK has a feasible objective space that is itself disconnected.
+func TNK() objective.Problem {
+	lo, hi := uniformBounds(2, 1e-9, math.Pi)
+	return &fnProblem{
+		name: "tnk", nvar: 2, nobj: 2, ncon: 2, lo: lo, hi: hi,
+		eval: func(x []float64) objective.Result {
+			f1, f2 := x[0], x[1]
+			c1 := x[0]*x[0] + x[1]*x[1] - 1 - 0.1*math.Cos(16*math.Atan2(x[0], x[1]))
+			c2 := 0.5 - ((x[0]-0.5)*(x[0]-0.5) + (x[1]-0.5)*(x[1]-0.5))
+			return objective.Result{
+				Objectives: []float64{f1, f2},
+				Violations: []float64{vio(c1), vio(c2)},
+			}
+		},
+	}
+}
+
+// BNH is the Binh–Korn constrained problem.
+func BNH() objective.Problem {
+	return &fnProblem{
+		name: "bnh", nvar: 2, nobj: 2, ncon: 2,
+		lo: []float64{0, 0}, hi: []float64{5, 3},
+		eval: func(x []float64) objective.Result {
+			f1 := 4*x[0]*x[0] + 4*x[1]*x[1]
+			f2 := (x[0]-5)*(x[0]-5) + (x[1]-5)*(x[1]-5)
+			c1 := 25 - ((x[0]-5)*(x[0]-5) + x[1]*x[1])
+			c2 := (x[0]-8)*(x[0]-8) + (x[1]+3)*(x[1]+3) - 7.7
+			return objective.Result{
+				Objectives: []float64{f1, f2},
+				Violations: []float64{vio(c1), vio(c2)},
+			}
+		},
+	}
+}
+
+// DTLZ1 generalizes to m objectives with a linear front sum(f)=0.5.
+func DTLZ1(nvar, nobj int) objective.Problem {
+	lo, hi := uniformBounds(nvar, 0, 1)
+	return &fnProblem{
+		name: fmt.Sprintf("dtlz1-%dx%d", nvar, nobj), nvar: nvar, nobj: nobj, lo: lo, hi: hi,
+		eval: func(x []float64) objective.Result {
+			k := len(x) - nobj + 1
+			g := 0.0
+			for _, v := range x[len(x)-k:] {
+				g += (v-0.5)*(v-0.5) - math.Cos(20*math.Pi*(v-0.5))
+			}
+			g = 100 * (float64(k) + g)
+			f := make([]float64, nobj)
+			for i := 0; i < nobj; i++ {
+				v := 0.5 * (1 + g)
+				for j := 0; j < nobj-1-i; j++ {
+					v *= x[j]
+				}
+				if i > 0 {
+					v *= 1 - x[nobj-1-i]
+				}
+				f[i] = v
+			}
+			return objective.Result{Objectives: f}
+		},
+	}
+}
+
+// DTLZ2 generalizes to m objectives with a spherical front.
+func DTLZ2(nvar, nobj int) objective.Problem {
+	lo, hi := uniformBounds(nvar, 0, 1)
+	return &fnProblem{
+		name: fmt.Sprintf("dtlz2-%dx%d", nvar, nobj), nvar: nvar, nobj: nobj, lo: lo, hi: hi,
+		eval: func(x []float64) objective.Result {
+			k := len(x) - nobj + 1
+			g := 0.0
+			for _, v := range x[len(x)-k:] {
+				g += (v - 0.5) * (v - 0.5)
+			}
+			f := make([]float64, nobj)
+			for i := 0; i < nobj; i++ {
+				v := 1 + g
+				for j := 0; j < nobj-1-i; j++ {
+					v *= math.Cos(x[j] * math.Pi / 2)
+				}
+				if i > 0 {
+					v *= math.Sin(x[nobj-1-i] * math.Pi / 2)
+				}
+				f[i] = v
+			}
+			return objective.Result{Objectives: f}
+		},
+	}
+}
+
+// vio converts a ">= 0 is feasible" constraint value into a violation.
+func vio(g float64) float64 {
+	if g >= 0 {
+		return 0
+	}
+	return -g
+}
+
+// ByName returns a registered benchmark problem by name, or nil. The CLIs
+// use this to expose the whole suite.
+func ByName(name string) objective.Problem {
+	switch name {
+	case "zdt1":
+		return ZDT1(30)
+	case "zdt2":
+		return ZDT2(30)
+	case "zdt3":
+		return ZDT3(30)
+	case "zdt4":
+		return ZDT4(10)
+	case "zdt6":
+		return ZDT6(10)
+	case "schaffer":
+		return Schaffer()
+	case "fonseca":
+		return Fonseca(3)
+	case "kursawe":
+		return Kursawe(3)
+	case "constr":
+		return Constr()
+	case "srn":
+		return SRN()
+	case "tnk":
+		return TNK()
+	case "bnh":
+		return BNH()
+	case "dtlz1":
+		return DTLZ1(7, 3)
+	case "dtlz2":
+		return DTLZ2(12, 3)
+	}
+	return nil
+}
+
+// Names lists the registered benchmark problem names.
+func Names() []string {
+	return []string{"zdt1", "zdt2", "zdt3", "zdt4", "zdt6", "schaffer",
+		"fonseca", "kursawe", "constr", "srn", "tnk", "bnh", "dtlz1", "dtlz2"}
+}

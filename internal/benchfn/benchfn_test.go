@@ -1,0 +1,194 @@
+package benchfn
+
+import (
+	"math"
+	"testing"
+
+	"sacga/internal/objective"
+)
+
+func TestAllRegisteredProblemsValidate(t *testing.T) {
+	for _, name := range Names() {
+		p := ByName(name)
+		if p == nil {
+			t.Fatalf("registered name %q returned nil", name)
+		}
+		if err := objective.Validate(p); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if ByName("nope") != nil {
+		t.Error("unknown name should return nil")
+	}
+}
+
+func TestZDT1KnownFrontPoints(t *testing.T) {
+	p := ZDT1(30)
+	// On the true front all x[1:] are 0, so f2 = 1 - sqrt(f1).
+	x := make([]float64, 30)
+	x[0] = 0.25
+	r := p.Evaluate(x)
+	if math.Abs(r.Objectives[0]-0.25) > 1e-12 {
+		t.Fatalf("f1 = %g", r.Objectives[0])
+	}
+	if math.Abs(r.Objectives[1]-0.5) > 1e-12 {
+		t.Fatalf("f2 = %g, want 0.5", r.Objectives[1])
+	}
+}
+
+func TestZDT2FrontShape(t *testing.T) {
+	p := ZDT2(10)
+	x := make([]float64, 10)
+	x[0] = 0.5
+	r := p.Evaluate(x)
+	if math.Abs(r.Objectives[1]-0.75) > 1e-12 {
+		t.Fatalf("zdt2 f2 at f1=0.5 should be 0.75, got %g", r.Objectives[1])
+	}
+}
+
+func TestZDT4GPenalty(t *testing.T) {
+	p := ZDT4(10)
+	x := make([]float64, 10)
+	x[0] = 0.5
+	onFront := p.Evaluate(x)
+	x[1] = 2.5 // off the optimal x_i=0 manifold
+	off := p.Evaluate(x)
+	if off.Objectives[1] <= onFront.Objectives[1] {
+		t.Fatal("leaving the optimal manifold must worsen f2")
+	}
+}
+
+func TestZDT6Range(t *testing.T) {
+	p := ZDT6(10)
+	x := make([]float64, 10)
+	x[0] = 0.15
+	r := p.Evaluate(x)
+	if r.Objectives[0] < 0 || r.Objectives[0] > 1 {
+		t.Fatalf("zdt6 f1 out of range: %g", r.Objectives[0])
+	}
+}
+
+func TestSchafferMinima(t *testing.T) {
+	p := Schaffer()
+	r := p.Evaluate([]float64{0})
+	if r.Objectives[0] != 0 || r.Objectives[1] != 4 {
+		t.Fatalf("SCH(0) = %v", r.Objectives)
+	}
+	r = p.Evaluate([]float64{2})
+	if r.Objectives[0] != 4 || r.Objectives[1] != 0 {
+		t.Fatalf("SCH(2) = %v", r.Objectives)
+	}
+}
+
+func TestFonsecaSymmetry(t *testing.T) {
+	p := Fonseca(3)
+	inv := 1 / math.Sqrt(3.0)
+	r := p.Evaluate([]float64{inv, inv, inv})
+	if r.Objectives[0] > 1e-9 {
+		t.Fatalf("f1 at its optimum should be 0, got %g", r.Objectives[0])
+	}
+}
+
+func TestConstrConstraintActive(t *testing.T) {
+	p := Constr()
+	// x = (0.2, 0): g1 = 0 + 1.8 - 6 < 0 -> infeasible.
+	r := p.Evaluate([]float64{0.2, 0})
+	if r.Feasible() {
+		t.Fatal("(0.2,0) should violate g1")
+	}
+	if r.Violations[0] <= 0 {
+		t.Fatalf("violations = %v", r.Violations)
+	}
+	// x = (0.8, 1): g1 = 1+7.2-6 > 0, g2 = -1+7.2-1 > 0 -> feasible.
+	r = p.Evaluate([]float64{0.8, 1})
+	if !r.Feasible() {
+		t.Fatalf("(0.8,1) should be feasible, got %v", r.Violations)
+	}
+}
+
+func TestSRNConstraints(t *testing.T) {
+	p := SRN()
+	r := p.Evaluate([]float64{0, 0})
+	// g1: 225 - 0 >= 0 ok; g2: -(0-0+10) = -10 < 0 -> violated.
+	if r.Feasible() {
+		t.Fatal("(0,0) violates x-3y+10<=0")
+	}
+	r = p.Evaluate([]float64{-15, 0})
+	// g1: 225-225 = 0 ok; g2: -(-15+10) = 5 >= 0 ok.
+	if !r.Feasible() {
+		t.Fatalf("(-15,0) should be feasible: %v", r.Violations)
+	}
+}
+
+func TestTNKDisconnected(t *testing.T) {
+	p := TNK()
+	// The point (3,3) violates c2 (distance from (0.5,0.5) exceeds 0.5).
+	r := p.Evaluate([]float64{3, 3})
+	if r.Feasible() {
+		t.Fatal("(3,3) should violate the disc constraint")
+	}
+	// (1,1) sits exactly on the c2 boundary and satisfies c1.
+	r = p.Evaluate([]float64{1, 1})
+	if !r.Feasible() {
+		t.Fatalf("(1,1) should be boundary-feasible: %v", r.Violations)
+	}
+}
+
+func TestBNHFeasibleRegion(t *testing.T) {
+	p := BNH()
+	r := p.Evaluate([]float64{1, 1})
+	if !r.Feasible() {
+		t.Fatalf("(1,1) should be feasible: %v", r.Violations)
+	}
+	if r.Objectives[0] != 8 {
+		t.Fatalf("f1(1,1) = %g, want 8", r.Objectives[0])
+	}
+}
+
+func TestDTLZ2SphericalFront(t *testing.T) {
+	p := DTLZ2(12, 3)
+	// With x[2:] all 0.5 the point lies on the unit sphere.
+	x := make([]float64, 12)
+	for i := range x {
+		x[i] = 0.5
+	}
+	r := p.Evaluate(x)
+	sum := 0.0
+	for _, f := range r.Objectives {
+		sum += f * f
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("DTLZ2 front point norm^2 = %g, want 1", sum)
+	}
+}
+
+func TestDTLZ1LinearFront(t *testing.T) {
+	p := DTLZ1(7, 3)
+	x := make([]float64, 7)
+	for i := range x {
+		x[i] = 0.5
+	}
+	r := p.Evaluate(x)
+	sum := 0.0
+	for _, f := range r.Objectives {
+		sum += f
+	}
+	if math.Abs(sum-0.5) > 1e-9 {
+		t.Fatalf("DTLZ1 front point sum = %g, want 0.5", sum)
+	}
+}
+
+func TestCounterCounts(t *testing.T) {
+	c := objective.NewCounter(ZDT1(5))
+	x := make([]float64, 5)
+	for i := 0; i < 7; i++ {
+		c.Evaluate(x)
+	}
+	if c.Count() != 7 {
+		t.Fatalf("count = %d, want 7", c.Count())
+	}
+	c.Reset()
+	if c.Count() != 0 {
+		t.Fatal("reset failed")
+	}
+}

@@ -1,0 +1,159 @@
+// Package dsp provides the signal-processing kernels the sigma-delta
+// modulator validation needs: a radix-2 FFT, window functions, and
+// sine-test SNR estimation over an oversampled signal band.
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// FFT computes the in-place radix-2 decimation-in-time fast Fourier
+// transform of x. The length must be a power of two; FFT panics otherwise
+// (caller bug, not data).
+func FFT(x []complex128) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	if n&(n-1) != 0 {
+		panic("dsp: FFT length must be a power of two")
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j |= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := -2 * math.Pi / float64(length)
+		wl := cmplx.Exp(complex(0, ang))
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			for j := 0; j < length/2; j++ {
+				u := x[i+j]
+				v := x[i+j+length/2] * w
+				x[i+j] = u + v
+				x[i+j+length/2] = u - v
+				w *= wl
+			}
+		}
+	}
+}
+
+// IFFT computes the inverse FFT (normalized by 1/N).
+func IFFT(x []complex128) {
+	for i := range x {
+		x[i] = cmplx.Conj(x[i])
+	}
+	FFT(x)
+	n := complex(float64(len(x)), 0)
+	for i := range x {
+		x[i] = cmplx.Conj(x[i]) / n
+	}
+}
+
+// Hann returns the length-n Hann window.
+func Hann(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 0.5 * (1 - math.Cos(2*math.Pi*float64(i)/float64(n-1)))
+	}
+	return w
+}
+
+// PSD returns the one-sided windowed power spectrum of x (length must be a
+// power of two), normalized by the window's noise gain (Σw²) so that bin
+// sums equal signal power exactly (Parseval): a sine of amplitude A sums to
+// A²/2 over its skirt, and white noise of variance σ² sums to σ² over the
+// whole half-spectrum.
+func PSD(x []float64, window []float64) []float64 {
+	n := len(x)
+	buf := make([]complex128, n)
+	sumw2 := 0.0 // window noise gain Σw²
+	for i := range x {
+		w := 1.0
+		if window != nil {
+			w = window[i]
+		}
+		sumw2 += w * w
+		buf[i] = complex(x[i]*w, 0)
+	}
+	FFT(buf)
+	half := n/2 + 1
+	psd := make([]float64, half)
+	norm := 1.0 / (float64(n) * sumw2)
+	for k := 0; k < half; k++ {
+		p := real(buf[k])*real(buf[k]) + imag(buf[k])*imag(buf[k])
+		if k != 0 && k != n/2 {
+			p *= 2 // fold negative frequencies
+		}
+		psd[k] = p * norm
+	}
+	return psd
+}
+
+// SNR estimates the signal-to-noise ratio (dB) of a sine test: signalBin
+// is the sine's FFT bin; band is the number of bins in the signal band
+// (e.g. N/(2·OSR) for an oversampled converter). Power within ±skirt bins
+// of the signal (window leakage) counts as signal; everything else in
+// [1, band] counts as noise+distortion. DC is excluded.
+func SNR(psd []float64, signalBin, band, skirt int) float64 {
+	if band >= len(psd) {
+		band = len(psd) - 1
+	}
+	sig, noise := 0.0, 0.0
+	for k := 1; k <= band; k++ {
+		d := k - signalBin
+		if d < 0 {
+			d = -d
+		}
+		if d <= skirt {
+			sig += psd[k]
+		} else {
+			noise += psd[k]
+		}
+	}
+	if noise <= 0 {
+		return math.Inf(1)
+	}
+	return 10 * math.Log10(sig/noise)
+}
+
+// BandPower sums PSD bins [1, band], excluding ±skirt bins around
+// excludeBin (pass excludeBin < 0 to exclude nothing) — the in-band noise
+// power of a sine test.
+func BandPower(psd []float64, band, excludeBin, skirt int) float64 {
+	if band >= len(psd) {
+		band = len(psd) - 1
+	}
+	p := 0.0
+	for k := 1; k <= band; k++ {
+		if excludeBin >= 0 {
+			d := k - excludeBin
+			if d < 0 {
+				d = -d
+			}
+			if d <= skirt {
+				continue
+			}
+		}
+		p += psd[k]
+	}
+	return p
+}
+
+// SineTest synthesizes n samples of a sine with the given amplitude at an
+// exact FFT bin (coherent sampling), so no window is strictly necessary.
+func SineTest(n, bin int, amplitude float64) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = amplitude * math.Sin(2*math.Pi*float64(bin)*float64(i)/float64(n))
+	}
+	return x
+}

@@ -1,0 +1,202 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// naiveDFT is the O(n²) reference.
+func naiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		for t := 0; t < n; t++ {
+			ang := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			out[k] += x[t] * cmplx.Exp(complex(0, ang))
+		}
+	}
+	return out
+}
+
+func TestFFTMatchesDFT(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 8, 64, 256} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(r.NormFloat64(), r.NormFloat64())
+		}
+		want := naiveDFT(x)
+		got := append([]complex128(nil), x...)
+		FFT(got)
+		for k := range want {
+			if cmplx.Abs(got[k]-want[k]) > 1e-9*float64(n) {
+				t.Fatalf("n=%d bin %d: %v vs %v", n, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func TestFFTPanicsOnNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n=12")
+		}
+	}()
+	FFT(make([]complex128, 12))
+}
+
+func TestIFFTRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	x := make([]complex128, 128)
+	for i := range x {
+		x[i] = complex(r.NormFloat64(), 0)
+	}
+	y := append([]complex128(nil), x...)
+	FFT(y)
+	IFFT(y)
+	for i := range x {
+		if cmplx.Abs(y[i]-x[i]) > 1e-10 {
+			t.Fatalf("round trip failed at %d: %v vs %v", i, y[i], x[i])
+		}
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	n := 256
+	x := make([]complex128, n)
+	timePow := 0.0
+	for i := range x {
+		x[i] = complex(r.NormFloat64(), 0)
+		timePow += real(x[i]) * real(x[i])
+	}
+	FFT(x)
+	freqPow := 0.0
+	for _, v := range x {
+		freqPow += real(v)*real(v) + imag(v)*imag(v)
+	}
+	freqPow /= float64(n)
+	if math.Abs(timePow-freqPow)/timePow > 1e-10 {
+		t.Fatalf("Parseval violated: %g vs %g", timePow, freqPow)
+	}
+}
+
+func TestHannWindowShape(t *testing.T) {
+	w := Hann(64)
+	if w[0] > 1e-12 || w[63] > 1e-12 {
+		t.Fatal("Hann endpoints must be ~0")
+	}
+	maxV := 0.0
+	for _, v := range w {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if math.Abs(maxV-1) > 0.01 {
+		t.Fatalf("Hann peak %g, want ~1", maxV)
+	}
+}
+
+func TestPSDSineBin(t *testing.T) {
+	n := 1024
+	x := SineTest(n, 37, 0.8)
+	psd := PSD(x, nil)
+	// Energy concentrated at bin 37: amplitude A sine has power A²/2.
+	if math.Abs(psd[37]-0.32) > 0.01 {
+		t.Fatalf("sine bin power %g, want 0.32", psd[37])
+	}
+	rest := 0.0
+	for k, p := range psd {
+		if k != 37 {
+			rest += p
+		}
+	}
+	if rest > 1e-12 {
+		t.Fatalf("coherent sine should leak nothing, got %g", rest)
+	}
+}
+
+func TestPSDWithWindowPreservesPower(t *testing.T) {
+	n := 1024
+	x := SineTest(n, 37, 0.8)
+	psd := PSD(x, Hann(n))
+	// Windowed: power spread over the skirt around bin 37; noise-gain
+	// normalization makes the skirt sum exactly the sine power A²/2.
+	sig := 0.0
+	for k := 34; k <= 40; k++ {
+		sig += psd[k]
+	}
+	if math.Abs(sig-0.32)/0.32 > 0.02 {
+		t.Fatalf("windowed sine power %g, want ~0.32", sig)
+	}
+}
+
+func TestPSDWhiteNoisePowerParseval(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	n := 4096
+	sigma := 0.3
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = sigma * r.NormFloat64()
+	}
+	for _, win := range [][]float64{nil, Hann(n)} {
+		psd := PSD(x, win)
+		total := 0.0
+		for _, p := range psd {
+			total += p
+		}
+		if math.Abs(total-sigma*sigma)/(sigma*sigma) > 0.15 {
+			t.Fatalf("white-noise power %g, want ~%g", total, sigma*sigma)
+		}
+	}
+}
+
+func TestSNRKnownRatio(t *testing.T) {
+	n := 4096
+	r := rand.New(rand.NewSource(4))
+	sigAmp := 1.0
+	noiseSigma := 0.01
+	x := SineTest(n, 101, sigAmp)
+	for i := range x {
+		x[i] += noiseSigma * r.NormFloat64()
+	}
+	psd := PSD(x, Hann(n))
+	got := SNR(psd, 101, n/2, 3)
+	// Expected: 10log10((A²/2)/σ²) = 10log10(0.5/1e-4) = 37 dB.
+	if math.Abs(got-37) > 1.5 {
+		t.Fatalf("SNR %g dB, want ~37", got)
+	}
+}
+
+func TestSNRBandLimiting(t *testing.T) {
+	// Noise outside the band must not count: SNR over a narrow band of a
+	// clean sine plus out-of-band tone is near-infinite.
+	n := 4096
+	x := SineTest(n, 10, 1)
+	tone := SineTest(n, 1500, 1)
+	for i := range x {
+		x[i] += tone[i]
+	}
+	psd := PSD(x, nil)
+	got := SNR(psd, 10, 64, 2) // band stops at bin 64
+	if got < 100 {
+		t.Fatalf("out-of-band tone leaked into SNR: %g dB", got)
+	}
+}
+
+func TestSNRHugeWhenNoNoise(t *testing.T) {
+	n := 1024
+	x := SineTest(n, 17, 0.5)
+	psd := PSD(x, nil)
+	// Only FFT rounding remains in the noise bins: SNR at the numerical
+	// floor (> 250 dB).
+	if got := SNR(psd, 17, n/2, 2); got < 250 {
+		t.Fatalf("clean coherent sine SNR %g dB, want > 250", got)
+	}
+}
+
+func TestFFTEmpty(t *testing.T) {
+	FFT(nil) // must not panic
+}

@@ -1,0 +1,282 @@
+package expt
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// smallCfg keeps integration runs to a couple of seconds.
+func smallCfg(t *testing.T) Config {
+	return Config{
+		OutDir:  t.TempDir(),
+		Seed:    42,
+		Scale:   0.06, // 800 -> 48 iterations
+		PopSize: 40,
+	}
+}
+
+func TestIDsAndTitles(t *testing.T) {
+	ids := IDs()
+	want := []string{"ablation", "fig10", "fig11", "fig2", "fig4", "fig5", "fig6", "fig8", "fig9", "trends"}
+	if len(ids) != len(want) {
+		t.Fatalf("ids = %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("ids = %v, want %v", ids, want)
+		}
+	}
+	for _, id := range ids {
+		if Title(id) == "" {
+			t.Fatalf("missing title for %s", id)
+		}
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("nope", Config{}); err == nil {
+		t.Fatal("unknown id should error")
+	}
+}
+
+func TestFig4ShapeOnly(t *testing.T) {
+	cfg := smallCfg(t)
+	rep, err := Run("fig4", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Values["p1_mid"] < rep.Values["p5_mid"] {
+		t.Fatal("i=1 must participate more than i=5 at mid-span")
+	}
+	if rep.Values["p5_end"] < 0.98 {
+		t.Fatalf("all slots must approach 1 at span end: %g", rep.Values["p5_end"])
+	}
+	assertFiles(t, rep.Files)
+}
+
+func TestFig2ClusteringSmallScale(t *testing.T) {
+	cfg := smallCfg(t)
+	rep, err := Run("fig2", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Even at reduced budgets TPG concentrates at high loads: the cluster
+	// fraction must dominate and no front point may reach low CL.
+	if rep.Values["cluster_fraction_4to5pF"] < 0.3 {
+		t.Fatalf("expected clustering, fraction = %g", rep.Values["cluster_fraction_4to5pF"])
+	}
+	if rep.Values["min_cl_pF"] < 0.5 {
+		t.Fatalf("TPG should not cover low loads at small budgets, min = %g pF",
+			rep.Values["min_cl_pF"])
+	}
+	assertFiles(t, rep.Files)
+}
+
+func TestFig5SACGASpreadsFurther(t *testing.T) {
+	cfg := smallCfg(t)
+	rep, err := Run("fig5", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Values["min_cl_sacga_pF"] >= rep.Values["min_cl_tpg_pF"] {
+		t.Fatalf("SACGA should cover lower loads: %g vs %g pF",
+			rep.Values["min_cl_sacga_pF"], rep.Values["min_cl_tpg_pF"])
+	}
+	assertFiles(t, rep.Files)
+}
+
+func TestFig8ThreeWay(t *testing.T) {
+	cfg := smallCfg(t)
+	rep, err := Run("fig8", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"hv_tpg", "hv_sacga", "hv_mesacga"} {
+		if rep.Values[k] <= 0 {
+			t.Fatalf("%s = %g", k, rep.Values[k])
+		}
+	}
+	// At tiny budgets strict ordering can wobble; the partitioned variants
+	// must at least beat the clustering baseline.
+	if rep.Values["hv_sacga"] > rep.Values["hv_tpg"]*1.05 {
+		t.Fatalf("SACGA (%g) should not lose badly to TPG (%g)",
+			rep.Values["hv_sacga"], rep.Values["hv_tpg"])
+	}
+	assertFiles(t, rep.Files)
+}
+
+func TestFig9MoreItersNoWorse(t *testing.T) {
+	cfg := smallCfg(t)
+	cfg.Scale = 0.05
+	rep, err := Run("fig9", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := rep.Values["hv_iters100"]
+	last := rep.Values["hv_iters1200"]
+	if last > first*1.05 {
+		t.Fatalf("longer runs should not degrade the front: %g -> %g", first, last)
+	}
+	assertFiles(t, rep.Files)
+}
+
+func TestFig10PhaseTrace(t *testing.T) {
+	cfg := smallCfg(t)
+	cfg.Scale = 0.08
+	rep, err := Run("fig10", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Values["final_hv_span150"] <= 0 || rep.Values["final_hv_span50"] <= 0 {
+		t.Fatalf("phase HVs missing: %+v", rep.Values)
+	}
+	assertFiles(t, rep.Files)
+}
+
+func TestFig11HeadToHead(t *testing.T) {
+	cfg := smallCfg(t)
+	cfg.Scale = 0.04
+	rep, err := Run("fig11", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := rep.Values["ratio"]
+	if ratio <= 0 || ratio > 2 {
+		t.Fatalf("MESACGA/SACGA HV ratio %g implausible", ratio)
+	}
+	assertFiles(t, rep.Files)
+}
+
+func TestFig6ReportsSweep(t *testing.T) {
+	cfg := smallCfg(t)
+	cfg.Scale = 0.02 // 10 runs: keep it quick
+	rep, err := Run("fig6", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Values["best_m"] < 6 || rep.Values["best_m"] > 24 {
+		t.Fatalf("best m = %g outside sweep", rep.Values["best_m"])
+	}
+	assertFiles(t, rep.Files)
+}
+
+func TestAblationVariantsComplete(t *testing.T) {
+	cfg := smallCfg(t)
+	cfg.Scale = 0.04
+	rep, err := Run("ablation", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []string{"tpg", "local-only", "instant-global", "sacga", "islands"} {
+		if rep.Values["hv_"+v] <= 0 {
+			t.Fatalf("variant %s produced no hypervolume: %+v", v, rep.Values)
+		}
+	}
+	// The partitioned variants must cover lower loads than the baseline
+	// even at tiny budgets.
+	if rep.Values["min_cl_pF_sacga"] >= rep.Values["min_cl_pF_tpg"] {
+		t.Fatalf("SACGA should cover lower loads than TPG: %g vs %g",
+			rep.Values["min_cl_pF_sacga"], rep.Values["min_cl_pF_tpg"])
+	}
+}
+
+func TestReportElapsedSet(t *testing.T) {
+	rep, err := Run("fig4", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Elapsed <= 0 {
+		t.Fatal("Elapsed not recorded")
+	}
+	if len(rep.Files) != 0 {
+		t.Fatal("no OutDir: no files should be written")
+	}
+}
+
+func TestTrendsSmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trends is the slowest experiment")
+	}
+	cfg := smallCfg(t)
+	cfg.Scale = 0.02
+	cfg.PopSize = 24
+	rep, err := Run("trends", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Values["specs"] != 20 {
+		t.Fatalf("trend study must cover 20 specs, got %g", rep.Values["specs"])
+	}
+	for _, k := range []string{"hv_mean_tpg", "hv_mean_sacga", "hv_mean_mesacga"} {
+		if rep.Values[k] <= 0 {
+			t.Fatalf("%s missing", k)
+		}
+	}
+	if rep.Values["overhead_sacga"] < -1 || rep.Values["overhead_sacga"] > 5 {
+		t.Fatalf("overhead implausible: %g", rep.Values["overhead_sacga"])
+	}
+	assertFiles(t, rep.Files)
+}
+
+func TestFig4GoldenDeterminism(t *testing.T) {
+	// fig4 is a pure analytic computation: its CSV must be bit-identical
+	// across runs and match the known boundary values.
+	cfgA := Config{OutDir: t.TempDir(), Seed: 1}
+	cfgB := Config{OutDir: t.TempDir(), Seed: 99} // seed must not matter
+	repA, err := Run("fig4", cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repB, err := Run("fig4", cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(repA.Files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(repB.Files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("fig4 CSV is not deterministic")
+	}
+	lines := strings.Split(strings.TrimSpace(string(a)), "\n")
+	if len(lines) != 102 { // header + t=0..100
+		t.Fatalf("fig4 CSV has %d lines, want 102", len(lines))
+	}
+	if lines[0] != "gen_minus_gent,p_i1,p_i2,p_i3,p_i4,p_i5" {
+		t.Fatalf("header drifted: %q", lines[0])
+	}
+	// Last row: every slot >= 0.99.
+	last := strings.Split(lines[101], ",")
+	for _, cell := range last[1:] {
+		v, err := strconv.ParseFloat(cell, 64)
+		if err != nil || v < 0.99 {
+			t.Fatalf("final-row probability %q should be >= 0.99", cell)
+		}
+	}
+}
+
+func assertFiles(t *testing.T, files []string) {
+	t.Helper()
+	if len(files) == 0 {
+		t.Fatal("experiment wrote no artifacts")
+	}
+	for _, f := range files {
+		st, err := os.Stat(f)
+		if err != nil {
+			t.Fatalf("artifact missing: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("artifact empty: %s", f)
+		}
+		if ext := filepath.Ext(f); ext != ".csv" && ext != ".txt" {
+			t.Fatalf("unexpected artifact type: %s", f)
+		}
+	}
+}

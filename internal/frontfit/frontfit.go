@@ -1,0 +1,170 @@
+// Package frontfit turns a discrete Pareto front into the continuous
+// design-space boundary model the paper's introduction motivates: "the
+// knowledge of optimal design space boundaries of component circuits can be
+// extremely useful in making good subsystem-level design decisions" (its
+// references [5] WATSON and [6] HOLMES are exactly such boundary-model
+// generators). A system-level designer asks "what is the minimum power to
+// drive THIS load?" — the fitted model answers without re-running the
+// optimizer.
+//
+// Two models are provided: a monotone staircase interpolant (exact,
+// conservative) and a least-squares power-law fit
+// P(CL) = a + b·CL^c (compact, differentiable).
+package frontfit
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Point is one front sample: the coverage axis x (load capacitance) and
+// the cost axis y (power), both minimized-cost semantics with x maximized.
+type Point struct {
+	X, Y float64
+}
+
+// Boundary is a monotone staircase model of the attainment front: the
+// cheapest known cost at or above every coverage level.
+type Boundary struct {
+	pts []Point // strictly increasing X and Y (the max-X/min-Y front)
+}
+
+// NewBoundary builds the staircase model from raw front samples (dominated
+// points are filtered). It errors on an empty input.
+func NewBoundary(front []Point) (*Boundary, error) {
+	if len(front) == 0 {
+		return nil, errors.New("frontfit: empty front")
+	}
+	pts := append([]Point(nil), front...)
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].X != pts[j].X {
+			return pts[i].X > pts[j].X
+		}
+		return pts[i].Y < pts[j].Y
+	})
+	var nd []Point
+	best := math.Inf(1)
+	for _, p := range pts {
+		if p.Y < best {
+			nd = append(nd, p)
+			best = p.Y
+		}
+	}
+	for i, j := 0, len(nd)-1; i < j; i, j = i+1, j-1 {
+		nd[i], nd[j] = nd[j], nd[i]
+	}
+	return &Boundary{pts: nd}, nil
+}
+
+// Points returns the retained non-dominated samples, X ascending.
+func (b *Boundary) Points() []Point { return b.pts }
+
+// MinCost returns the cheapest known cost that still covers coverage level
+// x (i.e. the smallest Y among points with X >= x), and ok=false when the
+// front does not reach x at all.
+func (b *Boundary) MinCost(x float64) (y float64, ok bool) {
+	// pts have ascending X and ascending Y; the first point with X >= x is
+	// the cheapest that covers x.
+	i := sort.Search(len(b.pts), func(i int) bool { return b.pts[i].X >= x })
+	if i == len(b.pts) {
+		return 0, false
+	}
+	return b.pts[i].Y, true
+}
+
+// Coverage returns the largest coverage achievable within budget y, and
+// ok=false when even the cheapest point exceeds the budget.
+func (b *Boundary) Coverage(y float64) (x float64, ok bool) {
+	// Ascending Y: find the last point with Y <= y.
+	i := sort.Search(len(b.pts), func(i int) bool { return b.pts[i].Y > y })
+	if i == 0 {
+		return 0, false
+	}
+	return b.pts[i-1].X, true
+}
+
+// PowerLaw is the compact boundary model y = A + B·x^C.
+type PowerLaw struct {
+	A, B, C float64
+	// RMSE is the fit's root-mean-square error over the samples.
+	RMSE float64
+}
+
+// FitPowerLaw fits y = A + B·x^C to the non-dominated subset of the front
+// by grid-refined search over C with closed-form least squares for (A, B).
+// It errors when fewer than three non-dominated samples exist.
+func FitPowerLaw(front []Point) (*PowerLaw, error) {
+	b, err := NewBoundary(front)
+	if err != nil {
+		return nil, err
+	}
+	pts := b.Points()
+	if len(pts) < 3 {
+		return nil, errors.New("frontfit: need at least 3 non-dominated samples")
+	}
+	best := PowerLaw{RMSE: math.Inf(1)}
+	lo, hi := 0.1, 3.0
+	for pass := 0; pass < 4; pass++ {
+		step := (hi - lo) / 24
+		bestC := best.C
+		for c := lo; c <= hi+1e-12; c += step {
+			a, bb, rmse := lsqPow(pts, c)
+			if rmse < best.RMSE {
+				best = PowerLaw{A: a, B: bb, C: c, RMSE: rmse}
+				bestC = c
+			}
+		}
+		lo = math.Max(0.05, bestC-step)
+		hi = bestC + step
+	}
+	return &best, nil
+}
+
+// lsqPow solves min Σ(y − a − b·x^c)² for (a, b) at fixed c.
+func lsqPow(pts []Point, c float64) (a, b, rmse float64) {
+	n := float64(len(pts))
+	var su, sy, suu, suy float64
+	for _, p := range pts {
+		u := math.Pow(p.X, c)
+		su += u
+		sy += p.Y
+		suu += u * u
+		suy += u * p.Y
+	}
+	den := n*suu - su*su
+	if den == 0 {
+		return sy / n, 0, math.Inf(1)
+	}
+	b = (n*suy - su*sy) / den
+	a = (sy - b*su) / n
+	var se float64
+	for _, p := range pts {
+		r := p.Y - a - b*math.Pow(p.X, c)
+		se += r * r
+	}
+	return a, b, math.Sqrt(se / n)
+}
+
+// Eval evaluates the power law at x.
+func (p *PowerLaw) Eval(x float64) float64 {
+	return p.A + p.B*math.Pow(x, p.C)
+}
+
+// RelRMSE returns the RMSE normalized by the mean cost of the samples it
+// was fitted to — a scale-free fit-quality number (front must be passed
+// back in).
+func (p *PowerLaw) RelRMSE(front []Point) float64 {
+	if len(front) == 0 {
+		return math.NaN()
+	}
+	mean := 0.0
+	for _, q := range front {
+		mean += q.Y
+	}
+	mean /= float64(len(front))
+	if mean == 0 {
+		return math.NaN()
+	}
+	return p.RMSE / mean
+}

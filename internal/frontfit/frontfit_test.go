@@ -1,0 +1,177 @@
+package frontfit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func sampleFront() []Point {
+	// y = 0.05 + 0.02·x^1.5 sampled over x in [0.5, 5].
+	var pts []Point
+	for x := 0.5; x <= 5.0; x += 0.25 {
+		pts = append(pts, Point{X: x, Y: 0.05 + 0.02*math.Pow(x, 1.5)})
+	}
+	return pts
+}
+
+func TestNewBoundaryFiltersDominated(t *testing.T) {
+	front := append(sampleFront(),
+		Point{X: 1.0, Y: 9.9}, // dominated: same coverage, way pricier
+		Point{X: 0.4, Y: 9.9}, // dominated by everything
+	)
+	b, err := NewBoundary(front)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range b.Points() {
+		if p.Y > 1 {
+			t.Fatalf("dominated point survived: %+v", p)
+		}
+	}
+	// Retained points must be strictly increasing in both axes.
+	pts := b.Points()
+	for i := 1; i < len(pts); i++ {
+		if pts[i].X <= pts[i-1].X || pts[i].Y <= pts[i-1].Y {
+			t.Fatalf("staircase not strictly increasing at %d: %+v", i, pts[i-1:i+1])
+		}
+	}
+}
+
+func TestNewBoundaryEmpty(t *testing.T) {
+	if _, err := NewBoundary(nil); err == nil {
+		t.Fatal("empty front must error")
+	}
+}
+
+func TestMinCostSemantics(t *testing.T) {
+	b, _ := NewBoundary([]Point{{1, 0.1}, {3, 0.3}, {5, 0.6}})
+	// Covering x=2 requires the x=3 design.
+	y, ok := b.MinCost(2)
+	if !ok || y != 0.3 {
+		t.Fatalf("MinCost(2) = %g,%v want 0.3", y, ok)
+	}
+	// Exactly at a sample.
+	y, ok = b.MinCost(3)
+	if !ok || y != 0.3 {
+		t.Fatalf("MinCost(3) = %g, want 0.3", y)
+	}
+	// Below every sample: cheapest overall.
+	y, ok = b.MinCost(0.2)
+	if !ok || y != 0.1 {
+		t.Fatalf("MinCost(0.2) = %g, want 0.1", y)
+	}
+	// Beyond the front's reach.
+	if _, ok = b.MinCost(6); ok {
+		t.Fatal("coverage beyond the front must report not-ok")
+	}
+}
+
+func TestCoverageSemantics(t *testing.T) {
+	b, _ := NewBoundary([]Point{{1, 0.1}, {3, 0.3}, {5, 0.6}})
+	x, ok := b.Coverage(0.35)
+	if !ok || x != 3 {
+		t.Fatalf("Coverage(0.35) = %g,%v want 3", x, ok)
+	}
+	x, ok = b.Coverage(10)
+	if !ok || x != 5 {
+		t.Fatalf("Coverage(10) = %g, want 5", x)
+	}
+	if _, ok = b.Coverage(0.05); ok {
+		t.Fatal("budget below the cheapest design must report not-ok")
+	}
+}
+
+// Property: MinCost and Coverage are mutually consistent — covering the
+// coverage you can afford never exceeds the budget.
+func TestMinCostCoverageConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(20)
+		var front []Point
+		for i := 0; i < n; i++ {
+			front = append(front, Point{X: r.Float64() * 5, Y: 0.01 + r.Float64()})
+		}
+		b, err := NewBoundary(front)
+		if err != nil {
+			return false
+		}
+		budget := 0.01 + r.Float64()
+		x, ok := b.Coverage(budget)
+		if !ok {
+			return true
+		}
+		y, ok2 := b.MinCost(x)
+		return ok2 && y <= budget+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitPowerLawRecoversParameters(t *testing.T) {
+	fit, err := FitPowerLaw(sampleFront())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.A-0.05) > 0.01 {
+		t.Fatalf("A = %g, want ~0.05", fit.A)
+	}
+	if math.Abs(fit.B-0.02) > 0.01 {
+		t.Fatalf("B = %g, want ~0.02", fit.B)
+	}
+	if math.Abs(fit.C-1.5) > 0.15 {
+		t.Fatalf("C = %g, want ~1.5", fit.C)
+	}
+	if fit.RMSE > 1e-4 {
+		t.Fatalf("clean synthetic data should fit tightly, RMSE %g", fit.RMSE)
+	}
+}
+
+func TestFitPowerLawNoisyData(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	var front []Point
+	for x := 0.5; x <= 5.0; x += 0.1 {
+		front = append(front, Point{
+			X: x,
+			Y: 0.05 + 0.02*math.Pow(x, 1.5) + 0.002*r.NormFloat64(),
+		})
+	}
+	fit, err := FitPowerLaw(front)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interpolation error at held positions stays within a few percent.
+	for _, x := range []float64{1, 2.5, 4.5} {
+		want := 0.05 + 0.02*math.Pow(x, 1.5)
+		if math.Abs(fit.Eval(x)-want)/want > 0.08 {
+			t.Fatalf("fit at x=%g: %g vs %g", x, fit.Eval(x), want)
+		}
+	}
+	rel := fit.RelRMSE(front)
+	if rel <= 0 || rel > 0.1 {
+		t.Fatalf("relative RMSE %g implausible", rel)
+	}
+}
+
+func TestFitPowerLawDegenerate(t *testing.T) {
+	if _, err := FitPowerLaw([]Point{{1, 1}, {2, 2}}); err == nil {
+		t.Fatal("two points should refuse to fit")
+	}
+	if _, err := FitPowerLaw(nil); err == nil {
+		t.Fatal("empty front should error")
+	}
+	// Three points including dominated ones that reduce below 3: all on a
+	// vertical line — only one survives.
+	if _, err := FitPowerLaw([]Point{{1, 1}, {1, 2}, {1, 3}}); err == nil {
+		t.Fatal("degenerate colinear coverage should refuse to fit")
+	}
+}
+
+func TestRelRMSEDegenerate(t *testing.T) {
+	p := &PowerLaw{RMSE: 0.1}
+	if !math.IsNaN(p.RelRMSE(nil)) {
+		t.Fatal("empty front should give NaN")
+	}
+}

@@ -1,0 +1,45 @@
+package ga
+
+import (
+	"runtime"
+	"sync"
+
+	"sacga/internal/objective"
+)
+
+// EvaluateParallel evaluates the population across a worker pool. The
+// problem's Evaluate must be a pure function of its input (every problem
+// in this repository is); results are written to each individual exactly
+// as Evaluate would, so parallel and sequential evaluation are
+// bit-identical and the GA's random streams are untouched.
+//
+// workers <= 0 selects NumCPU. Small populations fall back to the
+// sequential path to avoid goroutine overhead.
+func (p Population) EvaluateParallel(prob objective.Problem, workers int) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(p) {
+		workers = len(p)
+	}
+	if workers <= 1 || len(p) < 8 {
+		p.Evaluate(prob)
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				p[i].Eval(prob)
+			}
+		}()
+	}
+	for i := range p {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

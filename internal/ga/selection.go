@@ -1,0 +1,138 @@
+package ga
+
+import (
+	"sort"
+
+	"sacga/internal/pareto"
+	"sacga/internal/rng"
+)
+
+// TournamentSelect picks one parent by binary tournament using NSGA-II's
+// crowded-comparison on the precomputed Rank and Crowding fields.
+func TournamentSelect(s *rng.Stream, pop Population) *Individual {
+	a := pop[s.Intn(len(pop))]
+	b := pop[s.Intn(len(pop))]
+	if pareto.Crowded(a.Rank, a.Crowding, b.Rank, b.Crowding) {
+		return a
+	}
+	if pareto.Crowded(b.Rank, b.Crowding, a.Rank, a.Crowding) {
+		return b
+	}
+	if s.Bool(0.5) {
+		return a
+	}
+	return b
+}
+
+// RankSelect performs linear rank-based roulette selection over the
+// population: individuals are sorted by (Rank, -Crowding) and selection
+// pressure decreases linearly from best to worst. This is the paper's
+// "rank-based selection of individuals from the entire population" used to
+// build the Global Mating Pool in the local-competition scheme.
+//
+// pressure in (1,2]: expected copies of the best individual. 2.0 is maximum
+// pressure; 1.0 degenerates to uniform.
+func RankSelect(s *rng.Stream, pop Population, pressure float64) *Individual {
+	n := len(pop)
+	if n == 1 {
+		return pop[0]
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ia, ib := pop[order[a]], pop[order[b]]
+		if ia.Rank != ib.Rank {
+			return ia.Rank < ib.Rank
+		}
+		return ia.Crowding > ib.Crowding
+	})
+	// Linear ranking: weight of the k-th best (k=0 is best) is
+	// pressure - 2*(pressure-1)*k/(n-1); total weight is n.
+	u := s.Float64() * float64(n)
+	acc := 0.0
+	for k := 0; k < n; k++ {
+		w := pressure - 2.0*(pressure-1.0)*float64(k)/float64(n-1)
+		acc += w
+		if u <= acc {
+			return pop[order[k]]
+		}
+	}
+	return pop[order[n-1]]
+}
+
+// RankSelector precomputes the sorted order once so repeated draws are
+// O(log n) instead of O(n log n). Use when drawing a whole mating pool from
+// one frozen population state.
+type RankSelector struct {
+	pop      Population
+	order    []int
+	cum      []float64
+	pressure float64
+}
+
+// NewRankSelector builds a selector over pop with the given linear-ranking
+// pressure.
+func NewRankSelector(pop Population, pressure float64) *RankSelector {
+	n := len(pop)
+	rs := &RankSelector{pop: pop, pressure: pressure}
+	rs.order = make([]int, n)
+	for i := range rs.order {
+		rs.order[i] = i
+	}
+	sort.SliceStable(rs.order, func(a, b int) bool {
+		ia, ib := pop[rs.order[a]], pop[rs.order[b]]
+		if ia.Rank != ib.Rank {
+			return ia.Rank < ib.Rank
+		}
+		return ia.Crowding > ib.Crowding
+	})
+	rs.cum = make([]float64, n)
+	acc := 0.0
+	for k := 0; k < n; k++ {
+		w := 1.0
+		if n > 1 {
+			w = pressure - 2.0*(pressure-1.0)*float64(k)/float64(n-1)
+		}
+		acc += w
+		rs.cum[k] = acc
+	}
+	return rs
+}
+
+// Pick draws one individual.
+func (rs *RankSelector) Pick(s *rng.Stream) *Individual {
+	total := rs.cum[len(rs.cum)-1]
+	u := s.Float64() * total
+	k := sort.SearchFloat64s(rs.cum, u)
+	if k >= len(rs.order) {
+		k = len(rs.order) - 1
+	}
+	return rs.pop[rs.order[k]]
+}
+
+// TruncateByCrowdedComparison selects the best n individuals from pop using
+// (Rank, Crowding) ordering — NSGA-II's environmental selection once ranks
+// and crowding are assigned. The input order is not modified.
+func TruncateByCrowdedComparison(pop Population, n int) Population {
+	order := make([]int, len(pop))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ia, ib := pop[order[a]], pop[order[b]]
+		if ia.Rank != ib.Rank {
+			return ia.Rank < ib.Rank
+		}
+		return ia.Crowding > ib.Crowding
+	})
+	if n > len(order) {
+		n = len(order)
+	}
+	out := make(Population, n)
+	for i := 0; i < n; i++ {
+		out[i] = pop[order[i]]
+	}
+	return out
+}

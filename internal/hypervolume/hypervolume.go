@@ -1,0 +1,299 @@
+// Package hypervolume implements the quality metrics used to score Pareto
+// fronts.
+//
+// Three variants are provided because the paper's prose and its reported
+// numbers differ (see DESIGN.md §1):
+//
+//   - PaperMetric — the staircase area that reproduces the magnitudes the
+//     paper reports in units of 0.1 mW·pF (figs. 6, 9, 10, 11). Lower is
+//     better.
+//   - UnionBoxes — the literal "union of hypercubes anchored at the origin"
+//     from the paper's §4.2, for minimized objectives. Lower is better.
+//   - RefPoint2D / WFG — the standard dominated-hypervolume with respect to
+//     a reference (nadir) point. Higher is better.
+package hypervolume
+
+import (
+	"math"
+	"sort"
+)
+
+// Point2 is a point in a two-objective space.
+type Point2 struct {
+	X, Y float64
+}
+
+// PaperMetric computes the paper's hypervolume for a front in the REPORTED
+// integrator space: X is the coverage objective (load capacitance,
+// maximized) and Y is the cost objective (power, minimized). It equals the
+// area of the union of origin-anchored boxes after flipping the X axis —
+// equivalently the staircase area
+//
+//	Σ (X_i − X_{i−1}) · Y_i   with X_0 = 0
+//
+// over the (max X, min Y) non-dominated subset sorted by X ascending:
+// the cheapest way to "cover" every load up to X_max. Lower is better; an
+// empty front scores +Inf (nothing is covered).
+func PaperMetric(front []Point2) float64 {
+	nd := frontMaxXMinY(front)
+	if len(nd) == 0 {
+		return math.Inf(1)
+	}
+	area := 0.0
+	prevX := 0.0
+	for _, p := range nd {
+		area += (p.X - prevX) * p.Y
+		prevX = p.X
+	}
+	return area
+}
+
+// PaperMetricScaled returns PaperMetric divided by unit, e.g. unit =
+// 0.1e-3 * 1e-12 converts W·F to the paper's "0.1 mW·pF" units.
+func PaperMetricScaled(front []Point2, unit float64) float64 {
+	return PaperMetric(front) / unit
+}
+
+// PaperMetricCovering is PaperMetric over a pinned coverage range [0,xmax]:
+// load range beyond the front's reach is charged at ceiling (a pessimistic
+// power bound) and points beyond xmax are clipped to xmax. Unlike the raw
+// staircase this is comparable across fronts with different coverage and is
+// monotone under adding any point. Lower is better; an empty front costs
+// xmax·ceiling.
+func PaperMetricCovering(front []Point2, xmax, ceiling float64) float64 {
+	clipped := make([]Point2, 0, len(front))
+	for _, p := range front {
+		if p.X > xmax {
+			p.X = xmax
+		}
+		if p.Y > ceiling {
+			p.Y = ceiling
+		}
+		clipped = append(clipped, p)
+	}
+	nd := frontMaxXMinY(clipped)
+	area := 0.0
+	prevX := 0.0
+	for _, p := range nd {
+		area += (p.X - prevX) * p.Y
+		prevX = p.X
+	}
+	if prevX < xmax {
+		area += (xmax - prevX) * ceiling
+	}
+	return area
+}
+
+// frontMaxXMinY extracts the non-dominated subset under (maximize X,
+// minimize Y) and returns it sorted by X ascending (Y will be strictly
+// increasing).
+func frontMaxXMinY(front []Point2) []Point2 {
+	if len(front) == 0 {
+		return nil
+	}
+	pts := append([]Point2(nil), front...)
+	// Sort by X descending, tie-break Y ascending; sweep keeping points
+	// whose Y is strictly below every Y seen at larger X.
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].X != pts[j].X {
+			return pts[i].X > pts[j].X
+		}
+		return pts[i].Y < pts[j].Y
+	})
+	var nd []Point2
+	bestY := math.Inf(1)
+	for _, p := range pts {
+		if p.Y < bestY {
+			nd = append(nd, p)
+			bestY = p.Y
+		}
+	}
+	// nd is X-descending; reverse to ascending.
+	for i, j := 0, len(nd)-1; i < j; i, j = i+1, j-1 {
+		nd[i], nd[j] = nd[j], nd[i]
+	}
+	return nd
+}
+
+// UnionBoxes computes the literal metric described in the paper's §4.2 for
+// a two-objective MINIMIZATION front: the area of the union of rectangles
+// [0,X_i]×[0,Y_i]. Lower is better. (For fronts where Y decreases as X
+// grows this is the staircase area; where Y increases it degenerates to the
+// largest single box — the reason PaperMetric uses the flipped axis.)
+func UnionBoxes(front []Point2) float64 {
+	if len(front) == 0 {
+		return 0
+	}
+	pts := append([]Point2(nil), front...)
+	sort.Slice(pts, func(i, j int) bool { return pts[i].X < pts[j].X })
+	// Union height at horizontal position x is max{Y_j : X_j >= x}.
+	// Precompute suffix maxima of Y, then sweep the X breakpoints.
+	n := len(pts)
+	sufMax := make([]float64, n+1)
+	for i := n - 1; i >= 0; i-- {
+		sufMax[i] = math.Max(sufMax[i+1], pts[i].Y)
+	}
+	area := 0.0
+	prevX := 0.0
+	for i := 0; i < n; i++ {
+		if pts[i].X > prevX {
+			area += (pts[i].X - prevX) * sufMax[i]
+			prevX = pts[i].X
+		}
+	}
+	return area
+}
+
+// RefPoint2D computes the standard dominated hypervolume of a two-objective
+// MINIMIZATION front with respect to reference point ref: the area
+// dominated by the front and bounded by ref. Points not strictly dominating
+// ref contribute nothing. Higher is better.
+func RefPoint2D(front []Point2, ref Point2) float64 {
+	var pts []Point2
+	for _, p := range front {
+		if p.X < ref.X && p.Y < ref.Y {
+			pts = append(pts, p)
+		}
+	}
+	if len(pts) == 0 {
+		return 0
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].X != pts[j].X {
+			return pts[i].X < pts[j].X
+		}
+		return pts[i].Y < pts[j].Y
+	})
+	area := 0.0
+	prevY := ref.Y
+	bestY := math.Inf(1)
+	for _, p := range pts {
+		if p.Y >= bestY { // dominated within the sweep
+			continue
+		}
+		area += (ref.X - p.X) * (prevY - p.Y)
+		prevY = p.Y
+		bestY = p.Y
+	}
+	return area
+}
+
+// WFG computes the exact dominated hypervolume of an n-objective
+// MINIMIZATION front with respect to ref using the WFG algorithm
+// (While/Bradstreet/Barone): hv(S) = Σ_i exclhv(p_i, S_{i+1..}) where the
+// exclusive contribution is the point's box minus the hypervolume of the
+// remaining points clipped to it. Exponential worst case, fine for the
+// front sizes used here (≤ a few hundred points, ≤ 4 objectives).
+// Higher is better.
+func WFG(front [][]float64, ref []float64) float64 {
+	var pts [][]float64
+	for _, p := range front {
+		if len(p) != len(ref) {
+			return math.NaN()
+		}
+		ok := true
+		for k := range p {
+			if p[k] >= ref[k] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			pts = append(pts, append([]float64(nil), p...))
+		}
+	}
+	return wfgRec(pts, ref)
+}
+
+func wfgRec(pts [][]float64, ref []float64) float64 {
+	switch len(pts) {
+	case 0:
+		return 0
+	case 1:
+		return boxVol(pts[0], ref)
+	}
+	if len(ref) == 2 {
+		f := make([]Point2, len(pts))
+		for i, p := range pts {
+			f[i] = Point2{p[0], p[1]}
+		}
+		return RefPoint2D(f, Point2{ref[0], ref[1]})
+	}
+	// Sort by first objective descending: empirically good ordering.
+	sort.Slice(pts, func(i, j int) bool { return pts[i][0] > pts[j][0] })
+	total := 0.0
+	for i, p := range pts {
+		total += exclhv(p, pts[i+1:], ref)
+	}
+	return total
+}
+
+// exclhv is the volume dominated by p but by none of rest.
+func exclhv(p []float64, rest [][]float64, ref []float64) float64 {
+	v := boxVol(p, ref)
+	if len(rest) == 0 {
+		return v
+	}
+	// Clip rest into p's box ("limitset"): q' = max(q, p) componentwise;
+	// drop points that collapse onto the box corner (zero volume).
+	var clipped [][]float64
+	for _, q := range rest {
+		c := make([]float64, len(q))
+		zero := false
+		for k := range q {
+			c[k] = math.Max(q[k], p[k])
+			if c[k] >= ref[k] {
+				zero = true
+				break
+			}
+		}
+		if !zero {
+			clipped = append(clipped, c)
+		}
+	}
+	// Cull dominated members of the clipped set: their boxes are subsets
+	// of their dominators', so the union is unchanged, while the
+	// recursion shrinks from exponential to tractable (the standard WFG
+	// optimization).
+	return v - wfgRec(nondominatedMin(clipped), ref)
+}
+
+// nondominatedMin filters to the (minimization) non-dominated subset.
+func nondominatedMin(pts [][]float64) [][]float64 {
+	out := make([][]float64, 0, len(pts))
+	for i, p := range pts {
+		dominated := false
+		for j, q := range pts {
+			if i == j {
+				continue
+			}
+			if dominatesWeak(q, p) && (i > j || !dominatesWeak(p, q)) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// dominatesWeak reports a <= b componentwise (weak domination; ties kept
+// once via the index ordering in nondominatedMin).
+func dominatesWeak(a, b []float64) bool {
+	for k := range a {
+		if a[k] > b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func boxVol(p, ref []float64) float64 {
+	v := 1.0
+	for k := range p {
+		v *= ref[k] - p[k]
+	}
+	return v
+}

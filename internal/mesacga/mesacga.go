@@ -1,0 +1,126 @@
+// Package mesacga implements the Multi-phase Expanding-partitions SACGA
+// (paper §4.5, fig. 7): a SACGA run in multiple phases, where at the end of
+// each phase the number of partitions is reduced and their size increased,
+// "growing" the individual local Pareto fronts until they merge into the
+// global Pareto front in a final single-partition phase. This removes the
+// need to hand-tune SACGA's partition count (the paper's fig. 6 sweep) at
+// the cost of one schedule, and trades diversity against convergence
+// through the per-phase span.
+package mesacga
+
+import (
+	"sacga/internal/ga"
+	"sacga/internal/objective"
+	"sacga/internal/sacga"
+)
+
+// Config holds the MESACGA hyperparameters. All SACGA fields keep their
+// meaning; the partition count comes from Schedule instead.
+type Config struct {
+	// PopSize is the population size.
+	PopSize int
+	// Schedule lists the partition count of each phase, strictly
+	// decreasing to 1 (default: the paper's 20, 13, 8, 5, 3, 2, 1).
+	Schedule []int
+	// PartitionObjective / PartitionLo / PartitionHi as in sacga.Config.
+	PartitionObjective       int
+	PartitionLo, PartitionHi float64
+	// GentMax caps the initial pure-local-competition phase.
+	GentMax int
+	// Span is the iteration budget of EACH phase (the paper's diversity vs
+	// convergence control knob).
+	Span int
+	// TotalBudget, when Span is 0, sets the overall iteration budget
+	// instead: the post-phase-I remainder is split evenly across phases,
+	// so runs stay evaluation-comparable with other algorithms even when
+	// phase I terminates early.
+	TotalBudget int
+	// N, Shape, Ops, Pressure, Seed as in sacga.Config.
+	N        int
+	Shape    *sacga.Shape
+	Ops      ga.Operators
+	Pressure float64
+	Seed     int64
+	// Observer is called after every iteration across all phases.
+	Observer func(gen int, pop ga.Population)
+	// PhaseObserver, when non-nil, is called after each phase completes
+	// with the phase index (0-based), its partition count and the
+	// population — the hook fig. 10 uses to trace per-phase hypervolume.
+	PhaseObserver func(phase, partitions int, pop ga.Population)
+	// Initial seeds the first population.
+	Initial ga.Population
+	// Workers parallelizes objective evaluation (see sacga.Config.Workers).
+	Workers int
+}
+
+// DefaultSchedule is the paper's seven-phase expansion.
+func DefaultSchedule() []int { return []int{20, 13, 8, 5, 3, 2, 1} }
+
+// Result of a MESACGA run.
+type Result struct {
+	// Final is the last population; Front its globally non-dominated
+	// subset.
+	Final ga.Population
+	Front ga.Population
+	// GentUsed is the length of the initial pure-local phase.
+	GentUsed int
+	// Generations counts all iterations (gent + len(Schedule)·Span).
+	Generations int
+	// PhaseFronts holds the global Pareto front extracted at the end of
+	// each phase (deep copies), for phase-progress analysis.
+	PhaseFronts []ga.Population
+}
+
+// Run executes MESACGA.
+func Run(prob objective.Problem, cfg Config) *Result {
+	if len(cfg.Schedule) == 0 {
+		cfg.Schedule = DefaultSchedule()
+	}
+	sc := sacga.Config{
+		PopSize:            cfg.PopSize,
+		Partitions:         cfg.Schedule[0],
+		PartitionObjective: cfg.PartitionObjective,
+		PartitionLo:        cfg.PartitionLo,
+		PartitionHi:        cfg.PartitionHi,
+		GentMax:            cfg.GentMax,
+		Span:               cfg.Span,
+		N:                  cfg.N,
+		Shape:              cfg.Shape,
+		Ops:                cfg.Ops,
+		Pressure:           cfg.Pressure,
+		Seed:               cfg.Seed,
+		Observer:           cfg.Observer,
+		Initial:            cfg.Initial,
+		Workers:            cfg.Workers,
+	}
+	e := sacga.NewEngine(prob, sc)
+	gent := e.PhaseI(e.Config().GentMax)
+	e.MarkDead()
+
+	res := &Result{GentUsed: gent}
+	span := e.Config().Span
+	if cfg.Span <= 0 && cfg.TotalBudget > 0 {
+		span = (cfg.TotalBudget - gent) / len(cfg.Schedule)
+		if span < 1 {
+			span = 1
+		}
+	}
+	for phase, m := range cfg.Schedule {
+		if phase > 0 {
+			// Expand partitions: re-grid, reassign, refresh liveness. Some
+			// locally-superior-but-globally-inferior solutions lose their
+			// protection here — the paper's intended pruning.
+			e.Regrid(m)
+		}
+		e.PhaseII(span)
+		front := e.Front().Clone()
+		res.PhaseFronts = append(res.PhaseFronts, front)
+		if cfg.PhaseObserver != nil {
+			cfg.PhaseObserver(phase, m, e.Population())
+		}
+	}
+	res.Final = e.Population()
+	res.Front = e.Front()
+	res.Generations = gent + len(cfg.Schedule)*span
+	return res
+}

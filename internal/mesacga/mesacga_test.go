@@ -1,0 +1,170 @@
+package mesacga
+
+import (
+	"math"
+	"testing"
+
+	"sacga/internal/benchfn"
+	"sacga/internal/ga"
+	"sacga/internal/hypervolume"
+	"sacga/internal/objective"
+)
+
+func zdtConfig() Config {
+	return Config{
+		PopSize:            50,
+		Schedule:           []int{8, 4, 2, 1},
+		PartitionObjective: 0,
+		PartitionLo:        0,
+		PartitionHi:        1,
+		GentMax:            10,
+		Span:               25,
+		Seed:               1,
+	}
+}
+
+func TestRunZDT1(t *testing.T) {
+	res := Run(benchfn.ZDT1(8), zdtConfig())
+	if len(res.Front) == 0 {
+		t.Fatal("empty front")
+	}
+	if len(res.PhaseFronts) != 4 {
+		t.Fatalf("expected 4 phase fronts, got %d", len(res.PhaseFronts))
+	}
+	if res.Generations != res.GentUsed+4*25 {
+		t.Fatalf("generation accounting: %d vs gent %d + 100", res.Generations, res.GentUsed)
+	}
+}
+
+func TestDefaultScheduleIsPaper(t *testing.T) {
+	want := []int{20, 13, 8, 5, 3, 2, 1}
+	got := DefaultSchedule()
+	if len(got) != len(want) {
+		t.Fatalf("schedule %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("schedule %v, want the paper's %v", got, want)
+		}
+	}
+}
+
+func TestEmptyScheduleDefaults(t *testing.T) {
+	cfg := zdtConfig()
+	cfg.Schedule = nil
+	cfg.Span = 5
+	res := Run(benchfn.ZDT1(6), cfg)
+	if len(res.PhaseFronts) != 7 {
+		t.Fatalf("nil schedule should use the paper's 7 phases, got %d", len(res.PhaseFronts))
+	}
+}
+
+func TestPhaseObserverCalledInOrder(t *testing.T) {
+	cfg := zdtConfig()
+	var phases []int
+	var parts []int
+	cfg.PhaseObserver = func(phase, partitions int, pop ga.Population) {
+		phases = append(phases, phase)
+		parts = append(parts, partitions)
+		if len(pop) != cfg.PopSize {
+			t.Fatalf("phase observer saw population of %d", len(pop))
+		}
+	}
+	Run(benchfn.ZDT1(6), cfg)
+	if len(phases) != 4 {
+		t.Fatalf("observer called %d times", len(phases))
+	}
+	for i, p := range phases {
+		if p != i {
+			t.Fatalf("phases out of order: %v", phases)
+		}
+	}
+	for i, m := range parts {
+		if m != cfg.Schedule[i] {
+			t.Fatalf("partition counts: %v, want %v", parts, cfg.Schedule)
+		}
+	}
+}
+
+func TestPhaseFrontsGenerallyImprove(t *testing.T) {
+	// Fig. 10's qualitative content: the hypervolume improves (decreases
+	// toward the ideal) across phases. On ZDT1 we use the reference-point
+	// hypervolume (higher better) and demand the last phase beats the
+	// first.
+	res := Run(benchfn.ZDT1(8), zdtConfig())
+	ref := hypervolume.Point2{X: 1.1, Y: 10}
+	hv := func(front ga.Population) float64 {
+		pts := make([]hypervolume.Point2, 0, len(front))
+		for _, ind := range front {
+			pts = append(pts, hypervolume.Point2{X: ind.Objectives[0], Y: ind.Objectives[1]})
+		}
+		return hypervolume.RefPoint2D(pts, ref)
+	}
+	first := hv(res.PhaseFronts[0])
+	last := hv(res.PhaseFronts[len(res.PhaseFronts)-1])
+	if last <= first {
+		t.Fatalf("front should improve across phases: first %g last %g", first, last)
+	}
+}
+
+func TestTotalBudgetMode(t *testing.T) {
+	// With Span unset and TotalBudget given, the executed iteration count
+	// must land within one schedule-length of the budget, regardless of
+	// when phase I terminates.
+	cfg := zdtConfig()
+	cfg.Span = 0
+	cfg.TotalBudget = 97
+	res := Run(benchfn.ZDT1(6), cfg)
+	if res.Generations > 97 || res.Generations < 97-len(cfg.Schedule) {
+		t.Fatalf("generations %d should approach the 97 budget (gent %d)",
+			res.Generations, res.GentUsed)
+	}
+	// Evaluation accounting confirms it end to end.
+	cnt := objective.NewCounter(benchfn.ZDT1(6))
+	res = Run(cnt, cfg)
+	want := int64(cfg.PopSize) * int64(1+res.Generations)
+	if cnt.Count() != want {
+		t.Fatalf("evaluations %d, want %d", cnt.Count(), want)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	a := Run(benchfn.ZDT1(6), zdtConfig())
+	b := Run(benchfn.ZDT1(6), zdtConfig())
+	for i := range a.Final {
+		for k := range a.Final[i].X {
+			if a.Final[i].X[k] != b.Final[i].X[k] {
+				t.Fatal("same seed diverged")
+			}
+		}
+	}
+}
+
+func TestFinalPhaseSinglePartitionConverges(t *testing.T) {
+	// With the final phase a single partition, MESACGA degenerates to a
+	// global GA at the end; the front should be close to ZDT1's optimum.
+	res := Run(benchfn.ZDT1(8), zdtConfig())
+	worst := 0.0
+	for _, ind := range res.Front {
+		gap := ind.Objectives[1] - (1 - math.Sqrt(ind.Objectives[0]))
+		worst = math.Max(worst, gap)
+	}
+	if worst > 0.6 {
+		t.Fatalf("front too far from optimum after final global phase: %g", worst)
+	}
+}
+
+func TestPhaseFrontsAreDeepCopies(t *testing.T) {
+	res := Run(benchfn.ZDT1(6), zdtConfig())
+	// Mutating a phase front must not corrupt the final population.
+	for _, front := range res.PhaseFronts {
+		for _, ind := range front {
+			ind.X[0] = 999
+		}
+	}
+	for _, ind := range res.Final {
+		if ind.X[0] == 999 {
+			t.Fatal("phase fronts alias the live population")
+		}
+	}
+}

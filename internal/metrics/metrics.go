@@ -1,0 +1,197 @@
+// Package metrics provides Pareto-front quality metrics beyond hypervolume:
+// diversity (spacing, spread, extent), convergence (generational distance,
+// IGD), mutual coverage, and the cluster-fraction diagnostic used to
+// quantify the paper's fig. 2 observation ("solutions cluster mostly
+// between 4 and 5 pF").
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"sacga/internal/pareto"
+)
+
+// Spacing is Schott's spacing metric: the standard deviation of each
+// point's nearest-neighbour Manhattan distance. 0 means perfectly even
+// spacing. Returns 0 for fronts with fewer than 2 points.
+func Spacing(front [][]float64) float64 {
+	n := len(front)
+	if n < 2 {
+		return 0
+	}
+	d := make([]float64, n)
+	for i := range front {
+		best := math.Inf(1)
+		for j := range front {
+			if i == j {
+				continue
+			}
+			dist := 0.0
+			for k := range front[i] {
+				dist += math.Abs(front[i][k] - front[j][k])
+			}
+			if dist < best {
+				best = dist
+			}
+		}
+		d[i] = best
+	}
+	mean := 0.0
+	for _, v := range d {
+		mean += v
+	}
+	mean /= float64(n)
+	variance := 0.0
+	for _, v := range d {
+		variance += (v - mean) * (v - mean)
+	}
+	return math.Sqrt(variance / float64(n-1))
+}
+
+// SpreadDelta is Deb's Δ diversity metric for two-objective fronts:
+//
+//	Δ = (df + dl + Σ|d_i − d̄|) / (df + dl + (N−1)·d̄)
+//
+// where d_i are consecutive euclidean gaps along the front sorted by the
+// first objective and df, dl are the gaps to the provided extreme points.
+// Lower is better (0 = ideally distributed). If extremes is nil, the
+// front's own extremes are used (df = dl = 0 contribution).
+func SpreadDelta(front [][]float64, extremes [][]float64) float64 {
+	n := len(front)
+	if n < 2 {
+		return 1
+	}
+	f := append([][]float64(nil), front...)
+	sort.Slice(f, func(i, j int) bool { return f[i][0] < f[j][0] })
+	gaps := make([]float64, 0, n-1)
+	for i := 1; i < n; i++ {
+		gaps = append(gaps, euclid(f[i-1], f[i]))
+	}
+	mean := 0.0
+	for _, g := range gaps {
+		mean += g
+	}
+	mean /= float64(len(gaps))
+	df, dl := 0.0, 0.0
+	if len(extremes) == 2 {
+		df = euclid(extremes[0], f[0])
+		dl = euclid(extremes[1], f[n-1])
+	}
+	num := df + dl
+	for _, g := range gaps {
+		num += math.Abs(g - mean)
+	}
+	den := df + dl + float64(len(gaps))*mean
+	if den <= 0 {
+		return 0
+	}
+	return num / den
+}
+
+// Extent returns the per-objective span of the front (max − min), a crude
+// but robust diversity indicator.
+func Extent(front [][]float64) []float64 {
+	if len(front) == 0 {
+		return nil
+	}
+	nobj := len(front[0])
+	lo := append([]float64(nil), front[0]...)
+	hi := append([]float64(nil), front[0]...)
+	for _, p := range front[1:] {
+		for k := 0; k < nobj; k++ {
+			lo[k] = math.Min(lo[k], p[k])
+			hi[k] = math.Max(hi[k], p[k])
+		}
+	}
+	out := make([]float64, nobj)
+	for k := range out {
+		out[k] = hi[k] - lo[k]
+	}
+	return out
+}
+
+// Coverage is Zitzler's C(A,B): the fraction of points in B that are
+// dominated by or equal to at least one point in A. C(A,B)=1 means A
+// entirely covers B. Not symmetric.
+func Coverage(a, b [][]float64) float64 {
+	if len(b) == 0 {
+		return 0
+	}
+	covered := 0
+	for _, q := range b {
+		for _, p := range a {
+			if pareto.Dominates(p, q) || equal(p, q) {
+				covered++
+				break
+			}
+		}
+	}
+	return float64(covered) / float64(len(b))
+}
+
+// GenerationalDistance is the mean euclidean distance from each front point
+// to its nearest reference-front point. Lower is better.
+func GenerationalDistance(front, reference [][]float64) float64 {
+	if len(front) == 0 || len(reference) == 0 {
+		return math.Inf(1)
+	}
+	sum := 0.0
+	for _, p := range front {
+		best := math.Inf(1)
+		for _, r := range reference {
+			if d := euclid(p, r); d < best {
+				best = d
+			}
+		}
+		sum += best
+	}
+	return sum / float64(len(front))
+}
+
+// IGD is the inverted generational distance: mean distance from each
+// reference point to the nearest front point. Lower is better; unlike GD it
+// also punishes missing regions.
+func IGD(front, reference [][]float64) float64 {
+	return GenerationalDistance(reference, front)
+}
+
+// ClusterFraction returns the fraction of front points whose objective-k
+// value lies in [lo, hi]. With k=0, lo=4pF, hi=5pF it quantifies the
+// fig. 2 clustering observation.
+func ClusterFraction(front [][]float64, k int, lo, hi float64) float64 {
+	if len(front) == 0 {
+		return 0
+	}
+	n := 0
+	for _, p := range front {
+		if p[k] >= lo && p[k] <= hi {
+			n++
+		}
+	}
+	return float64(n) / float64(len(front))
+}
+
+// ONVG is the "overall non-dominated vector generation" count — simply the
+// cardinality of the non-dominated subset.
+func ONVG(front [][]float64) int {
+	return len(pareto.NondominatedPlain(front))
+}
+
+func euclid(a, b []float64) float64 {
+	s := 0.0
+	for k := range a {
+		d := a[k] - b[k]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+func equal(a, b []float64) bool {
+	for k := range a {
+		if a[k] != b[k] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,117 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSpacingUniform(t *testing.T) {
+	front := [][]float64{{0, 4}, {1, 3}, {2, 2}, {3, 1}, {4, 0}}
+	if got := Spacing(front); got > 1e-12 {
+		t.Fatalf("uniform spacing should be 0, got %g", got)
+	}
+}
+
+func TestSpacingNonUniformPositive(t *testing.T) {
+	front := [][]float64{{0, 4}, {0.1, 3.9}, {4, 0}}
+	if got := Spacing(front); got <= 0 {
+		t.Fatalf("nonuniform spacing should be positive, got %g", got)
+	}
+}
+
+func TestSpacingDegenerate(t *testing.T) {
+	if Spacing(nil) != 0 || Spacing([][]float64{{1, 2}}) != 0 {
+		t.Fatal("degenerate fronts have zero spacing")
+	}
+}
+
+func TestSpreadDeltaPerfect(t *testing.T) {
+	front := [][]float64{{0, 4}, {1, 3}, {2, 2}, {3, 1}, {4, 0}}
+	if got := SpreadDelta(front, nil); got > 1e-12 {
+		t.Fatalf("even front without extremes should give 0, got %g", got)
+	}
+}
+
+func TestSpreadDeltaWorseWhenClustered(t *testing.T) {
+	even := [][]float64{{0, 4}, {1, 3}, {2, 2}, {3, 1}, {4, 0}}
+	clustered := [][]float64{{0, 4}, {0.1, 3.9}, {0.2, 3.8}, {0.3, 3.7}, {4, 0}}
+	if SpreadDelta(clustered, nil) <= SpreadDelta(even, nil) {
+		t.Fatal("clustered front should have larger spread delta")
+	}
+}
+
+func TestSpreadDeltaWithExtremes(t *testing.T) {
+	front := [][]float64{{1, 3}, {2, 2}, {3, 1}}
+	extremes := [][]float64{{0, 4}, {4, 0}}
+	if got := SpreadDelta(front, extremes); got <= 0 {
+		t.Fatalf("missing extremes should be punished, got %g", got)
+	}
+}
+
+func TestExtent(t *testing.T) {
+	front := [][]float64{{1, 10}, {3, 4}, {2, 8}}
+	e := Extent(front)
+	if e[0] != 2 || e[1] != 6 {
+		t.Fatalf("extent = %v, want [2 6]", e)
+	}
+	if Extent(nil) != nil {
+		t.Fatal("empty front should give nil extent")
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	a := [][]float64{{0, 0}}
+	b := [][]float64{{1, 1}, {2, 2}}
+	if got := Coverage(a, b); got != 1 {
+		t.Fatalf("C(a,b) = %g, want 1", got)
+	}
+	if got := Coverage(b, a); got != 0 {
+		t.Fatalf("C(b,a) = %g, want 0", got)
+	}
+	if got := Coverage(a, nil); got != 0 {
+		t.Fatalf("C(a,empty) = %g, want 0", got)
+	}
+	// Equal points count as covered.
+	if got := Coverage([][]float64{{1, 1}}, [][]float64{{1, 1}}); got != 1 {
+		t.Fatalf("equal point coverage = %g, want 1", got)
+	}
+}
+
+func TestGDAndIGD(t *testing.T) {
+	ref := [][]float64{{0, 1}, {0.5, 0.5}, {1, 0}}
+	exact := [][]float64{{0, 1}, {0.5, 0.5}, {1, 0}}
+	if got := GenerationalDistance(exact, ref); got > 1e-12 {
+		t.Fatalf("GD of the reference itself should be 0, got %g", got)
+	}
+	offset := [][]float64{{0.1, 1.1}, {0.6, 0.6}, {1.1, 0.1}}
+	gd := GenerationalDistance(offset, ref)
+	want := math.Sqrt(0.02)
+	if math.Abs(gd-want) > 1e-9 {
+		t.Fatalf("GD = %g, want %g", gd, want)
+	}
+	// IGD punishes missing regions: a front covering only one ref point.
+	partial := [][]float64{{0, 1}}
+	if IGD(partial, ref) <= IGD(exact, ref) {
+		t.Fatal("IGD should punish missing coverage")
+	}
+	if !math.IsInf(GenerationalDistance(nil, ref), 1) {
+		t.Fatal("GD of empty front should be +Inf")
+	}
+}
+
+func TestClusterFraction(t *testing.T) {
+	front := [][]float64{{4.2, 1}, {4.8, 1}, {1.0, 1}, {2.5, 1}}
+	if got := ClusterFraction(front, 0, 4, 5); got != 0.5 {
+		t.Fatalf("cluster fraction = %g, want 0.5", got)
+	}
+	if got := ClusterFraction(nil, 0, 4, 5); got != 0 {
+		t.Fatal("empty front should give 0")
+	}
+}
+
+func TestONVG(t *testing.T) {
+	front := [][]float64{{1, 5}, {2, 2}, {3, 3}, {5, 1}}
+	if got := ONVG(front); got != 3 {
+		t.Fatalf("ONVG = %d, want 3", got)
+	}
+}

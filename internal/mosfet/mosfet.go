@@ -1,0 +1,307 @@
+// Package mosfet implements the deep-submicron MOSFET model of the paper's
+// eqn. (1): square-law drain current corrected for velocity saturation,
+// channel-length modulation and an advanced mobility-degradation
+// denominator with fitting parameters θ1, θ2, VK and polarity-dependent
+// exponent n. On top of the current equation it provides the
+// operating-point services circuit sizing needs: bias inversion (find VGS
+// for a target drain current), small-signal parameters gm/gds/gmb, device
+// capacitances (gate, overlap, junction — the paper's "drain diffusion and
+// overlap capacitances"), and saturation-margin checks.
+//
+// Sign convention: all voltages and currents are magnitudes with respect to
+// the device's source, so PMOS devices use |VGS|, |VDS|, |VSB| and return
+// |ID|. Callers handle circuit polarity.
+package mosfet
+
+import (
+	"math"
+
+	"sacga/internal/process"
+)
+
+// Transistor couples a device parameter set with a geometry.
+type Transistor struct {
+	Dev *process.Device
+	// W and L are the drawn width and length (m).
+	W, L float64
+}
+
+// Bias is a magnitude-convention operating point.
+type Bias struct {
+	VGS float64 // gate-source voltage magnitude (V)
+	VDS float64 // drain-source voltage magnitude (V)
+	VSB float64 // source-bulk reverse bias magnitude (V)
+}
+
+// OP is a solved operating point with cached small-signal parameters.
+type OP struct {
+	Bias
+	ID    float64 // drain current magnitude (A)
+	VT    float64 // threshold at this VSB (V)
+	VDsat float64 // saturation voltage (V)
+	Gm    float64 // transconductance (S)
+	Gds   float64 // output conductance (S)
+	Gmb   float64 // bulk transconductance (S)
+	Sat   bool    // true if VDS >= VDsat
+}
+
+// VT returns the body-effect-corrected threshold voltage magnitude.
+func (t Transistor) VT(vsb float64) float64 {
+	d := t.Dev
+	if vsb < 0 {
+		vsb = 0
+	}
+	return d.VT0 + d.Gamma*(math.Sqrt(d.Phi+vsb)-math.Sqrt(d.Phi))
+}
+
+// mobilityDenominator evaluates the eqn. (1) denominator
+// 1 + θ1(VGS+VT−VK)^(1/3) + θ2(VGS+VT−VK)^n, clamping the base at zero so
+// fractional powers stay real when the optimizer probes deep cutoff.
+func (t Transistor) mobilityDenominator(vgs, vt float64) float64 {
+	d := t.Dev
+	base := vgs + vt - d.VK
+	if base < 0 {
+		base = 0
+	}
+	// n is 1 (NMOS) or 2 (PMOS); avoid math.Pow on the hot path.
+	pw := base
+	if d.NExp == 2 {
+		pw = base * base
+	} else if d.NExp != 1 {
+		pw = math.Pow(base, d.NExp)
+	}
+	return 1 + d.Theta1*fastCbrt(base) + d.Theta2*pw
+}
+
+// fastCbrt is a bit-trick cube root with two Newton refinements (relative
+// error ≈ 1e-8, an order below the θ1 fitting accuracy) — the mobility
+// denominator dominates the drain-current hot path.
+func fastCbrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	b := math.Float64bits(x)/3 + 0x2A9F7893782DA1CE
+	y := math.Float64frombits(b)
+	y = (2*y + x/(y*y)) * (1.0 / 3.0)
+	y = (2*y + x/(y*y)) * (1.0 / 3.0)
+	y = (2*y + x/(y*y)) * (1.0 / 3.0)
+	return y
+}
+
+// vsatFactor is the velocity-saturation correction. The paper prints the
+// first-order form (1 − Vov/(Esat·L)); we evaluate the underlying full
+// expression 1/(1 + Vov/(Esat·L)), whose Taylor expansion the printed form
+// is, so the model stays positive and monotone over the whole search box
+// (the printed form goes negative for Vov > Esat·L, which the GA explores).
+func (t Transistor) vsatFactor(vov float64) float64 {
+	el := t.Dev.Esat * t.L
+	if el <= 0 {
+		return 1
+	}
+	return 1 / (1 + vov/el)
+}
+
+// VDsat returns the saturation voltage for the given overdrive, reduced by
+// velocity saturation below the long-channel value Vov:
+// VDsat = Vov·(Esat·L)/(Vov + Esat·L) — the standard short-channel
+// interpolation, → Vov for long devices and → Esat·L for strong overdrive.
+func (t Transistor) VDsat(vov float64) float64 {
+	if vov <= 0 {
+		return 0
+	}
+	el := t.Dev.Esat * t.L
+	return vov * el / (vov + el)
+}
+
+// moderateNUT is n·UT for the weak/strong-inversion interpolation
+// (subthreshold slope factor n ≈ 1.35 at room temperature).
+const moderateNUT = 0.035
+
+// effectiveOverdrive maps the electrostatic overdrive VGS−VT onto the
+// EKV-style effective overdrive 2nUT·ln(1+exp(Vov/2nUT)): equal to Vov in
+// strong inversion (where eqn. (1) applies verbatim) and exponentially
+// small in weak inversion, which caps gm/ID at the physical 1/(n·UT) limit
+// instead of the square-law's unbounded 2/Vov.
+func effectiveOverdrive(vov float64) float64 {
+	x := vov / (2 * moderateNUT)
+	if x > 12 { // log1p(e^x) − x < 7e-6 beyond this; skip the transcendentals
+		return vov
+	}
+	return 2 * moderateNUT * math.Log1p(math.Exp(x))
+}
+
+// ID evaluates the drain current magnitude at bias b. The strong-inversion
+// expression is the paper's eqn. (1) (with the stabilized
+// velocity-saturation factor); the EKV-style effective overdrive extends it
+// smoothly through moderate and weak inversion so the bias solver and the
+// numeric small-signal derivatives behave physically over the whole search
+// box.
+func (t Transistor) ID(b Bias) float64 {
+	vt := t.VT(b.VSB)
+	veff := effectiveOverdrive(b.VGS - vt)
+	return t.idStrong(veff, b.VDS, vt)
+}
+
+// idStrong evaluates strong-inversion current at overdrive vov >= 0.
+func (t Transistor) idStrong(vov, vds, vt float64) float64 {
+	d := t.Dev
+	vdsat := t.VDsat(vov)
+	lambda := d.LambdaL / t.L
+	den := t.mobilityDenominator(vov+vt, vt)
+	kwl := 0.5 * d.KP * t.W / t.L
+	if vds >= vdsat {
+		// Saturation: paper eqn. (1).
+		return kwl * vov * vov * t.vsatFactor(vov) * (1 + lambda*vds) / den
+	}
+	// Triode: square-law with the same mobility/velocity corrections,
+	// matched to the saturation expression at vds = vdsat.
+	idsat := kwl * vov * vov * t.vsatFactor(vov) * (1 + lambda*vdsat) / den
+	x := vds / vdsat
+	return idsat * x * (2 - x) * (1 + lambda*(vds-vdsat)/(1+lambda*vdsat))
+}
+
+// Solve computes the full operating point (current plus small-signal
+// parameters by symmetric numeric differentiation of the same model, so
+// derivatives are exactly consistent with ID).
+func (t Transistor) Solve(b Bias) OP {
+	vt := t.VT(b.VSB)
+	veff := effectiveOverdrive(b.VGS - vt)
+	op := OP{
+		Bias:  b,
+		ID:    t.ID(b),
+		VT:    vt,
+		VDsat: t.VDsat(veff),
+	}
+	op.Sat = b.VDS >= op.VDsat
+	const h = 1e-5
+	op.Gm = (t.ID(Bias{b.VGS + h, b.VDS, b.VSB}) - t.ID(Bias{b.VGS - h, b.VDS, b.VSB})) / (2 * h)
+	vdsm := b.VDS - h
+	if vdsm < 0 {
+		vdsm = 0
+	}
+	op.Gds = (t.ID(Bias{b.VGS, b.VDS + h, b.VSB}) - t.ID(Bias{b.VGS, vdsm, b.VSB})) / (b.VDS + h - vdsm)
+	// gmb via dVT/dVSB: increasing VSB raises VT, lowering current.
+	vsbp, vsbm := b.VSB+h, b.VSB-h
+	if vsbm < 0 {
+		vsbm = 0
+	}
+	op.Gmb = -(t.ID(Bias{b.VGS, b.VDS, vsbp}) - t.ID(Bias{b.VGS, b.VDS, vsbm})) / (vsbp - vsbm)
+	if op.Gmb < 0 {
+		op.Gmb = 0
+	}
+	return op
+}
+
+// VGSForID inverts the model: the gate-source voltage magnitude that makes
+// the device carry current id at the given VDS and VSB. The inversion runs
+// as a log-space secant in effective-overdrive coordinates, seeded by the
+// square-law estimate — the current is near-quadratic in the effective
+// overdrive, so this converges in a handful of idStrong evaluations and
+// avoids the weak-inversion exponential entirely. The sizing layer detects
+// "cannot bias inside the supply" as a result at the 3 V ceiling.
+func (t Transistor) VGSForID(id float64, vds, vsb float64) float64 {
+	if id <= 0 {
+		return 0
+	}
+	vt := t.VT(vsb)
+	kwl := 0.5 * t.Dev.KP * t.W / t.L
+	f := func(veff float64) float64 {
+		return math.Log(t.idStrong(veff, vds, vt) / id)
+	}
+	v1 := math.Sqrt(id / kwl)
+	if v1 < 1e-5 {
+		v1 = 1e-5
+	}
+	if v1 > 2.5 {
+		v1 = 2.5
+	}
+	v0 := v1 * 1.25
+	f0, f1 := f(v0), f(v1)
+	for i := 0; i < 40 && math.Abs(f1) > 1e-10; i++ {
+		df := f1 - f0
+		if df == 0 {
+			break
+		}
+		next := v1 - f1*(v1-v0)/df
+		if next <= 1e-7 {
+			next = v1 / 4
+		} else if next > 4 {
+			next = 4
+		}
+		v0, f0 = v1, f1
+		v1, f1 = next, f(next)
+	}
+	// Map the effective overdrive back through the exact inverse of
+	// effectiveOverdrive: vov = 2nUT·ln(e^{veff/2nUT} − 1).
+	x := v1 / (2 * moderateNUT)
+	vov := v1
+	if x <= 12 {
+		vov = 2 * moderateNUT * math.Log(math.Expm1(x))
+	}
+	vgs := vov + vt
+	if vgs < 0 {
+		return 0
+	}
+	if vgs > 3 {
+		return 3
+	}
+	return vgs
+}
+
+// BiasForID solves the operating point at a target current: VGS from
+// VGSForID, then the full small-signal solve.
+func (t Transistor) BiasForID(id, vds, vsb float64) OP {
+	vgs := t.VGSForID(id, vds, vsb)
+	return t.Solve(Bias{vgs, vds, vsb})
+}
+
+// Caps holds the device capacitances at an operating point (F).
+type Caps struct {
+	Cgs float64 // gate-source (intrinsic + overlap)
+	Cgd float64 // gate-drain (overlap only in saturation, + triode split)
+	Cgb float64 // gate-bulk
+	Cdb float64 // drain-bulk junction
+	Csb float64 // source-bulk junction
+}
+
+// Capacitances estimates the Meyer gate capacitances plus overlap and
+// junction terms — the parasitics the paper folds into its circuit
+// equations. Junction capacitances use the zero-bias values scaled by a
+// fixed 0.7 depletion factor (representative reverse bias) to stay
+// bias-explicit-free.
+func (t Transistor) Capacitances(op OP) Caps {
+	d := t.Dev
+	cox := d.Cox * t.W * t.L
+	cov := d.CGDO * t.W
+	var c Caps
+	switch {
+	case op.VGS <= op.VT: // cutoff/weak inversion: channel mostly absent
+		c.Cgs = cov
+		c.Cgd = cov
+		c.Cgb = cox
+	case op.Sat:
+		c.Cgs = 2.0/3.0*cox + cov
+		c.Cgd = cov
+	default: // triode: channel splits evenly
+		c.Cgs = 0.5*cox + cov
+		c.Cgd = 0.5*cox + cov
+	}
+	const depletion = 0.7
+	areaJ := t.W * d.LDiff
+	perimJ := t.W + 2*d.LDiff
+	cj := depletion * (d.CJ*areaJ + d.CJSW*perimJ)
+	c.Cdb = cj
+	c.Csb = cj
+	return c
+}
+
+// GateArea returns W·L (m²), the layout area proxy used in the sizing
+// problem's area estimate and the Pelgrom mismatch denominators.
+func (t Transistor) GateArea() float64 { return t.W * t.L }
+
+// SaturationMargin returns VDS − VDsat − margin: positive when the device
+// sits in saturation with at least `margin` volts of headroom. The sizing
+// layer turns negatives into constraint violations.
+func (t Transistor) SaturationMargin(op OP, margin float64) float64 {
+	return op.VDS - op.VDsat - margin
+}

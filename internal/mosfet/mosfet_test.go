@@ -1,0 +1,304 @@
+package mosfet
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sacga/internal/process"
+)
+
+func testDevices() (n, p Transistor) {
+	tech := process.Default018()
+	nd := tech.NMOSDev
+	pd := tech.PMOSDev
+	n = Transistor{Dev: &nd, W: 20e-6, L: 0.5e-6}
+	p = Transistor{Dev: &pd, W: 40e-6, L: 0.5e-6}
+	return n, p
+}
+
+func TestBodyEffectRaisesVT(t *testing.T) {
+	n, _ := testDevices()
+	if !(n.VT(0.5) > n.VT(0)) {
+		t.Fatal("reverse body bias must raise VT")
+	}
+	if n.VT(0) != n.Dev.VT0 {
+		t.Fatalf("VT(0) = %g, want VT0 = %g", n.VT(0), n.Dev.VT0)
+	}
+	if n.VT(-1) != n.VT(0) {
+		t.Fatal("negative VSB must clamp to zero")
+	}
+}
+
+func TestIDMonotoneInVGS(t *testing.T) {
+	n, p := testDevices()
+	for _, tr := range []Transistor{n, p} {
+		f := func(a, b float64) bool {
+			v1 := math.Mod(math.Abs(a), 1.8)
+			v2 := math.Mod(math.Abs(b), 1.8)
+			if v1 > v2 {
+				v1, v2 = v2, v1
+			}
+			if v2-v1 < 1e-6 {
+				return true
+			}
+			return tr.ID(Bias{v1, 0.9, 0}) <= tr.ID(Bias{v2, 0.9, 0})
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+			t.Fatalf("%v: %v", tr.Dev.Polarity, err)
+		}
+	}
+}
+
+func TestIDMonotoneInVDS(t *testing.T) {
+	n, _ := testDevices()
+	prev := -1.0
+	for vds := 0.0; vds <= 1.8; vds += 0.01 {
+		id := n.ID(Bias{0.8, vds, 0})
+		if id < prev-1e-15 {
+			t.Fatalf("ID not monotone in VDS at %g: %g < %g", vds, id, prev)
+		}
+		prev = id
+	}
+}
+
+func TestIDContinuousAtVDsat(t *testing.T) {
+	n, _ := testDevices()
+	veff := effectiveOverdrive(0.8 - n.VT(0))
+	vdsat := n.VDsat(veff)
+	below := n.ID(Bias{0.8, vdsat - 1e-9, 0})
+	above := n.ID(Bias{0.8, vdsat + 1e-9, 0})
+	if math.Abs(below-above)/above > 1e-6 {
+		t.Fatalf("discontinuity at vdsat: %g vs %g", below, above)
+	}
+}
+
+func TestVelocitySaturationReducesCurrent(t *testing.T) {
+	n, _ := testDevices()
+	// Same W/L ratio, shorter channel: velocity saturation must cost
+	// relative current at high overdrive.
+	short := Transistor{Dev: n.Dev, W: 4e-6, L: 0.2e-6}
+	long := Transistor{Dev: n.Dev, W: 20e-6, L: 1.0e-6}
+	b := Bias{1.4, 1.6, 0}
+	idShort := short.ID(b)
+	idLong := long.ID(b)
+	// Equal W/L: without velocity saturation the currents would be ~equal
+	// (lambda differences are second order); with it the short device
+	// loses clearly.
+	if idShort > 0.8*idLong {
+		t.Fatalf("short channel should be velocity-limited: %g vs %g", idShort, idLong)
+	}
+}
+
+func TestWeakInversionGmOverID(t *testing.T) {
+	n, _ := testDevices()
+	// Far below threshold gm/ID must approach the physical exponential
+	// limit 1/(n·UT) ≈ 28.6 /V and never exceed it much.
+	op := n.Solve(Bias{n.VT(0) - 0.15, 0.9, 0})
+	gmid := op.Gm / op.ID
+	if gmid < 20 || gmid > 30 {
+		t.Fatalf("weak-inversion gm/ID = %g, want ~28", gmid)
+	}
+	// Strong inversion: much lower gm/ID.
+	op2 := n.Solve(Bias{n.VT(0) + 0.4, 0.9, 0})
+	if g2 := op2.Gm / op2.ID; g2 > 10 {
+		t.Fatalf("strong-inversion gm/ID = %g, want < 10", g2)
+	}
+}
+
+func TestSolveSmallSignalSigns(t *testing.T) {
+	n, p := testDevices()
+	for _, tr := range []Transistor{n, p} {
+		op := tr.Solve(Bias{0.8, 0.9, 0.1})
+		if op.ID <= 0 || op.Gm <= 0 || op.Gds <= 0 || op.Gmb < 0 {
+			t.Fatalf("%v: bad small-signal signs: %+v", tr.Dev.Polarity, op)
+		}
+		if !op.Sat {
+			t.Fatalf("%v should be saturated at VDS=0.9", tr.Dev.Polarity)
+		}
+		if op.Gm < op.Gds {
+			t.Fatalf("gm should exceed gds in saturation: %g vs %g", op.Gm, op.Gds)
+		}
+	}
+}
+
+func TestGmMatchesNumericDerivativeOfID(t *testing.T) {
+	n, _ := testDevices()
+	op := n.Solve(Bias{0.75, 1.0, 0})
+	const h = 1e-6
+	num := (n.ID(Bias{0.75 + h, 1.0, 0}) - n.ID(Bias{0.75 - h, 1.0, 0})) / (2 * h)
+	if math.Abs(num-op.Gm)/num > 1e-3 {
+		t.Fatalf("gm %g vs numeric %g", op.Gm, num)
+	}
+}
+
+func TestVGSForIDRoundTrip(t *testing.T) {
+	// Exhaustive deterministic sweep: every microamp from weak to strong
+	// inversion, at several drain and bulk biases, must invert to < 0.01 %.
+	n, p := testDevices()
+	for _, tr := range []Transistor{n, p} {
+		for _, vds := range []float64{0.2, 0.9, 1.6} {
+			for _, vsb := range []float64{0, 0.2, 0.6} {
+				for ua := 1; ua <= 900; ua += 7 {
+					mag := float64(ua) * 1e-6
+					vgs := tr.VGSForID(mag, vds, vsb)
+					if vgs >= 3 {
+						continue // unreachable for this geometry: flagged
+					}
+					got := tr.ID(Bias{vgs, vds, vsb})
+					if math.Abs(got-mag)/mag > 1e-4 {
+						t.Fatalf("%v: %gA at vds=%g vsb=%g inverts to %gA (vgs=%g)",
+							tr.Dev.Polarity, mag, vds, vsb, got, vgs)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestVGSForIDRoundTripProperty(t *testing.T) {
+	n, _ := testDevices()
+	f := func(seed int64) bool {
+		m := seed % 900
+		if m < 0 {
+			m += 900
+		}
+		mag := float64(m+1) * 1e-6
+		vgs := n.VGSForID(mag, 0.9, 0.2)
+		if vgs >= 3 {
+			return true
+		}
+		got := n.ID(Bias{vgs, 0.9, 0.2})
+		return math.Abs(got-mag)/mag < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVGSForIDEdgeCases(t *testing.T) {
+	n, _ := testDevices()
+	if n.VGSForID(0, 0.9, 0) != 0 {
+		t.Fatal("zero current should return 0")
+	}
+	if n.VGSForID(-1, 0.9, 0) != 0 {
+		t.Fatal("negative current should return 0")
+	}
+	// Absurdly large current cannot be carried: result pegged at ceiling.
+	if v := n.VGSForID(10, 0.9, 0); v < 2.9 {
+		t.Fatalf("10 A should peg the solver at its ceiling, got %g", v)
+	}
+}
+
+func TestBiasForID(t *testing.T) {
+	n, _ := testDevices()
+	op := n.BiasForID(100e-6, 0.9, 0)
+	if math.Abs(op.ID-100e-6)/100e-6 > 1e-3 {
+		t.Fatalf("BiasForID current error: %g", op.ID)
+	}
+}
+
+func TestVDsatShortChannelCollapse(t *testing.T) {
+	n, _ := testDevices()
+	// VDsat must be below the long-channel Vov and approach Esat·L.
+	el := n.Dev.Esat * n.L
+	v := n.VDsat(5 * el)
+	if v >= el {
+		t.Fatalf("VDsat %g must stay below Esat*L %g", v, el)
+	}
+	if n.VDsat(0.01) > 0.01 {
+		t.Fatal("small overdrive: VDsat must not exceed Vov")
+	}
+	if n.VDsat(-1) != 0 {
+		t.Fatal("negative overdrive: VDsat = 0")
+	}
+}
+
+func TestCapacitancesRegions(t *testing.T) {
+	n, _ := testDevices()
+	vt := n.VT(0)
+	sat := n.Capacitances(n.Solve(Bias{vt + 0.3, 1.2, 0}))
+	tri := n.Capacitances(n.Solve(Bias{vt + 0.5, 0.05, 0}))
+	off := n.Capacitances(n.Solve(Bias{vt - 0.3, 0.9, 0}))
+	cox := n.Dev.Cox * n.W * n.L
+	if sat.Cgs <= sat.Cgd {
+		t.Fatal("saturation: Cgs (2/3 Cox + ov) must exceed Cgd (overlap)")
+	}
+	if math.Abs(tri.Cgs-tri.Cgd) > 1e-18 {
+		t.Fatal("triode: gate capacitance splits evenly")
+	}
+	if off.Cgb < 0.9*cox {
+		t.Fatal("cutoff: gate-bulk capacitance ~ Cox")
+	}
+	for _, c := range []Caps{sat, tri, off} {
+		if c.Cdb <= 0 || c.Csb <= 0 {
+			t.Fatal("junction capacitances must be positive")
+		}
+	}
+}
+
+func TestSaturationMargin(t *testing.T) {
+	n, _ := testDevices()
+	op := n.Solve(Bias{0.8, 1.2, 0})
+	if n.SaturationMargin(op, 0.05) <= 0 {
+		t.Fatal("deep saturation should have positive margin")
+	}
+	opLow := n.Solve(Bias{0.8, 0.02, 0})
+	if n.SaturationMargin(opLow, 0.05) >= 0 {
+		t.Fatal("triode should violate the margin")
+	}
+}
+
+func TestFastCbrtAccuracy(t *testing.T) {
+	f := func(x float64) bool {
+		v := math.Abs(x)
+		if v == 0 || v > 1e6 {
+			return true
+		}
+		got := fastCbrt(v)
+		want := math.Cbrt(v)
+		return math.Abs(got-want)/want < 1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+	if fastCbrt(0) != 0 || fastCbrt(-1) != 0 {
+		t.Fatal("non-positive inputs clamp to 0")
+	}
+}
+
+func TestEffectiveOverdriveLimits(t *testing.T) {
+	// Strong inversion: identity.
+	if v := effectiveOverdrive(1.0); math.Abs(v-1.0) > 1e-4 {
+		t.Fatalf("strong inversion veff = %g, want ~1.0", v)
+	}
+	// Weak inversion: exponentially small but positive.
+	v := effectiveOverdrive(-0.3)
+	if v <= 0 || v > 1e-3 {
+		t.Fatalf("weak inversion veff = %g", v)
+	}
+	// Continuity across the branch cutoff (x = 12).
+	cut := 12 * 2 * moderateNUT
+	lo := effectiveOverdrive(cut - 1e-9)
+	hi := effectiveOverdrive(cut + 1e-9)
+	if math.Abs(lo-hi) > 1e-5 {
+		t.Fatalf("branch discontinuity: %g vs %g", lo, hi)
+	}
+	// Monotone.
+	prev := -1.0
+	for x := -0.5; x < 1.5; x += 0.01 {
+		v := effectiveOverdrive(x)
+		if v <= prev {
+			t.Fatalf("not monotone at %g", x)
+		}
+		prev = v
+	}
+}
+
+func TestGateArea(t *testing.T) {
+	n, _ := testDevices()
+	want := 20e-6 * 0.5e-6
+	if math.Abs(n.GateArea()-want)/want > 1e-12 {
+		t.Fatalf("gate area %g, want %g", n.GateArea(), want)
+	}
+}

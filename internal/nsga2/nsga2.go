@@ -1,0 +1,123 @@
+// Package nsga2 implements the elitist non-dominated sorting genetic
+// algorithm NSGA-II (Deb et al., 2002) with Deb's constrained-domination
+// rule. In the paper's terminology this is "TPG" — the Traditional Purely
+// Global competition baseline whose Pareto fronts cluster on the integrator
+// problem (fig. 2).
+package nsga2
+
+import (
+	"sacga/internal/ga"
+	"sacga/internal/objective"
+	"sacga/internal/rng"
+)
+
+// Config holds the NSGA-II hyperparameters.
+type Config struct {
+	// PopSize is the population size (even; odd values are rounded up).
+	PopSize int
+	// Generations is the number of iterations to run.
+	Generations int
+	// Ops are the variation operators; zero value is replaced by
+	// ga.DefaultOperators.
+	Ops ga.Operators
+	// Seed seeds all randomness of the run.
+	Seed int64
+	// Observer, when non-nil, is called after every generation with the
+	// current parent population. The callback must not retain pop.
+	Observer func(gen int, pop ga.Population)
+	// Initial, when non-nil, seeds the initial population (cloned); missing
+	// individuals are filled with uniform random samples.
+	Initial ga.Population
+	// Workers parallelizes objective evaluation (results are identical to
+	// sequential evaluation; <= 1 keeps the sequential path).
+	Workers int
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// Final is the last parent population, ranked.
+	Final ga.Population
+	// Front is the constrained non-dominated subset of Final.
+	Front ga.Population
+	// Generations actually executed.
+	Generations int
+}
+
+func (c *Config) normalize() {
+	if c.PopSize <= 0 {
+		c.PopSize = 100
+	}
+	if c.PopSize%2 == 1 {
+		c.PopSize++
+	}
+	if c.Generations <= 0 {
+		c.Generations = 250
+	}
+	if c.Ops == (ga.Operators{}) {
+		c.Ops = ga.DefaultOperators()
+	}
+}
+
+// Run executes NSGA-II on prob.
+func Run(prob objective.Problem, cfg Config) *Result {
+	cfg.normalize()
+	lo, hi := prob.Bounds()
+	s := rng.Derive(cfg.Seed, "nsga2")
+
+	pop := make(ga.Population, 0, cfg.PopSize)
+	for _, ind := range cfg.Initial {
+		if len(pop) == cfg.PopSize {
+			break
+		}
+		pop = append(pop, ind.Clone())
+	}
+	for len(pop) < cfg.PopSize {
+		pop = append(pop, ga.NewRandom(s, lo, hi))
+	}
+	pop.EvaluateParallel(prob, cfg.Workers)
+	pop.AssignRanksAndCrowding()
+
+	for gen := 0; gen < cfg.Generations; gen++ {
+		children := MakeChildren(s, pop, cfg.Ops, lo, hi, cfg.PopSize)
+		children.EvaluateParallel(prob, cfg.Workers)
+		union := make(ga.Population, 0, len(pop)+len(children))
+		union = append(union, pop...)
+		union = append(union, children...)
+		union.AssignRanksAndCrowding()
+		pop = ga.TruncateByCrowdedComparison(union, cfg.PopSize)
+		// Re-rank the survivors among themselves so selection in the next
+		// generation and observers see self-consistent ranks.
+		pop.AssignRanksAndCrowding()
+		for _, ind := range pop {
+			ind.Age++
+		}
+		if cfg.Observer != nil {
+			cfg.Observer(gen, pop)
+		}
+	}
+	return &Result{
+		Final:       pop,
+		Front:       pop.FirstFront(),
+		Generations: cfg.Generations,
+	}
+}
+
+// MakeChildren builds a full offspring population of size n from pop using
+// binary crowded-tournament selection, crossover and mutation. Exported
+// because SACGA reuses the same variation pipeline on its global mating
+// pool.
+func MakeChildren(s *rng.Stream, pop ga.Population, ops ga.Operators, lo, hi []float64, n int) ga.Population {
+	children := make(ga.Population, 0, n)
+	for len(children) < n {
+		p1 := ga.TournamentSelect(s, pop)
+		p2 := ga.TournamentSelect(s, pop)
+		c1, c2 := ops.Crossover(s, p1, p2, lo, hi)
+		ops.Mutate(s, c1, lo, hi)
+		ops.Mutate(s, c2, lo, hi)
+		children = append(children, c1)
+		if len(children) < n {
+			children = append(children, c2)
+		}
+	}
+	return children
+}

@@ -1,0 +1,124 @@
+package objective
+
+import (
+	"strings"
+	"testing"
+)
+
+// stubProblem is a configurable test double.
+type stubProblem struct {
+	name   string
+	nvar   int
+	nobj   int
+	ncon   int
+	lo, hi []float64
+	eval   func(x []float64) Result
+}
+
+func (p *stubProblem) Name() string                   { return p.name }
+func (p *stubProblem) NumVars() int                   { return p.nvar }
+func (p *stubProblem) NumObjectives() int             { return p.nobj }
+func (p *stubProblem) NumConstraints() int            { return p.ncon }
+func (p *stubProblem) Bounds() ([]float64, []float64) { return p.lo, p.hi }
+func (p *stubProblem) Evaluate(x []float64) Result    { return p.eval(x) }
+
+func okProblem() *stubProblem {
+	return &stubProblem{
+		name: "stub", nvar: 2, nobj: 2, ncon: 1,
+		lo: []float64{0, 0}, hi: []float64{1, 1},
+		eval: func(x []float64) Result {
+			return Result{
+				Objectives: []float64{x[0], x[1]},
+				Violations: []float64{0},
+			}
+		},
+	}
+}
+
+func TestResultFeasible(t *testing.T) {
+	r := Result{Violations: []float64{0, 0}}
+	if !r.Feasible() {
+		t.Fatal("zero violations must be feasible")
+	}
+	r = Result{Violations: []float64{0, 0.5}}
+	if r.Feasible() {
+		t.Fatal("positive violation must be infeasible")
+	}
+	if r.TotalViolation() != 0.5 {
+		t.Fatalf("total = %g", r.TotalViolation())
+	}
+	empty := Result{}
+	if !empty.Feasible() || empty.TotalViolation() != 0 {
+		t.Fatal("unconstrained results are feasible")
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := Validate(okProblem()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateBadBoundsLength(t *testing.T) {
+	p := okProblem()
+	p.lo = []float64{0}
+	if err := Validate(p); err == nil || !strings.Contains(err.Error(), "bounds length") {
+		t.Fatalf("want bounds-length error, got %v", err)
+	}
+}
+
+func TestValidateInvertedBounds(t *testing.T) {
+	p := okProblem()
+	p.lo = []float64{2, 0}
+	if err := Validate(p); err == nil || !strings.Contains(err.Error(), "inverted") {
+		t.Fatalf("want inverted-bounds error, got %v", err)
+	}
+}
+
+func TestValidateObjectiveCountMismatch(t *testing.T) {
+	p := okProblem()
+	p.eval = func(x []float64) Result {
+		return Result{Objectives: []float64{1}, Violations: []float64{0}}
+	}
+	if err := Validate(p); err == nil || !strings.Contains(err.Error(), "objectives") {
+		t.Fatalf("want objective-count error, got %v", err)
+	}
+}
+
+func TestValidateViolationCountMismatch(t *testing.T) {
+	p := okProblem()
+	p.eval = func(x []float64) Result {
+		return Result{Objectives: []float64{1, 2}, Violations: nil}
+	}
+	if err := Validate(p); err == nil || !strings.Contains(err.Error(), "violations") {
+		t.Fatalf("want violation-count error, got %v", err)
+	}
+}
+
+func TestValidateNegativeViolation(t *testing.T) {
+	p := okProblem()
+	p.eval = func(x []float64) Result {
+		return Result{Objectives: []float64{1, 2}, Violations: []float64{-1}}
+	}
+	if err := Validate(p); err == nil || !strings.Contains(err.Error(), "negative") {
+		t.Fatalf("want negative-violation error, got %v", err)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := NewCounter(okProblem())
+	for i := 0; i < 5; i++ {
+		c.Evaluate([]float64{0.5, 0.5})
+	}
+	if c.Count() != 5 {
+		t.Fatalf("count = %d", c.Count())
+	}
+	c.Reset()
+	if c.Count() != 0 {
+		t.Fatal("reset")
+	}
+	// Counter must still expose the wrapped problem's interface.
+	if c.Name() != "stub" || c.NumVars() != 2 {
+		t.Fatal("counter does not delegate")
+	}
+}

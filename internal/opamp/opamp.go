@@ -1,0 +1,249 @@
+// Package opamp provides the analytic model of the standard two-stage
+// Miller-compensated operational amplifier used inside the paper's
+// switched-capacitor integrator: NMOS input differential pair (M1/M2) with
+// PMOS mirror load (M3/M4) and NMOS tail source (M5), followed by a PMOS
+// common-source driver (M6) with NMOS current-sink load (M7) and Miller
+// capacitor Cc.
+//
+// Analyze solves the DC bias chain with the eqn.-(1) device model (body
+// effect on the input pair included via fixed-point iteration), then
+// derives the load-independent small-signal quantities: stage gains,
+// transconductances, node parasitics, slew limits, input-referred thermal
+// noise PSD, output swing limits, power, layout-area estimate, systematic
+// offset and per-device saturation margins. Load-dependent quantities
+// (non-dominant pole, phase margin, settling) live in package scint, which
+// knows the capacitor network around the amplifier.
+package opamp
+
+import (
+	"math"
+
+	"sacga/internal/mosfet"
+	"sacga/internal/process"
+)
+
+// Sizing is the two-stage opamp design vector (SI units). Differential
+// symmetry is implied: M2 copies M1, M4 copies M3.
+type Sizing struct {
+	W1, L1 float64 // input pair
+	W3, L3 float64 // PMOS mirror load
+	W5, L5 float64 // NMOS tail source
+	W6, L6 float64 // PMOS second-stage driver
+	W7, L7 float64 // NMOS second-stage sink
+	Itail  float64 // first-stage tail current (A)
+	K6     float64 // second-stage current ratio: I6 = K6·Itail
+	Cc     float64 // Miller compensation capacitor (F)
+}
+
+// Result is the load-independent opamp analysis.
+type Result struct {
+	// Operating points (magnitude convention).
+	OPM1, OPM3, OPM5, OPM6, OPM7 mosfet.OP
+
+	// Gm1 and Gm6 are the stage transconductances (S); Rout1/Rout2 the
+	// stage output resistances (Ω); A0 the DC gain A1·A2.
+	Gm1, Gm6     float64
+	Rout1, Rout2 float64
+	A1, A2, A0   float64
+
+	// GBW is the unity-gain bandwidth gm1/Cctot (rad/s) of the compensated
+	// amplifier; Cctot includes the M6 overlap capacitance.
+	GBW   float64
+	Cctot float64
+
+	// C1 is the first-stage output node parasitic; CoutSelf the amplifier's
+	// own output-node parasitic; CinGate the input gate capacitance (F).
+	C1       float64
+	CoutSelf float64
+	CinGate  float64
+
+	// SlewInternal is the compensation-node slew limit Itail/Cctot (V/s).
+	// I7 is the class-A output sink current bounding external slew.
+	SlewInternal float64
+	I7           float64
+
+	// NoisePSDin is the input-referred thermal noise PSD (V²/Hz) and
+	// NoiseGammaEff the excess factor γ·(1+gm3/gm1) reused by the sampled
+	// kT/C noise model.
+	NoisePSDin    float64
+	NoiseGammaEff float64
+	// FlickerA is the input-referred 1/f noise amplitude coefficient (V²):
+	// Sv,1/f(f) = FlickerA/f, summing the input pair and the mirror load
+	// (gm-ratio referred). The integrator level applies the CDS
+	// suppression to it.
+	FlickerA float64
+
+	// SwingPos/SwingNeg are the single-ended output headrooms above/below
+	// the output common mode before M6/M7 leave saturation (V).
+	SwingPos, SwingNeg float64
+
+	// VosSystematic is the input-referred systematic offset from first- to
+	// second-stage bias mismatch (V). CDS cancels it at the integrator
+	// level, but it eats swing headroom and flags broken bias chains.
+	VosSystematic float64
+
+	// Power is the total static dissipation including a 25 % bias-branch
+	// overhead (W); Area the gate+capacitor layout estimate (m²).
+	Power float64
+	Area  float64
+
+	// SatMargins lists VDS−VDsat−margin for M1,M2,M3,M4,M5,M6,M7 (V);
+	// negative entries are operating-region violations.
+	SatMargins [7]float64
+
+	// BiasOK is false when the bias chain is unsolvable inside the supply
+	// (e.g. VGS hits the search ceiling); such designs are deeply
+	// infeasible and their numbers are only meaningful as penalties.
+	BiasOK bool
+}
+
+// satMarginMin is the saturation headroom (V) demanded beyond VDsat, the
+// "proper DC operating region" margin of the paper's constraint set.
+const satMarginMin = 0.05
+
+// biasOverhead models the bias-distribution branch as a fixed fraction of
+// the tail current.
+const biasOverhead = 0.25
+
+// Analyze solves the amplifier at the given technology corner. vcm is the
+// input and output common-mode voltage (typically VDD/2).
+func Analyze(t *process.Tech, sz Sizing, vcm float64) Result {
+	var r Result
+	nmos := t.Device(process.NMOS)
+	pmos := t.Device(process.PMOS)
+
+	m1 := mosfet.Transistor{Dev: nmos, W: sz.W1, L: sz.L1}
+	m3 := mosfet.Transistor{Dev: pmos, W: sz.W3, L: sz.L3}
+	m5 := mosfet.Transistor{Dev: nmos, W: sz.W5, L: sz.L5}
+	m6 := mosfet.Transistor{Dev: pmos, W: sz.W6, L: sz.L6}
+	m7 := mosfet.Transistor{Dev: nmos, W: sz.W7, L: sz.L7}
+
+	id1 := sz.Itail / 2
+	id6 := sz.K6 * sz.Itail
+
+	// Input-pair source node: VS = vcm − VGS1(VSB=VS); fixed point in VS.
+	vs := 0.2
+	var vgs1 float64
+	for i := 0; i < 12; i++ {
+		vgs1 = m1.VGSForID(id1, 0.5, vs) // VDS refined below
+		nvs := vcm - vgs1
+		if nvs < 0 {
+			nvs = 0
+		}
+		vs = 0.5*vs + 0.5*nvs
+	}
+
+	// PMOS mirror: diode voltage sets the first-stage output DC level.
+	vsg3 := m3.VGSForID(id1, 0.4, 0)
+	vsg3 = m3.VGSForID(id1, vsg3, 0) // diode: VSD = VSG
+
+	// Refine the input-pair bias against the actual diode-side drain
+	// voltage (the placeholder VDS used above ignores channel-length
+	// modulation).
+	vgs1 = m1.VGSForID(id1, math.Max(t.VDD-vsg3-vs, 0.05), vs)
+	if nvs := vcm - vgs1; nvs > 0 {
+		vs = nvs
+	}
+
+	// Second stage: current forced by M7; M6 gate sits at stage-1 output.
+	vsg6 := m6.VGSForID(id6, t.VDD-vcm, 0)
+	vout1 := t.VDD - vsg6 // feedback-consistent stage-1 output DC
+
+	// Solved operating points.
+	vd1 := t.VDD - vsg3 // diode-side drain of M1
+	op1 := m1.Solve(mosfet.Bias{VGS: vgs1, VDS: math.Max(vd1-vs, 0), VSB: vs})
+	op2 := m1.Solve(mosfet.Bias{VGS: vgs1, VDS: math.Max(vout1-vs, 0), VSB: vs})
+	op3 := m3.Solve(mosfet.Bias{VGS: vsg3, VDS: vsg3, VSB: 0})
+	op4 := m3.Solve(mosfet.Bias{VGS: vsg3, VDS: math.Max(t.VDD-vout1, 0), VSB: 0})
+	vgs5 := m5.VGSForID(sz.Itail, math.Max(vs, 0.01), 0)
+	op5 := m5.Solve(mosfet.Bias{VGS: vgs5, VDS: vs, VSB: 0})
+	op6 := m6.Solve(mosfet.Bias{VGS: vsg6, VDS: t.VDD - vcm, VSB: 0})
+	vgs7 := m7.VGSForID(id6, vcm, 0)
+	op7 := m7.Solve(mosfet.Bias{VGS: vgs7, VDS: vcm, VSB: 0})
+
+	r.OPM1, r.OPM3, r.OPM5, r.OPM6, r.OPM7 = op2, op4, op5, op6, op7
+
+	// Bias sanity: the inversion search saturates at its ceiling when the
+	// requested current cannot be carried inside the supply.
+	r.BiasOK = vgs1 < 2.9 && vsg3 < 2.9 && vsg6 < 2.9 && vgs7 < 2.9 &&
+		vgs5 < 2.9 && vs > 0.01 && vout1 > 0.05 && vout1 < t.VDD-0.05
+
+	// Small-signal.
+	r.Gm1 = op2.Gm
+	r.Gm6 = op6.Gm
+	r.Rout1 = 1 / (op2.Gds + op4.Gds + 1e-15)
+	r.Rout2 = 1 / (op6.Gds + op7.Gds + 1e-15)
+	r.A1 = r.Gm1 * r.Rout1
+	r.A2 = r.Gm6 * r.Rout2
+	r.A0 = r.A1 * r.A2
+
+	// Node parasitics.
+	c1caps := m1.Capacitances(op2)
+	c4caps := m3.Capacitances(op4)
+	c6caps := m6.Capacitances(op6)
+	c7caps := m7.Capacitances(op7)
+	r.C1 = c1caps.Cgd + c1caps.Cdb + c4caps.Cgd + c4caps.Cdb + c6caps.Cgs + c6caps.Cgb
+	r.CoutSelf = c6caps.Cdb + c7caps.Cdb + c7caps.Cgd
+	cin1 := m1.Capacitances(op1)
+	r.CinGate = cin1.Cgs + 2*cin1.Cgd + cin1.Cgb
+
+	r.Cctot = sz.Cc + c6caps.Cgd
+	r.GBW = r.Gm1 / r.Cctot
+	r.SlewInternal = sz.Itail / r.Cctot
+	r.I7 = id6
+
+	// Input-referred thermal noise PSD of the first stage (pair + mirror):
+	// Sn = 8kT·γ·(1 + gm3/gm1)/gm1.
+	gmRatio := op4.Gm / math.Max(r.Gm1, 1e-12)
+	gamma := nmos.NoiseGamma
+	r.NoiseGammaEff = gamma * (1 + gmRatio)
+	r.NoisePSDin = 8 * t.KT() * r.NoiseGammaEff / math.Max(r.Gm1, 1e-12)
+
+	// Input-referred flicker: both input devices plus both mirror devices
+	// (the latter scaled by (gm3/gm1)² when referred to the input).
+	r.FlickerA = 2*nmos.KF/(nmos.Cox*sz.W1*sz.L1) +
+		2*pmos.KF/(pmos.Cox*sz.W3*sz.L3)*gmRatio*gmRatio
+
+	// Output swing around vcm, reduced by the saturation margin.
+	r.SwingPos = t.VDD - op6.VDsat - satMarginMin - vcm
+	r.SwingNeg = vcm - op7.VDsat - satMarginMin
+	if r.SwingPos < 0 {
+		r.SwingPos = 0
+	}
+	if r.SwingNeg < 0 {
+		r.SwingNeg = 0
+	}
+
+	// Systematic offset: mismatch between the mirror diode voltage and the
+	// second-stage gate bias, referred to the input.
+	r.VosSystematic = (vsg6 - vsg3) / math.Max(r.A1, 1)
+
+	// Power and area.
+	r.Power = t.VDD * sz.Itail * (1 + sz.K6 + biasOverhead)
+	gateArea := 2*m1.GateArea() + 2*m3.GateArea() + m5.GateArea() +
+		m6.GateArea() + m7.GateArea()
+	r.Area = gateArea + t.CapArea(sz.Cc)
+
+	// Saturation margins: M1 (diode side), M2, M3 (diode, always sat by
+	// construction but kept for uniformity), M4, M5, M6, M7.
+	r.SatMargins[0] = m1.SaturationMargin(op1, satMarginMin)
+	r.SatMargins[1] = m1.SaturationMargin(op2, satMarginMin)
+	r.SatMargins[2] = m3.SaturationMargin(op3, satMarginMin)
+	r.SatMargins[3] = m3.SaturationMargin(op4, satMarginMin)
+	r.SatMargins[4] = m5.SaturationMargin(op5, satMarginMin)
+	r.SatMargins[5] = m6.SaturationMargin(op6, satMarginMin)
+	r.SatMargins[6] = m7.SaturationMargin(op7, satMarginMin)
+	return r
+}
+
+// WorstSatMargin returns the smallest saturation margin — the single number
+// the sizing layer turns into the "DC operating region" constraint.
+func (r *Result) WorstSatMargin() float64 {
+	w := r.SatMargins[0]
+	for _, m := range r.SatMargins[1:] {
+		if m < w {
+			w = m
+		}
+	}
+	return w
+}

@@ -1,0 +1,200 @@
+package opamp
+
+import (
+	"math"
+	"testing"
+
+	"sacga/internal/process"
+)
+
+const (
+	um = 1e-6
+	pf = 1e-12
+)
+
+// referenceSizing is a hand-checked, comfortably feasible design.
+func referenceSizing() Sizing {
+	return Sizing{
+		W1: 60 * um, L1: 0.5 * um,
+		W3: 20 * um, L3: 0.7 * um,
+		W5: 40 * um, L5: 0.5 * um,
+		W6: 120 * um, L6: 0.3 * um,
+		W7: 60 * um, L7: 0.4 * um,
+		Itail: 60e-6, K6: 3.0, Cc: 1.5 * pf,
+	}
+}
+
+func analyzeRef(t *testing.T) Result {
+	t.Helper()
+	tech := process.Default018()
+	r := Analyze(&tech, referenceSizing(), tech.VDD/2)
+	if !r.BiasOK {
+		t.Fatal("reference design must bias")
+	}
+	return r
+}
+
+func TestReferenceDesignPlausible(t *testing.T) {
+	r := analyzeRef(t)
+	a0dB := 20 * math.Log10(r.A0)
+	if a0dB < 60 || a0dB > 110 {
+		t.Fatalf("A0 = %.1f dB, outside plausible two-stage range", a0dB)
+	}
+	gbwMHz := r.GBW / (2 * math.Pi * 1e6)
+	if gbwMHz < 5 || gbwMHz > 500 {
+		t.Fatalf("GBW = %.1f MHz implausible", gbwMHz)
+	}
+	if r.Gm6 <= r.Gm1 {
+		t.Fatal("second stage of this design should have larger gm")
+	}
+	if r.Power <= 0 || r.Power > 1e-2 {
+		t.Fatalf("power = %g W implausible", r.Power)
+	}
+	// Power formula: VDD * Itail * (1 + K6 + 0.25).
+	want := 1.8 * 60e-6 * (1 + 3 + 0.25)
+	if math.Abs(r.Power-want)/want > 1e-12 {
+		t.Fatalf("power = %g, want %g", r.Power, want)
+	}
+}
+
+func TestAllDevicesSaturatedInReference(t *testing.T) {
+	r := analyzeRef(t)
+	if r.WorstSatMargin() <= 0 {
+		t.Fatalf("reference design should have all devices saturated, worst=%g margins=%v",
+			r.WorstSatMargin(), r.SatMargins)
+	}
+}
+
+func TestCurrentConsistency(t *testing.T) {
+	r := analyzeRef(t)
+	// The mirror-side device sees a different VDS than the diode side the
+	// bias was solved against; channel-length modulation leaves a small
+	// systematic current split (real circuits have the same effect).
+	if math.Abs(r.OPM1.ID-30e-6)/30e-6 > 0.05 {
+		t.Fatalf("input pair current %g, want ~30µA", r.OPM1.ID)
+	}
+	if math.Abs(r.OPM6.ID-180e-6)/180e-6 > 0.01 {
+		t.Fatalf("M6 current %g, want 180µA", r.OPM6.ID)
+	}
+	if math.Abs(r.I7-180e-6) > 1e-9 {
+		t.Fatalf("I7 = %g", r.I7)
+	}
+}
+
+func TestSlewInternal(t *testing.T) {
+	r := analyzeRef(t)
+	want := 60e-6 / r.Cctot
+	if math.Abs(r.SlewInternal-want)/want > 1e-12 {
+		t.Fatalf("slew = %g, want %g", r.SlewInternal, want)
+	}
+	if r.Cctot <= 1.5*pf {
+		t.Fatal("Cctot must include the M6 overlap on top of Cc")
+	}
+}
+
+func TestNoiseModel(t *testing.T) {
+	r := analyzeRef(t)
+	if r.NoisePSDin <= 0 {
+		t.Fatal("noise PSD must be positive")
+	}
+	if r.NoiseGammaEff <= 1 {
+		t.Fatal("mirror load must add excess noise above gamma=1")
+	}
+	// More tail current (same geometry) -> more gm1 -> less input noise.
+	tech := process.Default018()
+	sz := referenceSizing()
+	sz.Itail *= 4
+	r2 := Analyze(&tech, sz, tech.VDD/2)
+	if r2.NoisePSDin >= r.NoisePSDin {
+		t.Fatalf("quadrupling Itail should cut input noise: %g vs %g",
+			r2.NoisePSDin, r.NoisePSDin)
+	}
+}
+
+func TestMoreCurrentMoreGBW(t *testing.T) {
+	tech := process.Default018()
+	sz := referenceSizing()
+	base := Analyze(&tech, sz, 0.9)
+	sz.Itail *= 2
+	more := Analyze(&tech, sz, 0.9)
+	if more.GBW <= base.GBW {
+		t.Fatal("doubling tail current must raise GBW")
+	}
+	if more.Power <= base.Power {
+		t.Fatal("and must cost power")
+	}
+}
+
+func TestBiasFailureDetected(t *testing.T) {
+	tech := process.Default018()
+	sz := referenceSizing()
+	// A tiny device asked to carry a huge current cannot bias in 1.8 V.
+	sz.W6 = 2 * um
+	sz.L6 = 2 * um
+	sz.K6 = 20
+	sz.Itail = 2e-3
+	r := Analyze(&tech, sz, 0.9)
+	if r.BiasOK {
+		t.Fatal("absurd current density should fail the bias check")
+	}
+}
+
+func TestSwingShrinksWithVDsat(t *testing.T) {
+	tech := process.Default018()
+	sz := referenceSizing()
+	base := Analyze(&tech, sz, 0.9)
+	// Much narrower output devices at the same current -> larger VDsat ->
+	// less swing.
+	sz.W6 = 12 * um
+	sz.W7 = 6 * um
+	squeezed := Analyze(&tech, sz, 0.9)
+	if squeezed.SwingPos >= base.SwingPos || squeezed.SwingNeg >= base.SwingNeg {
+		t.Fatalf("narrow output devices must lose swing: %+v vs %+v",
+			squeezed.SwingPos, base.SwingPos)
+	}
+}
+
+func TestCornersShiftPerformance(t *testing.T) {
+	tt := process.Default018()
+	ffTech := tt.AtCorner(process.FF)
+	ssTech := tt.AtCorner(process.SS)
+	sz := referenceSizing()
+	rtt := Analyze(&tt, sz, 0.9)
+	rff := Analyze(&ffTech, sz, 0.9)
+	rss := Analyze(&ssTech, sz, 0.9)
+	// Fast silicon at fixed current: more gm (KP up).
+	if !(rff.Gm1 > rtt.Gm1 && rss.Gm1 < rtt.Gm1) {
+		t.Fatalf("gm1 across corners: ff=%g tt=%g ss=%g", rff.Gm1, rtt.Gm1, rss.Gm1)
+	}
+	if rff.GBW <= rss.GBW {
+		t.Fatal("FF must be faster than SS")
+	}
+}
+
+func TestSystematicOffsetSmallForBalancedDesign(t *testing.T) {
+	r := analyzeRef(t)
+	if math.Abs(r.VosSystematic) > 0.05 {
+		t.Fatalf("reference systematic offset too large: %g", r.VosSystematic)
+	}
+}
+
+func TestAreaIncludesCapacitor(t *testing.T) {
+	tech := process.Default018()
+	sz := referenceSizing()
+	base := Analyze(&tech, sz, 0.9)
+	sz.Cc *= 4
+	big := Analyze(&tech, sz, 0.9)
+	if big.Area <= base.Area {
+		t.Fatal("larger Cc must cost area")
+	}
+}
+
+func TestParasiticsPositive(t *testing.T) {
+	r := analyzeRef(t)
+	if r.C1 <= 0 || r.CoutSelf <= 0 || r.CinGate <= 0 {
+		t.Fatalf("node parasitics must be positive: %g %g %g", r.C1, r.CoutSelf, r.CinGate)
+	}
+	if r.C1 > 5*pf || r.CoutSelf > 5*pf {
+		t.Fatalf("parasitics implausibly large: %g %g", r.C1, r.CoutSelf)
+	}
+}

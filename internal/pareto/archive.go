@@ -1,0 +1,84 @@
+package pareto
+
+// Archive is a bounded external archive of non-dominated points with
+// attached payloads (typically decision vectors). When the archive
+// overflows its capacity, the most crowded member is evicted, preserving
+// spread — the standard bounded-archive policy.
+type Archive struct {
+	cap  int
+	pts  []Point
+	data []interface{}
+}
+
+// NewArchive returns an archive holding at most capacity points;
+// capacity <= 0 means unbounded.
+func NewArchive(capacity int) *Archive {
+	return &Archive{cap: capacity}
+}
+
+// Len returns the number of archived points.
+func (a *Archive) Len() int { return len(a.pts) }
+
+// Points returns the archived points. Callers must not mutate the result.
+func (a *Archive) Points() []Point { return a.pts }
+
+// Data returns the payload attached to archived point i.
+func (a *Archive) Data(i int) interface{} { return a.data[i] }
+
+// Add offers a point to the archive. It is inserted iff no archived point
+// constrained-dominates it; archived points it dominates are removed. Add
+// reports whether the point was inserted.
+func (a *Archive) Add(p Point, payload interface{}) bool {
+	// Reject if dominated by (or duplicate of) an existing member.
+	for i := range a.pts {
+		if ConstrainedDominates(a.pts[i], p) || equalPoint(a.pts[i], p) {
+			return false
+		}
+	}
+	// Remove members the newcomer dominates.
+	keepPts := a.pts[:0]
+	keepData := a.data[:0]
+	for i := range a.pts {
+		if !ConstrainedDominates(p, a.pts[i]) {
+			keepPts = append(keepPts, a.pts[i])
+			keepData = append(keepData, a.data[i])
+		}
+	}
+	a.pts = append(keepPts, p)
+	a.data = append(keepData, payload)
+	if a.cap > 0 && len(a.pts) > a.cap {
+		a.evictMostCrowded()
+	}
+	return true
+}
+
+func equalPoint(a, b Point) bool {
+	if a.Vio != b.Vio || len(a.Obj) != len(b.Obj) {
+		return false
+	}
+	for i := range a.Obj {
+		if a.Obj[i] != b.Obj[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (a *Archive) evictMostCrowded() {
+	front := make([]int, len(a.pts))
+	for i := range front {
+		front[i] = i
+	}
+	crowd := Crowding(a.pts, front)
+	worst, worstD := -1, 0.0
+	for i, d := range crowd {
+		if worst == -1 || d < worstD {
+			worst, worstD = i, d
+		}
+	}
+	if worst < 0 {
+		return
+	}
+	a.pts = append(a.pts[:worst], a.pts[worst+1:]...)
+	a.data = append(a.data[:worst], a.data[worst+1:]...)
+}

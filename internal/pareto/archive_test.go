@@ -1,0 +1,95 @@
+package pareto
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestArchiveBasicAddRemove(t *testing.T) {
+	a := NewArchive(10)
+	if !a.Add(Point{Obj: []float64{2, 2}}, "b") {
+		t.Fatal("first point must insert")
+	}
+	if !a.Add(Point{Obj: []float64{1, 3}}, "a") {
+		t.Fatal("nondominated point must insert")
+	}
+	if a.Add(Point{Obj: []float64{3, 3}}, "c") {
+		t.Fatal("dominated point must be rejected")
+	}
+	if a.Add(Point{Obj: []float64{1, 3}}, "dup") {
+		t.Fatal("duplicate point must be rejected")
+	}
+	// A dominating point evicts what it dominates.
+	if !a.Add(Point{Obj: []float64{0.5, 0.5}}, "king") {
+		t.Fatal("dominating point must insert")
+	}
+	if a.Len() != 1 {
+		t.Fatalf("archive should have collapsed to 1 point, has %d", a.Len())
+	}
+	if a.Data(0) != "king" {
+		t.Fatalf("payload mismatch: %v", a.Data(0))
+	}
+}
+
+func TestArchiveInfeasibleHandling(t *testing.T) {
+	a := NewArchive(10)
+	a.Add(Point{Obj: []float64{5, 5}, Vio: 1}, nil)
+	if !a.Add(Point{Obj: []float64{9, 9}, Vio: 0}, nil) {
+		t.Fatal("feasible point must displace infeasible archive member")
+	}
+	if a.Len() != 1 {
+		t.Fatalf("infeasible member should have been evicted, len=%d", a.Len())
+	}
+}
+
+func TestArchiveCapacityEviction(t *testing.T) {
+	a := NewArchive(5)
+	// Insert 20 mutually nondominated points along a line.
+	for i := 0; i < 20; i++ {
+		x := float64(i)
+		a.Add(Point{Obj: []float64{x, 19 - x}}, i)
+	}
+	if a.Len() != 5 {
+		t.Fatalf("capacity not enforced: %d", a.Len())
+	}
+	// Extremes should survive crowding-based eviction.
+	hasMin, hasMax := false, false
+	for _, p := range a.Points() {
+		if p.Obj[0] == 0 {
+			hasMin = true
+		}
+		if p.Obj[0] == 19 {
+			hasMax = true
+		}
+	}
+	if !hasMin || !hasMax {
+		t.Fatalf("extreme points evicted; archive=%v", a.Points())
+	}
+}
+
+func TestArchiveStaysMutuallyNondominated(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	a := NewArchive(30)
+	for i := 0; i < 500; i++ {
+		a.Add(Point{Obj: []float64{r.Float64(), r.Float64()}}, i)
+	}
+	pts := a.Points()
+	for i := range pts {
+		for j := range pts {
+			if i != j && ConstrainedDominates(pts[i], pts[j]) {
+				t.Fatalf("archive contains dominated pair %v %v", pts[i], pts[j])
+			}
+		}
+	}
+}
+
+func TestArchiveUnbounded(t *testing.T) {
+	a := NewArchive(0)
+	for i := 0; i < 50; i++ {
+		x := float64(i)
+		a.Add(Point{Obj: []float64{x, 49 - x}}, nil)
+	}
+	if a.Len() != 50 {
+		t.Fatalf("unbounded archive truncated: %d", a.Len())
+	}
+}

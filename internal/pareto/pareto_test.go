@@ -1,0 +1,223 @@
+package pareto
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDominatesBasics(t *testing.T) {
+	cases := []struct {
+		a, b []float64
+		want bool
+	}{
+		{[]float64{1, 1}, []float64{2, 2}, true},
+		{[]float64{1, 2}, []float64{2, 1}, false},
+		{[]float64{2, 2}, []float64{1, 1}, false},
+		{[]float64{1, 1}, []float64{1, 1}, false}, // equal: no strict improvement
+		{[]float64{1, 2}, []float64{1, 3}, true},  // weak in one, strict in other
+		{[]float64{0, 0, 5}, []float64{1, 1, 5}, true},
+	}
+	for _, c := range cases {
+		if got := Dominates(c.a, c.b); got != c.want {
+			t.Errorf("Dominates(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDominatesIrreflexiveAntisymmetric(t *testing.T) {
+	f := func(a, b [3]float64) bool {
+		as, bs := a[:], b[:]
+		if Dominates(as, as) {
+			return false // irreflexive
+		}
+		if Dominates(as, bs) && Dominates(bs, as) {
+			return false // antisymmetric
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConstrainedDominates(t *testing.T) {
+	feasGood := Point{Obj: []float64{1, 1}, Vio: 0}
+	feasBad := Point{Obj: []float64{5, 5}, Vio: 0}
+	infeasSmall := Point{Obj: []float64{0, 0}, Vio: 0.1}
+	infeasBig := Point{Obj: []float64{0, 0}, Vio: 3}
+
+	if !ConstrainedDominates(feasBad, infeasSmall) {
+		t.Error("any feasible point must dominate any infeasible point")
+	}
+	if ConstrainedDominates(infeasSmall, feasBad) {
+		t.Error("infeasible must never dominate feasible")
+	}
+	if !ConstrainedDominates(infeasSmall, infeasBig) {
+		t.Error("smaller violation must win between infeasible points")
+	}
+	if !ConstrainedDominates(feasGood, feasBad) {
+		t.Error("between feasible points Pareto dominance decides")
+	}
+}
+
+func TestSortFrontsKnown(t *testing.T) {
+	pts := []Point{
+		{Obj: []float64{1, 5}}, // front 0
+		{Obj: []float64{2, 3}}, // front 0
+		{Obj: []float64{4, 1}}, // front 0
+		{Obj: []float64{3, 4}}, // dominated by (2,3) -> front 1
+		{Obj: []float64{5, 5}}, // dominated by lots -> front 1 or 2
+	}
+	fronts := SortFronts(pts)
+	if len(fronts) < 2 {
+		t.Fatalf("expected >=2 fronts, got %d", len(fronts))
+	}
+	want0 := map[int]bool{0: true, 1: true, 2: true}
+	if len(fronts[0]) != 3 {
+		t.Fatalf("front 0 = %v, want indices 0,1,2", fronts[0])
+	}
+	for _, i := range fronts[0] {
+		if !want0[i] {
+			t.Fatalf("front 0 contains %d", i)
+		}
+	}
+}
+
+func TestSortFrontsPartition(t *testing.T) {
+	// Every index appears exactly once across fronts.
+	r := rand.New(rand.NewSource(3))
+	pts := make([]Point, 60)
+	for i := range pts {
+		pts[i] = Point{Obj: []float64{r.Float64(), r.Float64()}, Vio: 0}
+		if i%5 == 0 {
+			pts[i].Vio = r.Float64()
+		}
+	}
+	fronts := SortFronts(pts)
+	seen := make([]bool, len(pts))
+	for _, f := range fronts {
+		for _, i := range f {
+			if seen[i] {
+				t.Fatalf("index %d in two fronts", i)
+			}
+			seen[i] = true
+		}
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("index %d missing from all fronts", i)
+		}
+	}
+}
+
+// Property: ranks are consistent with pairwise dominance — if a dominates b
+// then rank(a) < rank(b), and no member of front 0 is dominated by anything.
+func TestRanksConsistentWithDominance(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 30 + r.Intn(30)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{Obj: []float64{r.Float64(), r.Float64(), r.Float64()}}
+			if r.Intn(4) == 0 {
+				pts[i].Vio = r.Float64()
+			}
+		}
+		ranks := Ranks(pts)
+		for i := range pts {
+			for j := range pts {
+				if i != j && ConstrainedDominates(pts[i], pts[j]) && ranks[i] >= ranks[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrowdingBoundaryInfinite(t *testing.T) {
+	pts := []Point{
+		{Obj: []float64{0, 4}},
+		{Obj: []float64{1, 3}},
+		{Obj: []float64{2, 2}},
+		{Obj: []float64{3, 1}},
+		{Obj: []float64{4, 0}},
+	}
+	front := []int{0, 1, 2, 3, 4}
+	d := Crowding(pts, front)
+	if !math.IsInf(d[0], 1) || !math.IsInf(d[4], 1) {
+		t.Fatalf("extreme points should have +Inf crowding, got %v", d)
+	}
+	for i := 1; i < 4; i++ {
+		if math.IsInf(d[i], 1) || d[i] <= 0 {
+			t.Fatalf("interior point %d crowding = %g, want finite positive", i, d[i])
+		}
+	}
+	// Evenly spaced interior points have equal crowding.
+	if math.Abs(d[1]-d[2]) > 1e-12 || math.Abs(d[2]-d[3]) > 1e-12 {
+		t.Fatalf("even spacing should give equal interior crowding: %v", d)
+	}
+}
+
+func TestCrowdingSmallFronts(t *testing.T) {
+	pts := []Point{{Obj: []float64{1, 2}}, {Obj: []float64{2, 1}}}
+	d := Crowding(pts, []int{0, 1})
+	if !math.IsInf(d[0], 1) || !math.IsInf(d[1], 1) {
+		t.Fatal("fronts of size <= 2 are all-boundary")
+	}
+	if got := Crowding(pts, nil); len(got) != 0 {
+		t.Fatal("empty front should give empty result")
+	}
+}
+
+func TestCrowdingDenserIsSmaller(t *testing.T) {
+	// Point 1 is crowded (close neighbours); point 3 has wide gaps.
+	pts := []Point{
+		{Obj: []float64{0.00, 1.00}},
+		{Obj: []float64{0.05, 0.95}},
+		{Obj: []float64{0.10, 0.90}},
+		{Obj: []float64{0.60, 0.40}},
+		{Obj: []float64{1.00, 0.00}},
+	}
+	d := Crowding(pts, []int{0, 1, 2, 3, 4})
+	if d[1] >= d[3] {
+		t.Fatalf("crowded point should score lower: d1=%g d3=%g", d[1], d[3])
+	}
+}
+
+func TestNondominatedPlain(t *testing.T) {
+	objs := [][]float64{{1, 5}, {2, 2}, {3, 3}, {5, 1}}
+	nd := NondominatedPlain(objs)
+	want := map[int]bool{0: true, 1: true, 3: true}
+	if len(nd) != 3 {
+		t.Fatalf("nd = %v", nd)
+	}
+	for _, i := range nd {
+		if !want[i] {
+			t.Fatalf("unexpected nondominated index %d", i)
+		}
+	}
+}
+
+func TestCrowdedComparison(t *testing.T) {
+	if !Crowded(0, 1, 1, 99) {
+		t.Error("lower rank must win regardless of crowding")
+	}
+	if !Crowded(2, 5, 2, 3) {
+		t.Error("same rank: larger crowding wins")
+	}
+	if Crowded(2, 3, 2, 3) {
+		t.Error("identical pairs: not preferred")
+	}
+}
+
+func TestSortFrontsEmpty(t *testing.T) {
+	if fronts := SortFronts(nil); fronts != nil {
+		t.Fatalf("expected nil fronts for empty input, got %v", fronts)
+	}
+}

@@ -1,0 +1,245 @@
+// Package plot renders the experiment outputs: CSV files (one per figure,
+// consumable by gnuplot/matplotlib) and terminal ASCII charts so every
+// paper figure can be eyeballed straight from the CLI without a plotting
+// stack.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Series is one named point set.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// markers cycles per series in ASCII charts.
+var markers = []byte{'x', 'o', '+', '*', '#', '@', '%', '&'}
+
+// WriteCSV writes a header plus numeric rows.
+func WriteCSV(path string, header []string, rows [][]float64) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var b strings.Builder
+	b.WriteString(strings.Join(header, ","))
+	b.WriteByte('\n')
+	for _, row := range rows {
+		for i, v := range row {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.FormatFloat(v, 'g', 10, 64))
+		}
+		b.WriteByte('\n')
+	}
+	_, err = f.WriteString(b.String())
+	return err
+}
+
+// WriteSeriesCSV writes long-form rows: series,x,y.
+func WriteSeriesCSV(path string, series []Series) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var b strings.Builder
+	b.WriteString("series,x,y\n")
+	for _, s := range series {
+		for i := range s.X {
+			fmt.Fprintf(&b, "%s,%s,%s\n", s.Name,
+				strconv.FormatFloat(s.X[i], 'g', 10, 64),
+				strconv.FormatFloat(s.Y[i], 'g', 10, 64))
+		}
+	}
+	_, err = f.WriteString(b.String())
+	return err
+}
+
+// Chart holds ASCII rendering options.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot area columns (default 64)
+	Height int // plot area rows (default 20)
+	// Connect draws crude line interpolation between consecutive points of
+	// each series (for trend charts); scatter otherwise.
+	Connect bool
+}
+
+// Render draws the series onto w as an ASCII chart with axes, ticks and a
+// legend.
+func (c Chart) Render(w io.Writer, series []Series) {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 20
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if math.IsInf(xmin, 1) { // no data
+		fmt.Fprintf(w, "%s\n  (no data)\n", c.Title)
+		return
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// Pad the y range slightly so extremes don't sit on the frame.
+	pad := 0.03 * (ymax - ymin)
+	ymin -= pad
+	ymax += pad
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	toCol := func(x float64) int {
+		col := int((x - xmin) / (xmax - xmin) * float64(width-1))
+		return clampInt(col, 0, width-1)
+	}
+	toRow := func(y float64) int {
+		row := int((ymax - y) / (ymax - ymin) * float64(height-1))
+		return clampInt(row, 0, height-1)
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		if c.Connect && len(s.X) > 1 {
+			idx := make([]int, len(s.X))
+			for i := range idx {
+				idx[i] = i
+			}
+			sort.SliceStable(idx, func(a, b int) bool { return s.X[idx[a]] < s.X[idx[b]] })
+			for k := 1; k < len(idx); k++ {
+				x0, y0 := s.X[idx[k-1]], s.Y[idx[k-1]]
+				x1, y1 := s.X[idx[k]], s.Y[idx[k]]
+				steps := abs(toCol(x1)-toCol(x0)) + abs(toRow(y1)-toRow(y0)) + 1
+				for t := 0; t <= steps; t++ {
+					f := float64(t) / float64(steps)
+					grid[toRow(y0+f*(y1-y0))][toCol(x0+f*(x1-x0))] = m
+				}
+			}
+		}
+		for i := range s.X {
+			grid[toRow(s.Y[i])][toCol(s.X[i])] = m
+		}
+	}
+
+	if c.Title != "" {
+		fmt.Fprintf(w, "%s\n", c.Title)
+	}
+	yloT := trimFloat(ymax)
+	yloB := trimFloat(ymin)
+	labW := max(len(yloT), len(yloB))
+	for r := 0; r < height; r++ {
+		label := strings.Repeat(" ", labW)
+		switch r {
+		case 0:
+			label = padLeft(yloT, labW)
+		case height - 1:
+			label = padLeft(yloB, labW)
+		case height / 2:
+			if c.YLabel != "" {
+				lbl := c.YLabel
+				if len(lbl) > labW {
+					lbl = lbl[:labW]
+				}
+				label = padLeft(lbl, labW)
+			}
+		}
+		fmt.Fprintf(w, "%s |%s|\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(w, "%s +%s+\n", strings.Repeat(" ", labW), strings.Repeat("-", width))
+	xlo := trimFloat(xmin)
+	xhi := trimFloat(xmax)
+	gap := width - len(xlo) - len(xhi)
+	if gap < 1 {
+		gap = 1
+	}
+	fmt.Fprintf(w, "%s %s%s%s  %s\n", strings.Repeat(" ", labW), xlo,
+		strings.Repeat(" ", gap), xhi, c.XLabel)
+	var leg []string
+	for si, s := range series {
+		leg = append(leg, fmt.Sprintf("%c=%s", markers[si%len(markers)], s.Name))
+	}
+	fmt.Fprintf(w, "%s legend: %s\n", strings.Repeat(" ", labW), strings.Join(leg, "  "))
+}
+
+// RenderToFile renders the chart into a text file.
+func (c Chart) RenderToFile(path string, series []Series) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	c.Render(f, series)
+	return nil
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func padLeft(s string, w int) string {
+	for len(s) < w {
+		s = " " + s
+	}
+	return s
+}
+
+func trimFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', 4, 64)
+}

@@ -1,0 +1,110 @@
+package plot
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sub", "out.csv")
+	err := WriteCSV(path, []string{"a", "b"}, [][]float64{{1, 2}, {3.5, -4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(data)
+	if !strings.HasPrefix(got, "a,b\n") {
+		t.Fatalf("missing header: %q", got)
+	}
+	if !strings.Contains(got, "1,2\n") || !strings.Contains(got, "3.5,-4\n") {
+		t.Fatalf("rows malformed: %q", got)
+	}
+}
+
+func TestWriteSeriesCSV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "series.csv")
+	err := WriteSeriesCSV(path, []Series{
+		{Name: "alpha", X: []float64{1, 2}, Y: []float64{3, 4}},
+		{Name: "beta", X: []float64{5}, Y: []float64{6}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	got := string(data)
+	if !strings.Contains(got, "alpha,1,3\n") || !strings.Contains(got, "beta,5,6\n") {
+		t.Fatalf("series rows malformed: %q", got)
+	}
+	if !strings.HasPrefix(got, "series,x,y\n") {
+		t.Fatal("missing header")
+	}
+}
+
+func TestRenderContainsMarkersAndLegend(t *testing.T) {
+	var b strings.Builder
+	ch := Chart{Title: "demo", XLabel: "load", YLabel: "pw", Width: 40, Height: 10}
+	ch.Render(&b, []Series{
+		{Name: "one", X: []float64{0, 1, 2}, Y: []float64{0, 1, 4}},
+		{Name: "two", X: []float64{0, 1, 2}, Y: []float64{4, 1, 0}},
+	})
+	out := b.String()
+	if !strings.Contains(out, "demo") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "x=one") || !strings.Contains(out, "o=two") {
+		t.Fatalf("missing legend: %s", out)
+	}
+	if !strings.Contains(out, "x") || !strings.Contains(out, "o") {
+		t.Fatal("missing markers")
+	}
+	if !strings.Contains(out, "load") {
+		t.Fatal("missing x label")
+	}
+}
+
+func TestRenderEmptySeries(t *testing.T) {
+	var b strings.Builder
+	Chart{Title: "empty"}.Render(&b, nil)
+	if !strings.Contains(b.String(), "no data") {
+		t.Fatal("empty input should say so")
+	}
+}
+
+func TestRenderDegenerateRanges(t *testing.T) {
+	var b strings.Builder
+	// Single point: x and y ranges are zero-width; must not panic or
+	// divide by zero.
+	Chart{Width: 20, Height: 5}.Render(&b, []Series{{Name: "pt", X: []float64{1}, Y: []float64{1}}})
+	if !strings.Contains(b.String(), "x") {
+		t.Fatal("single point should still be plotted")
+	}
+}
+
+func TestRenderConnectDrawsLines(t *testing.T) {
+	var scatter, line strings.Builder
+	s := []Series{{Name: "s", X: []float64{0, 10}, Y: []float64{0, 10}}}
+	Chart{Width: 30, Height: 10}.Render(&scatter, s)
+	Chart{Width: 30, Height: 10, Connect: true}.Render(&line, s)
+	if strings.Count(line.String(), "x") <= strings.Count(scatter.String(), "x") {
+		t.Fatal("Connect should paint strictly more cells")
+	}
+}
+
+func TestRenderToFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "chart.txt")
+	err := Chart{Title: "f"}.RenderToFile(path, []Series{{Name: "s", X: []float64{1}, Y: []float64{2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal("file not written")
+	}
+}

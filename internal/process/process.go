@@ -1,0 +1,307 @@
+// Package process carries the 0.18 µm CMOS technology description used by
+// the device and circuit models: per-polarity device parameters for the
+// paper's eqn. (1) MOSFET model, parasitic capacitance coefficients,
+// capacitor technology, Pelgrom mismatch coefficients, and the five
+// manufacturing corners the paper's matching constraints sweep.
+//
+// The numbers are a representative published 0.18 µm / 1.8 V parameter set,
+// not a foundry deck (see DESIGN.md §2 — substitution table): the optimizer
+// only observes circuit performance through the analytic equations, so any
+// self-consistent set of this class exercises identical code paths.
+package process
+
+import (
+	"fmt"
+	"math"
+)
+
+// Polarity distinguishes NMOS from PMOS devices.
+type Polarity int
+
+// Device polarities.
+const (
+	NMOS Polarity = iota
+	PMOS
+)
+
+func (p Polarity) String() string {
+	if p == NMOS {
+		return "nmos"
+	}
+	return "pmos"
+}
+
+// Corner identifies a manufacturing process corner. The first letter is the
+// NMOS speed, the second the PMOS speed.
+type Corner int
+
+// The five standard digital-CMOS corners.
+const (
+	TT Corner = iota // typical/typical
+	FF               // fast/fast
+	SS               // slow/slow
+	FS               // fast NMOS / slow PMOS
+	SF               // slow NMOS / fast PMOS
+)
+
+// Corners returns all five corners, TT first.
+func Corners() []Corner { return []Corner{TT, FF, SS, FS, SF} }
+
+func (c Corner) String() string {
+	switch c {
+	case TT:
+		return "tt"
+	case FF:
+		return "ff"
+	case SS:
+		return "ss"
+	case FS:
+		return "fs"
+	case SF:
+		return "sf"
+	}
+	return fmt.Sprintf("corner(%d)", int(c))
+}
+
+// Device holds the per-polarity parameters of the paper's eqn. (1) model
+// plus the parasitic and mismatch coefficients the circuit models need.
+// All quantities are SI.
+type Device struct {
+	Polarity Polarity
+	// VT0 is the zero-bias threshold voltage magnitude (V).
+	VT0 float64
+	// KP is the transconductance parameter µ·Cox (A/V²).
+	KP float64
+	// LambdaL is the channel-length-modulation coefficient normalized by
+	// length: λ = LambdaL / L, with L in metres (so LambdaL is in m/V).
+	LambdaL float64
+	// Esat is the velocity-saturation critical field (V/m); the
+	// velocity-saturation factor in eqn. (1) uses Esat·L.
+	Esat float64
+	// Theta1, Theta2 and VK are the mobility-degradation fitting parameters
+	// of eqn. (1); NExp is the exponent n (1 for NMOS, 2 for PMOS).
+	Theta1 float64
+	Theta2 float64
+	VK     float64
+	NExp   float64
+	// Gamma is the body-effect coefficient (V^0.5) and Phi the surface
+	// potential 2φF (V).
+	Gamma float64
+	Phi   float64
+	// Cox is the gate oxide capacitance per area (F/m²).
+	Cox float64
+	// CGDO is the gate-drain/source overlap capacitance per width (F/m).
+	CGDO float64
+	// CJ is the zero-bias junction capacitance per area (F/m²), CJSW per
+	// sidewall length (F/m). LDiff is the drain/source diffusion length (m)
+	// used to estimate junction areas.
+	CJ    float64
+	CJSW  float64
+	LDiff float64
+	// AVT is the Pelgrom threshold-mismatch coefficient (V·m): σ(ΔVT) =
+	// AVT/sqrt(W·L). ABeta is the current-factor mismatch coefficient
+	// (m, fractional): σ(Δβ/β) = ABeta/sqrt(W·L).
+	AVT   float64
+	ABeta float64
+	// NoiseGamma is the channel thermal-noise excess factor γ (≈2/3 long
+	// channel, ~1 short channel).
+	NoiseGamma float64
+	// KF is the flicker-noise coefficient (V²·F): the gate-referred 1/f
+	// PSD is Sv(f) = KF/(Cox·W·L·f).
+	KF float64
+}
+
+// Tech is a complete technology description at one corner.
+type Tech struct {
+	// Name labels the technology and corner.
+	Name string
+	// Corner is the manufacturing corner this instance describes.
+	Corner Corner
+	// VDD is the nominal supply (V); Temp the junction temperature (K).
+	VDD  float64
+	Temp float64
+	// Lmin is the minimum drawn channel length (m).
+	Lmin float64
+	// NMOSDev and PMOSDev are the two device parameter sets.
+	NMOSDev Device
+	PMOSDev Device
+	// CapDensity is the integrated (MiM/poly-poly) capacitor density
+	// (F/m²); CapBottomPlate the bottom-plate parasitic as a fraction of
+	// the main capacitance (the paper's "bottom-plate parasitic
+	// capacitances of standard integrated capacitors").
+	CapDensity     float64
+	CapBottomPlate float64
+	// CapSigmaA is the capacitor matching coefficient: σ(ΔC/C) =
+	// CapSigmaA/sqrt(C/1fF) (fraction).
+	CapSigmaA float64
+}
+
+// Device returns the parameter set for the given polarity.
+func (t *Tech) Device(p Polarity) *Device {
+	if p == NMOS {
+		return &t.NMOSDev
+	}
+	return &t.PMOSDev
+}
+
+// Boltzmann constant (J/K).
+const KBoltzmann = 1.380649e-23
+
+// KT returns k·T for the technology temperature.
+func (t *Tech) KT() float64 { return KBoltzmann * t.Temp }
+
+// Default018 returns the typical-corner 0.18 µm, 1.8 V technology used for
+// every experiment in this repository.
+func Default018() Tech {
+	return Tech{
+		Name:   "generic018",
+		Corner: TT,
+		VDD:    1.8,
+		Temp:   300.15,
+		Lmin:   0.18e-6,
+		NMOSDev: Device{
+			Polarity:   NMOS,
+			VT0:        0.45,
+			KP:         300e-6,
+			LambdaL:    0.020e-6, // λ = 0.11 V^-1 at L=0.18µm
+			Esat:       5.0e6,
+			Theta1:     0.30,
+			Theta2:     0.06,
+			VK:         0.25,
+			NExp:       1,
+			Gamma:      0.45,
+			Phi:        0.85,
+			Cox:        8.5e-3,
+			CGDO:       3.7e-10,
+			CJ:         1.0e-3,
+			CJSW:       2.0e-10,
+			LDiff:      0.5e-6,
+			AVT:        4.0e-9, // 4 mV·µm
+			ABeta:      1.0e-8, // 1 %·µm
+			NoiseGamma: 1.0,
+			KF:         2.5e-25,
+		},
+		PMOSDev: Device{
+			Polarity:   PMOS,
+			VT0:        0.45,
+			KP:         70e-6,
+			LambdaL:    0.024e-6,
+			Esat:       14.0e6, // holes saturate at higher field
+			Theta1:     0.25,
+			Theta2:     0.05,
+			VK:         0.25,
+			NExp:       2,
+			Gamma:      0.40,
+			Phi:        0.80,
+			Cox:        8.5e-3,
+			CGDO:       3.3e-10,
+			CJ:         1.1e-3,
+			CJSW:       2.2e-10,
+			LDiff:      0.5e-6,
+			AVT:        4.5e-9,
+			ABeta:      1.2e-8,
+			NoiseGamma: 1.0,
+			KF:         1.0e-25, // buried-channel PMOS: ~4x quieter 1/f
+		},
+		CapDensity:     1.0e-3, // 1 fF/µm²
+		CapBottomPlate: 0.12,
+		CapSigmaA:      0.0015,
+	}
+}
+
+// Corner parameter shifts. Fast devices: lower VT, higher mobility; slow the
+// opposite. These magnitudes (±12 % KP, ±40 mV VT, ∓8 % Cox correlated with
+// speed) are conventional digital-CMOS corner spreads.
+const (
+	cornerDVT  = 0.040
+	cornerDKP  = 0.12
+	cornerDCox = 0.05
+)
+
+func shiftDevice(d Device, fast bool) Device {
+	if fast {
+		d.VT0 -= cornerDVT
+		d.KP *= 1 + cornerDKP
+		d.Cox *= 1 + cornerDCox
+	} else {
+		d.VT0 += cornerDVT
+		d.KP *= 1 - cornerDKP
+		d.Cox *= 1 - cornerDCox
+	}
+	return d
+}
+
+// AtCorner returns a copy of the typical technology shifted to corner c.
+// Capacitor density shifts ±8 % on FF/SS (correlated dielectric thickness).
+func (t Tech) AtCorner(c Corner) Tech {
+	out := t
+	out.Corner = c
+	out.Name = t.Name + "-" + c.String()
+	switch c {
+	case TT:
+	case FF:
+		out.NMOSDev = shiftDevice(t.NMOSDev, true)
+		out.PMOSDev = shiftDevice(t.PMOSDev, true)
+		out.CapDensity *= 1.08
+	case SS:
+		out.NMOSDev = shiftDevice(t.NMOSDev, false)
+		out.PMOSDev = shiftDevice(t.PMOSDev, false)
+		out.CapDensity *= 0.92
+	case FS:
+		out.NMOSDev = shiftDevice(t.NMOSDev, true)
+		out.PMOSDev = shiftDevice(t.PMOSDev, false)
+	case SF:
+		out.NMOSDev = shiftDevice(t.NMOSDev, false)
+		out.PMOSDev = shiftDevice(t.PMOSDev, true)
+	}
+	return out
+}
+
+// Perturb returns a copy of the technology with device parameters shifted
+// by z-scored deviations — the statistical counterpart of AtCorner used by
+// the Monte-Carlo robustness estimator. z has four or five entries: NMOS
+// VT, NMOS KP, PMOS VT, PMOS KP and (optionally) capacitor density, each in
+// units of the corner sigma (one corner spread ≈ 3σ).
+func (t Tech) Perturb(z []float64) Tech {
+	out := t
+	out.Name = t.Name + "-mc"
+	sVT := cornerDVT / 3
+	sKP := cornerDKP / 3
+	out.NMOSDev.VT0 += z[0] * sVT
+	out.NMOSDev.KP *= 1 + z[1]*sKP
+	out.PMOSDev.VT0 += z[2] * sVT
+	out.PMOSDev.KP *= 1 + z[3]*sKP
+	if len(z) > 4 {
+		out.CapDensity *= 1 + z[4]*(0.08/3)
+	}
+	return out
+}
+
+// MismatchSigmaVT returns the Pelgrom σ(ΔVT) for a device of the given
+// geometry (W, L in metres).
+func (d *Device) MismatchSigmaVT(w, l float64) float64 {
+	return d.AVT / sqrtWL(w, l)
+}
+
+// MismatchSigmaBeta returns the fractional current-factor mismatch σ(Δβ/β).
+func (d *Device) MismatchSigmaBeta(w, l float64) float64 {
+	return d.ABeta / sqrtWL(w, l)
+}
+
+func sqrtWL(w, l float64) float64 {
+	a := w * l
+	if a <= 0 {
+		return 1e-12
+	}
+	return math.Sqrt(a)
+}
+
+// CapArea returns the layout area (m²) of an integrated capacitor of value
+// c (F).
+func (t *Tech) CapArea(c float64) float64 { return c / t.CapDensity }
+
+// CapBottomParasitic returns the bottom-plate parasitic capacitance of an
+// integrated capacitor of value c.
+func (t *Tech) CapBottomParasitic(c float64) float64 {
+	return c * t.CapBottomPlate
+}

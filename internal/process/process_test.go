@@ -1,0 +1,142 @@
+package process
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefault018Sanity(t *testing.T) {
+	tech := Default018()
+	if tech.VDD != 1.8 {
+		t.Fatalf("VDD = %g", tech.VDD)
+	}
+	if tech.Lmin != 0.18e-6 {
+		t.Fatalf("Lmin = %g", tech.Lmin)
+	}
+	if tech.NMOSDev.KP <= tech.PMOSDev.KP {
+		t.Fatal("electron mobility must exceed hole mobility")
+	}
+	if tech.NMOSDev.NExp != 1 || tech.PMOSDev.NExp != 2 {
+		t.Fatal("paper eqn (1): n=1 for NMOS, n=2 for PMOS")
+	}
+	if tech.KT() <= 0 {
+		t.Fatal("kT must be positive")
+	}
+}
+
+func TestDeviceAccessor(t *testing.T) {
+	tech := Default018()
+	if tech.Device(NMOS) != &tech.NMOSDev || tech.Device(PMOS) != &tech.PMOSDev {
+		t.Fatal("Device accessor returns wrong pointers")
+	}
+	if NMOS.String() != "nmos" || PMOS.String() != "pmos" {
+		t.Fatal("polarity labels")
+	}
+}
+
+func TestCornersComplete(t *testing.T) {
+	cs := Corners()
+	if len(cs) != 5 || cs[0] != TT {
+		t.Fatalf("corners = %v", cs)
+	}
+	seen := map[string]bool{}
+	for _, c := range cs {
+		if seen[c.String()] {
+			t.Fatalf("duplicate corner %v", c)
+		}
+		seen[c.String()] = true
+	}
+}
+
+func TestCornerShiftDirections(t *testing.T) {
+	tt := Default018()
+	ff := tt.AtCorner(FF)
+	ss := tt.AtCorner(SS)
+	if !(ff.NMOSDev.VT0 < tt.NMOSDev.VT0 && ss.NMOSDev.VT0 > tt.NMOSDev.VT0) {
+		t.Fatal("fast corner must lower VT, slow must raise it")
+	}
+	if !(ff.NMOSDev.KP > tt.NMOSDev.KP && ss.NMOSDev.KP < tt.NMOSDev.KP) {
+		t.Fatal("fast corner must raise KP, slow must lower it")
+	}
+	if !(ff.CapDensity > tt.CapDensity && ss.CapDensity < tt.CapDensity) {
+		t.Fatal("cap density tracks FF/SS")
+	}
+	fs := tt.AtCorner(FS)
+	if !(fs.NMOSDev.VT0 < tt.NMOSDev.VT0 && fs.PMOSDev.VT0 > tt.PMOSDev.VT0) {
+		t.Fatal("FS: fast NMOS, slow PMOS")
+	}
+	sf := tt.AtCorner(SF)
+	if !(sf.NMOSDev.VT0 > tt.NMOSDev.VT0 && sf.PMOSDev.VT0 < tt.PMOSDev.VT0) {
+		t.Fatal("SF: slow NMOS, fast PMOS")
+	}
+	if tt.AtCorner(TT).NMOSDev.VT0 != tt.NMOSDev.VT0 {
+		t.Fatal("TT corner must be identity")
+	}
+}
+
+func TestAtCornerDoesNotMutateOriginal(t *testing.T) {
+	tt := Default018()
+	vt0 := tt.NMOSDev.VT0
+	_ = tt.AtCorner(FF)
+	if tt.NMOSDev.VT0 != vt0 {
+		t.Fatal("AtCorner mutated the receiver")
+	}
+}
+
+func TestPerturbDirections(t *testing.T) {
+	tt := Default018()
+	up := tt.Perturb([]float64{3, 3, 3, 3, 3})
+	if !(up.NMOSDev.VT0 > tt.NMOSDev.VT0 && up.NMOSDev.KP > tt.NMOSDev.KP) {
+		t.Fatal("positive z must raise VT and KP")
+	}
+	if up.CapDensity <= tt.CapDensity {
+		t.Fatal("5th z entry must shift cap density")
+	}
+	four := tt.Perturb([]float64{1, 1, 1, 1})
+	if four.CapDensity != tt.CapDensity {
+		t.Fatal("4-entry z must leave cap density untouched")
+	}
+	// 3σ corresponds to one corner spread.
+	ff := tt.AtCorner(FF)
+	z3 := tt.Perturb([]float64{-3, 3, -3, 3})
+	if math.Abs(z3.NMOSDev.VT0-ff.NMOSDev.VT0) > 1e-12 {
+		t.Fatalf("3σ perturbation should reach the corner: %g vs %g",
+			z3.NMOSDev.VT0, ff.NMOSDev.VT0)
+	}
+}
+
+func TestMismatchScalesInverselyWithArea(t *testing.T) {
+	d := Default018().NMOSDev
+	small := d.MismatchSigmaVT(1e-6, 1e-6)
+	big := d.MismatchSigmaVT(4e-6, 4e-6)
+	if math.Abs(small/big-4) > 1e-9 {
+		t.Fatalf("Pelgrom: 16x area should quarter sigma: %g vs %g", small, big)
+	}
+	if d.MismatchSigmaBeta(1e-6, 1e-6) <= d.MismatchSigmaBeta(2e-6, 2e-6) {
+		t.Fatal("beta mismatch must shrink with area")
+	}
+	if d.MismatchSigmaVT(0, 1e-6) <= 0 {
+		t.Fatal("degenerate geometry must not panic or return <= 0")
+	}
+}
+
+func TestCapHelpers(t *testing.T) {
+	tech := Default018()
+	c := 1e-12
+	if a := tech.CapArea(c); math.Abs(a-1e-9) > 1e-15 {
+		t.Fatalf("1 pF at 1 fF/µm² should be 1000 µm² = 1e-9 m², got %g", a)
+	}
+	if bp := tech.CapBottomParasitic(c); math.Abs(bp-0.12e-12) > 1e-18 {
+		t.Fatalf("bottom plate = %g", bp)
+	}
+}
+
+func TestCornerString(t *testing.T) {
+	if TT.String() != "tt" || FF.String() != "ff" || SS.String() != "ss" ||
+		FS.String() != "fs" || SF.String() != "sf" {
+		t.Fatal("corner names")
+	}
+	if Corner(99).String() == "" {
+		t.Fatal("unknown corner should still format")
+	}
+}

@@ -1,0 +1,175 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("streams with identical seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDeriveIndependence(t *testing.T) {
+	a := Derive(7, "ga")
+	b := Derive(7, "yield")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("derived streams with different labels look correlated: %d/100 equal draws", same)
+	}
+}
+
+func TestDeriveStable(t *testing.T) {
+	x := Derive(123, "component").Float64()
+	y := Derive(123, "component").Float64()
+	if x != y {
+		t.Fatal("Derive is not a pure function of (seed,label)")
+	}
+	if Derive(123, "a").Float64() == Derive(124, "a").Float64() {
+		t.Fatal("different master seeds should give different streams")
+	}
+}
+
+func TestDeriveN(t *testing.T) {
+	if DeriveN(1, "run", 0).Float64() == DeriveN(1, "run", 1).Float64() {
+		t.Fatal("DeriveN should vary with n")
+	}
+	a := DeriveN(1, "run", 5).Float64()
+	b := DeriveN(1, "run", 5).Float64()
+	if a != b {
+		t.Fatal("DeriveN not deterministic")
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 10000; i++ {
+		v := s.Uniform(-3, 7)
+		if v < -3 || v >= 7 {
+			t.Fatalf("Uniform(-3,7) out of range: %g", v)
+		}
+	}
+}
+
+func TestLatinHypercubeStratification(t *testing.T) {
+	s := New(9)
+	const n, dim = 16, 4
+	cube := s.LatinHypercube(n, dim)
+	if len(cube) != n {
+		t.Fatalf("got %d rows, want %d", len(cube), n)
+	}
+	for d := 0; d < dim; d++ {
+		seen := make([]bool, n)
+		for i := 0; i < n; i++ {
+			v := cube[i][d]
+			if v < 0 || v >= 1 {
+				t.Fatalf("sample out of [0,1): %g", v)
+			}
+			k := int(v * n)
+			if seen[k] {
+				t.Fatalf("dimension %d: stratum %d hit twice — not a Latin hypercube", d, k)
+			}
+			seen[k] = true
+		}
+	}
+}
+
+func TestLatinHypercubeDegenerate(t *testing.T) {
+	s := New(2)
+	if got := s.LatinHypercube(0, 3); got != nil {
+		t.Fatalf("LatinHypercube(0,3) = %v, want nil", got)
+	}
+	if got := s.LatinHypercube(3, 0); got != nil {
+		t.Fatalf("LatinHypercube(3,0) = %v, want nil", got)
+	}
+}
+
+func TestLatinHypercubeGaussMeanAndSpread(t *testing.T) {
+	s := New(3)
+	rows := s.LatinHypercubeGauss(4096, 1)
+	sum, sum2 := 0.0, 0.0
+	for _, r := range rows {
+		sum += r[0]
+		sum2 += r[0] * r[0]
+	}
+	n := float64(len(rows))
+	mean := sum / n
+	sd := math.Sqrt(sum2/n - mean*mean)
+	if math.Abs(mean) > 0.05 {
+		t.Fatalf("stratified gaussian mean %g, want ~0", mean)
+	}
+	if math.Abs(sd-1) > 0.05 {
+		t.Fatalf("stratified gaussian sd %g, want ~1", sd)
+	}
+}
+
+func TestInvNormCDFRoundTrip(t *testing.T) {
+	f := func(u float64) bool {
+		p := math.Mod(math.Abs(u), 1)
+		if p <= 0 || p >= 1 {
+			return true
+		}
+		x := InvNormCDF(p)
+		back := NormCDF(x)
+		return math.Abs(back-p) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvNormCDFKnownValues(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959964},
+		{0.025, -1.959964},
+		{0.8413447, 0.99999},
+	}
+	for _, c := range cases {
+		got := InvNormCDF(c.p)
+		if math.Abs(got-c.want) > 1e-3 {
+			t.Errorf("InvNormCDF(%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+	if !math.IsInf(InvNormCDF(0), -1) || !math.IsInf(InvNormCDF(1), 1) {
+		t.Error("InvNormCDF should be -Inf at 0 and +Inf at 1")
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := New(11)
+	n := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		if s.Bool(0.3) {
+			n++
+		}
+	}
+	frac := float64(n) / trials
+	if math.Abs(frac-0.3) > 0.02 {
+		t.Fatalf("Bool(0.3) frequency %g", frac)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(5)
+	p := s.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}

@@ -1,0 +1,52 @@
+package sacga
+
+// Grid partitions one objective axis into m equal, disjoint intervals — the
+// paper's "m equal partitions induced by the division of the range space of
+// any one of the objective functions". For the integrator problem the
+// partitioned axis is the (minimized) −CL objective, so the partitions tile
+// the 0–5 pF load range.
+type Grid struct {
+	// Objective is the index of the partitioned objective.
+	Objective int
+	// Lo and Hi bound the partitioned axis in minimized-objective units.
+	Lo, Hi float64
+	// M is the number of partitions.
+	M int
+}
+
+// NewGrid builds a grid; m < 1 is clamped to 1 and an inverted range is
+// swapped.
+func NewGrid(objective int, lo, hi float64, m int) Grid {
+	if m < 1 {
+		m = 1
+	}
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return Grid{Objective: objective, Lo: lo, Hi: hi, M: m}
+}
+
+// Index maps an objective vector to its partition in [0, M). Values outside
+// the range clamp to the edge partitions, so assignment is total.
+func (g Grid) Index(obj []float64) int {
+	if g.M <= 1 {
+		return 0
+	}
+	v := obj[g.Objective]
+	f := (v - g.Lo) / (g.Hi - g.Lo)
+	k := int(f * float64(g.M))
+	if k < 0 {
+		return 0
+	}
+	if k >= g.M {
+		return g.M - 1
+	}
+	return k
+}
+
+// Bounds returns the [lo, hi) interval of partition k on the partitioned
+// axis.
+func (g Grid) Bounds(k int) (lo, hi float64) {
+	w := (g.Hi - g.Lo) / float64(g.M)
+	return g.Lo + float64(k)*w, g.Lo + float64(k+1)*w
+}

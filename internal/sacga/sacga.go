@@ -1,0 +1,526 @@
+// Package sacga implements the paper's primary contribution: the Simulated
+// Annealing driven Competition Genetic Algorithm (SACGA) for multi-objective
+// design-space exploration, plus the pure local-competition ablation of the
+// paper's §4.3.
+//
+// The objective space is partitioned along one objective axis (package-level
+// Grid). Evolution runs in two phases (paper fig. 3):
+//
+//   - Phase I — pure LOCAL competition: non-dominated ranking only within
+//     each partition; a global mating pool is drawn by rank-based selection
+//     over the whole population; the phase ends once every partition holds
+//     a constraint-satisfying solution, or after GentMax iterations, after
+//     which partitions that never produced a feasible solution are
+//     discarded (their load range is deemed infeasible).
+//
+//   - Phase II — annealed MIXED competition: each iteration, every
+//     partition's locally-superior (local rank 0) solutions are considered
+//     in random order i = 1..mp and join the global competition with the
+//     eqn.-(3) probability, which the eqn.-(4) temperature schedule drives
+//     from ~0 (pure local) to ~1 (pure global) across Span iterations.
+//     Participants have their rank revised to the global non-domination
+//     rank; non-participants keep their local rank — the mechanism that
+//     protects weak-but-diverse regions ("a partition maintains its
+//     representation even if all its participants are dominated").
+//
+// Survival is (µ+λ) with per-partition quotas, which realizes the
+// protection structurally: each live partition retains up to
+// PopSize/#live members ranked by the revised comparison; spare capacity
+// is refilled globally. The final Pareto front is one global competition
+// over the last population, exactly as the paper reports its results.
+package sacga
+
+import (
+	"math"
+	"sort"
+
+	"sacga/internal/ga"
+	"sacga/internal/objective"
+	"sacga/internal/pareto"
+	"sacga/internal/rng"
+)
+
+// deadRankOffset pushes members of discarded partitions behind every live
+// individual in the revised-rank ordering.
+const deadRankOffset = 1 << 20
+
+// Config holds the SACGA hyperparameters.
+type Config struct {
+	// PopSize is the population size.
+	PopSize int
+	// Partitions is m, the number of equal partitions of the objective axis.
+	Partitions int
+	// PartitionObjective selects the partitioned (minimized) objective axis;
+	// PartitionLo/Hi bound it. For the integrator problem: objective 1,
+	// [−CLMax, −CLMin].
+	PartitionObjective       int
+	PartitionLo, PartitionHi float64
+	// GentMax caps phase I (pure local competition).
+	GentMax int
+	// Span is the number of phase-II iterations (the annealing length).
+	Span int
+	// N is the desired number of globally superior solutions per partition
+	// (the n of eqn. 2).
+	N int
+	// Shape are the eqn. 2–4 constants; nil selects DefaultShape(N).
+	Shape *Shape
+	// Ops are the variation operators (zero value → ga.DefaultOperators).
+	Ops ga.Operators
+	// Pressure is the linear-ranking selection pressure of the global
+	// mating pool (default 1.8).
+	Pressure float64
+	// Seed drives all randomness.
+	Seed int64
+	// Observer, when non-nil, is called after every iteration (phase I and
+	// II) with the current population.
+	Observer func(gen int, pop ga.Population)
+	// Initial seeds the population (cloned; filled up with random points).
+	Initial ga.Population
+	// Workers parallelizes objective evaluation (results are identical to
+	// sequential evaluation; <= 1 keeps the sequential path).
+	Workers int
+}
+
+// Result of a SACGA run.
+type Result struct {
+	// Final is the last population.
+	Final ga.Population
+	// Front is the globally non-dominated subset of Final (the one global
+	// competition performed at the end).
+	Front ga.Population
+	// GentUsed is the number of iterations phase I consumed.
+	GentUsed int
+	// Generations is the total number of iterations executed.
+	Generations int
+	// Live flags which partitions survived phase I.
+	Live []bool
+}
+
+func (c *Config) normalize(nobj int) {
+	if c.PopSize <= 0 {
+		c.PopSize = 100
+	}
+	if c.Partitions <= 0 {
+		c.Partitions = 8
+	}
+	if c.PartitionObjective < 0 || c.PartitionObjective >= nobj {
+		c.PartitionObjective = nobj - 1
+	}
+	if c.GentMax <= 0 {
+		c.GentMax = 200
+	}
+	if c.Span <= 0 {
+		c.Span = 600
+	}
+	if c.N <= 0 {
+		c.N = 5
+	}
+	if c.Shape == nil {
+		s := DefaultShape(c.N)
+		c.Shape = &s
+	}
+	if c.Ops == (ga.Operators{}) {
+		c.Ops = ga.DefaultOperators()
+	}
+	if c.Pressure <= 1 || c.Pressure > 2 {
+		c.Pressure = 1.8
+	}
+}
+
+// Run executes SACGA: phase I until feasibility coverage (bounded by
+// GentMax), then Span iterations of annealed mixed competition.
+func Run(prob objective.Problem, cfg Config) *Result {
+	e := NewEngine(prob, cfg)
+	gent := e.PhaseI(e.cfg.GentMax)
+	e.MarkDead()
+	e.PhaseII(e.cfg.Span)
+	return e.result(gent)
+}
+
+// RunLocalOnly is the paper's §4.3 ablation: local competition for the
+// whole budget, with one global competition at the end to extract the
+// Pareto front. Dead partitions are never discarded (there is no phase
+// boundary).
+func RunLocalOnly(prob objective.Problem, cfg Config, generations int) *Result {
+	e := NewEngine(prob, cfg)
+	for t := 0; t < generations; t++ {
+		e.iterate(t, generations, true)
+	}
+	return e.result(generations)
+}
+
+// Engine exposes SACGA's phases so MESACGA can drive them with an expanding
+// partition schedule. Construct with NewEngine; the zero value is unusable.
+type Engine struct {
+	prob objective.Problem
+	cfg  Config
+	s    *rng.Stream
+	grid Grid
+	pop  ga.Population
+	dead []bool
+	gen  int // global iteration counter (for Observer)
+}
+
+// NewEngine initializes the population and partition grid.
+func NewEngine(prob objective.Problem, cfg Config) *Engine {
+	cfg.normalize(prob.NumObjectives())
+	e := &Engine{
+		prob: prob,
+		cfg:  cfg,
+		s:    rng.Derive(cfg.Seed, "sacga"),
+	}
+	e.grid = NewGrid(cfg.PartitionObjective, cfg.PartitionLo, cfg.PartitionHi, cfg.Partitions)
+	e.dead = make([]bool, e.grid.M)
+	lo, hi := prob.Bounds()
+	e.pop = make(ga.Population, 0, cfg.PopSize)
+	for _, ind := range cfg.Initial {
+		if len(e.pop) == cfg.PopSize {
+			break
+		}
+		e.pop = append(e.pop, ind.Clone())
+	}
+	for len(e.pop) < cfg.PopSize {
+		e.pop = append(e.pop, ga.NewRandom(e.s, lo, hi))
+	}
+	e.pop.EvaluateParallel(prob, cfg.Workers)
+	e.assign(e.pop)
+	e.localRanks(e.pop)
+	return e
+}
+
+// Population returns the current population (not a copy).
+func (e *Engine) Population() ga.Population { return e.pop }
+
+// Config returns the normalized configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Grid returns the active partition grid.
+func (e *Engine) Grid() Grid { return e.grid }
+
+// Front extracts the globally non-dominated subset of the current
+// population — the paper's "Global Competition performed once on the entire
+// population".
+func (e *Engine) Front() ga.Population { return e.pop.FirstFront() }
+
+// PhaseI runs pure local competition until every partition holds a
+// feasible solution or maxIters is exhausted; it returns the iterations
+// used.
+func (e *Engine) PhaseI(maxIters int) int {
+	for t := 0; t < maxIters; t++ {
+		if e.allPartitionsFeasible() {
+			return t
+		}
+		e.iterate(t, maxIters, true)
+	}
+	return maxIters
+}
+
+// MarkDead discards partitions without a constraint-satisfying solution —
+// the paper's post-phase-I cleanup ("partitions with no
+// constraint-satisfying solutions are discarded").
+func (e *Engine) MarkDead() {
+	feas := e.feasibleByPartition()
+	for k := range e.dead {
+		e.dead[k] = !feas[k]
+	}
+	e.infeasibleFallbackCheck()
+	e.localRanks(e.pop) // refresh dead-rank offsets
+}
+
+// Regrid re-partitions the objective axis into m partitions (the MESACGA
+// phase transition), reassigns every individual and refreshes liveness:
+// a partition is live if any population member inside it is feasible OR the
+// whole population is still infeasible (no information yet).
+func (e *Engine) Regrid(m int) {
+	e.grid = NewGrid(e.cfg.PartitionObjective, e.cfg.PartitionLo, e.cfg.PartitionHi, m)
+	e.dead = make([]bool, m)
+	e.assign(e.pop)
+	if e.pop.FeasibleCount() > 0 {
+		feas := e.feasibleByPartition()
+		occupied := make([]bool, m)
+		for _, ind := range e.pop {
+			occupied[ind.Partition] = true
+		}
+		for k := range e.dead {
+			e.dead[k] = occupied[k] && !feas[k]
+		}
+		e.infeasibleFallbackCheck()
+	}
+	e.localRanks(e.pop)
+}
+
+// PhaseII runs span iterations of annealed mixed competition.
+func (e *Engine) PhaseII(span int) {
+	for t := 0; t < span; t++ {
+		e.iterate(t, span, false)
+	}
+}
+
+func (e *Engine) result(gent int) *Result {
+	live := make([]bool, len(e.dead))
+	for k, d := range e.dead {
+		live[k] = !d
+	}
+	return &Result{
+		Final:       e.pop,
+		Front:       e.Front(),
+		GentUsed:    gent,
+		Generations: e.gen,
+		Live:        live,
+	}
+}
+
+// assign writes partition indices from current objective values.
+func (e *Engine) assign(pop ga.Population) {
+	for _, ind := range pop {
+		ind.Partition = e.grid.Index(ind.Objectives)
+	}
+}
+
+func (e *Engine) feasibleByPartition() []bool {
+	feas := make([]bool, e.grid.M)
+	for _, ind := range e.pop {
+		if ind.Feasible() {
+			feas[ind.Partition] = true
+		}
+	}
+	return feas
+}
+
+func (e *Engine) allPartitionsFeasible() bool {
+	feas := e.feasibleByPartition()
+	for _, ok := range feas {
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// localRanks performs the LOCAL competition: a constrained non-dominated
+// sort within every partition, writing Rank and Crowding on each
+// individual. Members of dead partitions are additionally pushed behind
+// everything live.
+func (e *Engine) localRanks(pop ga.Population) {
+	groups := make(map[int][]int)
+	for i, ind := range pop {
+		groups[ind.Partition] = append(groups[ind.Partition], i)
+	}
+	for part, idx := range groups {
+		pts := make([]pareto.Point, len(idx))
+		for j, i := range idx {
+			pts[j] = pop[i].Point()
+		}
+		fronts := pareto.SortFronts(pts)
+		for r, front := range fronts {
+			crowd := pareto.Crowding(pts, front)
+			for j, fi := range front {
+				ind := pop[idx[fi]]
+				ind.Rank = r
+				ind.Crowding = crowd[j]
+				if part >= 0 && part < len(e.dead) && e.dead[part] {
+					ind.Rank += deadRankOffset
+				}
+			}
+		}
+	}
+}
+
+// iterate performs one SACGA iteration: variation from the current ranked
+// population, then rank revision (local sort, probabilistic global
+// participation unless pureLocal) and quota-based environmental selection
+// on the (µ+λ) union. t/span position the annealing schedule.
+func (e *Engine) iterate(t, span int, pureLocal bool) {
+	lo, hi := e.prob.Bounds()
+	cfg := &e.cfg
+
+	// Global mating pool: rank-based selection over the entire population
+	// using the current (revised) ranks; global crossover and mutation.
+	sel := ga.NewRankSelector(e.pop, cfg.Pressure)
+	children := make(ga.Population, 0, cfg.PopSize)
+	for len(children) < cfg.PopSize {
+		p1 := sel.Pick(e.s)
+		p2 := sel.Pick(e.s)
+		c1, c2 := cfg.Ops.Crossover(e.s, p1, p2, lo, hi)
+		cfg.Ops.Mutate(e.s, c1, lo, hi)
+		cfg.Ops.Mutate(e.s, c2, lo, hi)
+		children = append(children, c1)
+		if len(children) < cfg.PopSize {
+			children = append(children, c2)
+		}
+	}
+	children.EvaluateParallel(e.prob, cfg.Workers)
+
+	union := make(ga.Population, 0, len(e.pop)+len(children))
+	union = append(union, e.pop...)
+	union = append(union, children...)
+	e.assign(union)
+	e.localRanks(union)
+
+	if !pureLocal {
+		e.reviseRanks(union, t, span)
+	}
+
+	e.pop = e.environmentalSelect(union)
+	for _, ind := range e.pop {
+		ind.Age++
+	}
+	e.gen++
+	if cfg.Observer != nil {
+		cfg.Observer(e.gen, e.pop)
+	}
+}
+
+// reviseRanks implements the probabilistic global competition: each live
+// partition's locally-superior solutions are visited in a random order
+// i = 1..mp and join with probability eqn. (3); participants' ranks (and
+// crowding) are replaced by their global values.
+func (e *Engine) reviseRanks(union ga.Population, t, span int) {
+	cfg := &e.cfg
+	perPartition := make(map[int][]int)
+	for i, ind := range union {
+		if ind.Rank == 0 { // locally superior, live partitions only
+			perPartition[ind.Partition] = append(perPartition[ind.Partition], i)
+		}
+	}
+	var participants []int
+	// Visit partitions in index order: map iteration order would leak
+	// nondeterminism into the shuffle stream.
+	for k := 0; k < e.grid.M; k++ {
+		idx := perPartition[k]
+		if len(idx) == 0 {
+			continue
+		}
+		e.s.Shuffle(len(idx), func(a, b int) { idx[a], idx[b] = idx[b], idx[a] })
+		for j, i := range idx {
+			p := cfg.Shape.Probability(j+1, cfg.N, t, span)
+			if e.s.Bool(p) {
+				participants = append(participants, i)
+			}
+		}
+	}
+	if len(participants) == 0 {
+		return
+	}
+	pts := make([]pareto.Point, len(participants))
+	for j, i := range participants {
+		pts[j] = union[i].Point()
+	}
+	fronts := pareto.SortFronts(pts)
+	for r, front := range fronts {
+		crowd := pareto.Crowding(pts, front)
+		for j, fi := range front {
+			ind := union[participants[fi]]
+			ind.Rank = r
+			ind.Crowding = crowd[j]
+		}
+	}
+}
+
+// environmentalSelect keeps PopSize individuals from the union: each live
+// partition retains up to its quota in revised-rank order, then spare
+// capacity is refilled from the remaining individuals globally.
+func (e *Engine) environmentalSelect(union ga.Population) ga.Population {
+	cfg := &e.cfg
+	live := 0
+	for k := 0; k < e.grid.M; k++ {
+		if k >= len(e.dead) || !e.dead[k] {
+			live++
+		}
+	}
+	if live == 0 {
+		live = 1
+	}
+	quota := cfg.PopSize / live
+	extra := cfg.PopSize % live
+
+	groups := make(map[int][]int)
+	for i, ind := range union {
+		groups[ind.Partition] = append(groups[ind.Partition], i)
+	}
+	better := func(a, b int) bool {
+		ia, ib := union[a], union[b]
+		if ia.Rank != ib.Rank {
+			return ia.Rank < ib.Rank
+		}
+		return ia.Crowding > ib.Crowding
+	}
+
+	taken := make([]bool, len(union))
+	out := make(ga.Population, 0, cfg.PopSize)
+	liveSeen := 0
+	for k := 0; k < e.grid.M; k++ {
+		idx := groups[k]
+		if len(idx) == 0 {
+			continue
+		}
+		if k < len(e.dead) && e.dead[k] {
+			continue // no quota protection for discarded partitions
+		}
+		q := quota
+		if liveSeen < extra {
+			q++
+		}
+		liveSeen++
+		sort.SliceStable(idx, func(a, b int) bool { return better(idx[a], idx[b]) })
+		for _, i := range idx[:min(q, len(idx))] {
+			out = append(out, union[i])
+			taken[i] = true
+		}
+	}
+	if len(out) < cfg.PopSize {
+		rest := make([]int, 0, len(union))
+		for i := range union {
+			if !taken[i] {
+				rest = append(rest, i)
+			}
+		}
+		sort.SliceStable(rest, func(a, b int) bool { return better(rest[a], rest[b]) })
+		for _, i := range rest {
+			if len(out) == cfg.PopSize {
+				break
+			}
+			out = append(out, union[i])
+		}
+	}
+	if len(out) > cfg.PopSize {
+		out = out[:cfg.PopSize]
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// infeasibleFallbackCheck guards against a pathological all-dead grid: if
+// every partition died in phase I the engine would otherwise starve. The
+// engine never lets that happen — MarkDead keeps at least the best
+// partition alive.
+func (e *Engine) infeasibleFallbackCheck() {
+	allDead := true
+	for _, d := range e.dead {
+		if !d {
+			allDead = false
+			break
+		}
+	}
+	if !allDead {
+		return
+	}
+	// Revive the partition holding the lowest-violation individual.
+	best := 0
+	bestVio := math.Inf(1)
+	for _, ind := range e.pop {
+		if ind.Violation < bestVio {
+			bestVio = ind.Violation
+			best = ind.Partition
+		}
+	}
+	if best >= 0 && best < len(e.dead) {
+		e.dead[best] = false
+	}
+}

@@ -1,0 +1,356 @@
+package sacga
+
+import (
+	"math"
+	"testing"
+
+	"sacga/internal/benchfn"
+	"sacga/internal/ga"
+	"sacga/internal/hypervolume"
+	"sacga/internal/objective"
+)
+
+// zdtConfig partitions ZDT1's f2 axis.
+func zdtConfig(pop, m int) Config {
+	return Config{
+		PopSize:            pop,
+		Partitions:         m,
+		PartitionObjective: 0,
+		PartitionLo:        0,
+		PartitionHi:        1,
+		GentMax:            20,
+		Span:               80,
+		Seed:               1,
+	}
+}
+
+func TestRunZDT1ProducesSpreadFront(t *testing.T) {
+	res := Run(benchfn.ZDT1(8), zdtConfig(60, 6))
+	if len(res.Front) == 0 {
+		t.Fatal("empty front")
+	}
+	// Front must be spread over most of f1's [0,1] range.
+	lo, hi := 1.0, 0.0
+	for _, ind := range res.Front {
+		f1 := ind.Objectives[0]
+		lo = math.Min(lo, f1)
+		hi = math.Max(hi, f1)
+	}
+	if hi-lo < 0.5 {
+		t.Fatalf("front extent %g too small: [%g, %g]", hi-lo, lo, hi)
+	}
+	// And reasonably converged to f2 = 1-sqrt(f1).
+	worst := 0.0
+	for _, ind := range res.Front {
+		gap := ind.Objectives[1] - (1 - math.Sqrt(ind.Objectives[0]))
+		worst = math.Max(worst, gap)
+	}
+	if worst > 0.6 {
+		t.Fatalf("front too far from optimum: worst gap %g", worst)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a := Run(benchfn.ZDT1(6), zdtConfig(30, 4))
+	b := Run(benchfn.ZDT1(6), zdtConfig(30, 4))
+	if len(a.Final) != len(b.Final) {
+		t.Fatal("sizes differ")
+	}
+	for i := range a.Final {
+		for k := range a.Final[i].X {
+			if a.Final[i].X[k] != b.Final[i].X[k] {
+				t.Fatal("same seed diverged")
+			}
+		}
+	}
+}
+
+func TestPhaseIEndsEarlyWhenFeasibleEverywhere(t *testing.T) {
+	// ZDT1 is unconstrained: every partition is "feasible" as soon as it
+	// is occupied, so phase I should terminate almost immediately.
+	res := Run(benchfn.ZDT1(6), zdtConfig(40, 4))
+	if res.GentUsed > 10 {
+		t.Fatalf("unconstrained phase I used %d iterations", res.GentUsed)
+	}
+}
+
+func TestPopulationSizeStable(t *testing.T) {
+	cfg := zdtConfig(50, 5)
+	cfg.Observer = func(gen int, pop ga.Population) {
+		if len(pop) != 50 {
+			t.Fatalf("population size drifted to %d at gen %d", len(pop), gen)
+		}
+	}
+	Run(benchfn.ZDT1(6), cfg)
+}
+
+func TestConstrainedProblemFeasibleFront(t *testing.T) {
+	cfg := Config{
+		PopSize:            40,
+		Partitions:         5,
+		PartitionObjective: 0,
+		PartitionLo:        0.1,
+		PartitionHi:        1,
+		GentMax:            30,
+		Span:               60,
+		Seed:               3,
+	}
+	res := Run(benchfn.Constr(), cfg)
+	if len(res.Front) == 0 {
+		t.Fatal("empty front")
+	}
+	for _, ind := range res.Front {
+		if !ind.Feasible() {
+			t.Fatalf("infeasible point on final front: vio=%g", ind.Violation)
+		}
+	}
+}
+
+func TestDeadPartitionsMarked(t *testing.T) {
+	// CONSTR's feasible f1 range is [0.39, 1] (f1 = x1 >= 0.39 needed for
+	// g1, g2): partitions covering f1 < 0.39 can never hold feasible
+	// points and must be discarded after phase I.
+	cfg := Config{
+		PopSize:            60,
+		Partitions:         10,
+		PartitionObjective: 0,
+		PartitionLo:        0.1,
+		PartitionHi:        1.0,
+		GentMax:            25,
+		Span:               30,
+		Seed:               5,
+	}
+	res := Run(benchfn.Constr(), cfg)
+	if len(res.Live) != 10 {
+		t.Fatalf("live flags length %d", len(res.Live))
+	}
+	// CONSTR is feasible only for f1 = x1 >= 7/18 ≈ 0.389: partition 0
+	// ([0.1, 0.19)) can never hold a feasible point and must die; the top
+	// partition ([0.91, 1.0]) is comfortably feasible and must live.
+	if res.Live[0] {
+		t.Fatal("partition 0 covers an infeasible region and should be discarded")
+	}
+	if !res.Live[9] {
+		t.Fatal("the top partition is feasible and must stay live")
+	}
+}
+
+func TestRunLocalOnlyKeepsDiversity(t *testing.T) {
+	// On ZDT benchmarks the partition-local fronts are slices of the global
+	// front, so local-only competition converges fine; its §4.3 weakness
+	// (slow global-front advancement) only manifests on the circuit
+	// problem and is demonstrated in the experiment harness. Here we check
+	// the §4.3 strength: local-only preserves spread, and mixing in global
+	// competition does not lose convergence.
+	prob := benchfn.ZDT1(8)
+	ref := hypervolume.Point2{X: 1.1, Y: 10}
+	hv := func(front ga.Population) float64 {
+		pts := make([]hypervolume.Point2, 0, len(front))
+		for _, ind := range front {
+			pts = append(pts, hypervolume.Point2{X: ind.Objectives[0], Y: ind.Objectives[1]})
+		}
+		return hypervolume.RefPoint2D(pts, ref)
+	}
+	cfg := zdtConfig(60, 6)
+	local := RunLocalOnly(prob, cfg, 100)
+	full := Run(prob, cfg)
+	if len(local.Front) == 0 {
+		t.Fatal("local-only produced empty front")
+	}
+	lo, hi := 1.0, 0.0
+	for _, ind := range local.Front {
+		lo = math.Min(lo, ind.Objectives[0])
+		hi = math.Max(hi, ind.Objectives[0])
+	}
+	if hi-lo < 0.5 {
+		t.Fatalf("local-only lost diversity: extent %g", hi-lo)
+	}
+	if hv(full.Front) < 0.95*hv(local.Front) {
+		t.Fatalf("mixed competition lost convergence: %g vs %g",
+			hv(full.Front), hv(local.Front))
+	}
+}
+
+func TestEngineRegrid(t *testing.T) {
+	e := NewEngine(benchfn.ZDT1(6), zdtConfig(40, 8))
+	if e.Grid().M != 8 {
+		t.Fatal("initial grid")
+	}
+	e.PhaseI(5)
+	e.Regrid(3)
+	if e.Grid().M != 3 {
+		t.Fatal("regrid did not take")
+	}
+	for _, ind := range e.Population() {
+		if ind.Partition < 0 || ind.Partition >= 3 {
+			t.Fatalf("individual in partition %d after regrid to 3", ind.Partition)
+		}
+	}
+	e.PhaseII(10)
+	if len(e.Population()) != 40 {
+		t.Fatalf("population size %d after regrid+phaseII", len(e.Population()))
+	}
+}
+
+func TestFrontIsGloballyNondominated(t *testing.T) {
+	res := Run(benchfn.ZDT3(8), zdtConfig(50, 5))
+	front := res.Front
+	for i := range front {
+		for j := range front {
+			if i == j {
+				continue
+			}
+			a, b := front[i].Point(), front[j].Point()
+			if dominates(a.Obj, b.Obj) && a.Vio == 0 && b.Vio == 0 {
+				t.Fatalf("front contains dominated pair: %v dominates %v", a.Obj, b.Obj)
+			}
+		}
+	}
+}
+
+func dominates(a, b []float64) bool {
+	better := false
+	for i := range a {
+		if a[i] > b[i] {
+			return false
+		}
+		if a[i] < b[i] {
+			better = true
+		}
+	}
+	return better
+}
+
+func TestConfigNormalization(t *testing.T) {
+	var cfg Config
+	cfg.normalize(2)
+	if cfg.PopSize != 100 || cfg.Partitions != 8 || cfg.N != 5 {
+		t.Fatalf("defaults: %+v", cfg)
+	}
+	if cfg.Shape == nil {
+		t.Fatal("shape must default")
+	}
+	if cfg.Pressure != 1.8 {
+		t.Fatal("pressure default")
+	}
+	// An out-of-range partition objective clamps to the last objective.
+	bad := Config{PartitionObjective: 7}
+	bad.normalize(2)
+	if bad.PartitionObjective != 1 {
+		t.Fatalf("out-of-range partition objective should clamp to 1, got %d",
+			bad.PartitionObjective)
+	}
+}
+
+func TestObserverSeesBothPhases(t *testing.T) {
+	gens := 0
+	cfg := zdtConfig(30, 4)
+	cfg.GentMax = 5
+	cfg.Span = 20
+	cfg.Observer = func(gen int, pop ga.Population) { gens = gen }
+	res := Run(benchfn.Constr(), wrapConstrRange(cfg))
+	if gens != res.Generations {
+		t.Fatalf("observer saw %d generations, result says %d", gens, res.Generations)
+	}
+	if res.Generations < 20 {
+		t.Fatalf("expected at least span iterations, got %d", res.Generations)
+	}
+}
+
+func wrapConstrRange(cfg Config) Config {
+	cfg.PartitionLo, cfg.PartitionHi = 0.1, 1.0
+	cfg.PartitionObjective = 0
+	return cfg
+}
+
+func TestInitialPopulationSeeding(t *testing.T) {
+	seedPop := make(ga.Population, 5)
+	for i := range seedPop {
+		seedPop[i] = &ga.Individual{X: []float64{0.5, 0.5, 0.5, 0.5, 0.5, 0.5}}
+	}
+	cfg := zdtConfig(20, 4)
+	cfg.Initial = seedPop
+	res := Run(benchfn.ZDT1(6), cfg)
+	if len(res.Final) != 20 {
+		t.Fatalf("final size %d", len(res.Final))
+	}
+}
+
+// degenerateProblem returns identical objectives for every input — the
+// whole population lands in one partition and every point ties.
+type degenerateProblem struct{}
+
+func (degenerateProblem) Name() string        { return "degenerate" }
+func (degenerateProblem) NumVars() int        { return 3 }
+func (degenerateProblem) NumObjectives() int  { return 2 }
+func (degenerateProblem) NumConstraints() int { return 0 }
+func (degenerateProblem) Bounds() ([]float64, []float64) {
+	return []float64{0, 0, 0}, []float64{1, 1, 1}
+}
+func (degenerateProblem) Evaluate(x []float64) objective.Result {
+	return objective.Result{Objectives: []float64{0.5, 0.5}}
+}
+
+func TestDegenerateProblemDoesNotPanic(t *testing.T) {
+	res := Run(degenerateProblem{}, zdtConfig(30, 6))
+	if len(res.Final) != 30 {
+		t.Fatalf("population size %d", len(res.Final))
+	}
+	if len(res.Front) == 0 {
+		t.Fatal("even a degenerate problem has a (single-point) front")
+	}
+}
+
+// hostileProblem is infeasible everywhere: phase I can never cover the
+// partitions, the fallback must keep at least one partition alive, and the
+// run must complete returning least-violation individuals.
+type hostileProblem struct{}
+
+func (hostileProblem) Name() string        { return "hostile" }
+func (hostileProblem) NumVars() int        { return 2 }
+func (hostileProblem) NumObjectives() int  { return 2 }
+func (hostileProblem) NumConstraints() int { return 1 }
+func (hostileProblem) Bounds() ([]float64, []float64) {
+	return []float64{0, 0}, []float64{1, 1}
+}
+func (hostileProblem) Evaluate(x []float64) objective.Result {
+	return objective.Result{
+		Objectives: []float64{x[0], x[1]},
+		Violations: []float64{1 + x[0]}, // never feasible
+	}
+}
+
+func TestFullyInfeasibleProblemSurvives(t *testing.T) {
+	cfg := zdtConfig(24, 4)
+	cfg.GentMax = 8
+	cfg.Span = 12
+	res := Run(hostileProblem{}, cfg)
+	if len(res.Final) != 24 {
+		t.Fatalf("population size %d", len(res.Final))
+	}
+	live := 0
+	for _, ok := range res.Live {
+		if ok {
+			live++
+		}
+	}
+	if live == 0 {
+		t.Fatal("the all-dead fallback must keep at least one partition alive")
+	}
+	if res.Generations != 8+12 {
+		t.Fatalf("generations %d, want 20", res.Generations)
+	}
+}
+
+func TestEvaluationBudget(t *testing.T) {
+	// Evaluations = initial pop + one offspring population per iteration.
+	cnt := objective.NewCounter(benchfn.ZDT1(6))
+	cfg := zdtConfig(30, 4)
+	cfg.GentMax = 10
+	cfg.Span = 15
+	res := Run(cnt, cfg)
+	want := int64(30 + 30*res.Generations)
+	if cnt.Count() != want {
+		t.Fatalf("evaluations = %d, want %d (gens=%d)", cnt.Count(), want, res.Generations)
+	}
+}

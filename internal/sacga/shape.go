@@ -1,0 +1,96 @@
+package sacga
+
+import "math"
+
+// Shape holds the constants of the paper's simulated-annealing-driven
+// participation formulation (eqns. 2–4):
+//
+//	c    = K1 · exp(K2 · i/(n−1))                      (eqn. 2)
+//	prob = 1 − exp(−Alpha / (c · TA))                  (eqn. 3)
+//	TA   = Tinit · exp(−K3 · ln(Tinit)/span · (gen−gent))   (eqn. 4)
+//
+// where i = 1..mp indexes a partition's locally-superior solutions in a
+// random order, n is the desired number of globally superior solutions per
+// partition, and gen−gent is the iteration within phase II. With K3 = 1 the
+// temperature cools from Tinit to exactly 1 over span iterations, as the
+// paper specifies.
+type Shape struct {
+	K1, K2, K3 float64
+	Alpha      float64
+	Tinit      float64
+}
+
+// ShapeFromTargets solves the shape constants from interpretable targets,
+// realizing the paper's remark that "the shapes of the probability curves
+// can be easily controlled by selecting the parameters k1, k2 and k3 for
+// desired values of probability at iteration gen = gent + span/2 ... and
+// gent + span":
+//
+//	p1Mid — participation probability of the best-protected slot (i=1)
+//	        halfway through phase II;
+//	pnMid — probability of slot i=n at the same midpoint;
+//	pnEnd — probability of slot i=n at the end of phase II.
+//
+// K1 is normalized to 1 (only the product with Alpha matters) and K3 to 1
+// (cool to TA=1). All three probabilities must lie in (0,1) with
+// p1Mid > pnMid.
+func ShapeFromTargets(n int, p1Mid, pnMid, pnEnd float64) Shape {
+	if n < 2 {
+		n = 2
+	}
+	a1 := -math.Log(1 - p1Mid)
+	an := -math.Log(1 - pnMid)
+	ae := -math.Log(1 - pnEnd)
+	k2 := math.Log(a1 / an)
+	cn := math.Exp(k2 * float64(n) / float64(n-1))
+	alpha := cn * ae
+	tmid := ae / an
+	return Shape{
+		K1:    1,
+		K2:    k2,
+		K3:    1,
+		Alpha: alpha,
+		Tinit: tmid * tmid,
+	}
+}
+
+// DefaultShape returns the curve family used throughout the reproduction
+// (and plotted for fig. 4): the i=1 slot reaches 50 % participation at
+// mid-span, the i=n slot 5 % at mid-span and 99 % at the end.
+func DefaultShape(n int) Shape {
+	return ShapeFromTargets(n, 0.50, 0.05, 0.99)
+}
+
+// Cost evaluates eqn. (2) for slot i (1-based) with n desired globally
+// superior solutions per partition.
+func (s Shape) Cost(i, n int) float64 {
+	den := float64(n - 1)
+	if den < 1 {
+		den = 1
+	}
+	return s.K1 * math.Exp(s.K2*float64(i)/den)
+}
+
+// Temperature evaluates the annealing schedule of eqn. (4) at phase-II
+// iteration t = gen − gent (clamped to [0, span]).
+func (s Shape) Temperature(t, span int) float64 {
+	if t < 0 {
+		t = 0
+	}
+	if span < 1 {
+		span = 1
+	}
+	if t > span {
+		t = span
+	}
+	return s.Tinit * math.Exp(-s.K3*math.Log(s.Tinit)/float64(span)*float64(t))
+}
+
+// Probability evaluates eqn. (3): the chance that the i-th locally superior
+// solution of a partition joins the global competition at phase-II
+// iteration t of span.
+func (s Shape) Probability(i, n, t, span int) float64 {
+	ta := s.Temperature(t, span)
+	c := s.Cost(i, n)
+	return 1 - math.Exp(-s.Alpha/(c*ta))
+}

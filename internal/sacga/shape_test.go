@@ -1,0 +1,186 @@
+package sacga
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTemperatureSchedule(t *testing.T) {
+	s := DefaultShape(5)
+	// TA starts at Tinit and cools to exactly 1 (K3=1), per the paper.
+	if got := s.Temperature(0, 100); math.Abs(got-s.Tinit)/s.Tinit > 1e-12 {
+		t.Fatalf("TA(0) = %g, want Tinit = %g", got, s.Tinit)
+	}
+	if got := s.Temperature(100, 100); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("TA(span) = %g, want 1", got)
+	}
+	// Monotone decreasing.
+	prev := math.Inf(1)
+	for i := 0; i <= 100; i++ {
+		ta := s.Temperature(i, 100)
+		if ta >= prev {
+			t.Fatalf("temperature not strictly decreasing at %d", i)
+		}
+		prev = ta
+	}
+	// Clamping outside the window.
+	if s.Temperature(-5, 100) != s.Temperature(0, 100) {
+		t.Fatal("t<0 should clamp")
+	}
+	if s.Temperature(200, 100) != s.Temperature(100, 100) {
+		t.Fatal("t>span should clamp")
+	}
+}
+
+func TestCostIncreasesWithSlot(t *testing.T) {
+	s := DefaultShape(5)
+	prev := 0.0
+	for i := 1; i <= 5; i++ {
+		c := s.Cost(i, 5)
+		if c <= prev {
+			t.Fatalf("cost must grow with i: c(%d)=%g", i, c)
+		}
+		prev = c
+	}
+}
+
+func TestProbabilityMonotonicity(t *testing.T) {
+	s := DefaultShape(5)
+	const span = 100
+	// In iteration: probability rises toward 1 for every slot.
+	for i := 1; i <= 5; i++ {
+		prev := -1.0
+		for tt := 0; tt <= span; tt++ {
+			p := s.Probability(i, 5, tt, span)
+			if p < prev-1e-12 {
+				t.Fatalf("prob(i=%d) not nondecreasing at t=%d", i, tt)
+			}
+			if p < 0 || p > 1 {
+				t.Fatalf("prob out of range: %g", p)
+			}
+			prev = p
+		}
+	}
+	// In slot: earlier slots always at least as likely (fig. 4 ordering).
+	for tt := 0; tt <= span; tt++ {
+		for i := 1; i < 5; i++ {
+			if s.Probability(i, 5, tt, span) < s.Probability(i+1, 5, tt, span)-1e-12 {
+				t.Fatalf("prob(i=%d) < prob(i=%d) at t=%d", i, i+1, tt)
+			}
+		}
+	}
+}
+
+func TestShapeFromTargetsHitsTargets(t *testing.T) {
+	const n, span = 5, 100
+	s := ShapeFromTargets(n, 0.5, 0.05, 0.99)
+	if got := s.Probability(1, n, span/2, span); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("p1 at mid-span = %g, want 0.5", got)
+	}
+	if got := s.Probability(n, n, span/2, span); math.Abs(got-0.05) > 1e-9 {
+		t.Fatalf("pn at mid-span = %g, want 0.05", got)
+	}
+	if got := s.Probability(n, n, span, span); math.Abs(got-0.99) > 1e-9 {
+		t.Fatalf("pn at end = %g, want 0.99", got)
+	}
+	// All slots end >= 0.99 (pure global competition in the final phase).
+	for i := 1; i <= n; i++ {
+		if s.Probability(i, n, span, span) < 0.99-1e-9 {
+			t.Fatalf("slot %d does not reach pure-global participation", i)
+		}
+	}
+}
+
+func TestShapeEarlyPhaseIsNearlyLocal(t *testing.T) {
+	s := DefaultShape(5)
+	// At t=0 every slot's participation should be small (pure local
+	// competition at the start of phase II).
+	for i := 1; i <= 5; i++ {
+		if p := s.Probability(i, 5, 0, 100); p > 0.25 {
+			t.Fatalf("slot %d participates with %g at t=0; phase start should be near-local", i, p)
+		}
+	}
+}
+
+// Property: ShapeFromTargets hits its three calibration targets for random
+// valid target triples.
+func TestShapeFromTargetsProperty(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		p1m := 0.3 + float64(a%60)/100  // 0.30 .. 0.89
+		pnm := 0.01 + float64(b%20)/100 // 0.01 .. 0.20
+		pne := 0.90 + float64(c%9)/100  // 0.90 .. 0.98
+		if pnm >= p1m {
+			return true
+		}
+		n, span := 5, 200
+		s := ShapeFromTargets(n, p1m, pnm, pne)
+		ok := math.Abs(s.Probability(1, n, span/2, span)-p1m) < 1e-6 &&
+			math.Abs(s.Probability(n, n, span/2, span)-pnm) < 1e-6 &&
+			math.Abs(s.Probability(n, n, span, span)-pne) < 1e-6
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShapeDegenerateN(t *testing.T) {
+	// n=1 must not divide by zero anywhere.
+	s := ShapeFromTargets(1, 0.5, 0.05, 0.99)
+	if p := s.Probability(1, 1, 50, 100); math.IsNaN(p) || p < 0 || p > 1 {
+		t.Fatalf("degenerate n: prob = %g", p)
+	}
+	if c := s.Cost(1, 1); math.IsNaN(c) || c <= 0 {
+		t.Fatalf("degenerate n: cost = %g", c)
+	}
+}
+
+func TestGridAssignment(t *testing.T) {
+	g := NewGrid(1, -5, -0.05, 8)
+	if g.Index([]float64{0, -5}) != 0 {
+		t.Fatal("low edge should map to partition 0")
+	}
+	if g.Index([]float64{0, -0.05}) != 7 {
+		t.Fatal("high edge should map to the last partition")
+	}
+	if g.Index([]float64{0, -99}) != 0 || g.Index([]float64{0, 99}) != 7 {
+		t.Fatal("out-of-range values must clamp")
+	}
+	// Exhaustive: assignment is total and respects bounds.
+	for k := 0; k < 8; k++ {
+		lo, hi := g.Bounds(k)
+		mid := (lo + hi) / 2
+		if got := g.Index([]float64{0, mid}); got != k {
+			t.Fatalf("midpoint of partition %d mapped to %d", k, got)
+		}
+	}
+}
+
+func TestGridDegenerate(t *testing.T) {
+	g := NewGrid(0, 5, -5, 0) // inverted range, m<1
+	if g.M != 1 || g.Lo != -5 || g.Hi != 5 {
+		t.Fatalf("normalization failed: %+v", g)
+	}
+	if g.Index([]float64{3}) != 0 {
+		t.Fatal("single partition maps everything to 0")
+	}
+}
+
+func TestGridBoundsTile(t *testing.T) {
+	g := NewGrid(0, 0, 10, 5)
+	prevHi := 0.0
+	for k := 0; k < 5; k++ {
+		lo, hi := g.Bounds(k)
+		if math.Abs(lo-prevHi) > 1e-12 {
+			t.Fatalf("partition %d does not start where %d ended", k, k-1)
+		}
+		if hi-lo <= 0 {
+			t.Fatal("zero-width partition")
+		}
+		prevHi = hi
+	}
+	if math.Abs(prevHi-10) > 1e-12 {
+		t.Fatal("partitions must tile the whole range")
+	}
+}

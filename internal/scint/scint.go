@@ -1,0 +1,263 @@
+// Package scint models the paper's example circuit: a correlated
+// double-sampling (CDS) offset-compensated switched-capacitor integrator
+// (fig. 1) built around the two-stage opamp of package opamp, the basic
+// building block of sigma-delta modulators.
+//
+// Evaluate assembles the capacitor network (sampling, feedback and offset
+// capacitors with their bottom-plate parasitics, amplifier input/output
+// parasitics and the load), derives the feedback factor and effective load,
+// and computes the circuit performances the paper constrains:
+//
+//   - ST — settling time: slewing phase plus linear settling of the
+//     closed-loop TWO-POLE response (the paper's point that including
+//     non-dominant poles makes the equations "more non-linear" than
+//     dominant-pole derivations); under-, critically- and over-damped
+//     regimes are all handled.
+//   - SE — static settling error from finite loop gain.
+//   - DR — dynamic range: achievable output swing against sampled kT/C
+//     noise (doubled by CDS) plus amplifier thermal noise, integrated over
+//     the signal band of an oversampled modulator.
+//   - OR — output voltage range (differential).
+//   - Phase margin, pole positions and damping as stability diagnostics.
+//
+// CDS cancels amplifier offset and 1/f noise, which is why the noise model
+// carries only (folded) thermal terms and the systematic offset merely eats
+// swing headroom.
+package scint
+
+import (
+	"math"
+
+	"sacga/internal/opamp"
+	"sacga/internal/process"
+)
+
+// System collects the fixed system-level context of the integrator (the
+// sigma-delta modulator it will be embedded in). These are not optimized;
+// they define the evaluation environment.
+type System struct {
+	// Gain is the integrator charge-transfer gain g = Cs/Cf.
+	Gain float64
+	// OSR is the modulator oversampling ratio (sets the in-band fraction
+	// of the sampled noise).
+	OSR float64
+	// VCM is the input/output common-mode voltage (V).
+	VCM float64
+	// StepOut is the worst-case output voltage step per clock phase (V),
+	// which sizes the slewing demand.
+	StepOut float64
+	// EpsSettle is the relative accuracy to which ST is measured.
+	EpsSettle float64
+	// CocRatio sets the CDS offset-storage capacitor as a fraction of Cs.
+	CocRatio float64
+}
+
+// DefaultSystem returns the evaluation context used throughout the
+// reproduction: gain 1/2, OSR 64, mid-supply common mode, 0.8 V worst-case
+// output steps (full-scale reference feedback in the modulator), settling
+// measured to the paper's 7·10⁻⁴ band.
+func DefaultSystem(vdd float64) System {
+	return System{
+		Gain:      0.5,
+		OSR:       64,
+		VCM:       vdd / 2,
+		StepOut:   0.8,
+		EpsSettle: 7e-4,
+		CocRatio:  0.25,
+	}
+}
+
+// Design is the integrator design point: the amplifier sizing plus the
+// sampling capacitor and the load capacitance the stage must drive.
+type Design struct {
+	Amp opamp.Sizing
+	Cs  float64 // sampling capacitor (F)
+	CL  float64 // load capacitance (F)
+}
+
+// Perf carries every circuit performance the sizing layer constrains or
+// reports.
+type Perf struct {
+	// Amp is the underlying load-independent amplifier analysis.
+	Amp opamp.Result
+
+	// Beta is the integration-phase feedback factor; CLeff the effective
+	// amplifier load during integration (F).
+	Beta  float64
+	CLeff float64
+
+	// SettleTime is ST (s): slew plus linear two-pole settling to
+	// EpsSettle. SlewTime is its slewing component.
+	SettleTime float64
+	SlewTime   float64
+	// SettleErr is the static settling error from finite loop gain.
+	SettleErr float64
+
+	// DRdB is the dynamic range (dB); NoiseOut the in-band output-referred
+	// noise power (V²); SignalPk the usable differential output amplitude.
+	DRdB     float64
+	NoiseOut float64
+	SignalPk float64
+	// FlickerInBand is the residual 1/f noise after CDS suppression,
+	// already included in NoiseOut; FlickerRawInBand is what the in-band
+	// 1/f power would have been WITHOUT the correlated double sampling —
+	// their ratio quantifies why the paper's circuit is CDS-compensated.
+	FlickerInBand    float64
+	FlickerRawInBand float64
+
+	// OutputRange is OR: the differential peak-to-peak output range (V).
+	OutputRange float64
+
+	// PhaseMarginDeg is the loop phase margin; OmegaN and Zeta the
+	// closed-loop natural frequency (rad/s) and damping; P2 and Z1 the
+	// non-dominant pole and right-half-plane zero (rad/s).
+	PhaseMarginDeg float64
+	OmegaN, Zeta   float64
+	P2, Z1         float64
+
+	// Power (W) and Area (m²) — amplifier plus capacitor bank.
+	Power float64
+	Area  float64
+
+	// WorstSatMargin is the most negative device saturation margin (V).
+	WorstSatMargin float64
+	// BiasOK is false when the amplifier bias chain did not solve.
+	BiasOK bool
+}
+
+// Evaluate computes the integrator performance at one technology corner.
+func Evaluate(t *process.Tech, d Design, sys System) Perf {
+	amp := opamp.Analyze(t, d.Amp, sys.VCM)
+	var p Perf
+	p.Amp = amp
+	p.BiasOK = amp.BiasOK
+	p.WorstSatMargin = amp.WorstSatMargin()
+
+	cf := d.Cs / sys.Gain
+	coc := sys.CocRatio * d.Cs
+
+	// Virtual-ground node capacitance: amplifier gate, sampling-cap
+	// bottom plate, offset-storage capacitor top plate.
+	cin := amp.CinGate + t.CapBottomParasitic(d.Cs) + coc
+
+	// Feedback factor during integration.
+	p.Beta = cf / (cf + d.Cs + cin)
+
+	// Effective load: external load, amplifier output parasitics,
+	// feedback-cap bottom plate, and the feedback network seen in series.
+	series := cf * (d.Cs + cin) / (cf + d.Cs + cin)
+	p.CLeff = d.CL + amp.CoutSelf + t.CapBottomParasitic(cf) + series
+
+	// Two-pole loop dynamics. Non-dominant pole with first-stage node
+	// capacitance correction; right-half-plane zero from Cc feedforward.
+	cc := amp.Cctot
+	p.P2 = amp.Gm6 * cc / (amp.C1*cc + (amp.C1+cc)*p.CLeff)
+	p.Z1 = amp.Gm6 / cc
+	wu := p.Beta * amp.GBW // loop unity-gain frequency (rad/s)
+
+	p.PhaseMarginDeg = 90 - rad2deg(math.Atan(wu/p.P2)) - rad2deg(math.Atan(wu/p.Z1))
+	p.OmegaN = math.Sqrt(wu * p.P2)
+	p.Zeta = 0.5 * math.Sqrt(p.P2/wu)
+
+	// Settling: slewing until the linear regime can take over, then the
+	// two-pole envelope decay to EpsSettle.
+	sr := math.Min(amp.SlewInternal, amp.I7/(p.CLeff+cc))
+	if sr <= 0 {
+		sr = 1 // broken designs: finite garbage instead of Inf/NaN
+	}
+	vLinear := sr / wu // output excursion the linear loop can follow
+	if sys.StepOut > vLinear {
+		p.SlewTime = (sys.StepOut - vLinear) / sr
+	}
+	p.SettleTime = p.SlewTime + linearSettleTime(p.OmegaN, p.Zeta, sys.EpsSettle)
+
+	// Static error from finite DC loop gain.
+	p.SettleErr = 1 / (1 + p.Beta*amp.A0)
+
+	// Output range: differential peak-to-peak swing, reduced by the
+	// systematic offset carried at the output.
+	vosOut := math.Abs(amp.VosSystematic) * amp.A0 * p.Beta
+	swing := math.Min(amp.SwingPos, amp.SwingNeg) - math.Min(vosOut, 0.2)
+	if swing < 0 {
+		swing = 0
+	}
+	p.OutputRange = 4 * swing // ±swing on each differential half
+	p.SignalPk = p.OutputRange / 2
+
+	// Noise: CDS doubles the sampled kT/Cs charge noise (two correlated
+	// sampling operations), transferred with gain g²; amplifier thermal
+	// noise is sampled against the effective load through the feedback
+	// factor. A first-order modulator band [0, fs/(2·OSR)] keeps 2/OSR of
+	// the folded white noise in band.
+	kt := t.KT()
+	knoise := 2 * kt / d.Cs * sys.Gain * sys.Gain * (1 + sys.CocRatio)
+	anoise := amp.NoiseGammaEff * kt / (p.Beta * p.CLeff)
+	p.NoiseOut = (knoise + anoise) * 2 / sys.OSR
+
+	// Flicker noise and its CDS suppression. CDS differentiates
+	// consecutive samples of the low-frequency noise: |H(f)|² =
+	// 4sin²(πf/fs), ≈ 4π²(f/fs)² in band. Integrating Sv = A/f against
+	// that weight over [0, fs/(2·OSR)] leaves A·π²/(2·OSR²); without CDS
+	// the same band integrates to A·ln(fb/fmin) with fmin the measurement
+	// low edge (1 Hz-equivalent decades, ln ≈ 10). Both are referred to
+	// the output through the feedback factor.
+	gainSq := 1 / (p.Beta * p.Beta)
+	p.FlickerInBand = amp.FlickerA * math.Pi * math.Pi / (2 * sys.OSR * sys.OSR) * gainSq
+	p.FlickerRawInBand = amp.FlickerA * 10 * gainSq
+	p.NoiseOut += p.FlickerInBand
+
+	psig := p.SignalPk * p.SignalPk / 2
+	if p.NoiseOut <= 0 || psig <= 0 {
+		p.DRdB = 0
+	} else {
+		p.DRdB = 10 * math.Log10(psig/p.NoiseOut)
+	}
+
+	p.Power = amp.Power
+	p.Area = amp.Area + t.CapArea(d.Cs+cf+coc)*2 // differential: two banks
+	return p
+}
+
+// linearSettleTime returns the time for the two-pole closed-loop step
+// response to remain within relative error eps, using the exact envelope of
+// each damping regime.
+func linearSettleTime(wn, zeta, eps float64) float64 {
+	if wn <= 0 || eps <= 0 {
+		return math.Inf(1)
+	}
+	switch {
+	case zeta <= 0:
+		return math.Inf(1) // undamped: never settles
+	case zeta < 0.999:
+		// Underdamped: |error| <= exp(-ζωn t)/sqrt(1-ζ²).
+		s := math.Sqrt(1 - zeta*zeta)
+		return math.Log(1/(eps*s)) / (zeta * wn)
+	case zeta < 1.001:
+		// Critically damped: error = (1+ωn t)·exp(-ωn t); invert
+		// numerically with a few Newton steps from the asymptotic guess.
+		t := math.Log(1/eps) / wn
+		for i := 0; i < 20; i++ {
+			e := (1 + wn*t) * math.Exp(-wn*t)
+			// derivative de/dt = -wn²·t·exp(-wn t)
+			de := -wn * wn * t * math.Exp(-wn*t)
+			if de == 0 {
+				break
+			}
+			t -= (e - eps) / de
+			if t < 0 {
+				t = 0
+			}
+		}
+		return t
+	default:
+		// Overdamped: error = (s2·e^{-s1 t} - s1·e^{-s2 t})/(s2-s1),
+		// bounded by its slow-pole term.
+		r := math.Sqrt(zeta*zeta - 1)
+		s1 := wn * (zeta - r) // slow pole
+		s2 := wn * (zeta + r)
+		amp := s2 / (s2 - s1)
+		return math.Log(amp/eps) / s1
+	}
+}
+
+func rad2deg(r float64) float64 { return r * 180 / math.Pi }

@@ -1,0 +1,318 @@
+package scint
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sacga/internal/opamp"
+	"sacga/internal/process"
+)
+
+const (
+	um = 1e-6
+	pf = 1e-12
+)
+
+func refDesign() Design {
+	return Design{
+		Amp: opamp.Sizing{
+			W1: 60 * um, L1: 0.5 * um,
+			W3: 20 * um, L3: 0.7 * um,
+			W5: 40 * um, L5: 0.5 * um,
+			W6: 120 * um, L6: 0.3 * um,
+			W7: 60 * um, L7: 0.4 * um,
+			Itail: 60e-6, K6: 3.0, Cc: 1.5 * pf,
+		},
+		Cs: 2.5 * pf,
+		CL: 2 * pf,
+	}
+}
+
+func evalRef(t *testing.T) Perf {
+	t.Helper()
+	tech := process.Default018()
+	p := Evaluate(&tech, refDesign(), DefaultSystem(tech.VDD))
+	if !p.BiasOK {
+		t.Fatal("reference design must bias")
+	}
+	return p
+}
+
+func TestReferencePerformancePlausible(t *testing.T) {
+	p := evalRef(t)
+	if p.Beta <= 0 || p.Beta >= 1 {
+		t.Fatalf("beta = %g", p.Beta)
+	}
+	if p.CLeff <= 2*pf {
+		t.Fatalf("CLeff = %g must exceed the bare load", p.CLeff)
+	}
+	if p.DRdB < 80 || p.DRdB > 110 {
+		t.Fatalf("DR = %g dB implausible", p.DRdB)
+	}
+	if p.SettleTime <= 0 || p.SettleTime > 1e-6 {
+		t.Fatalf("ST = %g s implausible", p.SettleTime)
+	}
+	if p.SettleErr <= 0 || p.SettleErr > 1e-2 {
+		t.Fatalf("SE = %g implausible", p.SettleErr)
+	}
+	if p.OutputRange < 0.5 || p.OutputRange > 4*1.8 {
+		t.Fatalf("OR = %g V implausible", p.OutputRange)
+	}
+	if p.PhaseMarginDeg < 20 || p.PhaseMarginDeg > 90 {
+		t.Fatalf("PM = %g deg implausible", p.PhaseMarginDeg)
+	}
+}
+
+func TestSettleIncludesSlew(t *testing.T) {
+	p := evalRef(t)
+	if p.SlewTime <= 0 {
+		t.Fatal("0.8 V step should require a slewing phase on this design")
+	}
+	if p.SettleTime <= p.SlewTime {
+		t.Fatal("total settling must exceed the slew phase")
+	}
+}
+
+func TestLargerLoadSlowsSettling(t *testing.T) {
+	tech := process.Default018()
+	sys := DefaultSystem(tech.VDD)
+	d := refDesign()
+	d.CL = 0.5 * pf
+	fast := Evaluate(&tech, d, sys)
+	d.CL = 5 * pf
+	slow := Evaluate(&tech, d, sys)
+	if slow.SettleTime <= fast.SettleTime {
+		t.Fatalf("bigger load must settle slower: %g vs %g", slow.SettleTime, fast.SettleTime)
+	}
+	if slow.PhaseMarginDeg >= fast.PhaseMarginDeg {
+		t.Fatal("bigger load must erode phase margin")
+	}
+}
+
+func TestDRWorsensAtSmallLoad(t *testing.T) {
+	// The paper's central landscape feature: the amplifier's sampled noise
+	// grows as the effective load shrinks, so DR binds at small CL.
+	tech := process.Default018()
+	sys := DefaultSystem(tech.VDD)
+	d := refDesign()
+	d.CL = 0.1 * pf
+	small := Evaluate(&tech, d, sys)
+	d.CL = 5 * pf
+	large := Evaluate(&tech, d, sys)
+	if small.DRdB >= large.DRdB {
+		t.Fatalf("DR must worsen at small load: %g vs %g dB", small.DRdB, large.DRdB)
+	}
+}
+
+func TestBiggerCsImprovesDR(t *testing.T) {
+	tech := process.Default018()
+	sys := DefaultSystem(tech.VDD)
+	d := refDesign()
+	d.Cs = 1 * pf
+	small := Evaluate(&tech, d, sys)
+	d.Cs = 6 * pf
+	big := Evaluate(&tech, d, sys)
+	if big.DRdB <= small.DRdB {
+		t.Fatalf("bigger sampling cap must improve DR: %g vs %g", big.DRdB, small.DRdB)
+	}
+}
+
+func TestStaticErrorTracksLoopGain(t *testing.T) {
+	p := evalRef(t)
+	want := 1 / (1 + p.Beta*p.Amp.A0)
+	if math.Abs(p.SettleErr-want)/want > 1e-12 {
+		t.Fatalf("SE = %g, want %g", p.SettleErr, want)
+	}
+}
+
+func TestLinearSettleTimeRegimes(t *testing.T) {
+	const wn = 1e8
+	const eps = 1e-4
+	under := linearSettleTime(wn, 0.6, eps)
+	crit := linearSettleTime(wn, 1.0, eps)
+	over := linearSettleTime(wn, 2.0, eps)
+	for _, v := range []float64{under, crit, over} {
+		if v <= 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Fatalf("settle times must be positive finite: %g %g %g", under, crit, over)
+		}
+	}
+	// Heavy overdamping is slower than critical at the same wn.
+	if over <= crit {
+		t.Fatalf("overdamped %g should exceed critically damped %g", over, crit)
+	}
+	// Near-critical continuity across the branch boundaries.
+	a := linearSettleTime(wn, 0.9985, eps)
+	b := linearSettleTime(wn, 0.9995, eps)
+	c := linearSettleTime(wn, 1.0015, eps)
+	if math.Abs(a-b)/b > 0.05 || math.Abs(c-b)/b > 0.05 {
+		t.Fatalf("regime boundary discontinuity: %g %g %g", a, b, c)
+	}
+}
+
+func TestLinearSettleTimeDegenerate(t *testing.T) {
+	if !math.IsInf(linearSettleTime(0, 0.7, 1e-4), 1) {
+		t.Fatal("zero bandwidth never settles")
+	}
+	if !math.IsInf(linearSettleTime(1e8, 0, 1e-4), 1) {
+		t.Fatal("undamped loop never settles")
+	}
+	if !math.IsInf(linearSettleTime(1e8, 0.7, 0), 1) {
+		t.Fatal("zero error band never settles")
+	}
+}
+
+// Property: settling time is monotone decreasing in the error band and
+// decreasing in bandwidth.
+func TestLinearSettleTimeMonotone(t *testing.T) {
+	f := func(a, b uint8) bool {
+		zeta := 0.2 + float64(a%180)/100 // 0.2 .. 1.99
+		e1 := math.Pow(10, -2-float64(b%4))
+		e2 := e1 / 10
+		t1 := linearSettleTime(1e8, zeta, e1)
+		t2 := linearSettleTime(1e8, zeta, e2)
+		t3 := linearSettleTime(2e8, zeta, e1)
+		return t2 > t1 && t3 < t1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultSystem(t *testing.T) {
+	sys := DefaultSystem(1.8)
+	if sys.VCM != 0.9 || sys.Gain != 0.5 || sys.OSR != 64 {
+		t.Fatalf("defaults: %+v", sys)
+	}
+	if sys.EpsSettle != 7e-4 {
+		t.Fatal("settle accuracy should default to the paper's 7e-4")
+	}
+}
+
+func TestNoiseBudgetComposition(t *testing.T) {
+	p := evalRef(t)
+	if p.NoiseOut <= 0 {
+		t.Fatal("noise must be positive")
+	}
+	// DR consistency: DR = 10log10(SignalPk^2/2 / NoiseOut).
+	want := 10 * math.Log10((p.SignalPk*p.SignalPk/2)/p.NoiseOut)
+	if math.Abs(want-p.DRdB) > 1e-9 {
+		t.Fatalf("DR inconsistent with parts: %g vs %g", p.DRdB, want)
+	}
+}
+
+func TestOutputRangeQuartersSwing(t *testing.T) {
+	p := evalRef(t)
+	if p.OutputRange > 4*math.Min(p.Amp.SwingPos, p.Amp.SwingNeg)+1e-12 {
+		t.Fatal("OR cannot exceed 4x the limiting single-ended swing")
+	}
+}
+
+func TestAreaIncludesCapacitorBanks(t *testing.T) {
+	tech := process.Default018()
+	sys := DefaultSystem(tech.VDD)
+	d := refDesign()
+	base := Evaluate(&tech, d, sys)
+	d.Cs *= 3
+	big := Evaluate(&tech, d, sys)
+	if big.Area <= base.Area {
+		t.Fatal("larger sampling caps must cost area")
+	}
+}
+
+// Property: across random plausible designs, the safe physical
+// monotonicities hold — power is linear in tail current, a tighter
+// settling band costs time, and a higher OSR buys dynamic range.
+func TestPhysicalMonotonicities(t *testing.T) {
+	tech := process.Default018()
+	sys := DefaultSystem(tech.VDD)
+	f := func(a, b, c, e uint8) bool {
+		d := refDesign()
+		d.Amp.W1 = (10 + float64(a)) * um
+		d.Amp.W6 = (20 + 4*float64(b)) * um
+		d.Amp.Itail = (20 + float64(c)) * 1e-6
+		d.Cs = (1 + float64(e%40)/10) * pf
+		base := Evaluate(&tech, d, sys)
+		if !base.BiasOK {
+			return true
+		}
+		// Power ∝ Itail at fixed K6.
+		d2 := d
+		d2.Amp.Itail *= 1.5
+		p2 := Evaluate(&tech, d2, sys)
+		if p2.Power <= base.Power {
+			return false
+		}
+		// Tighter settling accuracy takes longer.
+		sysTight := sys
+		sysTight.EpsSettle = sys.EpsSettle / 100
+		pt := Evaluate(&tech, d, sysTight)
+		if pt.SettleTime <= base.SettleTime {
+			return false
+		}
+		// Higher OSR keeps less noise in band.
+		sysHi := sys
+		sysHi.OSR = sys.OSR * 4
+		ph := Evaluate(&tech, d, sysHi)
+		return ph.NoiseOut < base.NoiseOut
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDSSuppressesFlicker(t *testing.T) {
+	p := evalRef(t)
+	if p.FlickerInBand <= 0 || p.FlickerRawInBand <= 0 {
+		t.Fatal("flicker terms must be positive")
+	}
+	// The point of correlated double sampling: orders of magnitude of 1/f
+	// suppression (π²/(2·OSR²) against ~10 natural-log decades).
+	suppression := p.FlickerRawInBand / p.FlickerInBand
+	if suppression < 1000 {
+		t.Fatalf("CDS suppression only %.0fx — expected thousands", suppression)
+	}
+	// After CDS the residual flicker must be negligible against the
+	// thermal budget for a reasonably sized input pair.
+	if p.FlickerInBand > 0.01*p.NoiseOut {
+		t.Fatalf("flicker residual %.3g should be tiny vs total %.3g",
+			p.FlickerInBand, p.NoiseOut)
+	}
+	// WITHOUT CDS the same circuit would have had a flicker problem —
+	// the reason the paper's integrator is offset-compensated.
+	if p.FlickerRawInBand < 0.1*p.NoiseOut {
+		t.Fatalf("uncompensated flicker %.3g vs total %.3g — too small to motivate CDS; check KF",
+			p.FlickerRawInBand, p.NoiseOut)
+	}
+}
+
+func TestFlickerScalesInverselyWithInputArea(t *testing.T) {
+	tech := process.Default018()
+	sys := DefaultSystem(tech.VDD)
+	d := refDesign()
+	base := Evaluate(&tech, d, sys)
+	d.Amp.W1 *= 4
+	big := Evaluate(&tech, d, sys)
+	// 4x the input gate area: the input-pair flicker term drops ~4x (the
+	// load term is unchanged, so demand at least 2x).
+	if big.FlickerInBand > base.FlickerInBand/2 {
+		t.Fatalf("larger input devices must cut flicker: %.3g vs %.3g",
+			big.FlickerInBand, base.FlickerInBand)
+	}
+}
+
+func TestBrokenDesignDoesNotPanic(t *testing.T) {
+	tech := process.Default018()
+	sys := DefaultSystem(tech.VDD)
+	d := refDesign()
+	d.Amp.W6, d.Amp.L6 = 2*um, 2*um
+	d.Amp.Itail = 2e-3
+	d.Amp.K6 = 20
+	p := Evaluate(&tech, d, sys)
+	if p.BiasOK {
+		t.Fatal("broken design should be flagged")
+	}
+	if math.IsNaN(p.SettleTime) || math.IsNaN(p.DRdB) {
+		t.Fatal("broken designs must yield finite penalties, not NaN")
+	}
+}

@@ -1,0 +1,247 @@
+// Package sdm is a behavioral simulator for the sigma-delta modulator the
+// paper's integrator is destined for: "We wish to use the optimal design
+// surface of this circuit for the construction of a fourth-order
+// sigma-delta modulator."
+//
+// The architecture is a MASH 2-2: two cascaded second-order (Boser–Wooley)
+// single-bit stages with digital noise cancellation, giving fourth-order
+// noise shaping with unconditional stability. Each switched-capacitor
+// integrator inside the loop is non-ideal, parameterized directly from a
+// sized circuit design (package scint):
+//
+//   - finite DC loop gain  → integrator leakage (pole pulled inside z=1),
+//   - incomplete settling  → per-sample charge-transfer gain error,
+//   - circuit noise        → additive per-sample RMS noise,
+//   - output range         → hard saturation of the state.
+//
+// This closes the loop on the reproduction: designs picked from the
+// optimizer's Pareto front can be dropped into the modulator and their
+// simulated SNR compared against the analytic dynamic-range model that
+// drove the optimization.
+package sdm
+
+import (
+	"math"
+
+	"sacga/internal/dsp"
+	"sacga/internal/rng"
+	"sacga/internal/scint"
+)
+
+// StageModel is the non-ideal behavioral model of one SC integrator.
+type StageModel struct {
+	// Gain is the nominal charge-transfer gain g = Cs/Cf.
+	Gain float64
+	// Leak is the integrator pole offset: state' = (1−Leak)·state + ...
+	// (0 = ideal). Finite loop gain A0β gives Leak ≈ 1/(A0β).
+	Leak float64
+	// GainError is the relative charge-transfer error from incomplete
+	// settling (state update scales by 1−GainError).
+	GainError float64
+	// NoiseRMS is the per-sample additive noise at the integrator output
+	// (V RMS, referred to the state).
+	NoiseRMS float64
+	// SatLevel clamps the integrator state (|state| ≤ SatLevel); 0 means
+	// no saturation (ideal rail-less integrator).
+	SatLevel float64
+}
+
+// Ideal returns a noiseless, lossless stage with gain g.
+func Ideal(g float64) StageModel { return StageModel{Gain: g} }
+
+// FromPerf derives the behavioral model from an evaluated integrator
+// design. The per-sample injected noise is chosen so the modulator's own
+// decimation (which keeps a 1/OSR fraction of per-sample white noise in
+// band) reproduces the analytic in-band budget NoiseOut — whose 2/OSR
+// convention counts both CDS charge-transfer phases per output sample.
+func FromPerf(p *scint.Perf, sys scint.System) StageModel {
+	leak := 1 / (1 + p.Beta*p.Amp.A0)
+	noise := math.Sqrt(p.NoiseOut * sys.OSR)
+	sat := p.OutputRange / 2 // differential amplitude limit
+	return StageModel{
+		Gain:      sys.Gain,
+		Leak:      leak,
+		GainError: p.SettleErr,
+		NoiseRMS:  noise,
+		SatLevel:  sat,
+	}
+}
+
+// integrator holds one stage's state.
+type integrator struct {
+	m     StageModel
+	state float64
+}
+
+// step applies one delaying-integrator update on a pre-weighted input:
+// s' = (1−leak)·s + (1−ε)·u + n. Branch weights (the capacitor ratios) are
+// applied by the caller; gain error and leak model the amplifier.
+func (it *integrator) step(u, noise float64) float64 {
+	out := it.state
+	it.state = (1-it.m.Leak)*it.state + (1-it.m.GainError)*u + noise
+	if it.m.SatLevel > 0 {
+		if it.state > it.m.SatLevel {
+			it.state = it.m.SatLevel
+		} else if it.state < -it.m.SatLevel {
+			it.state = -it.m.SatLevel
+		}
+	}
+	return out
+}
+
+// Modulator is a MASH 2-2 fourth-order single-bit sigma-delta modulator.
+type Modulator struct {
+	// Stage1 and Stage2 model the two integrators of the first
+	// second-order loop; Stage3 and Stage4 the second loop.
+	Stage1, Stage2, Stage3, Stage4 StageModel
+	// VRef is the single-bit DAC feedback level.
+	VRef float64
+	// Seed drives the stage noise streams.
+	Seed int64
+}
+
+// NewIdeal returns an ideal MASH 2-2 with 0.5/0.5 integrator gains and the
+// given reference.
+func NewIdeal(vref float64) *Modulator {
+	return &Modulator{
+		Stage1: Ideal(0.5), Stage2: Ideal(0.5),
+		Stage3: Ideal(0.5), Stage4: Ideal(0.5),
+		VRef: vref,
+	}
+}
+
+// NewFromDesign builds the modulator with all four integrators realized by
+// the same sized circuit design (the usual reuse in a MASH 2-2: the first
+// stage dominates noise, so the paper's "optimal design surface" picks the
+// stage-1 circuit per load; later stages reuse the design).
+func NewFromDesign(p *scint.Perf, sys scint.System, vref float64) *Modulator {
+	m := FromPerf(p, sys)
+	return &Modulator{Stage1: m, Stage2: m, Stage3: m, Stage4: m, VRef: vref}
+}
+
+// Simulate runs the modulator on input u (values in (−VRef, VRef)) and
+// returns the noise-cancelled fourth-order-shaped digital output sequence.
+//
+// Loop topology: each second-order loop uses delaying integrators with the
+// canonical coefficient set that realizes NTF = (1−z⁻¹)² exactly for ANY
+// input-branch gain g — the first integrator transfers g·(x − v) and the
+// second transfers (1/g)·s1 − 2·v (branch ratios a real SC stage sets by
+// capacitor ratios). With the linearized quantizer:
+//
+//	S1 = g·D·(X − V),  S2 = D·((1/g)·S1 − 2V),  D = z⁻¹/(1−z⁻¹)
+//	⇒ V = z⁻²·X + (1−z⁻¹)²·E.
+func (md *Modulator) Simulate(u []float64) []float64 {
+	s := rng.Derive(md.Seed, "sdm")
+	i1 := integrator{m: md.Stage1}
+	i2 := integrator{m: md.Stage2}
+	i3 := integrator{m: md.Stage3}
+	i4 := integrator{m: md.Stage4}
+	quant := func(v float64) float64 {
+		if v >= 0 {
+			return md.VRef
+		}
+		return -md.VRef
+	}
+	g1 := md.Stage1.Gain
+	if g1 <= 0 {
+		g1 = 1
+	}
+	g3 := md.Stage3.Gain
+	if g3 <= 0 {
+		g3 = 1
+	}
+	// State scalings: each loop's integrators are capacitor-ratio-scaled
+	// (λ1, λ2) so their physical swings stay inside the amplifier's output
+	// range. A 1-bit quantizer only sees the sign of the (positively)
+	// scaled state, so the NTF is unchanged; the quantization error is
+	// reconstructed in the unscaled domain. κ attenuates the inter-stage
+	// error (loop 2 would otherwise overload near full-scale inputs) and
+	// is compensated digitally in the cancellation filter — all standard
+	// MASH measures. Noise is injected input-referred (inside the
+	// charge-transfer branch), so stage-1 noise reaches the output with
+	// the signal's own transfer function.
+	const (
+		lambda1 = 0.5
+		lambda2 = 0.25
+		kappa   = 0.5
+	)
+	y1 := make([]float64, len(u))
+	y2 := make([]float64, len(u))
+	for n, x := range u {
+		// First loop: y1 quantizes the second integrator state.
+		v1 := quant(i2.state)
+		y1[n] = v1
+		e1 := i2.state/lambda2 - v1 // −(quantization error) of loop 1
+		o1 := i1.step(lambda1*g1*(x-v1+md.noise(s, &md.Stage1)), 0)
+		i2.step(lambda2*(o1/(g1*lambda1)-2*v1+md.noise(s, &md.Stage2)), 0)
+
+		// Second loop digitizes loop 1's (attenuated) quantization error.
+		v2 := quant(i4.state)
+		y2[n] = v2
+		o3 := i3.step(lambda1*g3*(kappa*e1-v2+md.noise(s, &md.Stage3)), 0)
+		i4.step(lambda2*(o3/(g3*lambda1)-2*v2+md.noise(s, &md.Stage4)), 0)
+	}
+	// Digital noise cancellation: Y = z⁻²·Y1 + (1−z⁻¹)²·Y2/κ removes
+	// loop-1 quantization noise, leaving loop-2 noise shaped fourth-order.
+	out := make([]float64, len(u))
+	for n := range out {
+		y1d := at(y1, n-2)
+		d2 := at(y2, n) - 2*at(y2, n-1) + at(y2, n-2)
+		out[n] = y1d + d2/kappa
+	}
+	return out
+}
+
+func (md *Modulator) noise(s *rng.Stream, m *StageModel) float64 {
+	if m.NoiseRMS <= 0 {
+		return 0
+	}
+	return s.Gauss(0, m.NoiseRMS)
+}
+
+func at(x []float64, i int) float64 {
+	if i < 0 {
+		return 0
+	}
+	return x[i]
+}
+
+// SNRTest runs a coherent sine test through the modulator: n samples
+// (power of two) of amplitude·sin at the given FFT bin, SNR measured over
+// the band [1, n/(2·osr)].
+func (md *Modulator) SNRTest(n, bin int, amplitude float64, osr int) float64 {
+	u := dsp.SineTest(n, bin, amplitude)
+	y := md.Simulate(u)
+	psd := dsp.PSD(y, dsp.Hann(n))
+	band := n / (2 * osr)
+	return dsp.SNR(psd, bin, band, 3)
+}
+
+// DynamicRange sweeps the input amplitude (dB steps relative to VRef) and
+// returns the peak SNR and the amplitude (dBFS) where it occurs — the
+// simulated counterpart of the analytic DR the optimizer constrained.
+func (md *Modulator) DynamicRange(n int, osr int) (peakSNR, atDBFS float64) {
+	bin := pickBin(n, osr)
+	peakSNR = math.Inf(-1)
+	for dbfs := -20.0; dbfs <= -1; dbfs += 1 {
+		amp := md.VRef * math.Pow(10, dbfs/20)
+		snr := md.SNRTest(n, bin, amp, osr)
+		if snr > peakSNR {
+			peakSNR, atDBFS = snr, dbfs
+		}
+	}
+	return peakSNR, atDBFS
+}
+
+// pickBin returns an odd in-band FFT bin near the middle of the band.
+func pickBin(n, osr int) int {
+	band := n / (2 * osr)
+	bin := band / 3
+	if bin < 1 {
+		bin = 1
+	}
+	if bin%2 == 0 {
+		bin++
+	}
+	return bin
+}

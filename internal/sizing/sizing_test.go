@@ -1,0 +1,303 @@
+package sizing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sacga/internal/objective"
+	"sacga/internal/process"
+	"sacga/internal/rng"
+	"sacga/internal/yield"
+)
+
+func newProblem() *Problem {
+	return New(process.Default018(), PaperSpec())
+}
+
+func TestProblemValidates(t *testing.T) {
+	if err := objective.Validate(newProblem()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDimensionsMatchPaper(t *testing.T) {
+	p := newProblem()
+	if p.NumVars() != 15 {
+		t.Fatalf("the paper frames the problem with 15 design parameters, got %d", p.NumVars())
+	}
+	if p.NumObjectives() != 2 {
+		t.Fatal("two objectives: power and load capacitance")
+	}
+	if p.NumConstraints() != NumCons {
+		t.Fatal("constraint count mismatch")
+	}
+}
+
+func TestPaperSpecValues(t *testing.T) {
+	s := PaperSpec()
+	if s.DRMinDB != 96 || s.ORMin != 1.4 || s.STMax != 0.24e-6 ||
+		s.SEMax != 7e-4 || s.RobustMin != 0.85 {
+		t.Fatalf("paper spec drifted: %+v", s)
+	}
+}
+
+func TestDecodeEncodeRoundTrip(t *testing.T) {
+	p := newProblem()
+	f := func(seed int64) bool {
+		s := rng.New(seed)
+		x := make([]float64, NumGenes)
+		for i := range x {
+			x[i] = s.Float64()
+		}
+		d := p.Decode(x)
+		back := p.Encode(d)
+		for i := range x {
+			if math.Abs(back[i]-x[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRangesPhysical(t *testing.T) {
+	p := newProblem()
+	zeros := make([]float64, NumGenes)
+	ones := make([]float64, NumGenes)
+	for i := range ones {
+		ones[i] = 1
+	}
+	dmin := p.Decode(zeros)
+	dmax := p.Decode(ones)
+	if dmin.Amp.L1 != 0.18e-6 || dmax.Amp.L1 != 2e-6 {
+		t.Fatalf("L1 range [%g %g]", dmin.Amp.L1, dmax.Amp.L1)
+	}
+	if dmin.CL != CLMin || dmax.CL != CLMax {
+		t.Fatalf("CL range [%g %g]", dmin.CL, dmax.CL)
+	}
+	if dmin.Amp.Itail != 2e-6 || math.Abs(dmax.Amp.Itail-2e-3)/2e-3 > 1e-9 {
+		t.Fatalf("Itail range [%g %g]", dmin.Amp.Itail, dmax.Amp.Itail)
+	}
+	// Decode must clamp out-of-box genes.
+	over := make([]float64, NumGenes)
+	for i := range over {
+		over[i] = 1.7
+	}
+	if d := p.Decode(over); d.CL > CLMax {
+		t.Fatal("decode must clamp")
+	}
+}
+
+func TestObjectiveConvention(t *testing.T) {
+	p := newProblem()
+	s := rng.New(3)
+	x := make([]float64, NumGenes)
+	for i := range x {
+		x[i] = s.Float64()
+	}
+	res := p.Evaluate(x)
+	d := p.Decode(x)
+	if res.Objectives[1] != -d.CL {
+		t.Fatalf("objective 1 must be -CL: %g vs %g", res.Objectives[1], -d.CL)
+	}
+	if res.Objectives[0] <= 0 {
+		t.Fatal("power objective must be positive")
+	}
+	cl, pw := ReportedPoint(res.Objectives)
+	if cl != d.CL || pw != res.Objectives[0] {
+		t.Fatal("ReportedPoint round trip")
+	}
+}
+
+func TestViolationsZeroIffSpecMet(t *testing.T) {
+	p := newProblem()
+	s := rng.New(7)
+	x := make([]float64, NumGenes)
+	found := false
+	for trial := 0; trial < 30000 && !found; trial++ {
+		for i := range x {
+			x[i] = s.Float64()
+		}
+		res := p.Evaluate(x)
+		if res.Feasible() {
+			found = true
+			// Cross-check: the nominal perf must meet the spec.
+			perf := p.NominalPerf(x)
+			spec := p.Spec()
+			if perf.DRdB < spec.DRMinDB || perf.SettleTime > spec.STMax ||
+				perf.OutputRange < spec.ORMin || perf.SettleErr > spec.SEMax {
+				t.Fatalf("feasible point violates nominal spec: %+v", perf)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no feasible point in 30000 random samples — landscape broken")
+	}
+}
+
+func TestCornerWorstCaseAtLeastNominal(t *testing.T) {
+	// Constraint violations with all five corners can only be >= the
+	// TT-only violations.
+	tech := process.Default018()
+	full := New(tech, PaperSpec())
+	ttOnly := New(tech, PaperSpec(), WithCorners(process.TT))
+	s := rng.New(11)
+	x := make([]float64, NumGenes)
+	for trial := 0; trial < 50; trial++ {
+		for i := range x {
+			x[i] = s.Float64()
+		}
+		vFull := full.Evaluate(x).TotalViolation()
+		vTT := ttOnly.Evaluate(x).TotalViolation()
+		if vTT > vFull+1e-9 {
+			t.Fatalf("TT-only violation %g exceeds all-corner %g", vTT, vFull)
+		}
+	}
+}
+
+func TestSpecLadderMonotoneDifficulty(t *testing.T) {
+	specs := SpecLadder(20)
+	if len(specs) != 20 {
+		t.Fatalf("got %d specs", len(specs))
+	}
+	for i := 1; i < len(specs); i++ {
+		a, b := specs[i-1], specs[i]
+		if !(b.DRMinDB >= a.DRMinDB && b.ORMin >= a.ORMin &&
+			b.STMax <= a.STMax && b.SEMax <= a.SEMax &&
+			b.RobustMin >= a.RobustMin) {
+			t.Fatalf("ladder not monotone at %d: %+v -> %+v", i, a, b)
+		}
+	}
+	// The ladder should bracket the paper spec.
+	paper := PaperSpec()
+	if !(specs[0].DRMinDB < paper.DRMinDB && specs[19].DRMinDB > paper.DRMinDB) {
+		t.Fatal("ladder should straddle the paper's DR spec")
+	}
+}
+
+func TestRobustnessConstraintActive(t *testing.T) {
+	tech := process.Default018()
+	est := yield.NewEstimator(1, 8)
+	withRob := New(tech, PaperSpec(), WithRobustness(est))
+	withoutRob := New(tech, PaperSpec())
+	s := rng.New(13)
+	x := make([]float64, NumGenes)
+	// Hopeless random designs must carry a pessimistic robustness
+	// violation when the estimator is attached.
+	sawRobVio := false
+	for trial := 0; trial < 200; trial++ {
+		for i := range x {
+			x[i] = s.Float64()
+		}
+		rv := withRob.Evaluate(x).Violations[ConsRobust]
+		if rv > 0 {
+			sawRobVio = true
+		}
+		if withoutRob.Evaluate(x).Violations[ConsRobust] != 0 {
+			t.Fatal("without estimator the robustness constraint must be inert")
+		}
+	}
+	if !sawRobVio {
+		t.Fatal("robustness constraint never fired on random designs")
+	}
+	// And Robustness() itself must return a fraction.
+	if r := withRob.Robustness(x); r < 0 || r > 1 {
+		t.Fatalf("robustness %g outside [0,1]", r)
+	}
+}
+
+func TestPerturbDesignMismatchScaling(t *testing.T) {
+	p := newProblem()
+	x := make([]float64, NumGenes)
+	for i := range x {
+		x[i] = 0.5
+	}
+	d := p.Decode(x)
+	z := make([]float64, 7)
+	z[5], z[6] = 3, -3 // 3-sigma mirror and tail mismatches
+	dp := perturbDesign(d, z)
+	if dp.Amp.K6 <= d.Amp.K6 {
+		t.Fatal("positive z[5] must raise the mirror ratio")
+	}
+	if dp.Amp.Itail >= d.Amp.Itail {
+		t.Fatal("negative z[6] must lower the tail current")
+	}
+	// Pelgrom scaling: larger output devices shrink the K6 scatter.
+	dBig := d
+	dBig.Amp.W6 *= 16
+	dBig.Amp.W7 *= 16
+	dpBig := perturbDesign(dBig, z)
+	relSmall := dp.Amp.K6/d.Amp.K6 - 1
+	relBig := dpBig.Amp.K6/dBig.Amp.K6 - 1
+	if relBig >= relSmall {
+		t.Fatalf("bigger devices should scatter less: %g vs %g", relBig, relSmall)
+	}
+	// Short z: identity.
+	same := perturbDesign(d, z[:5])
+	if same.Amp.K6 != d.Amp.K6 {
+		t.Fatal("short z vectors must be a no-op")
+	}
+}
+
+func TestObjectiveRangeCL(t *testing.T) {
+	lo, hi := ObjectiveRangeCL()
+	if lo != -CLMax || hi != -CLMin {
+		t.Fatalf("objective range [%g %g]", lo, hi)
+	}
+	if lo >= hi {
+		t.Fatal("range inverted")
+	}
+}
+
+func TestConsAndGeneNames(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < NumCons; i++ {
+		n := ConsName(i)
+		if n == "" || seen[n] {
+			t.Fatalf("bad constraint name %q", n)
+		}
+		seen[n] = true
+	}
+	seen = map[string]bool{}
+	for i := 0; i < NumGenes; i++ {
+		n := GeneName(i)
+		if n == "" || seen[n] {
+			t.Fatalf("bad gene name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestNominalAndCornerPerf(t *testing.T) {
+	p := newProblem()
+	x := make([]float64, NumGenes)
+	for i := range x {
+		x[i] = 0.5
+	}
+	perfs := p.CornerPerf(x)
+	if len(perfs) != 5 {
+		t.Fatalf("expected 5 corner perfs, got %d", len(perfs))
+	}
+	nom := p.NominalPerf(x)
+	if math.Abs(nom.Power-perfs[0].Power) > 1e-15 {
+		t.Fatal("first corner should be TT")
+	}
+}
+
+func TestRobustnessWithoutEstimator(t *testing.T) {
+	p := newProblem()
+	x := make([]float64, NumGenes)
+	if p.Robustness(x) != 1 {
+		t.Fatal("no estimator attached: robustness defaults to 1")
+	}
+}
+
+func TestClampVio(t *testing.T) {
+	if clampVio(-1, 10) != 0 || clampVio(5, 10) != 5 || clampVio(50, 10) != 10 {
+		t.Fatal("clampVio")
+	}
+}

@@ -1,0 +1,113 @@
+// Package stats provides the small descriptive-statistics toolkit the
+// experiment harness uses to aggregate multi-seed runs and the 20-spec
+// trends study.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean (NaN for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Std returns the sample standard deviation (0 for fewer than 2 values).
+func Std(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		s += (x - m) * (x - m)
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// Median returns the 50th percentile.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Quantile returns the q-th quantile (linear interpolation between order
+// statistics); q outside [0,1] clamps.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[len(s)-1]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// MinMax returns the extremes (NaN, NaN for empty input).
+func MinMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		return math.NaN(), math.NaN()
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	return lo, hi
+}
+
+// Summary is a compact five-number description.
+type Summary struct {
+	N             int
+	Mean, Std     float64
+	Min, Med, Max float64
+}
+
+// Describe computes a Summary.
+func Describe(xs []float64) Summary {
+	lo, hi := MinMax(xs)
+	return Summary{
+		N:    len(xs),
+		Mean: Mean(xs),
+		Std:  Std(xs),
+		Min:  lo,
+		Med:  Median(xs),
+		Max:  hi,
+	}
+}
+
+// WinLossTie compares paired samples a vs b with tolerance tol: a "win"
+// means a[i] < b[i]-tol (a better, for minimized metrics).
+func WinLossTie(a, b []float64, tol float64) (win, loss, tie int) {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case a[i] < b[i]-tol:
+			win++
+		case b[i] < a[i]-tol:
+			loss++
+		default:
+			tie++
+		}
+	}
+	return
+}

@@ -1,0 +1,75 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMeanStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("mean = %g", m)
+	}
+	if s := Std(xs); math.Abs(s-2.138) > 1e-3 {
+		t.Fatalf("std = %g", s)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("empty mean should be NaN")
+	}
+	if Std([]float64{1}) != 0 {
+		t.Fatal("single-element std should be 0")
+	}
+}
+
+func TestMedianQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if Median(xs) != 2 {
+		t.Fatalf("median = %g", Median(xs))
+	}
+	// Quantile does not mutate its input.
+	if xs[0] != 3 {
+		t.Fatal("quantile sorted the caller's slice")
+	}
+	q := Quantile([]float64{0, 10}, 0.25)
+	if q != 2.5 {
+		t.Fatalf("q25 of {0,10} = %g, want 2.5", q)
+	}
+	if Quantile(xs, -1) != 1 || Quantile(xs, 2) != 3 {
+		t.Fatal("out-of-range q should clamp")
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("empty quantile should be NaN")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7, 2})
+	if lo != -1 || hi != 7 {
+		t.Fatalf("minmax = %g %g", lo, hi)
+	}
+	lo, hi = MinMax(nil)
+	if !math.IsNaN(lo) || !math.IsNaN(hi) {
+		t.Fatal("empty minmax should be NaN")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	s := Describe([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Med != 3 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("describe: %+v", s)
+	}
+}
+
+func TestWinLossTie(t *testing.T) {
+	a := []float64{1, 5, 3, 3.001}
+	b := []float64{2, 4, 3, 3.0}
+	w, l, ties := WinLossTie(a, b, 0.01)
+	if w != 1 || l != 1 || ties != 2 {
+		t.Fatalf("w/l/t = %d/%d/%d", w, l, ties)
+	}
+	// Mismatched lengths use the shorter.
+	w, l, ties = WinLossTie([]float64{1}, []float64{2, 3}, 0)
+	if w+l+ties != 1 {
+		t.Fatal("length handling")
+	}
+}
