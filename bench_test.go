@@ -13,11 +13,14 @@ package bench
 
 import (
 	"math/rand"
+	"runtime"
+	"sync"
 	"testing"
 
 	"sacga/internal/expt"
 	"sacga/internal/ga"
 	"sacga/internal/hypervolume"
+	"sacga/internal/objective"
 	"sacga/internal/pareto"
 	"sacga/internal/process"
 	"sacga/internal/rng"
@@ -168,6 +171,110 @@ func BenchmarkCircuitEvaluate(b *testing.B) {
 	}
 }
 
+// ---- evaluation-engine benchmarks ----
+//
+// The pooled evaluator replaced a per-call evaluator that spawned a
+// goroutine flock and fed it one index at a time over an unbuffered
+// channel. spawnEvaluate reproduces that historical baseline so the
+// before/after dispatch overhead stays measurable; the pooled and
+// sequential rows are the current paths.
+
+// spawnEvaluate is the seed repository's EvaluateParallel: per-call
+// goroutines, unbuffered per-index dispatch.
+func spawnEvaluate(p ga.Population, prob objective.Problem, workers int) {
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				p[i].Eval(prob)
+			}
+		}()
+	}
+	for i := range p {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+func benchPopulation(n int) (ga.Population, objective.Problem) {
+	prob := sizing.New(process.Default018(), sizing.PaperSpec())
+	s := rng.New(9)
+	lo, hi := prob.Bounds()
+	return ga.NewRandomPopulation(s, n, lo, hi), prob
+}
+
+// BenchmarkPopulationEvalSequential is the single-threaded floor: one
+// generation's evaluation with no dispatch at all.
+func BenchmarkPopulationEvalSequential(b *testing.B) {
+	pop, prob := benchPopulation(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pop.Evaluate(prob)
+	}
+}
+
+// BenchmarkPopulationEvalSpawnPerCall measures the pre-pool dispatch
+// strategy (goroutine flock per call, unbuffered channel).
+func BenchmarkPopulationEvalSpawnPerCall(b *testing.B) {
+	pop, prob := benchPopulation(256)
+	workers := runtime.NumCPU()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spawnEvaluate(pop, prob, workers)
+	}
+}
+
+// BenchmarkPopulationEvalPooled measures the persistent chunk-stealing
+// pool that replaced it.
+func BenchmarkPopulationEvalPooled(b *testing.B) {
+	pop, prob := benchPopulation(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pop.EvaluateParallel(prob, 0)
+	}
+}
+
+// replicateConfig is the figure-level workload for the concurrent
+// replicate runner: fig5 (one TPG + one SACGA run per seed) across 4
+// seeds at reduced budget.
+func replicateConfig(workers int) expt.Config {
+	return expt.Config{
+		Seed:    7,
+		Scale:   0.04,
+		PopSize: 32,
+		Seeds:   4,
+		Workers: workers,
+	}
+}
+
+// BenchmarkExptReplicatesSequential runs the replicate sweep with the
+// concurrent runner disabled (Workers=1) — the seed repository's
+// effective behavior for one experiment.
+func BenchmarkExptReplicatesSequential(b *testing.B) {
+	cfg := replicateConfig(1)
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.Run("fig5", cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExptReplicatesPooled fans the same sweep out across the shared
+// worker pool; on a multi-core runner this is the ≥2× row of the
+// evaluation-engine acceptance criteria.
+func BenchmarkExptReplicatesPooled(b *testing.B) {
+	cfg := replicateConfig(0) // NumCPU
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.Run("fig5", cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkNondominatedSort measures the fast non-dominated sort on a
 // 200-point two-objective population.
 func BenchmarkNondominatedSort(b *testing.B) {
@@ -182,6 +289,23 @@ func BenchmarkNondominatedSort(b *testing.B) {
 	}
 }
 
+// BenchmarkNondominatedSortReused measures the same sort through a reused
+// Sorter — the zero-allocation engine path (compare allocs/op with
+// BenchmarkNondominatedSort under -benchmem).
+func BenchmarkNondominatedSortReused(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	pts := make([]pareto.Point, 200)
+	for i := range pts {
+		pts[i] = pareto.Point{Obj: []float64{r.Float64(), r.Float64()}}
+	}
+	var s pareto.Sorter
+	s.Sort(pts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Sort(pts)
+	}
+}
+
 // BenchmarkHypervolumePaper measures the staircase metric on a 100-point
 // front.
 func BenchmarkHypervolumePaper(b *testing.B) {
@@ -193,6 +317,22 @@ func BenchmarkHypervolumePaper(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		hypervolume.PaperMetric(front)
+	}
+}
+
+// BenchmarkHypervolumePaperReused measures the staircase metric through a
+// reused Calc — the zero-allocation scorer path.
+func BenchmarkHypervolumePaperReused(b *testing.B) {
+	r := rand.New(rand.NewSource(2))
+	front := make([]hypervolume.Point2, 100)
+	for i := range front {
+		front[i] = hypervolume.Point2{X: 5e-12 * r.Float64(), Y: 1e-3 * r.Float64()}
+	}
+	var c hypervolume.Calc
+	c.PaperMetric(front)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.PaperMetric(front)
 	}
 }
 

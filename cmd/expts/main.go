@@ -60,15 +60,19 @@ func main() {
 	} else {
 		ids = strings.Split(*figs, ",")
 	}
+	for i := range ids {
+		ids[i] = strings.TrimSpace(ids[i])
+	}
+	// Experiments run concurrently on the shared worker pool (bounded by
+	// -workers) and report in the requested order.
 	failed := false
-	for _, id := range ids {
-		id = strings.TrimSpace(id)
-		rep, err := expt.Run(id, cfg)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "expts: %s: %v\n", id, err)
+	for _, out := range expt.RunAll(ids, cfg) {
+		if out.Err != nil {
+			fmt.Fprintf(os.Stderr, "expts: %s: %v\n", out.ID, out.Err)
 			failed = true
 			continue
 		}
+		rep := out.Report
 		fmt.Printf("== %s — %s (%.1fs)\n", rep.ID, rep.Title, rep.Elapsed.Seconds())
 		for _, line := range rep.Summary {
 			fmt.Printf("   %s\n", line)

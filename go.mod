@@ -1,0 +1,3 @@
+module sacga
+
+go 1.24

@@ -16,7 +16,6 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
-	"sync"
 	"time"
 
 	"sacga/internal/ga"
@@ -293,7 +292,11 @@ func (c *Config) runMESACGASpanned(spec sizing.Spec, schedule []int, span int, s
 	})
 }
 
-// parallelRuns executes n jobs across c.Workers goroutines.
+// parallelRuns executes n replicate jobs across the shared worker pool,
+// bounded by c.Workers. Each job derives its own RNG stream from the job
+// index (runners pass seed+i to the optimizers), and results are written to
+// index-addressed slots, so the outcome is bit-identical no matter how the
+// pool schedules the jobs — including fully sequential execution.
 func (c *Config) parallelRuns(n int, job func(i int)) {
 	workers := c.Workers
 	if workers > n {
@@ -305,22 +308,7 @@ func (c *Config) parallelRuns(n int, job func(i int)) {
 		}
 		return
 	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				job(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	ga.SharedPool().RunLimit(n, workers, job)
 }
 
 // frontSeries converts a digest to a plot series in (pF, mW) axes.
@@ -375,9 +363,3 @@ func clusterFraction(pts []hypervolume.Point2) float64 {
 	return float64(n) / float64(len(pts))
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

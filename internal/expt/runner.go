@@ -1,0 +1,57 @@
+package expt
+
+import (
+	"fmt"
+
+	"sacga/internal/ga"
+)
+
+// Outcome pairs one experiment id with its report (or error) from a
+// concurrent sweep.
+type Outcome struct {
+	ID     string
+	Report *Report
+	Err    error
+}
+
+// RunAll executes the given experiments concurrently on the shared worker
+// pool, bounded by c.Workers, and returns the outcomes in the input order.
+// Experiments and their internal replicate fan-outs share one pool, so a
+// whole figure sweep runs on a fixed set of goroutines sized to the
+// machine; nested submission is deadlock-free because pool callers execute
+// their own jobs when all workers are busy.
+//
+// Each experiment derives every stochastic stream from c.Seed and its own
+// replicate indices, so the outcomes are bit-identical to running the same
+// ids sequentially, in any order, at any worker count.
+func RunAll(ids []string, c Config) []Outcome {
+	c.normalize()
+	outs := make([]Outcome, len(ids))
+	workers := c.Workers
+	if workers > len(ids) {
+		workers = len(ids)
+	}
+	run := func(i int) {
+		rep, err := Run(ids[i], c)
+		outs[i] = Outcome{ID: ids[i], Report: rep, Err: err}
+	}
+	if workers <= 1 {
+		for i := range ids {
+			run(i)
+		}
+		return outs
+	}
+	ga.SharedPool().RunLimit(len(ids), workers, run)
+	return outs
+}
+
+// FirstError returns the first failed outcome's error, annotated with its
+// experiment id, or nil when every experiment succeeded.
+func FirstError(outs []Outcome) error {
+	for _, o := range outs {
+		if o.Err != nil {
+			return fmt.Errorf("expt %s: %w", o.ID, o.Err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package ga
+
+import (
+	"sort"
+
+	"sacga/internal/pareto"
+)
+
+// Arena is a reusable workspace for the per-generation sort/select kernels:
+// non-dominated ranking, crowding assignment and crowded-comparison
+// truncation. Engines own one Arena and thread it through every generation,
+// so at steady state (population sizes fixed after warm-up) these kernels
+// perform zero heap allocations.
+//
+// An Arena is not safe for concurrent use; give each engine its own.
+type Arena struct {
+	sorter pareto.Sorter
+	pts    []pareto.Point
+	ord    crowdedOrder
+}
+
+// crowdedOrder sorts an index slice by NSGA-II's crowded comparison
+// (ascending rank, then descending crowding). It is a sort.Interface with a
+// pointer receiver so sort.Stable runs without allocating.
+type crowdedOrder struct {
+	pop Population
+	idx []int
+}
+
+func (o *crowdedOrder) Len() int { return len(o.idx) }
+func (o *crowdedOrder) Less(a, b int) bool {
+	ia, ib := o.pop[o.idx[a]], o.pop[o.idx[b]]
+	if ia.Rank != ib.Rank {
+		return ia.Rank < ib.Rank
+	}
+	return ia.Crowding > ib.Crowding
+}
+func (o *crowdedOrder) Swap(a, b int) { o.idx[a], o.idx[b] = o.idx[b], o.idx[a] }
+
+// points refreshes the arena's point-view buffer over pop.
+func (a *Arena) points(pop Population) []pareto.Point {
+	if cap(a.pts) < len(pop) {
+		a.pts = make([]pareto.Point, len(pop))
+	}
+	a.pts = a.pts[:len(pop)]
+	for i, ind := range pop {
+		a.pts[i] = ind.Point()
+	}
+	return a.pts
+}
+
+// AssignRanksAndCrowding is Population.AssignRanksAndCrowding through the
+// arena's scratch: a constrained non-dominated sort over the population,
+// storing rank and crowding distance on every individual.
+func (a *Arena) AssignRanksAndCrowding(pop Population) {
+	pts := a.points(pop)
+	for r, front := range a.sorter.Sort(pts) {
+		crowd := a.sorter.Crowding(pts, front)
+		for k, i := range front {
+			pop[i].Rank = r
+			pop[i].Crowding = crowd[k]
+		}
+	}
+}
+
+// SortByCrowdedComparison returns the indices of pop ordered best-first by
+// (Rank, Crowding). The returned slice is workspace, valid until the next
+// arena call that sorts.
+func (a *Arena) SortByCrowdedComparison(pop Population) []int {
+	if cap(a.ord.idx) < len(pop) {
+		a.ord.idx = make([]int, len(pop))
+	}
+	a.ord.idx = a.ord.idx[:len(pop)]
+	for i := range a.ord.idx {
+		a.ord.idx[i] = i
+	}
+	a.ord.pop = pop
+	sort.Stable(&a.ord)
+	a.ord.pop = nil
+	return a.ord.idx
+}
+
+// SortIndicesByCrowdedComparison stable-sorts idx — a slice of indices into
+// pop — best-first in place by (Rank, Crowding), without allocating.
+func (a *Arena) SortIndicesByCrowdedComparison(pop Population, idx []int) {
+	saved := a.ord.idx
+	a.ord.pop, a.ord.idx = pop, idx
+	sort.Stable(&a.ord)
+	a.ord.pop, a.ord.idx = nil, saved
+}
+
+// Truncate selects the best n individuals of pop by crowded comparison into
+// dst (reusing its backing array), the arena counterpart of
+// TruncateByCrowdedComparison. pop is not modified.
+func (a *Arena) Truncate(pop Population, n int, dst Population) Population {
+	order := a.SortByCrowdedComparison(pop)
+	if n > len(order) {
+		n = len(order)
+	}
+	dst = dst[:0]
+	for _, i := range order[:n] {
+		dst = append(dst, pop[i])
+	}
+	return dst
+}

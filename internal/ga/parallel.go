@@ -2,44 +2,43 @@ package ga
 
 import (
 	"runtime"
-	"sync"
 
 	"sacga/internal/objective"
 )
 
-// EvaluateParallel evaluates the population across a worker pool. The
-// problem's Evaluate must be a pure function of its input (every problem
-// in this repository is); results are written to each individual exactly
-// as Evaluate would, so parallel and sequential evaluation are
+// minParallelEval is the population size below which parallel dispatch is
+// not worth its bookkeeping and evaluation stays sequential.
+const minParallelEval = 8
+
+// EvaluateParallel evaluates the population across the shared worker pool.
+// The problem's Evaluate must be a pure function of its input (every
+// problem in this repository is); results are written to each individual
+// exactly as Evaluate would, so parallel and sequential evaluation are
 // bit-identical and the GA's random streams are untouched.
 //
 // workers <= 0 selects NumCPU. Small populations fall back to the
-// sequential path to avoid goroutine overhead.
+// sequential path to avoid dispatch overhead.
 func (p Population) EvaluateParallel(prob objective.Problem, workers int) {
+	p.EvaluateWith(prob, nil, workers)
+}
+
+// EvaluateWith is EvaluateParallel on an explicit pool; a nil pool selects
+// the shared one. Engines that own a private Pool route every generation's
+// evaluation through it, so one set of persistent workers serves the whole
+// run instead of a goroutine flock per call.
+func (p Population) EvaluateWith(prob objective.Problem, pool *Pool, workers int) {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
 	if workers > len(p) {
 		workers = len(p)
 	}
-	if workers <= 1 || len(p) < 8 {
+	if workers <= 1 || len(p) < minParallelEval {
 		p.Evaluate(prob)
 		return
 	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				p[i].Eval(prob)
-			}
-		}()
+	if pool == nil {
+		pool = SharedPool()
 	}
-	for i := range p {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	pool.RunLimit(len(p), workers, func(i int) { p[i].Eval(prob) })
 }

@@ -1,0 +1,157 @@
+package ga
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a persistent, chunk-stealing worker pool for data-parallel loops.
+// Workers are spawned once and reused across jobs, so per-generation
+// evaluation pays no goroutine start-up cost; indices are handed out in
+// chunks through an atomic cursor, so dispatch never serializes on an
+// unbuffered channel the way the old per-call evaluator did.
+//
+// The submitting goroutine always participates in its own job, which makes
+// nested submission safe: a job submitted from inside a worker (e.g. a
+// replicate runner whose replicates evaluate populations on the same pool)
+// completes even when every pool worker is busy.
+//
+// A Pool is safe for concurrent use by multiple goroutines.
+type Pool struct {
+	workers int
+	jobs    chan *poolJob
+	quit    chan struct{}
+	once    sync.Once
+}
+
+// poolJob is one parallel loop: fn(i) for every i in [0,n).
+type poolJob struct {
+	n       int64
+	chunk   int64
+	next    atomic.Int64 // cursor: next unclaimed index
+	pending atomic.Int64 // indices not yet completed
+	fn      func(i int)
+	done    chan struct{}
+}
+
+// NewPool starts a pool with the given number of workers; workers <= 0
+// selects NumCPU. Call Close to release the worker goroutines (the shared
+// pool returned by SharedPool is never closed).
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	p := &Pool{
+		workers: workers,
+		jobs:    make(chan *poolJob, workers),
+		quit:    make(chan struct{}),
+	}
+	for w := 0; w < workers; w++ {
+		go p.worker()
+	}
+	return p
+}
+
+// Workers returns the number of pool-owned worker goroutines.
+func (p *Pool) Workers() int { return p.workers }
+
+// Close stops the worker goroutines once any in-flight jobs drain. Jobs
+// submitted after Close still complete, executed by the submitting
+// goroutine alone. Close is idempotent.
+func (p *Pool) Close() { p.once.Do(func() { close(p.quit) }) }
+
+func (p *Pool) worker() {
+	for {
+		select {
+		case <-p.quit:
+			return
+		case j := <-p.jobs:
+			j.run()
+		}
+	}
+}
+
+// Run executes fn(i) for every i in [0,n) across the pool and the calling
+// goroutine, returning when all n calls have completed. Calls are
+// unordered; fn must be safe to call concurrently for distinct i.
+func (p *Pool) Run(n int, fn func(i int)) { p.RunLimit(n, 0, fn) }
+
+// RunLimit is Run with the job's concurrency capped at limit goroutines
+// (including the caller); limit <= 0 means no extra cap beyond the pool
+// size.
+func (p *Pool) RunLimit(n, limit int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if limit <= 0 || limit > p.workers+1 {
+		limit = p.workers + 1
+	}
+	j := &poolJob{n: int64(n), fn: fn, done: make(chan struct{})}
+	j.pending.Store(j.n)
+	j.chunk = chunkFor(n, limit)
+	// Offer the job to at most limit-1 workers (the caller is the limit-th)
+	// and to no more workers than there are chunks. Offers are non-blocking:
+	// if every worker is busy the caller simply runs the whole job itself,
+	// which is what makes nested submission deadlock-free.
+	helpers := int((j.n + j.chunk - 1) / j.chunk)
+	if helpers > limit-1 {
+		helpers = limit - 1
+	}
+offer:
+	for w := 0; w < helpers; w++ {
+		select {
+		case p.jobs <- j:
+		default:
+			break offer // buffer full: the caller picks up the slack
+		}
+	}
+	j.run()
+	<-j.done
+}
+
+// run claims and executes chunks until the cursor is exhausted. The last
+// goroutine to finish a chunk signals completion.
+func (j *poolJob) run() {
+	for {
+		start := j.next.Add(j.chunk) - j.chunk
+		if start >= j.n {
+			return
+		}
+		end := start + j.chunk
+		if end > j.n {
+			end = j.n
+		}
+		for i := start; i < end; i++ {
+			j.fn(int(i))
+		}
+		if j.pending.Add(start-end) == 0 {
+			close(j.done)
+		}
+	}
+}
+
+// chunkFor sizes chunks so each participant gets a few steals' worth of
+// work: small enough to balance uneven item costs, large enough to keep
+// cursor contention negligible.
+func chunkFor(n, limit int) int64 {
+	c := n / (limit * 4)
+	if c < 1 {
+		c = 1
+	}
+	return int64(c)
+}
+
+var (
+	sharedOnce sync.Once
+	sharedPool *Pool
+)
+
+// SharedPool returns the process-wide evaluation pool (NumCPU workers,
+// created on first use, never closed). All optimizers share it by default,
+// so a whole experiment sweep runs on one fixed set of goroutines no matter
+// how many engines are alive.
+func SharedPool() *Pool {
+	sharedOnce.Do(func() { sharedPool = NewPool(0) })
+	return sharedPool
+}

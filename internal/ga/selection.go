@@ -64,10 +64,11 @@ func RankSelect(s *rng.Stream, pop Population, pressure float64) *Individual {
 
 // RankSelector precomputes the sorted order once so repeated draws are
 // O(log n) instead of O(n log n). Use when drawing a whole mating pool from
-// one frozen population state.
+// one frozen population state. The zero value is usable after Reset;
+// resetting reuses the selector's buffers, so a selector kept across
+// generations allocates nothing at steady state.
 type RankSelector struct {
-	pop      Population
-	order    []int
+	ord      crowdedOrder
 	cum      []float64
 	pressure float64
 }
@@ -75,20 +76,28 @@ type RankSelector struct {
 // NewRankSelector builds a selector over pop with the given linear-ranking
 // pressure.
 func NewRankSelector(pop Population, pressure float64) *RankSelector {
+	rs := &RankSelector{}
+	rs.Reset(pop, pressure)
+	return rs
+}
+
+// Reset rebuilds the selector over a new population state in place.
+func (rs *RankSelector) Reset(pop Population, pressure float64) {
 	n := len(pop)
-	rs := &RankSelector{pop: pop, pressure: pressure}
-	rs.order = make([]int, n)
-	for i := range rs.order {
-		rs.order[i] = i
+	rs.pressure = pressure
+	rs.ord.pop = pop
+	if cap(rs.ord.idx) < n {
+		rs.ord.idx = make([]int, n)
 	}
-	sort.SliceStable(rs.order, func(a, b int) bool {
-		ia, ib := pop[rs.order[a]], pop[rs.order[b]]
-		if ia.Rank != ib.Rank {
-			return ia.Rank < ib.Rank
-		}
-		return ia.Crowding > ib.Crowding
-	})
-	rs.cum = make([]float64, n)
+	rs.ord.idx = rs.ord.idx[:n]
+	for i := range rs.ord.idx {
+		rs.ord.idx[i] = i
+	}
+	sort.Stable(&rs.ord)
+	if cap(rs.cum) < n {
+		rs.cum = make([]float64, n)
+	}
+	rs.cum = rs.cum[:n]
 	acc := 0.0
 	for k := 0; k < n; k++ {
 		w := 1.0
@@ -98,7 +107,6 @@ func NewRankSelector(pop Population, pressure float64) *RankSelector {
 		acc += w
 		rs.cum[k] = acc
 	}
-	return rs
 }
 
 // Pick draws one individual.
@@ -106,33 +114,16 @@ func (rs *RankSelector) Pick(s *rng.Stream) *Individual {
 	total := rs.cum[len(rs.cum)-1]
 	u := s.Float64() * total
 	k := sort.SearchFloat64s(rs.cum, u)
-	if k >= len(rs.order) {
-		k = len(rs.order) - 1
+	if k >= len(rs.ord.idx) {
+		k = len(rs.ord.idx) - 1
 	}
-	return rs.pop[rs.order[k]]
+	return rs.ord.pop[rs.ord.idx[k]]
 }
 
 // TruncateByCrowdedComparison selects the best n individuals from pop using
 // (Rank, Crowding) ordering — NSGA-II's environmental selection once ranks
 // and crowding are assigned. The input order is not modified.
 func TruncateByCrowdedComparison(pop Population, n int) Population {
-	order := make([]int, len(pop))
-	for i := range order {
-		order[i] = i
-	}
-	sort.SliceStable(order, func(a, b int) bool {
-		ia, ib := pop[order[a]], pop[order[b]]
-		if ia.Rank != ib.Rank {
-			return ia.Rank < ib.Rank
-		}
-		return ia.Crowding > ib.Crowding
-	})
-	if n > len(order) {
-		n = len(order)
-	}
-	out := make(Population, n)
-	for i := 0; i < n; i++ {
-		out[i] = pop[order[i]]
-	}
-	return out
+	var a Arena
+	return a.Truncate(pop, n, make(Population, 0, min(n, len(pop))))
 }

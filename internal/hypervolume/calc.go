@@ -1,0 +1,109 @@
+package hypervolume
+
+import (
+	"math"
+	"sort"
+)
+
+// Calc is a reusable workspace for the 2-D staircase metrics. The zero
+// value is ready to use; after a warm-up call at a given front size,
+// PaperMetric and PaperMetricCovering run without allocating. Experiment
+// loops that score a front per generation keep one Calc instead of paying a
+// copy + sort allocation per call.
+//
+// A Calc is not safe for concurrent use; give each scorer its own.
+type Calc struct {
+	pts []Point2
+	ord point2DescXAscY
+}
+
+// point2DescXAscY sorts Point2 slices by X descending, tie-break Y
+// ascending — the sweep order of the (max X, min Y) staircase. Pointer
+// receiver keeps sort.Sort allocation-free.
+type point2DescXAscY struct{ pts []Point2 }
+
+func (o *point2DescXAscY) Len() int { return len(o.pts) }
+func (o *point2DescXAscY) Less(i, j int) bool {
+	if o.pts[i].X != o.pts[j].X {
+		return o.pts[i].X > o.pts[j].X
+	}
+	return o.pts[i].Y < o.pts[j].Y
+}
+func (o *point2DescXAscY) Swap(i, j int) { o.pts[i], o.pts[j] = o.pts[j], o.pts[i] }
+
+// staircase copies front into the workspace, reduces it to the
+// non-dominated (max X, min Y) subset, and returns the
+// Σ (X_i − X_{i−1})·Y_i area together with the largest X covered.
+func (c *Calc) staircase(front []Point2) (area, xReach float64) {
+	if cap(c.pts) < len(front) {
+		c.pts = make([]Point2, 0, len(front))
+	}
+	c.pts = append(c.pts[:0], front...)
+	return c.staircaseInPlace(c.pts)
+}
+
+// PaperMetric is the package-level PaperMetric through the workspace:
+// the paper's staircase area over the (max X, min Y) front, +Inf for an
+// empty front. Lower is better.
+func (c *Calc) PaperMetric(front []Point2) float64 {
+	if len(front) == 0 {
+		return math.Inf(1)
+	}
+	area, _ := c.staircase(front)
+	return area
+}
+
+// PaperMetricCovering is the package-level PaperMetricCovering through the
+// workspace: the staircase over a pinned coverage range [0,xmax], charging
+// uncovered range at ceiling. Lower is better.
+func (c *Calc) PaperMetricCovering(front []Point2, xmax, ceiling float64) float64 {
+	if cap(c.pts) < len(front) {
+		c.pts = make([]Point2, 0, len(front))
+	}
+	clipped := c.pts[:0]
+	for _, p := range front {
+		if p.X > xmax {
+			p.X = xmax
+		}
+		if p.Y > ceiling {
+			p.Y = ceiling
+		}
+		clipped = append(clipped, p)
+	}
+	area, reach := c.staircaseInPlace(clipped)
+	if reach < xmax {
+		area += (xmax - reach) * ceiling
+	}
+	return area
+}
+
+// staircaseInPlace is staircase minus the defensive copy, for inputs
+// already living in the workspace; it sorts and compacts pts in place.
+func (c *Calc) staircaseInPlace(pts []Point2) (area, xReach float64) {
+	c.ord.pts = pts
+	sort.Sort(&c.ord)
+	c.ord.pts = nil
+	// Sweep X-descending keeping points whose Y is strictly below every Y
+	// seen at larger X, compacting survivors in place; then accumulate the
+	// staircase from the right (nd is X-descending).
+	nd := pts[:0]
+	bestY := math.Inf(1)
+	for _, p := range pts {
+		if p.Y < bestY {
+			nd = append(nd, p)
+			bestY = p.Y
+		}
+	}
+	area = 0.0
+	for i := range nd {
+		prevX := 0.0
+		if i+1 < len(nd) {
+			prevX = nd[i+1].X
+		}
+		area += (nd[i].X - prevX) * nd[i].Y
+	}
+	if len(nd) > 0 {
+		xReach = nd[0].X
+	}
+	return area, xReach
+}

@@ -1,0 +1,80 @@
+package hypervolume
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randomFront(seed int64, n int) []Point2 {
+	r := rand.New(rand.NewSource(seed))
+	front := make([]Point2, n)
+	for i := range front {
+		front[i] = Point2{X: 5e-12 * r.Float64(), Y: 1e-3 * r.Float64()}
+	}
+	return front
+}
+
+func TestCalcPaperMetricMatchesPackage(t *testing.T) {
+	var c Calc
+	for seed := int64(0); seed < 25; seed++ {
+		front := randomFront(seed, 1+int(seed)*7%120)
+		want := PaperMetric(front)
+		got := c.PaperMetric(front)
+		if got != want {
+			t.Fatalf("seed %d: Calc %g != package %g", seed, got, want)
+		}
+	}
+}
+
+func TestCalcPaperMetricEmpty(t *testing.T) {
+	var c Calc
+	if !math.IsInf(c.PaperMetric(nil), 1) {
+		t.Fatal("empty front must score +Inf")
+	}
+}
+
+func TestCalcPaperMetricDoesNotMutateInput(t *testing.T) {
+	var c Calc
+	front := randomFront(1, 40)
+	orig := append([]Point2(nil), front...)
+	c.PaperMetric(front)
+	for i := range front {
+		if front[i] != orig[i] {
+			t.Fatalf("input point %d mutated", i)
+		}
+	}
+}
+
+func TestCalcPaperMetricCoveringMatchesPackage(t *testing.T) {
+	var c Calc
+	const xmax, ceiling = 5e-12, 1e-3
+	for seed := int64(0); seed < 25; seed++ {
+		front := randomFront(seed+100, int(seed)*11%90) // includes empty
+		want := PaperMetricCovering(front, xmax, ceiling)
+		got := c.PaperMetricCovering(front, xmax, ceiling)
+		if got != want {
+			t.Fatalf("seed %d: Calc %g != package %g", seed, got, want)
+		}
+	}
+}
+
+func TestCalcPaperMetricZeroAlloc(t *testing.T) {
+	var c Calc
+	front := randomFront(3, 100)
+	c.PaperMetric(front) // warm up workspace
+	avg := testing.AllocsPerRun(20, func() { c.PaperMetric(front) })
+	if avg != 0 {
+		t.Fatalf("Calc.PaperMetric allocates %.1f objects/run at steady state, want 0", avg)
+	}
+}
+
+func TestCalcPaperMetricCoveringZeroAlloc(t *testing.T) {
+	var c Calc
+	front := randomFront(5, 100)
+	c.PaperMetricCovering(front, 5e-12, 1e-3) // warm up workspace
+	avg := testing.AllocsPerRun(20, func() { c.PaperMetricCovering(front, 5e-12, 1e-3) })
+	if avg != 0 {
+		t.Fatalf("Calc.PaperMetricCovering allocates %.1f objects/run at steady state, want 0", avg)
+	}
+}

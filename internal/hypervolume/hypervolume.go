@@ -35,17 +35,8 @@ type Point2 struct {
 // the cheapest way to "cover" every load up to X_max. Lower is better; an
 // empty front scores +Inf (nothing is covered).
 func PaperMetric(front []Point2) float64 {
-	nd := frontMaxXMinY(front)
-	if len(nd) == 0 {
-		return math.Inf(1)
-	}
-	area := 0.0
-	prevX := 0.0
-	for _, p := range nd {
-		area += (p.X - prevX) * p.Y
-		prevX = p.X
-	}
-	return area
+	var c Calc
+	return c.PaperMetric(front)
 }
 
 // PaperMetricScaled returns PaperMetric divided by unit, e.g. unit =
@@ -61,58 +52,8 @@ func PaperMetricScaled(front []Point2, unit float64) float64 {
 // monotone under adding any point. Lower is better; an empty front costs
 // xmax·ceiling.
 func PaperMetricCovering(front []Point2, xmax, ceiling float64) float64 {
-	clipped := make([]Point2, 0, len(front))
-	for _, p := range front {
-		if p.X > xmax {
-			p.X = xmax
-		}
-		if p.Y > ceiling {
-			p.Y = ceiling
-		}
-		clipped = append(clipped, p)
-	}
-	nd := frontMaxXMinY(clipped)
-	area := 0.0
-	prevX := 0.0
-	for _, p := range nd {
-		area += (p.X - prevX) * p.Y
-		prevX = p.X
-	}
-	if prevX < xmax {
-		area += (xmax - prevX) * ceiling
-	}
-	return area
-}
-
-// frontMaxXMinY extracts the non-dominated subset under (maximize X,
-// minimize Y) and returns it sorted by X ascending (Y will be strictly
-// increasing).
-func frontMaxXMinY(front []Point2) []Point2 {
-	if len(front) == 0 {
-		return nil
-	}
-	pts := append([]Point2(nil), front...)
-	// Sort by X descending, tie-break Y ascending; sweep keeping points
-	// whose Y is strictly below every Y seen at larger X.
-	sort.Slice(pts, func(i, j int) bool {
-		if pts[i].X != pts[j].X {
-			return pts[i].X > pts[j].X
-		}
-		return pts[i].Y < pts[j].Y
-	})
-	var nd []Point2
-	bestY := math.Inf(1)
-	for _, p := range pts {
-		if p.Y < bestY {
-			nd = append(nd, p)
-			bestY = p.Y
-		}
-	}
-	// nd is X-descending; reverse to ascending.
-	for i, j := 0, len(nd)-1; i < j; i, j = i+1, j-1 {
-		nd[i], nd[j] = nd[j], nd[i]
-	}
-	return nd
+	var c Calc
+	return c.PaperMetricCovering(front, xmax, ceiling)
 }
 
 // UnionBoxes computes the literal metric described in the paper's §4.2 for

@@ -40,6 +40,13 @@ type Config struct {
 	Seed int64
 	// Observer, when non-nil, sees the pooled population each generation.
 	Observer func(gen int, pooled ga.Population)
+	// Workers parallelizes objective evaluation within each island: 0
+	// selects NumCPU (matching the other engines), 1 forces the sequential
+	// path. Results are bit-identical either way.
+	Workers int
+	// Pool, when non-nil, supplies the persistent evaluation worker pool;
+	// nil selects the process-wide shared pool.
+	Pool *ga.Pool
 }
 
 // Result of an island-model run.
@@ -88,13 +95,13 @@ func Run(prob objective.Problem, cfg Config) *Result {
 	for k := range isles {
 		streams[k] = rng.DeriveN(cfg.Seed, "island", k)
 		isles[k] = ga.NewRandomPopulation(streams[k], cfg.IslandSize, lo, hi)
-		isles[k].Evaluate(prob)
+		isles[k].EvaluateWith(prob, cfg.Pool, cfg.Workers)
 		isles[k].AssignRanksAndCrowding()
 	}
 
 	for gen := 0; gen < cfg.Generations; gen++ {
 		for k := range isles {
-			isles[k] = step(prob, isles[k], streams[k], cfg.Ops, lo, hi, cfg.IslandSize)
+			isles[k] = step(prob, isles[k], streams[k], cfg, lo, hi)
 		}
 		if cfg.MigrationEvery > 0 && (gen+1)%cfg.MigrationEvery == 0 {
 			migrate(isles, cfg.Migrants)
@@ -113,9 +120,10 @@ func Run(prob objective.Problem, cfg Config) *Result {
 }
 
 // step advances one island by one (µ+λ) NSGA-II generation.
-func step(prob objective.Problem, pop ga.Population, s *rng.Stream, ops ga.Operators, lo, hi []float64, size int) ga.Population {
-	children := nsga2.MakeChildren(s, pop, ops, lo, hi, size)
-	children.Evaluate(prob)
+func step(prob objective.Problem, pop ga.Population, s *rng.Stream, cfg Config, lo, hi []float64) ga.Population {
+	size := cfg.IslandSize
+	children := nsga2.MakeChildren(s, pop, cfg.Ops, lo, hi, size)
+	children.EvaluateWith(prob, cfg.Pool, cfg.Workers)
 	union := make(ga.Population, 0, len(pop)+len(children))
 	union = append(union, pop...)
 	union = append(union, children...)

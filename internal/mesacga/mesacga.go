@@ -51,6 +51,9 @@ type Config struct {
 	Initial ga.Population
 	// Workers parallelizes objective evaluation (see sacga.Config.Workers).
 	Workers int
+	// Pool, when non-nil, supplies the persistent evaluation worker pool
+	// (see sacga.Config.Pool).
+	Pool *ga.Pool
 }
 
 // DefaultSchedule is the paper's seven-phase expansion.
@@ -92,6 +95,7 @@ func Run(prob objective.Problem, cfg Config) *Result {
 		Observer:           cfg.Observer,
 		Initial:            cfg.Initial,
 		Workers:            cfg.Workers,
+		Pool:               cfg.Pool,
 	}
 	e := sacga.NewEngine(prob, sc)
 	gent := e.PhaseI(e.Config().GentMax)

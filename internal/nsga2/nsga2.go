@@ -28,9 +28,12 @@ type Config struct {
 	// Initial, when non-nil, seeds the initial population (cloned); missing
 	// individuals are filled with uniform random samples.
 	Initial ga.Population
-	// Workers parallelizes objective evaluation (results are identical to
-	// sequential evaluation; <= 1 keeps the sequential path).
+	// Workers parallelizes objective evaluation: 0 selects NumCPU, 1
+	// forces the sequential path. Results are bit-identical either way.
 	Workers int
+	// Pool, when non-nil, supplies the persistent worker pool used for
+	// evaluation; nil selects the process-wide shared pool.
+	Pool *ga.Pool
 }
 
 // Result is the outcome of a run.
@@ -74,20 +77,26 @@ func Run(prob objective.Problem, cfg Config) *Result {
 	for len(pop) < cfg.PopSize {
 		pop = append(pop, ga.NewRandom(s, lo, hi))
 	}
-	pop.EvaluateParallel(prob, cfg.Workers)
-	pop.AssignRanksAndCrowding()
+	pop.EvaluateWith(prob, cfg.Pool, cfg.Workers)
+
+	// Steady-state buffers: the union and the next parent population are
+	// double-buffered with pop, so the generation loop's sort/select kernels
+	// run allocation-free through the arena after the first generation.
+	arena := &ga.Arena{}
+	arena.AssignRanksAndCrowding(pop)
+	union := make(ga.Population, 0, 2*cfg.PopSize)
+	next := make(ga.Population, 0, cfg.PopSize)
 
 	for gen := 0; gen < cfg.Generations; gen++ {
 		children := MakeChildren(s, pop, cfg.Ops, lo, hi, cfg.PopSize)
-		children.EvaluateParallel(prob, cfg.Workers)
-		union := make(ga.Population, 0, len(pop)+len(children))
-		union = append(union, pop...)
-		union = append(union, children...)
-		union.AssignRanksAndCrowding()
-		pop = ga.TruncateByCrowdedComparison(union, cfg.PopSize)
+		children.EvaluateWith(prob, cfg.Pool, cfg.Workers)
+		union = append(append(union[:0], pop...), children...)
+		arena.AssignRanksAndCrowding(union)
+		next = arena.Truncate(union, cfg.PopSize, next)
+		pop, next = next, pop
 		// Re-rank the survivors among themselves so selection in the next
 		// generation and observers see self-consistent ranks.
-		pop.AssignRanksAndCrowding()
+		arena.AssignRanksAndCrowding(pop)
 		for _, ind := range pop {
 			ind.Age++
 		}

@@ -1,0 +1,68 @@
+package nsga2
+
+import (
+	"testing"
+
+	"sacga/internal/benchfn"
+	"sacga/internal/ga"
+	"sacga/internal/hypervolume"
+)
+
+// frontHV scores a run's front with the staircase metric so divergence in
+// ANY objective value shows up in one scalar.
+func frontHV(front ga.Population) float64 {
+	pts := make([]hypervolume.Point2, 0, len(front))
+	for _, ind := range front {
+		pts = append(pts, hypervolume.Point2{X: ind.Objectives[0], Y: ind.Objectives[1]})
+	}
+	return hypervolume.PaperMetricCovering(pts, 1, 10)
+}
+
+// TestParallelEvaluationBitIdentical asserts the engine's determinism
+// contract: Workers > 1 (pooled evaluation) must reproduce the sequential
+// run exactly — same decision vectors, same objectives, same metric.
+func TestParallelEvaluationBitIdentical(t *testing.T) {
+	cfg := Config{PopSize: 40, Generations: 30, Seed: 11}
+	seq := Run(benchfn.ZDT1(8), cfg)
+
+	cfg.Workers = 8
+	par := Run(benchfn.ZDT1(8), cfg)
+
+	if len(seq.Front) != len(par.Front) {
+		t.Fatalf("front sizes differ: %d vs %d", len(seq.Front), len(par.Front))
+	}
+	for i := range seq.Final {
+		for d := range seq.Final[i].X {
+			if seq.Final[i].X[d] != par.Final[i].X[d] {
+				t.Fatalf("individual %d gene %d diverged", i, d)
+			}
+		}
+		for k := range seq.Final[i].Objectives {
+			if seq.Final[i].Objectives[k] != par.Final[i].Objectives[k] {
+				t.Fatalf("individual %d objective %d diverged", i, k)
+			}
+		}
+	}
+	if frontHV(seq.Front) != frontHV(par.Front) {
+		t.Fatal("hypervolume metric diverged between sequential and parallel runs")
+	}
+}
+
+// TestPrivatePoolMatchesSharedPool runs the same configuration on an
+// explicitly owned pool and on the shared default; both must reproduce the
+// sequential result.
+func TestPrivatePoolMatchesSharedPool(t *testing.T) {
+	pool := ga.NewPool(3)
+	defer pool.Close()
+
+	cfg := Config{PopSize: 40, Generations: 20, Seed: 13}
+	seq := Run(benchfn.ZDT1(6), cfg)
+
+	cfg.Workers = 3
+	cfg.Pool = pool
+	private := Run(benchfn.ZDT1(6), cfg)
+
+	if frontHV(seq.Front) != frontHV(private.Front) {
+		t.Fatal("private-pool run diverged from sequential run")
+	}
+}

@@ -5,8 +5,6 @@
 // All functions treat objective vectors as MINIMIZED.
 package pareto
 
-import "math"
-
 // Point is one candidate in objective space: its objective vector and its
 // total constraint violation (0 for feasible points).
 type Point struct {
@@ -53,52 +51,8 @@ func ConstrainedDominates(a, b Point) bool {
 // pts: fronts[0] is the non-dominated set, fronts[1] the set dominated only
 // by fronts[0], and so on. Every index appears in exactly one front.
 func SortFronts(pts []Point) [][]int {
-	n := len(pts)
-	if n == 0 {
-		return nil
-	}
-	dominatedBy := make([]int, n) // how many points dominate i
-	dominates := make([][]int, n) // indices i dominates
-	current := make([]int, 0, n)  // front under construction
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			switch {
-			case ConstrainedDominates(pts[i], pts[j]):
-				dominates[i] = append(dominates[i], j)
-				dominatedBy[j]++
-			case ConstrainedDominates(pts[j], pts[i]):
-				dominates[j] = append(dominates[j], i)
-				dominatedBy[i]++
-			}
-		}
-		if dominatedBy[i] == 0 {
-			current = append(current, i)
-		}
-	}
-	// dominatedBy[i] can still grow after i was provisionally added only if
-	// some j>i dominates i; re-filter the provisional first front.
-	first := current[:0]
-	for _, i := range current {
-		if dominatedBy[i] == 0 {
-			first = append(first, i)
-		}
-	}
-	var fronts [][]int
-	front := append([]int(nil), first...)
-	for len(front) > 0 {
-		fronts = append(fronts, front)
-		var next []int
-		for _, i := range front {
-			for _, j := range dominates[i] {
-				dominatedBy[j]--
-				if dominatedBy[j] == 0 {
-					next = append(next, j)
-				}
-			}
-		}
-		front = next
-	}
-	return fronts
+	var s Sorter
+	return s.Sort(pts)
 }
 
 // Ranks returns, for each point, the index of the front it belongs to
@@ -147,46 +101,8 @@ func NondominatedPlain(objs [][]float64) []int {
 // returned slice is aligned with front. Boundary points (extreme in any
 // objective) get +Inf.
 func Crowding(pts []Point, front []int) []float64 {
-	m := len(front)
-	dist := make([]float64, m)
-	if m == 0 {
-		return dist
-	}
-	if m <= 2 {
-		for i := range dist {
-			dist[i] = math.Inf(1)
-		}
-		return dist
-	}
-	nobj := len(pts[front[0]].Obj)
-	order := make([]int, m) // positions into front, re-sorted per objective
-	for k := 0; k < nobj; k++ {
-		for i := range order {
-			order[i] = i
-		}
-		obj := func(pos int) float64 { return pts[front[order[pos]]].Obj[k] }
-		// insertion sort: fronts are small and this avoids allocation.
-		for i := 1; i < m; i++ {
-			for j := i; j > 0 && obj(j) < obj(j-1); j-- {
-				order[j], order[j-1] = order[j-1], order[j]
-			}
-		}
-		lo := pts[front[order[0]]].Obj[k]
-		hi := pts[front[order[m-1]]].Obj[k]
-		dist[order[0]] = math.Inf(1)
-		dist[order[m-1]] = math.Inf(1)
-		if hi-lo <= 0 {
-			continue
-		}
-		for i := 1; i < m-1; i++ {
-			if math.IsInf(dist[order[i]], 1) {
-				continue
-			}
-			dist[order[i]] += (pts[front[order[i+1]]].Obj[k] -
-				pts[front[order[i-1]]].Obj[k]) / (hi - lo)
-		}
-	}
-	return dist
+	var s Sorter
+	return append([]float64(nil), s.Crowding(pts, front)...)
 }
 
 // Crowded is NSGA-II's crowded-comparison operator: true if (rankA,crowdA)

@@ -1,0 +1,142 @@
+package pareto
+
+import "math"
+
+// Sorter is a reusable workspace for fast non-dominated sorting and
+// crowding-distance computation. The zero value is ready to use; after a
+// warm-up call at a given population size, Sort and Crowding run without
+// allocating, which is what keeps the per-generation selection kernels of
+// the optimizers allocation-free.
+//
+// A Sorter is not safe for concurrent use; give each engine its own.
+type Sorter struct {
+	dominatedBy []int   // how many points dominate i
+	dominates   [][]int // indices i dominates (inner slices reused)
+	frontBuf    []int   // flat storage all fronts slice into
+	fronts      [][]int // front headers over frontBuf
+
+	order []int     // crowding scratch: per-objective sort order
+	crowd []float64 // crowding scratch: distances for one front
+}
+
+// Sort performs fast non-dominated sorting (Deb et al., NSGA-II) under
+// constrained domination, exactly as the package-level SortFronts. The
+// returned fronts — and the int slices they contain — are workspace views
+// valid only until the next Sort call on this Sorter.
+func (s *Sorter) Sort(pts []Point) [][]int {
+	n := len(pts)
+	if n == 0 {
+		return nil
+	}
+	if cap(s.dominatedBy) < n {
+		s.dominatedBy = make([]int, n)
+	}
+	s.dominatedBy = s.dominatedBy[:n]
+	for i := range s.dominatedBy {
+		s.dominatedBy[i] = 0
+	}
+	if cap(s.dominates) < n {
+		grown := make([][]int, n)
+		copy(grown, s.dominates[:cap(s.dominates)])
+		s.dominates = grown
+	}
+	s.dominates = s.dominates[:n]
+	for i := range s.dominates {
+		s.dominates[i] = s.dominates[i][:0]
+	}
+	if cap(s.frontBuf) < n {
+		s.frontBuf = make([]int, 0, n)
+	}
+	s.frontBuf = s.frontBuf[:0]
+	s.fronts = s.fronts[:0]
+
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			switch {
+			case ConstrainedDominates(pts[i], pts[j]):
+				s.dominates[i] = append(s.dominates[i], j)
+				s.dominatedBy[j]++
+			case ConstrainedDominates(pts[j], pts[i]):
+				s.dominates[j] = append(s.dominates[j], i)
+				s.dominatedBy[i]++
+			}
+		}
+	}
+	// Peel fronts into frontBuf. Every index lands in exactly one front, so
+	// frontBuf never outgrows its cap and the header slices stay valid.
+	for i := 0; i < n; i++ {
+		if s.dominatedBy[i] == 0 {
+			s.frontBuf = append(s.frontBuf, i)
+		}
+	}
+	lo := 0
+	for lo < len(s.frontBuf) {
+		front := s.frontBuf[lo:len(s.frontBuf):len(s.frontBuf)]
+		s.fronts = append(s.fronts, front)
+		lo = len(s.frontBuf)
+		for _, i := range front {
+			for _, j := range s.dominates[i] {
+				s.dominatedBy[j]--
+				if s.dominatedBy[j] == 0 {
+					s.frontBuf = append(s.frontBuf, j)
+				}
+			}
+		}
+	}
+	return s.fronts
+}
+
+// Crowding computes the NSGA-II crowding distance for the members of one
+// front, exactly as the package-level Crowding. The returned slice is
+// workspace, valid only until the next Crowding call on this Sorter.
+func (s *Sorter) Crowding(pts []Point, front []int) []float64 {
+	m := len(front)
+	if cap(s.crowd) < m {
+		s.crowd = make([]float64, m)
+	}
+	dist := s.crowd[:m]
+	if m == 0 {
+		return dist
+	}
+	if m <= 2 {
+		for i := range dist {
+			dist[i] = math.Inf(1)
+		}
+		return dist
+	}
+	for i := range dist {
+		dist[i] = 0
+	}
+	if cap(s.order) < m {
+		s.order = make([]int, m)
+	}
+	order := s.order[:m]
+	nobj := len(pts[front[0]].Obj)
+	for k := 0; k < nobj; k++ {
+		for i := range order {
+			order[i] = i
+		}
+		// Insertion sort on the k-th objective: fronts are small and this
+		// avoids both allocation and sort.Slice's closure.
+		for i := 1; i < m; i++ {
+			for j := i; j > 0 && pts[front[order[j]]].Obj[k] < pts[front[order[j-1]]].Obj[k]; j-- {
+				order[j], order[j-1] = order[j-1], order[j]
+			}
+		}
+		lo := pts[front[order[0]]].Obj[k]
+		hi := pts[front[order[m-1]]].Obj[k]
+		dist[order[0]] = math.Inf(1)
+		dist[order[m-1]] = math.Inf(1)
+		if hi-lo <= 0 {
+			continue
+		}
+		for i := 1; i < m-1; i++ {
+			if math.IsInf(dist[order[i]], 1) {
+				continue
+			}
+			dist[order[i]] += (pts[front[order[i+1]]].Obj[k] -
+				pts[front[order[i-1]]].Obj[k]) / (hi - lo)
+		}
+	}
+	return dist
+}

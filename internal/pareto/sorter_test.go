@@ -1,0 +1,128 @@
+package pareto
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// randomPoints builds a population with duplicate objective values and a
+// mix of feasible/infeasible points to stress every domination branch.
+func randomPoints(seed int64, n int) []Point {
+	r := rand.New(rand.NewSource(seed))
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{Obj: []float64{
+			float64(r.Intn(20)) / 4,
+			float64(r.Intn(20)) / 4,
+		}}
+		if r.Intn(4) == 0 {
+			pts[i].Vio = r.Float64()
+		}
+	}
+	return pts
+}
+
+// referenceSortFronts is an O(n^2 f) oracle: repeatedly extract the
+// constrained non-dominated subset of the remaining points.
+func referenceSortFronts(pts []Point) [][]int {
+	remaining := make([]int, len(pts))
+	for i := range remaining {
+		remaining[i] = i
+	}
+	var fronts [][]int
+	for len(remaining) > 0 {
+		var front, rest []int
+		for _, i := range remaining {
+			dominated := false
+			for _, j := range remaining {
+				if i != j && ConstrainedDominates(pts[j], pts[i]) {
+					dominated = true
+					break
+				}
+			}
+			if dominated {
+				rest = append(rest, i)
+			} else {
+				front = append(front, i)
+			}
+		}
+		fronts = append(fronts, front)
+		remaining = rest
+	}
+	return fronts
+}
+
+func TestSorterMatchesReference(t *testing.T) {
+	var s Sorter
+	for seed := int64(0); seed < 20; seed++ {
+		pts := randomPoints(seed, 60)
+		got := s.Sort(pts)
+		want := referenceSortFronts(pts)
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: %d fronts, want %d", seed, len(got), len(want))
+		}
+		for r := range want {
+			// Membership is what matters: the peeling order within a front
+			// is an implementation detail, so compare as sorted sets.
+			g := slices.Clone(got[r])
+			slices.Sort(g)
+			if !slices.Equal(g, want[r]) {
+				t.Fatalf("seed %d front %d: %v, want %v", seed, r, g, want[r])
+			}
+		}
+	}
+}
+
+func TestSorterReuseAcrossShrinkingSizes(t *testing.T) {
+	var s Sorter
+	big := randomPoints(3, 100)
+	small := randomPoints(4, 10)
+	s.Sort(big)
+	got := s.Sort(small)
+	want := referenceSortFronts(small)
+	if len(got) != len(want) {
+		t.Fatalf("stale state leaked: %d fronts, want %d", len(got), len(want))
+	}
+	for r := range want {
+		if len(got[r]) != len(want[r]) {
+			t.Fatalf("front %d: size %d, want %d", r, len(got[r]), len(want[r]))
+		}
+	}
+}
+
+func TestSorterCrowdingMatchesPackageCrowding(t *testing.T) {
+	var s Sorter
+	pts := randomPoints(7, 80)
+	for _, front := range s.Sort(pts) {
+		want := Crowding(pts, front)
+		got := s.Crowding(pts, front)
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("crowding[%d]: %g, want %g", k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func TestSorterSortZeroAlloc(t *testing.T) {
+	var s Sorter
+	pts := randomPoints(11, 200)
+	s.Sort(pts) // warm up adjacency and front buffers
+	avg := testing.AllocsPerRun(20, func() { s.Sort(pts) })
+	if avg != 0 {
+		t.Fatalf("Sorter.Sort allocates %.1f objects/run at steady state, want 0", avg)
+	}
+}
+
+func TestSorterCrowdingZeroAlloc(t *testing.T) {
+	var s Sorter
+	pts := randomPoints(13, 200)
+	fronts := s.Sort(pts)
+	front := fronts[0]
+	s.Crowding(pts, front) // warm up
+	avg := testing.AllocsPerRun(20, func() { s.Crowding(pts, front) })
+	if avg != 0 {
+		t.Fatalf("Sorter.Crowding allocates %.1f objects/run at steady state, want 0", avg)
+	}
+}

@@ -226,13 +226,6 @@ func abs(v int) int {
 	return v
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 func padLeft(s string, w int) string {
 	for len(s) < w {
 		s = " " + s

@@ -1,0 +1,92 @@
+package sacga
+
+import (
+	"testing"
+
+	"sacga/internal/benchfn"
+	"sacga/internal/ga"
+	"sacga/internal/hypervolume"
+)
+
+func zdtFrontHV(front ga.Population) float64 {
+	pts := make([]hypervolume.Point2, 0, len(front))
+	for _, ind := range front {
+		pts = append(pts, hypervolume.Point2{X: ind.Objectives[0], Y: ind.Objectives[1]})
+	}
+	return hypervolume.PaperMetricCovering(pts, 1, 10)
+}
+
+// TestParallelEvaluationBitIdentical asserts SACGA's determinism contract:
+// pooled evaluation (Workers > 1) must reproduce the sequential run exactly
+// — the annealed competition consumes the same random streams either way.
+func TestParallelEvaluationBitIdentical(t *testing.T) {
+	cfg := zdtConfig(40, 5)
+	seq := Run(benchfn.ZDT1(8), cfg)
+
+	cfg.Workers = 8
+	par := Run(benchfn.ZDT1(8), cfg)
+
+	if len(seq.Final) != len(par.Final) {
+		t.Fatalf("population sizes differ: %d vs %d", len(seq.Final), len(par.Final))
+	}
+	for i := range seq.Final {
+		for d := range seq.Final[i].X {
+			if seq.Final[i].X[d] != par.Final[i].X[d] {
+				t.Fatalf("individual %d gene %d diverged", i, d)
+			}
+		}
+		for k := range seq.Final[i].Objectives {
+			if seq.Final[i].Objectives[k] != par.Final[i].Objectives[k] {
+				t.Fatalf("individual %d objective %d diverged", i, k)
+			}
+		}
+	}
+	if zdtFrontHV(seq.Front) != zdtFrontHV(par.Front) {
+		t.Fatal("hypervolume metric diverged between sequential and parallel runs")
+	}
+}
+
+// TestPrivatePoolBitIdentical repeats the contract on an explicitly owned
+// pool, the configuration engines share across generations.
+func TestPrivatePoolBitIdentical(t *testing.T) {
+	pool := ga.NewPool(4)
+	defer pool.Close()
+
+	cfg := zdtConfig(40, 5)
+	seq := Run(benchfn.ZDT1(6), cfg)
+
+	cfg.Workers = 4
+	cfg.Pool = pool
+	par := Run(benchfn.ZDT1(6), cfg)
+
+	if zdtFrontHV(seq.Front) != zdtFrontHV(par.Front) {
+		t.Fatal("private-pool run diverged from sequential run")
+	}
+}
+
+// TestKernelsSteadyStateZeroAlloc pins the zero-allocation property of the
+// per-generation selection kernels: partition-local ranking and quota-based
+// environmental selection must not allocate once the engine's scratch is
+// warm.
+func TestKernelsSteadyStateZeroAlloc(t *testing.T) {
+	prob := benchfn.ZDT1(8)
+	e := NewEngine(prob, zdtConfig(60, 6))
+	// Warm every buffer with a few full iterations (children, union,
+	// double-buffered populations, group-by, sorter adjacency).
+	e.PhaseI(3)
+	e.PhaseII(3)
+
+	union := append(append(ga.Population{}, e.pop...), e.pop.Clone()...)
+	e.assign(union)
+	e.localRanks(union) // warm union-sized scratch
+
+	avg := testing.AllocsPerRun(20, func() { e.localRanks(union) })
+	if avg != 0 {
+		t.Fatalf("localRanks allocates %.1f objects/run at steady state, want 0", avg)
+	}
+
+	avg = testing.AllocsPerRun(20, func() { e.environmentalSelect(union) })
+	if avg != 0 {
+		t.Fatalf("environmentalSelect allocates %.1f objects/run at steady state, want 0", avg)
+	}
+}

@@ -32,7 +32,6 @@ package sacga
 
 import (
 	"math"
-	"sort"
 
 	"sacga/internal/ga"
 	"sacga/internal/objective"
@@ -72,18 +71,24 @@ type Config struct {
 	// Seed drives all randomness.
 	Seed int64
 	// Observer, when non-nil, is called after every iteration (phase I and
-	// II) with the current population.
+	// II) with the current population. The callback must not retain pop:
+	// the engine recycles population buffers across iterations.
 	Observer func(gen int, pop ga.Population)
 	// Initial seeds the population (cloned; filled up with random points).
 	Initial ga.Population
-	// Workers parallelizes objective evaluation (results are identical to
-	// sequential evaluation; <= 1 keeps the sequential path).
+	// Workers parallelizes objective evaluation: 0 selects NumCPU, 1
+	// forces the sequential path. Results are bit-identical either way.
 	Workers int
+	// Pool, when non-nil, supplies the persistent worker pool used for
+	// evaluation; nil selects the process-wide shared pool.
+	Pool *ga.Pool
 }
 
 // Result of a SACGA run.
 type Result struct {
-	// Final is the last population.
+	// Final is the last population. It is a live view of the engine's
+	// buffers: valid indefinitely after Run/RunLocalOnly, but invalidated
+	// by driving the same Engine further (Clone it first in that case).
 	Final ga.Population
 	// Front is the globally non-dominated subset of Final (the one global
 	// competition performed at the end).
@@ -159,6 +164,26 @@ type Engine struct {
 	pop  ga.Population
 	dead []bool
 	gen  int // global iteration counter (for Observer)
+
+	// Steady-state scratch. The per-generation kernels (partition group-by,
+	// local/global non-dominated sorts, rank revision, environmental
+	// selection) run entirely inside these buffers, so iterations allocate
+	// only for the variation operators' new individuals.
+	arena        ga.Arena       // index sorts by crowded comparison
+	sel          ga.RankSelector // global mating pool selector
+	lsort        pareto.Sorter  // local & participant non-dominated sorts
+	lpts         []pareto.Point // point views for lsort
+	counts       []int          // partition group-by: per-partition counts
+	starts       []int          // partition group-by: segment offsets (M+1)
+	cursor       []int          // partition group-by: fill cursors
+	idxbuf       []int          // partition group-by: grouped indices
+	rank0        []int          // reviseRanks: locally-superior candidates
+	participants []int          // reviseRanks: global-competition entrants
+	taken        []bool         // environmentalSelect: membership flags
+	rest         []int          // environmentalSelect: global refill pool
+	popBuf       ga.Population  // environmentalSelect: double buffer
+	unionBuf     ga.Population  // iterate: (µ+λ) union
+	childBuf     ga.Population  // iterate: offspring
 }
 
 // NewEngine initializes the population and partition grid.
@@ -182,13 +207,16 @@ func NewEngine(prob objective.Problem, cfg Config) *Engine {
 	for len(e.pop) < cfg.PopSize {
 		e.pop = append(e.pop, ga.NewRandom(e.s, lo, hi))
 	}
-	e.pop.EvaluateParallel(prob, cfg.Workers)
+	e.pop.EvaluateWith(prob, cfg.Pool, cfg.Workers)
 	e.assign(e.pop)
 	e.localRanks(e.pop)
 	return e
 }
 
-// Population returns the current population (not a copy).
+// Population returns the current population — a live view, not a copy.
+// The engine recycles population buffers across iterations, so the view is
+// invalidated by any further PhaseI/PhaseII/iterate call; Clone it to keep
+// a snapshot.
 func (e *Engine) Population() ga.Population { return e.pop }
 
 // Config returns the normalized configuration.
@@ -297,28 +325,72 @@ func (e *Engine) allPartitionsFeasible() bool {
 	return true
 }
 
+// groupByPartition buckets pop's indices by partition into the engine's
+// scratch (a counting sort, so indices stay in ascending order within each
+// partition). Segment k is idxbuf[starts[k]:starts[k+1]]. Grid.Index is
+// total over [0, M), so every individual lands in exactly one bucket.
+func (e *Engine) groupByPartition(pop ga.Population) {
+	m := e.grid.M
+	if cap(e.counts) < m {
+		e.counts = make([]int, m)
+		e.starts = make([]int, m+1)
+		e.cursor = make([]int, m)
+	}
+	e.counts = e.counts[:m]
+	e.starts = e.starts[:m+1]
+	e.cursor = e.cursor[:m]
+	for k := range e.counts {
+		e.counts[k] = 0
+	}
+	for _, ind := range pop {
+		e.counts[ind.Partition]++
+	}
+	e.starts[0] = 0
+	for k := 0; k < m; k++ {
+		e.starts[k+1] = e.starts[k] + e.counts[k]
+		e.cursor[k] = e.starts[k]
+	}
+	if cap(e.idxbuf) < len(pop) {
+		e.idxbuf = make([]int, len(pop))
+	}
+	e.idxbuf = e.idxbuf[:len(pop)]
+	for i, ind := range pop {
+		e.idxbuf[e.cursor[ind.Partition]] = i
+		e.cursor[ind.Partition]++
+	}
+}
+
+// partPoints refreshes the engine's point-view buffer over pop[idx].
+func (e *Engine) partPoints(pop ga.Population, idx []int) []pareto.Point {
+	if cap(e.lpts) < len(idx) {
+		e.lpts = make([]pareto.Point, len(idx))
+	}
+	e.lpts = e.lpts[:len(idx)]
+	for j, i := range idx {
+		e.lpts[j] = pop[i].Point()
+	}
+	return e.lpts
+}
+
 // localRanks performs the LOCAL competition: a constrained non-dominated
 // sort within every partition, writing Rank and Crowding on each
 // individual. Members of dead partitions are additionally pushed behind
 // everything live.
 func (e *Engine) localRanks(pop ga.Population) {
-	groups := make(map[int][]int)
-	for i, ind := range pop {
-		groups[ind.Partition] = append(groups[ind.Partition], i)
-	}
-	for part, idx := range groups {
-		pts := make([]pareto.Point, len(idx))
-		for j, i := range idx {
-			pts[j] = pop[i].Point()
+	e.groupByPartition(pop)
+	for part := 0; part < e.grid.M; part++ {
+		idx := e.idxbuf[e.starts[part]:e.starts[part+1]]
+		if len(idx) == 0 {
+			continue
 		}
-		fronts := pareto.SortFronts(pts)
-		for r, front := range fronts {
-			crowd := pareto.Crowding(pts, front)
+		pts := e.partPoints(pop, idx)
+		for r, front := range e.lsort.Sort(pts) {
+			crowd := e.lsort.Crowding(pts, front)
 			for j, fi := range front {
 				ind := pop[idx[fi]]
 				ind.Rank = r
 				ind.Crowding = crowd[j]
-				if part >= 0 && part < len(e.dead) && e.dead[part] {
+				if e.dead[part] {
 					ind.Rank += deadRankOffset
 				}
 			}
@@ -336,11 +408,11 @@ func (e *Engine) iterate(t, span int, pureLocal bool) {
 
 	// Global mating pool: rank-based selection over the entire population
 	// using the current (revised) ranks; global crossover and mutation.
-	sel := ga.NewRankSelector(e.pop, cfg.Pressure)
-	children := make(ga.Population, 0, cfg.PopSize)
+	e.sel.Reset(e.pop, cfg.Pressure)
+	children := e.childBuf[:0]
 	for len(children) < cfg.PopSize {
-		p1 := sel.Pick(e.s)
-		p2 := sel.Pick(e.s)
+		p1 := e.sel.Pick(e.s)
+		p2 := e.sel.Pick(e.s)
 		c1, c2 := cfg.Ops.Crossover(e.s, p1, p2, lo, hi)
 		cfg.Ops.Mutate(e.s, c1, lo, hi)
 		cfg.Ops.Mutate(e.s, c2, lo, hi)
@@ -349,11 +421,11 @@ func (e *Engine) iterate(t, span int, pureLocal bool) {
 			children = append(children, c2)
 		}
 	}
-	children.EvaluateParallel(e.prob, cfg.Workers)
+	e.childBuf = children
+	children.EvaluateWith(e.prob, cfg.Pool, cfg.Workers)
 
-	union := make(ga.Population, 0, len(e.pop)+len(children))
-	union = append(union, e.pop...)
-	union = append(union, children...)
+	union := append(append(e.unionBuf[:0], e.pop...), children...)
+	e.unionBuf = union
 	e.assign(union)
 	e.localRanks(union)
 
@@ -377,17 +449,20 @@ func (e *Engine) iterate(t, span int, pureLocal bool) {
 // crowding) are replaced by their global values.
 func (e *Engine) reviseRanks(union ga.Population, t, span int) {
 	cfg := &e.cfg
-	perPartition := make(map[int][]int)
-	for i, ind := range union {
-		if ind.Rank == 0 { // locally superior, live partitions only
-			perPartition[ind.Partition] = append(perPartition[ind.Partition], i)
-		}
-	}
-	var participants []int
-	// Visit partitions in index order: map iteration order would leak
-	// nondeterminism into the shuffle stream.
+	// The group-by computed by localRanks(union) is still valid: partitions
+	// have not changed since. Visit partitions in index order (a map here
+	// would leak nondeterminism into the shuffle stream); within a
+	// partition, candidates are in ascending union order, exactly as the
+	// rank-0 filter over a linear scan would produce.
+	participants := e.participants[:0]
 	for k := 0; k < e.grid.M; k++ {
-		idx := perPartition[k]
+		idx := e.rank0[:0]
+		for _, i := range e.idxbuf[e.starts[k]:e.starts[k+1]] {
+			if union[i].Rank == 0 { // locally superior, live partitions only
+				idx = append(idx, i)
+			}
+		}
+		e.rank0 = idx
 		if len(idx) == 0 {
 			continue
 		}
@@ -399,16 +474,13 @@ func (e *Engine) reviseRanks(union ga.Population, t, span int) {
 			}
 		}
 	}
+	e.participants = participants
 	if len(participants) == 0 {
 		return
 	}
-	pts := make([]pareto.Point, len(participants))
-	for j, i := range participants {
-		pts[j] = union[i].Point()
-	}
-	fronts := pareto.SortFronts(pts)
-	for r, front := range fronts {
-		crowd := pareto.Crowding(pts, front)
+	pts := e.partPoints(union, participants)
+	for r, front := range e.lsort.Sort(pts) {
+		crowd := e.lsort.Crowding(pts, front)
 		for j, fi := range front {
 			ind := union[participants[fi]]
 			ind.Rank = r
@@ -424,7 +496,7 @@ func (e *Engine) environmentalSelect(union ga.Population) ga.Population {
 	cfg := &e.cfg
 	live := 0
 	for k := 0; k < e.grid.M; k++ {
-		if k >= len(e.dead) || !e.dead[k] {
+		if !e.dead[k] {
 			live++
 		}
 	}
@@ -434,27 +506,24 @@ func (e *Engine) environmentalSelect(union ga.Population) ga.Population {
 	quota := cfg.PopSize / live
 	extra := cfg.PopSize % live
 
-	groups := make(map[int][]int)
-	for i, ind := range union {
-		groups[ind.Partition] = append(groups[ind.Partition], i)
+	// The group-by from localRanks(union) is still valid; segments are
+	// sorted in place, which is fine because the grouping is rebuilt on the
+	// next iteration.
+	if cap(e.taken) < len(union) {
+		e.taken = make([]bool, len(union))
 	}
-	better := func(a, b int) bool {
-		ia, ib := union[a], union[b]
-		if ia.Rank != ib.Rank {
-			return ia.Rank < ib.Rank
-		}
-		return ia.Crowding > ib.Crowding
+	taken := e.taken[:len(union)]
+	for i := range taken {
+		taken[i] = false
 	}
-
-	taken := make([]bool, len(union))
-	out := make(ga.Population, 0, cfg.PopSize)
+	out := e.popBuf[:0]
 	liveSeen := 0
 	for k := 0; k < e.grid.M; k++ {
-		idx := groups[k]
+		idx := e.idxbuf[e.starts[k]:e.starts[k+1]]
 		if len(idx) == 0 {
 			continue
 		}
-		if k < len(e.dead) && e.dead[k] {
+		if e.dead[k] {
 			continue // no quota protection for discarded partitions
 		}
 		q := quota
@@ -462,20 +531,21 @@ func (e *Engine) environmentalSelect(union ga.Population) ga.Population {
 			q++
 		}
 		liveSeen++
-		sort.SliceStable(idx, func(a, b int) bool { return better(idx[a], idx[b]) })
+		e.arena.SortIndicesByCrowdedComparison(union, idx)
 		for _, i := range idx[:min(q, len(idx))] {
 			out = append(out, union[i])
 			taken[i] = true
 		}
 	}
 	if len(out) < cfg.PopSize {
-		rest := make([]int, 0, len(union))
+		rest := e.rest[:0]
 		for i := range union {
 			if !taken[i] {
 				rest = append(rest, i)
 			}
 		}
-		sort.SliceStable(rest, func(a, b int) bool { return better(rest[a], rest[b]) })
+		e.rest = rest
+		e.arena.SortIndicesByCrowdedComparison(union, rest)
 		for _, i := range rest {
 			if len(out) == cfg.PopSize {
 				break
@@ -486,14 +556,11 @@ func (e *Engine) environmentalSelect(union ga.Population) ga.Population {
 	if len(out) > cfg.PopSize {
 		out = out[:cfg.PopSize]
 	}
+	// Double-buffer the parent population: the outgoing generation's array
+	// becomes the next selection's output buffer. Its individuals survive
+	// through union/out references, so recycling the slice is safe.
+	e.popBuf = e.pop[:0]
 	return out
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // infeasibleFallbackCheck guards against a pathological all-dead grid: if
