@@ -20,6 +20,7 @@ import (
 	"sacga/internal/expt"
 	"sacga/internal/ga"
 	"sacga/internal/hypervolume"
+	"sacga/internal/nsga2"
 	"sacga/internal/objective"
 	"sacga/internal/pareto"
 	"sacga/internal/process"
@@ -171,6 +172,25 @@ func BenchmarkCircuitEvaluate(b *testing.B) {
 	}
 }
 
+// BenchmarkCircuitEvaluateBatch measures the struct-of-arrays fast path on
+// the same workload: one op = a 64-individual EvaluateBatch (compare
+// ns/op÷64 with BenchmarkCircuitEvaluate, and allocs/op with its 2).
+func BenchmarkCircuitEvaluateBatch(b *testing.B) {
+	prob := sizing.New(process.Default018(), sizing.PaperSpec())
+	s := rng.New(1)
+	lo, hi := prob.Bounds()
+	xs := make([][]float64, 64)
+	for i := range xs {
+		xs[i] = ga.NewRandom(s, lo, hi).X
+	}
+	out := make([]objective.Result, len(xs))
+	prob.EvaluateBatch(xs, out) // warm scratch + result buffers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prob.EvaluateBatch(xs, out)
+	}
+}
+
 // ---- evaluation-engine benchmarks ----
 //
 // The pooled evaluator replaced a per-call evaluator that spawned a
@@ -208,9 +228,11 @@ func benchPopulation(n int) (ga.Population, objective.Problem) {
 }
 
 // BenchmarkPopulationEvalSequential is the single-threaded floor: one
-// generation's evaluation with no dispatch at all.
+// generation's evaluation with no dispatch at all (the batch fast path,
+// scratch warmed — steady state is allocation-free).
 func BenchmarkPopulationEvalSequential(b *testing.B) {
 	pop, prob := benchPopulation(256)
+	pop.Evaluate(prob) // warm batch scratch + per-individual buffers
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		pop.Evaluate(prob)
@@ -229,9 +251,11 @@ func BenchmarkPopulationEvalSpawnPerCall(b *testing.B) {
 }
 
 // BenchmarkPopulationEvalPooled measures the persistent chunk-stealing
-// pool that replaced it.
+// pool that replaced it, now dispatching contiguous sub-batches through
+// the batch fast path.
 func BenchmarkPopulationEvalPooled(b *testing.B) {
 	pop, prob := benchPopulation(256)
+	pop.EvaluateParallel(prob, 0) // warm batch scratch + per-individual buffers
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		pop.EvaluateParallel(prob, 0)
@@ -272,6 +296,43 @@ func BenchmarkExptReplicatesPooled(b *testing.B) {
 		if _, err := expt.Run("fig5", cfg); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkMakeChildren measures one generation's variation pipeline
+// (tournament selection, SBX, polynomial mutation) with per-pairing child
+// allocation — the pre-arena path.
+func BenchmarkMakeChildren(b *testing.B) {
+	pop, prob := benchPopulation(100)
+	pop.Evaluate(prob)
+	pop.AssignRanksAndCrowding()
+	lo, hi := prob.Bounds()
+	ops := ga.DefaultOperators()
+	s := rng.New(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nsga2.MakeChildren(s, pop, ops, lo, hi, len(pop))
+	}
+}
+
+// BenchmarkMakeChildrenArena measures the same pipeline through
+// generation-recycled offspring buffers (compare allocs/op with
+// BenchmarkMakeChildren under -benchmem; steady state is zero).
+func BenchmarkMakeChildrenArena(b *testing.B) {
+	pop, prob := benchPopulation(100)
+	pop.Evaluate(prob)
+	pop.AssignRanksAndCrowding()
+	lo, hi := prob.Bounds()
+	ops := ga.DefaultOperators()
+	s := rng.New(3)
+	arena := &ga.Arena{}
+	children := nsga2.MakeChildrenInto(s, pop, ops, lo, hi, len(pop), arena, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, c := range children {
+			arena.Recycle(c)
+		}
+		children = nsga2.MakeChildrenInto(s, pop, ops, lo, hi, len(pop), arena, children)
 	}
 }
 

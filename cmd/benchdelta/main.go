@@ -1,0 +1,107 @@
+// Command benchdelta gates benchmark regressions in CI. It parses `go test
+// -bench` output (a file or stdin), compares the guarded benchmarks against
+// a checked-in BENCH_*.json baseline, and exits non-zero when a gate fails:
+// ns/op beyond -max-regress, or any allocs/op growth.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'PopulationEval' -benchmem . | \
+//	    go run ./cmd/benchdelta -baseline BENCH_pr2.json -check BenchmarkPopulationEvalPooled
+//
+//	go run ./cmd/benchdelta -baseline BENCH_pr2.json -input bench.out -record BENCH_new.json
+//
+// -record rewrites the baseline's benchmark table from the current run
+// (keeping its comment/environment) instead of gating.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"sacga/internal/benchdelta"
+)
+
+func main() {
+	var (
+		baseline   = flag.String("baseline", "BENCH_pr2.json", "checked-in baseline JSON")
+		input      = flag.String("input", "-", "bench output file ('-' = stdin)")
+		check      = flag.String("check", "BenchmarkPopulationEvalPooled", "comma-separated benchmarks to gate ('all' = every baseline row present)")
+		maxRegress = flag.Float64("max-regress", 0.10, "maximum tolerated fractional ns/op regression")
+		calibrate  = flag.String("calibrate", "", "benchmark whose current/baseline ns ratio normalizes machine speed before gating ('' = compare raw)")
+		record     = flag.String("record", "", "write current results over the baseline table to this path and exit")
+	)
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if *input != "-" {
+		f, err := os.Open(*input)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	current, err := benchdelta.Parse(in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(current) == 0 {
+		fatal(fmt.Errorf("no benchmark rows found in %s", *input))
+	}
+
+	base, err := benchdelta.LoadBaseline(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *record != "" {
+		base.Benchmarks = current
+		if err := base.Write(*record); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchdelta: recorded %d benchmarks to %s\n", len(current), *record)
+		return
+	}
+
+	var names []string
+	if *check != "all" {
+		for _, n := range strings.Split(*check, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+	}
+	scale := 1.0
+	if *calibrate != "" {
+		scale, err = benchdelta.CalibrationScale(base, current, *calibrate)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchdelta: calibration %s scale %.3f (current machine vs baseline)\n", *calibrate, scale)
+	}
+	deltas := benchdelta.Compare(base, current, names, *maxRegress, scale)
+	for _, d := range deltas {
+		status := "ok"
+		detail := ""
+		if d.Baseline != nil && d.Current != nil {
+			detail = fmt.Sprintf(" ns/op %.0f -> %.0f (%+.1f%%), allocs %.0f -> %.0f",
+				d.Baseline.NsPerOp, d.Current.NsPerOp, (d.Ratio-1)*100,
+				d.Baseline.AllocsPerOp, d.Current.AllocsPerOp)
+		}
+		if len(d.Failures) > 0 {
+			status = "FAIL: " + strings.Join(d.Failures, "; ")
+		}
+		fmt.Printf("benchdelta: %-40s %s%s\n", d.Name, status, detail)
+	}
+	if benchdelta.Failed(deltas) {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchdelta: %v\n", err)
+	os.Exit(1)
+}

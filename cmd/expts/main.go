@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
@@ -34,6 +35,7 @@ func main() {
 		seeds   = flag.Int("seeds", 1, "independent repetitions to average")
 		robust  = flag.Int("robust", 8, "Monte-Carlo robustness samples (0 disables the constraint)")
 		workers = flag.Int("workers", 0, "parallel runs (0 = NumCPU)")
+		cache   = flag.Bool("cache", true, "skip experiments already completed for this config (cache file in -out; requires -out)")
 	)
 	flag.Parse()
 
@@ -52,6 +54,14 @@ func main() {
 		Seeds:         *seeds,
 		RobustSamples: *robust,
 		Workers:       *workers,
+	}
+	if *cache && *out != "" {
+		c, err := expt.OpenCache(filepath.Join(*out, "expts-cache.json"))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "expts: %v (running without cache)\n", err)
+		} else {
+			cfg.Cache = c
+		}
 	}
 
 	var ids []string
@@ -73,7 +83,11 @@ func main() {
 			continue
 		}
 		rep := out.Report
-		fmt.Printf("== %s — %s (%.1fs)\n", rep.ID, rep.Title, rep.Elapsed.Seconds())
+		note := ""
+		if rep.Cached {
+			note = " [cached]"
+		}
+		fmt.Printf("== %s — %s (%.1fs)%s\n", rep.ID, rep.Title, rep.Elapsed.Seconds(), note)
 		for _, line := range rep.Summary {
 			fmt.Printf("   %s\n", line)
 		}

@@ -49,6 +49,10 @@ type Config struct {
 	Seeds int
 	// Workers bounds parallel runs (default: NumCPU).
 	Workers int
+	// Cache, when non-nil, short-circuits experiments whose (id, config,
+	// seed) fingerprint already completed — the partial-failure recovery
+	// path of RunAll. Fresh successes are stored back.
+	Cache *Cache
 }
 
 func (c *Config) normalize() {
@@ -84,8 +88,11 @@ type Report struct {
 	// Values holds the machine-checkable headline numbers.
 	Values map[string]float64
 	Files  []string
-	// Elapsed is the wall time of the whole experiment.
+	// Elapsed is the wall time of the whole experiment (the original run's
+	// wall time when the report was served from the result cache).
 	Elapsed time.Duration
+	// Cached marks a report served from the experiment result cache.
+	Cached bool `json:",omitempty"`
 }
 
 func newReport(id, title string) *Report {
@@ -362,4 +369,3 @@ func clusterFraction(pts []hypervolume.Point2) float64 {
 	}
 	return float64(n) / float64(len(pts))
 }
-

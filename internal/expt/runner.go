@@ -24,6 +24,11 @@ type Outcome struct {
 // Each experiment derives every stochastic stream from c.Seed and its own
 // replicate indices, so the outcomes are bit-identical to running the same
 // ids sequentially, in any order, at any worker count.
+//
+// With c.Cache set, experiments whose fingerprint already completed are
+// served from the cache without running (their reports carry Cached=true),
+// and every fresh success is stored back — re-running a sweep after a
+// partial failure recomputes only what is missing.
 func RunAll(ids []string, c Config) []Outcome {
 	c.normalize()
 	outs := make([]Outcome, len(ids))
@@ -32,7 +37,25 @@ func RunAll(ids []string, c Config) []Outcome {
 		workers = len(ids)
 	}
 	run := func(i int) {
+		if c.Cache != nil {
+			if rep, ok := c.Cache.Lookup(ids[i], c); ok {
+				outs[i] = Outcome{ID: ids[i], Report: rep}
+				return
+			}
+		}
 		rep, err := Run(ids[i], c)
+		if err == nil && c.Cache != nil {
+			if serr := c.Cache.Store(ids[i], c, rep); serr != nil {
+				// A cache write failure must not fail the experiment; it
+				// only costs a recomputation next time. Surface it in the
+				// returned report — on a copy, so the note is never
+				// persisted into the cache entry Store just registered.
+				cp := *rep
+				cp.Summary = append(append([]string(nil), rep.Summary...),
+					fmt.Sprintf("result-cache store failed: %v", serr))
+				rep = &cp
+			}
+		}
 		outs[i] = Outcome{ID: ids[i], Report: rep, Err: err}
 	}
 	if workers <= 1 {

@@ -6,18 +6,41 @@ import (
 	"sacga/internal/pareto"
 )
 
-// Arena is a reusable workspace for the per-generation sort/select kernels:
-// non-dominated ranking, crowding assignment and crowded-comparison
-// truncation. Engines own one Arena and thread it through every generation,
-// so at steady state (population sizes fixed after warm-up) these kernels
-// perform zero heap allocations.
+// Arena is a reusable workspace for the per-generation sort/select kernels
+// — non-dominated ranking, crowding assignment and crowded-comparison
+// truncation — plus the generation-recycled offspring buffers the variation
+// operators write into. Engines own one Arena and thread it through every
+// generation, so at steady state (population sizes fixed after warm-up)
+// these kernels and the crossover/mutation pipeline perform zero heap
+// allocations.
 //
 // An Arena is not safe for concurrent use; give each engine its own.
 type Arena struct {
 	sorter pareto.Sorter
 	pts    []pareto.Point
 	ord    crowdedOrder
+	free   []*Individual
 }
+
+// Offspring returns an empty offspring buffer: a recycled individual when
+// one is available (its gene and objective backing arrays are reused by the
+// next CrossoverInto/eval), else a fresh zero individual. The caller owns
+// the result until it hands it back through Recycle or TruncateRecycle.
+func (a *Arena) Offspring() *Individual {
+	if k := len(a.free); k > 0 {
+		c := a.free[k-1]
+		a.free[k-1] = nil
+		a.free = a.free[:k-1]
+		return c
+	}
+	return &Individual{}
+}
+
+// Recycle returns an individual's buffers to the arena for reuse by
+// Offspring. The caller must guarantee no live reference to it remains —
+// engines recycle exactly the union members their environmental selection
+// discarded, which is why observers must not retain populations.
+func (a *Arena) Recycle(ind *Individual) { a.free = append(a.free, ind) }
 
 // crowdedOrder sorts an index slice by NSGA-II's crowded comparison
 // (ascending rank, then descending crowding). It is a sort.Interface with a
@@ -100,6 +123,27 @@ func (a *Arena) Truncate(pop Population, n int, dst Population) Population {
 	dst = dst[:0]
 	for _, i := range order[:n] {
 		dst = append(dst, pop[i])
+	}
+	return dst
+}
+
+// TruncateRecycle is Truncate that additionally recycles every unselected
+// individual of pop into the arena's offspring free list. It is the
+// (µ+λ)-survival counterpart of Offspring: engines truncate the union and
+// the discarded members become the next generation's offspring buffers.
+// The caller must guarantee no reference to the unselected individuals
+// survives the call.
+func (a *Arena) TruncateRecycle(pop Population, n int, dst Population) Population {
+	order := a.SortByCrowdedComparison(pop)
+	if n > len(order) {
+		n = len(order)
+	}
+	dst = dst[:0]
+	for _, i := range order[:n] {
+		dst = append(dst, pop[i])
+	}
+	for _, i := range order[n:] {
+		a.free = append(a.free, pop[i])
 	}
 	return dst
 }

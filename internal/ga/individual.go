@@ -70,8 +70,13 @@ func (p Population) Clone() Population {
 }
 
 // Evaluate runs the problem on every individual, caching objectives and
-// total violation.
+// total violation. Problems implementing objective.BatchProblem are
+// evaluated through their struct-of-arrays fast path in one call.
 func (p Population) Evaluate(prob objective.Problem) {
+	if bp, ok := prob.(objective.BatchProblem); ok {
+		p.evaluateBatch(bp)
+		return
+	}
 	for _, ind := range p {
 		ind.Eval(prob)
 	}

@@ -41,19 +41,42 @@ func DefaultOperators() Operators {
 // Crossover produces two children from two parents. The parents are not
 // modified. Bounds are enforced on the children.
 func (op Operators) Crossover(s *rng.Stream, a, b *Individual, lo, hi []float64) (*Individual, *Individual) {
-	c1 := a.Clone()
-	c2 := b.Clone()
-	c1.Objectives, c2.Objectives = nil, nil
-	c1.Age, c2.Age = 0, 0
+	c1, c2 := &Individual{}, &Individual{}
+	op.CrossoverInto(s, a, b, c1, c2, lo, hi)
+	return c1, c2
+}
+
+// CrossoverInto is Crossover writing into caller-provided children buffers
+// — typically generation-recycled offspring from Arena.Offspring, which
+// makes steady-state variation allocation-free. c1 and c2 receive copies of
+// a's and b's genes and bookkeeping exactly as Crossover's fresh children
+// would (evaluation cleared, age zero), then the configured crossover
+// applies in place; the random draws are identical to Crossover's. The
+// parents are not modified and must be distinct from the children.
+func (op Operators) CrossoverInto(s *rng.Stream, a, b, c1, c2 *Individual, lo, hi []float64) {
+	childFrom(c1, a)
+	childFrom(c2, b)
 	if !s.Bool(op.CrossoverProb) {
-		return c1, c2
+		return
 	}
 	if op.BlendAlpha > 0 {
 		blxCrossover(s, c1.X, c2.X, lo, hi, op.BlendAlpha)
 	} else {
 		sbxCrossover(s, c1.X, c2.X, lo, hi, op.EtaC)
 	}
-	return c1, c2
+}
+
+// childFrom seeds an offspring buffer from a parent: genes copied into the
+// buffer's reused backing array, selection bookkeeping inherited (as
+// Individual.Clone would), evaluation and age cleared.
+func childFrom(c, parent *Individual) {
+	c.X = append(c.X[:0], parent.X...)
+	c.Objectives = c.Objectives[:0]
+	c.Violation = parent.Violation
+	c.Rank = parent.Rank
+	c.Crowding = parent.Crowding
+	c.Partition = parent.Partition
+	c.Age = 0
 }
 
 // Mutate applies the configured mutation operator to ind in place.

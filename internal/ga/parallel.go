@@ -26,6 +26,13 @@ func (p Population) EvaluateParallel(prob objective.Problem, workers int) {
 // the shared one. Engines that own a private Pool route every generation's
 // evaluation through it, so one set of persistent workers serves the whole
 // run instead of a goroutine flock per call.
+//
+// Problems implementing objective.BatchProblem take the batch fast path:
+// the population is split into contiguous sub-batches — a few per worker,
+// so uneven per-individual costs still balance — and each pool worker runs
+// one sub-batch through EvaluateBatch with its own recycled scratch.
+// Results are written to index-addressed slots either way, so the batch,
+// scalar, parallel and sequential paths are all bit-identical.
 func (p Population) EvaluateWith(prob objective.Problem, pool *Pool, workers int) {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
@@ -39,6 +46,17 @@ func (p Population) EvaluateWith(prob objective.Problem, pool *Pool, workers int
 	}
 	if pool == nil {
 		pool = SharedPool()
+	}
+	if bp, ok := prob.(objective.BatchProblem); ok {
+		nb := workers * 4 // sub-batches per job: steals' worth of slack
+		if nb > len(p) {
+			nb = len(p)
+		}
+		pool.RunLimit(nb, workers, func(b int) {
+			lo, hi := b*len(p)/nb, (b+1)*len(p)/nb
+			p[lo:hi].evaluateBatch(bp)
+		})
+		return
 	}
 	pool.RunLimit(len(p), workers, func(i int) { p[i].Eval(prob) })
 }

@@ -39,6 +39,8 @@ type Config struct {
 	// Seed drives all randomness.
 	Seed int64
 	// Observer, when non-nil, sees the pooled population each generation.
+	// The callback must not retain pooled or its members: discarded
+	// individuals' buffers are recycled into later generations' offspring.
 	Observer func(gen int, pooled ga.Population)
 	// Workers parallelizes objective evaluation within each island: 0
 	// selects NumCPU (matching the other engines), 1 forces the sequential
@@ -99,12 +101,20 @@ func Run(prob objective.Problem, cfg Config) *Result {
 		isles[k].AssignRanksAndCrowding()
 	}
 
+	// Islands advance sequentially within a generation, so one arena serves
+	// them all: each island's discarded union members become offspring
+	// buffers for the next island's variation. The union and child slices
+	// are likewise shared scratch.
+	arena := &ga.Arena{}
+	union := make(ga.Population, 0, 2*cfg.IslandSize)
+	children := make(ga.Population, 0, cfg.IslandSize)
+
 	for gen := 0; gen < cfg.Generations; gen++ {
 		for k := range isles {
-			isles[k] = step(prob, isles[k], streams[k], cfg, lo, hi)
+			isles[k], children, union = step(prob, isles[k], streams[k], cfg, lo, hi, arena, children, union)
 		}
 		if cfg.MigrationEvery > 0 && (gen+1)%cfg.MigrationEvery == 0 {
-			migrate(isles, cfg.Migrants)
+			migrate(isles, cfg.Migrants, arena)
 		}
 		if cfg.Observer != nil {
 			cfg.Observer(gen, pool(isles))
@@ -119,25 +129,27 @@ func Run(prob objective.Problem, cfg Config) *Result {
 	}
 }
 
-// step advances one island by one (µ+λ) NSGA-II generation.
-func step(prob objective.Problem, pop ga.Population, s *rng.Stream, cfg Config, lo, hi []float64) ga.Population {
+// step advances one island by one (µ+λ) NSGA-II generation through the
+// shared arena, returning the next population and the recycled scratch
+// slices. The survivor slice reuses pop's backing array: the union holds
+// its own copies of the member pointers, so overwriting pop is safe.
+func step(prob objective.Problem, pop ga.Population, s *rng.Stream, cfg Config, lo, hi []float64,
+	arena *ga.Arena, children, union ga.Population) (next, childBuf, unionBuf ga.Population) {
 	size := cfg.IslandSize
-	children := nsga2.MakeChildren(s, pop, cfg.Ops, lo, hi, size)
+	children = nsga2.MakeChildrenInto(s, pop, cfg.Ops, lo, hi, size, arena, children)
 	children.EvaluateWith(prob, cfg.Pool, cfg.Workers)
-	union := make(ga.Population, 0, len(pop)+len(children))
-	union = append(union, pop...)
-	union = append(union, children...)
-	union.AssignRanksAndCrowding()
-	next := ga.TruncateByCrowdedComparison(union, size)
-	next.AssignRanksAndCrowding()
-	return next
+	union = append(append(union[:0], pop...), children...)
+	arena.AssignRanksAndCrowding(union)
+	next = arena.TruncateRecycle(union, size, pop[:0])
+	arena.AssignRanksAndCrowding(next)
+	return next, children, union
 }
 
 // migrate sends each island's least-crowded front members (clones) to the
-// next island on the ring, replacing its worst residents. Emigrants are
-// selected before any replacement so simultaneous migration is
-// order-independent.
-func migrate(isles []ga.Population, migrants int) {
+// next island on the ring, replacing its worst residents (whose buffers are
+// recycled through the arena). Emigrants are selected before any
+// replacement so simultaneous migration is order-independent.
+func migrate(isles []ga.Population, migrants int, arena *ga.Arena) {
 	n := len(isles)
 	if n < 2 {
 		return
@@ -157,6 +169,9 @@ func migrate(isles []ga.Population, migrants int) {
 		next = append(next, keep...)
 		next = append(next, outbound[k]...)
 		next.AssignRanksAndCrowding()
+		for _, ind := range ordered[len(ordered)-len(outbound[k]):] {
+			arena.Recycle(ind)
+		}
 		isles[dst] = next
 	}
 }

@@ -46,6 +46,8 @@ type Config struct {
 	// PhaseObserver, when non-nil, is called after each phase completes
 	// with the phase index (0-based), its partition count and the
 	// population — the hook fig. 10 uses to trace per-phase hypervolume.
+	// The callback must not retain pop (Clone what it needs): the engine
+	// recycles discarded individuals into later phases' offspring buffers.
 	PhaseObserver func(phase, partitions int, pop ga.Population)
 	// Initial seeds the first population.
 	Initial ga.Population

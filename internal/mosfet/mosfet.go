@@ -54,37 +54,72 @@ func (t Transistor) VT(vsb float64) float64 {
 	return d.VT0 + d.Gamma*(math.Sqrt(d.Phi+vsb)-math.Sqrt(d.Phi))
 }
 
+// devCtx caches the per-(device, geometry) invariants of the drain-current
+// evaluation — the quantities every idStrong call would otherwise rederive
+// with divisions on the hot path. A devCtx is built once per solver entry
+// point (bias inversion, operating-point solve) and threaded through all of
+// that call's current evaluations.
+type devCtx struct {
+	kwl    float64 // 0.5·KP·W/L
+	lambda float64 // LambdaL/L
+	el     float64 // Esat·L
+	invEl  float64 // 1/(Esat·L), 0 when el <= 0
+	theta1 float64
+	theta2 float64
+	vk     float64
+	nexp   float64
+}
+
+func (t Transistor) ctx() devCtx {
+	d := t.Dev
+	c := devCtx{
+		kwl:    0.5 * d.KP * t.W / t.L,
+		lambda: d.LambdaL / t.L,
+		el:     d.Esat * t.L,
+		theta1: d.Theta1,
+		theta2: d.Theta2,
+		vk:     d.VK,
+		nexp:   d.NExp,
+	}
+	if c.el > 0 {
+		c.invEl = 1 / c.el
+	}
+	return c
+}
+
 // mobilityDenominator evaluates the eqn. (1) denominator
 // 1 + θ1(VGS+VT−VK)^(1/3) + θ2(VGS+VT−VK)^n, clamping the base at zero so
 // fractional powers stay real when the optimizer probes deep cutoff.
-func (t Transistor) mobilityDenominator(vgs, vt float64) float64 {
-	d := t.Dev
-	base := vgs + vt - d.VK
+func (c *devCtx) mobilityDenominator(vgs, vt float64) float64 {
+	base := vgs + vt - c.vk
 	if base < 0 {
 		base = 0
 	}
 	// n is 1 (NMOS) or 2 (PMOS); avoid math.Pow on the hot path.
 	pw := base
-	if d.NExp == 2 {
+	if c.nexp == 2 {
 		pw = base * base
-	} else if d.NExp != 1 {
-		pw = math.Pow(base, d.NExp)
+	} else if c.nexp != 1 {
+		pw = math.Pow(base, c.nexp)
 	}
-	return 1 + d.Theta1*fastCbrt(base) + d.Theta2*pw
+	return 1 + c.theta1*fastCbrt(base) + c.theta2*pw
 }
 
-// fastCbrt is a bit-trick cube root with two Newton refinements (relative
-// error ≈ 1e-8, an order below the θ1 fitting accuracy) — the mobility
-// denominator dominates the drain-current hot path.
+// fastCbrt is a bit-trick cube root with two Halley refinements (cubic
+// convergence: the ~3 % seed error contracts to full double precision in two
+// steps, each costing one division against the Newton form's one-per-step
+// with quadratic convergence only) — the mobility denominator dominates the
+// drain-current hot path.
 func fastCbrt(x float64) float64 {
 	if x <= 0 {
 		return 0
 	}
 	b := math.Float64bits(x)/3 + 0x2A9F7893782DA1CE
 	y := math.Float64frombits(b)
-	y = (2*y + x/(y*y)) * (1.0 / 3.0)
-	y = (2*y + x/(y*y)) * (1.0 / 3.0)
-	y = (2*y + x/(y*y)) * (1.0 / 3.0)
+	y3 := y * y * y
+	y = y * (y3 + 2*x) / (2*y3 + x)
+	y3 = y * y * y
+	y = y * (y3 + 2*x) / (2*y3 + x)
 	return y
 }
 
@@ -93,12 +128,11 @@ func fastCbrt(x float64) float64 {
 // expression 1/(1 + Vov/(Esat·L)), whose Taylor expansion the printed form
 // is, so the model stays positive and monotone over the whole search box
 // (the printed form goes negative for Vov > Esat·L, which the GA explores).
-func (t Transistor) vsatFactor(vov float64) float64 {
-	el := t.Dev.Esat * t.L
-	if el <= 0 {
+func (c *devCtx) vsatFactor(vov float64) float64 {
+	if c.el <= 0 {
 		return 1
 	}
-	return 1 / (1 + vov/el)
+	return 1 / (1 + vov/c.el)
 }
 
 // VDsat returns the saturation voltage for the given overdrive, reduced by
@@ -106,11 +140,15 @@ func (t Transistor) vsatFactor(vov float64) float64 {
 // VDsat = Vov·(Esat·L)/(Vov + Esat·L) — the standard short-channel
 // interpolation, → Vov for long devices and → Esat·L for strong overdrive.
 func (t Transistor) VDsat(vov float64) float64 {
+	c := t.ctx()
+	return c.vdsat(vov)
+}
+
+func (c *devCtx) vdsat(vov float64) float64 {
 	if vov <= 0 {
 		return 0
 	}
-	el := t.Dev.Esat * t.L
-	return vov * el / (vov + el)
+	return vov * c.el / (vov + c.el)
 }
 
 // moderateNUT is n·UT for the weak/strong-inversion interpolation
@@ -139,85 +177,171 @@ func effectiveOverdrive(vov float64) float64 {
 func (t Transistor) ID(b Bias) float64 {
 	vt := t.VT(b.VSB)
 	veff := effectiveOverdrive(b.VGS - vt)
-	return t.idStrong(veff, b.VDS, vt)
+	c := t.ctx()
+	return c.idStrong(veff, b.VDS, vt)
 }
 
 // idStrong evaluates strong-inversion current at overdrive vov >= 0.
-func (t Transistor) idStrong(vov, vds, vt float64) float64 {
-	d := t.Dev
-	vdsat := t.VDsat(vov)
-	lambda := d.LambdaL / t.L
-	den := t.mobilityDenominator(vov+vt, vt)
-	kwl := 0.5 * d.KP * t.W / t.L
-	if vds >= vdsat {
-		// Saturation: paper eqn. (1).
-		return kwl * vov * vov * t.vsatFactor(vov) * (1 + lambda*vds) / den
+func (c *devCtx) idStrong(vov, vds, vt float64) float64 {
+	den := c.mobilityDenominator(vov+vt, vt)
+	// Saturation test without materializing VDsat: vds ≥ vov·el/(vov+el) ⇔
+	// vds·(vov+el) ≥ vov·el for the positive quantities involved, which
+	// keeps the common saturated branch free of the division.
+	if vov <= 0 || c.el <= 0 || vds*(vov+c.el) >= vov*c.el {
+		// Saturation: paper eqn. (1), with the velocity-saturation and
+		// mobility denominators fused into one division.
+		if c.el > 0 {
+			return c.kwl * vov * vov * (1 + c.lambda*vds) / ((1 + vov*c.invEl) * den)
+		}
+		return c.kwl * vov * vov * (1 + c.lambda*vds) / den
 	}
 	// Triode: square-law with the same mobility/velocity corrections,
 	// matched to the saturation expression at vds = vdsat.
-	idsat := kwl * vov * vov * t.vsatFactor(vov) * (1 + lambda*vdsat) / den
+	vdsat := c.vdsat(vov)
+	idsat := c.kwl * vov * vov * c.vsatFactor(vov) * (1 + c.lambda*vdsat) / den
 	x := vds / vdsat
-	return idsat * x * (2 - x) * (1 + lambda*(vds-vdsat)/(1+lambda*vdsat))
+	return idsat * x * (2 - x) * (1 + c.lambda*(vds-vdsat)/(1+c.lambda*vdsat))
 }
 
 // Solve computes the full operating point (current plus small-signal
 // parameters by symmetric numeric differentiation of the same model, so
-// derivatives are exactly consistent with ID).
+// derivatives are exactly consistent with ID). The threshold and effective
+// overdrive are computed once per perturbation axis rather than once per
+// probe: the VGS probes share the bias VSB's threshold, and the VDS probes
+// additionally share the bias overdrive.
 func (t Transistor) Solve(b Bias) OP {
+	c := t.ctx()
 	vt := t.VT(b.VSB)
 	veff := effectiveOverdrive(b.VGS - vt)
 	op := OP{
 		Bias:  b,
-		ID:    t.ID(b),
+		ID:    c.idStrong(veff, b.VDS, vt),
 		VT:    vt,
-		VDsat: t.VDsat(veff),
+		VDsat: c.vdsat(veff),
 	}
 	op.Sat = b.VDS >= op.VDsat
 	const h = 1e-5
-	op.Gm = (t.ID(Bias{b.VGS + h, b.VDS, b.VSB}) - t.ID(Bias{b.VGS - h, b.VDS, b.VSB})) / (2 * h)
+	op.Gm = (c.idStrong(effectiveOverdrive(b.VGS+h-vt), b.VDS, vt) -
+		c.idStrong(effectiveOverdrive(b.VGS-h-vt), b.VDS, vt)) / (2 * h)
 	vdsm := b.VDS - h
 	if vdsm < 0 {
 		vdsm = 0
 	}
-	op.Gds = (t.ID(Bias{b.VGS, b.VDS + h, b.VSB}) - t.ID(Bias{b.VGS, vdsm, b.VSB})) / (b.VDS + h - vdsm)
+	op.Gds = (c.idStrong(veff, b.VDS+h, vt) - c.idStrong(veff, vdsm, vt)) / (b.VDS + h - vdsm)
 	// gmb via dVT/dVSB: increasing VSB raises VT, lowering current.
 	vsbp, vsbm := b.VSB+h, b.VSB-h
 	if vsbm < 0 {
 		vsbm = 0
 	}
-	op.Gmb = -(t.ID(Bias{b.VGS, b.VDS, vsbp}) - t.ID(Bias{b.VGS, b.VDS, vsbm})) / (vsbp - vsbm)
+	vtp, vtm := t.VT(vsbp), t.VT(vsbm)
+	op.Gmb = -(c.idStrong(effectiveOverdrive(b.VGS-vtp), b.VDS, vtp) -
+		c.idStrong(effectiveOverdrive(b.VGS-vtm), b.VDS, vtm)) / (vsbp - vsbm)
 	if op.Gmb < 0 {
 		op.Gmb = 0
 	}
 	return op
 }
 
+// SolveDC computes the operating point without the numeric small-signal
+// derivatives (Gm, Gds and Gmb are left zero) — for callers that only need
+// the DC current, saturation voltage and region flag (margin checks,
+// capacitance estimates) at a third of Solve's cost.
+func (t Transistor) SolveDC(b Bias) OP {
+	c := t.ctx()
+	vt := t.VT(b.VSB)
+	veff := effectiveOverdrive(b.VGS - vt)
+	op := OP{
+		Bias:  b,
+		ID:    c.idStrong(veff, b.VDS, vt),
+		VT:    vt,
+		VDsat: c.vdsat(veff),
+	}
+	op.Sat = b.VDS >= op.VDsat
+	return op
+}
+
 // VGSForID inverts the model: the gate-source voltage magnitude that makes
 // the device carry current id at the given VDS and VSB. The inversion runs
-// as a log-space secant in effective-overdrive coordinates, seeded by the
-// square-law estimate — the current is near-quadratic in the effective
-// overdrive, so this converges in a handful of idStrong evaluations and
-// avoids the weak-inversion exponential entirely. The sizing layer detects
-// "cannot bias inside the supply" as a result at the 3 V ceiling.
+// as a safeguarded secant on the relative current error idStrong/id − 1 in
+// effective-overdrive coordinates, seeded by the square-law estimate — the
+// current is near-quadratic in the effective overdrive, so this converges
+// in a handful of idStrong evaluations, avoids the weak-inversion
+// exponential entirely, and (unlike the earlier log-residual formulation)
+// costs no transcendental per iteration. The sizing layer detects "cannot
+// bias inside the supply" as a result at the 3 V ceiling.
 func (t Transistor) VGSForID(id float64, vds, vsb float64) float64 {
 	if id <= 0 {
 		return 0
 	}
 	vt := t.VT(vsb)
-	kwl := 0.5 * t.Dev.KP * t.W / t.L
-	f := func(veff float64) float64 {
-		return math.Log(t.idStrong(veff, vds, vt) / id)
-	}
-	v1 := math.Sqrt(id / kwl)
+	c := t.ctx()
+	v1 := math.Sqrt(id / c.kwl)
 	if v1 < 1e-5 {
 		v1 = 1e-5
 	}
 	if v1 > 2.5 {
 		v1 = 2.5
 	}
+	return veffToVGS(c.solveVeff(id, vds, vt, v1), vt)
+}
+
+// BiasSeed carries a previous bias-inversion solution in effective-overdrive
+// coordinates. Fixed-point bias loops and corner sweeps that re-solve the
+// same device at a slowly moving operating point pass the seed back in:
+// VGSForIDSeeded then starts the secant at the previous root (one or two
+// current evaluations instead of the cold start's handful) and skips the
+// overdrive→VGS transcendental round trip whenever the solution is
+// unchanged. The zero value means "no previous solution" (cold start).
+type BiasSeed struct {
+	// Veff is the previous effective overdrive; VGS the gate-source voltage
+	// it mapped to. OK marks the seed as valid.
+	Veff float64
+	VGS  float64
+	OK   bool
+}
+
+// VGSForIDSeeded is VGSForID warm-started from (and updating) seed.
+func (t Transistor) VGSForIDSeeded(id float64, vds, vsb float64, seed *BiasSeed) float64 {
+	if id <= 0 {
+		return 0
+	}
+	vt := t.VT(vsb)
+	c := t.ctx()
+	var v1 float64
+	if seed.OK {
+		v1 = seed.Veff
+	} else {
+		v1 = math.Sqrt(id / c.kwl)
+	}
+	if v1 < 1e-5 {
+		v1 = 1e-5
+	}
+	if v1 > 2.5 {
+		v1 = 2.5
+	}
+	veff := c.solveVeff(id, vds, vt, v1)
+	if seed.OK && veff == seed.Veff {
+		return seed.VGS // unchanged root: skip the overdrive round trip
+	}
+	vgs := veffToVGS(veff, vt)
+	seed.Veff, seed.VGS, seed.OK = veff, vgs, true
+	return vgs
+}
+
+// solveVeff runs the safeguarded secant for the effective overdrive that
+// carries current id, from initial guess v1. The relative-error residual
+// terminates at 1e-10, matching the former log-residual tolerance
+// (log r ≈ r−1 near the root); an already-converged guess (warm seeds at an
+// unchanged operating point) returns after a single current evaluation.
+func (c *devCtx) solveVeff(id, vds, vt, v1 float64) float64 {
+	invID := 1 / id
+	f1 := c.idStrong(v1, vds, vt)*invID - 1
+	if math.Abs(f1) <= 1e-10 {
+		return v1
+	}
 	v0 := v1 * 1.25
-	f0, f1 := f(v0), f(v1)
-	for i := 0; i < 40 && math.Abs(f1) > 1e-10; i++ {
+	f0 := c.idStrong(v0, vds, vt)*invID - 1
+	for i := 0; i < 40; i++ {
 		df := f1 - f0
 		if df == 0 {
 			break
@@ -229,12 +353,20 @@ func (t Transistor) VGSForID(id float64, vds, vsb float64) float64 {
 			next = 4
 		}
 		v0, f0 = v1, f1
-		v1, f1 = next, f(next)
+		v1, f1 = next, c.idStrong(next, vds, vt)*invID-1
+		if math.Abs(f1) <= 1e-10 {
+			break
+		}
 	}
-	// Map the effective overdrive back through the exact inverse of
-	// effectiveOverdrive: vov = 2nUT·ln(e^{veff/2nUT} − 1).
-	x := v1 / (2 * moderateNUT)
-	vov := v1
+	return v1
+}
+
+// veffToVGS maps an effective overdrive back through the exact inverse of
+// effectiveOverdrive — vov = 2nUT·ln(e^{veff/2nUT} − 1) — and applies the
+// supply-ceiling clamps.
+func veffToVGS(veff, vt float64) float64 {
+	x := veff / (2 * moderateNUT)
+	vov := veff
 	if x <= 12 {
 		vov = 2 * moderateNUT * math.Log(math.Expm1(x))
 	}

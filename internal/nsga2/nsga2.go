@@ -80,19 +80,22 @@ func Run(prob objective.Problem, cfg Config) *Result {
 	pop.EvaluateWith(prob, cfg.Pool, cfg.Workers)
 
 	// Steady-state buffers: the union and the next parent population are
-	// double-buffered with pop, so the generation loop's sort/select kernels
-	// run allocation-free through the arena after the first generation.
+	// double-buffered with pop, and offspring write into arena-recycled
+	// individual buffers (the union members each truncation discards), so
+	// the generation loop — variation, sort and select — runs allocation-
+	// free after the first generation.
 	arena := &ga.Arena{}
 	arena.AssignRanksAndCrowding(pop)
 	union := make(ga.Population, 0, 2*cfg.PopSize)
 	next := make(ga.Population, 0, cfg.PopSize)
+	children := make(ga.Population, 0, cfg.PopSize)
 
 	for gen := 0; gen < cfg.Generations; gen++ {
-		children := MakeChildren(s, pop, cfg.Ops, lo, hi, cfg.PopSize)
+		children = MakeChildrenInto(s, pop, cfg.Ops, lo, hi, cfg.PopSize, arena, children)
 		children.EvaluateWith(prob, cfg.Pool, cfg.Workers)
 		union = append(append(union[:0], pop...), children...)
 		arena.AssignRanksAndCrowding(union)
-		next = arena.Truncate(union, cfg.PopSize, next)
+		next = arena.TruncateRecycle(union, cfg.PopSize, next)
 		pop, next = next, pop
 		// Re-rank the survivors among themselves so selection in the next
 		// generation and observers see self-consistent ranks.
@@ -116,17 +119,32 @@ func Run(prob objective.Problem, cfg Config) *Result {
 // because SACGA reuses the same variation pipeline on its global mating
 // pool.
 func MakeChildren(s *rng.Stream, pop ga.Population, ops ga.Operators, lo, hi []float64, n int) ga.Population {
-	children := make(ga.Population, 0, n)
-	for len(children) < n {
+	return MakeChildrenInto(s, pop, ops, lo, hi, n, &ga.Arena{}, nil)
+}
+
+// MakeChildrenInto is MakeChildren through an offspring arena: children are
+// written into recycled individual buffers from arena.Offspring and
+// appended to dst's backing array, so a warmed-up generation loop allocates
+// nothing for variation. The random draws — and therefore the offspring
+// genes — are identical to MakeChildren's.
+func MakeChildrenInto(s *rng.Stream, pop ga.Population, ops ga.Operators, lo, hi []float64, n int, arena *ga.Arena, dst ga.Population) ga.Population {
+	if dst == nil {
+		dst = make(ga.Population, 0, n)
+	}
+	dst = dst[:0]
+	for len(dst) < n {
 		p1 := ga.TournamentSelect(s, pop)
 		p2 := ga.TournamentSelect(s, pop)
-		c1, c2 := ops.Crossover(s, p1, p2, lo, hi)
+		c1, c2 := arena.Offspring(), arena.Offspring()
+		ops.CrossoverInto(s, p1, p2, c1, c2, lo, hi)
 		ops.Mutate(s, c1, lo, hi)
 		ops.Mutate(s, c2, lo, hi)
-		children = append(children, c1)
-		if len(children) < n {
-			children = append(children, c2)
+		dst = append(dst, c1)
+		if len(dst) < n {
+			dst = append(dst, c2)
+		} else {
+			arena.Recycle(c2) // odd n: the dangling child's buffers return
 		}
 	}
-	return children
+	return dst
 }

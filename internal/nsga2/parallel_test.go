@@ -6,6 +6,8 @@ import (
 	"sacga/internal/benchfn"
 	"sacga/internal/ga"
 	"sacga/internal/hypervolume"
+	"sacga/internal/process"
+	"sacga/internal/sizing"
 )
 
 // frontHV scores a run's front with the staircase metric so divergence in
@@ -64,5 +66,34 @@ func TestPrivatePoolMatchesSharedPool(t *testing.T) {
 
 	if frontHV(seq.Front) != frontHV(private.Front) {
 		t.Fatal("private-pool run diverged from sequential run")
+	}
+}
+
+// TestBatchProblemEngineDeterminism asserts the determinism contract on a
+// real BatchProblem: the sizing problem routes through the SoA sub-batch
+// dispatch when pooled, and must still reproduce the sequential run
+// bit-for-bit.
+func TestBatchProblemEngineDeterminism(t *testing.T) {
+	prob := sizing.New(process.Default018(), sizing.PaperSpec())
+	cfg := Config{PopSize: 26, Generations: 6, Seed: 17, Workers: 1}
+	seq := Run(prob, cfg)
+
+	cfg.Workers = 5
+	par := Run(prob, cfg)
+
+	for i := range seq.Final {
+		for d := range seq.Final[i].X {
+			if seq.Final[i].X[d] != par.Final[i].X[d] {
+				t.Fatalf("individual %d gene %d diverged on the batch path", i, d)
+			}
+		}
+		if seq.Final[i].Violation != par.Final[i].Violation {
+			t.Fatalf("individual %d violation diverged on the batch path", i)
+		}
+		for k := range seq.Final[i].Objectives {
+			if seq.Final[i].Objectives[k] != par.Final[i].Objectives[k] {
+				t.Fatalf("individual %d objective %d diverged on the batch path", i, k)
+			}
+		}
 	}
 }

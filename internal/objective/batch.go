@@ -1,0 +1,52 @@
+package objective
+
+// BatchProblem is a Problem that can evaluate a whole population in one
+// call. Implementations restructure the per-individual work into a
+// struct-of-arrays sweep (decode every gene column once, hoist per-corner
+// constants once per batch) and write results into caller-owned slices, so
+// the steady-state fast path performs no heap allocations.
+//
+// The contract mirrors Evaluate exactly: for every i,
+// EvaluateBatch(xs, out) must leave out[i] bit-identical to Evaluate(xs[i]),
+// and must not retain xs or any of its rows. len(out) must equal len(xs);
+// out[i].Objectives and out[i].Violations are used as provided when their
+// lengths already match NumObjectives/NumConstraints (with Violations
+// zeroed by the implementation before accumulation) and are (re)allocated
+// otherwise.
+type BatchProblem interface {
+	Problem
+	EvaluateBatch(xs [][]float64, out []Result)
+}
+
+// EvaluateBatch evaluates every row of xs into out, through the fast path
+// when p implements BatchProblem and by per-row Evaluate calls otherwise.
+// len(out) must equal len(xs).
+func EvaluateBatch(p Problem, xs [][]float64, out []Result) {
+	if bp, ok := p.(BatchProblem); ok {
+		bp.EvaluateBatch(xs, out)
+		return
+	}
+	for i, x := range xs {
+		out[i] = p.Evaluate(x)
+	}
+}
+
+// Prepare sizes the result's slices for a problem with nobj objectives and
+// ncons constraints, reusing the existing backing arrays when they are large
+// enough, and zeroes both. Batch implementations call it (directly or via
+// the ga layer) before writing into a recycled Result.
+func (r *Result) Prepare(nobj, ncons int) {
+	r.Objectives = prepFloats(r.Objectives, nobj)
+	r.Violations = prepFloats(r.Violations, ncons)
+}
+
+func prepFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}

@@ -1,0 +1,108 @@
+package objective
+
+import "testing"
+
+// stubBatchProblem is a stubProblem with a native fast path that doubles
+// the first objective, so tests can tell which path produced a result.
+type stubBatchProblem struct {
+	stubProblem
+	batchCalls int
+}
+
+func (p *stubBatchProblem) EvaluateBatch(xs [][]float64, out []Result) {
+	p.batchCalls++
+	for i, x := range xs {
+		out[i] = p.eval(x)
+	}
+}
+
+func okBatchProblem() *stubBatchProblem {
+	return &stubBatchProblem{stubProblem: *okProblem()}
+}
+
+func TestEvaluateBatchHelperFastPath(t *testing.T) {
+	p := okBatchProblem()
+	xs := [][]float64{{0.1, 0.2}, {0.3, 0.4}, {0.5, 0.6}}
+	out := make([]Result, len(xs))
+	EvaluateBatch(p, xs, out)
+	if p.batchCalls != 1 {
+		t.Fatalf("helper made %d batch calls, want 1", p.batchCalls)
+	}
+	for i, x := range xs {
+		if out[i].Objectives[0] != x[0] || out[i].Objectives[1] != x[1] {
+			t.Fatalf("row %d wrong: %+v", i, out[i])
+		}
+	}
+}
+
+func TestEvaluateBatchHelperScalarFallback(t *testing.T) {
+	p := okProblem()
+	xs := [][]float64{{0.1, 0.2}, {0.3, 0.4}}
+	out := make([]Result, len(xs))
+	EvaluateBatch(p, xs, out)
+	for i, x := range xs {
+		if out[i].Objectives[0] != x[0] {
+			t.Fatalf("row %d wrong: %+v", i, out[i])
+		}
+	}
+}
+
+func TestCounterBatchPassThrough(t *testing.T) {
+	p := okBatchProblem()
+	c := NewCounter(p)
+	xs := [][]float64{{0.1, 0.2}, {0.3, 0.4}, {0.5, 0.6}}
+	out := make([]Result, len(xs))
+	c.EvaluateBatch(xs, out)
+	if c.Count() != 3 {
+		t.Fatalf("batch of 3 counted as %d", c.Count())
+	}
+	if p.batchCalls != 1 {
+		t.Fatalf("counter bypassed the wrapped fast path (%d batch calls)", p.batchCalls)
+	}
+	// Mixed scalar + batch use counts each individual exactly once.
+	c.Evaluate([]float64{0.7, 0.8})
+	c.EvaluateBatch(xs[:2], out[:2])
+	if c.Count() != 6 {
+		t.Fatalf("mixed counting drifted: %d, want 6", c.Count())
+	}
+}
+
+func TestCounterBatchFallbackForScalarProblems(t *testing.T) {
+	// A Counter always satisfies BatchProblem; when the wrapped problem has
+	// no fast path the batch call must fall back row-by-row with identical
+	// results and exact counting.
+	c := NewCounter(okProblem())
+	xs := [][]float64{{0.2, 0.9}, {0.8, 0.1}}
+	out := make([]Result, len(xs))
+	c.EvaluateBatch(xs, out)
+	if c.Count() != 2 {
+		t.Fatalf("fallback batch of 2 counted as %d", c.Count())
+	}
+	for i, x := range xs {
+		if out[i].Objectives[0] != x[0] || out[i].Objectives[1] != x[1] {
+			t.Fatalf("fallback row %d wrong: %+v", i, out[i])
+		}
+	}
+}
+
+func TestResultPrepare(t *testing.T) {
+	var r Result
+	r.Prepare(2, 3)
+	if len(r.Objectives) != 2 || len(r.Violations) != 3 {
+		t.Fatalf("prepare shape: %+v", r)
+	}
+	r.Objectives[1] = 7
+	r.Violations[2] = 9
+	keep := r.Violations
+	r.Prepare(2, 3)
+	if r.Objectives[1] != 0 || r.Violations[2] != 0 {
+		t.Fatal("prepare must zero reused slices")
+	}
+	if &keep[0] != &r.Violations[0] {
+		t.Fatal("prepare must reuse sufficiently large backing arrays")
+	}
+	r.Prepare(4, 5)
+	if len(r.Objectives) != 4 || len(r.Violations) != 5 {
+		t.Fatal("prepare must grow undersized slices")
+	}
+}

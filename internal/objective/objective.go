@@ -82,6 +82,22 @@ func (c *Counter) Evaluate(x []float64) Result {
 	return c.Problem.Evaluate(x)
 }
 
+// EvaluateBatch implements BatchProblem pass-through: the wrapped problem's
+// fast path is preserved (or emulated row-by-row when it has none) and the
+// counter advances by exactly the batch size in one atomic add, so
+// evaluation-count figures stay correct — each individual counted once — no
+// matter which path the engine picks.
+func (c *Counter) EvaluateBatch(xs [][]float64, out []Result) {
+	c.n.Add(int64(len(xs)))
+	if bp, ok := c.Problem.(BatchProblem); ok {
+		bp.EvaluateBatch(xs, out)
+		return
+	}
+	for i, x := range xs {
+		out[i] = c.Problem.Evaluate(x)
+	}
+}
+
 // Count returns the number of Evaluate calls so far.
 func (c *Counter) Count() int64 { return c.n.Load() }
 

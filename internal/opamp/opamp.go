@@ -105,12 +105,38 @@ const satMarginMin = 0.05
 // the tail current.
 const biasOverhead = 0.25
 
+// WarmState carries the bias-solver seeds of a previous Analyze of the same
+// sizing — e.g. the preceding corner of a corner sweep, whose operating
+// point is within tens of millivolts of the next corner's. Passing it to
+// AnalyzeWarm warm-starts every bias inversion; the zero value cold-starts
+// and is then ready for reuse.
+type WarmState struct {
+	M1, M3, M5, M6, M7 mosfet.BiasSeed
+	// VS is the previous input-pair source-node voltage; VSOK marks it
+	// valid. It seeds the source-node root solve.
+	VS   float64
+	VSOK bool
+}
+
 // Analyze solves the amplifier at the given technology corner. vcm is the
 // input and output common-mode voltage (typically VDD/2).
 func Analyze(t *process.Tech, sz Sizing, vcm float64) Result {
+	return AnalyzeWarm(t, sz, vcm, nil)
+}
+
+// AnalyzeWarm is Analyze with an explicit warm-start state (nil cold-starts,
+// exactly like Analyze). Corner sweeps thread one WarmState per design
+// through their corner loop; the result is identical to the cold-started
+// analysis to solver tolerance (1e-10 relative on every bias current).
+func AnalyzeWarm(t *process.Tech, sz Sizing, vcm float64, ws *WarmState) Result {
 	var r Result
 	nmos := t.Device(process.NMOS)
 	pmos := t.Device(process.PMOS)
+
+	var local WarmState
+	if ws == nil {
+		ws = &local
+	}
 
 	m1 := mosfet.Transistor{Dev: nmos, W: sz.W1, L: sz.L1}
 	m3 := mosfet.Transistor{Dev: pmos, W: sz.W3, L: sz.L3}
@@ -121,44 +147,70 @@ func Analyze(t *process.Tech, sz Sizing, vcm float64) Result {
 	id1 := sz.Itail / 2
 	id6 := sz.K6 * sz.Itail
 
-	// Input-pair source node: VS = vcm − VGS1(VSB=VS); fixed point in VS.
+	// Input-pair source node: VS = vcm − VGS1(VSB=VS). The body effect makes
+	// VGS1 increase with VS, so g(VS) = vcm − VGS1(VS) − VS is strictly
+	// decreasing with a unique root; a safeguarded secant finds it in a few
+	// warm-started bias solves (the former damped fixed point needed a dozen
+	// to reach ~1e-5 V). A previous corner's root seeds the next one.
 	vs := 0.2
-	var vgs1 float64
-	for i := 0; i < 12; i++ {
-		vgs1 = m1.VGSForID(id1, 0.5, vs) // VDS refined below
-		nvs := vcm - vgs1
-		if nvs < 0 {
-			nvs = 0
+	if ws.VSOK {
+		vs = ws.VS
+	}
+	vgs1 := m1.VGSForIDSeeded(id1, 0.5, vs, &ws.M1) // VDS refined below
+	{
+		g0 := vcm - vgs1 - vs
+		v0, vs1 := vs, vcm-vgs1
+		if vs1 < 0 {
+			vs1 = 0
 		}
-		vs = 0.5*vs + 0.5*nvs
+		for i := 0; i < 10 && vs1 != v0; i++ {
+			vgs1 = m1.VGSForIDSeeded(id1, 0.5, vs1, &ws.M1)
+			g1 := vcm - vgs1 - vs1
+			if math.Abs(g1) <= 1e-9 || g1 == g0 {
+				v0 = vs1
+				break
+			}
+			next := vs1 - g1*(vs1-v0)/(g1-g0)
+			if next < 0 {
+				next = 0
+			} else if next > vcm {
+				next = vcm
+			}
+			v0, g0 = vs1, g1
+			vs1 = next
+		}
+		vs = vs1
+		ws.VS, ws.VSOK = vs, true
 	}
 
 	// PMOS mirror: diode voltage sets the first-stage output DC level.
-	vsg3 := m3.VGSForID(id1, 0.4, 0)
-	vsg3 = m3.VGSForID(id1, vsg3, 0) // diode: VSD = VSG
+	vsg3 := m3.VGSForIDSeeded(id1, 0.4, 0, &ws.M3)
+	vsg3 = m3.VGSForIDSeeded(id1, vsg3, 0, &ws.M3) // diode: VSD = VSG
 
 	// Refine the input-pair bias against the actual diode-side drain
 	// voltage (the placeholder VDS used above ignores channel-length
 	// modulation).
-	vgs1 = m1.VGSForID(id1, math.Max(t.VDD-vsg3-vs, 0.05), vs)
+	vgs1 = m1.VGSForIDSeeded(id1, math.Max(t.VDD-vsg3-vs, 0.05), vs, &ws.M1)
 	if nvs := vcm - vgs1; nvs > 0 {
 		vs = nvs
 	}
 
 	// Second stage: current forced by M7; M6 gate sits at stage-1 output.
-	vsg6 := m6.VGSForID(id6, t.VDD-vcm, 0)
+	vsg6 := m6.VGSForIDSeeded(id6, t.VDD-vcm, 0, &ws.M6)
 	vout1 := t.VDD - vsg6 // feedback-consistent stage-1 output DC
 
-	// Solved operating points.
+	// Solved operating points. The diode-side pair half (op1) and the mirror
+	// diode (op3) feed only saturation margins and capacitance estimates, so
+	// they skip the numeric small-signal differentiation.
 	vd1 := t.VDD - vsg3 // diode-side drain of M1
-	op1 := m1.Solve(mosfet.Bias{VGS: vgs1, VDS: math.Max(vd1-vs, 0), VSB: vs})
+	op1 := m1.SolveDC(mosfet.Bias{VGS: vgs1, VDS: math.Max(vd1-vs, 0), VSB: vs})
 	op2 := m1.Solve(mosfet.Bias{VGS: vgs1, VDS: math.Max(vout1-vs, 0), VSB: vs})
-	op3 := m3.Solve(mosfet.Bias{VGS: vsg3, VDS: vsg3, VSB: 0})
+	op3 := m3.SolveDC(mosfet.Bias{VGS: vsg3, VDS: vsg3, VSB: 0})
 	op4 := m3.Solve(mosfet.Bias{VGS: vsg3, VDS: math.Max(t.VDD-vout1, 0), VSB: 0})
-	vgs5 := m5.VGSForID(sz.Itail, math.Max(vs, 0.01), 0)
+	vgs5 := m5.VGSForIDSeeded(sz.Itail, math.Max(vs, 0.01), 0, &ws.M5)
 	op5 := m5.Solve(mosfet.Bias{VGS: vgs5, VDS: vs, VSB: 0})
 	op6 := m6.Solve(mosfet.Bias{VGS: vsg6, VDS: t.VDD - vcm, VSB: 0})
-	vgs7 := m7.VGSForID(id6, vcm, 0)
+	vgs7 := m7.VGSForIDSeeded(id6, vcm, 0, &ws.M7)
 	op7 := m7.Solve(mosfet.Bias{VGS: vgs7, VDS: vcm, VSB: 0})
 
 	r.OPM1, r.OPM3, r.OPM5, r.OPM6, r.OPM7 = op2, op4, op5, op6, op7

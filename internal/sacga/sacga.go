@@ -169,21 +169,21 @@ type Engine struct {
 	// local/global non-dominated sorts, rank revision, environmental
 	// selection) run entirely inside these buffers, so iterations allocate
 	// only for the variation operators' new individuals.
-	arena        ga.Arena       // index sorts by crowded comparison
+	arena        ga.Arena        // index sorts by crowded comparison
 	sel          ga.RankSelector // global mating pool selector
-	lsort        pareto.Sorter  // local & participant non-dominated sorts
-	lpts         []pareto.Point // point views for lsort
-	counts       []int          // partition group-by: per-partition counts
-	starts       []int          // partition group-by: segment offsets (M+1)
-	cursor       []int          // partition group-by: fill cursors
-	idxbuf       []int          // partition group-by: grouped indices
-	rank0        []int          // reviseRanks: locally-superior candidates
-	participants []int          // reviseRanks: global-competition entrants
-	taken        []bool         // environmentalSelect: membership flags
-	rest         []int          // environmentalSelect: global refill pool
-	popBuf       ga.Population  // environmentalSelect: double buffer
-	unionBuf     ga.Population  // iterate: (µ+λ) union
-	childBuf     ga.Population  // iterate: offspring
+	lsort        pareto.Sorter   // local & participant non-dominated sorts
+	lpts         []pareto.Point  // point views for lsort
+	counts       []int           // partition group-by: per-partition counts
+	starts       []int           // partition group-by: segment offsets (M+1)
+	cursor       []int           // partition group-by: fill cursors
+	idxbuf       []int           // partition group-by: grouped indices
+	rank0        []int           // reviseRanks: locally-superior candidates
+	participants []int           // reviseRanks: global-competition entrants
+	taken        []bool          // environmentalSelect: membership flags
+	rest         []int           // environmentalSelect: global refill pool
+	popBuf       ga.Population   // environmentalSelect: double buffer
+	unionBuf     ga.Population   // iterate: (µ+λ) union
+	childBuf     ga.Population   // iterate: offspring
 }
 
 // NewEngine initializes the population and partition grid.
@@ -407,18 +407,23 @@ func (e *Engine) iterate(t, span int, pureLocal bool) {
 	cfg := &e.cfg
 
 	// Global mating pool: rank-based selection over the entire population
-	// using the current (revised) ranks; global crossover and mutation.
+	// using the current (revised) ranks; global crossover and mutation into
+	// arena-recycled offspring buffers (the individuals the previous
+	// environmental selection discarded).
 	e.sel.Reset(e.pop, cfg.Pressure)
 	children := e.childBuf[:0]
 	for len(children) < cfg.PopSize {
 		p1 := e.sel.Pick(e.s)
 		p2 := e.sel.Pick(e.s)
-		c1, c2 := cfg.Ops.Crossover(e.s, p1, p2, lo, hi)
+		c1, c2 := e.arena.Offspring(), e.arena.Offspring()
+		cfg.Ops.CrossoverInto(e.s, p1, p2, c1, c2, lo, hi)
 		cfg.Ops.Mutate(e.s, c1, lo, hi)
 		cfg.Ops.Mutate(e.s, c2, lo, hi)
 		children = append(children, c1)
 		if len(children) < cfg.PopSize {
 			children = append(children, c2)
+		} else {
+			e.arena.Recycle(c2) // odd PopSize: return the dangling buffer
 		}
 	}
 	e.childBuf = children
@@ -551,10 +556,19 @@ func (e *Engine) environmentalSelect(union ga.Population) ga.Population {
 				break
 			}
 			out = append(out, union[i])
+			taken[i] = true
 		}
 	}
 	if len(out) > cfg.PopSize {
 		out = out[:cfg.PopSize]
+	}
+	// Union members that survived neither the quota pass nor the global
+	// refill are dead: recycle their buffers as the next iteration's
+	// offspring. (Observers must not retain populations for this reason.)
+	for i, ind := range union {
+		if !taken[i] {
+			e.arena.Recycle(ind)
+		}
 	}
 	// Double-buffer the parent population: the outgoing generation's array
 	// becomes the next selection's output buffer. Its individuals survive

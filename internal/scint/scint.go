@@ -127,7 +127,15 @@ type Perf struct {
 
 // Evaluate computes the integrator performance at one technology corner.
 func Evaluate(t *process.Tech, d Design, sys System) Perf {
-	amp := opamp.Analyze(t, d.Amp, sys.VCM)
+	return EvaluateWarm(t, d, sys, nil)
+}
+
+// EvaluateWarm is Evaluate with an explicit amplifier warm-start state (nil
+// cold-starts, exactly like Evaluate). Corner and Monte-Carlo sweeps thread
+// one state per design through their loop so each technology variant's bias
+// chain starts at the previous variant's solution.
+func EvaluateWarm(t *process.Tech, d Design, sys System, ws *opamp.WarmState) Perf {
+	amp := opamp.AnalyzeWarm(t, d.Amp, sys.VCM, ws)
 	var p Perf
 	p.Amp = amp
 	p.BiasOK = amp.BiasOK

@@ -1,0 +1,156 @@
+package sizing
+
+import (
+	"sync"
+
+	"sacga/internal/objective"
+	"sacga/internal/opamp"
+	"sacga/internal/process"
+	"sacga/internal/scint"
+)
+
+// EvaluateBatch implements objective.BatchProblem: the struct-of-arrays
+// fast path of the sizing problem. The whole population is decoded into
+// per-gene planes (one log/linear transform pass per gene column instead of
+// one 15-gene decode per individual), then the corner sweep runs
+// corner-major — each process corner is visited once per generation, its
+// amplifier analyses warm-started per individual from the previous corner's
+// bias solution, exactly as Evaluate threads them per call. Results are
+// emitted into the caller-owned out slices and all intermediate state lives
+// in a recycled scratch arena, so the steady-state path performs no heap
+// allocations.
+//
+// For every i, out[i] is bit-identical to Evaluate(xs[i]): the two paths
+// share the decode transform, the warm-start threading order, the
+// per-corner violation accumulation and the robustness gating.
+func (p *Problem) EvaluateBatch(xs [][]float64, out []objective.Result) {
+	n := len(xs)
+	if n == 0 {
+		return
+	}
+	out = out[:n]
+	sc := getBatchScratch(n)
+	defer putBatchScratch(sc)
+
+	// SoA decode: one transform pass per gene column.
+	for g := range genes {
+		gm := &genes[g]
+		col := sc.planes[g*n : (g+1)*n]
+		for i, x := range xs {
+			col[i] = gm.decode(x[g])
+		}
+	}
+
+	for i := range out {
+		out[i].Prepare(2, NumCons)
+	}
+
+	// Corner-major sweep: each corner's technology is walked across the
+	// whole batch before the next, with per-individual amplifier warm
+	// states threading corner c−1's bias solution into corner c.
+	for ci := range p.corners {
+		t := &p.corners[ci]
+		tt := t.Corner == process.TT
+		for i := 0; i < n; i++ {
+			perf := scint.EvaluateWarm(t, sc.design(i, n), p.sys, &sc.ws[i])
+			if tt {
+				sc.nomPow[i] = perf.Power
+			}
+			p.specViolations(&perf, out[i].Violations)
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		v := out[i].Violations
+		if p.rob != nil {
+			// Same gating as Evaluate: Monte-Carlo robustness only once the
+			// nominal design is near-feasible; hopeless designs inherit the
+			// pessimistic violation.
+			nearFeasible := v[ConsDR] < 0.2 && v[ConsST] < 0.2 && v[ConsSE] < 0.2 &&
+				v[ConsOR] < 0.2 && v[ConsSatRegion] < 0.2 && v[ConsPM] < 0.2
+			if nearFeasible {
+				r := p.rob.RobustnessWithDesign(&p.tech, sc.design(i, n), p.sys, perturbDesign, p.passes)
+				v[ConsRobust] = clampVio((p.spec.RobustMin-r)/p.spec.RobustMin, 10)
+			} else {
+				v[ConsRobust] = clampVio(p.spec.RobustMin, 10)
+			}
+		}
+		out[i].Objectives[0] = sc.nomPow[i]
+		out[i].Objectives[1] = -sc.planes[GeneCL*n+i]
+	}
+}
+
+// batchScratch is the struct-of-arrays workspace of one EvaluateBatch call:
+// gene planes (column-major, NumGenes × n), the TT-corner power plane, and
+// the per-individual amplifier warm states.
+type batchScratch struct {
+	planes []float64
+	nomPow []float64
+	ws     []opamp.WarmState
+}
+
+func (sc *batchScratch) ensure(n int) {
+	if cap(sc.planes) < NumGenes*n {
+		sc.planes = make([]float64, NumGenes*n)
+	}
+	sc.planes = sc.planes[:NumGenes*n]
+	if cap(sc.nomPow) < n {
+		sc.nomPow = make([]float64, n)
+		sc.ws = make([]opamp.WarmState, n)
+	}
+	sc.nomPow = sc.nomPow[:n]
+	sc.ws = sc.ws[:n]
+	for i := 0; i < n; i++ {
+		sc.nomPow[i] = 0
+		sc.ws[i] = opamp.WarmState{} // stale seeds would perturb determinism
+	}
+}
+
+// design gathers individual i's physical design point from the gene planes.
+func (sc *batchScratch) design(i, n int) scint.Design {
+	pl := sc.planes
+	return scint.Design{
+		Amp: opamp.Sizing{
+			W1: pl[GeneW1*n+i], L1: pl[GeneL1*n+i],
+			W3: pl[GeneW3*n+i], L3: pl[GeneL3*n+i],
+			W5: pl[GeneW5*n+i], L5: pl[GeneL5*n+i],
+			W6: pl[GeneW6*n+i], L6: pl[GeneL6*n+i],
+			W7: pl[GeneW7*n+i], L7: pl[GeneL7*n+i],
+			Itail: pl[GeneItail*n+i],
+			K6:    pl[GeneK6*n+i],
+			Cc:    pl[GeneCc*n+i],
+		},
+		Cs: pl[GeneCs*n+i],
+		CL: pl[GeneCL*n+i],
+	}
+}
+
+// batchPool recycles scratch arenas across calls and workers. It is a plain
+// mutex-guarded free list rather than a sync.Pool so warmed arenas are never
+// dropped by the garbage collector — the zero-allocation steady state holds
+// for the lifetime of the process, not just between collections.
+var batchPool struct {
+	mu   sync.Mutex
+	free []*batchScratch
+}
+
+func getBatchScratch(n int) *batchScratch {
+	batchPool.mu.Lock()
+	var sc *batchScratch
+	if k := len(batchPool.free); k > 0 {
+		sc = batchPool.free[k-1]
+		batchPool.free = batchPool.free[:k-1]
+	}
+	batchPool.mu.Unlock()
+	if sc == nil {
+		sc = &batchScratch{}
+	}
+	sc.ensure(n)
+	return sc
+}
+
+func putBatchScratch(sc *batchScratch) {
+	batchPool.mu.Lock()
+	batchPool.free = append(batchPool.free, sc)
+	batchPool.mu.Unlock()
+}

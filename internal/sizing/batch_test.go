@@ -1,0 +1,111 @@
+package sizing
+
+import (
+	"testing"
+
+	"sacga/internal/objective"
+	"sacga/internal/process"
+	"sacga/internal/rng"
+	"sacga/internal/yield"
+)
+
+func randomPopulation(seed int64, n int) [][]float64 {
+	s := rng.New(seed)
+	xs := make([][]float64, n)
+	for i := range xs {
+		x := make([]float64, NumGenes)
+		for g := range x {
+			// Include out-of-box genes so the clamp paths are compared too.
+			x[g] = s.Uniform(-0.1, 1.1)
+		}
+		xs[i] = x
+	}
+	return xs
+}
+
+// assertBatchMatchesScalar compares EvaluateBatch against per-individual
+// Evaluate bit-for-bit.
+func assertBatchMatchesScalar(t *testing.T, p *Problem, xs [][]float64) {
+	t.Helper()
+	out := make([]objective.Result, len(xs))
+	p.EvaluateBatch(xs, out)
+	for i, x := range xs {
+		want := p.Evaluate(x)
+		got := out[i]
+		if len(got.Objectives) != len(want.Objectives) || len(got.Violations) != len(want.Violations) {
+			t.Fatalf("individual %d: result shape mismatch", i)
+		}
+		for k := range want.Objectives {
+			if got.Objectives[k] != want.Objectives[k] {
+				t.Fatalf("individual %d objective %d: batch %v != scalar %v",
+					i, k, got.Objectives[k], want.Objectives[k])
+			}
+		}
+		for k := range want.Violations {
+			if got.Violations[k] != want.Violations[k] {
+				t.Fatalf("individual %d violation %s: batch %v != scalar %v",
+					i, ConsName(k), got.Violations[k], want.Violations[k])
+			}
+		}
+	}
+}
+
+func TestEvaluateBatchBitIdenticalToEvaluate(t *testing.T) {
+	p := New(process.Default018(), PaperSpec())
+	for _, seed := range []int64{1, 2, 3, 4} {
+		assertBatchMatchesScalar(t, p, randomPopulation(seed, 37))
+	}
+}
+
+func TestEvaluateBatchBitIdenticalWithRobustness(t *testing.T) {
+	// The robustness gate fires on near-feasible designs only; seeds are
+	// chosen large enough that random populations hit both sides of it.
+	p := New(process.Default018(), PaperSpec(),
+		WithRobustness(yield.NewEstimator(5, 8)))
+	for _, seed := range []int64{11, 12} {
+		assertBatchMatchesScalar(t, p, randomPopulation(seed, 48))
+	}
+}
+
+func TestEvaluateBatchBitIdenticalRestrictedCorners(t *testing.T) {
+	// No TT corner: the nominal objective must match the scalar path's
+	// zero-valued nominal in both paths.
+	p := New(process.Default018(), PaperSpec(),
+		WithCorners(process.FF, process.SS))
+	assertBatchMatchesScalar(t, p, randomPopulation(21, 16))
+}
+
+func TestEvaluateBatchReusesProvidedSlices(t *testing.T) {
+	p := New(process.Default018(), PaperSpec())
+	xs := randomPopulation(31, 8)
+	out := make([]objective.Result, len(xs))
+	for i := range out {
+		out[i].Objectives = make([]float64, 2)
+		out[i].Violations = make([]float64, NumCons)
+		out[i].Violations[0] = 99 // stale state must be cleared
+	}
+	keepObj := out[3].Objectives
+	p.EvaluateBatch(xs, out)
+	if &keepObj[0] != &out[3].Objectives[0] {
+		t.Fatal("EvaluateBatch reallocated a correctly sized Objectives slice")
+	}
+	if out[0].Violations[0] == 99 {
+		t.Fatal("EvaluateBatch did not reset stale violations")
+	}
+}
+
+func TestEvaluateBatchEmpty(t *testing.T) {
+	p := New(process.Default018(), PaperSpec())
+	p.EvaluateBatch(nil, nil) // must not panic
+}
+
+func TestEvaluateBatchSteadyStateZeroAlloc(t *testing.T) {
+	p := New(process.Default018(), PaperSpec())
+	xs := randomPopulation(41, 24)
+	out := make([]objective.Result, len(xs))
+	p.EvaluateBatch(xs, out) // warm scratch and result buffers
+	avg := testing.AllocsPerRun(5, func() { p.EvaluateBatch(xs, out) })
+	if avg != 0 {
+		t.Fatalf("EvaluateBatch allocates %.1f objects/run at steady state, want 0", avg)
+	}
+}

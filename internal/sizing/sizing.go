@@ -132,20 +132,32 @@ func GeneName(i int) string {
 		"W7", "L7", "Itail", "K6", "Cc", "Cs", "CL"}[i]
 }
 
-// geneMap holds one gene's physical range and scale.
+// geneMap holds one gene's physical range and scale. lnRatio caches
+// ln(hi/lo) for log-scaled genes (filled by init), so decode costs one exp
+// instead of a pow — the same transform the batch path applies one gene
+// column at a time.
 type geneMap struct {
-	lo, hi float64
-	log    bool
+	lo, hi  float64
+	log     bool
+	lnRatio float64
 }
 
-func (g geneMap) decode(u float64) float64 {
+func init() {
+	for i := range genes {
+		if genes[i].log {
+			genes[i].lnRatio = math.Log(genes[i].hi / genes[i].lo)
+		}
+	}
+}
+
+func (g *geneMap) decode(u float64) float64 {
 	if u < 0 {
 		u = 0
 	} else if u > 1 {
 		u = 1
 	}
 	if g.log {
-		return g.lo * math.Pow(g.hi/g.lo, u)
+		return g.lo * math.Exp(u*g.lnRatio)
 	}
 	return g.lo + (g.hi-g.lo)*u
 }
@@ -168,21 +180,21 @@ const CLMax = 5 * pf
 const CLMin = 0.05 * pf
 
 var genes = [NumGenes]geneMap{
-	GeneW1:    {2 * um, 500 * um, true},
-	GeneL1:    {0.18 * um, 2 * um, false},
-	GeneW3:    {2 * um, 500 * um, true},
-	GeneL3:    {0.18 * um, 2 * um, false},
-	GeneW5:    {2 * um, 1000 * um, true},
-	GeneL5:    {0.18 * um, 2 * um, false},
-	GeneW6:    {2 * um, 2000 * um, true},
-	GeneL6:    {0.18 * um, 2 * um, false},
-	GeneW7:    {2 * um, 2000 * um, true},
-	GeneL7:    {0.18 * um, 2 * um, false},
-	GeneItail: {2e-6, 2e-3, true},
-	GeneK6:    {0.5, 20, true},
-	GeneCc:    {0.1 * pf, 10 * pf, true},
-	GeneCs:    {0.2 * pf, 8 * pf, true},
-	GeneCL:    {CLMin, CLMax, false},
+	GeneW1:    {lo: 2 * um, hi: 500 * um, log: true},
+	GeneL1:    {lo: 0.18 * um, hi: 2 * um, log: false},
+	GeneW3:    {lo: 2 * um, hi: 500 * um, log: true},
+	GeneL3:    {lo: 0.18 * um, hi: 2 * um, log: false},
+	GeneW5:    {lo: 2 * um, hi: 1000 * um, log: true},
+	GeneL5:    {lo: 0.18 * um, hi: 2 * um, log: false},
+	GeneW6:    {lo: 2 * um, hi: 2000 * um, log: true},
+	GeneL6:    {lo: 0.18 * um, hi: 2 * um, log: false},
+	GeneW7:    {lo: 2 * um, hi: 2000 * um, log: true},
+	GeneL7:    {lo: 0.18 * um, hi: 2 * um, log: false},
+	GeneItail: {lo: 2e-6, hi: 2e-3, log: true},
+	GeneK6:    {lo: 0.5, hi: 20, log: true},
+	GeneCc:    {lo: 0.1 * pf, hi: 10 * pf, log: true},
+	GeneCs:    {lo: 0.2 * pf, hi: 8 * pf, log: true},
+	GeneCL:    {lo: CLMin, hi: CLMax, log: false},
 }
 
 // Problem is the integrator sizing problem. Construct with New.
@@ -348,8 +360,9 @@ func (p *Problem) Evaluate(x []float64) objective.Result {
 	d := p.Decode(x)
 	v := make([]float64, NumCons)
 	var nominal scint.Perf
+	var ws opamp.WarmState
 	for i := range p.corners {
-		perf := scint.Evaluate(&p.corners[i], d, p.sys)
+		perf := scint.EvaluateWarm(&p.corners[i], d, p.sys, &ws)
 		if p.corners[i].Corner == process.TT {
 			nominal = perf
 		}

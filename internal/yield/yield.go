@@ -14,6 +14,7 @@
 package yield
 
 import (
+	"sacga/internal/opamp"
 	"sacga/internal/process"
 	"sacga/internal/rng"
 	"sacga/internal/scint"
@@ -61,13 +62,14 @@ func (e *Estimator) RobustnessWithDesign(base *process.Tech, d scint.Design, sys
 		return 1
 	}
 	ok := 0
+	var ws opamp.WarmState
 	for _, z := range e.z {
 		t := base.Perturb(z)
 		di := d
 		if perturb != nil {
 			di = perturb(d, z)
 		}
-		perf := scint.Evaluate(&t, di, sys)
+		perf := scint.EvaluateWarm(&t, di, sys, &ws)
 		if pass(&perf) {
 			ok++
 		}
