@@ -6,9 +6,9 @@
 // Usage:
 //
 //	go test -run '^$' -bench 'PopulationEval' -benchmem . | \
-//	    go run ./cmd/benchdelta -baseline BENCH_pr2.json -check BenchmarkPopulationEvalPooled
+//	    go run ./cmd/benchdelta -baseline BENCH_pr3.json -check BenchmarkPopulationEvalPooled
 //
-//	go run ./cmd/benchdelta -baseline BENCH_pr2.json -input bench.out -record BENCH_new.json
+//	go run ./cmd/benchdelta -baseline BENCH_pr3.json -input bench.out -record BENCH_new.json
 //
 // -record rewrites the baseline's benchmark table from the current run
 // (keeping its comment/environment) instead of gating.
@@ -26,10 +26,10 @@ import (
 
 func main() {
 	var (
-		baseline   = flag.String("baseline", "BENCH_pr2.json", "checked-in baseline JSON")
+		baseline   = flag.String("baseline", "BENCH_pr3.json", "checked-in baseline JSON")
 		input      = flag.String("input", "-", "bench output file ('-' = stdin)")
 		check      = flag.String("check", "BenchmarkPopulationEvalPooled", "comma-separated benchmarks to gate ('all' = every baseline row present)")
-		maxRegress = flag.Float64("max-regress", 0.10, "maximum tolerated fractional ns/op regression")
+		maxRegress = flag.Float64("max-regress", benchdelta.DefaultMaxRegress, "maximum tolerated fractional ns/op regression (applied after calibration)")
 		calibrate  = flag.String("calibrate", "", "benchmark whose current/baseline ns ratio normalizes machine speed before gating ('' = compare raw)")
 		record     = flag.String("record", "", "write current results over the baseline table to this path and exit")
 	)
@@ -74,15 +74,17 @@ func main() {
 			}
 		}
 	}
-	scale := 1.0
+	var deltas []benchdelta.Delta
 	if *calibrate != "" {
-		scale, err = benchdelta.CalibrationScale(base, current, *calibrate)
+		var scale float64
+		deltas, scale, err = benchdelta.CompareCalibrated(base, current, names, *maxRegress, *calibrate)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("benchdelta: calibration %s scale %.3f (current machine vs baseline)\n", *calibrate, scale)
+	} else {
+		deltas = benchdelta.Compare(base, current, names, *maxRegress, 1)
 	}
-	deltas := benchdelta.Compare(base, current, names, *maxRegress, scale)
 	for _, d := range deltas {
 		status := "ok"
 		detail := ""

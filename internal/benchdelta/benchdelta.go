@@ -87,6 +87,12 @@ func Parse(r io.Reader) (map[string]*Entry, error) {
 	return out, nil
 }
 
+// DefaultMaxRegress is the fractional ns/op window CI gates with. The
+// in-job calibration (CompareCalibrated) cancels runner-speed differences
+// before the window applies, which is what lets it sit at 7% instead of the
+// 10% the uncalibrated gate needed to absorb heterogeneous runners.
+const DefaultMaxRegress = 0.07
+
 // Delta is one guarded benchmark's comparison outcome.
 type Delta struct {
 	Name     string
@@ -152,6 +158,47 @@ func Compare(base *Baseline, current map[string]*Entry, names []string, maxRegre
 		deltas = append(deltas, d)
 	}
 	return deltas
+}
+
+// CompareCalibrated is Compare with the machine-speed normalization applied
+// inside the gate: the calibration benchmark — a stable, pure-CPU row
+// measured in the same job as everything else — supplies the
+// current/baseline ns ratio that every gated ratio is divided by before the
+// regression window applies. The calibration row itself is never gated on
+// ns/op (its ratio is the definition of scale, so gating it would be
+// vacuous); its allocation count is still compared strictly. It returns the
+// deltas and the scale used, or an error when the calibration row is absent
+// from either side.
+func CompareCalibrated(base *Baseline, current map[string]*Entry, names []string, maxRegress float64, calibration string) ([]Delta, float64, error) {
+	scale, err := CalibrationScale(base, current, calibration)
+	if err != nil {
+		return nil, 0, err
+	}
+	if names == nil {
+		for name := range base.Benchmarks {
+			if _, ok := current[name]; ok {
+				names = append(names, name)
+			}
+		}
+		sort.Strings(names)
+	}
+	filtered := names[:0:0]
+	for _, n := range names {
+		if n != calibration {
+			filtered = append(filtered, n)
+		}
+	}
+	deltas := Compare(base, current, filtered, maxRegress, scale)
+	// Allocation strictness still covers the calibration row.
+	if b, c := base.Benchmarks[calibration], current[calibration]; b != nil && c != nil {
+		d := Delta{Name: calibration, Baseline: b, Current: c, Ratio: 1}
+		if c.AllocsPerOp > b.AllocsPerOp {
+			d.Failures = append(d.Failures, fmt.Sprintf(
+				"allocs/op grew %.0f -> %.0f", b.AllocsPerOp, c.AllocsPerOp))
+		}
+		deltas = append(deltas, d)
+	}
+	return deltas, scale, nil
 }
 
 // Failed reports whether any delta violated a gate.

@@ -115,7 +115,7 @@ func TestBaselineRoundTrip(t *testing.T) {
 
 func TestLoadBaselineSeedSchema(t *testing.T) {
 	// The checked-in baselines must stay loadable.
-	for _, name := range []string{"BENCH_seed.json", "BENCH_pr2.json"} {
+	for _, name := range []string{"BENCH_seed.json", "BENCH_pr2.json", "BENCH_pr3.json"} {
 		b, err := LoadBaseline(filepath.Join("..", "..", name))
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
@@ -126,6 +126,74 @@ func TestLoadBaselineSeedSchema(t *testing.T) {
 		if b.Benchmarks["BenchmarkPopulationEvalPooled"] == nil {
 			t.Fatalf("%s: missing the gated pooled benchmark", name)
 		}
+	}
+}
+
+func TestCompareCalibratedInsideGate(t *testing.T) {
+	base := &Baseline{Benchmarks: map[string]*Entry{
+		"BenchmarkPopulationEvalSequential": {NsPerOp: 1000, AllocsPerOp: 0},
+		"BenchmarkNondominatedSortReused":   {NsPerOp: 100, AllocsPerOp: 0},
+	}}
+	// A runner 1.4x slower across the board: raw comparison would blow any
+	// reasonable window; the in-gate calibration must cancel it exactly.
+	current := map[string]*Entry{
+		"BenchmarkPopulationEvalSequential": {NsPerOp: 1400, AllocsPerOp: 0},
+		"BenchmarkNondominatedSortReused":   {NsPerOp: 140, AllocsPerOp: 0},
+	}
+	deltas, scale, err := CompareCalibrated(base, current, nil, DefaultMaxRegress, "BenchmarkNondominatedSortReused")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scale != 1.4 {
+		t.Fatalf("scale = %v, want 1.4", scale)
+	}
+	if Failed(deltas) {
+		t.Fatalf("uniformly slower runner must pass the calibrated 7%% gate: %+v", deltas)
+	}
+	for _, d := range deltas {
+		if d.Name == "BenchmarkPopulationEvalSequential" && d.Ratio != 1 {
+			t.Fatalf("calibrated ratio = %v, want exactly 1", d.Ratio)
+		}
+	}
+
+	// A 10% regression hiding inside the machine-speed drift still fails the
+	// tightened 7% window once the calibration divides the drift out.
+	current["BenchmarkPopulationEvalSequential"].NsPerOp = 1540
+	deltas, _, err = CompareCalibrated(base, current, nil, DefaultMaxRegress, "BenchmarkNondominatedSortReused")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Failed(deltas) {
+		t.Fatal("10% real regression must fail the calibrated 7% gate")
+	}
+
+	// The calibration row itself is exempt from the ns/op window (its ratio
+	// defines the scale) but its allocation count stays strictly gated.
+	current["BenchmarkPopulationEvalSequential"].NsPerOp = 1400
+	current["BenchmarkNondominatedSortReused"].NsPerOp = 500 // wild drift, ns-exempt
+	deltas, scale, err = CompareCalibrated(base, current, nil, DefaultMaxRegress, "BenchmarkNondominatedSortReused")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scale != 5 {
+		t.Fatalf("scale = %v, want 5", scale)
+	}
+	for _, d := range deltas {
+		if d.Name == "BenchmarkNondominatedSortReused" && len(d.Failures) > 0 {
+			t.Fatalf("calibration row must not fail on ns/op: %+v", d)
+		}
+	}
+	current["BenchmarkNondominatedSortReused"].AllocsPerOp = 3
+	deltas, _, err = CompareCalibrated(base, current, nil, DefaultMaxRegress, "BenchmarkNondominatedSortReused")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Failed(deltas) {
+		t.Fatal("allocation growth on the calibration row must still fail")
+	}
+
+	if _, _, err := CompareCalibrated(base, current, nil, DefaultMaxRegress, "BenchmarkMissing"); err == nil {
+		t.Fatal("missing calibration row must error")
 	}
 }
 

@@ -82,8 +82,20 @@ func (p Population) Evaluate(prob objective.Problem) {
 	}
 }
 
-// Eval evaluates a single individual against prob.
+// Eval evaluates a single individual against prob. Problems implementing
+// objective.IntoProblem are routed through a pooled result scratch — the
+// individual's cached objectives are copied out of the recycled buffers, so
+// the scalar path allocates nothing at steady state.
 func (ind *Individual) Eval(prob objective.Problem) {
+	if ip, ok := prob.(objective.IntoProblem); ok {
+		sc := getEvalScratch(1)
+		res := &sc.res[0]
+		ip.EvaluateInto(ind.X, res)
+		ind.Objectives = append(ind.Objectives[:0], res.Objectives...)
+		ind.Violation = res.TotalViolation()
+		putEvalScratch(sc)
+		return
+	}
 	res := prob.Evaluate(ind.X)
 	ind.Objectives = res.Objectives
 	ind.Violation = res.TotalViolation()

@@ -1,0 +1,299 @@
+// Lane-major kernels: the same device model as the scalar entry points, but
+// restructured so one solver step advances a whole plane of independent
+// lanes (one lane = one individual of a batch at one corner).
+//
+// The scalar path (VGSForIDSeeded, Solve, SolveDC) remains the reference
+// implementation. Every lane kernel replicates its per-lane arithmetic
+// operation-for-operation — same expressions, same evaluation order, same
+// clamps, same early exits — so a lane's result is bit-identical to the
+// scalar call it replaces. What changes is only the loop structure: the
+// iterative solvers run iteration-major with converged lanes masked out of a
+// compact active-index list, which turns the long serial dependency chain of
+// one individual's secant into many independent per-lane chains the CPU can
+// overlap (the divisions and cube roots of different lanes pipeline instead
+// of serializing), and hoists the per-(device, geometry) invariants of
+// devCtx out of every solver call into one plane build per batch.
+//
+// Lane kernels also drop work whose results never reach an output plane
+// (e.g. the bulk-transconductance probes of Solve when the caller only
+// consumes Gm/Gds) — dead-code elimination across the call boundary that the
+// scalar path, which must fill a complete OP, cannot perform. Skipping an
+// unused computation does not perturb any emitted value, so bit-identity of
+// the outputs is preserved.
+package mosfet
+
+import (
+	"math"
+
+	"sacga/internal/process"
+)
+
+// BiasSeedLanes is the struct-of-arrays form of BiasSeed: one warm-start
+// seed per lane, threaded across corner sweeps exactly like the scalar
+// WarmState threads a BiasSeed.
+type BiasSeedLanes struct {
+	Veff []float64
+	VGS  []float64
+	OK   []bool
+}
+
+// Reset sizes the seed planes for n lanes and invalidates every seed
+// (cold start), reusing the backing arrays when large enough.
+func (s *BiasSeedLanes) Reset(n int) {
+	s.Veff = growFloats(s.Veff, n)
+	s.VGS = growFloats(s.VGS, n)
+	s.OK = growBools(s.OK, n)
+	for i := range s.OK {
+		s.OK[i] = false
+	}
+}
+
+// SecantScratch holds the per-lane state of one masked secant solve. One
+// scratch may be reused across every VGSForIDLanes call of a batch sweep.
+type SecantScratch struct {
+	v0, f0, v1, f1 []float64
+	invID          []float64
+	act            []int32
+}
+
+// Ensure sizes the scratch for n lanes.
+func (st *SecantScratch) Ensure(n int) {
+	st.v0 = growFloats(st.v0, n)
+	st.f0 = growFloats(st.f0, n)
+	st.v1 = growFloats(st.v1, n)
+	st.f1 = growFloats(st.f1, n)
+	st.invID = growFloats(st.invID, n)
+	if cap(st.act) < n {
+		st.act = make([]int32, n)
+	}
+}
+
+// LaneKernel is one transistor role (device parameter set + per-lane
+// geometry) across a whole batch: the lane-major counterpart of constructing
+// a Transistor per individual. Reset binds the device, SetLane installs one
+// lane's geometry (building its devCtx once, where the scalar path rebuilds
+// it inside every solver call), and the solver methods then advance whole
+// planes.
+type LaneKernel struct {
+	dev     *process.Device
+	ctx     []devCtx
+	sqrtPhi float64
+}
+
+// Reset binds the kernel to a device parameter set and sizes it for n lanes.
+func (k *LaneKernel) Reset(dev *process.Device, n int) {
+	k.dev = dev
+	k.sqrtPhi = math.Sqrt(dev.Phi)
+	if cap(k.ctx) < n {
+		k.ctx = make([]devCtx, n)
+	}
+	k.ctx = k.ctx[:n]
+}
+
+// SetLane installs lane i's geometry, precomputing the devCtx invariants
+// with arithmetic identical to Transistor.ctx().
+func (k *LaneKernel) SetLane(i int, w, l float64) {
+	d := k.dev
+	c := devCtx{
+		kwl:    0.5 * d.KP * w / l,
+		lambda: d.LambdaL / l,
+		el:     d.Esat * l,
+		theta1: d.Theta1,
+		theta2: d.Theta2,
+		vk:     d.VK,
+		nexp:   d.NExp,
+	}
+	if c.el > 0 {
+		c.invEl = 1 / c.el
+	}
+	k.ctx[i] = c
+}
+
+// VT returns the body-effect threshold for one lane, bit-identical to
+// Transistor.VT (the sqrt(Phi) term is hoisted into the kernel; math.Sqrt is
+// deterministic, so the difference of the two forms is exactly zero).
+func (k *LaneKernel) VT(vsb float64) float64 {
+	d := k.dev
+	if vsb < 0 {
+		vsb = 0
+	}
+	return d.VT0 + d.Gamma*(math.Sqrt(d.Phi+vsb)-k.sqrtPhi)
+}
+
+// VTInto fills vt[i] = VT(vsb[i]) for every lane in act.
+func (k *LaneKernel) VTInto(act []int32, vsb, vt []float64) {
+	for _, i := range act {
+		vt[i] = k.VT(vsb[i])
+	}
+}
+
+// VGSForIDLanes runs the seeded bias inversion for every lane in act:
+// vgs[i] becomes the gate-source voltage at which lane i's device carries
+// id[i] at vds[i], with the per-lane threshold vt[i] precomputed by the
+// caller — VTInto for body-biased lanes, or a plane filled with the device's
+// VT0 for grounded sources (the exact value VT(0) evaluates to: the
+// body-effect term is exactly zero at vsb = 0, so the hoist skips two square
+// roots per call without perturbing a bit). seed is read and updated exactly
+// like the scalar
+// BiasSeed. The secant iterates iteration-major: each pass advances every
+// still-unconverged lane once, and lanes leave the active list on the same
+// step their scalar loop would exit, so the per-lane iteration schedule —
+// and therefore every intermediate and final value — matches
+// VGSForIDSeeded bit-for-bit.
+func (k *LaneKernel) VGSForIDLanes(act []int32, id, vds, vt, vgs []float64, seed *BiasSeedLanes, st *SecantScratch) {
+	v0, f0, v1, f1 := st.v0, st.f0, st.v1, st.f1
+	invID := st.invID
+	live := st.act[:0]
+
+	// Seed/clamp and first residual; already-converged lanes (warm seeds at
+	// an unchanged operating point) finish after this single evaluation.
+	for _, i := range act {
+		if id[i] <= 0 {
+			vgs[i] = 0
+			continue
+		}
+		c := &k.ctx[i]
+		var g float64
+		if seed.OK[i] {
+			g = seed.Veff[i]
+		} else {
+			g = math.Sqrt(id[i] / c.kwl)
+		}
+		if g < 1e-5 {
+			g = 1e-5
+		}
+		if g > 2.5 {
+			g = 2.5
+		}
+		inv := 1 / id[i]
+		invID[i] = inv
+		r := c.idStrong(g, vds[i], vt[i])*inv - 1
+		if math.Abs(r) <= 1e-10 {
+			k.finishLane(i, g, vt, vgs, seed)
+			continue
+		}
+		v1[i], f1[i] = g, r
+		v0[i] = g * 1.25
+		live = append(live, i)
+	}
+
+	// Second residual for the surviving lanes: independent evaluations the
+	// core can overlap.
+	for _, i := range live {
+		f0[i] = k.ctx[i].idStrong(v0[i], vds[i], vt[i])*invID[i] - 1
+	}
+
+	// Masked secant: one pass advances every live lane one step.
+	for it := 0; it < 40 && len(live) > 0; it++ {
+		w := 0
+		for _, i := range live {
+			df := f1[i] - f0[i]
+			if df == 0 {
+				k.finishLane(i, v1[i], vt, vgs, seed)
+				continue
+			}
+			next := v1[i] - f1[i]*(v1[i]-v0[i])/df
+			if next <= 1e-7 {
+				next = v1[i] / 4
+			} else if next > 4 {
+				next = 4
+			}
+			v0[i], f0[i] = v1[i], f1[i]
+			r := k.ctx[i].idStrong(next, vds[i], vt[i])*invID[i] - 1
+			v1[i], f1[i] = next, r
+			if math.Abs(r) <= 1e-10 {
+				k.finishLane(i, next, vt, vgs, seed)
+				continue
+			}
+			live[w] = i
+			w++
+		}
+		live = live[:w]
+	}
+	// Iteration cap: remaining lanes return their last iterate, like the
+	// scalar loop falling out of its 40-step budget.
+	for _, i := range live {
+		k.finishLane(i, v1[i], vt, vgs, seed)
+	}
+}
+
+// finishLane maps a solved effective overdrive back to VGS and refreshes the
+// seed — the tail of VGSForIDSeeded, including its unchanged-root shortcut.
+func (k *LaneKernel) finishLane(i int32, veff float64, vt, vgs []float64, seed *BiasSeedLanes) {
+	if seed.OK[i] && veff == seed.Veff[i] {
+		vgs[i] = seed.VGS[i]
+		return
+	}
+	g := veffToVGS(veff, vt[i])
+	seed.Veff[i], seed.VGS[i], seed.OK[i] = veff, g, true
+	vgs[i] = g
+}
+
+// SolveDCLanes fills the derivative-free operating-point planes for every
+// lane in act: threshold (from the vt plane the caller prepared), saturation
+// voltage and region flag. It is the lane counterpart of SolveDC for callers
+// that only consume margins and capacitance-model inputs.
+func (k *LaneKernel) SolveDCLanes(act []int32, vgs, vds, vt, vdsat []float64, sat []bool) {
+	for _, i := range act {
+		c := &k.ctx[i]
+		veff := effectiveOverdrive(vgs[i] - vt[i])
+		vdsat[i] = c.vdsat(veff)
+		sat[i] = vds[i] >= vdsat[i]
+	}
+}
+
+// SolveGdsLanes fills vdsat/sat plus the output-conductance plane for lanes
+// whose transconductance is never read (the scalar Solve's Gds probe is
+// independent of its Gm probe, so computing it alone reproduces the same
+// value).
+func (k *LaneKernel) SolveGdsLanes(act []int32, vgs, vds, vt, vdsat, gds []float64, sat []bool) {
+	const h = 1e-5
+	for _, i := range act {
+		c := &k.ctx[i]
+		vt_, vds_ := vt[i], vds[i]
+		veff := effectiveOverdrive(vgs[i] - vt_)
+		vdsat[i] = c.vdsat(veff)
+		sat[i] = vds_ >= vdsat[i]
+		vdsm := vds_ - h
+		if vdsm < 0 {
+			vdsm = 0
+		}
+		gds[i] = (c.idStrong(veff, vds_+h, vt_) - c.idStrong(veff, vdsm, vt_)) / (vds_ + h - vdsm)
+	}
+}
+
+// SolveACLanes fills vdsat/sat plus the transconductance and output
+// conductance planes, replicating exactly the symmetric-difference probes of
+// the scalar Solve (the bulk-transconductance probes are omitted — no lane
+// caller consumes Gmb, and skipping them perturbs no emitted value).
+func (k *LaneKernel) SolveACLanes(act []int32, vgs, vds, vt, vdsat, gm, gds []float64, sat []bool) {
+	const h = 1e-5
+	for _, i := range act {
+		c := &k.ctx[i]
+		vt_, vgs_, vds_ := vt[i], vgs[i], vds[i]
+		veff := effectiveOverdrive(vgs_ - vt_)
+		vdsat[i] = c.vdsat(veff)
+		sat[i] = vds_ >= vdsat[i]
+		gm[i] = (c.idStrong(effectiveOverdrive(vgs_+h-vt_), vds_, vt_) -
+			c.idStrong(effectiveOverdrive(vgs_-h-vt_), vds_, vt_)) / (2 * h)
+		vdsm := vds_ - h
+		if vdsm < 0 {
+			vdsm = 0
+		}
+		gds[i] = (c.idStrong(veff, vds_+h, vt_) - c.idStrong(veff, vdsm, vt_)) / (vds_ + h - vdsm)
+	}
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}

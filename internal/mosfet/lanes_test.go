@@ -1,0 +1,201 @@
+package mosfet
+
+import (
+	"math"
+	"testing"
+
+	"sacga/internal/process"
+	"sacga/internal/rng"
+)
+
+// laneFixture builds n random (geometry, bias, current) lanes for one device.
+func laneFixture(s *rng.Stream, n int) (w, l, id, vds, vsb []float64) {
+	w = make([]float64, n)
+	l = make([]float64, n)
+	id = make([]float64, n)
+	vds = make([]float64, n)
+	vsb = make([]float64, n)
+	for i := 0; i < n; i++ {
+		w[i] = math.Exp(s.Uniform(math.Log(2e-6), math.Log(2e-3)))
+		l[i] = s.Uniform(0.18e-6, 2e-6)
+		id[i] = math.Exp(s.Uniform(math.Log(1e-7), math.Log(5e-3)))
+		vds[i] = s.Uniform(0.01, 1.8)
+		vsb[i] = s.Uniform(0, 0.9)
+		switch i % 11 {
+		case 3:
+			id[i] = 0 // zero-current early exit
+		case 5:
+			id[i] = 1e3 // cannot bias inside the supply: rail-pinned at the ceiling
+		case 7:
+			id[i] = math.NaN() // NaN must run the same non-convergent schedule
+		case 9:
+			vds[i] = 0 // triode edge
+		}
+	}
+	return
+}
+
+func allLanes(n int) []int32 {
+	act := make([]int32, n)
+	for i := range act {
+		act[i] = int32(i)
+	}
+	return act
+}
+
+// TestVGSForIDLanesBitIdentical drives the masked lane secant and the scalar
+// seeded secant through the same three-round warm-start sequence (cold,
+// warm-unchanged, warm-perturbed) and demands bit-identical gate voltages
+// and seed states at every round.
+func TestVGSForIDLanesBitIdentical(t *testing.T) {
+	tech := process.Default018()
+	for _, dev := range []*process.Device{&tech.NMOSDev, &tech.PMOSDev} {
+		s := rng.Derive(42, dev.Polarity.String())
+		const n = 64
+		w, l, id, vds, vsb := laneFixture(s, n)
+
+		var k LaneKernel
+		k.Reset(dev, n)
+		for i := 0; i < n; i++ {
+			k.SetLane(i, w[i], l[i])
+		}
+		act := allLanes(n)
+		vt := make([]float64, n)
+		k.VTInto(act, vsb, vt)
+		vgs := make([]float64, n)
+		var seeds BiasSeedLanes
+		seeds.Reset(n)
+		var st SecantScratch
+		st.Ensure(n)
+
+		scalarSeeds := make([]BiasSeed, n)
+		for round := 0; round < 3; round++ {
+			if round == 2 {
+				// Perturb the operating point: the warm seeds re-converge
+				// from the previous root, exercising the live secant loop.
+				for i := 0; i < n; i++ {
+					vds[i] *= 1.07
+					id[i] *= 0.93
+				}
+			}
+			k.VGSForIDLanes(act, id, vds, vt, vgs, &seeds, &st)
+			for i := 0; i < n; i++ {
+				tr := Transistor{Dev: dev, W: w[i], L: l[i]}
+				want := tr.VGSForIDSeeded(id[i], vds[i], vsb[i], &scalarSeeds[i])
+				if math.Float64bits(vgs[i]) != math.Float64bits(want) {
+					t.Fatalf("%s round %d lane %d: lane vgs %v != scalar %v (id=%v vds=%v vsb=%v)",
+						dev.Polarity, round, i, vgs[i], want, id[i], vds[i], vsb[i])
+				}
+				if seeds.OK[i] != scalarSeeds[i].OK ||
+					math.Float64bits(seeds.Veff[i]) != math.Float64bits(scalarSeeds[i].Veff) ||
+					math.Float64bits(seeds.VGS[i]) != math.Float64bits(scalarSeeds[i].VGS) {
+					t.Fatalf("%s round %d lane %d: seed state diverged", dev.Polarity, round, i)
+				}
+			}
+		}
+	}
+}
+
+// TestVGSForIDLanesSubsetMasking checks that solving a sub-slice of lanes
+// touches exactly those lanes.
+func TestVGSForIDLanesSubsetMasking(t *testing.T) {
+	tech := process.Default018()
+	s := rng.Derive(7, "subset")
+	const n = 16
+	w, l, id, vds, vsb := laneFixture(s, n)
+	var k LaneKernel
+	k.Reset(&tech.NMOSDev, n)
+	for i := 0; i < n; i++ {
+		k.SetLane(i, w[i], l[i])
+	}
+	vt := make([]float64, n)
+	k.VTInto(allLanes(n), vsb, vt)
+	vgs := make([]float64, n)
+	for i := range vgs {
+		vgs[i] = -123
+	}
+	var seeds BiasSeedLanes
+	seeds.Reset(n)
+	var st SecantScratch
+	st.Ensure(n)
+	act := []int32{1, 4, 9}
+	k.VGSForIDLanes(act, id, vds, vt, vgs, &seeds, &st)
+	touched := map[int32]bool{1: true, 4: true, 9: true}
+	for i := int32(0); i < n; i++ {
+		if !touched[i] && vgs[i] != -123 {
+			t.Fatalf("lane %d written outside active set", i)
+		}
+		if touched[i] && vgs[i] == -123 {
+			t.Fatalf("active lane %d not written", i)
+		}
+	}
+}
+
+// TestSolveLanesBitIdentical compares the lane operating-point planes with
+// the scalar Solve/SolveDC fields they replicate.
+func TestSolveLanesBitIdentical(t *testing.T) {
+	tech := process.Default018()
+	for _, dev := range []*process.Device{&tech.NMOSDev, &tech.PMOSDev} {
+		s := rng.Derive(99, dev.Polarity.String())
+		const n = 48
+		w, l, _, vds, vsb := laneFixture(s, n)
+		vgs := make([]float64, n)
+		for i := 0; i < n; i++ {
+			vgs[i] = s.Uniform(0, 1.8)
+			if i%9 == 4 {
+				vgs[i] = 0 // deep cutoff
+			}
+		}
+
+		var k LaneKernel
+		k.Reset(dev, n)
+		for i := 0; i < n; i++ {
+			k.SetLane(i, w[i], l[i])
+		}
+		act := allLanes(n)
+		vt := make([]float64, n)
+		k.VTInto(act, vsb, vt)
+		vdsat := make([]float64, n)
+		gm := make([]float64, n)
+		gds := make([]float64, n)
+		sat := make([]bool, n)
+
+		k.SolveACLanes(act, vgs, vds, vt, vdsat, gm, gds, sat)
+		for i := 0; i < n; i++ {
+			tr := Transistor{Dev: dev, W: w[i], L: l[i]}
+			op := tr.Solve(Bias{VGS: vgs[i], VDS: vds[i], VSB: vsb[i]})
+			if math.Float64bits(vt[i]) != math.Float64bits(op.VT) ||
+				math.Float64bits(vdsat[i]) != math.Float64bits(op.VDsat) ||
+				sat[i] != op.Sat ||
+				math.Float64bits(gm[i]) != math.Float64bits(op.Gm) ||
+				math.Float64bits(gds[i]) != math.Float64bits(op.Gds) {
+				t.Fatalf("%s lane %d: AC lanes diverged from Solve: got (vt %v vdsat %v sat %v gm %v gds %v) want (%v %v %v %v %v)",
+					dev.Polarity, i, vt[i], vdsat[i], sat[i], gm[i], gds[i],
+					op.VT, op.VDsat, op.Sat, op.Gm, op.Gds)
+			}
+		}
+
+		k.SolveDCLanes(act, vgs, vds, vt, vdsat, sat)
+		for i := 0; i < n; i++ {
+			tr := Transistor{Dev: dev, W: w[i], L: l[i]}
+			op := tr.SolveDC(Bias{VGS: vgs[i], VDS: vds[i], VSB: vsb[i]})
+			if math.Float64bits(vdsat[i]) != math.Float64bits(op.VDsat) || sat[i] != op.Sat {
+				t.Fatalf("%s lane %d: DC lanes diverged from SolveDC", dev.Polarity, i)
+			}
+		}
+	}
+}
+
+// TestLaneKernelVTMatchesTransistor pins the hoisted-sqrt threshold form to
+// the scalar one, including the negative-VSB clamp.
+func TestLaneKernelVTMatchesTransistor(t *testing.T) {
+	tech := process.Default018()
+	var k LaneKernel
+	k.Reset(&tech.NMOSDev, 1)
+	tr := Transistor{Dev: &tech.NMOSDev, W: 1e-5, L: 1e-6}
+	for _, vsb := range []float64{-0.3, 0, 1e-9, 0.17, 0.9, 1.8} {
+		if got, want := k.VT(vsb), tr.VT(vsb); math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("VT(%v): kernel %v != scalar %v", vsb, got, want)
+		}
+	}
+}

@@ -18,6 +18,18 @@ type BatchProblem interface {
 	EvaluateBatch(xs [][]float64, out []Result)
 }
 
+// IntoProblem is a Problem that can evaluate into a caller-owned Result —
+// the single-individual counterpart of BatchProblem's out slices. The
+// contract mirrors Evaluate exactly: EvaluateInto(x, out) must leave *out
+// bit-identical to Evaluate(x), reusing out's backing arrays (via Prepare)
+// instead of allocating fresh result slices. Callers that recycle their
+// Result (the ga evaluation plumbing, benchmarks, fixed-point loops) reach
+// a zero-allocation steady state on the scalar path too.
+type IntoProblem interface {
+	Problem
+	EvaluateInto(x []float64, out *Result)
+}
+
 // EvaluateBatch evaluates every row of xs into out, through the fast path
 // when p implements BatchProblem and by per-row Evaluate calls otherwise.
 // len(out) must equal len(xs).

@@ -82,6 +82,18 @@ func (c *Counter) Evaluate(x []float64) Result {
 	return c.Problem.Evaluate(x)
 }
 
+// EvaluateInto implements IntoProblem pass-through: the wrapped problem's
+// in-place path is preserved (or emulated by a copying Evaluate when it has
+// none) and the counter advances by one either way.
+func (c *Counter) EvaluateInto(x []float64, out *Result) {
+	c.n.Add(1)
+	if ip, ok := c.Problem.(IntoProblem); ok {
+		ip.EvaluateInto(x, out)
+		return
+	}
+	*out = c.Problem.Evaluate(x)
+}
+
 // EvaluateBatch implements BatchProblem pass-through: the wrapped problem's
 // fast path is preserved (or emulated row-by-row when it has none) and the
 // counter advances by exactly the batch size in one atomic add, so

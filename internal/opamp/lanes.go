@@ -1,0 +1,416 @@
+// Lane-major amplifier analysis: AnalyzeLanes is AnalyzeWarm restructured to
+// advance a whole batch of independent designs ("lanes") through each stage
+// of the bias chain together. Every per-lane arithmetic operation replicates
+// the scalar path expression-for-expression — the same solver seeds, the
+// same iteration schedule (the source-node secant and every bias inversion
+// run iteration-major with converged lanes masked out of a compact active
+// list), the same clamps — so each emitted plane entry is bit-identical to
+// the corresponding field of the scalar Result. The restructuring wins by
+// hoisting the per-device solver invariants to one plane build per call, by
+// letting the long division/cube-root dependency chains of different lanes
+// overlap in the CPU instead of serializing, and by skipping scalar work
+// whose results never reach an emitted plane (the Gmb probes, the unused
+// operating-point currents).
+package opamp
+
+import (
+	"math"
+
+	"sacga/internal/mosfet"
+	"sacga/internal/process"
+)
+
+// SizingLanes is the struct-of-arrays view of a batch of Sizing vectors:
+// one plane per design parameter, each at least n long. The sizing layer's
+// decoded gene planes slot in directly without copying.
+type SizingLanes struct {
+	W1, L1, W3, L3, W5, L5, W6, L6, W7, L7 []float64
+	Itail, K6, Cc                          []float64
+}
+
+// WarmLanes is the struct-of-arrays WarmState: per-lane bias-inversion seeds
+// and source-node roots, threaded across a corner sweep exactly like the
+// scalar per-design WarmState.
+type WarmLanes struct {
+	M1, M3, M5, M6, M7 mosfet.BiasSeedLanes
+	VS                 []float64
+	VSOK               []bool
+}
+
+// Reset sizes the warm planes for n lanes and cold-starts every lane.
+func (w *WarmLanes) Reset(n int) {
+	w.M1.Reset(n)
+	w.M3.Reset(n)
+	w.M5.Reset(n)
+	w.M6.Reset(n)
+	w.M7.Reset(n)
+	if cap(w.VS) < n {
+		w.VS = make([]float64, n)
+		w.VSOK = make([]bool, n)
+	}
+	w.VS = w.VS[:n]
+	w.VSOK = w.VSOK[:n]
+	for i := range w.VSOK {
+		w.VSOK[i] = false
+	}
+}
+
+// ResultLanes carries the integrator-facing subset of Result as planes: the
+// amplifier quantities package scint consumes. Each entry is bit-identical
+// to the same field of AnalyzeWarm's Result (WorstSatMargin to the method of
+// the same name).
+type ResultLanes struct {
+	Gm6            []float64
+	A0             []float64
+	GBW, Cctot     []float64
+	C1             []float64
+	CoutSelf       []float64
+	CinGate        []float64
+	SlewInternal   []float64
+	I7             []float64
+	NoiseGammaEff  []float64
+	FlickerA       []float64
+	SwingPos       []float64
+	SwingNeg       []float64
+	VosSystematic  []float64
+	Power, Area    []float64
+	WorstSatMargin []float64
+	BiasOK         []bool
+}
+
+// Ensure sizes every plane for n lanes.
+func (r *ResultLanes) Ensure(n int) {
+	for _, p := range []*[]float64{
+		&r.Gm6, &r.A0, &r.GBW, &r.Cctot, &r.C1, &r.CoutSelf, &r.CinGate,
+		&r.SlewInternal, &r.I7, &r.NoiseGammaEff, &r.FlickerA,
+		&r.SwingPos, &r.SwingNeg, &r.VosSystematic, &r.Power, &r.Area,
+		&r.WorstSatMargin,
+	} {
+		if cap(*p) < n {
+			*p = make([]float64, n)
+		}
+		*p = (*p)[:n]
+	}
+	if cap(r.BiasOK) < n {
+		r.BiasOK = make([]bool, n)
+	}
+	r.BiasOK = r.BiasOK[:n]
+}
+
+// LaneEngine owns the kernels and stage planes one AnalyzeLanes call works
+// in. It is reused across calls (and corners) without allocating once grown.
+type LaneEngine struct {
+	m1, m3, m5, m6, m7 mosfet.LaneKernel
+	st                 mosfet.SecantScratch
+	act, sub           []int32
+
+	id1, id6             []float64
+	vs, vt1, vtN0, vtP0  []float64
+	vgs1, g0, v0, vs1    []float64
+	vsg3, vsg6           []float64
+	vgs5, vgs7           []float64
+	vout1                []float64
+	va, vb               []float64 // stage-scoped VDS planes
+	vds2, vds4           []float64
+	vdsat1, vdsat2       []float64
+	vdsat3, vdsat4       []float64
+	vdsat5, vdsat6       []float64
+	vdsat7               []float64
+	gm2, gds2, gm4, gds4 []float64
+	gm6, gds6, gds7      []float64
+	sat1, sat2, sat3     []bool
+	sat4, sat5, sat6     []bool
+	sat7                 []bool
+}
+
+func (e *LaneEngine) ensure(n int) {
+	for _, p := range []*[]float64{
+		&e.id1, &e.id6, &e.vs, &e.vt1, &e.vtN0, &e.vtP0,
+		&e.vgs1, &e.g0, &e.v0, &e.vs1, &e.vsg3, &e.vsg6,
+		&e.vgs5, &e.vgs7, &e.vout1, &e.va, &e.vb, &e.vds2, &e.vds4,
+		&e.vdsat1, &e.vdsat2, &e.vdsat3, &e.vdsat4, &e.vdsat5, &e.vdsat6,
+		&e.vdsat7, &e.gm2, &e.gds2, &e.gm4, &e.gds4, &e.gm6, &e.gds6, &e.gds7,
+	} {
+		if cap(*p) < n {
+			*p = make([]float64, n)
+		}
+		*p = (*p)[:n]
+	}
+	for _, p := range []*[]bool{
+		&e.sat1, &e.sat2, &e.sat3, &e.sat4, &e.sat5, &e.sat6, &e.sat7,
+	} {
+		if cap(*p) < n {
+			*p = make([]bool, n)
+		}
+		*p = (*p)[:n]
+	}
+	if cap(e.act) < n {
+		e.act = make([]int32, n)
+		e.sub = make([]int32, n)
+	}
+	e.act = e.act[:n]
+	e.sub = e.sub[:n]
+	e.st.Ensure(n)
+}
+
+// AnalyzeLanes analyzes n lanes of designs at one technology corner,
+// writing the scint-facing result planes into out. ws threads the warm
+// seeds across corners (Reset it once per batch before the first corner).
+func AnalyzeLanes(t *process.Tech, n int, sz SizingLanes, vcm float64, ws *WarmLanes, out *ResultLanes, e *LaneEngine) {
+	if n == 0 {
+		return
+	}
+	e.ensure(n)
+	out.Ensure(n)
+	nmos := t.Device(process.NMOS)
+	pmos := t.Device(process.PMOS)
+	vdd := t.VDD
+
+	e.m1.Reset(nmos, n)
+	e.m3.Reset(pmos, n)
+	e.m5.Reset(nmos, n)
+	e.m6.Reset(pmos, n)
+	e.m7.Reset(nmos, n)
+	for i := 0; i < n; i++ {
+		e.m1.SetLane(i, sz.W1[i], sz.L1[i])
+		e.m3.SetLane(i, sz.W3[i], sz.L3[i])
+		e.m5.SetLane(i, sz.W5[i], sz.L5[i])
+		e.m6.SetLane(i, sz.W6[i], sz.L6[i])
+		e.m7.SetLane(i, sz.W7[i], sz.L7[i])
+	}
+	act := e.act[:n]
+	for i := range act {
+		act[i] = int32(i)
+	}
+	for i := 0; i < n; i++ {
+		e.id1[i] = sz.Itail[i] / 2
+		e.id6[i] = sz.K6[i] * sz.Itail[i]
+		e.vtN0[i] = nmos.VT0
+		e.vtP0[i] = pmos.VT0
+	}
+
+	// Input-pair source node, stage 1: initial bias inversion at the
+	// placeholder VDS (refined below), seeded by the previous corner's root.
+	for i := 0; i < n; i++ {
+		e.vs[i] = 0.2
+		if ws.VSOK[i] {
+			e.vs[i] = ws.VS[i]
+		}
+		e.va[i] = 0.5
+	}
+	e.m1.VTInto(act, e.vs, e.vt1)
+	e.m1.VGSForIDLanes(act, e.id1, e.va, e.vt1, e.vgs1, &ws.M1, &e.st)
+
+	// Stage 2: the source-node secant g(VS) = vcm − VGS1(VS) − VS, run
+	// iteration-major. A lane leaves the active list on exactly the step its
+	// scalar loop would exit (residual below 1e-9, stalled residual, or an
+	// unchanged iterate), so per-lane schedules match the scalar path.
+	sub := e.sub[:0]
+	for _, i := range act {
+		e.g0[i] = vcm - e.vgs1[i] - e.vs[i]
+		e.v0[i] = e.vs[i]
+		nvs := vcm - e.vgs1[i]
+		if nvs < 0 {
+			nvs = 0
+		}
+		e.vs1[i] = nvs
+		if e.vs1[i] != e.v0[i] {
+			sub = append(sub, i)
+		}
+	}
+	for it := 0; it < 10 && len(sub) > 0; it++ {
+		e.m1.VTInto(sub, e.vs1, e.vt1)
+		e.m1.VGSForIDLanes(sub, e.id1, e.va, e.vt1, e.vgs1, &ws.M1, &e.st)
+		w := 0
+		for _, i := range sub {
+			g1 := vcm - e.vgs1[i] - e.vs1[i]
+			if math.Abs(g1) <= 1e-9 || g1 == e.g0[i] {
+				e.v0[i] = e.vs1[i]
+				continue
+			}
+			next := e.vs1[i] - g1*(e.vs1[i]-e.v0[i])/(g1-e.g0[i])
+			if next < 0 {
+				next = 0
+			} else if next > vcm {
+				next = vcm
+			}
+			e.v0[i], e.g0[i] = e.vs1[i], g1
+			e.vs1[i] = next
+			if e.vs1[i] != e.v0[i] {
+				sub[w] = i
+				w++
+			}
+		}
+		sub = sub[:w]
+	}
+	for _, i := range act {
+		e.vs[i] = e.vs1[i]
+		ws.VS[i], ws.VSOK[i] = e.vs[i], true
+	}
+
+	// PMOS mirror diode: a placeholder-VDS solve, then the diode-consistent
+	// re-solve at VSD = VSG.
+	for i := 0; i < n; i++ {
+		e.va[i] = 0.4
+	}
+	e.m3.VGSForIDLanes(act, e.id1, e.va, e.vtP0, e.vsg3, &ws.M3, &e.st)
+	copy(e.va[:n], e.vsg3[:n])
+	e.m3.VGSForIDLanes(act, e.id1, e.va, e.vtP0, e.vsg3, &ws.M3, &e.st)
+
+	// Refine the input pair against the actual diode-side drain voltage.
+	for i := 0; i < n; i++ {
+		e.va[i] = math.Max(vdd-e.vsg3[i]-e.vs[i], 0.05)
+	}
+	e.m1.VTInto(act, e.vs, e.vt1)
+	e.m1.VGSForIDLanes(act, e.id1, e.va, e.vt1, e.vgs1, &ws.M1, &e.st)
+	for i := 0; i < n; i++ {
+		if nvs := vcm - e.vgs1[i]; nvs > 0 {
+			e.vs[i] = nvs
+		}
+	}
+
+	// Second stage: M6 gate bias and the stage-1 output level it implies,
+	// then the tail and sink bias inversions.
+	for i := 0; i < n; i++ {
+		e.va[i] = vdd - vcm
+	}
+	e.m6.VGSForIDLanes(act, e.id6, e.va, e.vtP0, e.vsg6, &ws.M6, &e.st)
+	for i := 0; i < n; i++ {
+		e.vout1[i] = vdd - e.vsg6[i]
+		e.va[i] = math.Max(e.vs[i], 0.01)
+	}
+	e.m5.VGSForIDLanes(act, sz.Itail, e.va, e.vtN0, e.vgs5, &ws.M5, &e.st)
+	for i := 0; i < n; i++ {
+		e.va[i] = vcm
+	}
+	e.m7.VGSForIDLanes(act, e.id6, e.va, e.vtN0, e.vgs7, &ws.M7, &e.st)
+
+	// Operating-point planes. The diode-side pair half (op1) and the mirror
+	// diode (op3) skip the derivative probes like the scalar SolveDC; the
+	// gain devices (op2, op4, op6) run the Gm/Gds probes; op5 and op7 feed
+	// only margins and capacitances, whose scalar Gm/Gds/Gmb are never read.
+	e.m1.VTInto(act, e.vs, e.vt1) // VS moved in the refine step above
+	for i := 0; i < n; i++ {
+		vd1 := vdd - e.vsg3[i]
+		e.va[i] = math.Max(vd1-e.vs[i], 0)          // op1 VDS
+		e.vds2[i] = math.Max(e.vout1[i]-e.vs[i], 0) // op2 VDS
+		e.vds4[i] = math.Max(vdd-e.vout1[i], 0)     // op4 VDS
+		e.vb[i] = vdd - vcm                         // op6 VDS
+	}
+	e.m1.SolveDCLanes(act, e.vgs1, e.va, e.vt1, e.vdsat1, e.sat1)
+	e.m1.SolveACLanes(act, e.vgs1, e.vds2, e.vt1, e.vdsat2, e.gm2, e.gds2, e.sat2)
+	e.m3.SolveDCLanes(act, e.vsg3, e.vsg3, e.vtP0, e.vdsat3, e.sat3)
+	e.m3.SolveACLanes(act, e.vsg3, e.vds4, e.vtP0, e.vdsat4, e.gm4, e.gds4, e.sat4)
+	e.m5.SolveDCLanes(act, e.vgs5, e.vs, e.vtN0, e.vdsat5, e.sat5)
+	e.m6.SolveACLanes(act, e.vsg6, e.vb, e.vtP0, e.vdsat6, e.gm6, e.gds6, e.sat6)
+	for i := 0; i < n; i++ {
+		e.vb[i] = vcm // op7 VDS
+	}
+	e.m7.SolveGdsLanes(act, e.vgs7, e.vb, e.vtN0, e.vdsat7, e.gds7, e.sat7)
+
+	// Assembly: the small-signal, noise, swing, power and margin arithmetic
+	// of the scalar tail, one lane at a time.
+	vddGate := vdd - 0.05
+	kGamma := nmos.NoiseGamma
+	for i := 0; i < n; i++ {
+		vgs1, vsg3, vsg6 := e.vgs1[i], e.vsg3[i], e.vsg6[i]
+		vgs5, vgs7 := e.vgs5[i], e.vgs7[i]
+		vs, vout1 := e.vs[i], e.vout1[i]
+
+		out.BiasOK[i] = vgs1 < 2.9 && vsg3 < 2.9 && vsg6 < 2.9 && vgs7 < 2.9 &&
+			vgs5 < 2.9 && vs > 0.01 && vout1 > 0.05 && vout1 < vddGate
+
+		gm1 := e.gm2[i]
+		gm6 := e.gm6[i]
+		rout1 := 1 / (e.gds2[i] + e.gds4[i] + 1e-15)
+		rout2 := 1 / (e.gds6[i] + e.gds7[i] + 1e-15)
+		a1 := gm1 * rout1
+		a2 := gm6 * rout2
+		out.Gm6[i] = gm6
+		out.A0[i] = a1 * a2
+
+		// Node parasitics from the Meyer/overlap/junction capacitance model.
+		c1cgd, c1cdb, _, _ := laneCaps(nmos, sz.W1[i], sz.L1[i], vgs1, e.vt1[i], e.sat2[i])
+		c4cgd, c4cdb, _, _ := laneCaps(pmos, sz.W3[i], sz.L3[i], vsg3, e.vtP0[i], e.sat4[i])
+		c6cgd, c6cdb, c6cgs, c6cgb := laneCaps(pmos, sz.W6[i], sz.L6[i], vsg6, e.vtP0[i], e.sat6[i])
+		c7cgd, c7cdb, _, _ := laneCaps(nmos, sz.W7[i], sz.L7[i], vgs7, e.vtN0[i], e.sat7[i])
+		cin1cgd, _, cin1cgs, cin1cgb := laneCaps(nmos, sz.W1[i], sz.L1[i], vgs1, e.vt1[i], e.sat1[i])
+
+		out.C1[i] = c1cgd + c1cdb + c4cgd + c4cdb + c6cgs + c6cgb
+		out.CoutSelf[i] = c6cdb + c7cdb + c7cgd
+		out.CinGate[i] = cin1cgs + 2*cin1cgd + cin1cgb
+
+		cctot := sz.Cc[i] + c6cgd
+		out.Cctot[i] = cctot
+		out.GBW[i] = gm1 / cctot
+		out.SlewInternal[i] = sz.Itail[i] / cctot
+		out.I7[i] = e.id6[i]
+
+		gmRatio := e.gm4[i] / math.Max(gm1, 1e-12)
+		out.NoiseGammaEff[i] = kGamma * (1 + gmRatio)
+
+		out.FlickerA[i] = 2*nmos.KF/(nmos.Cox*sz.W1[i]*sz.L1[i]) +
+			2*pmos.KF/(pmos.Cox*sz.W3[i]*sz.L3[i])*gmRatio*gmRatio
+
+		swingPos := vdd - e.vdsat6[i] - satMarginMin - vcm
+		swingNeg := vcm - e.vdsat7[i] - satMarginMin
+		if swingPos < 0 {
+			swingPos = 0
+		}
+		if swingNeg < 0 {
+			swingNeg = 0
+		}
+		out.SwingPos[i] = swingPos
+		out.SwingNeg[i] = swingNeg
+
+		out.VosSystematic[i] = (vsg6 - vsg3) / math.Max(a1, 1)
+
+		out.Power[i] = vdd * sz.Itail[i] * (1 + sz.K6[i] + biasOverhead)
+		gateArea := 2*(sz.W1[i]*sz.L1[i]) + 2*(sz.W3[i]*sz.L3[i]) + sz.W5[i]*sz.L5[i] +
+			sz.W6[i]*sz.L6[i] + sz.W7[i]*sz.L7[i]
+		out.Area[i] = gateArea + sz.Cc[i]/t.CapDensity
+
+		// Saturation margins in the scalar order (M1 diode side, M2, M3
+		// diode, M4, M5, M6, M7), reduced with the scalar min loop so NaN
+		// behavior matches.
+		worst := e.va[i] - e.vdsat1[i] - satMarginMin
+		for _, m := range [6]float64{
+			e.vds2[i] - e.vdsat2[i] - satMarginMin,
+			vsg3 - e.vdsat3[i] - satMarginMin,
+			e.vds4[i] - e.vdsat4[i] - satMarginMin,
+			vs - e.vdsat5[i] - satMarginMin,
+			(vdd - vcm) - e.vdsat6[i] - satMarginMin,
+			vcm - e.vdsat7[i] - satMarginMin,
+		} {
+			if m < worst {
+				worst = m
+			}
+		}
+		out.WorstSatMargin[i] = worst
+	}
+}
+
+// laneCaps replicates Transistor.Capacitances for one lane, returning the
+// (Cgd, Cdb, Cgs, Cgb) subset the amplifier assembly consumes.
+func laneCaps(d *process.Device, w, l, vgs, vt float64, sat bool) (cgd, cdb, cgs, cgb float64) {
+	cox := d.Cox * w * l
+	cov := d.CGDO * w
+	switch {
+	case vgs <= vt: // cutoff/weak inversion: channel mostly absent
+		cgs = cov
+		cgd = cov
+		cgb = cox
+	case sat:
+		cgs = 2.0/3.0*cox + cov
+		cgd = cov
+	default: // triode: channel splits evenly
+		cgs = 0.5*cox + cov
+		cgd = 0.5*cox + cov
+	}
+	const depletion = 0.7
+	areaJ := w * d.LDiff
+	perimJ := w + 2*d.LDiff
+	cj := depletion * (d.CJ*areaJ + d.CJSW*perimJ)
+	cdb = cj
+	return
+}

@@ -1,0 +1,193 @@
+package opamp
+
+import (
+	"math"
+	"testing"
+
+	"sacga/internal/process"
+	"sacga/internal/rng"
+)
+
+// randomSizings draws n sizing vectors over the optimizer's search box,
+// with a few lanes forced onto pathological points: currents no device in
+// the box can carry (rail-pinned bias at the search ceiling) and NaN
+// parameters (which must run the same non-convergent schedule in both
+// paths).
+func randomSizings(s *rng.Stream, n int) []Sizing {
+	logU := func(lo, hi float64) float64 {
+		return math.Exp(s.Uniform(math.Log(lo), math.Log(hi)))
+	}
+	szs := make([]Sizing, n)
+	for i := range szs {
+		szs[i] = Sizing{
+			W1: logU(2e-6, 500e-6), L1: s.Uniform(0.18e-6, 2e-6),
+			W3: logU(2e-6, 500e-6), L3: s.Uniform(0.18e-6, 2e-6),
+			W5: logU(2e-6, 1000e-6), L5: s.Uniform(0.18e-6, 2e-6),
+			W6: logU(2e-6, 2000e-6), L6: s.Uniform(0.18e-6, 2e-6),
+			W7: logU(2e-6, 2000e-6), L7: s.Uniform(0.18e-6, 2e-6),
+			Itail: logU(2e-6, 2e-3),
+			K6:    logU(0.5, 20),
+			Cc:    logU(0.1e-12, 10e-12),
+		}
+		switch i % 13 {
+		case 4:
+			szs[i].Itail = 0.5 // far beyond any biasable current
+		case 8:
+			szs[i].W1 = math.NaN()
+		case 11:
+			szs[i].Itail = math.NaN()
+		}
+	}
+	return szs
+}
+
+func lanesFromSizings(szs []Sizing) (SizingLanes, int) {
+	n := len(szs)
+	var sz SizingLanes
+	for _, p := range []*[]float64{
+		&sz.W1, &sz.L1, &sz.W3, &sz.L3, &sz.W5, &sz.L5, &sz.W6, &sz.L6,
+		&sz.W7, &sz.L7, &sz.Itail, &sz.K6, &sz.Cc,
+	} {
+		*p = make([]float64, n)
+	}
+	for i, s := range szs {
+		sz.W1[i], sz.L1[i] = s.W1, s.L1
+		sz.W3[i], sz.L3[i] = s.W3, s.L3
+		sz.W5[i], sz.L5[i] = s.W5, s.L5
+		sz.W6[i], sz.L6[i] = s.W6, s.L6
+		sz.W7[i], sz.L7[i] = s.W7, s.L7
+		sz.Itail[i], sz.K6[i], sz.Cc[i] = s.Itail, s.K6, s.Cc
+	}
+	return sz, n
+}
+
+func eqBits(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }
+
+// TestAnalyzeLanesBitIdenticalAcrossCorners threads both paths through the
+// full five-corner sweep — the lane path with SoA warm planes, the scalar
+// path with one WarmState per design — and demands bit-identical planes at
+// every corner.
+func TestAnalyzeLanesBitIdenticalAcrossCorners(t *testing.T) {
+	tech := process.Default018()
+	s := rng.Derive(5, "opamp-lanes")
+	szs := randomSizings(s, 39)
+	sz, n := lanesFromSizings(szs)
+	vcm := tech.VDD / 2
+
+	var ws WarmLanes
+	ws.Reset(n)
+	var out ResultLanes
+	var eng LaneEngine
+	scalarWS := make([]WarmState, n)
+
+	for _, c := range process.Corners() {
+		tc := tech.AtCorner(c)
+		AnalyzeLanes(&tc, n, sz, vcm, &ws, &out, &eng)
+		for i := 0; i < n; i++ {
+			r := AnalyzeWarm(&tc, szs[i], vcm, &scalarWS[i])
+			checks := []struct {
+				name      string
+				got, want float64
+			}{
+				{"Gm6", out.Gm6[i], r.Gm6},
+				{"A0", out.A0[i], r.A0},
+				{"GBW", out.GBW[i], r.GBW},
+				{"Cctot", out.Cctot[i], r.Cctot},
+				{"C1", out.C1[i], r.C1},
+				{"CoutSelf", out.CoutSelf[i], r.CoutSelf},
+				{"CinGate", out.CinGate[i], r.CinGate},
+				{"SlewInternal", out.SlewInternal[i], r.SlewInternal},
+				{"I7", out.I7[i], r.I7},
+				{"NoiseGammaEff", out.NoiseGammaEff[i], r.NoiseGammaEff},
+				{"FlickerA", out.FlickerA[i], r.FlickerA},
+				{"SwingPos", out.SwingPos[i], r.SwingPos},
+				{"SwingNeg", out.SwingNeg[i], r.SwingNeg},
+				{"VosSystematic", out.VosSystematic[i], r.VosSystematic},
+				{"Power", out.Power[i], r.Power},
+				{"Area", out.Area[i], r.Area},
+				{"WorstSatMargin", out.WorstSatMargin[i], r.WorstSatMargin()},
+			}
+			for _, ck := range checks {
+				if !eqBits(ck.got, ck.want) {
+					t.Fatalf("corner %v lane %d %s: lanes %v != scalar %v",
+						c, i, ck.name, ck.got, ck.want)
+				}
+			}
+			if out.BiasOK[i] != r.BiasOK {
+				t.Fatalf("corner %v lane %d BiasOK: lanes %v != scalar %v",
+					c, i, out.BiasOK[i], r.BiasOK)
+			}
+		}
+	}
+}
+
+// TestAnalyzeLanesWarmMatchesScalarWarm pins the warm-plane state itself
+// (source-node roots and their validity) to the scalar WarmState after a
+// sweep, so corner-to-corner seeding cannot silently diverge.
+func TestAnalyzeLanesWarmMatchesScalarWarm(t *testing.T) {
+	tech := process.Default018()
+	s := rng.Derive(17, "opamp-lanes-warm")
+	szs := randomSizings(s, 16)
+	sz, n := lanesFromSizings(szs)
+	vcm := tech.VDD / 2
+
+	var ws WarmLanes
+	ws.Reset(n)
+	var out ResultLanes
+	var eng LaneEngine
+	scalarWS := make([]WarmState, n)
+	for _, c := range []process.Corner{process.TT, process.FF} {
+		tc := tech.AtCorner(c)
+		AnalyzeLanes(&tc, n, sz, vcm, &ws, &out, &eng)
+		for i := 0; i < n; i++ {
+			AnalyzeWarm(&tc, szs[i], vcm, &scalarWS[i])
+		}
+	}
+	for i := 0; i < n; i++ {
+		if ws.VSOK[i] != scalarWS[i].VSOK || !eqBits(ws.VS[i], scalarWS[i].VS) {
+			t.Fatalf("lane %d: VS warm state diverged: lanes (%v,%v) scalar (%v,%v)",
+				i, ws.VS[i], ws.VSOK[i], scalarWS[i].VS, scalarWS[i].VSOK)
+		}
+		if !eqBits(ws.M1.Veff[i], scalarWS[i].M1.Veff) ||
+			!eqBits(ws.M6.Veff[i], scalarWS[i].M6.Veff) {
+			t.Fatalf("lane %d: bias seeds diverged", i)
+		}
+	}
+}
+
+func BenchmarkAnalyzeWarmScalar(b *testing.B) {
+	tech := process.Default018()
+	s := rng.Derive(3, "bench-opamp")
+	szs := randomSizings(s, 64)
+	vcm := tech.VDD / 2
+	ws := make([]WarmState, len(szs))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range szs {
+			ws[j] = WarmState{}
+			AnalyzeWarm(&tech, szs[j], vcm, &ws[j])
+		}
+	}
+}
+
+// BenchmarkAnalyzeLanes measures the lane-major amplifier analysis on the
+// same 64-design workload as BenchmarkAnalyzeWarmScalar (one op = 64 lanes,
+// cold warm-planes, one corner) — the head-to-head kernel row of the
+// lane engine.
+func BenchmarkAnalyzeLanes(b *testing.B) {
+	tech := process.Default018()
+	s := rng.Derive(3, "bench-opamp")
+	szs := randomSizings(s, 64)
+	sz, n := lanesFromSizings(szs)
+	vcm := tech.VDD / 2
+	var ws WarmLanes
+	var out ResultLanes
+	var eng LaneEngine
+	ws.Reset(n)
+	AnalyzeLanes(&tech, n, sz, vcm, &ws, &out, &eng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ws.Reset(n)
+		AnalyzeLanes(&tech, n, sz, vcm, &ws, &out, &eng)
+	}
+}

@@ -1,0 +1,142 @@
+// Lane-major integrator evaluation: EvaluateLanes drives the lane-major
+// amplifier analysis for a whole batch at one corner, then computes the
+// capacitor-network, settling, noise and range arithmetic of EvaluateWarm
+// one lane at a time with the identical expressions. Each emitted plane
+// entry is bit-identical to the corresponding field of the scalar Perf.
+package scint
+
+import (
+	"math"
+
+	"sacga/internal/opamp"
+	"sacga/internal/process"
+)
+
+// DesignLanes is the struct-of-arrays view of a batch of Designs: the
+// amplifier sizing planes plus the sampling- and load-capacitor planes. The
+// sizing layer's decoded gene planes slot in directly without copying.
+type DesignLanes struct {
+	Amp opamp.SizingLanes
+	Cs  []float64
+	CL  []float64
+}
+
+// PerfLanes carries the constraint-facing subset of Perf as planes — the
+// quantities the sizing layer's violation accumulation and objectives
+// consume. Each entry is bit-identical to the same field of EvaluateWarm's
+// Perf.
+type PerfLanes struct {
+	Power, Area    []float64
+	DRdB           []float64
+	OutputRange    []float64
+	SettleTime     []float64
+	SettleErr      []float64
+	PhaseMarginDeg []float64
+	WorstSatMargin []float64
+	BiasOK         []bool
+}
+
+// Ensure sizes every plane for n lanes.
+func (p *PerfLanes) Ensure(n int) {
+	for _, pl := range []*[]float64{
+		&p.Power, &p.Area, &p.DRdB, &p.OutputRange, &p.SettleTime,
+		&p.SettleErr, &p.PhaseMarginDeg, &p.WorstSatMargin,
+	} {
+		if cap(*pl) < n {
+			*pl = make([]float64, n)
+		}
+		*pl = (*pl)[:n]
+	}
+	if cap(p.BiasOK) < n {
+		p.BiasOK = make([]bool, n)
+	}
+	p.BiasOK = p.BiasOK[:n]
+}
+
+// LaneEngine bundles the amplifier lane engine with its result planes; one
+// engine serves every corner of a batch sweep without allocating once grown.
+type LaneEngine struct {
+	Amp opamp.LaneEngine
+	Res opamp.ResultLanes
+}
+
+// EvaluateLanes evaluates n lanes of integrator designs at one technology
+// corner, writing the constraint-facing performance planes into out. ws
+// threads the amplifier warm seeds across corners exactly like the scalar
+// per-design WarmState (Reset it once per batch before the first corner).
+func EvaluateLanes(t *process.Tech, n int, d DesignLanes, sys System, ws *opamp.WarmLanes, out *PerfLanes, e *LaneEngine) {
+	if n == 0 {
+		return
+	}
+	opamp.AnalyzeLanes(t, n, d.Amp, sys.VCM, ws, &e.Res, &e.Amp)
+	out.Ensure(n)
+	amp := &e.Res
+	kt := t.KT()
+	for i := 0; i < n; i++ {
+		cs, cl := d.Cs[i], d.CL[i]
+		out.BiasOK[i] = amp.BiasOK[i]
+		out.WorstSatMargin[i] = amp.WorstSatMargin[i]
+
+		cf := cs / sys.Gain
+		coc := sys.CocRatio * cs
+
+		// Virtual-ground node capacitance and integration-phase feedback
+		// factor.
+		cin := amp.CinGate[i] + t.CapBottomParasitic(cs) + coc
+		beta := cf / (cf + cs + cin)
+
+		// Effective load during integration.
+		series := cf * (cs + cin) / (cf + cs + cin)
+		cleff := cl + amp.CoutSelf[i] + t.CapBottomParasitic(cf) + series
+
+		// Two-pole loop dynamics.
+		cc := amp.Cctot[i]
+		p2 := amp.Gm6[i] * cc / (amp.C1[i]*cc + (amp.C1[i]+cc)*cleff)
+		z1 := amp.Gm6[i] / cc
+		wu := beta * amp.GBW[i]
+
+		out.PhaseMarginDeg[i] = 90 - rad2deg(math.Atan(wu/p2)) - rad2deg(math.Atan(wu/z1))
+		omegaN := math.Sqrt(wu * p2)
+		zeta := 0.5 * math.Sqrt(p2/wu)
+
+		// Settling: slewing handoff plus the two-pole envelope decay.
+		sr := math.Min(amp.SlewInternal[i], amp.I7[i]/(cleff+cc))
+		if sr <= 0 {
+			sr = 1
+		}
+		vLinear := sr / wu
+		slewTime := 0.0
+		if sys.StepOut > vLinear {
+			slewTime = (sys.StepOut - vLinear) / sr
+		}
+		out.SettleTime[i] = slewTime + linearSettleTime(omegaN, zeta, sys.EpsSettle)
+		out.SettleErr[i] = 1 / (1 + beta*amp.A0[i])
+
+		// Output range, reduced by the output-referred systematic offset.
+		vosOut := math.Abs(amp.VosSystematic[i]) * amp.A0[i] * beta
+		swing := math.Min(amp.SwingPos[i], amp.SwingNeg[i]) - math.Min(vosOut, 0.2)
+		if swing < 0 {
+			swing = 0
+		}
+		outputRange := 4 * swing
+		out.OutputRange[i] = outputRange
+		signalPk := outputRange / 2
+
+		// In-band noise: CDS-doubled kT/C, amplifier thermal, residual 1/f.
+		knoise := 2 * kt / cs * sys.Gain * sys.Gain * (1 + sys.CocRatio)
+		anoise := amp.NoiseGammaEff[i] * kt / (beta * cleff)
+		noiseOut := (knoise + anoise) * 2 / sys.OSR
+		gainSq := 1 / (beta * beta)
+		noiseOut += amp.FlickerA[i] * math.Pi * math.Pi / (2 * sys.OSR * sys.OSR) * gainSq
+
+		psig := signalPk * signalPk / 2
+		if noiseOut <= 0 || psig <= 0 {
+			out.DRdB[i] = 0
+		} else {
+			out.DRdB[i] = 10 * math.Log10(psig/noiseOut)
+		}
+
+		out.Power[i] = amp.Power[i]
+		out.Area[i] = amp.Area[i] + t.CapArea(cs+cf+coc)*2 // differential: two banks
+	}
+}

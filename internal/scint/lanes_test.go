@@ -1,0 +1,119 @@
+package scint
+
+import (
+	"math"
+	"testing"
+
+	"sacga/internal/opamp"
+	"sacga/internal/process"
+	"sacga/internal/rng"
+)
+
+// randomDesigns draws n integrator designs over the search box, with some
+// lanes pinned to pathological points (unbiasable currents, NaN widths).
+func randomDesigns(s *rng.Stream, n int) []Design {
+	logU := func(lo, hi float64) float64 {
+		return math.Exp(s.Uniform(math.Log(lo), math.Log(hi)))
+	}
+	ds := make([]Design, n)
+	for i := range ds {
+		ds[i] = Design{
+			Amp: opamp.Sizing{
+				W1: logU(2e-6, 500e-6), L1: s.Uniform(0.18e-6, 2e-6),
+				W3: logU(2e-6, 500e-6), L3: s.Uniform(0.18e-6, 2e-6),
+				W5: logU(2e-6, 1000e-6), L5: s.Uniform(0.18e-6, 2e-6),
+				W6: logU(2e-6, 2000e-6), L6: s.Uniform(0.18e-6, 2e-6),
+				W7: logU(2e-6, 2000e-6), L7: s.Uniform(0.18e-6, 2e-6),
+				Itail: logU(2e-6, 2e-3),
+				K6:    logU(0.5, 20),
+				Cc:    logU(0.1e-12, 10e-12),
+			},
+			Cs: logU(0.2e-12, 8e-12),
+			CL: s.Uniform(0.05e-12, 5e-12),
+		}
+		switch i % 9 {
+		case 2:
+			ds[i].Amp.Itail = 0.8 // rail-pinned bias chain
+		case 6:
+			ds[i].Amp.W6 = math.NaN()
+		}
+	}
+	return ds
+}
+
+func lanesFromDesigns(ds []Design) (DesignLanes, int) {
+	n := len(ds)
+	var dl DesignLanes
+	for _, p := range []*[]float64{
+		&dl.Amp.W1, &dl.Amp.L1, &dl.Amp.W3, &dl.Amp.L3, &dl.Amp.W5, &dl.Amp.L5,
+		&dl.Amp.W6, &dl.Amp.L6, &dl.Amp.W7, &dl.Amp.L7,
+		&dl.Amp.Itail, &dl.Amp.K6, &dl.Amp.Cc, &dl.Cs, &dl.CL,
+	} {
+		*p = make([]float64, n)
+	}
+	for i, d := range ds {
+		dl.Amp.W1[i], dl.Amp.L1[i] = d.Amp.W1, d.Amp.L1
+		dl.Amp.W3[i], dl.Amp.L3[i] = d.Amp.W3, d.Amp.L3
+		dl.Amp.W5[i], dl.Amp.L5[i] = d.Amp.W5, d.Amp.L5
+		dl.Amp.W6[i], dl.Amp.L6[i] = d.Amp.W6, d.Amp.L6
+		dl.Amp.W7[i], dl.Amp.L7[i] = d.Amp.W7, d.Amp.L7
+		dl.Amp.Itail[i], dl.Amp.K6[i], dl.Amp.Cc[i] = d.Amp.Itail, d.Amp.K6, d.Amp.Cc
+		dl.Cs[i], dl.CL[i] = d.Cs, d.CL
+	}
+	return dl, n
+}
+
+// TestEvaluateLanesBitIdenticalAcrossCorners runs the lane evaluation and
+// the scalar EvaluateWarm through the same five-corner warm-threaded sweep
+// and compares every emitted plane bit-for-bit.
+func TestEvaluateLanesBitIdenticalAcrossCorners(t *testing.T) {
+	tech := process.Default018()
+	s := rng.Derive(23, "scint-lanes")
+	ds := randomDesigns(s, 27)
+	dl, n := lanesFromDesigns(ds)
+	sys := DefaultSystem(tech.VDD)
+
+	var ws opamp.WarmLanes
+	ws.Reset(n)
+	var out PerfLanes
+	var eng LaneEngine
+	scalarWS := make([]opamp.WarmState, n)
+
+	for _, c := range process.Corners() {
+		tc := tech.AtCorner(c)
+		EvaluateLanes(&tc, n, dl, sys, &ws, &out, &eng)
+		for i := 0; i < n; i++ {
+			perf := EvaluateWarm(&tc, ds[i], sys, &scalarWS[i])
+			checks := []struct {
+				name      string
+				got, want float64
+			}{
+				{"Power", out.Power[i], perf.Power},
+				{"Area", out.Area[i], perf.Area},
+				{"DRdB", out.DRdB[i], perf.DRdB},
+				{"OutputRange", out.OutputRange[i], perf.OutputRange},
+				{"SettleTime", out.SettleTime[i], perf.SettleTime},
+				{"SettleErr", out.SettleErr[i], perf.SettleErr},
+				{"PhaseMarginDeg", out.PhaseMarginDeg[i], perf.PhaseMarginDeg},
+				{"WorstSatMargin", out.WorstSatMargin[i], perf.WorstSatMargin},
+			}
+			for _, ck := range checks {
+				if math.Float64bits(ck.got) != math.Float64bits(ck.want) {
+					t.Fatalf("corner %v lane %d %s: lanes %v != scalar %v",
+						c, i, ck.name, ck.got, ck.want)
+				}
+			}
+			if out.BiasOK[i] != perf.BiasOK {
+				t.Fatalf("corner %v lane %d BiasOK diverged", c, i)
+			}
+		}
+	}
+}
+
+func TestEvaluateLanesEmpty(t *testing.T) {
+	tech := process.Default018()
+	var eng LaneEngine
+	var ws opamp.WarmLanes
+	var out PerfLanes
+	EvaluateLanes(&tech, 0, DesignLanes{}, DefaultSystem(tech.VDD), &ws, &out, &eng) // must not panic
+}

@@ -9,19 +9,20 @@ import (
 	"sacga/internal/scint"
 )
 
-// EvaluateBatch implements objective.BatchProblem: the struct-of-arrays
-// fast path of the sizing problem. The whole population is decoded into
-// per-gene planes (one log/linear transform pass per gene column instead of
-// one 15-gene decode per individual), then the corner sweep runs
-// corner-major — each process corner is visited once per generation, its
-// amplifier analyses warm-started per individual from the previous corner's
-// bias solution, exactly as Evaluate threads them per call. Results are
-// emitted into the caller-owned out slices and all intermediate state lives
-// in a recycled scratch arena, so the steady-state path performs no heap
-// allocations.
+// EvaluateBatch implements objective.BatchProblem: the lane-major fast path
+// of the sizing problem. The whole population is decoded into per-gene
+// planes (one log/linear transform pass per gene column instead of one
+// 15-gene decode per individual); those planes then feed the lane-major
+// circuit engine directly — each process corner is one scint.EvaluateLanes
+// call that advances every individual ("lane") through the bias solvers
+// together, iteration-major with converged lanes masked out, warm-started
+// per lane from the previous corner's solution exactly as Evaluate threads
+// its WarmState per call. Results are emitted into the caller-owned out
+// slices and all lane state lives in a recycled scratch arena, so the
+// steady-state path performs no heap allocations.
 //
 // For every i, out[i] is bit-identical to Evaluate(xs[i]): the two paths
-// share the decode transform, the warm-start threading order, the
+// share the decode transform, the per-lane solver iteration schedules, the
 // per-corner violation accumulation and the robustness gating.
 func (p *Problem) EvaluateBatch(xs [][]float64, out []objective.Result) {
 	n := len(xs)
@@ -45,18 +46,23 @@ func (p *Problem) EvaluateBatch(xs [][]float64, out []objective.Result) {
 		out[i].Prepare(2, NumCons)
 	}
 
-	// Corner-major sweep: each corner's technology is walked across the
-	// whole batch before the next, with per-individual amplifier warm
-	// states threading corner c−1's bias solution into corner c.
+	// Corner-major lane sweep: each corner advances the whole batch through
+	// the lane engine, per-lane warm planes threading corner c−1's bias
+	// solution into corner c.
+	dl := sc.designLanes(n)
+	sc.warm.Reset(n)
 	for ci := range p.corners {
 		t := &p.corners[ci]
+		scint.EvaluateLanes(t, n, dl, p.sys, &sc.warm, &sc.perf, &sc.eng)
 		tt := t.Corner == process.TT
 		for i := 0; i < n; i++ {
-			perf := scint.EvaluateWarm(t, sc.design(i, n), p.sys, &sc.ws[i])
 			if tt {
-				sc.nomPow[i] = perf.Power
+				sc.nomPow[i] = sc.perf.Power[i]
 			}
-			p.specViolations(&perf, out[i].Violations)
+			p.accViolations(sc.perf.DRdB[i], sc.perf.OutputRange[i],
+				sc.perf.SettleTime[i], sc.perf.SettleErr[i],
+				sc.perf.WorstSatMargin[i], sc.perf.BiasOK[i],
+				sc.perf.PhaseMarginDeg[i], sc.perf.Area[i], out[i].Violations)
 		}
 	}
 
@@ -80,13 +86,15 @@ func (p *Problem) EvaluateBatch(xs [][]float64, out []objective.Result) {
 	}
 }
 
-// batchScratch is the struct-of-arrays workspace of one EvaluateBatch call:
-// gene planes (column-major, NumGenes × n), the TT-corner power plane, and
-// the per-individual amplifier warm states.
+// batchScratch is the workspace of one EvaluateBatch call: gene planes
+// (column-major, NumGenes × n), the TT-corner power plane, the per-lane
+// amplifier warm planes and the lane engine with its performance planes.
 type batchScratch struct {
 	planes []float64
 	nomPow []float64
-	ws     []opamp.WarmState
+	warm   opamp.WarmLanes
+	perf   scint.PerfLanes
+	eng    scint.LaneEngine
 }
 
 func (sc *batchScratch) ensure(n int) {
@@ -96,17 +104,37 @@ func (sc *batchScratch) ensure(n int) {
 	sc.planes = sc.planes[:NumGenes*n]
 	if cap(sc.nomPow) < n {
 		sc.nomPow = make([]float64, n)
-		sc.ws = make([]opamp.WarmState, n)
 	}
 	sc.nomPow = sc.nomPow[:n]
-	sc.ws = sc.ws[:n]
 	for i := 0; i < n; i++ {
 		sc.nomPow[i] = 0
-		sc.ws[i] = opamp.WarmState{} // stale seeds would perturb determinism
 	}
 }
 
-// design gathers individual i's physical design point from the gene planes.
+// designLanes exposes the decoded gene planes as the lane engine's
+// struct-of-arrays design view — slice headers into the plane arena, no
+// copying.
+func (sc *batchScratch) designLanes(n int) scint.DesignLanes {
+	pl := func(g int) []float64 { return sc.planes[g*n : (g+1)*n] }
+	return scint.DesignLanes{
+		Amp: opamp.SizingLanes{
+			W1: pl(GeneW1), L1: pl(GeneL1),
+			W3: pl(GeneW3), L3: pl(GeneL3),
+			W5: pl(GeneW5), L5: pl(GeneL5),
+			W6: pl(GeneW6), L6: pl(GeneL6),
+			W7: pl(GeneW7), L7: pl(GeneL7),
+			Itail: pl(GeneItail),
+			K6:    pl(GeneK6),
+			Cc:    pl(GeneCc),
+		},
+		Cs: pl(GeneCs),
+		CL: pl(GeneCL),
+	}
+}
+
+// design gathers individual i's physical design point from the gene planes
+// (the robustness estimator and its perturbation hook work on scalar
+// Designs).
 func (sc *batchScratch) design(i, n int) scint.Design {
 	pl := sc.planes
 	return scint.Design{

@@ -1,0 +1,182 @@
+package sizing
+
+import (
+	"math"
+	"testing"
+
+	"sacga/internal/objective"
+	"sacga/internal/process"
+	"sacga/internal/rng"
+)
+
+// assertBatchMatchesScalarBits compares EvaluateBatch against per-individual
+// Evaluate with bit-pattern equality, so NaN-propagating designs (which
+// compare unequal to themselves under ==) are still checked exactly.
+func assertBatchMatchesScalarBits(t *testing.T, p *Problem, xs [][]float64) {
+	t.Helper()
+	out := make([]objective.Result, len(xs))
+	p.EvaluateBatch(xs, out)
+	for i, x := range xs {
+		want := p.Evaluate(x)
+		got := out[i]
+		if len(got.Objectives) != len(want.Objectives) || len(got.Violations) != len(want.Violations) {
+			t.Fatalf("individual %d: result shape mismatch", i)
+		}
+		for k := range want.Objectives {
+			if math.Float64bits(got.Objectives[k]) != math.Float64bits(want.Objectives[k]) {
+				t.Fatalf("individual %d objective %d: batch %v != scalar %v",
+					i, k, got.Objectives[k], want.Objectives[k])
+			}
+		}
+		for k := range want.Violations {
+			if math.Float64bits(got.Violations[k]) != math.Float64bits(want.Violations[k]) {
+				t.Fatalf("individual %d violation %s: batch %v != scalar %v",
+					i, ConsName(k), got.Violations[k], want.Violations[k])
+			}
+		}
+	}
+}
+
+// edgePopulation builds a population that drives the lane engine through its
+// pathological schedules: rail-pinned genes (exactly 0 and 1, and beyond the
+// clamp), minimum-current/maximum-width corners whose bias chains cannot
+// close inside the supply (non-convergent, ceiling-saturated secants), and
+// NaN genes (which must run the full 40-step non-convergent schedule in both
+// paths and emit bit-identical NaN payloads).
+func edgePopulation(seed int64, n int) [][]float64 {
+	s := rng.New(seed)
+	xs := make([][]float64, n)
+	for i := range xs {
+		x := make([]float64, NumGenes)
+		for g := range x {
+			x[g] = s.Uniform(-0.2, 1.2)
+		}
+		switch i % 8 {
+		case 0: // all-rails: every gene pinned at a box corner
+			for g := range x {
+				if s.Uniform(0, 1) < 0.5 {
+					x[g] = 0
+				} else {
+					x[g] = 1
+				}
+			}
+		case 1: // unbiasable: max tail current into minimum-width devices
+			x[GeneItail] = 1
+			x[GeneW1] = 0
+			x[GeneW5] = 0
+			x[GeneW6] = 0
+			x[GeneW7] = 0
+		case 2: // deep weak inversion: min current into max widths
+			x[GeneItail] = 0
+			x[GeneW1] = 1
+			x[GeneW3] = 1
+		case 3: // NaN gene in the amplifier sizing
+			x[GeneW6] = math.NaN()
+		case 4: // NaN bias current: every solver sees NaN targets
+			x[GeneItail] = math.NaN()
+		case 5: // out-of-box genes: the decode clamp paths
+			x[GeneL1] = -3
+			x[GeneCc] = 7
+		}
+		xs[i] = x
+	}
+	return xs
+}
+
+// TestEvaluateBatchBitIdenticalEdgeCases is the lane/scalar equivalence
+// property test over the adversarial population: non-convergent,
+// rail-pinned and NaN-violation designs across all corners.
+func TestEvaluateBatchBitIdenticalEdgeCases(t *testing.T) {
+	p := New(process.Default018(), PaperSpec())
+	for _, seed := range []int64{101, 102, 103} {
+		assertBatchMatchesScalarBits(t, p, edgePopulation(seed, 32))
+	}
+}
+
+// TestEvaluateBatchBitIdenticalSingleLane pins the n=1 degenerate batch
+// (every plane one lane wide) to the scalar path.
+func TestEvaluateBatchBitIdenticalSingleLane(t *testing.T) {
+	p := New(process.Default018(), PaperSpec())
+	assertBatchMatchesScalarBits(t, p, edgePopulation(7, 1))
+}
+
+// FuzzEvaluateBatchMatchesScalar lets the fuzzer drive one individual's gene
+// vector (three representative genes free, the rest derived) through both
+// paths; the seed corpus covers the interesting regimes, and `go test`
+// replays it on every run.
+func FuzzEvaluateBatchMatchesScalar(f *testing.F) {
+	f.Add(0.5, 0.5, 0.5)
+	f.Add(0.0, 1.0, 0.5)
+	f.Add(1.0, 0.0, 0.0)
+	f.Add(-0.5, 1.5, 0.3)
+	f.Add(math.NaN(), 0.5, 0.9)
+	f.Add(math.Inf(1), 0.1, 0.2)
+	p := New(process.Default018(), PaperSpec())
+	f.Fuzz(func(t *testing.T, a, b, c float64) {
+		x := make([]float64, NumGenes)
+		for g := range x {
+			switch g % 3 {
+			case 0:
+				x[g] = a
+			case 1:
+				x[g] = b
+			default:
+				x[g] = c
+			}
+		}
+		// A 3-lane batch with the fuzzed vector in every slot position.
+		xs := [][]float64{x, x, x}
+		out := make([]objective.Result, len(xs))
+		p.EvaluateBatch(xs, out)
+		want := p.Evaluate(x)
+		for i := range out {
+			for k := range want.Objectives {
+				if math.Float64bits(out[i].Objectives[k]) != math.Float64bits(want.Objectives[k]) {
+					t.Fatalf("lane %d objective %d: batch %v != scalar %v",
+						i, k, out[i].Objectives[k], want.Objectives[k])
+				}
+			}
+			for k := range want.Violations {
+				if math.Float64bits(out[i].Violations[k]) != math.Float64bits(want.Violations[k]) {
+					t.Fatalf("lane %d violation %s: batch %v != scalar %v",
+						i, ConsName(k), out[i].Violations[k], want.Violations[k])
+				}
+			}
+		}
+	})
+}
+
+// TestEvaluateIntoMatchesEvaluate pins the pooled-scratch scalar entry point
+// to the allocating one.
+func TestEvaluateIntoMatchesEvaluate(t *testing.T) {
+	p := New(process.Default018(), PaperSpec())
+	xs := edgePopulation(55, 12)
+	var res objective.Result
+	for i, x := range xs {
+		p.EvaluateInto(x, &res)
+		want := p.Evaluate(x)
+		for k := range want.Objectives {
+			if math.Float64bits(res.Objectives[k]) != math.Float64bits(want.Objectives[k]) {
+				t.Fatalf("individual %d objective %d mismatch", i, k)
+			}
+		}
+		for k := range want.Violations {
+			if math.Float64bits(res.Violations[k]) != math.Float64bits(want.Violations[k]) {
+				t.Fatalf("individual %d violation %d mismatch", i, k)
+			}
+		}
+	}
+}
+
+// TestEvaluateIntoSteadyStateZeroAlloc pins the single-individual pooled
+// path at zero heap allocations once the result buffers are warm.
+func TestEvaluateIntoSteadyStateZeroAlloc(t *testing.T) {
+	p := New(process.Default018(), PaperSpec())
+	x := edgePopulation(61, 9)[8]
+	var res objective.Result
+	p.EvaluateInto(x, &res) // warm the result buffers
+	avg := testing.AllocsPerRun(5, func() { p.EvaluateInto(x, &res) })
+	if avg != 0 {
+		t.Fatalf("EvaluateInto allocates %.1f objects/run at steady state, want 0", avg)
+	}
+}

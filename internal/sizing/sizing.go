@@ -320,23 +320,33 @@ func (p *Problem) Encode(d scint.Design) []float64 {
 // specViolations converts one corner's performance into the violation
 // vector entries it can decide (everything except robustness).
 func (p *Problem) specViolations(perf *scint.Perf, v []float64) {
+	p.accViolations(perf.DRdB, perf.OutputRange, perf.SettleTime,
+		perf.SettleErr, perf.WorstSatMargin, perf.BiasOK,
+		perf.PhaseMarginDeg, perf.Area, v)
+}
+
+// accViolations is the value-form core of specViolations, shared with the
+// lane-major batch path (which holds the corner performances as planes
+// rather than Perf structs).
+func (p *Problem) accViolations(drdb, outputRange, settleTime, settleErr,
+	worstSatMargin float64, biasOK bool, phaseMarginDeg, area float64, v []float64) {
 	s := &p.spec
 	acc := func(idx int, vio float64) {
 		if vio > v[idx] {
 			v[idx] = vio
 		}
 	}
-	acc(ConsDR, clampVio((s.DRMinDB-perf.DRdB)/10, 10))
-	acc(ConsOR, clampVio((s.ORMin-perf.OutputRange)/s.ORMin, 10))
-	acc(ConsST, clampVio((perf.SettleTime-s.STMax)/s.STMax, 10))
-	acc(ConsSE, clampVio((perf.SettleErr-s.SEMax)/s.SEMax, 10))
-	sat := -perf.WorstSatMargin / 0.1
-	if !perf.BiasOK {
+	acc(ConsDR, clampVio((s.DRMinDB-drdb)/10, 10))
+	acc(ConsOR, clampVio((s.ORMin-outputRange)/s.ORMin, 10))
+	acc(ConsST, clampVio((settleTime-s.STMax)/s.STMax, 10))
+	acc(ConsSE, clampVio((settleErr-s.SEMax)/s.SEMax, 10))
+	sat := -worstSatMargin / 0.1
+	if !biasOK {
 		sat += 5
 	}
 	acc(ConsSatRegion, clampVio(sat, 20))
-	acc(ConsPM, clampVio((s.PMMinDeg-perf.PhaseMarginDeg)/s.PMMinDeg, 10))
-	acc(ConsArea, clampVio((perf.Area-s.AreaMax)/s.AreaMax, 10))
+	acc(ConsPM, clampVio((s.PMMinDeg-phaseMarginDeg)/s.PMMinDeg, 10))
+	acc(ConsArea, clampVio((area-s.AreaMax)/s.AreaMax, 10))
 }
 
 // passes reports whether one perturbed-performance sample meets the spec
@@ -355,10 +365,22 @@ func (p *Problem) passes(perf *scint.Perf) bool {
 
 // Evaluate implements objective.Problem: decode, sweep corners for
 // worst-case constraint violations, estimate robustness, and emit
-// (power, −CL) objectives.
+// (power, −CL) objectives. It is the scalar reference implementation the
+// lane-major EvaluateBatch is property-tested bit-identical against.
 func (p *Problem) Evaluate(x []float64) objective.Result {
+	var out objective.Result
+	p.EvaluateInto(x, &out)
+	return out
+}
+
+// EvaluateInto implements objective.IntoProblem: Evaluate writing into a
+// caller-owned Result, so callers that recycle their Result (the ga
+// evaluation plumbing routes single-individual evaluations through a pooled
+// scratch) pay no per-call result allocations.
+func (p *Problem) EvaluateInto(x []float64, out *objective.Result) {
+	out.Prepare(2, NumCons)
 	d := p.Decode(x)
-	v := make([]float64, NumCons)
+	v := out.Violations
 	var nominal scint.Perf
 	var ws opamp.WarmState
 	for i := range p.corners {
@@ -384,10 +406,8 @@ func (p *Problem) Evaluate(x []float64) objective.Result {
 			v[ConsRobust] = clampVio(p.spec.RobustMin, 10)
 		}
 	}
-	return objective.Result{
-		Objectives: []float64{nominal.Power, -d.CL},
-		Violations: v,
-	}
+	out.Objectives[0] = nominal.Power
+	out.Objectives[1] = -d.CL
 }
 
 // NominalPerf evaluates the design at the typical corner only (reporting
