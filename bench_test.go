@@ -12,6 +12,7 @@
 package bench
 
 import (
+	"context"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -25,6 +26,7 @@ import (
 	"sacga/internal/pareto"
 	"sacga/internal/process"
 	"sacga/internal/rng"
+	"sacga/internal/search"
 	"sacga/internal/sizing"
 )
 
@@ -415,4 +417,98 @@ func BenchmarkHypervolumeWFG(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		hypervolume.WFG(front, ref)
 	}
+}
+
+// ---- unified search driver benchmarks ----
+
+// benchStepProblem is a trivial two-objective problem implementing the
+// in-place and batch fast paths, so a generation over it is dominated by
+// the engine/driver machinery rather than objective evaluation — the
+// workload that makes the step-loop wrapper's overhead visible.
+type benchStepProblem struct{ nvar int }
+
+func (p *benchStepProblem) Name() string        { return "bench-step" }
+func (p *benchStepProblem) NumVars() int        { return p.nvar }
+func (p *benchStepProblem) NumObjectives() int  { return 2 }
+func (p *benchStepProblem) NumConstraints() int { return 0 }
+func (p *benchStepProblem) Bounds() (lo, hi []float64) {
+	lo = make([]float64, p.nvar)
+	hi = make([]float64, p.nvar)
+	for i := range hi {
+		hi[i] = 1
+	}
+	return lo, hi
+}
+
+func (p *benchStepProblem) Evaluate(x []float64) objective.Result {
+	var out objective.Result
+	p.EvaluateInto(x, &out)
+	return out
+}
+
+func (p *benchStepProblem) EvaluateInto(x []float64, out *objective.Result) {
+	out.Prepare(2, 0)
+	s := 0.0
+	for _, v := range x {
+		s += v * v
+	}
+	out.Objectives[0] = s
+	out.Objectives[1] = 1 - x[0]
+}
+
+func (p *benchStepProblem) EvaluateBatch(xs [][]float64, out []objective.Result) {
+	for i, x := range xs {
+		p.EvaluateInto(x, &out[i])
+	}
+}
+
+func warmNSGA2Engine(b *testing.B) *nsga2.Engine {
+	b.Helper()
+	eng := new(nsga2.Engine)
+	err := eng.Init(&benchStepProblem{nvar: 8}, search.Options{
+		PopSize: 100, Generations: 1 << 30, Seed: 1, Workers: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return eng
+}
+
+// BenchmarkEngineStepDirect is the baseline for the driver-overhead pair:
+// one raw engine generation (variation, evaluation, sort, select) with no
+// driver or observers — the legacy monolithic loop's per-iteration work.
+func BenchmarkEngineStepDirect(b *testing.B) {
+	eng := warmNSGA2Engine(b)
+	for i := 0; i < 5; i++ {
+		eng.Step() // warm the recycled buffers
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSearchStepOverhead measures the same generation through the
+// search.Driver step loop with an observer attached — the unified API's
+// per-generation wrapper (context check, budget check, frame fan-out).
+// Compare against BenchmarkEngineStepDirect: the wrapper must add 0
+// allocs/op and ≲2% ns/op (TestDriverStepAllocs pins the allocation half
+// machine-independently).
+func BenchmarkSearchStepOverhead(b *testing.B) {
+	eng := warmNSGA2Engine(b)
+	var gens int
+	d := search.NewDriver(eng, search.ObserverFunc(func(f *search.Frame) { gens = f.Gen }))
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		d.Step(ctx) // warm the recycled buffers
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Step(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	_ = gens
 }

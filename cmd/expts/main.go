@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"sacga/internal/expt"
+	"sacga/internal/search"
 )
 
 func main() {
@@ -43,6 +44,7 @@ func main() {
 		for _, id := range expt.IDs() {
 			fmt.Printf("%-7s %s\n", id, expt.Title(id))
 		}
+		fmt.Printf("\nsearch engines: %s\n", strings.Join(search.Names(), ", "))
 		return
 	}
 

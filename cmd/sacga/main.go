@@ -7,7 +7,10 @@
 // tnk, bnh, dtlz1, dtlz2).
 //
 // Algorithms: tpg (NSGA-II), sacga, mesacga, local (local-competition-only
-// ablation), islands (parallel-population comparator).
+// ablation), islands (parallel-population comparator) — all dispatched by
+// name through the unified search registry and driven by search.Run, so a
+// run can be cancelled with Ctrl-C (the best-so-far front is still
+// printed) and capped with -maxevals.
 //
 // Example:
 //
@@ -16,9 +19,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"sacga/internal/benchfn"
@@ -26,11 +32,12 @@ import (
 	"sacga/internal/hypervolume"
 	"sacga/internal/islands"
 	"sacga/internal/mesacga"
-	"sacga/internal/nsga2"
 	"sacga/internal/objective"
 	"sacga/internal/plot"
 	"sacga/internal/process"
 	"sacga/internal/sacga"
+	"sacga/internal/search"
+	_ "sacga/internal/search/engines"
 	"sacga/internal/sizing"
 	"sacga/internal/yield"
 )
@@ -47,85 +54,111 @@ func main() {
 		grade      = flag.Int("grade", 0, "integrator spec grade 1..20 (0 = the paper's spec)")
 		robust     = flag.Int("robust", 8, "robustness MC samples for the integrator (0 = off)")
 		seed       = flag.Int64("seed", 1, "random seed")
+		maxEvals   = flag.Int64("maxevals", 0, "stop within one generation of this evaluation budget (0 = unlimited)")
+		trace      = flag.Int("trace", 0, "print a hypervolume trace line every N generations (0 = off)")
 		out        = flag.String("out", "", "write the front to this CSV file")
 	)
 	flag.Parse()
 
 	prob, isCircuit, err := buildProblem(*problem, *grade, *robust, *seed)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "sacga:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	if err := objective.Validate(prob); err != nil {
-		fmt.Fprintln(os.Stderr, "sacga:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	counter := objective.NewCounter(prob)
 
 	pLo, pHi, pObj := partitionRange(prob, isCircuit)
-	var front ga.Population
+	opts := search.Options{
+		PopSize:     *pop,
+		Generations: *iters,
+		MaxEvals:    *maxEvals,
+		Seed:        *seed,
+	}
+	sacgaParams := &sacga.Params{
+		Partitions:         *partitions,
+		PartitionObjective: pObj,
+		PartitionLo:        pLo,
+		PartitionHi:        pHi,
+		GentMax:            *gentMax,
+	}
+	var name string
 	switch *algo {
 	case "tpg":
-		res := nsga2.Run(counter, nsga2.Config{PopSize: *pop, Generations: *iters, Seed: *seed})
-		front = res.Front
+		name = "nsga2"
 	case "sacga":
-		e := sacga.NewEngine(counter, sacga.Config{
-			PopSize: *pop, Partitions: *partitions,
-			PartitionObjective: pObj, PartitionLo: pLo, PartitionHi: pHi,
-			GentMax: *gentMax, Seed: *seed,
-		})
-		gent := e.PhaseI(*gentMax)
-		e.MarkDead()
-		if span := *iters - gent; span > 0 {
-			e.PhaseII(span)
-		}
-		front = e.Front()
+		name = "sacga"
+		opts.Extra = sacgaParams
+	case "local":
+		name = "sacga"
+		sacgaParams.LocalOnly = true
+		opts.Extra = sacgaParams
 	case "mesacga":
+		name = "mesacga"
 		sched, err := parseSchedule(*schedule)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "sacga:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		span := (*iters - *gentMax) / len(sched)
 		if span < 1 {
 			span = 1
 		}
-		res := mesacga.Run(counter, mesacga.Config{
-			PopSize: *pop, Schedule: sched,
-			PartitionObjective: pObj, PartitionLo: pLo, PartitionHi: pHi,
-			GentMax: *gentMax, Span: span, Seed: *seed,
-		})
-		front = res.Front
-	case "local":
-		res := sacga.RunLocalOnly(counter, sacga.Config{
-			PopSize: *pop, Partitions: *partitions,
-			PartitionObjective: pObj, PartitionLo: pLo, PartitionHi: pHi,
-			Seed: *seed,
-		}, *iters)
-		front = res.Front
+		opts.Extra = &mesacga.Params{
+			Schedule:           sched,
+			PartitionObjective: pObj,
+			PartitionLo:        pLo,
+			PartitionHi:        pHi,
+			GentMax:            *gentMax,
+			Span:               span,
+		}
 	case "islands":
+		name = "islands"
 		size := *pop / 5
 		if size < 4 {
 			size = 4
 		}
-		res := islands.Run(counter, islands.Config{
-			Islands: 5, IslandSize: size, Generations: *iters,
-			MigrationEvery: 10, Migrants: 2, Seed: *seed,
-		})
-		front = res.Front
+		opts.Extra = &islands.Params{Islands: 5, IslandSize: size, MigrationEvery: 10, Migrants: 2}
 	default:
-		fmt.Fprintf(os.Stderr, "sacga: unknown algorithm %q\n", *algo)
-		os.Exit(1)
+		fatal(fmt.Errorf("unknown algorithm %q (registry has %v)", *algo, search.Names()))
 	}
 
-	fmt.Printf("problem=%s algo=%s evaluations=%d front=%d feasible=%d\n",
-		prob.Name(), *algo, counter.Count(), len(front), front.FeasibleCount())
+	eng, err := search.New(name)
+	if err != nil {
+		fatal(err)
+	}
+	var observers []search.Observer
+	hvObs := &search.HypervolumeObserver{Every: *trace}
+	if *trace > 0 {
+		if isCircuit {
+			hvObs.Project = circuitPoint
+		}
+		observers = append(observers, hvObs, search.ObserverFunc(func(f *search.Frame) {
+			if f.Gen%*trace == 0 {
+				fmt.Printf("gen %5d  evals %8d  hv %.4g\n", f.Gen, f.Evals, hvObs.Last().HV)
+			}
+		}))
+	}
+
+	// Ctrl-C cancels between generations; the partial result still prints.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res, err := search.Run(ctx, eng, counter, opts, observers...)
+	if err != nil {
+		if !errors.Is(err, context.Canceled) {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "sacga: interrupted after %d generations; reporting the front so far\n", res.Generations)
+	}
+	front := res.Front
+
+	fmt.Printf("problem=%s algo=%s generations=%d evaluations=%d front=%d feasible=%d\n",
+		prob.Name(), *algo, res.Generations, counter.Count(), len(front), front.FeasibleCount())
 	if isCircuit {
 		pts := make([]hypervolume.Point2, 0, len(front))
 		for _, ind := range front {
-			if ind.Feasible() {
-				cl, pw := sizing.ReportedPoint(ind.Objectives)
-				pts = append(pts, hypervolume.Point2{X: cl, Y: pw})
+			if p, ok := circuitPoint(ind); ok {
+				pts = append(pts, p)
 			}
 		}
 		hv := hypervolume.PaperMetric(pts) / (0.1e-3 * 1e-12)
@@ -152,11 +185,25 @@ func main() {
 		}
 		header = append(header, "violation")
 		if err := plot.WriteCSV(*out, header, rows); err != nil {
-			fmt.Fprintln(os.Stderr, "sacga:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *out)
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sacga:", err)
+	os.Exit(1)
+}
+
+// circuitPoint projects a feasible integrator individual to the reported
+// (CL, Power) plane.
+func circuitPoint(ind *ga.Individual) (hypervolume.Point2, bool) {
+	if !ind.Feasible() {
+		return hypervolume.Point2{}, false
+	}
+	cl, pw := sizing.ReportedPoint(ind.Objectives)
+	return hypervolume.Point2{X: cl, Y: pw}, true
 }
 
 func buildProblem(name string, grade, robust int, seed int64) (objective.Problem, bool, error) {

@@ -10,20 +10,23 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"log"
 	"os"
-
 	"runtime"
 
 	"sacga/internal/frontfit"
 	"sacga/internal/ga"
 	"sacga/internal/hypervolume"
 	"sacga/internal/mesacga"
-	"sacga/internal/nsga2"
+	"sacga/internal/objective"
 	"sacga/internal/plot"
 	"sacga/internal/process"
 	"sacga/internal/sacga"
+	"sacga/internal/search"
+	_ "sacga/internal/search/engines"
 	"sacga/internal/sizing"
 	"sacga/internal/yield"
 )
@@ -46,27 +49,28 @@ func main() {
 
 	fmt.Printf("sizing the CDS SC integrator: %d iterations, population %d\n\n", iters, pop)
 
+	// All three optimizers run through the unified search API: the engine
+	// comes from the registry, the common budget from one Options value.
 	workers := runtime.NumCPU()
-	tpg := nsga2.Run(newProb(), nsga2.Config{PopSize: pop, Generations: iters, Seed: 3, Workers: workers})
+	opts := search.Options{PopSize: pop, Generations: iters, Seed: 3, Workers: workers}
 
-	e := sacga.NewEngine(newProb(), sacga.Config{
-		PopSize: pop, Partitions: 8,
-		PartitionObjective: 1, PartitionLo: clLo, PartitionHi: clHi,
-		GentMax: 200, Seed: 3, Workers: workers,
-	})
-	gent := e.PhaseI(200)
-	e.MarkDead()
-	e.PhaseII(iters - gent)
+	tpg := drive("nsga2", newProb(), opts)
 
-	mes := mesacga.Run(newProb(), mesacga.Config{
-		PopSize: pop, Schedule: mesacga.DefaultSchedule(),
-		PartitionObjective: 1, PartitionLo: clLo, PartitionHi: clHi,
-		GentMax: 200, Span: (iters - gent) / 7, Seed: 3, Workers: workers,
-	})
+	opts.Extra = &sacga.Params{
+		Partitions: 8, PartitionObjective: 1,
+		PartitionLo: clLo, PartitionHi: clHi, GentMax: 200,
+	}
+	sa := drive("sacga", newProb(), opts)
+
+	opts.Extra = &mesacga.Params{
+		Schedule: mesacga.DefaultSchedule(), PartitionObjective: 1,
+		PartitionLo: clLo, PartitionHi: clHi, GentMax: 200,
+	}
+	mes := drive("mesacga", newProb(), opts)
 
 	series := []plot.Series{
 		frontSeries("TPG", tpg.Front),
-		frontSeries("SACGA", e.Front()),
+		frontSeries("SACGA", sa.Front),
 		frontSeries("MESACGA", mes.Front),
 	}
 	chart := plot.Chart{
@@ -79,7 +83,7 @@ func main() {
 
 	fmt.Println("\npaper hypervolume (x0.1 mW*pF, lower better):")
 	fmt.Printf("  TPG     %6.2f\n", paperHV(tpg.Front))
-	fmt.Printf("  SACGA   %6.2f\n", paperHV(e.Front()))
+	fmt.Printf("  SACGA   %6.2f\n", paperHV(sa.Front))
 	fmt.Printf("  MESACGA %6.2f\n", paperHV(mes.Front))
 
 	// The paper's motivation: export the design-space boundary as a model
@@ -100,6 +104,19 @@ func main() {
 			fmt.Printf("  predicted minimum power to drive %.1f pF: %.3f mW\n", cl, fit.Eval(cl))
 		}
 	}
+}
+
+// drive selects an engine by name and runs it to completion.
+func drive(algo string, prob objective.Problem, opts search.Options) *search.Result {
+	eng, err := search.New(algo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := search.Run(context.Background(), eng, prob, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
 }
 
 func frontSeries(name string, front ga.Population) plot.Series {

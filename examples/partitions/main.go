@@ -11,8 +11,10 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"log"
 	"runtime"
 
 	"sacga/internal/ga"
@@ -20,6 +22,7 @@ import (
 	"sacga/internal/mesacga"
 	"sacga/internal/process"
 	"sacga/internal/sacga"
+	"sacga/internal/search"
 	"sacga/internal/sizing"
 )
 
@@ -36,17 +39,21 @@ func main() {
 	fmt.Printf("SACGA partition sweep, %d iterations each:\n", iters)
 	bestM, bestHV := 0, 1e18
 	for _, m := range []int{4, 8, 12, 16, 20, 24} {
+		// One engine per partition count, all driven through search.Run
+		// under the same total budget (phase II takes what phase I leaves).
 		prob := sizing.New(tech, sizing.PaperSpec())
-		e := sacga.NewEngine(prob, sacga.Config{
-			PopSize: pop, Partitions: m,
-			PartitionObjective: 1, PartitionLo: clLo, PartitionHi: clHi,
-			GentMax: 150, Seed: 9,
+		res, err := search.Run(context.Background(), new(sacga.Engine), prob, search.Options{
+			PopSize: pop, Generations: iters, Seed: 9,
+			Extra: &sacga.Params{
+				Partitions: m, PartitionObjective: 1,
+				PartitionLo: clLo, PartitionHi: clHi, GentMax: 150,
+			},
 		})
-		gent := e.PhaseI(150)
-		e.MarkDead()
-		e.PhaseII(iters - gent)
-		hv := paperHV(e.Front())
-		fmt.Printf("  m=%2d  HV=%6.2f  front=%d\n", m, hv, len(e.Front()))
+		if err != nil {
+			log.Fatal(err)
+		}
+		hv := paperHV(res.Front)
+		fmt.Printf("  m=%2d  HV=%6.2f  front=%d\n", m, hv, len(res.Front))
 		if hv < bestHV {
 			bestHV, bestM = hv, m
 		}

@@ -1,51 +1,57 @@
 // Quickstart: minimize the two-objective ZDT1 benchmark with the NSGA-II
-// baseline and with SACGA, then compare front quality with the standard
-// reference-point hypervolume.
+// baseline and with SACGA through the unified search API — engines are
+// selected from the registry by name, driven generation by generation by
+// search.Run, and traced with a per-generation hypervolume observer.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	"sacga/internal/benchfn"
-	"sacga/internal/ga"
 	"sacga/internal/hypervolume"
-	"sacga/internal/nsga2"
+	"sacga/internal/objective"
 	"sacga/internal/sacga"
+	"sacga/internal/search"
+	_ "sacga/internal/search/engines"
 )
 
 func main() {
 	prob := benchfn.ZDT1(12)
+	ref := hypervolume.Point2{X: 1.1, Y: 2.0}
+
+	// Common hyperparameters once; the algorithm is one Extra switch away.
+	base := search.Options{PopSize: 80, Generations: 150, Seed: 7}
 
 	// Traditional purely-global competition (the paper's TPG baseline).
-	tpg := nsga2.Run(prob, nsga2.Config{
-		PopSize:     80,
-		Generations: 150,
-		Seed:        7,
-	})
+	tpgRes, tpgHV := run("nsga2", prob, base, ref)
 
 	// SACGA: partition the f1 axis into 8 slices; local competition inside
 	// each slice anneals into global competition over the run.
-	sa := sacga.Run(prob, sacga.Config{
-		PopSize:            80,
+	base.Extra = &sacga.Params{
 		Partitions:         8,
 		PartitionObjective: 0,
 		PartitionLo:        0,
 		PartitionHi:        1,
 		GentMax:            20,
 		Span:               130,
-		Seed:               7,
-	})
+	}
+	saRes, saHV := run("sacga", prob, base, ref)
 
-	ref := hypervolume.Point2{X: 1.1, Y: 2.0}
 	fmt.Printf("ZDT1, 150 iterations, population 80\n")
-	fmt.Printf("  NSGA-II front: %3d points, hypervolume %.4f\n",
-		len(tpg.Front), refHV(tpg.Front, ref))
-	fmt.Printf("  SACGA   front: %3d points, hypervolume %.4f\n",
-		len(sa.Front), refHV(sa.Front, ref))
+	fmt.Printf("  NSGA-II front: %3d points, hypervolume %.4f\n", len(tpgRes.Front), last(tpgHV))
+	fmt.Printf("  SACGA   front: %3d points, hypervolume %.4f\n", len(saRes.Front), last(saHV))
+
+	fmt.Println("\nSACGA hypervolume trace (every 30 generations):")
+	for _, s := range saHV.Trace {
+		fmt.Printf("  gen %3d  evals %5d  hv %.4f\n", s.Gen, s.Evals, s.HV)
+	}
+
 	fmt.Println("\nfirst few SACGA front points (f1, f2):")
-	for i, ind := range sa.Front {
+	for i, ind := range saRes.Front {
 		if i == 5 {
 			break
 		}
@@ -53,10 +59,24 @@ func main() {
 	}
 }
 
-func refHV(front ga.Population, ref hypervolume.Point2) float64 {
-	pts := make([]hypervolume.Point2, len(front))
-	for i, ind := range front {
-		pts[i] = hypervolume.Point2{X: ind.Objectives[0], Y: ind.Objectives[1]}
+// run selects an engine from the registry and drives it with a reference-
+// point hypervolume observer attached.
+func run(algo string, prob objective.Problem, opts search.Options, ref hypervolume.Point2) (*search.Result, *search.HypervolumeObserver) {
+	eng, err := search.New(algo)
+	if err != nil {
+		log.Fatal(err)
 	}
-	return hypervolume.RefPoint2D(pts, ref)
+	hv := &search.HypervolumeObserver{
+		Every: 30,
+		Score: func(pts []hypervolume.Point2) float64 {
+			return hypervolume.RefPoint2D(pts, ref) // higher is better
+		},
+	}
+	res, err := search.Run(context.Background(), eng, prob, opts, hv)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res, hv
 }
+
+func last(hv *search.HypervolumeObserver) float64 { return hv.Last().HV }

@@ -11,6 +11,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"path/filepath"
@@ -26,6 +27,7 @@ import (
 	"sacga/internal/plot"
 	"sacga/internal/process"
 	"sacga/internal/sacga"
+	"sacga/internal/search"
 	"sacga/internal/sizing"
 	"sacga/internal/yield"
 )
@@ -216,11 +218,22 @@ func digest(algo string, front ga.Population, evals int64, wall time.Duration, g
 	}
 }
 
+// mustRun drives an engine through the unified search driver; the options
+// the runners build are always valid and the context never cancels, so an
+// error here is a harness bug worth crashing on.
+func mustRun(eng search.Engine, prob objective.Problem, opts search.Options) *search.Result {
+	res, err := search.Run(context.Background(), eng, prob, opts)
+	if err != nil {
+		panic(fmt.Sprintf("expt: %v", err))
+	}
+	return res
+}
+
 // runTPG runs the NSGA-II baseline for `total` iterations.
 func (c *Config) runTPG(spec sizing.Spec, total int, seed int64) runOut {
 	prob := objective.NewCounter(c.problem(spec))
 	start := time.Now()
-	res := nsga2.Run(prob, nsga2.Config{
+	res := mustRun(new(nsga2.Engine), prob, search.Options{
 		PopSize:     c.PopSize,
 		Generations: total,
 		Seed:        seed,
@@ -230,53 +243,50 @@ func (c *Config) runTPG(spec sizing.Spec, total int, seed int64) runOut {
 
 // runSACGA runs SACGA with m partitions and a total iteration budget: phase
 // I is bounded by the paper's 200-iteration allocation (scaled), and phase
-// II consumes the remainder, keeping evaluation budgets comparable with
-// TPG.
+// II consumes the remainder (the engine's derived-span mode), keeping
+// evaluation budgets comparable with TPG.
 func (c *Config) runSACGA(spec sizing.Spec, m, total int, seed int64) runOut {
 	prob := objective.NewCounter(c.problem(spec))
 	clLo, clHi := sizing.ObjectiveRangeCL()
 	gentMax := min(c.iters(200), total/4+1)
 	start := time.Now()
-	e := sacga.NewEngine(prob, sacga.Config{
-		PopSize:            c.PopSize,
-		Partitions:         m,
-		PartitionObjective: 1,
-		PartitionLo:        clLo,
-		PartitionHi:        clHi,
-		GentMax:            gentMax,
-		Seed:               seed,
+	eng := new(sacga.Engine)
+	res := mustRun(eng, prob, search.Options{
+		PopSize:     c.PopSize,
+		Generations: total,
+		Seed:        seed,
+		Extra: &sacga.Params{
+			Partitions:         m,
+			PartitionObjective: 1,
+			PartitionLo:        clLo,
+			PartitionHi:        clHi,
+			GentMax:            gentMax,
+		},
 	})
-	gent := e.PhaseI(gentMax)
-	e.MarkDead()
-	span := total - gent
-	if span < 1 {
-		span = 1
-	}
-	e.PhaseII(span)
-	return digest("SACGA", e.Front(), prob.Count(), time.Since(start), gent)
+	return digest("SACGA", res.Front, prob.Count(), time.Since(start), eng.GentUsed())
 }
 
 // runMESACGA runs MESACGA with the given schedule; the post-phase-I budget
-// is split evenly across phases.
+// is split evenly across phases (the engine's derived-span mode).
 func (c *Config) runMESACGA(spec sizing.Spec, schedule []int, total int, seed int64) (runOut, *mesacga.Result) {
 	prob := objective.NewCounter(c.problem(spec))
 	clLo, clHi := sizing.ObjectiveRangeCL()
-	if len(schedule) == 0 {
-		schedule = mesacga.DefaultSchedule()
-	}
 	gentMax := min(c.iters(200), total/4+1)
 	start := time.Now()
-	res := mesacga.Run(prob, mesacga.Config{
-		PopSize:            c.PopSize,
-		Schedule:           schedule,
-		PartitionObjective: 1,
-		PartitionLo:        clLo,
-		PartitionHi:        clHi,
-		GentMax:            gentMax,
-		TotalBudget:        total,
-		Seed:               seed,
+	eng := new(mesacga.Engine)
+	res := mustRun(eng, prob, search.Options{
+		PopSize:     c.PopSize,
+		Generations: total,
+		Seed:        seed,
+		Extra: &mesacga.Params{
+			Schedule:           schedule,
+			PartitionObjective: 1,
+			PartitionLo:        clLo,
+			PartitionHi:        clHi,
+			GentMax:            gentMax,
+		},
 	})
-	return digest("MESACGA", res.Front, prob.Count(), time.Since(start), res.GentUsed), res
+	return digest("MESACGA", res.Front, prob.Count(), time.Since(start), eng.GentUsed()), eng.Result()
 }
 
 // runMESACGASpanned runs MESACGA with an exact per-phase span (fig. 10's
@@ -284,19 +294,20 @@ func (c *Config) runMESACGA(spec sizing.Spec, schedule []int, total int, seed in
 func (c *Config) runMESACGASpanned(spec sizing.Spec, schedule []int, span int, seed int64) *mesacga.Result {
 	prob := objective.NewCounter(c.problem(spec))
 	clLo, clHi := sizing.ObjectiveRangeCL()
-	if len(schedule) == 0 {
-		schedule = mesacga.DefaultSchedule()
-	}
-	return mesacga.Run(prob, mesacga.Config{
-		PopSize:            c.PopSize,
-		Schedule:           schedule,
-		PartitionObjective: 1,
-		PartitionLo:        clLo,
-		PartitionHi:        clHi,
-		GentMax:            c.iters(200),
-		Span:               span,
-		Seed:               seed,
+	eng := new(mesacga.Engine)
+	mustRun(eng, prob, search.Options{
+		PopSize: c.PopSize,
+		Seed:    seed,
+		Extra: &mesacga.Params{
+			Schedule:           schedule,
+			PartitionObjective: 1,
+			PartitionLo:        clLo,
+			PartitionHi:        clHi,
+			GentMax:            c.iters(200),
+			Span:               span,
+		},
 	})
+	return eng.Result()
 }
 
 // parallelRuns executes n replicate jobs across the shared worker pool,

@@ -12,16 +12,31 @@
 // front members to the next island on the ring, where they replace the
 // worst residents. The ablation experiment uses this as a comparator for
 // SACGA's single-population alternative.
+//
+// The optimizer is exposed two ways: the step-wise Engine implementing
+// search.Engine (registered as "islands"), and the legacy Run entry point,
+// now a thin wrapper over search.Run.
 package islands
 
 import (
+	"context"
+	"encoding/gob"
+	"fmt"
+
 	"sacga/internal/ga"
 	"sacga/internal/nsga2"
 	"sacga/internal/objective"
 	"sacga/internal/rng"
+	"sacga/internal/search"
 )
 
-// Config holds the island-model hyperparameters.
+func init() {
+	search.Register("islands", func() search.Engine { return new(Engine) })
+	gob.Register(&Snapshot{}) // so Checkpoint.State round-trips through encoding/gob
+}
+
+// Config holds the island-model hyperparameters — the legacy configuration
+// surface, mapped onto search.Options + Params by Run.
 type Config struct {
 	// Islands is the number of subpopulations on the migration ring.
 	Islands int
@@ -51,6 +66,25 @@ type Config struct {
 	Pool *ga.Pool
 }
 
+// Params is the island-model extension struct carried by
+// search.Options.Extra. The zero value selects the defaults; IslandSize 0
+// derives the per-island size from Options.PopSize (PopSize/Islands,
+// rounded up to even), which keeps registry-driven cross-algorithm sweeps
+// budget-matched on total population.
+type Params struct {
+	// Islands is the ring size (default 4).
+	Islands int
+	// IslandSize is the population per island; 0 derives it from
+	// Options.PopSize. Odd sizes round up.
+	IslandSize int
+	// MigrationEvery is the migration period in generations; 0 selects
+	// the default (10), negative disables migration.
+	MigrationEvery int
+	// Migrants per island per migration (default 2, capped at
+	// IslandSize/2).
+	Migrants int
+}
+
 // Result of an island-model run.
 type Result struct {
 	// Final is the pooled final population across all islands.
@@ -62,6 +96,9 @@ type Result struct {
 }
 
 func (c *Config) normalize() {
+	o := search.Options{PopSize: 1, Generations: c.Generations, Ops: c.Ops}
+	o.Normalize()
+	c.Generations, c.Ops = o.Generations, o.Ops
 	if c.Islands <= 0 {
 		c.Islands = 4
 	}
@@ -70,9 +107,6 @@ func (c *Config) normalize() {
 	}
 	if c.IslandSize%2 == 1 {
 		c.IslandSize++
-	}
-	if c.Generations <= 0 {
-		c.Generations = 250
 	}
 	if c.MigrationEvery == 0 {
 		c.MigrationEvery = 10
@@ -83,50 +117,240 @@ func (c *Config) normalize() {
 	if c.Migrants > c.IslandSize/2 {
 		c.Migrants = c.IslandSize / 2
 	}
-	if c.Ops == (ga.Operators{}) {
-		c.Ops = ga.DefaultOperators()
+}
+
+// options maps the legacy Config onto the unified search.Options.
+func (c Config) options() search.Options {
+	return search.Options{
+		PopSize:     c.Islands * c.IslandSize,
+		Generations: c.Generations,
+		Seed:        c.Seed,
+		Ops:         c.Ops,
+		Workers:     c.Workers,
+		Pool:        c.Pool,
+		Observer:    c.Observer,
+		Extra: &Params{
+			Islands:        c.Islands,
+			IslandSize:     c.IslandSize,
+			MigrationEvery: c.MigrationEvery,
+			Migrants:       c.Migrants,
+		},
 	}
 }
 
-// Run executes the island-model GA on prob.
+// Run executes the island-model GA on prob — the legacy entry point, a
+// wrapper over the step-wise engine driven by search.Run.
 func Run(prob objective.Problem, cfg Config) *Result {
 	cfg.normalize()
-	lo, hi := prob.Bounds()
-	isles := make([]ga.Population, cfg.Islands)
-	streams := make([]*rng.Stream, cfg.Islands)
-	for k := range isles {
-		streams[k] = rng.DeriveN(cfg.Seed, "island", k)
-		isles[k] = ga.NewRandomPopulation(streams[k], cfg.IslandSize, lo, hi)
-		isles[k].EvaluateWith(prob, cfg.Pool, cfg.Workers)
-		isles[k].AssignRanksAndCrowding()
+	e := new(Engine)
+	res, err := search.Run(context.Background(), e, prob, cfg.options())
+	if err != nil {
+		panic(fmt.Sprintf("islands: %v", err)) // unreachable: options always valid
 	}
+	return &Result{Final: res.Final, Front: res.Front, Generations: res.Generations}
+}
 
-	// Islands advance sequentially within a generation, so one arena serves
-	// them all: each island's discarded union members become offspring
-	// buffers for the next island's variation. The union and child slices
-	// are likewise shared scratch.
-	arena := &ga.Arena{}
-	union := make(ga.Population, 0, 2*cfg.IslandSize)
-	children := make(ga.Population, 0, cfg.IslandSize)
+// Engine is the step-wise island-model driver implementing search.Engine.
+// One Step advances every island one (µ+λ) generation and runs the ring
+// migration when due; the final Step pools the islands and ranks the
+// pooled population, so Population() after Done is the ranked global view
+// the legacy Run returned.
+type Engine struct {
+	prob   objective.Problem
+	cfg    Config
+	budget search.EvalBudget
+	lo, hi []float64
+	gen    int
 
-	for gen := 0; gen < cfg.Generations; gen++ {
-		for k := range isles {
-			isles[k], children, union = step(prob, isles[k], streams[k], cfg, lo, hi, arena, children, union)
-		}
-		if cfg.MigrationEvery > 0 && (gen+1)%cfg.MigrationEvery == 0 {
-			migrate(isles, cfg.Migrants, arena)
-		}
-		if cfg.Observer != nil {
-			cfg.Observer(gen, pool(isles))
+	isles   []ga.Population
+	streams []*rng.Stream
+	// Islands advance sequentially within a generation, so one arena
+	// serves them all: each island's discarded union members become
+	// offspring buffers for the next island's variation. The union and
+	// child slices are likewise shared scratch.
+	arena     ga.Arena
+	union     ga.Population
+	children  ga.Population
+	pooled    ga.Population // reused pooled-view buffer
+	finalized bool
+}
+
+// Snapshot is the engine-specific checkpoint payload: every island's
+// population and RNG stream position. The generation count lives on the
+// enclosing search.Checkpoint.
+type Snapshot struct {
+	Isles [][]search.IndividualSnap
+	RNG   []rng.State
+}
+
+// Name implements search.Engine.
+func (e *Engine) Name() string { return "islands" }
+
+// configFor maps (Options, Params) to the internal Config, deriving
+// IslandSize from PopSize when the extension leaves it open.
+func configFor(opts search.Options, p *Params) Config {
+	cfg := Config{
+		Islands:        p.Islands,
+		IslandSize:     p.IslandSize,
+		Generations:    opts.Generations,
+		MigrationEvery: p.MigrationEvery,
+		Migrants:       p.Migrants,
+		Ops:            opts.Ops,
+		Seed:           opts.Seed,
+		Observer:       opts.Observer,
+		Workers:        opts.Workers,
+		Pool:           opts.Pool,
+	}
+	if cfg.Islands <= 0 {
+		cfg.Islands = 4
+	}
+	if cfg.IslandSize <= 0 && opts.PopSize > 0 {
+		cfg.IslandSize = opts.PopSize / cfg.Islands
+		if cfg.IslandSize < 2 {
+			cfg.IslandSize = 2
 		}
 	}
-	final := pool(isles)
-	final.AssignRanksAndCrowding()
-	return &Result{
-		Final:       final,
-		Front:       final.FirstFront(),
-		Generations: cfg.Generations,
+	cfg.normalize()
+	return cfg
+}
+
+// prepare applies the option/problem wiring shared by Init and Restore.
+func (e *Engine) prepare(prob objective.Problem, opts search.Options) error {
+	p, err := search.Extension[Params](opts)
+	if err != nil {
+		return fmt.Errorf("islands: %w", err)
 	}
+	opts.Normalize()
+	e.cfg = configFor(opts, p)
+	e.prob = e.budget.Attach(prob, opts.MaxEvals)
+	e.lo, e.hi = prob.Bounds()
+	e.gen = 0
+	e.finalized = false
+	e.union = make(ga.Population, 0, 2*e.cfg.IslandSize)
+	e.children = make(ga.Population, 0, e.cfg.IslandSize)
+	e.pooled = make(ga.Population, 0, e.cfg.Islands*e.cfg.IslandSize)
+	return nil
+}
+
+// Init implements search.Engine: it seeds, evaluates and ranks every
+// island's population.
+func (e *Engine) Init(prob objective.Problem, opts search.Options) error {
+	if err := e.prepare(prob, opts); err != nil {
+		return err
+	}
+	e.isles = make([]ga.Population, e.cfg.Islands)
+	e.streams = make([]*rng.Stream, e.cfg.Islands)
+	for k := range e.isles {
+		e.streams[k] = rng.DeriveN(e.cfg.Seed, "island", k)
+		e.isles[k] = ga.NewRandomPopulation(e.streams[k], e.cfg.IslandSize, e.lo, e.hi)
+		e.isles[k].EvaluateWith(e.prob, e.cfg.Pool, e.cfg.Workers)
+		e.isles[k].AssignRanksAndCrowding()
+	}
+	return nil
+}
+
+// Step implements search.Engine: every island advances one generation in
+// ring order, then migration runs when due.
+func (e *Engine) Step() error {
+	if e.Done() {
+		return nil
+	}
+	for k := range e.isles {
+		e.isles[k], e.children, e.union = step(e.prob, e.isles[k], e.streams[k], e.cfg, e.lo, e.hi,
+			&e.arena, e.children, e.union)
+	}
+	if e.cfg.MigrationEvery > 0 && (e.gen+1)%e.cfg.MigrationEvery == 0 {
+		migrate(e.isles, e.cfg.Migrants, &e.arena)
+	}
+	e.gen++
+	if e.cfg.Observer != nil {
+		e.cfg.Observer(e.gen-1, e.poolView()) // legacy hook counts from 0
+	}
+	if e.done() {
+		e.finalize()
+	}
+	return nil
+}
+
+// done is Done without the finalized fast path.
+func (e *Engine) done() bool {
+	return e.gen >= e.cfg.Generations || e.budget.Exhausted()
+}
+
+// Done implements search.Engine.
+func (e *Engine) Done() bool { return e.finalized || e.done() }
+
+// Generation implements search.Engine.
+func (e *Engine) Generation() int { return e.gen }
+
+// Evals implements search.Engine.
+func (e *Engine) Evals() int64 { return e.budget.Evals() }
+
+// Population implements search.Engine: the pooled view across islands,
+// ranked globally once the run is done. Invalidated by Step.
+func (e *Engine) Population() ga.Population {
+	if e.finalized {
+		return e.pooled
+	}
+	return e.poolView()
+}
+
+// poolView rebuilds the reused pooled buffer from the islands.
+func (e *Engine) poolView() ga.Population {
+	e.pooled = e.pooled[:0]
+	for _, pop := range e.isles {
+		e.pooled = append(e.pooled, pop...)
+	}
+	return e.pooled
+}
+
+// finalize pools the islands and assigns global ranks — the legacy Run's
+// post-loop step, run once when the budget completes.
+func (e *Engine) finalize() {
+	e.poolView().AssignRanksAndCrowding()
+	e.finalized = true
+}
+
+// Checkpoint implements search.Engine.
+func (e *Engine) Checkpoint() *search.Checkpoint {
+	sn := &Snapshot{
+		Isles: make([][]search.IndividualSnap, len(e.isles)),
+		RNG:   make([]rng.State, len(e.streams)),
+	}
+	for k := range e.isles {
+		sn.Isles[k] = search.SnapPopulation(e.isles[k])
+		sn.RNG[k] = e.streams[k].State()
+	}
+	return &search.Checkpoint{Algo: e.Name(), Gen: e.gen, Evals: e.Evals(), State: sn}
+}
+
+// Restore implements search.Engine.
+func (e *Engine) Restore(prob objective.Problem, opts search.Options, cp *search.Checkpoint) error {
+	if cp.Algo != e.Name() {
+		return fmt.Errorf("islands: checkpoint is for %q", cp.Algo)
+	}
+	sn, ok := cp.State.(*Snapshot)
+	if !ok {
+		return fmt.Errorf("islands: checkpoint state is %T, want *islands.Snapshot", cp.State)
+	}
+	if err := e.prepare(prob, opts); err != nil {
+		return err
+	}
+	if len(sn.Isles) != e.cfg.Islands || len(sn.RNG) != e.cfg.Islands {
+		return fmt.Errorf("islands: checkpoint has %d islands, options configure %d", len(sn.Isles), e.cfg.Islands)
+	}
+	e.budget.RestoreEvals(cp.Evals)
+	e.gen = cp.Gen
+	e.isles = make([]ga.Population, e.cfg.Islands)
+	e.streams = make([]*rng.Stream, e.cfg.Islands)
+	for k := range e.isles {
+		e.isles[k] = search.UnsnapPopulation(sn.Isles[k])
+		e.streams[k] = rng.FromState(sn.RNG[k])
+	}
+	if e.done() {
+		e.finalize()
+	}
+	return nil
 }
 
 // step advances one island by one (µ+λ) NSGA-II generation through the
@@ -174,12 +398,4 @@ func migrate(isles []ga.Population, migrants int, arena *ga.Arena) {
 		}
 		isles[dst] = next
 	}
-}
-
-func pool(isles []ga.Population) ga.Population {
-	var all ga.Population
-	for _, pop := range isles {
-		all = append(all, pop...)
-	}
-	return all
 }

@@ -6,21 +6,40 @@
 // need to hand-tune SACGA's partition count (the paper's fig. 6 sweep) at
 // the cost of one schedule, and trades diversity against convergence
 // through the per-phase span.
+//
+// The optimizer is exposed two ways: the step-wise Engine implementing
+// search.Engine (registered as "mesacga"), and the legacy Run entry point,
+// now a thin wrapper over search.Run. Partition schedules are validated at
+// Init — positive, non-increasing, ending at a single partition — instead
+// of silently misbehaving.
 package mesacga
 
 import (
+	"context"
+	"encoding/gob"
+	"fmt"
+
 	"sacga/internal/ga"
 	"sacga/internal/objective"
 	"sacga/internal/sacga"
+	"sacga/internal/search"
 )
 
-// Config holds the MESACGA hyperparameters. All SACGA fields keep their
-// meaning; the partition count comes from Schedule instead.
+func init() {
+	search.Register("mesacga", func() search.Engine { return new(Engine) })
+	gob.Register(&Snapshot{}) // so Checkpoint.State round-trips through encoding/gob
+}
+
+// Config holds the MESACGA hyperparameters — the legacy configuration
+// surface, mapped onto search.Options + Params by Run. All SACGA fields
+// keep their meaning; the partition count comes from Schedule instead.
 type Config struct {
 	// PopSize is the population size.
 	PopSize int
-	// Schedule lists the partition count of each phase, strictly
-	// decreasing to 1 (default: the paper's 20, 13, 8, 5, 3, 2, 1).
+	// Schedule lists the partition count of each phase, positive and
+	// non-increasing down to 1 (default: the paper's 20, 13, 8, 5, 3, 2,
+	// 1). Run panics on an invalid schedule; use the search.Engine Init
+	// path for a recoverable error.
 	Schedule []int
 	// PartitionObjective / PartitionLo / PartitionHi as in sacga.Config.
 	PartitionObjective       int
@@ -61,6 +80,31 @@ type Config struct {
 // DefaultSchedule is the paper's seven-phase expansion.
 func DefaultSchedule() []int { return []int{20, 13, 8, 5, 3, 2, 1} }
 
+// Params is the MESACGA extension struct carried by search.Options.Extra.
+// The zero value selects the paper defaults (DefaultSchedule, derived
+// per-phase span from Options.Generations).
+type Params struct {
+	// Schedule lists the partition count per phase; empty selects
+	// DefaultSchedule. Must be positive, non-increasing and end at 1
+	// (validated at Init).
+	Schedule []int
+	// PartitionObjective / PartitionLo / PartitionHi as in sacga.Params.
+	PartitionObjective       int
+	PartitionLo, PartitionHi float64
+	// GentMax caps the initial pure-local phase (default 200).
+	GentMax int
+	// Span, when > 0, pins the per-phase iteration budget. When 0, the
+	// remainder of Options.Generations after phase I is split evenly
+	// across phases (min 1 each) — the budget-matched mode.
+	Span int
+	// N, Shape, Pressure as in sacga.Params.
+	N        int
+	Shape    *sacga.Shape
+	Pressure float64
+	// PhaseObserver as in Config.PhaseObserver.
+	PhaseObserver func(phase, partitions int, pop ga.Population)
+}
+
 // Result of a MESACGA run.
 type Result struct {
 	// Final is the last population; Front its globally non-dominated
@@ -69,64 +113,284 @@ type Result struct {
 	Front ga.Population
 	// GentUsed is the length of the initial pure-local phase.
 	GentUsed int
-	// Generations counts all iterations (gent + len(Schedule)·Span).
+	// Generations counts all iterations (gent + len(Schedule)·span).
 	Generations int
 	// PhaseFronts holds the global Pareto front extracted at the end of
 	// each phase (deep copies), for phase-progress analysis.
 	PhaseFronts []ga.Population
 }
 
-// Run executes MESACGA.
-func Run(prob objective.Problem, cfg Config) *Result {
-	if len(cfg.Schedule) == 0 {
-		cfg.Schedule = DefaultSchedule()
+// options maps the legacy Config onto search.Options + Params, preserving
+// the legacy span semantics: an explicit Span is pinned; otherwise a
+// TotalBudget is split across phases; otherwise the SACGA default span.
+func (c Config) options() search.Options {
+	p := &Params{
+		Schedule:           c.Schedule,
+		PartitionObjective: c.PartitionObjective,
+		PartitionLo:        c.PartitionLo,
+		PartitionHi:        c.PartitionHi,
+		GentMax:            c.GentMax,
+		Span:               c.Span,
+		N:                  c.N,
+		Shape:              c.Shape,
+		Pressure:           c.Pressure,
+		PhaseObserver:      c.PhaseObserver,
 	}
-	sc := sacga.Config{
-		PopSize:            cfg.PopSize,
-		Partitions:         cfg.Schedule[0],
-		PartitionObjective: cfg.PartitionObjective,
-		PartitionLo:        cfg.PartitionLo,
-		PartitionHi:        cfg.PartitionHi,
-		GentMax:            cfg.GentMax,
-		Span:               cfg.Span,
-		N:                  cfg.N,
-		Shape:              cfg.Shape,
-		Ops:                cfg.Ops,
-		Pressure:           cfg.Pressure,
-		Seed:               cfg.Seed,
-		Observer:           cfg.Observer,
-		Initial:            cfg.Initial,
-		Workers:            cfg.Workers,
-		Pool:               cfg.Pool,
+	generations := c.TotalBudget
+	if c.Span <= 0 && c.TotalBudget <= 0 {
+		p.Span = sacga.DefaultSpan // legacy: the sacga-normalized span
 	}
-	e := sacga.NewEngine(prob, sc)
-	gent := e.PhaseI(e.Config().GentMax)
-	e.MarkDead()
+	return search.Options{
+		PopSize:     c.PopSize,
+		Generations: generations,
+		Seed:        c.Seed,
+		Ops:         c.Ops,
+		Initial:     c.Initial,
+		Workers:     c.Workers,
+		Pool:        c.Pool,
+		Observer:    c.Observer,
+		Extra:       p,
+	}
+}
 
-	res := &Result{GentUsed: gent}
-	span := e.Config().Span
-	if cfg.Span <= 0 && cfg.TotalBudget > 0 {
-		span = (cfg.TotalBudget - gent) / len(cfg.Schedule)
-		if span < 1 {
-			span = 1
+// Run executes MESACGA — the legacy entry point, a wrapper over the
+// step-wise engine driven by search.Run. It panics on an invalid partition
+// schedule (the Engine Init path returns the error instead).
+func Run(prob objective.Problem, cfg Config) *Result {
+	e := new(Engine)
+	if _, err := search.Run(context.Background(), e, prob, cfg.options()); err != nil {
+		panic(fmt.Sprintf("mesacga: %v", err))
+	}
+	return e.Result()
+}
+
+// Result assembles the legacy Result view from the engine's current state.
+// Final and Front are live views of engine buffers; PhaseFronts are deep
+// copies.
+func (e *Engine) Result() *Result {
+	return &Result{
+		Final:       e.inner.Population(),
+		Front:       e.inner.Front(),
+		GentUsed:    e.gentUsed,
+		Generations: e.inner.Generation(),
+		PhaseFronts: e.phaseFronts,
+	}
+}
+
+const (
+	stagePhaseI = iota
+	stagePhases
+)
+
+// Engine is the step-wise MESACGA driver implementing search.Engine: a
+// SACGA engine stepped one iteration at a time, with the phase-I exit, the
+// per-phase re-gridding and the end-of-phase front recording folded into
+// the Steps that cross them.
+type Engine struct {
+	inner    *sacga.Engine
+	params   Params
+	budget   search.EvalBudget
+	schedule []int
+
+	stage      int // stagePhaseI or stagePhases
+	phase      int // index into schedule
+	t          int // iteration within the current stage/phase
+	span       int // per-phase length, fixed at the phase-I exit
+	gentUsed   int
+	totalIters int // Options.Generations (span derivation)
+
+	phaseFronts []ga.Population
+}
+
+// Snapshot is the engine-specific checkpoint payload: the inner SACGA
+// engine's snapshot plus the phase machinery and the recorded per-phase
+// fronts.
+type Snapshot struct {
+	Inner       *sacga.Snapshot
+	Stage       int
+	Phase       int
+	T           int
+	Span        int
+	GentUsed    int
+	PhaseFronts [][]search.IndividualSnap
+}
+
+// Name implements search.Engine.
+func (e *Engine) Name() string { return "mesacga" }
+
+// sacgaConfig builds the inner engine's Config for the first phase.
+func (e *Engine) sacgaConfig(opts search.Options, partitions int) sacga.Config {
+	p := &e.params
+	return sacga.Config{
+		PopSize:            opts.PopSize,
+		Partitions:         partitions,
+		PartitionObjective: p.PartitionObjective,
+		PartitionLo:        p.PartitionLo,
+		PartitionHi:        p.PartitionHi,
+		GentMax:            p.GentMax,
+		Span:               p.Span,
+		N:                  p.N,
+		Shape:              p.Shape,
+		Ops:                opts.Ops,
+		Pressure:           p.Pressure,
+		Seed:               opts.Seed,
+		Observer:           opts.Observer,
+		Initial:            opts.Initial,
+		Workers:            opts.Workers,
+		Pool:               opts.Pool,
+	}
+}
+
+// prepare validates and stores the option/extension wiring shared by Init
+// and Restore, returning the budget-wrapped problem.
+func (e *Engine) prepare(prob objective.Problem, opts *search.Options) (objective.Problem, error) {
+	p, err := search.Extension[Params](*opts)
+	if err != nil {
+		return nil, fmt.Errorf("mesacga: %w", err)
+	}
+	e.params = *p
+	if len(e.params.Schedule) == 0 {
+		e.params.Schedule = DefaultSchedule()
+	}
+	if err := search.ValidateSchedule(e.params.Schedule); err != nil {
+		return nil, fmt.Errorf("mesacga: %w", err)
+	}
+	opts.Normalize()
+	e.schedule = e.params.Schedule
+	e.totalIters = opts.Generations
+	e.phaseFronts = nil
+	return e.budget.Attach(prob, opts.MaxEvals), nil
+}
+
+// Init implements search.Engine.
+func (e *Engine) Init(prob objective.Problem, opts search.Options) error {
+	wrapped, err := e.prepare(prob, &opts)
+	if err != nil {
+		return err
+	}
+	e.inner = sacga.NewEngine(wrapped, e.sacgaConfig(opts, e.schedule[0]))
+	e.stage, e.phase, e.t, e.span, e.gentUsed = stagePhaseI, 0, 0, 0, 0
+	return nil
+}
+
+// Step implements search.Engine: one iteration of the current phase. The
+// phase-I exit performs MarkDead and fixes the per-phase span; completing
+// phase p records its front (deep copy), fires the PhaseObserver and
+// re-grids for phase p+1 — exactly the monolithic loop's sequencing.
+func (e *Engine) Step() error {
+	if e.Done() {
+		return nil
+	}
+	gentMax := e.inner.Config().GentMax
+	phaseICap := sacga.BoundedGentMax(gentMax, e.totalIters, e.params.Span <= 0)
+	if e.stage == stagePhaseI {
+		if e.t < phaseICap && !e.inner.FeasibleEverywhere() {
+			e.inner.StepLocal(e.t, gentMax)
+			e.t++
+			return nil
+		}
+		e.gentUsed = e.t
+		e.inner.MarkDead()
+		e.stage = stagePhases
+		e.t = 0
+		e.span = e.inner.Config().Span
+		if e.params.Span <= 0 {
+			e.span = (e.totalIters - e.gentUsed) / len(e.schedule)
+			if e.span < 1 {
+				e.span = 1
+			}
 		}
 	}
-	for phase, m := range cfg.Schedule {
-		if phase > 0 {
+	e.inner.StepMixed(e.t, e.span)
+	e.t++
+	if e.t >= e.span {
+		// Phase complete: record its global front, notify, expand.
+		e.phaseFronts = append(e.phaseFronts, e.inner.Front().Clone())
+		if e.params.PhaseObserver != nil {
+			e.params.PhaseObserver(e.phase, e.schedule[e.phase], e.inner.Population())
+		}
+		e.phase++
+		e.t = 0
+		if e.phase < len(e.schedule) {
 			// Expand partitions: re-grid, reassign, refresh liveness. Some
 			// locally-superior-but-globally-inferior solutions lose their
 			// protection here — the paper's intended pruning.
-			e.Regrid(m)
-		}
-		e.PhaseII(span)
-		front := e.Front().Clone()
-		res.PhaseFronts = append(res.PhaseFronts, front)
-		if cfg.PhaseObserver != nil {
-			cfg.PhaseObserver(phase, m, e.Population())
+			e.inner.Regrid(e.schedule[e.phase])
 		}
 	}
-	res.Final = e.Population()
-	res.Front = e.Front()
-	res.Generations = gent + len(cfg.Schedule)*span
-	return res
+	return nil
+}
+
+// Done implements search.Engine.
+func (e *Engine) Done() bool {
+	if e.budget.Exhausted() {
+		return true
+	}
+	return e.stage == stagePhases && e.phase >= len(e.schedule)
+}
+
+// Generation implements search.Engine.
+func (e *Engine) Generation() int { return e.inner.Generation() }
+
+// Population implements search.Engine. The view is invalidated by Step.
+func (e *Engine) Population() ga.Population { return e.inner.Population() }
+
+// Evals implements search.Engine.
+func (e *Engine) Evals() int64 { return e.budget.Evals() }
+
+// PhaseFronts returns the per-phase global fronts recorded so far (deep
+// copies, one per completed phase).
+func (e *Engine) PhaseFronts() []ga.Population { return e.phaseFronts }
+
+// GentUsed returns the length of the initial pure-local phase (valid once
+// the run has crossed the phase-I boundary).
+func (e *Engine) GentUsed() int { return e.gentUsed }
+
+// Checkpoint implements search.Engine.
+func (e *Engine) Checkpoint() *search.Checkpoint {
+	fronts := make([][]search.IndividualSnap, len(e.phaseFronts))
+	for i, f := range e.phaseFronts {
+		fronts[i] = search.SnapPopulation(f)
+	}
+	return &search.Checkpoint{
+		Algo:  e.Name(),
+		Gen:   e.Generation(),
+		Evals: e.Evals(),
+		State: &Snapshot{
+			Inner:       e.inner.Snapshot(),
+			Stage:       e.stage,
+			Phase:       e.phase,
+			T:           e.t,
+			Span:        e.span,
+			GentUsed:    e.gentUsed,
+			PhaseFronts: fronts,
+		},
+	}
+}
+
+// Restore implements search.Engine.
+func (e *Engine) Restore(prob objective.Problem, opts search.Options, cp *search.Checkpoint) error {
+	if cp.Algo != e.Name() {
+		return fmt.Errorf("mesacga: checkpoint is for %q", cp.Algo)
+	}
+	sn, ok := cp.State.(*Snapshot)
+	if !ok {
+		return fmt.Errorf("mesacga: checkpoint state is %T, want *mesacga.Snapshot", cp.State)
+	}
+	wrapped, err := e.prepare(prob, &opts)
+	if err != nil {
+		return err
+	}
+	e.budget.RestoreEvals(cp.Evals)
+	e.inner = sacga.NewEngineFromSnapshot(wrapped, e.sacgaConfig(opts, e.schedule[0]), sn.Inner)
+	e.stage = sn.Stage
+	e.phase = sn.Phase
+	e.t = sn.T
+	e.span = sn.Span
+	e.gentUsed = sn.GentUsed
+	e.phaseFronts = make([]ga.Population, len(sn.PhaseFronts))
+	for i, f := range sn.PhaseFronts {
+		e.phaseFronts[i] = search.UnsnapPopulation(f)
+	}
+	return nil
 }

@@ -3,15 +3,30 @@
 // rule. In the paper's terminology this is "TPG" — the Traditional Purely
 // Global competition baseline whose Pareto fronts cluster on the integrator
 // problem (fig. 2).
+//
+// The optimizer is exposed two ways: the step-wise Engine implementing
+// search.Engine (registered as "nsga2"), and the legacy Run entry point,
+// now a thin wrapper over search.Run.
 package nsga2
 
 import (
+	"context"
+	"encoding/gob"
+	"fmt"
+
 	"sacga/internal/ga"
 	"sacga/internal/objective"
 	"sacga/internal/rng"
+	"sacga/internal/search"
 )
 
-// Config holds the NSGA-II hyperparameters.
+func init() {
+	search.Register("nsga2", func() search.Engine { return new(Engine) })
+	gob.Register(&Snapshot{}) // so Checkpoint.State round-trips through encoding/gob
+}
+
+// Config holds the NSGA-II hyperparameters — the legacy configuration
+// surface, mapped 1:1 onto search.Options by Run.
 type Config struct {
 	// PopSize is the population size (even; odd values are rounded up).
 	PopSize int
@@ -46,73 +61,182 @@ type Result struct {
 	Generations int
 }
 
-func (c *Config) normalize() {
-	if c.PopSize <= 0 {
-		c.PopSize = 100
+// options maps the legacy Config onto the unified search.Options.
+func (c Config) options() search.Options {
+	return search.Options{
+		PopSize:     c.PopSize,
+		Generations: c.Generations,
+		Seed:        c.Seed,
+		Ops:         c.Ops,
+		Initial:     c.Initial,
+		Workers:     c.Workers,
+		Pool:        c.Pool,
+		Observer:    c.Observer,
 	}
+}
+
+func (c *Config) normalize() {
+	o := c.options()
+	o.Normalize()
+	c.PopSize, c.Generations, c.Ops = o.PopSize, o.Generations, o.Ops
 	if c.PopSize%2 == 1 {
 		c.PopSize++
 	}
-	if c.Generations <= 0 {
-		c.Generations = 250
-	}
-	if c.Ops == (ga.Operators{}) {
-		c.Ops = ga.DefaultOperators()
-	}
 }
 
-// Run executes NSGA-II on prob.
+// Run executes NSGA-II on prob — the legacy entry point, a wrapper over
+// the step-wise engine driven by search.Run.
 func Run(prob objective.Problem, cfg Config) *Result {
-	cfg.normalize()
-	lo, hi := prob.Bounds()
-	s := rng.Derive(cfg.Seed, "nsga2")
+	eng := new(Engine)
+	res, err := search.Run(context.Background(), eng, prob, cfg.options())
+	if err != nil {
+		// Unreachable: the context never cancels and the mapped options
+		// are always valid. Surfacing it keeps the invariant honest.
+		panic(fmt.Sprintf("nsga2: %v", err))
+	}
+	return &Result{Final: res.Final, Front: res.Front, Generations: res.Generations}
+}
 
-	pop := make(ga.Population, 0, cfg.PopSize)
-	for _, ind := range cfg.Initial {
-		if len(pop) == cfg.PopSize {
+// Engine is the step-wise NSGA-II driver implementing search.Engine. The
+// zero value is ready for Init (or Restore). Steady-state buffers — the
+// union, the double-buffered parent population and the arena-recycled
+// offspring — make the generation loop allocation-free after warm-up.
+type Engine struct {
+	prob   objective.Problem
+	opts   search.Options
+	budget search.EvalBudget
+	s      *rng.Stream
+	lo, hi []float64
+	gen    int
+
+	arena    ga.Arena
+	pop      ga.Population
+	union    ga.Population
+	next     ga.Population
+	children ga.Population
+}
+
+// Snapshot is the engine-specific checkpoint payload: the RNG position and
+// the ranked parent population.
+type Snapshot struct {
+	RNG rng.State
+	Pop []search.IndividualSnap
+}
+
+// Name implements search.Engine.
+func (e *Engine) Name() string { return "nsga2" }
+
+// Init implements search.Engine: it normalizes the options, seeds and
+// evaluates the initial population, and ranks it.
+func (e *Engine) Init(prob objective.Problem, opts search.Options) error {
+	if opts.Extra != nil {
+		return fmt.Errorf("nsga2: Options.Extra must be nil, got %T", opts.Extra)
+	}
+	e.prepare(prob, opts)
+	e.pop = make(ga.Population, 0, e.opts.PopSize)
+	for _, ind := range e.opts.Initial {
+		if len(e.pop) == e.opts.PopSize {
 			break
 		}
-		pop = append(pop, ind.Clone())
+		e.pop = append(e.pop, ind.Clone())
 	}
-	for len(pop) < cfg.PopSize {
-		pop = append(pop, ga.NewRandom(s, lo, hi))
+	for len(e.pop) < e.opts.PopSize {
+		e.pop = append(e.pop, ga.NewRandom(e.s, e.lo, e.hi))
 	}
-	pop.EvaluateWith(prob, cfg.Pool, cfg.Workers)
+	e.pop.EvaluateWith(e.prob, e.opts.Pool, e.opts.Workers)
+	e.arena.AssignRanksAndCrowding(e.pop)
+	return nil
+}
 
-	// Steady-state buffers: the union and the next parent population are
-	// double-buffered with pop, and offspring write into arena-recycled
-	// individual buffers (the union members each truncation discards), so
-	// the generation loop — variation, sort and select — runs allocation-
-	// free after the first generation.
-	arena := &ga.Arena{}
-	arena.AssignRanksAndCrowding(pop)
-	union := make(ga.Population, 0, 2*cfg.PopSize)
-	next := make(ga.Population, 0, cfg.PopSize)
-	children := make(ga.Population, 0, cfg.PopSize)
-
-	for gen := 0; gen < cfg.Generations; gen++ {
-		children = MakeChildrenInto(s, pop, cfg.Ops, lo, hi, cfg.PopSize, arena, children)
-		children.EvaluateWith(prob, cfg.Pool, cfg.Workers)
-		union = append(append(union[:0], pop...), children...)
-		arena.AssignRanksAndCrowding(union)
-		next = arena.TruncateRecycle(union, cfg.PopSize, next)
-		pop, next = next, pop
-		// Re-rank the survivors among themselves so selection in the next
-		// generation and observers see self-consistent ranks.
-		arena.AssignRanksAndCrowding(pop)
-		for _, ind := range pop {
-			ind.Age++
-		}
-		if cfg.Observer != nil {
-			cfg.Observer(gen, pop)
-		}
+// prepare applies the option/problem wiring shared by Init and Restore.
+func (e *Engine) prepare(prob objective.Problem, opts search.Options) {
+	opts.Normalize()
+	if opts.PopSize%2 == 1 {
+		opts.PopSize++
 	}
-	return &Result{
-		Final:       pop,
-		Front:       pop.FirstFront(),
-		Generations: cfg.Generations,
+	e.opts = opts
+	e.prob = e.budget.Attach(prob, opts.MaxEvals)
+	e.s = rng.Derive(opts.Seed, "nsga2")
+	e.lo, e.hi = prob.Bounds()
+	e.gen = 0
+	e.union = make(ga.Population, 0, 2*opts.PopSize)
+	e.next = make(ga.Population, 0, opts.PopSize)
+	e.children = make(ga.Population, 0, opts.PopSize)
+}
+
+// Step implements search.Engine: one (µ+λ) generation — variation through
+// the offspring arena, evaluation, non-dominated sort and truncation.
+func (e *Engine) Step() error {
+	if e.Done() {
+		return nil
+	}
+	cfg := &e.opts
+	e.children = MakeChildrenInto(e.s, e.pop, cfg.Ops, e.lo, e.hi, cfg.PopSize, &e.arena, e.children)
+	e.children.EvaluateWith(e.prob, cfg.Pool, cfg.Workers)
+	e.union = append(append(e.union[:0], e.pop...), e.children...)
+	e.arena.AssignRanksAndCrowding(e.union)
+	e.next = e.arena.TruncateRecycle(e.union, cfg.PopSize, e.next)
+	e.pop, e.next = e.next, e.pop
+	// Re-rank the survivors among themselves so selection in the next
+	// generation and observers see self-consistent ranks.
+	e.arena.AssignRanksAndCrowding(e.pop)
+	for _, ind := range e.pop {
+		ind.Age++
+	}
+	e.gen++
+	if cfg.Observer != nil {
+		cfg.Observer(e.gen-1, e.pop) // legacy hook counts generations from 0
+	}
+	return nil
+}
+
+// Done implements search.Engine.
+func (e *Engine) Done() bool {
+	return e.gen >= e.opts.Generations || e.budget.Exhausted()
+}
+
+// Generation implements search.Engine.
+func (e *Engine) Generation() int { return e.gen }
+
+// Population implements search.Engine. The view is invalidated by Step.
+func (e *Engine) Population() ga.Population { return e.pop }
+
+// Evals implements search.Engine.
+func (e *Engine) Evals() int64 { return e.budget.Evals() }
+
+// Checkpoint implements search.Engine.
+func (e *Engine) Checkpoint() *search.Checkpoint {
+	return &search.Checkpoint{
+		Algo:  e.Name(),
+		Gen:   e.gen,
+		Evals: e.Evals(),
+		State: &Snapshot{RNG: e.s.State(), Pop: search.SnapPopulation(e.pop)},
 	}
 }
+
+// Restore implements search.Engine: it rebuilds the checkpointed run under
+// the same problem and options, without re-evaluating anything.
+func (e *Engine) Restore(prob objective.Problem, opts search.Options, cp *Checkpoint) error {
+	if cp.Algo != e.Name() {
+		return fmt.Errorf("nsga2: checkpoint is for %q", cp.Algo)
+	}
+	sn, ok := cp.State.(*Snapshot)
+	if !ok {
+		return fmt.Errorf("nsga2: checkpoint state is %T, want *nsga2.Snapshot", cp.State)
+	}
+	if opts.Extra != nil {
+		return fmt.Errorf("nsga2: Options.Extra must be nil, got %T", opts.Extra)
+	}
+	e.prepare(prob, opts)
+	e.budget.RestoreEvals(cp.Evals)
+	e.s = rng.FromState(sn.RNG)
+	e.pop = search.UnsnapPopulation(sn.Pop)
+	e.gen = cp.Gen
+	return nil
+}
+
+// Checkpoint aliases search.Checkpoint in this package's signatures.
+type Checkpoint = search.Checkpoint
 
 // MakeChildren builds a full offspring population of size n from pop using
 // binary crowded-tournament selection, crossover and mutation. Exported

@@ -31,17 +31,35 @@
 package sacga
 
 import (
+	"context"
+	"encoding/gob"
+	"fmt"
 	"math"
 
 	"sacga/internal/ga"
 	"sacga/internal/objective"
 	"sacga/internal/pareto"
 	"sacga/internal/rng"
+	"sacga/internal/search"
 )
+
+func init() {
+	search.Register("sacga", func() search.Engine { return new(Engine) })
+	gob.Register(&Snapshot{}) // so Checkpoint.State round-trips through encoding/gob
+}
 
 // deadRankOffset pushes members of discarded partitions behind every live
 // individual in the revised-rank ordering.
 const deadRankOffset = 1 << 20
+
+// Default phase budgets applied by Config/Params normalization.
+const (
+	// DefaultGentMax caps phase I when unset.
+	DefaultGentMax = 200
+	// DefaultSpan is the phase-II length when neither a span nor a total
+	// generation budget pins it.
+	DefaultSpan = 600
+)
 
 // Config holds the SACGA hyperparameters.
 type Config struct {
@@ -101,10 +119,46 @@ type Result struct {
 	Live []bool
 }
 
+// Params is the SACGA extension struct carried by search.Options.Extra:
+// the algorithm-specific knobs, with the common hyperparameters (PopSize,
+// Generations, Seed, Ops, Workers, Pool, Initial, Observer) coming from
+// search.Options itself. The zero value selects the defaults.
+type Params struct {
+	// Partitions is m, the number of equal partitions of the objective
+	// axis (default 8).
+	Partitions int
+	// PartitionObjective selects the partitioned (minimized) objective
+	// axis; PartitionLo/Hi bound it.
+	PartitionObjective       int
+	PartitionLo, PartitionHi float64
+	// GentMax caps phase I (default 200).
+	GentMax int
+	// Span, when > 0, pins the phase-II length exactly (the legacy Run
+	// semantics). When 0, phase II consumes the remainder of
+	// Options.Generations after phase I — max(1, Generations-gentUsed) —
+	// which keeps runs evaluation-comparable across algorithms, the way
+	// the paper's budget-matched comparisons are set up.
+	Span int
+	// N is the desired number of globally superior solutions per
+	// partition (the n of eqn. 2, default 5).
+	N int
+	// Shape are the eqn. 2–4 constants; nil selects DefaultShape(N).
+	Shape *Shape
+	// Pressure is the linear-ranking selection pressure of the global
+	// mating pool (default 1.8).
+	Pressure float64
+	// LocalOnly selects the paper's §4.3 ablation: pure local competition
+	// for the whole Options.Generations budget, with no phase boundary and
+	// no partition discarding.
+	LocalOnly bool
+}
+
 func (c *Config) normalize(nobj int) {
-	if c.PopSize <= 0 {
-		c.PopSize = 100
-	}
+	// Shared defaulting lives in search.Options; only the SACGA-specific
+	// knobs are normalized here.
+	o := search.Options{PopSize: c.PopSize, Generations: 1, Ops: c.Ops}
+	o.Normalize()
+	c.PopSize, c.Ops = o.PopSize, o.Ops
 	if c.Partitions <= 0 {
 		c.Partitions = 8
 	}
@@ -112,10 +166,10 @@ func (c *Config) normalize(nobj int) {
 		c.PartitionObjective = nobj - 1
 	}
 	if c.GentMax <= 0 {
-		c.GentMax = 200
+		c.GentMax = DefaultGentMax
 	}
 	if c.Span <= 0 {
-		c.Span = 600
+		c.Span = DefaultSpan
 	}
 	if c.N <= 0 {
 		c.N = 5
@@ -124,38 +178,74 @@ func (c *Config) normalize(nobj int) {
 		s := DefaultShape(c.N)
 		c.Shape = &s
 	}
-	if c.Ops == (ga.Operators{}) {
-		c.Ops = ga.DefaultOperators()
-	}
 	if c.Pressure <= 1 || c.Pressure > 2 {
 		c.Pressure = 1.8
 	}
 }
 
+// options maps a normalized legacy Config onto the unified search.Options.
+// The normalized Span is pinned explicitly, preserving the legacy "full
+// Span regardless of phase-I length" semantics.
+func (c Config) options() search.Options {
+	return search.Options{
+		PopSize:     c.PopSize,
+		Generations: c.GentMax + c.Span,
+		Seed:        c.Seed,
+		Ops:         c.Ops,
+		Initial:     c.Initial,
+		Workers:     c.Workers,
+		Pool:        c.Pool,
+		Observer:    c.Observer,
+		Extra: &Params{
+			Partitions:         c.Partitions,
+			PartitionObjective: c.PartitionObjective,
+			PartitionLo:        c.PartitionLo,
+			PartitionHi:        c.PartitionHi,
+			GentMax:            c.GentMax,
+			Span:               c.Span,
+			N:                  c.N,
+			Shape:              c.Shape,
+			Pressure:           c.Pressure,
+		},
+	}
+}
+
 // Run executes SACGA: phase I until feasibility coverage (bounded by
-// GentMax), then Span iterations of annealed mixed competition.
+// GentMax), then Span iterations of annealed mixed competition. It is the
+// legacy entry point, a wrapper over the step-wise engine driven by
+// search.Run.
 func Run(prob objective.Problem, cfg Config) *Result {
-	e := NewEngine(prob, cfg)
-	gent := e.PhaseI(e.cfg.GentMax)
-	e.MarkDead()
-	e.PhaseII(e.cfg.Span)
-	return e.result(gent)
+	cfg.normalize(prob.NumObjectives())
+	e := new(Engine)
+	if _, err := search.Run(context.Background(), e, prob, cfg.options()); err != nil {
+		panic(fmt.Sprintf("sacga: %v", err)) // unreachable: options always valid
+	}
+	return e.result(e.gentUsed)
 }
 
 // RunLocalOnly is the paper's §4.3 ablation: local competition for the
 // whole budget, with one global competition at the end to extract the
 // Pareto front. Dead partitions are never discarded (there is no phase
-// boundary).
+// boundary). A wrapper over the engine's Params.LocalOnly mode.
 func RunLocalOnly(prob objective.Problem, cfg Config, generations int) *Result {
-	e := NewEngine(prob, cfg)
-	for t := 0; t < generations; t++ {
-		e.iterate(t, generations, true)
+	cfg.normalize(prob.NumObjectives())
+	if generations <= 0 {
+		return NewEngine(prob, cfg).result(generations)
 	}
-	return e.result(generations)
+	opts := cfg.options()
+	opts.Generations = generations
+	opts.Extra.(*Params).LocalOnly = true
+	e := new(Engine)
+	if _, err := search.Run(context.Background(), e, prob, opts); err != nil {
+		panic(fmt.Sprintf("sacga: %v", err)) // unreachable: options always valid
+	}
+	return e.result(e.gen)
 }
 
 // Engine exposes SACGA's phases so MESACGA can drive them with an expanding
-// partition schedule. Construct with NewEngine; the zero value is unusable.
+// partition schedule, and implements the step-wise search.Engine interface
+// (registered as "sacga"). Construct with NewEngine, or with new(Engine)
+// followed by Init/Restore; the zero value before either is unusable.
 type Engine struct {
 	prob objective.Problem
 	cfg  Config
@@ -164,6 +254,18 @@ type Engine struct {
 	pop  ga.Population
 	dead []bool
 	gen  int // global iteration counter (for Observer)
+
+	// Step-wise driver state (search.Engine). stage walks phase I → II;
+	// the phase transition (MarkDead + span derivation) folds into the
+	// Step that crosses it, so one Step is always one iteration.
+	budget     search.EvalBudget
+	stage      int  // stagePhaseI or stagePhaseII
+	t          int  // iteration index within the current stage
+	span       int  // phase-II length, fixed at the transition
+	gentUsed   int  // iterations phase I consumed
+	totalIters int  // Options.Generations (span derivation, LocalOnly)
+	deriveSpan bool // Params.Span == 0: span = Generations - gentUsed
+	localOnly  bool // §4.3 ablation: no phase II, no discarding
 
 	// Steady-state scratch. The per-generation kernels (partition group-by,
 	// local/global non-dominated sorts, rank revision, environmental
@@ -188,12 +290,21 @@ type Engine struct {
 
 // NewEngine initializes the population and partition grid.
 func NewEngine(prob objective.Problem, cfg Config) *Engine {
+	e := new(Engine)
+	e.start(prob, cfg, 0)
+	e.totalIters = cfg.GentMax + cfg.Span
+	return e
+}
+
+// start is the construction core shared by NewEngine and Init: normalize,
+// wire the evaluation budget, build the grid, seed and evaluate the
+// initial population, and reset the step machine.
+func (e *Engine) start(prob objective.Problem, cfg Config, maxEvals int64) {
 	cfg.normalize(prob.NumObjectives())
-	e := &Engine{
-		prob: prob,
-		cfg:  cfg,
-		s:    rng.Derive(cfg.Seed, "sacga"),
-	}
+	e.cfg = cfg
+	e.prob = e.budget.Attach(prob, maxEvals)
+	e.s = rng.Derive(cfg.Seed, "sacga")
+	e.stage, e.t, e.span, e.gentUsed, e.gen = stagePhaseI, 0, 0, 0, 0
 	e.grid = NewGrid(cfg.PartitionObjective, cfg.PartitionLo, cfg.PartitionHi, cfg.Partitions)
 	e.dead = make([]bool, e.grid.M)
 	lo, hi := prob.Bounds()
@@ -207,11 +318,233 @@ func NewEngine(prob objective.Problem, cfg Config) *Engine {
 	for len(e.pop) < cfg.PopSize {
 		e.pop = append(e.pop, ga.NewRandom(e.s, lo, hi))
 	}
-	e.pop.EvaluateWith(prob, cfg.Pool, cfg.Workers)
+	e.pop.EvaluateWith(e.prob, cfg.Pool, cfg.Workers)
 	e.assign(e.pop)
 	e.localRanks(e.pop)
+}
+
+// configFor maps (Options, Params) to the internal Config.
+func configFor(opts search.Options, p *Params) Config {
+	return Config{
+		PopSize:            opts.PopSize,
+		Partitions:         p.Partitions,
+		PartitionObjective: p.PartitionObjective,
+		PartitionLo:        p.PartitionLo,
+		PartitionHi:        p.PartitionHi,
+		GentMax:            p.GentMax,
+		Span:               p.Span,
+		N:                  p.N,
+		Shape:              p.Shape,
+		Ops:                opts.Ops,
+		Pressure:           p.Pressure,
+		Seed:               opts.Seed,
+		Observer:           opts.Observer,
+		Initial:            opts.Initial,
+		Workers:            opts.Workers,
+		Pool:               opts.Pool,
+	}
+}
+
+const (
+	stagePhaseI = iota
+	stagePhaseII
+)
+
+// Name implements search.Engine.
+func (e *Engine) Name() string { return "sacga" }
+
+// Init implements search.Engine. Options.Extra may carry a *Params; nil
+// selects the defaults (8 partitions over [PartitionLo,PartitionHi] = [0,0]
+// is almost never what a caller wants, so Extra is nil only in tests).
+func (e *Engine) Init(prob objective.Problem, opts search.Options) error {
+	p, err := search.Extension[Params](opts)
+	if err != nil {
+		return fmt.Errorf("sacga: %w", err)
+	}
+	opts.Normalize()
+	e.start(prob, configFor(opts, p), opts.MaxEvals)
+	e.totalIters = opts.Generations
+	e.deriveSpan = p.Span <= 0
+	e.localOnly = p.LocalOnly
+	return nil
+}
+
+// Step implements search.Engine: one SACGA iteration. In phase I it first
+// checks the phase-exit condition (full feasibility coverage or GentMax)
+// and, when met, performs the transition — MarkDead and the span
+// derivation — before running the first phase-II iteration, exactly as the
+// monolithic loop did.
+func (e *Engine) Step() error {
+	if e.Done() {
+		return nil
+	}
+	if e.localOnly {
+		e.iterate(e.t, e.totalIters, true)
+		e.t++
+		return nil
+	}
+	if e.stage == stagePhaseI {
+		if e.t < e.phaseICap() && !e.allPartitionsFeasible() {
+			e.iterate(e.t, e.cfg.GentMax, true)
+			e.t++
+			return nil
+		}
+		e.gentUsed = e.t
+		e.MarkDead()
+		e.stage = stagePhaseII
+		e.t = 0
+		e.span = e.cfg.Span
+		if e.deriveSpan {
+			e.span = e.totalIters - e.gentUsed
+			if e.span < 1 {
+				e.span = 1
+			}
+		}
+	}
+	e.iterate(e.t, e.span, false)
+	e.t++
+	return nil
+}
+
+// BoundedGentMax is the phase-I budget rule shared by the SACGA and
+// MESACGA step machines: GentMax bounds phase I, additionally clipped to
+// the total generation budget in derived-span mode — a never-feasible
+// problem must not let phase I silently run GentMax generations past a
+// smaller Options.Generations. Pinned-span runs keep the legacy semantics
+// (GentMax alone bounds phase I, the span runs in full regardless).
+func BoundedGentMax(gentMax, totalIters int, derivedSpan bool) int {
+	if derivedSpan && totalIters < gentMax {
+		return totalIters
+	}
+	return gentMax
+}
+
+func (e *Engine) phaseICap() int {
+	return BoundedGentMax(e.cfg.GentMax, e.totalIters, e.deriveSpan)
+}
+
+// Done implements search.Engine.
+func (e *Engine) Done() bool {
+	if e.budget.Exhausted() {
+		return true
+	}
+	if e.localOnly {
+		return e.t >= e.totalIters
+	}
+	return e.stage == stagePhaseII && e.t >= e.span
+}
+
+// Generation implements search.Engine.
+func (e *Engine) Generation() int { return e.gen }
+
+// Evals implements search.Engine.
+func (e *Engine) Evals() int64 { return e.budget.Evals() }
+
+// GentUsed returns the number of iterations phase I consumed (valid once
+// the step-wise run has crossed the phase boundary).
+func (e *Engine) GentUsed() int { return e.gentUsed }
+
+// Snapshot is the engine-specific checkpoint payload: the RNG position,
+// the population with its revised ranks, the partition liveness flags and
+// the step-machine position. Partitions records the CURRENT grid size —
+// MESACGA re-grids mid-run, so it can differ from the configured count.
+type Snapshot struct {
+	RNG        rng.State
+	Pop        []search.IndividualSnap
+	Dead       []bool
+	Partitions int
+	Gen        int
+	Stage      int
+	T          int
+	Span       int
+	GentUsed   int
+}
+
+// Snapshot deep-copies the engine state. Exported (rather than folded into
+// Checkpoint) because the MESACGA engine snapshots its inner SACGA engine
+// through it.
+func (e *Engine) Snapshot() *Snapshot {
+	return &Snapshot{
+		RNG:        e.s.State(),
+		Pop:        search.SnapPopulation(e.pop),
+		Dead:       append([]bool(nil), e.dead...),
+		Partitions: e.grid.M,
+		Gen:        e.gen,
+		Stage:      e.stage,
+		T:          e.t,
+		Span:       e.span,
+		GentUsed:   e.gentUsed,
+	}
+}
+
+// restoreSnapshot rebuilds engine state from a snapshot. The caller must
+// have prepared cfg/budget/prob (start's bookkeeping half) first.
+func (e *Engine) restoreSnapshot(sn *Snapshot) {
+	e.s = rng.FromState(sn.RNG)
+	e.pop = search.UnsnapPopulation(sn.Pop)
+	e.dead = append([]bool(nil), sn.Dead...)
+	e.grid = NewGrid(e.cfg.PartitionObjective, e.cfg.PartitionLo, e.cfg.PartitionHi, sn.Partitions)
+	e.gen = sn.Gen
+	e.stage = sn.Stage
+	e.t = sn.T
+	e.span = sn.Span
+	e.gentUsed = sn.GentUsed
+}
+
+// NewEngineFromSnapshot rebuilds an engine from a Snapshot under the same
+// problem and Config the original was started with, without re-evaluating
+// anything. The MESACGA restore path uses it to resurrect its inner engine.
+func NewEngineFromSnapshot(prob objective.Problem, cfg Config, sn *Snapshot) *Engine {
+	e := new(Engine)
+	cfg.normalize(prob.NumObjectives())
+	e.cfg = cfg
+	e.prob = e.budget.Attach(prob, 0)
+	e.restoreSnapshot(sn)
 	return e
 }
+
+// Checkpoint implements search.Engine.
+func (e *Engine) Checkpoint() *search.Checkpoint {
+	return &search.Checkpoint{Algo: e.Name(), Gen: e.gen, Evals: e.Evals(), State: e.Snapshot()}
+}
+
+// Restore implements search.Engine.
+func (e *Engine) Restore(prob objective.Problem, opts search.Options, cp *search.Checkpoint) error {
+	if cp.Algo != e.Name() {
+		return fmt.Errorf("sacga: checkpoint is for %q", cp.Algo)
+	}
+	sn, ok := cp.State.(*Snapshot)
+	if !ok {
+		return fmt.Errorf("sacga: checkpoint state is %T, want *sacga.Snapshot", cp.State)
+	}
+	p, err := search.Extension[Params](opts)
+	if err != nil {
+		return fmt.Errorf("sacga: %w", err)
+	}
+	opts.Normalize()
+	cfg := configFor(opts, p)
+	cfg.normalize(prob.NumObjectives())
+	e.cfg = cfg
+	e.prob = e.budget.Attach(prob, opts.MaxEvals)
+	e.budget.RestoreEvals(cp.Evals)
+	e.totalIters = opts.Generations
+	e.deriveSpan = p.Span <= 0
+	e.localOnly = p.LocalOnly
+	e.restoreSnapshot(sn)
+	return nil
+}
+
+// StepLocal runs one pure-local-competition iteration at annealing
+// position t of span — the phase-I grain the MESACGA engine steps at.
+func (e *Engine) StepLocal(t, span int) { e.iterate(t, span, true) }
+
+// StepMixed runs one annealed mixed-competition iteration at annealing
+// position t of span — the phase-II grain.
+func (e *Engine) StepMixed(t, span int) { e.iterate(t, span, false) }
+
+// FeasibleEverywhere reports whether every partition currently holds a
+// constraint-satisfying solution — the phase-I exit condition.
+func (e *Engine) FeasibleEverywhere() bool { return e.allPartitionsFeasible() }
 
 // Population returns the current population — a live view, not a copy.
 // The engine recycles population buffers across iterations, so the view is

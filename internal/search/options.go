@@ -1,0 +1,154 @@
+package search
+
+import (
+	"fmt"
+
+	"sacga/internal/ga"
+	"sacga/internal/objective"
+)
+
+// Default values applied by Options.Normalize — the one place the defaults
+// formerly duplicated across the four per-algorithm Config.normalize
+// implementations now live.
+const (
+	DefaultPopSize     = 100
+	DefaultGenerations = 250
+)
+
+// Options holds the hyperparameters every engine understands. Algorithm-
+// specific knobs (partition grids, annealing shapes, migration topology)
+// live in per-algorithm extension structs carried by Extra — see
+// sacga.Params, mesacga.Params and islands.Params.
+type Options struct {
+	// PopSize is the population size (default 100). Engines with internal
+	// structure interpret it as the total across that structure (islands:
+	// all islands pooled).
+	PopSize int
+	// Generations is the total iteration budget (default 250). For sacga
+	// it bounds phase I + phase II together when the extension struct does
+	// not pin the phase lengths; for mesacga it is the TotalBudget unless
+	// the extension pins a per-phase span.
+	Generations int
+	// MaxEvals, when > 0, caps the number of objective evaluations. The
+	// cap is enforced through an objective.Counter wrapped around the
+	// problem, and every engine stops within one generation of reaching
+	// it — the paper's comparisons are budget-matched, so a uniform stop
+	// rule matters more than an exact one.
+	MaxEvals int64
+	// Seed drives all randomness of the run.
+	Seed int64
+	// Ops are the variation operators (zero value → ga.DefaultOperators).
+	Ops ga.Operators
+	// Initial seeds the population (cloned; missing individuals are filled
+	// with uniform random samples).
+	Initial ga.Population
+	// Workers parallelizes objective evaluation: 0 selects NumCPU, 1
+	// forces the sequential path. Results are bit-identical either way.
+	Workers int
+	// Pool, when non-nil, supplies the persistent evaluation worker pool;
+	// nil selects the process-wide shared pool.
+	Pool *ga.Pool
+	// Observer, when non-nil, is invoked by the engine itself after every
+	// generation — the legacy per-algorithm hook, preserved so the old
+	// Config.Observer fields keep working, INCLUDING each engine's legacy
+	// generation numbering: nsga2 and islands count from 0, sacga and
+	// mesacga from 1. New code should prefer the Observer values passed to
+	// Run, which see the uniform 1-based Frame.Gen plus evaluation counts,
+	// and compose. The callback must not retain pop.
+	Observer func(gen int, pop ga.Population)
+	// Extra carries the per-algorithm extension struct (e.g.
+	// *sacga.Params). nil selects that algorithm's defaults.
+	Extra any
+}
+
+// Normalize applies the shared defaults in place. Engines call it from
+// Init; it is idempotent.
+func (o *Options) Normalize() {
+	if o.PopSize <= 0 {
+		o.PopSize = DefaultPopSize
+	}
+	if o.Generations <= 0 {
+		o.Generations = DefaultGenerations
+	}
+	if o.Ops == (ga.Operators{}) {
+		o.Ops = ga.DefaultOperators()
+	}
+}
+
+// Extension extracts the algorithm extension struct of type P from
+// opts.Extra: nil Extra yields a zero P (the algorithm's defaults), a *P is
+// returned as-is, and anything else is a configuration error.
+func Extension[P any](opts Options) (*P, error) {
+	if opts.Extra == nil {
+		return new(P), nil
+	}
+	p, ok := opts.Extra.(*P)
+	if !ok {
+		return nil, fmt.Errorf("search: Options.Extra is %T, want *%T", opts.Extra, *new(P))
+	}
+	return p, nil
+}
+
+// ValidateSchedule checks a MESACGA-style partition schedule: it must be
+// non-empty, every entry positive, the sequence non-increasing, and the
+// final phase must reach a single partition (the phase that merges the
+// local fronts into the global Pareto front). A violating schedule used to
+// silently misbehave — partitions "expanding" mid-run, or a final front
+// that never merged; now it is a clear error at Init.
+func ValidateSchedule(schedule []int) error {
+	if len(schedule) == 0 {
+		return fmt.Errorf("search: empty partition schedule")
+	}
+	for i, m := range schedule {
+		if m < 1 {
+			return fmt.Errorf("search: partition schedule entry %d is %d, must be >= 1", i, m)
+		}
+		if i > 0 && m > schedule[i-1] {
+			return fmt.Errorf("search: partition schedule must be non-increasing, entry %d grows %d -> %d",
+				i, schedule[i-1], m)
+		}
+	}
+	if last := schedule[len(schedule)-1]; last != 1 {
+		return fmt.Errorf("search: partition schedule must end at 1 partition (the front-merging phase), ends at %d", last)
+	}
+	return nil
+}
+
+// EvalBudget is the uniform evaluation accounting every engine embeds: it
+// wraps the problem in an objective.Counter (reusing the caller's counter
+// when the problem already is one, so experiment harnesses see every
+// evaluation exactly once) and answers "how many evaluations has this run
+// consumed" and "is the cap reached".
+type EvalBudget struct {
+	counter *objective.Counter
+	max     int64
+	base    int64
+}
+
+// Attach wires the budget to prob and returns the problem the engine must
+// evaluate against (prob itself when it already counts, a counting wrapper
+// otherwise). The Counter pass-throughs preserve the batch and in-place
+// fast paths, so wrapping never changes evaluation results.
+func (b *EvalBudget) Attach(prob objective.Problem, max int64) objective.Problem {
+	if c, ok := prob.(*objective.Counter); ok {
+		b.counter = c
+	} else {
+		b.counter = objective.NewCounter(prob)
+		prob = b.counter
+	}
+	b.max = max
+	b.base = b.counter.Count()
+	return prob
+}
+
+// Evals returns the evaluations consumed since Attach (plus any restored
+// baseline).
+func (b *EvalBudget) Evals() int64 { return b.counter.Count() - b.base }
+
+// Exhausted reports whether the cap is reached. A zero cap never exhausts.
+func (b *EvalBudget) Exhausted() bool { return b.max > 0 && b.Evals() >= b.max }
+
+// RestoreEvals rebases the accounting so Evals() reports n, the count a
+// checkpoint recorded — resuming continues the budget rather than granting
+// a fresh one.
+func (b *EvalBudget) RestoreEvals(n int64) { b.base = b.counter.Count() - n }

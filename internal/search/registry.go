@@ -1,0 +1,55 @@
+package search
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// The registry maps canonical algorithm names to engine factories. Engine
+// packages register themselves from init, so importing an engine package
+// (directly or through internal/expt) makes it selectable by string — the
+// mechanism cross-algorithm sweeps and CLIs use to stay one config switch
+// away from any algorithm.
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]func() Engine{}
+)
+
+// Register makes an engine factory selectable by name. It panics on a
+// duplicate or empty name — registration happens at init time, where a
+// conflict is a programming error.
+func Register(name string, factory func() Engine) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if name == "" || factory == nil {
+		panic("search: Register with empty name or nil factory")
+	}
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("search: duplicate Register(%q)", name))
+	}
+	registry[name] = factory
+}
+
+// New returns a fresh, uninitialized engine for the named algorithm.
+func New(name string) (Engine, error) {
+	registryMu.RLock()
+	factory, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("search: unknown algorithm %q (have %v)", name, Names())
+	}
+	return factory(), nil
+}
+
+// Names lists the registered algorithms in sorted order.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
