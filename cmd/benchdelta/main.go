@@ -12,6 +12,15 @@
 //
 // -record rewrites the baseline's benchmark table from the current run
 // (keeping its comment/environment) instead of gating.
+//
+// -speedup 'SlowBench/FastBench:min' gates an in-job ratio between two
+// rows of the current run — the machine-independent form for
+// parallel-vs-sequential pairs. Combine with an empty -check to gate only
+// the ratio, with no baseline comparison:
+//
+//	go test -run '^$' -bench ScheduledIslands -benchmem ./internal/sched | \
+//	    go run ./cmd/benchdelta -check '' \
+//	    -speedup 'BenchmarkScheduledIslandsSequential/BenchmarkScheduledIslands:1.5'
 package main
 
 import (
@@ -32,6 +41,7 @@ func main() {
 		maxRegress = flag.Float64("max-regress", benchdelta.DefaultMaxRegress, "maximum tolerated fractional ns/op regression (applied after calibration)")
 		calibrate  = flag.String("calibrate", "", "benchmark whose current/baseline ns ratio normalizes machine speed before gating ('' = compare raw)")
 		record     = flag.String("record", "", "write current results over the baseline table to this path and exit")
+		speedup    = flag.String("speedup", "", "comma-separated in-job ratio gates 'SlowBench/FastBench:min' (e.g. parallel vs sequential pairs; no baseline involved)")
 	)
 	flag.Parse()
 
@@ -50,6 +60,35 @@ func main() {
 	}
 	if len(current) == 0 {
 		fatal(fmt.Errorf("no benchmark rows found in %s", *input))
+	}
+
+	// Speedup gates compare two rows of the current run against each other
+	// — no baseline required — so they resolve before the baseline loads
+	// and can run standalone with -check ''.
+	failedSpeedup := false
+	if *speedup != "" {
+		for _, raw := range strings.Split(*speedup, ",") {
+			spec, err := benchdelta.ParseSpeedupSpec(strings.TrimSpace(raw))
+			if err != nil {
+				fatal(err)
+			}
+			ratio, err := benchdelta.Speedup(current, spec.Slow, spec.Fast)
+			if err != nil {
+				fatal(err)
+			}
+			status := "ok"
+			if ratio < spec.Min {
+				status = fmt.Sprintf("FAIL: below the %.2fx floor", spec.Min)
+				failedSpeedup = true
+			}
+			fmt.Printf("benchdelta: speedup %s over %s: %.2fx %s\n", spec.Fast, spec.Slow, ratio, status)
+		}
+	}
+	if *check == "" && *record == "" {
+		if failedSpeedup {
+			os.Exit(1)
+		}
+		return
 	}
 
 	base, err := benchdelta.LoadBaseline(*baseline)
@@ -98,7 +137,7 @@ func main() {
 		}
 		fmt.Printf("benchdelta: %-40s %s%s\n", d.Name, status, detail)
 	}
-	if benchdelta.Failed(deltas) {
+	if benchdelta.Failed(deltas) || failedSpeedup {
 		os.Exit(1)
 	}
 }

@@ -7,15 +7,24 @@
 // tnk, bnh, dtlz1, dtlz2).
 //
 // Algorithms: tpg (NSGA-II), sacga, mesacga, local (local-competition-only
-// ablation), islands (parallel-population comparator) — all dispatched by
-// name through the unified search registry and driven by search.Run, so a
-// run can be cancelled with Ctrl-C (the best-so-far front is still
-// printed) and capped with -maxevals.
+// ablation), islands (parallel-population comparator), plus the
+// multi-engine schedulers — parislands (concurrent engine replicas with
+// ring migration), relay (NSGA-II warm start handing off to SACGA) and
+// portfolio (tpg vs sacga raced under one budget) — all dispatched by name
+// through the unified search registry and driven by search.Run, so a run
+// can be cancelled with Ctrl-C (the best-so-far front is still printed)
+// and capped with -maxevals.
+//
+// Long runs survive preemption with -checkpoint: the engine state is
+// durably snapshotted every -checkpoint-every generations (and on
+// interrupt), and -resume continues bit-identically from the file.
 //
 // Example:
 //
 //	sacga -problem integrator -algo mesacga -iters 800 -pop 100 -out front.csv
 //	sacga -problem zdt3 -algo sacga -partitions 10 -iters 200
+//	sacga -problem integrator -algo relay -iters 800 -checkpoint run.ckpt
+//	sacga -problem integrator -algo relay -iters 800 -checkpoint run.ckpt -resume
 package main
 
 import (
@@ -36,6 +45,7 @@ import (
 	"sacga/internal/plot"
 	"sacga/internal/process"
 	"sacga/internal/sacga"
+	"sacga/internal/sched"
 	"sacga/internal/search"
 	_ "sacga/internal/search/engines"
 	"sacga/internal/sizing"
@@ -45,7 +55,7 @@ import (
 func main() {
 	var (
 		problem    = flag.String("problem", "integrator", "problem name (integrator or a benchmark: "+strings.Join(benchfn.Names(), ",")+")")
-		algo       = flag.String("algo", "sacga", "optimizer: tpg|sacga|mesacga|local|islands")
+		algo       = flag.String("algo", "sacga", "optimizer: tpg|sacga|mesacga|local|islands|parislands|relay|portfolio")
 		pop        = flag.Int("pop", 100, "population size")
 		iters      = flag.Int("iters", 800, "total iterations")
 		partitions = flag.Int("partitions", 8, "SACGA partition count")
@@ -57,6 +67,9 @@ func main() {
 		maxEvals   = flag.Int64("maxevals", 0, "stop within one generation of this evaluation budget (0 = unlimited)")
 		trace      = flag.Int("trace", 0, "print a hypervolume trace line every N generations (0 = off)")
 		out        = flag.String("out", "", "write the front to this CSV file")
+		ckpt       = flag.String("checkpoint", "", "durable checkpoint file, written atomically every -checkpoint-every generations and on interrupt")
+		ckptEvery  = flag.Int("checkpoint-every", 50, "generations between checkpoint writes (with -checkpoint)")
+		resume     = flag.Bool("resume", false, "resume from the -checkpoint file instead of starting fresh (same problem/algo/options)")
 	)
 	flag.Parse()
 
@@ -119,6 +132,28 @@ func main() {
 			size = 4
 		}
 		opts.Extra = &islands.Params{Islands: 5, IslandSize: size, MigrationEvery: 10, Migrants: 2}
+	case "parislands":
+		name = "parallel-islands"
+		opts.Extra = &sched.IslandsParams{Replicas: 4, Algo: "nsga2", MigrationEvery: 10, Migrants: 2}
+	case "relay":
+		// The paper's phase structure as an engine pair: a global-competition
+		// warm start for a quarter of the budget, handing its population to
+		// SACGA's annealed mixed competition for the remainder.
+		name = "relay"
+		opts.Extra = &sched.RelayParams{Legs: []sched.Leg{
+			{Algo: "nsga2", Generations: *iters / 4},
+			{Algo: "sacga", Extra: sacgaParams},
+		}}
+	case "portfolio":
+		name = "portfolio"
+		pf := &sched.PortfolioParams{Members: []sched.Member{
+			{Algo: "nsga2"},
+			{Algo: "sacga", Extra: sacgaParams},
+		}}
+		if isCircuit {
+			pf.Project = circuitPoint // score the race on the reported (CL, Power) plane
+		}
+		opts.Extra = pf
 	default:
 		fatal(fmt.Errorf("unknown algorithm %q (registry has %v)", *algo, search.Names()))
 	}
@@ -140,20 +175,55 @@ func main() {
 		}))
 	}
 
+	if *ckpt != "" {
+		every := *ckptEvery
+		if every < 1 {
+			every = 1
+		}
+		observers = append(observers, search.ObserverFunc(func(f *search.Frame) {
+			if f.Gen%every != 0 {
+				return
+			}
+			if err := search.SaveCheckpoint(*ckpt, f.Engine.Checkpoint()); err != nil {
+				fmt.Fprintf(os.Stderr, "sacga: checkpoint: %v\n", err)
+			}
+		}))
+	}
+
 	// Ctrl-C cancels between generations; the partial result still prints.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	res, err := search.Run(ctx, eng, counter, opts, observers...)
+	var res *search.Result
+	if *resume {
+		if *ckpt == "" {
+			fatal(fmt.Errorf("-resume requires -checkpoint <path>"))
+		}
+		cp, lerr := search.LoadCheckpoint(*ckpt)
+		if lerr != nil {
+			fatal(lerr)
+		}
+		fmt.Printf("resuming %s from %s at generation %d (%d evaluations)\n", cp.Algo, *ckpt, cp.Gen, cp.Evals)
+		res, err = search.Resume(ctx, eng, counter, opts, cp, observers...)
+	} else {
+		res, err = search.Run(ctx, eng, counter, opts, observers...)
+	}
 	if err != nil {
 		if !errors.Is(err, context.Canceled) {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "sacga: interrupted after %d generations; reporting the front so far\n", res.Generations)
+		if *ckpt != "" {
+			if serr := search.SaveCheckpoint(*ckpt, eng.Checkpoint()); serr != nil {
+				fmt.Fprintf(os.Stderr, "sacga: checkpoint: %v\n", serr)
+			} else {
+				fmt.Fprintf(os.Stderr, "sacga: checkpoint saved to %s; continue with -resume\n", *ckpt)
+			}
+		}
 	}
 	front := res.Front
 
 	fmt.Printf("problem=%s algo=%s generations=%d evaluations=%d front=%d feasible=%d\n",
-		prob.Name(), *algo, res.Generations, counter.Count(), len(front), front.FeasibleCount())
+		prob.Name(), *algo, res.Generations, res.Evals, len(front), front.FeasibleCount())
 	if isCircuit {
 		pts := make([]hypervolume.Point2, 0, len(front))
 		for _, ind := range front {

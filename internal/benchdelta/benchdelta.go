@@ -201,6 +201,51 @@ func CompareCalibrated(base *Baseline, current map[string]*Entry, names []string
 	return deltas, scale, nil
 }
 
+// Speedup returns the ns/op ratio slow/fast between two rows of ONE run —
+// the in-job gate for parallel-vs-sequential benchmark pairs. Because both
+// rows are measured on the same machine in the same job, the ratio is
+// machine-independent and needs no baseline or calibration, which is what
+// makes a wall-clock-speedup claim CI-gateable without flaking on runner
+// heterogeneity.
+func Speedup(current map[string]*Entry, slow, fast string) (float64, error) {
+	s, f := current[slow], current[fast]
+	if s == nil {
+		return 0, fmt.Errorf("speedup benchmark %s missing from current run", slow)
+	}
+	if f == nil {
+		return 0, fmt.Errorf("speedup benchmark %s missing from current run", fast)
+	}
+	if f.NsPerOp <= 0 {
+		return 0, fmt.Errorf("speedup benchmark %s has non-positive ns/op", fast)
+	}
+	return s.NsPerOp / f.NsPerOp, nil
+}
+
+// SpeedupSpec is one parsed -speedup gate: fast must beat slow by at least
+// Min×.
+type SpeedupSpec struct {
+	Slow, Fast string
+	Min        float64
+}
+
+// ParseSpeedupSpec parses a "SlowBench/FastBench:min" gate expression,
+// e.g. "BenchmarkScheduledIslandsSequential/BenchmarkScheduledIslands:1.5".
+func ParseSpeedupSpec(s string) (SpeedupSpec, error) {
+	pair, minStr, ok := strings.Cut(s, ":")
+	if !ok {
+		return SpeedupSpec{}, fmt.Errorf("speedup spec %q: want slow/fast:min", s)
+	}
+	slow, fast, ok := strings.Cut(pair, "/")
+	if !ok || slow == "" || fast == "" {
+		return SpeedupSpec{}, fmt.Errorf("speedup spec %q: want slow/fast:min", s)
+	}
+	min, err := strconv.ParseFloat(minStr, 64)
+	if err != nil || min <= 0 {
+		return SpeedupSpec{}, fmt.Errorf("speedup spec %q: bad minimum %q", s, minStr)
+	}
+	return SpeedupSpec{Slow: slow, Fast: fast, Min: min}, nil
+}
+
 // Failed reports whether any delta violated a gate.
 func Failed(deltas []Delta) bool {
 	for _, d := range deltas {

@@ -231,3 +231,42 @@ func TestCompareCalibrationNormalizesMachineSpeed(t *testing.T) {
 		t.Fatal("missing calibration row must error")
 	}
 }
+
+func TestSpeedupRatio(t *testing.T) {
+	current := map[string]*Entry{
+		"BenchmarkScheduledIslandsSequential": {NsPerOp: 3000},
+		"BenchmarkScheduledIslands":           {NsPerOp: 1000},
+	}
+	ratio, err := Speedup(current, "BenchmarkScheduledIslandsSequential", "BenchmarkScheduledIslands")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio != 3 {
+		t.Fatalf("ratio = %v, want 3", ratio)
+	}
+	if _, err := Speedup(current, "BenchmarkMissing", "BenchmarkScheduledIslands"); err == nil {
+		t.Fatal("missing slow row must error")
+	}
+	if _, err := Speedup(current, "BenchmarkScheduledIslandsSequential", "BenchmarkMissing"); err == nil {
+		t.Fatal("missing fast row must error")
+	}
+	current["BenchmarkScheduledIslands"].NsPerOp = 0
+	if _, err := Speedup(current, "BenchmarkScheduledIslandsSequential", "BenchmarkScheduledIslands"); err == nil {
+		t.Fatal("zero fast ns/op must error")
+	}
+}
+
+func TestParseSpeedupSpec(t *testing.T) {
+	spec, err := ParseSpeedupSpec("BenchmarkA/BenchmarkB:1.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Slow != "BenchmarkA" || spec.Fast != "BenchmarkB" || spec.Min != 1.5 {
+		t.Fatalf("parsed %+v", spec)
+	}
+	for _, bad := range []string{"", "BenchmarkA:1.5", "BenchmarkA/BenchmarkB", "/B:1.5", "A/:1.5", "A/B:zero", "A/B:-1"} {
+		if _, err := ParseSpeedupSpec(bad); err == nil {
+			t.Fatalf("spec %q must be rejected", bad)
+		}
+	}
+}

@@ -127,6 +127,7 @@ func init() {
 		"fig11":    {"1250-iteration MESACGA vs best 1200-iteration SACGA (m=16)", Fig11},
 		"trends":   {"Sec. 5 trends: 20 graded specs × {TPG, SACGA, MESACGA}", Trends},
 		"ablation": {"Design-choice ablation: annealing vs extremes vs island model", Ablation},
+		"hybrid":   {"Multi-engine schedulers: SACGA vs relay vs portfolio vs parallel islands", Hybrid},
 	}
 }
 

@@ -20,7 +20,7 @@ func smallCfg(t *testing.T) Config {
 
 func TestIDsAndTitles(t *testing.T) {
 	ids := IDs()
-	want := []string{"ablation", "fig10", "fig11", "fig2", "fig4", "fig5", "fig6", "fig8", "fig9", "trends"}
+	want := []string{"ablation", "fig10", "fig11", "fig2", "fig4", "fig5", "fig6", "fig8", "fig9", "hybrid", "trends"}
 	if len(ids) != len(want) {
 		t.Fatalf("ids = %v", ids)
 	}
@@ -277,6 +277,41 @@ func assertFiles(t *testing.T, files []string) {
 		}
 		if ext := filepath.Ext(f); ext != ".csv" && ext != ".txt" {
 			t.Fatalf("unexpected artifact type: %s", f)
+		}
+	}
+}
+
+func TestHybridVariantsComplete(t *testing.T) {
+	cfg := smallCfg(t)
+	cfg.Scale = 0.04
+	rep, err := Run("hybrid", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []string{"sacga", "relay", "portfolio", "parislands"} {
+		if rep.Values["hv_"+v] <= 0 {
+			t.Fatalf("variant %s produced no hypervolume: %+v", v, rep.Values)
+		}
+	}
+}
+
+func TestHybridDeterministic(t *testing.T) {
+	cfg := smallCfg(t)
+	cfg.Scale = 0.03
+	repA, err := Run("hybrid", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgB := smallCfg(t)
+	cfgB.Scale = 0.03
+	cfgB.Workers = 1 // sequential jobs must match the pooled sweep
+	repB, err := Run("hybrid", cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range repA.Values {
+		if repB.Values[k] != v {
+			t.Fatalf("value %s differs across worker counts: %v vs %v", k, v, repB.Values[k])
 		}
 	}
 }

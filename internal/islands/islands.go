@@ -64,6 +64,11 @@ type Config struct {
 	// Pool, when non-nil, supplies the persistent evaluation worker pool;
 	// nil selects the process-wide shared pool.
 	Pool *ga.Pool
+	// Initial seeds the islands (cloned, dealt to the islands in sequential
+	// blocks of IslandSize; missing individuals are filled with uniform
+	// random samples). The hybrid relay driver hands a finished engine's
+	// population across through this field.
+	Initial ga.Population
 }
 
 // Params is the island-model extension struct carried by
@@ -129,6 +134,7 @@ func (c Config) options() search.Options {
 		Workers:     c.Workers,
 		Pool:        c.Pool,
 		Observer:    c.Observer,
+		Initial:     c.Initial,
 		Extra: &Params{
 			Islands:        c.Islands,
 			IslandSize:     c.IslandSize,
@@ -200,6 +206,7 @@ func configFor(opts search.Options, p *Params) Config {
 		Observer:       opts.Observer,
 		Workers:        opts.Workers,
 		Pool:           opts.Pool,
+		Initial:        opts.Initial,
 	}
 	if cfg.Islands <= 0 {
 		cfg.Islands = 4
@@ -242,11 +249,27 @@ func (e *Engine) Init(prob objective.Problem, opts search.Options) error {
 	e.streams = make([]*rng.Stream, e.cfg.Islands)
 	for k := range e.isles {
 		e.streams[k] = rng.DeriveN(e.cfg.Seed, "island", k)
-		e.isles[k] = ga.NewRandomPopulation(e.streams[k], e.cfg.IslandSize, e.lo, e.hi)
+		e.isles[k] = e.seedIsland(k)
 		e.isles[k].EvaluateWith(e.prob, e.cfg.Pool, e.cfg.Workers)
 		e.isles[k].AssignRanksAndCrowding()
 	}
 	return nil
+}
+
+// seedIsland builds island k's initial population: its sequential block of
+// Config.Initial (cloned), topped up with uniform random samples from the
+// island's own stream. With no Initial the random draws are identical to
+// ga.NewRandomPopulation's.
+func (e *Engine) seedIsland(k int) ga.Population {
+	size := e.cfg.IslandSize
+	pop := make(ga.Population, 0, size)
+	for i := k * size; i < (k+1)*size && i < len(e.cfg.Initial); i++ {
+		pop = append(pop, e.cfg.Initial[i].Clone())
+	}
+	for len(pop) < size {
+		pop = append(pop, ga.NewRandom(e.streams[k], e.lo, e.hi))
+	}
+	return pop
 }
 
 // Step implements search.Engine: every island advances one generation in
@@ -309,6 +332,45 @@ func (e *Engine) poolView() ga.Population {
 func (e *Engine) finalize() {
 	e.poolView().AssignRanksAndCrowding()
 	e.finalized = true
+}
+
+// Emigrants implements search.Migrator: deep copies of the k best
+// individuals of the pooled view. Ranks are island-local until the final
+// pooling, so the ordering mixes per-island fronts — deterministic, and
+// biased toward every island's elite, which is what migration wants.
+func (e *Engine) Emigrants(k int) ga.Population {
+	return ga.TruncateByCrowdedComparison(e.poolView(), k).Clone()
+}
+
+// Immigrate implements search.Migrator: migrants are dealt round-robin to
+// the islands, each replacing its destination island's crowded-comparison
+// worst residents, and every receiving island is re-ranked. Per-island
+// intake is capped at half the island, the overflow ignored.
+func (e *Engine) Immigrate(migrants ga.Population) {
+	if limit := search.MigrantCap(e.cfg.Islands * e.cfg.IslandSize); len(migrants) > limit {
+		migrants = migrants[:limit]
+	}
+	incoming := make([]ga.Population, len(e.isles))
+	for j, m := range migrants {
+		incoming[j%len(e.isles)] = append(incoming[j%len(e.isles)], m)
+	}
+	for k, in := range incoming {
+		pop := e.isles[k]
+		if limit := search.MigrantCap(len(pop)); len(in) > limit {
+			in = in[:limit]
+		}
+		if len(in) == 0 {
+			continue
+		}
+		ordered := ga.TruncateByCrowdedComparison(pop, len(pop))
+		keep := ordered[:len(ordered)-len(in)]
+		evicted := ordered[len(keep):]
+		e.isles[k] = append(append(pop[:0], keep...), in...)
+		for _, ind := range evicted {
+			e.arena.Recycle(ind)
+		}
+		e.isles[k].AssignRanksAndCrowding()
+	}
 }
 
 // Checkpoint implements search.Engine.

@@ -130,7 +130,7 @@ func (e *Engine) Name() string { return "nsga2" }
 // evaluates the initial population, and ranks it.
 func (e *Engine) Init(prob objective.Problem, opts search.Options) error {
 	if opts.Extra != nil {
-		return fmt.Errorf("nsga2: Options.Extra must be nil, got %T", opts.Extra)
+		return fmt.Errorf("nsga2: %w", &search.ExtraTypeError{Got: fmt.Sprintf("%T", opts.Extra)})
 	}
 	e.prepare(prob, opts)
 	e.pop = make(ga.Population, 0, e.opts.PopSize)
@@ -225,7 +225,7 @@ func (e *Engine) Restore(prob objective.Problem, opts search.Options, cp *Checkp
 		return fmt.Errorf("nsga2: checkpoint state is %T, want *nsga2.Snapshot", cp.State)
 	}
 	if opts.Extra != nil {
-		return fmt.Errorf("nsga2: Options.Extra must be nil, got %T", opts.Extra)
+		return fmt.Errorf("nsga2: %w", &search.ExtraTypeError{Got: fmt.Sprintf("%T", opts.Extra)})
 	}
 	e.prepare(prob, opts)
 	e.budget.RestoreEvals(cp.Evals)
@@ -233,6 +233,36 @@ func (e *Engine) Restore(prob objective.Problem, opts search.Options, cp *Checkp
 	e.pop = search.UnsnapPopulation(sn.Pop)
 	e.gen = cp.Gen
 	return nil
+}
+
+// Emigrants implements search.Migrator: deep copies of the engine's k
+// crowded-comparison-best individuals, for cross-engine migration under the
+// multi-engine scheduler.
+func (e *Engine) Emigrants(k int) ga.Population {
+	return ga.TruncateByCrowdedComparison(e.pop, k).Clone()
+}
+
+// Immigrate implements search.Migrator: the migrants replace the engine's
+// crowded-comparison-worst residents (whose buffers are recycled into the
+// offspring arena), and the population is re-ranked. Migrants beyond half
+// the population are ignored.
+func (e *Engine) Immigrate(migrants ga.Population) {
+	if limit := search.MigrantCap(len(e.pop)); len(migrants) > limit {
+		migrants = migrants[:limit]
+	}
+	if len(migrants) == 0 {
+		return
+	}
+	ordered := ga.TruncateByCrowdedComparison(e.pop, len(e.pop))
+	keep := ordered[:len(ordered)-len(migrants)]
+	evicted := ordered[len(keep):]
+	// ordered holds its own copies of the member pointers, so rebuilding
+	// e.pop in place is safe.
+	e.pop = append(append(e.pop[:0], keep...), migrants...)
+	for _, ind := range evicted {
+		e.arena.Recycle(ind)
+	}
+	e.arena.AssignRanksAndCrowding(e.pop)
 }
 
 // Checkpoint aliases search.Checkpoint in this package's signatures.

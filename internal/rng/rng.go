@@ -94,6 +94,15 @@ func Derive(master int64, label string) *Stream {
 
 // DeriveN returns a child stream labelled by an integer, e.g. a run index.
 func DeriveN(master int64, label string, n int) *Stream {
+	return New(ChildSeed(master, label, n))
+}
+
+// ChildSeed is the seed DeriveN's child stream starts from — exported for
+// components that hand a whole engine (not just a stream) a derived
+// identity, e.g. the multi-engine scheduler seeding each replica's run.
+// Distinct (label, n) pairs yield independent, stable seeds; deriving never
+// consumes numbers from any stream.
+func ChildSeed(master int64, label string, n int) int64 {
 	h := fnv.New64a()
 	var buf [8]byte
 	for i := 0; i < 8; i++ {
@@ -105,7 +114,7 @@ func DeriveN(master int64, label string, n int) *Stream {
 		buf[i] = byte(uint(n) >> (8 * i))
 	}
 	h.Write(buf[:])
-	return New(int64(h.Sum64()))
+	return int64(h.Sum64())
 }
 
 // Float64 returns a uniform sample in [0,1).

@@ -534,6 +534,37 @@ func (e *Engine) Restore(prob objective.Problem, opts search.Options, cp *search
 	return nil
 }
 
+// Emigrants implements search.Migrator: deep copies of the engine's k best
+// individuals under the current (revised) crowded-comparison ordering.
+func (e *Engine) Emigrants(k int) ga.Population {
+	return ga.TruncateByCrowdedComparison(e.pop, k).Clone()
+}
+
+// Immigrate implements search.Migrator: the migrants replace the
+// revised-rank-worst residents, are assigned to this engine's partition
+// grid, and the local competition ranks are refreshed — so newcomers join
+// whichever partition their objectives land in, exactly like offspring.
+// Migrants beyond half the population are ignored.
+func (e *Engine) Immigrate(migrants ga.Population) {
+	if limit := search.MigrantCap(len(e.pop)); len(migrants) > limit {
+		migrants = migrants[:limit]
+	}
+	if len(migrants) == 0 {
+		return
+	}
+	ordered := ga.TruncateByCrowdedComparison(e.pop, len(e.pop))
+	keep := ordered[:len(ordered)-len(migrants)]
+	evicted := ordered[len(keep):]
+	// ordered holds its own copies of the member pointers, so rebuilding
+	// e.pop in place is safe.
+	e.pop = append(append(e.pop[:0], keep...), migrants...)
+	for _, ind := range evicted {
+		e.arena.Recycle(ind)
+	}
+	e.assign(e.pop)
+	e.localRanks(e.pop)
+}
+
 // StepLocal runs one pure-local-competition iteration at annealing
 // position t of span — the phase-I grain the MESACGA engine steps at.
 func (e *Engine) StepLocal(t, span int) { e.iterate(t, span, true) }

@@ -1,0 +1,332 @@
+package sched
+
+import (
+	"encoding/gob"
+	"fmt"
+
+	"sacga/internal/ga"
+	"sacga/internal/objective"
+	"sacga/internal/search"
+)
+
+func init() {
+	search.Register(NameParallelIslands, func() search.Engine { return new(ParallelIslands) })
+	gob.Register(&IslandsSnapshot{}) // so Checkpoint.State round-trips through encoding/gob
+}
+
+// Topology selects the migration pattern between engine replicas.
+type Topology string
+
+const (
+	// Ring sends each replica's emigrants to the next replica (k → k+1
+	// mod N) — the classic island-model ring, matching the intra-engine
+	// ring the islands package implements one level down.
+	Ring Topology = "ring"
+	// Star exchanges through replica 0 as the hub: every leaf's emigrants
+	// flow to the hub, and the hub's elite is broadcast to every leaf.
+	Star Topology = "star"
+)
+
+// IslandsParams is the ParallelIslands extension struct carried by
+// search.Options.Extra. The zero value selects the defaults: 4 NSGA-II
+// replicas on a ring, migrating 2 individuals every 10 epochs.
+type IslandsParams struct {
+	// Replicas is the number of engine replicas (default 4). Each replica
+	// receives PopSize/Replicas individuals of the total population and a
+	// seed derived from its index.
+	Replicas int
+	// Algo is the registry name of the replicated engine (default
+	// "nsga2"). SACGA replicas partition the objective axis per replica —
+	// the paper's partitions one level up.
+	Algo string
+	// Extra is the extension struct handed to every replica (e.g. a
+	// *sacga.Params); nil selects that algorithm's defaults.
+	Extra any
+	// MigrationEvery is the number of epochs between migration exchanges;
+	// 0 selects the default (10), negative disables migration (fully
+	// isolated replicas — no Migrator requirement on the engine).
+	MigrationEvery int
+	// Migrants is how many individuals each replica emits per exchange
+	// (default 2).
+	Migrants int
+	// Topology is the exchange pattern (default Ring).
+	Topology Topology
+	// StepWorkers bounds how many replicas step concurrently within an
+	// epoch: 0 selects GOMAXPROCS, 1 forces sequential round-robin
+	// stepping. Results are bit-identical at every setting.
+	StepWorkers int
+}
+
+func (p *IslandsParams) normalize() {
+	if p.Replicas <= 0 {
+		p.Replicas = 4
+	}
+	if p.Algo == "" {
+		p.Algo = "nsga2"
+	}
+	if p.MigrationEvery == 0 {
+		p.MigrationEvery = 10
+	}
+	if p.Migrants <= 0 {
+		p.Migrants = 2
+	}
+	if p.Topology == "" {
+		p.Topology = Ring
+	}
+}
+
+// ParallelIslands steps N replicas of one engine concurrently — one
+// scheduler epoch advances every live replica one generation — and applies
+// deterministic ring/star migration at fixed epochs. The final Step pools
+// the replicas and ranks the pooled population, so Population() after Done
+// is the one global non-dominated competition the paper performs at the
+// end of every run.
+//
+// It implements search.Engine (registered as "parallel-islands") and is
+// bit-identical to sequential round-robin stepping at any StepWorkers and
+// GOMAXPROCS setting.
+type ParallelIslands struct {
+	prob    objective.Problem
+	opts    search.Options
+	p       IslandsParams
+	budget  search.EvalBudget
+	engines []search.Engine
+	probs   []objective.Problem // per-replica counters over prob (own accounting)
+	epoch   int
+	pooled  ga.Population
+	final   bool
+}
+
+// IslandsSnapshot is the composite checkpoint payload: every replica's own
+// checkpoint, in replica order.
+type IslandsSnapshot struct {
+	Inner []*search.Checkpoint
+}
+
+// Name implements search.Engine.
+func (e *ParallelIslands) Name() string { return NameParallelIslands }
+
+// prepare applies the option/problem wiring shared by Init and Restore and
+// constructs the (uninitialized) replica engines.
+func (e *ParallelIslands) prepare(prob objective.Problem, opts search.Options) error {
+	p, err := search.Extension[IslandsParams](opts)
+	if err != nil {
+		return fmt.Errorf("sched: parallel-islands: %w", err)
+	}
+	opts.Normalize()
+	e.p = *p
+	e.p.normalize()
+	e.opts = opts
+	e.prob = e.budget.Attach(prob, opts.MaxEvals)
+	e.epoch = 0
+	e.final = false
+	e.engines = make([]search.Engine, e.p.Replicas)
+	e.probs = make([]objective.Problem, e.p.Replicas)
+	for i := range e.engines {
+		eng, err := search.New(e.p.Algo)
+		if err != nil {
+			return fmt.Errorf("sched: parallel-islands: %w", err)
+		}
+		if e.p.MigrationEvery > 0 {
+			if _, ok := eng.(search.Migrator); !ok {
+				return fmt.Errorf("sched: parallel-islands: engine %q does not support migration (search.Migrator); set MigrationEvery < 0 to run isolated replicas", e.p.Algo)
+			}
+		}
+		e.engines[i] = eng
+		e.probs[i] = childProblem(e.prob)
+	}
+	e.pooled = make(ga.Population, 0, e.opts.PopSize)
+	return nil
+}
+
+// replicaShares splits popSize across n replicas so the shares sum EXACTLY
+// to popSize — the ensemble must stay budget-matched with a single engine
+// at the same population. Shares are dealt in pairs (largest first) so at
+// most one share is odd: engines that round odd populations up (nsga2)
+// then inflate the total by at most 1, the same guarantee a single such
+// engine gives. Tiny populations floor at 2 per replica.
+func replicaShares(popSize, n int) []int {
+	shares := make([]int, n)
+	pairs := popSize / 2
+	for i := range shares {
+		shares[i] = (pairs / n) * 2
+	}
+	for i := 0; i < pairs%n; i++ {
+		shares[i] += 2
+	}
+	if popSize%2 == 1 {
+		shares[n-1]++
+	}
+	for i := range shares {
+		if shares[i] < 2 {
+			shares[i] = 2
+		}
+	}
+	return shares
+}
+
+// replicaOptions builds replica i's options: its share of the total
+// population, the matching block of Options.Initial, a per-replica derived
+// seed, and the shared knobs.
+func (e *ParallelIslands) replicaOptions(i int) search.Options {
+	shares := replicaShares(e.opts.PopSize, e.p.Replicas)
+	lo := 0
+	for k := 0; k < i; k++ {
+		lo += shares[k]
+	}
+	var initial ga.Population
+	if lo < len(e.opts.Initial) {
+		hi := min(lo+shares[i], len(e.opts.Initial))
+		initial = e.opts.Initial[lo:hi]
+	}
+	return childOptions(e.opts, shares[i], e.opts.Generations, "sched/replica", i, e.p.Extra, initial)
+}
+
+// Init implements search.Engine: every replica is seeded and evaluated,
+// concurrently when StepWorkers allows (replica initialization is
+// independent work, exactly like a step).
+func (e *ParallelIslands) Init(prob objective.Problem, opts search.Options) error {
+	if err := e.prepare(prob, opts); err != nil {
+		return err
+	}
+	return runIndexed(len(e.engines), e.p.StepWorkers, func(i int) error {
+		return e.engines[i].Init(e.probs[i], e.replicaOptions(i))
+	})
+}
+
+// Step implements search.Engine: one epoch — every live replica advances
+// one generation concurrently, then migration runs at the epoch barrier
+// when due, in replica-index order.
+func (e *ParallelIslands) Step() error {
+	if e.Done() {
+		return nil
+	}
+	err := runIndexed(len(e.engines), e.p.StepWorkers, func(i int) error {
+		if e.engines[i].Done() {
+			return nil
+		}
+		return e.engines[i].Step()
+	})
+	if err != nil {
+		return fmt.Errorf("sched: parallel-islands: %w", err)
+	}
+	e.epoch++
+	if e.p.MigrationEvery > 0 && e.epoch%e.p.MigrationEvery == 0 && !allDone(e.engines) {
+		e.migrate()
+	}
+	if e.opts.Observer != nil {
+		e.opts.Observer(e.epoch, e.poolView())
+	}
+	if e.done() {
+		e.finalize()
+	}
+	return nil
+}
+
+// migrate performs one deterministic exchange: all emigrants are selected
+// (as clones) before any immigration, so the exchange is simultaneous and
+// order-independent; destinations are then served in replica-index order.
+func (e *ParallelIslands) migrate() {
+	n := len(e.engines)
+	if n < 2 {
+		return
+	}
+	m := e.p.Migrants
+	if e.p.Topology == Star {
+		hub := e.engines[0].(search.Migrator)
+		broadcast := hub.Emigrants(m)
+		var inbound ga.Population
+		for k := 1; k < n; k++ {
+			inbound = append(inbound, e.engines[k].(search.Migrator).Emigrants(m)...)
+		}
+		hub.Immigrate(inbound)
+		for k := 1; k < n; k++ {
+			// Each leaf takes its own clones of the hub's elite; a shared
+			// individual across engines would alias mutable state.
+			e.engines[k].(search.Migrator).Immigrate(broadcast.Clone())
+		}
+		return
+	}
+	outbound := make([]ga.Population, n)
+	for k := 0; k < n; k++ {
+		outbound[k] = e.engines[k].(search.Migrator).Emigrants(m)
+	}
+	for k := 0; k < n; k++ {
+		e.engines[(k+1)%n].(search.Migrator).Immigrate(outbound[k])
+	}
+}
+
+// done is Done without the finalized fast path.
+func (e *ParallelIslands) done() bool {
+	return allDone(e.engines) || e.budget.Exhausted()
+}
+
+// Done implements search.Engine.
+func (e *ParallelIslands) Done() bool { return e.final || e.done() }
+
+// Generation implements search.Engine: the number of epochs executed (one
+// epoch = one generation per replica).
+func (e *ParallelIslands) Generation() int { return e.epoch }
+
+// Evals implements search.Engine: evaluations consumed across every
+// replica, counted once by the scheduler's shared budget.
+func (e *ParallelIslands) Evals() int64 { return e.budget.Evals() }
+
+// Population implements search.Engine: the pooled view across replicas,
+// globally ranked once the run is done. Invalidated by Step.
+func (e *ParallelIslands) Population() ga.Population {
+	if e.final {
+		return e.pooled
+	}
+	return e.poolView()
+}
+
+func (e *ParallelIslands) poolView() ga.Population {
+	e.pooled = poolInto(e.pooled, e.engines)
+	return e.pooled
+}
+
+// finalize pools the replicas and assigns global ranks — the one pooled
+// global competition, run once when the ensemble completes.
+func (e *ParallelIslands) finalize() {
+	e.poolView().AssignRanksAndCrowding()
+	e.final = true
+}
+
+// Checkpoint implements search.Engine: a composite snapshot of every
+// replica's checkpoint.
+func (e *ParallelIslands) Checkpoint() *search.Checkpoint {
+	sn := &IslandsSnapshot{Inner: make([]*search.Checkpoint, len(e.engines))}
+	for i, eng := range e.engines {
+		sn.Inner[i] = eng.Checkpoint()
+	}
+	return &search.Checkpoint{Algo: e.Name(), Gen: e.epoch, Evals: e.Evals(), State: sn}
+}
+
+// Restore implements search.Engine.
+func (e *ParallelIslands) Restore(prob objective.Problem, opts search.Options, cp *search.Checkpoint) error {
+	if cp.Algo != e.Name() {
+		return fmt.Errorf("sched: parallel-islands: checkpoint is for %q", cp.Algo)
+	}
+	sn, ok := cp.State.(*IslandsSnapshot)
+	if !ok {
+		return fmt.Errorf("sched: parallel-islands: checkpoint state is %T, want *sched.IslandsSnapshot", cp.State)
+	}
+	if err := e.prepare(prob, opts); err != nil {
+		return err
+	}
+	if len(sn.Inner) != len(e.engines) {
+		return fmt.Errorf("sched: parallel-islands: checkpoint has %d replicas, options configure %d", len(sn.Inner), len(e.engines))
+	}
+	e.budget.RestoreEvals(cp.Evals)
+	e.epoch = cp.Gen
+	if err := runIndexed(len(e.engines), e.p.StepWorkers, func(i int) error {
+		return e.engines[i].Restore(e.probs[i], e.replicaOptions(i), sn.Inner[i])
+	}); err != nil {
+		return fmt.Errorf("sched: parallel-islands: %w", err)
+	}
+	if e.done() {
+		e.finalize()
+	}
+	return nil
+}

@@ -1,0 +1,260 @@
+package sched
+
+import (
+	"encoding/gob"
+	"fmt"
+
+	"sacga/internal/ga"
+	"sacga/internal/objective"
+	"sacga/internal/search"
+)
+
+func init() {
+	search.Register(NameRelay, func() search.Engine { return new(Relay) })
+	gob.Register(&RelaySnapshot{}) // so Checkpoint.State round-trips through encoding/gob
+}
+
+// Leg is one stage of a relay: which engine runs, with which extension
+// struct, for how many generations.
+type Leg struct {
+	// Algo is the engine's registry name.
+	Algo string
+	// Extra is the extension struct for this leg's engine; nil selects the
+	// algorithm's defaults.
+	Extra any
+	// Generations pins this leg's length; legs left at 0 split the
+	// remainder of Options.Generations evenly (min 1 each), which keeps a
+	// relay budget-comparable with a single engine run at the same total.
+	Generations int
+}
+
+// RelayParams is the Relay extension struct carried by
+// search.Options.Extra. A relay must declare at least one leg.
+type RelayParams struct {
+	Legs []Leg
+}
+
+// Relay chains engines under one evaluation budget: leg k+1 is seeded from
+// leg k's final population (deep-copied into Options.Initial) with a
+// per-leg derived RNG identity — the paper's phase I → phase II transition
+// generalized to arbitrary engine pairs, e.g. an NSGA-II global
+// exploration leg handing its population to a SACGA annealed-competition
+// leg. One Step advances the active leg one generation; the handoff folds
+// into the Step that crosses a leg boundary (its Init evaluates the
+// inherited population, costing one population's worth of budget, exactly
+// like a fresh run's Init).
+//
+// It implements search.Engine (registered as "relay"). Checkpoints carry
+// the active leg's checkpoint plus the population it inherited, so a
+// resume mid-leg — or exactly mid-handoff — is bit-identical to an
+// uninterrupted run.
+type Relay struct {
+	prob     objective.Problem
+	opts     search.Options
+	legs     []Leg
+	gens     []int
+	budget   search.EvalBudget
+	leg      int
+	doneGens int // generations consumed by completed legs
+	inner    search.Engine
+	handoff  ga.Population // population the active leg started from (nil for leg 0)
+}
+
+// RelaySnapshot is the composite checkpoint payload: which leg is active,
+// its checkpoint, and the population it inherited at the last handoff.
+type RelaySnapshot struct {
+	Leg      int
+	DoneGens int
+	Handoff  []search.IndividualSnap // nil when the active leg is leg 0
+	Inner    *search.Checkpoint
+}
+
+// Name implements search.Engine.
+func (e *Relay) Name() string { return NameRelay }
+
+// resolveGens fixes every leg's generation count: pinned lengths are kept,
+// and legs left at 0 split the remaining total evenly, at least 1 each.
+func resolveGens(legs []Leg, total int) []int {
+	gens := make([]int, len(legs))
+	fixed, open := 0, 0
+	for i, l := range legs {
+		if l.Generations > 0 {
+			gens[i] = l.Generations
+			fixed += l.Generations
+		} else {
+			open++
+		}
+	}
+	if open > 0 {
+		share := (total - fixed) / open
+		if share < 1 {
+			share = 1
+		}
+		for i := range gens {
+			if gens[i] == 0 {
+				gens[i] = share
+			}
+		}
+	}
+	return gens
+}
+
+// prepare applies the option/problem wiring shared by Init and Restore.
+func (e *Relay) prepare(prob objective.Problem, opts search.Options) error {
+	p, err := search.Extension[RelayParams](opts)
+	if err != nil {
+		return fmt.Errorf("sched: relay: %w", err)
+	}
+	if len(p.Legs) == 0 {
+		return fmt.Errorf("sched: relay: RelayParams must declare at least one leg")
+	}
+	opts.Normalize()
+	e.opts = opts
+	e.legs = p.Legs
+	e.gens = resolveGens(p.Legs, opts.Generations)
+	e.prob = e.budget.Attach(prob, opts.MaxEvals)
+	e.leg = 0
+	e.doneGens = 0
+	e.handoff = nil
+	return nil
+}
+
+// legOptions builds leg k's options: the full population, the leg's
+// resolved generation budget, a per-leg derived seed and the inherited
+// population as the initial seed.
+func (e *Relay) legOptions(leg int, initial ga.Population) search.Options {
+	return childOptions(e.opts, e.opts.PopSize, e.gens[leg], "sched/relay", leg, e.legs[leg].Extra, initial)
+}
+
+// startLeg constructs and initializes leg k around the inherited
+// population (nil for leg 0 defers to Options.Initial).
+func (e *Relay) startLeg(leg int, initial ga.Population) error {
+	eng, err := search.New(e.legs[leg].Algo)
+	if err != nil {
+		return fmt.Errorf("sched: relay leg %d: %w", leg, err)
+	}
+	if err := eng.Init(childProblem(e.prob), e.legOptions(leg, initial)); err != nil {
+		return fmt.Errorf("sched: relay leg %d (%s): %w", leg, e.legs[leg].Algo, err)
+	}
+	e.inner = eng
+	return nil
+}
+
+// Init implements search.Engine: validate the legs and start the first.
+func (e *Relay) Init(prob objective.Problem, opts search.Options) error {
+	if err := e.prepare(prob, opts); err != nil {
+		return err
+	}
+	// Validate every leg's registry name up front, so a typo in leg 3
+	// fails at Init instead of mid-run at the handoff.
+	for i, l := range e.legs {
+		if _, err := search.New(l.Algo); err != nil {
+			return fmt.Errorf("sched: relay leg %d: %w", i, err)
+		}
+	}
+	return e.startLeg(0, opts.Initial)
+}
+
+// Step implements search.Engine: one generation of the active leg. A Step
+// that finds the active leg finished first performs the handoff — clone
+// the population, derive the next leg's identity, Init it — then runs the
+// new leg's first generation.
+func (e *Relay) Step() error {
+	if e.Done() {
+		return nil
+	}
+	if e.inner.Done() {
+		e.doneGens += e.inner.Generation()
+		e.handoff = e.inner.Population().Clone()
+		e.leg++
+		if err := e.startLeg(e.leg, e.handoff); err != nil {
+			return err
+		}
+	}
+	if err := e.inner.Step(); err != nil {
+		return fmt.Errorf("sched: relay leg %d (%s): %w", e.leg, e.legs[e.leg].Algo, err)
+	}
+	if e.opts.Observer != nil {
+		e.opts.Observer(e.Generation(), e.inner.Population())
+	}
+	return nil
+}
+
+// Done implements search.Engine: the last leg has finished, or the shared
+// budget is exhausted (checked at the step boundary, deterministically).
+func (e *Relay) Done() bool {
+	return e.budget.Exhausted() || (e.leg == len(e.legs)-1 && e.inner.Done())
+}
+
+// Generation implements search.Engine: generations across all legs.
+func (e *Relay) Generation() int { return e.doneGens + e.inner.Generation() }
+
+// Evals implements search.Engine.
+func (e *Relay) Evals() int64 { return e.budget.Evals() }
+
+// Population implements search.Engine: the active leg's population (the
+// final leg leaves it globally ranked, as every engine's last step does).
+func (e *Relay) Population() ga.Population { return e.inner.Population() }
+
+// Leg returns the index of the active leg.
+func (e *Relay) Leg() int { return e.leg }
+
+// Checkpoint implements search.Engine.
+func (e *Relay) Checkpoint() *search.Checkpoint {
+	sn := &RelaySnapshot{
+		Leg:      e.leg,
+		DoneGens: e.doneGens,
+		Inner:    e.inner.Checkpoint(),
+	}
+	if e.handoff != nil {
+		sn.Handoff = search.SnapPopulation(e.handoff)
+	}
+	return &search.Checkpoint{Algo: e.Name(), Gen: e.Generation(), Evals: e.Evals(), State: sn}
+}
+
+// Restore implements search.Engine: rebuild the active leg from its own
+// checkpoint, under the options it originally started with — including the
+// population it inherited, which the snapshot carries.
+func (e *Relay) Restore(prob objective.Problem, opts search.Options, cp *search.Checkpoint) error {
+	if cp.Algo != e.Name() {
+		return fmt.Errorf("sched: relay: checkpoint is for %q", cp.Algo)
+	}
+	sn, ok := cp.State.(*RelaySnapshot)
+	if !ok {
+		return fmt.Errorf("sched: relay: checkpoint state is %T, want *sched.RelaySnapshot", cp.State)
+	}
+	if err := e.prepare(prob, opts); err != nil {
+		return err
+	}
+	if sn.Leg < 0 || sn.Leg >= len(e.legs) {
+		return fmt.Errorf("sched: relay: checkpoint leg %d outside the %d configured legs", sn.Leg, len(e.legs))
+	}
+	if sn.Inner == nil || sn.Inner.Algo != e.legs[sn.Leg].Algo {
+		return fmt.Errorf("sched: relay: checkpoint leg %d ran %q, options configure %q",
+			sn.Leg, innerAlgo(sn.Inner), e.legs[sn.Leg].Algo)
+	}
+	e.leg = sn.Leg
+	e.doneGens = sn.DoneGens
+	initial := opts.Initial
+	if sn.Handoff != nil {
+		e.handoff = search.UnsnapPopulation(sn.Handoff)
+		initial = e.handoff
+	}
+	eng, err := search.New(e.legs[e.leg].Algo)
+	if err != nil {
+		return fmt.Errorf("sched: relay leg %d: %w", e.leg, err)
+	}
+	if err := eng.Restore(childProblem(e.prob), e.legOptions(e.leg, initial), sn.Inner); err != nil {
+		return fmt.Errorf("sched: relay leg %d (%s): %w", e.leg, e.legs[e.leg].Algo, err)
+	}
+	e.inner = eng
+	e.budget.RestoreEvals(cp.Evals)
+	return nil
+}
+
+func innerAlgo(cp *search.Checkpoint) string {
+	if cp == nil {
+		return "<nil>"
+	}
+	return cp.Algo
+}

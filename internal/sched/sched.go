@@ -1,0 +1,170 @@
+// Package sched is the multi-engine orchestration subsystem: drivers that
+// advance several search.Engine instances generation-wise on the shared
+// evaluation pool, with deterministic cross-engine reductions. The paper's
+// contribution is mixing global and local competition inside one
+// population; this package mixes whole optimizers — the same idea one
+// level up, and the layer the ROADMAP's island-parallel and hybrid
+// global/local schedule items both reduce to.
+//
+// Three composable drivers, each itself a search.Engine (one Step = one
+// scheduler epoch), registered in the search registry and checkpointable
+// as a composite snapshot:
+//
+//   - ParallelIslands ("parallel-islands") — N replicas of one algorithm
+//     stepped concurrently, with ring or star migration at fixed epochs.
+//     Generation-level parallelism on top of the evaluation-level
+//     parallelism the worker pool already provides.
+//   - Relay ("relay") — a chain of engines under one evaluation budget,
+//     each leg warm-started from its predecessor's final population: the
+//     paper's phase I → phase II transition generalized to arbitrary
+//     engine pairs (e.g. NSGA-II global exploration → SACGA's annealed
+//     local competition).
+//   - Portfolio ("portfolio") — heterogeneous engines raced under a
+//     shared budget, with per-epoch hypervolume scoring reallocating
+//     generations toward the current leader.
+//
+// # Determinism
+//
+// Every driver is bit-identical to sequential round-robin stepping
+// regardless of GOMAXPROCS or its StepWorkers setting (property-tested).
+// The ingredients: each child engine owns its RNG streams, arena and
+// buffers, so concurrent Steps share only the evaluation pool (whose
+// results are written by index — order-free); cross-engine reductions
+// (migration, relay handoff, portfolio scoring) run at epoch barriers in
+// engine-index order, never completion order; and the shared evaluation
+// budget is enforced by the scheduler between epochs — child engines never
+// consult the live counter mid-step, so a concurrently-advancing total
+// cannot steer an engine's control flow.
+//
+// # Budget
+//
+// Options.MaxEvals caps the whole ensemble: the scheduler wraps the
+// problem in one objective.Counter shared by every child engine and stops
+// at the first epoch boundary at or past the cap. The stop rule is
+// therefore "within one epoch" (one generation per concurrently-stepped
+// engine), the multi-engine analogue of the single-engine "within one
+// generation" contract.
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"sacga/internal/ga"
+	"sacga/internal/objective"
+	"sacga/internal/rng"
+	"sacga/internal/search"
+)
+
+// Registry names of the scheduler engines.
+const (
+	NameParallelIslands = "parallel-islands"
+	NameRelay           = "relay"
+	NamePortfolio       = "portfolio"
+)
+
+// childOptions builds the options handed to one child engine: the shared
+// hyperparameters pass through; the seed is derived per child so replicas
+// explore independently; the observer and the evaluation cap stay with the
+// scheduler (children must never consult the shared live counter — see the
+// package determinism contract).
+func childOptions(opts search.Options, popSize, generations int, label string, n int, extra any, initial ga.Population) search.Options {
+	return search.Options{
+		PopSize:     popSize,
+		Generations: generations,
+		Seed:        rng.ChildSeed(opts.Seed, label, n),
+		Ops:         opts.Ops,
+		Initial:     initial,
+		Workers:     opts.Workers,
+		Pool:        opts.Pool,
+		Extra:       extra,
+	}
+}
+
+// childProblem wraps the scheduler's budget-wrapped problem in a fresh
+// counter for one child engine. Every child evaluation still reaches the
+// scheduler's shared counter (the wrapper delegates), but the child's own
+// EvalBudget attaches to THIS counter — created before any stepping, count
+// zero — so the child's Evals() and checkpoint accounting cover exactly
+// its own evaluations, deterministically, instead of sampling the
+// concurrently-advancing ensemble total at attach time.
+func childProblem(prob objective.Problem) objective.Problem {
+	return objective.NewCounter(prob)
+}
+
+// runIndexed executes fn(i) for every i in [0,n) across at most `workers`
+// goroutines (including the caller), claiming indices through an atomic
+// cursor, and returns the lowest-index error. Each index must be
+// independent work — the scheduler's epoch barrier is the join at the end.
+func runIndexed(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = fn(i)
+		}
+		return firstError(errs)
+	}
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			errs[i] = fn(i)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers - 1)
+	for w := 0; w < workers-1; w++ {
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
+	return firstError(errs)
+}
+
+// firstError returns the lowest-index non-nil error — index order, not
+// completion order, so concurrent failures surface deterministically.
+func firstError(errs []error) error {
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("engine %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// allDone reports whether every child engine has completed its budget.
+func allDone(engines []search.Engine) bool {
+	for _, eng := range engines {
+		if !eng.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// poolInto rebuilds dst as the concatenated live view of every child
+// population, in engine-index order.
+func poolInto(dst ga.Population, engines []search.Engine) ga.Population {
+	dst = dst[:0]
+	for _, eng := range engines {
+		dst = append(dst, eng.Population()...)
+	}
+	return dst
+}

@@ -1,0 +1,484 @@
+// Property tests of the multi-engine scheduler: bit-identical results
+// across StepWorkers and GOMAXPROCS settings (the determinism contract),
+// checkpoint/resume — including a relay resumed exactly mid-handoff — the
+// shared evaluation budget, and the typed configuration errors.
+package sched_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"errors"
+	"math"
+	"runtime"
+	"testing"
+
+	"sacga/internal/benchfn"
+	"sacga/internal/ga"
+	_ "sacga/internal/islands" // registered for the typed-error sweep
+	_ "sacga/internal/mesacga" // a registered engine that is NOT a Migrator
+	_ "sacga/internal/nsga2"   // the default replica engine
+	"sacga/internal/objective"
+	"sacga/internal/sacga"
+	"sacga/internal/sched"
+	"sacga/internal/search"
+)
+
+func testProblem() objective.Problem { return benchfn.ZDT1(6) }
+
+func constrProblem() objective.Problem { return benchfn.Constr() }
+
+func sacgaParams() *sacga.Params {
+	return &sacga.Params{Partitions: 2, PartitionObjective: 0, PartitionLo: 0.1, PartitionHi: 1, GentMax: 3}
+}
+
+// popsIdentical compares two populations bit for bit: genes, cached
+// objectives, violations, ranks and crowding.
+func popsIdentical(t *testing.T, what string, a, b ga.Population) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: size %d != %d", what, len(a), len(b))
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		for j := range x.X {
+			if x.X[j] != y.X[j] {
+				t.Fatalf("%s: individual %d gene %d: %v != %v", what, i, j, x.X[j], y.X[j])
+			}
+		}
+		for j := range x.Objectives {
+			if x.Objectives[j] != y.Objectives[j] {
+				t.Fatalf("%s: individual %d objective %d: %v != %v", what, i, j, x.Objectives[j], y.Objectives[j])
+			}
+		}
+		if x.Violation != y.Violation || x.Rank != y.Rank {
+			t.Fatalf("%s: individual %d violation/rank mismatch", what, i)
+		}
+		if x.Crowding != y.Crowding && !(math.IsInf(x.Crowding, 1) && math.IsInf(y.Crowding, 1)) {
+			t.Fatalf("%s: individual %d crowding %v != %v", what, i, x.Crowding, y.Crowding)
+		}
+	}
+}
+
+// runToEnd drives an engine from Init to Done and returns a deep copy of
+// its final population.
+func runToEnd(t *testing.T, name string, prob objective.Problem, opts search.Options) ga.Population {
+	t.Helper()
+	eng, err := search.New(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := search.Run(context.Background(), eng, prob, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Final.Clone()
+}
+
+// islandsOpts is the ParallelIslands configuration the determinism and
+// checkpoint properties run under: migration crosses several exchanges.
+func islandsOpts(stepWorkers int, topo sched.Topology, algo string, extra any) search.Options {
+	return search.Options{
+		PopSize: 24, Generations: 12, Seed: 7,
+		Extra: &sched.IslandsParams{
+			Replicas: 3, Algo: algo, Extra: extra,
+			MigrationEvery: 4, Migrants: 2, Topology: topo,
+			StepWorkers: stepWorkers,
+		},
+	}
+}
+
+// TestParallelIslandsDeterministic pins the acceptance criterion: the
+// pooled result is bit-identical whether replicas step sequentially
+// (round-robin, StepWorkers=1) or concurrently, at GOMAXPROCS 1 and 4, on
+// both topologies, for NSGA-II and SACGA replicas.
+func TestParallelIslandsDeterministic(t *testing.T) {
+	variants := []struct {
+		label string
+		topo  sched.Topology
+		algo  string
+		extra any
+		prob  func() objective.Problem
+	}{
+		{"nsga2-ring", sched.Ring, "nsga2", nil, testProblem},
+		{"nsga2-star", sched.Star, "nsga2", nil, testProblem},
+		{"sacga-ring", sched.Ring, "sacga", sacgaParams(), constrProblem},
+	}
+	for _, v := range variants {
+		t.Run(v.label, func(t *testing.T) {
+			defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+			runtime.GOMAXPROCS(1)
+			want := runToEnd(t, "parallel-islands", v.prob(), islandsOpts(1, v.topo, v.algo, v.extra))
+			for _, procs := range []int{1, 4} {
+				for _, workers := range []int{1, 4} {
+					runtime.GOMAXPROCS(procs)
+					got := runToEnd(t, "parallel-islands", v.prob(), islandsOpts(workers, v.topo, v.algo, v.extra))
+					popsIdentical(t, v.label, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelIslandsCheckpointResume checkpoints a concurrent run at
+// epochs on both sides of a migration exchange and resumes each on a fresh
+// engine: bit-identical to the uninterrupted run.
+func TestParallelIslandsCheckpointResume(t *testing.T) {
+	prob := testProblem()
+	opts := islandsOpts(4, sched.Ring, "nsga2", nil)
+	eng, err := search.New("parallel-islands")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Init(prob, opts); err != nil {
+		t.Fatal(err)
+	}
+	cps := map[int]*search.Checkpoint{}
+	for !eng.Done() {
+		if err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if g := eng.Generation(); g == 3 || g == 4 || g == 9 {
+			cps[g] = eng.Checkpoint()
+		}
+	}
+	for g, cp := range cps {
+		fresh, err := search.New("parallel-islands")
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := search.Resume(context.Background(), fresh, prob, opts, cp)
+		if err != nil {
+			t.Fatalf("resume at epoch %d: %v", g, err)
+		}
+		popsIdentical(t, "resume", eng.Population(), res.Final)
+	}
+}
+
+func relayOpts() search.Options {
+	return search.Options{
+		PopSize: 20, Generations: 14, Seed: 3,
+		Extra: &sched.RelayParams{Legs: []sched.Leg{
+			{Algo: "nsga2", Generations: 5},
+			{Algo: "sacga", Extra: sacgaParams()}, // remainder: 9 generations
+		}},
+	}
+}
+
+// TestRelayResumeMidHandoff pins the second acceptance property:
+// checkpointing a relay at EVERY generation — including generation 5,
+// where leg 0 is finished but the handoff has not yet run — and resuming
+// on a fresh engine reproduces the uninterrupted run bit for bit.
+func TestRelayResumeMidHandoff(t *testing.T) {
+	prob := constrProblem()
+	opts := relayOpts()
+	eng, err := search.New("relay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Init(prob, opts); err != nil {
+		t.Fatal(err)
+	}
+	var cps []*search.Checkpoint
+	for !eng.Done() {
+		if err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+		cps = append(cps, eng.Checkpoint())
+	}
+	if len(cps) != 14 {
+		t.Fatalf("relay ran %d generations, want 14", len(cps))
+	}
+	for g, cp := range cps {
+		fresh, err := search.New("relay")
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := search.Resume(context.Background(), fresh, constrProblem(), relayOpts(), cp)
+		if err != nil {
+			t.Fatalf("resume at generation %d: %v", g+1, err)
+		}
+		if res.Generations != eng.Generation() {
+			t.Fatalf("resume at generation %d ended at %d, uninterrupted at %d", g+1, res.Generations, eng.Generation())
+		}
+		popsIdentical(t, "resume", eng.Population(), res.Final)
+	}
+}
+
+// TestRelayWarmStartsNextLeg checks the handoff actually seeds leg 1: a
+// relay whose second leg starts from leg 0's population must differ from a
+// cold sacga run with the same per-leg seed, and the relay's active-leg
+// index must advance at the boundary.
+func TestRelayWarmStartsNextLeg(t *testing.T) {
+	prob := constrProblem()
+	eng := new(sched.Relay)
+	if err := eng.Init(prob, relayOpts()); err != nil {
+		t.Fatal(err)
+	}
+	sawLeg0 := false
+	for !eng.Done() {
+		if eng.Leg() == 0 {
+			sawLeg0 = true
+		}
+		if err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !sawLeg0 || eng.Leg() != 1 {
+		t.Fatalf("relay never advanced legs (saw leg 0: %v, final leg %d)", sawLeg0, eng.Leg())
+	}
+	if eng.Generation() != 14 {
+		t.Fatalf("relay executed %d generations, want 14", eng.Generation())
+	}
+}
+
+// TestPortfolioDeterministic races nsga2 against sacga at StepWorkers 1
+// and 4 under GOMAXPROCS 1 and 4: pooled results must be bit-identical,
+// and the boost must have elected a member.
+func TestPortfolioDeterministic(t *testing.T) {
+	opts := func(workers int) search.Options {
+		return search.Options{
+			PopSize: 16, Generations: 10, Seed: 5,
+			Extra: &sched.PortfolioParams{
+				Members: []sched.Member{
+					{Algo: "nsga2"},
+					{Algo: "sacga", Extra: sacgaParams()},
+				},
+				StepWorkers: workers,
+			},
+		}
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	runtime.GOMAXPROCS(1)
+	want := runToEnd(t, "portfolio", constrProblem(), opts(1))
+	for _, procs := range []int{1, 4} {
+		for _, workers := range []int{1, 4} {
+			runtime.GOMAXPROCS(procs)
+			got := runToEnd(t, "portfolio", constrProblem(), opts(workers))
+			popsIdentical(t, "portfolio", want, got)
+		}
+	}
+}
+
+// TestPortfolioCheckpointResume snapshots a race mid-run and resumes it.
+func TestPortfolioCheckpointResume(t *testing.T) {
+	opts := search.Options{
+		PopSize: 16, Generations: 8, Seed: 2,
+		Extra: &sched.PortfolioParams{
+			Members: []sched.Member{
+				{Algo: "nsga2"},
+				{Algo: "sacga", Extra: sacgaParams()},
+			},
+			StepWorkers: 4,
+		},
+	}
+	prob := constrProblem()
+	eng := new(sched.Portfolio)
+	if err := eng.Init(prob, opts); err != nil {
+		t.Fatal(err)
+	}
+	var cp *search.Checkpoint
+	for !eng.Done() {
+		if err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if eng.Generation() == 3 && cp == nil {
+			cp = eng.Checkpoint()
+		}
+	}
+	fresh := new(sched.Portfolio)
+	res, err := search.Resume(context.Background(), fresh, prob, opts, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	popsIdentical(t, "portfolio resume", eng.Population(), res.Final)
+	if fresh.Best() != eng.Best() {
+		t.Fatalf("resumed race boosts member %d, uninterrupted boosts %d", fresh.Best(), eng.Best())
+	}
+}
+
+// TestScheduledBudget checks the shared-budget stop rule: with MaxEvals
+// set, the ensemble stops at the first epoch boundary at or past the cap,
+// i.e. within one epoch's worth of evaluations.
+func TestScheduledBudget(t *testing.T) {
+	perEpoch := int64(24) // 3 replicas × 8 individuals
+	opts := islandsOpts(4, sched.Ring, "nsga2", nil)
+	opts.MaxEvals = 4 * perEpoch
+	eng, err := search.New("parallel-islands")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := search.Run(context.Background(), eng, testProblem(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evals < opts.MaxEvals {
+		t.Fatalf("stopped at %d evals, budget %d not reached", res.Evals, opts.MaxEvals)
+	}
+	if slack := res.Evals - opts.MaxEvals; slack >= perEpoch {
+		t.Fatalf("overshot the budget by %d evals (≥ one epoch of %d)", slack, perEpoch)
+	}
+	if res.Generations >= opts.Generations {
+		t.Fatalf("ran all %d epochs; budget did not bind", res.Generations)
+	}
+}
+
+// TestParallelIslandsPoolsFront checks the final pooled population is
+// globally ranked with a non-empty first front of the total size.
+func TestParallelIslandsPoolsFront(t *testing.T) {
+	eng, _ := search.New("parallel-islands")
+	res, err := search.Run(context.Background(), eng, testProblem(), islandsOpts(2, sched.Ring, "nsga2", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Final) != 24 {
+		t.Fatalf("pooled population has %d members, want 24", len(res.Final))
+	}
+	if len(res.Front) == 0 || len(res.Front) > len(res.Final) {
+		t.Fatalf("pooled front has %d members", len(res.Front))
+	}
+	for _, ind := range res.Front {
+		if ind.Rank != 0 {
+			t.Fatalf("front member has global rank %d", ind.Rank)
+		}
+	}
+}
+
+// TestSchedulerRegistry checks all three drivers register by name.
+func TestSchedulerRegistry(t *testing.T) {
+	for _, name := range []string{"parallel-islands", "relay", "portfolio"} {
+		if _, err := search.New(name); err != nil {
+			t.Fatalf("registry: %v", err)
+		}
+	}
+}
+
+// TestSchedulerExtraTypeError checks a misrouted extension struct
+// surfaces the typed *search.ExtraTypeError from Init — for the scheduler
+// engines and, via errors.As, through their wrapping.
+func TestSchedulerExtraTypeError(t *testing.T) {
+	wrong := search.Options{Extra: &struct{ Bogus int }{}}
+	for _, name := range []string{"parallel-islands", "relay", "portfolio", "nsga2", "sacga", "mesacga", "islands"} {
+		eng, err := search.New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = eng.Init(testProblem(), wrong)
+		if err == nil {
+			t.Fatalf("%s: Init accepted a %T extension", name, wrong.Extra)
+		}
+		var typed *search.ExtraTypeError
+		if !errors.As(err, &typed) {
+			t.Fatalf("%s: Init error %v is not a *search.ExtraTypeError", name, err)
+		}
+	}
+}
+
+// TestParallelIslandsRequiresMigrator checks migration over an engine
+// without the Migrator hook is an Init-time error, and that disabling
+// migration lifts the requirement.
+func TestParallelIslandsRequiresMigrator(t *testing.T) {
+	opts := search.Options{
+		PopSize: 16, Generations: 4, Seed: 1,
+		Extra: &sched.IslandsParams{Replicas: 2, Algo: "mesacga", MigrationEvery: 2},
+	}
+	eng, _ := search.New("parallel-islands")
+	if err := eng.Init(testProblem(), opts); err == nil {
+		t.Fatal("mesacga replicas with migration enabled must fail Init")
+	}
+	opts.Extra = &sched.IslandsParams{Replicas: 2, Algo: "mesacga", MigrationEvery: -1,
+		Extra: nil}
+	eng, _ = search.New("parallel-islands")
+	if err := eng.Init(constrProblem(), opts); err != nil {
+		t.Fatalf("isolated mesacga replicas must initialize: %v", err)
+	}
+}
+
+// TestRelayRejectsEmptyLegs checks the configuration validation.
+func TestRelayRejectsEmptyLegs(t *testing.T) {
+	eng, _ := search.New("relay")
+	if err := eng.Init(testProblem(), search.Options{Extra: &sched.RelayParams{}}); err == nil {
+		t.Fatal("relay with no legs must fail Init")
+	}
+	eng, _ = search.New("relay")
+	err := eng.Init(testProblem(), search.Options{Extra: &sched.RelayParams{Legs: []sched.Leg{{Algo: "no-such"}}}})
+	if err == nil {
+		t.Fatal("relay with an unknown leg algorithm must fail Init")
+	}
+}
+
+// TestSchedulerObserverSequence checks the frame contract through the
+// unified driver: epochs count up by one, evaluations never decrease.
+func TestSchedulerObserverSequence(t *testing.T) {
+	lastGen, lastEvals := 0, int64(0)
+	obs := search.ObserverFunc(func(f *search.Frame) {
+		if f.Gen != lastGen+1 {
+			t.Fatalf("epoch jumped %d -> %d", lastGen, f.Gen)
+		}
+		if f.Evals < lastEvals {
+			t.Fatalf("evals decreased %d -> %d", lastEvals, f.Evals)
+		}
+		if len(f.Pop) == 0 {
+			t.Fatal("empty population view")
+		}
+		lastGen, lastEvals = f.Gen, f.Evals
+	})
+	eng, _ := search.New("parallel-islands")
+	res, err := search.Run(context.Background(), eng, testProblem(), islandsOpts(4, sched.Ring, "nsga2", nil), obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastGen != res.Generations {
+		t.Fatalf("observer saw %d epochs, result says %d", lastGen, res.Generations)
+	}
+}
+
+// TestParallelIslandsBudgetMatchedPopulation pins the replica-share rule:
+// the pooled population must hold EXACTLY Options.PopSize members, even
+// when PopSize/Replicas is odd and the replica engine (nsga2) rounds odd
+// populations up — shares are dealt in pairs so the ensemble stays
+// budget-matched with a single engine.
+func TestParallelIslandsBudgetMatchedPopulation(t *testing.T) {
+	opts := search.Options{
+		PopSize: 100, Generations: 2, Seed: 1,
+		Extra: &sched.IslandsParams{Replicas: 4, Algo: "nsga2", MigrationEvery: -1},
+	}
+	eng, _ := search.New("parallel-islands")
+	res, err := search.Run(context.Background(), eng, testProblem(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Final) != 100 {
+		t.Fatalf("pooled population has %d members, want exactly 100", len(res.Final))
+	}
+	if res.Evals != int64(100+2*100) {
+		t.Fatalf("consumed %d evals, want 300 (init + 2 epochs of 100)", res.Evals)
+	}
+}
+
+// TestCompositeCheckpointBytesDeterministic pins the per-child evaluation
+// accounting: two identically configured concurrent runs must produce
+// byte-identical composite checkpoints — impossible if a child's budget
+// sampled the ensemble-wide counter while siblings were mid-evaluation.
+func TestCompositeCheckpointBytesDeterministic(t *testing.T) {
+	snapshot := func() []byte {
+		eng, _ := search.New("parallel-islands")
+		if err := eng.Init(testProblem(), islandsOpts(4, sched.Ring, "nsga2", nil)); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			if err := eng.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(eng.Checkpoint()); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := snapshot(), snapshot()
+	if !bytes.Equal(a, b) {
+		t.Fatal("two identical concurrent runs produced different checkpoint bytes")
+	}
+}

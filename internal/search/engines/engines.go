@@ -15,4 +15,5 @@ import (
 	_ "sacga/internal/mesacga"
 	_ "sacga/internal/nsga2"
 	_ "sacga/internal/sacga"
+	_ "sacga/internal/sched"
 )

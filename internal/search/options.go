@@ -75,16 +75,40 @@ func (o *Options) Normalize() {
 	}
 }
 
+// ExtraTypeError reports that Options.Extra held the wrong extension struct
+// for the engine it was handed to — a *sacga.Params given to "islands", say.
+// Engines surface it (wrapped with their name) from Init/Restore, so a
+// misrouted configuration is a recoverable, errors.As-matchable error
+// instead of a panic or a silent default.
+type ExtraTypeError struct {
+	// Got is the dynamic type of the value found in Options.Extra.
+	Got string
+	// Want is the pointer type the engine expects (empty when the engine
+	// takes no extension struct at all and Extra must be nil).
+	Want string
+}
+
+// Error implements error.
+func (e *ExtraTypeError) Error() string {
+	if e.Want == "" {
+		return fmt.Sprintf("Options.Extra must be nil, got %s", e.Got)
+	}
+	return fmt.Sprintf("Options.Extra is %s, want %s", e.Got, e.Want)
+}
+
 // Extension extracts the algorithm extension struct of type P from
 // opts.Extra: nil Extra yields a zero P (the algorithm's defaults), a *P is
-// returned as-is, and anything else is a configuration error.
+// returned as-is, and anything else is an *ExtraTypeError.
 func Extension[P any](opts Options) (*P, error) {
 	if opts.Extra == nil {
 		return new(P), nil
 	}
 	p, ok := opts.Extra.(*P)
 	if !ok {
-		return nil, fmt.Errorf("search: Options.Extra is %T, want *%T", opts.Extra, *new(P))
+		return nil, &ExtraTypeError{
+			Got:  fmt.Sprintf("%T", opts.Extra),
+			Want: fmt.Sprintf("*%T", *new(P)),
+		}
 	}
 	return p, nil
 }

@@ -1,0 +1,88 @@
+package search
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Durable on-disk checkpoints: the gob serialization of a Checkpoint with a
+// small versioned header, written atomically (temp file + rename) so a
+// crash mid-write never corrupts the previous good snapshot. gob is the
+// one codec the Checkpoint types are designed for — Snapshot payloads are
+// registered by their engine packages from init, and gob round-trips the
+// ±Inf crowding distances JSON rejects.
+
+// checkpointMagic identifies a checkpoint file; checkpointVersion gates the
+// layout so a future format change fails loudly instead of mis-decoding.
+const (
+	checkpointMagic   = "sacga-checkpoint"
+	checkpointVersion = 1
+)
+
+// diskCheckpoint is the on-disk envelope.
+type diskCheckpoint struct {
+	Magic      string
+	Version    int
+	Checkpoint *Checkpoint
+}
+
+// SaveCheckpoint durably writes cp to path. The write is atomic: the
+// snapshot is encoded into a temporary file in path's directory, synced,
+// and renamed over path, so readers (and a resume after a crash mid-save)
+// always see either the previous checkpoint or the new one, never a
+// partial file.
+func SaveCheckpoint(path string, cp *Checkpoint) error {
+	if cp == nil {
+		return fmt.Errorf("search: SaveCheckpoint with nil checkpoint")
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".checkpoint-*")
+	if err != nil {
+		return fmt.Errorf("search: checkpoint temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	enc := gob.NewEncoder(tmp)
+	if err := enc.Encode(&diskCheckpoint{Magic: checkpointMagic, Version: checkpointVersion, Checkpoint: cp}); err != nil {
+		tmp.Close()
+		return fmt.Errorf("search: encode checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("search: sync checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("search: close checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("search: install checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads a checkpoint written by SaveCheckpoint. The engine
+// package that produced the snapshot must be linked into the binary (its
+// init registers the gob payload type); Resume the result on a fresh
+// engine of the same algorithm, under the options the original run used.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var disk diskCheckpoint
+	if err := gob.NewDecoder(f).Decode(&disk); err != nil {
+		return nil, fmt.Errorf("search: decode checkpoint %s: %w", path, err)
+	}
+	if disk.Magic != checkpointMagic {
+		return nil, fmt.Errorf("search: %s is not a checkpoint file", path)
+	}
+	if disk.Version != checkpointVersion {
+		return nil, fmt.Errorf("search: checkpoint %s has version %d, this build reads %d", path, disk.Version, checkpointVersion)
+	}
+	if disk.Checkpoint == nil {
+		return nil, fmt.Errorf("search: checkpoint %s is empty", path)
+	}
+	return disk.Checkpoint, nil
+}

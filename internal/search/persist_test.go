@@ -1,0 +1,99 @@
+package search_test
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sacga/internal/search"
+)
+
+// TestSaveLoadCheckpointRoundTrip pins the durable-checkpoint satellite: a
+// checkpoint written to disk, loaded in a fresh process image (a fresh
+// decoder, same binary) and resumed is bit-identical to the uninterrupted
+// run.
+func TestSaveLoadCheckpointRoundTrip(t *testing.T) {
+	tc := cases()[1] // sacga: phases + partition bookkeeping in the payload
+	prob := tc.prob()
+	eng, _ := search.New(tc.name)
+	if err := eng.Init(prob, tc.opts()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	for !eng.Done() {
+		eng.Step()
+		if eng.Generation() == 5 {
+			if err := search.SaveCheckpoint(path, eng.Checkpoint()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	cp, err := search.LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Algo != tc.name || cp.Gen != 5 {
+		t.Fatalf("loaded checkpoint is %s@%d, want %s@5", cp.Algo, cp.Gen, tc.name)
+	}
+	fresh, _ := search.New(tc.name)
+	res, err := search.Resume(context.Background(), fresh, prob, tc.opts(), cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	popsIdentical(t, "disk-resumed final", eng.Population(), res.Final)
+}
+
+// TestSaveCheckpointAtomicOverwrite overwrites an existing checkpoint and
+// checks the directory holds exactly the installed file — no temp litter —
+// and that the newest snapshot wins.
+func TestSaveCheckpointAtomicOverwrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+	eng, _ := search.New("nsga2")
+	if err := eng.Init(testProblem(), search.Options{PopSize: 10, Generations: 4, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	eng.Step()
+	if err := search.SaveCheckpoint(path, eng.Checkpoint()); err != nil {
+		t.Fatal(err)
+	}
+	eng.Step()
+	if err := search.SaveCheckpoint(path, eng.Checkpoint()); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "run.ckpt" {
+		t.Fatalf("checkpoint dir holds %v, want exactly run.ckpt", entries)
+	}
+	cp, err := search.LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Gen != 2 {
+		t.Fatalf("loaded generation %d, want the newest snapshot (2)", cp.Gen)
+	}
+}
+
+// TestLoadCheckpointRejectsGarbage checks corrupt and missing files fail
+// loudly instead of mis-decoding.
+func TestLoadCheckpointRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := search.LoadCheckpoint(filepath.Join(dir, "missing.ckpt")); err == nil {
+		t.Fatal("missing file must error")
+	}
+	bad := filepath.Join(dir, "bad.ckpt")
+	if err := os.WriteFile(bad, []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := search.LoadCheckpoint(bad); err == nil {
+		t.Fatal("corrupt file must error")
+	}
+	if err := search.SaveCheckpoint(filepath.Join(dir, "nil.ckpt"), nil); err == nil {
+		t.Fatal("nil checkpoint must error")
+	}
+}
