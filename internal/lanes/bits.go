@@ -1,0 +1,98 @@
+package lanes
+
+import "math/bits"
+
+// Bits is a packed per-lane bitmask: bit i of word i/64 is lane i's flag.
+// It replaces the []bool planes of the earlier lane kernels (convergence
+// flags, saturation-region flags, seed-validity flags) with one cache line
+// per 512 lanes, and turns per-lane branches into word-at-a-time bit tricks:
+// kernels emit chunk mask bytes with a single vector move-mask, and
+// consumers rebuild compact active-lane lists by iterating set bits instead
+// of testing a bool per lane.
+type Bits []uint64
+
+// GrowBits returns a mask able to hold n lanes (all words zeroed), reusing
+// the backing array when large enough. The word count is sized for
+// PadLen(n) lanes so kernels may set padding-lane bits freely.
+func GrowBits(b Bits, n int) Bits {
+	w := (PadLen(n) + 63) / 64
+	if w == 0 {
+		w = 1
+	}
+	if cap(b) < w {
+		b = make(Bits, w)
+	}
+	b = b[:w]
+	clear(b)
+	return b
+}
+
+// Get reports lane i's bit.
+func (b Bits) Get(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Set sets lane i's bit.
+func (b Bits) Set(i int) { b[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear clears lane i's bit.
+func (b Bits) Clear(i int) { b[i>>6] &^= 1 << (uint(i) & 63) }
+
+// SetBool sets lane i's bit to v.
+func (b Bits) SetBool(i int, v bool) {
+	if v {
+		b.Set(i)
+	} else {
+		b.Clear(i)
+	}
+}
+
+// ClearAll zeroes every word.
+func (b Bits) ClearAll() { clear(b) }
+
+// SetFirst sets lanes [0, n) and clears every lane at and beyond n
+// (including padding bits).
+func (b Bits) SetFirst(n int) {
+	full := n >> 6
+	for i := 0; i < full; i++ {
+		b[i] = ^uint64(0)
+	}
+	if full < len(b) {
+		var w uint64
+		if r := uint(n) & 63; r != 0 {
+			w = 1<<r - 1
+		}
+		b[full] = w
+		for i := full + 1; i < len(b); i++ {
+			b[i] = 0
+		}
+	}
+}
+
+// Count returns the number of set bits.
+func (b Bits) Count() int {
+	c := 0
+	for _, w := range b {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// AppendIndices appends the index of every set bit in lanes [0, n) to dst —
+// the stream-compaction primitive that rebuilds a contiguous active-lane
+// list from a convergence mask without a per-lane branch: each iteration
+// strips one set bit with x&(x-1) after locating it with a trailing-zero
+// count.
+func (b Bits) AppendIndices(dst []int32, n int) []int32 {
+	for wi, w := range b {
+		base := int32(wi << 6)
+		if int(base) >= n {
+			break
+		}
+		if int(base)+64 > n {
+			w &= 1<<(uint(n)&63) - 1
+		}
+		for ; w != 0; w &= w - 1 {
+			dst = append(dst, base+int32(bits.TrailingZeros64(w)))
+		}
+	}
+	return dst
+}

@@ -1,0 +1,47 @@
+// Package lanes holds the shared plumbing of the lane-major kernel layers
+// (mosfet, opamp, scint, sizing): the fixed chunk width every plane is padded
+// to, the generic chunk-padded slice-growth helper the layers previously
+// copied, and the packed bitmask type that replaces per-lane bool planes.
+//
+// The contract the chunk width buys: every plane handed to a lane kernel has
+// capacity (and addressable backing) out to PadLen(n), a multiple of Chunk,
+// so a vectorized kernel may always process whole chunks — reading and
+// writing the padding lanes freely — and never needs a tail-remainder loop
+// or a per-lane bounds branch. Padding lanes carry garbage by design; no
+// consumer reads past n.
+package lanes
+
+// Chunk is the fixed lane-chunk width. Planes are padded to a multiple of
+// Chunk so kernels can run fixed-width chunked loops with no remainder
+// branch; the AVX2 kernels step 4 lanes per vector and rely on PadLen(n)
+// being a multiple of 4, which Chunk = 8 guarantees while also keeping a
+// whole chunk one 64-byte cache line of float64s.
+const Chunk = 8
+
+// PadLen rounds n up to the next multiple of Chunk.
+func PadLen(n int) int { return (n + Chunk - 1) &^ (Chunk - 1) }
+
+// Grow returns a slice of length n whose backing array extends to at least
+// PadLen(n) elements, reusing s's backing array when it is already large
+// enough. Fresh arrays are allocated at exactly PadLen(n) so the padding
+// tail is addressable by whole-chunk kernels. Contents are not preserved and
+// not cleared (lane kernels overwrite their planes; padding carries
+// garbage).
+func Grow[T any](s []T, n int) []T {
+	if p := PadLen(n); cap(s) < p {
+		s = make([]T, p)
+	}
+	return s[:n]
+}
+
+// GrowPadded is Grow with the returned length already extended to PadLen(n):
+// for planes a chunked kernel both reads and writes, where slicing to the
+// padded length keeps every chunk access in bounds without touching cap.
+func GrowPadded[T any](s []T, n int) []T {
+	return Grow(s, n)[:PadLen(n)]
+}
+
+// Pad re-extends a plane produced by Grow to its padded length. It is the
+// bridge between the "logical length n" view callers hold and the
+// "whole-chunk" view kernels iterate over.
+func Pad[T any](s []T) []T { return s[:PadLen(len(s))] }

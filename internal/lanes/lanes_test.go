@@ -1,0 +1,132 @@
+package lanes
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPadLen(t *testing.T) {
+	cases := [][2]int{{0, 0}, {1, Chunk}, {Chunk - 1, Chunk}, {Chunk, Chunk},
+		{Chunk + 1, 2 * Chunk}, {255, 256}, {256, 256}, {257, 264}}
+	for _, c := range cases {
+		if got := PadLen(c[0]); got != c[1] {
+			t.Fatalf("PadLen(%d) = %d, want %d", c[0], got, c[1])
+		}
+	}
+}
+
+// TestGrowPaddingInvariant pins the padding contract every lane kernel
+// relies on: after Grow, the backing array extends to PadLen(n), so a
+// chunked kernel may address lanes [n, PadLen(n)) without bounds checks.
+func TestGrowPaddingInvariant(t *testing.T) {
+	var f []float64
+	for _, n := range []int{1, 3, Chunk, Chunk + 1, 100, 257} {
+		f = Grow(f, n)
+		if len(f) != n {
+			t.Fatalf("Grow len = %d, want %d", len(f), n)
+		}
+		if cap(f) < PadLen(n) {
+			t.Fatalf("Grow(n=%d) cap %d < PadLen %d", n, cap(f), PadLen(n))
+		}
+		// The padded view must be addressable and writable.
+		p := Pad(f)
+		if len(p) != PadLen(n) {
+			t.Fatalf("Pad len = %d, want %d", len(p), PadLen(n))
+		}
+		for i := range p {
+			p[i] = float64(i)
+		}
+	}
+	// Reuse: a smaller request must keep the same backing array.
+	big := Grow([]int32(nil), 300)
+	small := Grow(big, 5)
+	if &big[0] != &small[0] {
+		t.Fatal("Grow reallocated a sufficient backing array")
+	}
+	gp := GrowPadded([]float64(nil), 13)
+	if len(gp) != PadLen(13) {
+		t.Fatalf("GrowPadded len = %d, want %d", len(gp), PadLen(13))
+	}
+}
+
+func TestBitsBasics(t *testing.T) {
+	b := GrowBits(nil, 130)
+	if len(b) != (PadLen(130)+63)/64 {
+		t.Fatalf("GrowBits words = %d, want %d", len(b), PadLen(130)/64)
+	}
+	for _, i := range []int{0, 1, 63, 64, 129} {
+		if b.Get(i) {
+			t.Fatalf("fresh mask has bit %d set", i)
+		}
+		b.Set(i)
+		if !b.Get(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if b.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", b.Count())
+	}
+	b.Clear(64)
+	if b.Get(64) || b.Count() != 4 {
+		t.Fatal("Clear failed")
+	}
+	b.SetBool(64, true)
+	b.SetBool(0, false)
+	if !b.Get(64) || b.Get(0) {
+		t.Fatal("SetBool failed")
+	}
+	b.ClearAll()
+	if b.Count() != 0 {
+		t.Fatal("ClearAll failed")
+	}
+}
+
+func TestBitsSetFirst(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 127, 128, 130} {
+		b := GrowBits(nil, 130)
+		for i := 0; i < len(b)*64; i++ {
+			if i%3 == 0 {
+				b.Set(i) // pre-soil, including padding bits
+			}
+		}
+		b.SetFirst(n)
+		if b.Count() != n {
+			t.Fatalf("SetFirst(%d): Count = %d", n, b.Count())
+		}
+		for i := 0; i < len(b)*64; i++ {
+			if b.Get(i) != (i < n) {
+				t.Fatalf("SetFirst(%d): bit %d = %v", n, i, b.Get(i))
+			}
+		}
+	}
+}
+
+// TestAppendIndicesMatchesNaive cross-checks the bit-trick compaction
+// against the obvious per-lane loop over random masks.
+func TestAppendIndicesMatchesNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(200)
+		b := GrowBits(nil, n)
+		for i := 0; i < PadLen(n); i++ { // padding bits set too: must be ignored
+			if r.Intn(2) == 0 {
+				b.Set(i)
+			}
+		}
+		got := b.AppendIndices(nil, n)
+		var want []int32
+		for i := 0; i < n; i++ {
+			if b.Get(i) {
+				want = append(want, int32(i))
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: %d indices, want %d", n, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: index %d = %d, want %d", n, i, got[i], want[i])
+			}
+		}
+	}
+}

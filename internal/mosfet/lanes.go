@@ -7,106 +7,173 @@
 // operation-for-operation — same expressions, same evaluation order, same
 // clamps, same early exits — so a lane's result is bit-identical to the
 // scalar call it replaces. What changes is only the loop structure: the
-// iterative solvers run iteration-major with converged lanes masked out of a
-// compact active-index list, which turns the long serial dependency chain of
-// one individual's secant into many independent per-lane chains the CPU can
-// overlap (the divisions and cube roots of different lanes pipeline instead
-// of serializing), and hoists the per-(device, geometry) invariants of
-// devCtx out of every solver call into one plane build per batch.
+// device context lives in struct-of-arrays planes (kwl/lambda/el/invEl per
+// lane, the fitting parameters theta1/theta2/vk/nexp hoisted to one copy per
+// kernel), the iterative solvers run iteration-major over a densely
+// compacted working set (converged lanes are squeezed out by stream
+// compaction, so the packed step never wastes a vector slot on a finished
+// lane), and the hot arithmetic — the drain-current evaluation, the secant
+// update, and the exp/log overdrive maps — runs through the branch-free
+// packed kernels of internal/simd, which are bit-exact ports of the scalar
+// expressions (see that package for why IEEE basic operations make the
+// packed and scalar forms identical bit-for-bit).
 //
-// Lane kernels also drop work whose results never reach an output plane
-// (e.g. the bulk-transconductance probes of Solve when the caller only
-// consumes Gm/Gds) — dead-code elimination across the call boundary that the
-// scalar path, which must fill a complete OP, cannot perform. Skipping an
-// unused computation does not perturb any emitted value, so bit-identity of
-// the outputs is preserved.
+// Every float plane handed to these kernels must be chunk-padded: allocated
+// via lanes.Grow (or with capacity >= lanes.PadLen(n)), so the fixed-width
+// chunked loops can read and write the padding lanes freely and no kernel
+// needs a tail-remainder branch. The padding lanes carry garbage by design;
+// no consumer reads past n.
 package mosfet
 
 import (
 	"math"
 
+	"sacga/internal/lanes"
 	"sacga/internal/process"
+	"sacga/internal/simd"
 )
+
+// twoNUT is 2·n·UT, the overdrive normalization shared by every packed
+// weak/strong-inversion interpolation call. Constant-folded identically to
+// the scalar expressions' 2*moderateNUT.
+const twoNUT = 2 * moderateNUT
 
 // BiasSeedLanes is the struct-of-arrays form of BiasSeed: one warm-start
 // seed per lane, threaded across corner sweeps exactly like the scalar
-// WarmState threads a BiasSeed.
+// WarmState threads a BiasSeed. Validity is a packed bitmask, not a bool
+// plane.
 type BiasSeedLanes struct {
 	Veff []float64
 	VGS  []float64
-	OK   []bool
+	OK   lanes.Bits
 }
 
-// Reset sizes the seed planes for n lanes and invalidates every seed
-// (cold start), reusing the backing arrays when large enough.
+// Reset sizes the seed planes for n lanes (chunk-padded) and invalidates
+// every seed (cold start), reusing the backing arrays when large enough.
 func (s *BiasSeedLanes) Reset(n int) {
-	s.Veff = growFloats(s.Veff, n)
-	s.VGS = growFloats(s.VGS, n)
-	s.OK = growBools(s.OK, n)
-	for i := range s.OK {
-		s.OK[i] = false
-	}
+	s.Veff = lanes.Grow(s.Veff, n)
+	s.VGS = lanes.Grow(s.VGS, n)
+	s.OK = lanes.GrowBits(s.OK, n)
 }
 
-// SecantScratch holds the per-lane state of one masked secant solve. One
-// scratch may be reused across every VGSForIDLanes call of a batch sweep.
+// SecantScratch holds the dense working set of one masked secant solve:
+// active lanes are gathered contiguously (plane index j, original lane
+// index idx[j]) so the packed step streams over a compact array instead of
+// hopping through an index list. One scratch may be reused across every
+// VGSForIDLanes call of a batch sweep.
 type SecantScratch struct {
-	v0, f0, v1, f1 []float64
-	invID          []float64
-	act            []int32
+	idx                    []int32
+	v0, f0, v1, f1         []float64
+	vds, vt, invID         []float64
+	kwl, lambda, el, invEl []float64
+	done                   []float64
+
+	// deferred finish queue: lanes that solved this call and need the
+	// veff -> VGS map, batched through one packed call.
+	finIdx         []int32
+	finVeff, finVt []float64
+	finVGS         []float64
 }
 
-// Ensure sizes the scratch for n lanes.
+// Ensure sizes the scratch for n lanes, rounding every plane up to the
+// chunk-padded length so the packed kernels run whole chunks only.
 func (st *SecantScratch) Ensure(n int) {
-	st.v0 = growFloats(st.v0, n)
-	st.f0 = growFloats(st.f0, n)
-	st.v1 = growFloats(st.v1, n)
-	st.f1 = growFloats(st.f1, n)
-	st.invID = growFloats(st.invID, n)
-	if cap(st.act) < n {
-		st.act = make([]int32, n)
+	st.idx = lanes.Grow(st.idx, n)
+	st.v0 = lanes.GrowPadded(st.v0, n)
+	st.f0 = lanes.GrowPadded(st.f0, n)
+	st.v1 = lanes.GrowPadded(st.v1, n)
+	st.f1 = lanes.GrowPadded(st.f1, n)
+	st.vds = lanes.GrowPadded(st.vds, n)
+	st.vt = lanes.GrowPadded(st.vt, n)
+	st.invID = lanes.GrowPadded(st.invID, n)
+	st.kwl = lanes.GrowPadded(st.kwl, n)
+	st.lambda = lanes.GrowPadded(st.lambda, n)
+	st.el = lanes.GrowPadded(st.el, n)
+	st.invEl = lanes.GrowPadded(st.invEl, n)
+	st.done = lanes.GrowPadded(st.done, n)
+	st.finIdx = lanes.Grow(st.finIdx, n)[:0]
+	st.finVeff = lanes.Grow(st.finVeff, n)[:0]
+	st.finVt = lanes.Grow(st.finVt, n)[:0]
+	st.finVGS = lanes.Grow(st.finVGS, n)
+}
+
+// padLanes overwrites the padding region [m, PadLen(m)) of the dense planes
+// with benign values: unit voltages, zero conductances, and a NaN residual.
+// The NaN keeps df = f1 - f0 NaN on every subsequent step, so a padding lane
+// neither stalls (the df == 0 compare is false on NaN) nor converges (so is
+// invisible to SecantStep's any-done report), and NaN operands neither fault
+// nor hit denormal slow paths.
+func (st *SecantScratch) padLanes(m int) {
+	for j := m; j < lanes.PadLen(m); j++ {
+		st.v0[j], st.f0[j], st.v1[j], st.f1[j] = 1, 0, 1, math.NaN()
+		st.vds[j], st.vt[j], st.invID[j] = 0, 0, 0
+		st.kwl[j], st.lambda[j], st.el[j], st.invEl[j] = 1, 0, 0, 0
 	}
+}
+
+// compact moves dense lane j to slot w across every state plane (the
+// stream-compaction step that keeps the working set contiguous).
+func (st *SecantScratch) compact(w, j int) {
+	st.idx[w] = st.idx[j]
+	st.v0[w], st.f0[w] = st.v0[j], st.f0[j]
+	st.v1[w], st.f1[w] = st.v1[j], st.f1[j]
+	st.vds[w], st.vt[w], st.invID[w] = st.vds[j], st.vt[j], st.invID[j]
+	st.kwl[w], st.lambda[w] = st.kwl[j], st.lambda[j]
+	st.el[w], st.invEl[w] = st.el[j], st.invEl[j]
 }
 
 // LaneKernel is one transistor role (device parameter set + per-lane
 // geometry) across a whole batch: the lane-major counterpart of constructing
 // a Transistor per individual. Reset binds the device, SetLane installs one
-// lane's geometry (building its devCtx once, where the scalar path rebuilds
-// it inside every solver call), and the solver methods then advance whole
-// planes.
+// lane's geometry into the struct-of-arrays context planes (built once,
+// where the scalar path rebuilds a devCtx inside every solver call), and the
+// solver methods then advance whole planes.
 type LaneKernel struct {
-	dev     *process.Device
-	ctx     []devCtx
-	sqrtPhi float64
+	dev *process.Device
+	n   int
+
+	// per-lane devCtx planes (chunk-padded)
+	kwl, lambda, el, invEl []float64
+	// device-uniform fitting parameters, hoisted out of the lanes
+	theta1, theta2, vk, nexp float64
+	sqrtPhi                  float64
+
+	// solver scratch planes (chunk-padded, sized in Reset)
+	t1, t2, t3, t4, t5 []float64
 }
 
 // Reset binds the kernel to a device parameter set and sizes it for n lanes.
 func (k *LaneKernel) Reset(dev *process.Device, n int) {
 	k.dev = dev
+	k.n = n
 	k.sqrtPhi = math.Sqrt(dev.Phi)
-	if cap(k.ctx) < n {
-		k.ctx = make([]devCtx, n)
+	k.theta1, k.theta2, k.vk, k.nexp = dev.Theta1, dev.Theta2, dev.VK, dev.NExp
+	k.kwl = lanes.GrowPadded(k.kwl, n)
+	k.lambda = lanes.GrowPadded(k.lambda, n)
+	k.el = lanes.GrowPadded(k.el, n)
+	k.invEl = lanes.GrowPadded(k.invEl, n)
+	k.t1 = lanes.GrowPadded(k.t1, n)
+	k.t2 = lanes.GrowPadded(k.t2, n)
+	k.t3 = lanes.GrowPadded(k.t3, n)
+	k.t4 = lanes.GrowPadded(k.t4, n)
+	k.t5 = lanes.GrowPadded(k.t5, n)
+	for i := n; i < len(k.kwl); i++ {
+		k.kwl[i], k.lambda[i], k.el[i], k.invEl[i] = 1, 0, 0, 0
 	}
-	k.ctx = k.ctx[:n]
 }
 
 // SetLane installs lane i's geometry, precomputing the devCtx invariants
 // with arithmetic identical to Transistor.ctx().
 func (k *LaneKernel) SetLane(i int, w, l float64) {
 	d := k.dev
-	c := devCtx{
-		kwl:    0.5 * d.KP * w / l,
-		lambda: d.LambdaL / l,
-		el:     d.Esat * l,
-		theta1: d.Theta1,
-		theta2: d.Theta2,
-		vk:     d.VK,
-		nexp:   d.NExp,
+	k.kwl[i] = 0.5 * d.KP * w / l
+	k.lambda[i] = d.LambdaL / l
+	el := d.Esat * l
+	k.el[i] = el
+	k.invEl[i] = 0
+	if el > 0 {
+		k.invEl[i] = 1 / el
 	}
-	if c.el > 0 {
-		c.invEl = 1 / c.el
-	}
-	k.ctx[i] = c
 }
 
 // VT returns the body-effect threshold for one lane, bit-identical to
@@ -131,169 +198,323 @@ func (k *LaneKernel) VTInto(act []int32, vsb, vt []float64) {
 // vgs[i] becomes the gate-source voltage at which lane i's device carries
 // id[i] at vds[i], with the per-lane threshold vt[i] precomputed by the
 // caller — VTInto for body-biased lanes, or a plane filled with the device's
-// VT0 for grounded sources (the exact value VT(0) evaluates to: the
-// body-effect term is exactly zero at vsb = 0, so the hoist skips two square
-// roots per call without perturbing a bit). seed is read and updated exactly
-// like the scalar
-// BiasSeed. The secant iterates iteration-major: each pass advances every
-// still-unconverged lane once, and lanes leave the active list on the same
-// step their scalar loop would exit, so the per-lane iteration schedule —
-// and therefore every intermediate and final value — matches
-// VGSForIDSeeded bit-for-bit.
+// VT0 for grounded sources (the exact value VT(0) evaluates to). seed is
+// read and updated exactly like the scalar BiasSeed.
+//
+// The solve gathers the unconverged lanes into the dense scratch planes and
+// iterates iteration-major: each packed step advances every still-live lane
+// one secant iteration, lanes leave the dense set by stream compaction on
+// the same step their scalar loop would exit, and the finished overdrives
+// are mapped back to VGS in one batched packed call at the end. Because each
+// lane sees the identical sequence of arithmetic operations as
+// VGSForIDSeeded — and the packed kernels are bit-exact ports — every
+// output and every seed update matches the scalar path bit-for-bit.
 func (k *LaneKernel) VGSForIDLanes(act []int32, id, vds, vt, vgs []float64, seed *BiasSeedLanes, st *SecantScratch) {
+	st.finIdx = st.finIdx[:0]
+	st.finVeff = st.finVeff[:0]
+	st.finVt = st.finVt[:0]
+
+	m := k.seedGathered(act, id, vds, vt, vgs, seed, st)
+	st.padLanes(m)
+
+	// Second residual for the surviving lanes.
+	p := lanes.PadLen(m)
+	simd.IDStrongPlanes(st.f0[:p], st.v0[:p], st.vds[:p], st.vt[:p],
+		st.kwl[:p], st.lambda[:p], st.el[:p], st.invEl[:p],
+		k.theta1, k.theta2, k.vk, k.nexp)
+	for j := 0; j < m; j++ {
+		st.f0[j] = st.f0[j]*st.invID[j] - 1
+	}
+
+	// Masked secant: one packed step advances every live lane; the done
+	// flags drive amortized stream compaction. A stalled lane (df == 0)
+	// keeps its old v1, a converged lane holds the new iterate — in both
+	// cases v1 is exactly the value the scalar loop finishes with. A
+	// finished lane's result is recorded immediately, but the lane is only
+	// marked dead in place (idx = -1 and the NaN residual of a padding
+	// lane, so it can never report done again); the 11-plane squeeze runs
+	// only once a quarter of the working set is dead, instead of on every
+	// step that finishes any lane.
+	idx := st.idx
 	v0, f0, v1, f1 := st.v0, st.f0, st.v1, st.f1
-	invID := st.invID
-	live := st.act[:0]
-
-	// Seed/clamp and first residual; already-converged lanes (warm seeds at
-	// an unchanged operating point) finish after this single evaluation.
-	for _, i := range act {
-		if id[i] <= 0 {
-			vgs[i] = 0
-			continue
+	dvds, dvt, invID := st.vds, st.vt, st.invID
+	kwl, lambda, el, invEl, done := st.kwl, st.lambda, st.el, st.invEl, st.done
+	dead := 0
+	for it := 0; it < 40 && m > 0; it++ {
+		p = lanes.PadLen(m)
+		if !simd.SecantStep(v0[:p], f0[:p], v1[:p], f1[:p],
+			dvds[:p], dvt[:p], invID[:p],
+			kwl[:p], lambda[:p], el[:p], invEl[:p], done[:p],
+			k.theta1, k.theta2, k.vk, k.nexp) {
+			continue // no lane finished: the working set is unchanged
 		}
-		c := &k.ctx[i]
-		var g float64
-		if seed.OK[i] {
-			g = seed.Veff[i]
-		} else {
-			g = math.Sqrt(id[i] / c.kwl)
-		}
-		if g < 1e-5 {
-			g = 1e-5
-		}
-		if g > 2.5 {
-			g = 2.5
-		}
-		inv := 1 / id[i]
-		invID[i] = inv
-		r := c.idStrong(g, vds[i], vt[i])*inv - 1
-		if math.Abs(r) <= 1e-10 {
-			k.finishLane(i, g, vt, vgs, seed)
-			continue
-		}
-		v1[i], f1[i] = g, r
-		v0[i] = g * 1.25
-		live = append(live, i)
-	}
-
-	// Second residual for the surviving lanes: independent evaluations the
-	// core can overlap.
-	for _, i := range live {
-		f0[i] = k.ctx[i].idStrong(v0[i], vds[i], vt[i])*invID[i] - 1
-	}
-
-	// Masked secant: one pass advances every live lane one step.
-	for it := 0; it < 40 && len(live) > 0; it++ {
-		w := 0
-		for _, i := range live {
-			df := f1[i] - f0[i]
-			if df == 0 {
-				k.finishLane(i, v1[i], vt, vgs, seed)
-				continue
+		for j := 0; j < m; j++ {
+			if done[j] != 0 {
+				k.queueFinish(st, idx[j], v1[j], dvt[j], vgs, seed)
+				idx[j] = -1
+				f0[j], f1[j] = 0, math.NaN()
+				dead++
 			}
-			next := v1[i] - f1[i]*(v1[i]-v0[i])/df
-			if next <= 1e-7 {
-				next = v1[i] / 4
-			} else if next > 4 {
-				next = 4
-			}
-			v0[i], f0[i] = v1[i], f1[i]
-			r := k.ctx[i].idStrong(next, vds[i], vt[i])*invID[i] - 1
-			v1[i], f1[i] = next, r
-			if math.Abs(r) <= 1e-10 {
-				k.finishLane(i, next, vt, vgs, seed)
-				continue
-			}
-			live[w] = i
-			w++
 		}
-		live = live[:w]
+		if dead*4 >= m {
+			w := 0
+			for j := 0; j < m; j++ {
+				if idx[j] < 0 {
+					continue
+				}
+				if w != j {
+					idx[w] = idx[j]
+					v0[w], f0[w] = v0[j], f0[j]
+					v1[w], f1[w] = v1[j], f1[j]
+					dvds[w], dvt[w], invID[w] = dvds[j], dvt[j], invID[j]
+					kwl[w], lambda[w] = kwl[j], lambda[j]
+					el[w], invEl[w] = el[j], invEl[j]
+				}
+				w++
+			}
+			m = w
+			dead = 0
+			st.padLanes(m)
+		}
 	}
 	// Iteration cap: remaining lanes return their last iterate, like the
 	// scalar loop falling out of its 40-step budget.
-	for _, i := range live {
-		k.finishLane(i, v1[i], vt, vgs, seed)
+	for j := 0; j < m; j++ {
+		if idx[j] >= 0 {
+			k.queueFinish(st, idx[j], v1[j], dvt[j], vgs, seed)
+		}
 	}
+	k.flushFinish(st, vgs, seed)
 }
 
-// finishLane maps a solved effective overdrive back to VGS and refreshes the
-// seed — the tail of VGSForIDSeeded, including its unchanged-root shortcut.
-func (k *LaneKernel) finishLane(i int32, veff float64, vt, vgs []float64, seed *BiasSeedLanes) {
-	if seed.OK[i] && veff == seed.Veff[i] {
+// seedGathered is the phase-1 pass for a sparse active set: each active
+// lane's state is gathered densely up front, the first residual is evaluated
+// packed over the dense planes, and converged lanes are squeezed out. When
+// the active set is the whole plane (act is strictly increasing by
+// construction, so full length means the identity permutation) and every
+// lane carries current, the per-plane gathers degenerate to straight block
+// copies.
+func (k *LaneKernel) seedGathered(act []int32, id, vds, vt, vgs []float64, seed *BiasSeedLanes, st *SecantScratch) int {
+	m := 0
+	if len(act) == k.n && allPositive(id[:k.n]) {
+		m = k.n
+		for i := 0; i < m; i++ {
+			st.idx[i] = int32(i)
+			var g float64
+			if seed.OK.Get(i) {
+				g = seed.Veff[i]
+			} else {
+				g = math.Sqrt(id[i] / k.kwl[i])
+			}
+			if g < 1e-5 {
+				g = 1e-5
+			}
+			if g > 2.5 {
+				g = 2.5
+			}
+			st.v1[i] = g
+			st.invID[i] = 1 / id[i]
+		}
+		copy(st.vds[:m], vds[:m])
+		copy(st.vt[:m], vt[:m])
+		copy(st.kwl[:m], k.kwl[:m])
+		copy(st.lambda[:m], k.lambda[:m])
+		copy(st.el[:m], k.el[:m])
+		copy(st.invEl[:m], k.invEl[:m])
+	} else {
+		for _, i := range act {
+			if id[i] <= 0 {
+				vgs[i] = 0
+				continue
+			}
+			var g float64
+			if seed.OK.Get(int(i)) {
+				g = seed.Veff[i]
+			} else {
+				g = math.Sqrt(id[i] / k.kwl[i])
+			}
+			if g < 1e-5 {
+				g = 1e-5
+			}
+			if g > 2.5 {
+				g = 2.5
+			}
+			st.idx[m] = i
+			st.v1[m] = g
+			st.vds[m] = vds[i]
+			st.vt[m] = vt[i]
+			st.invID[m] = 1 / id[i]
+			st.kwl[m] = k.kwl[i]
+			st.lambda[m] = k.lambda[i]
+			st.el[m] = k.el[i]
+			st.invEl[m] = k.invEl[i]
+			m++
+		}
+	}
+	st.padLanes(m)
+	p := lanes.PadLen(m)
+	simd.IDStrongPlanes(st.f1[:p], st.v1[:p], st.vds[:p], st.vt[:p],
+		st.kwl[:p], st.lambda[:p], st.el[:p], st.invEl[:p],
+		k.theta1, k.theta2, k.vk, k.nexp)
+	w := 0
+	for j := 0; j < m; j++ {
+		g := st.v1[j]
+		r := st.f1[j]*st.invID[j] - 1
+		if math.Abs(r) <= 1e-10 {
+			k.queueFinish(st, st.idx[j], g, st.vt[j], vgs, seed)
+			continue
+		}
+		if w != j {
+			st.compact(w, j)
+		}
+		st.v1[w], st.f1[w] = g, r
+		st.v0[w] = g * 1.25
+		w++
+	}
+	return w
+}
+
+// allPositive reports whether every lane carries positive current (the
+// common case, which unlocks the block-copy gather in seedGathered).
+func allPositive(id []float64) bool {
+	for _, v := range id {
+		if !(v > 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// queueFinish records one solved overdrive for the batched veff -> VGS map —
+// the tail of VGSForIDSeeded. The unchanged-root shortcut resolves
+// immediately (it must return the stored VGS, not recompute it: the caller
+// may have moved vt since the seed was written).
+func (k *LaneKernel) queueFinish(st *SecantScratch, i int32, veff, vt float64, vgs []float64, seed *BiasSeedLanes) {
+	if seed.OK.Get(int(i)) && veff == seed.Veff[i] {
 		vgs[i] = seed.VGS[i]
 		return
 	}
-	g := veffToVGS(veff, vt[i])
-	seed.Veff[i], seed.VGS[i], seed.OK[i] = veff, g, true
-	vgs[i] = g
+	st.finIdx = append(st.finIdx, i)
+	st.finVeff = append(st.finVeff, veff)
+	st.finVt = append(st.finVt, vt)
 }
 
-// SolveDCLanes fills the derivative-free operating-point planes for every
-// lane in act: threshold (from the vt plane the caller prepared), saturation
-// voltage and region flag. It is the lane counterpart of SolveDC for callers
-// that only consume margins and capacitance-model inputs.
-func (k *LaneKernel) SolveDCLanes(act []int32, vgs, vds, vt, vdsat []float64, sat []bool) {
-	for _, i := range act {
-		c := &k.ctx[i]
-		veff := effectiveOverdrive(vgs[i] - vt[i])
-		vdsat[i] = c.vdsat(veff)
-		sat[i] = vds[i] >= vdsat[i]
+// flushFinish maps every queued overdrive back to VGS in one packed call and
+// scatters the results and seed updates to their lanes.
+func (k *LaneKernel) flushFinish(st *SecantScratch, vgs []float64, seed *BiasSeedLanes) {
+	nf := len(st.finIdx)
+	if nf == 0 {
+		return
 	}
+	simd.VGSFromVeff(st.finVGS[:nf], st.finVeff, st.finVt, twoNUT)
+	for j, i := range st.finIdx {
+		g := st.finVGS[j]
+		seed.Veff[i], seed.VGS[i] = st.finVeff[j], g
+		seed.OK.Set(int(i))
+		vgs[i] = g
+	}
+}
+
+// vdsatInto fills vdsat[i] and the saturation-region mask from an effective
+// overdrive plane — the shared tail of the Solve*Lanes kernels, replicating
+// devCtx.vdsat per lane (a non-positive overdrive pins VDsat to zero; NaN
+// computes through, like the scalar branch structure).
+func (k *LaneKernel) vdsatInto(n int, veff, vds, vdsat []float64, sat lanes.Bits) {
+	for i := 0; i < n; i++ {
+		ve := veff[i]
+		vd := ve * k.el[i] / (ve + k.el[i])
+		if ve <= 0 {
+			vd = 0
+		}
+		vdsat[i] = vd
+		sat.SetBool(i, vds[i] >= vd)
+	}
+}
+
+// SolveDCLanes fills the derivative-free operating-point planes for the
+// first n lanes: saturation voltage and region mask from the vgs/vds/vt
+// planes the caller prepared. It is the lane counterpart of SolveDC for
+// callers that only consume margins and capacitance-model inputs.
+func (k *LaneKernel) SolveDCLanes(n int, vgs, vds, vt, vdsat []float64, sat lanes.Bits) {
+	p := lanes.PadLen(n)
+	veff := k.t1[:p]
+	for i := 0; i < n; i++ {
+		veff[i] = vgs[i] - vt[i]
+	}
+	for i := n; i < p; i++ {
+		veff[i] = 0
+	}
+	simd.EffOv(veff, veff, twoNUT)
+	k.vdsatInto(n, veff, vds, vdsat, sat)
 }
 
 // SolveGdsLanes fills vdsat/sat plus the output-conductance plane for lanes
 // whose transconductance is never read (the scalar Solve's Gds probe is
 // independent of its Gm probe, so computing it alone reproduces the same
-// value).
-func (k *LaneKernel) SolveGdsLanes(act []int32, vgs, vds, vt, vdsat, gds []float64, sat []bool) {
+// value). gds and the input planes must be chunk-padded.
+func (k *LaneKernel) SolveGdsLanes(n int, vgs, vds, vt, vdsat, gds []float64, sat lanes.Bits) {
 	const h = 1e-5
-	for _, i := range act {
-		c := &k.ctx[i]
-		vt_, vds_ := vt[i], vds[i]
-		veff := effectiveOverdrive(vgs[i] - vt_)
-		vdsat[i] = c.vdsat(veff)
-		sat[i] = vds_ >= vdsat[i]
-		vdsm := vds_ - h
-		if vdsm < 0 {
-			vdsm = 0
+	p := lanes.PadLen(n)
+	veff, vdsp, vdsm, ib := k.t1[:p], k.t4[:p], k.t5[:p], k.t2[:p]
+	for i := 0; i < n; i++ {
+		veff[i] = vgs[i] - vt[i]
+		d := vds[i]
+		vdsp[i] = d + h
+		dm := d - h
+		if dm < 0 {
+			dm = 0
 		}
-		gds[i] = (c.idStrong(veff, vds_+h, vt_) - c.idStrong(veff, vdsm, vt_)) / (vds_ + h - vdsm)
+		vdsm[i] = dm
+	}
+	for i := n; i < p; i++ {
+		veff[i], vdsp[i], vdsm[i] = 0, 0, 0
+	}
+	simd.EffOv(veff, veff, twoNUT)
+	simd.IDStrongPlanes(gds[:p], veff, vdsp, vt[:p], k.kwl[:p], k.lambda[:p], k.el[:p], k.invEl[:p], k.theta1, k.theta2, k.vk, k.nexp)
+	simd.IDStrongPlanes(ib, veff, vdsm, vt[:p], k.kwl[:p], k.lambda[:p], k.el[:p], k.invEl[:p], k.theta1, k.theta2, k.vk, k.nexp)
+	k.vdsatInto(n, veff, vds, vdsat, sat)
+	for i := 0; i < n; i++ {
+		gds[i] = (gds[i] - ib[i]) / (vds[i] + h - vdsm[i])
 	}
 }
 
 // SolveACLanes fills vdsat/sat plus the transconductance and output
 // conductance planes, replicating exactly the symmetric-difference probes of
 // the scalar Solve (the bulk-transconductance probes are omitted — no lane
-// caller consumes Gmb, and skipping them perturbs no emitted value).
-func (k *LaneKernel) SolveACLanes(act []int32, vgs, vds, vt, vdsat, gm, gds []float64, sat []bool) {
+// caller consumes Gmb, and skipping them perturbs no emitted value). The
+// four drain-current probes run as whole-plane packed evaluations.
+func (k *LaneKernel) SolveACLanes(n int, vgs, vds, vt, vdsat, gm, gds []float64, sat lanes.Bits) {
 	const h = 1e-5
-	for _, i := range act {
-		c := &k.ctx[i]
-		vt_, vgs_, vds_ := vt[i], vgs[i], vds[i]
-		veff := effectiveOverdrive(vgs_ - vt_)
-		vdsat[i] = c.vdsat(veff)
-		sat[i] = vds_ >= vdsat[i]
-		gm[i] = (c.idStrong(effectiveOverdrive(vgs_+h-vt_), vds_, vt_) -
-			c.idStrong(effectiveOverdrive(vgs_-h-vt_), vds_, vt_)) / (2 * h)
-		vdsm := vds_ - h
-		if vdsm < 0 {
-			vdsm = 0
+	p := lanes.PadLen(n)
+	veff, veffp, veffm, vdsp, vdsm := k.t1[:p], k.t2[:p], k.t3[:p], k.t4[:p], k.t5[:p]
+	for i := 0; i < n; i++ {
+		gv := vgs[i] - vt[i]
+		veff[i] = gv
+		veffp[i] = vgs[i] + h - vt[i]
+		veffm[i] = vgs[i] - h - vt[i]
+		d := vds[i]
+		vdsp[i] = d + h
+		dm := d - h
+		if dm < 0 {
+			dm = 0
 		}
-		gds[i] = (c.idStrong(veff, vds_+h, vt_) - c.idStrong(veff, vdsm, vt_)) / (vds_ + h - vdsm)
+		vdsm[i] = dm
 	}
-}
-
-func growFloats(s []float64, n int) []float64 {
-	if cap(s) < n {
-		return make([]float64, n)
+	for i := n; i < p; i++ {
+		veff[i], veffp[i], veffm[i], vdsp[i], vdsm[i] = 0, 0, 0, 0, 0
 	}
-	return s[:n]
-}
-
-func growBools(s []bool, n int) []bool {
-	if cap(s) < n {
-		return make([]bool, n)
+	simd.EffOv(veff, veff, twoNUT)
+	simd.EffOv(veffp, veffp, twoNUT)
+	simd.EffOv(veffm, veffm, twoNUT)
+	// Gm probes at vds; veffp/veffm are consumed here, freeing their planes
+	// for the Gds probe outputs.
+	simd.IDStrongPlanes(gm[:p], veffp, vds[:p], vt[:p], k.kwl[:p], k.lambda[:p], k.el[:p], k.invEl[:p], k.theta1, k.theta2, k.vk, k.nexp)
+	simd.IDStrongPlanes(veffp, veffm, vds[:p], vt[:p], k.kwl[:p], k.lambda[:p], k.el[:p], k.invEl[:p], k.theta1, k.theta2, k.vk, k.nexp)
+	simd.IDStrongPlanes(gds[:p], veff, vdsp, vt[:p], k.kwl[:p], k.lambda[:p], k.el[:p], k.invEl[:p], k.theta1, k.theta2, k.vk, k.nexp)
+	simd.IDStrongPlanes(veffm, veff, vdsm, vt[:p], k.kwl[:p], k.lambda[:p], k.el[:p], k.invEl[:p], k.theta1, k.theta2, k.vk, k.nexp)
+	k.vdsatInto(n, veff, vds, vdsat, sat)
+	for i := 0; i < n; i++ {
+		gm[i] = (gm[i] - veffp[i]) / (2 * h)
+		gds[i] = (gds[i] - veffm[i]) / (vds[i] + h - vdsm[i])
 	}
-	return s[:n]
 }

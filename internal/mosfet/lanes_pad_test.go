@@ -1,0 +1,164 @@
+package mosfet
+
+import (
+	"math"
+	"testing"
+
+	"sacga/internal/lanes"
+	"sacga/internal/process"
+	"sacga/internal/rng"
+)
+
+// TestScratchPaddingInvariants pins the chunk-padding contract the packed
+// kernels rely on: after Ensure/Reset, every dense float plane is sized (or
+// at least backed) out to lanes.PadLen(n), so whole-chunk loops never step
+// out of bounds and never need a tail branch.
+func TestScratchPaddingInvariants(t *testing.T) {
+	for _, n := range []int{1, 5, 8, 13, 64, 100, 257} {
+		p := lanes.PadLen(n)
+		if p%lanes.Chunk != 0 || p < n {
+			t.Fatalf("PadLen(%d) = %d: not a chunk multiple covering n", n, p)
+		}
+
+		var st SecantScratch
+		st.Ensure(n)
+		for name, plane := range map[string][]float64{
+			"v0": st.v0, "f0": st.f0, "v1": st.v1, "f1": st.f1,
+			"vds": st.vds, "vt": st.vt, "invID": st.invID,
+			"kwl": st.kwl, "lambda": st.lambda, "el": st.el, "invEl": st.invEl,
+			"done": st.done,
+		} {
+			if len(plane) != p {
+				t.Fatalf("n=%d: scratch plane %s len %d, want padded %d", n, name, len(plane), p)
+			}
+		}
+		if cap(st.idx) < p || len(st.idx) != n {
+			t.Fatalf("n=%d: idx len %d cap %d, want len n and cap >= %d", n, len(st.idx), cap(st.idx), p)
+		}
+		if cap(st.finVeff) < p || cap(st.finVt) < p || cap(st.finVGS) < p {
+			t.Fatalf("n=%d: finish queue capacity below padded length", n)
+		}
+
+		var seeds BiasSeedLanes
+		seeds.Reset(n)
+		if len(seeds.Veff) != n || cap(seeds.Veff) < p || len(seeds.VGS) != n || cap(seeds.VGS) < p {
+			t.Fatalf("n=%d: seed planes not chunk-padded", n)
+		}
+		if want := (p + 63) / 64; len(seeds.OK) != want {
+			t.Fatalf("n=%d: seed mask %d words, want %d", n, len(seeds.OK), want)
+		}
+
+		var k LaneKernel
+		tech := process.Default018()
+		k.Reset(&tech.NMOSDev, n)
+		for name, plane := range map[string][]float64{
+			"kwl": k.kwl, "lambda": k.lambda, "el": k.el, "invEl": k.invEl,
+			"t1": k.t1, "t2": k.t2, "t3": k.t3, "t4": k.t4, "t5": k.t5,
+		} {
+			if len(plane) != p {
+				t.Fatalf("n=%d: kernel plane %s len %d, want padded %d", n, name, len(plane), p)
+			}
+		}
+		// The devCtx padding region must hold the benign values Reset
+		// installs (kwl = 1, rest 0), not garbage.
+		for i := n; i < p; i++ {
+			if k.kwl[i] != 1 || k.lambda[i] != 0 || k.el[i] != 0 || k.invEl[i] != 0 {
+				t.Fatalf("n=%d: devCtx pad lane %d not benign", n, i)
+			}
+		}
+	}
+}
+
+// TestVGSForIDLanesAllPositiveFastPath pins the block-copy gather (taken
+// when the active set is the whole plane and every lane carries positive
+// current) to the scalar path, bit for bit, across a cold and a warm round.
+func TestVGSForIDLanesAllPositiveFastPath(t *testing.T) {
+	tech := process.Default018()
+	for _, dev := range []*process.Device{&tech.NMOSDev, &tech.PMOSDev} {
+		s := rng.Derive(51, dev.Polarity.String())
+		const n = 53 // not a chunk multiple: real pad lanes in play
+		w, l, id, vds, vsb := laneFixture(s, n)
+		for i := 0; i < n; i++ {
+			if !(id[i] > 0) {
+				id[i] = 1e-5 // strip the specials: all lanes carry current
+			}
+		}
+
+		var k LaneKernel
+		k.Reset(dev, n)
+		for i := 0; i < n; i++ {
+			k.SetLane(i, w[i], l[i])
+		}
+		act := allLanes(n)
+		vt := make([]float64, n)
+		k.VTInto(act, vsb, vt)
+		vgs := lanes.Grow[float64](nil, n)
+		var seeds BiasSeedLanes
+		seeds.Reset(n)
+		var st SecantScratch
+		st.Ensure(n)
+
+		scalarSeeds := make([]BiasSeed, n)
+		for round := 0; round < 2; round++ {
+			if round == 1 {
+				for i := 0; i < n; i++ {
+					id[i] *= 1.11
+				}
+			}
+			k.VGSForIDLanes(act, id, vds, vt, vgs, &seeds, &st)
+			for i := 0; i < n; i++ {
+				tr := Transistor{Dev: dev, W: w[i], L: l[i]}
+				want := tr.VGSForIDSeeded(id[i], vds[i], vsb[i], &scalarSeeds[i])
+				if math.Float64bits(vgs[i]) != math.Float64bits(want) {
+					t.Fatalf("%s round %d lane %d: fast-path vgs %v != scalar %v",
+						dev.Polarity, round, i, vgs[i], want)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkVGSForIDLanes measures the dominant solver kernel in steady
+// state: 256 warm lanes re-solved after a small operating-point
+// perturbation, the exact shape the corner sweeps produce.
+func BenchmarkVGSForIDLanes(b *testing.B) {
+	tech := process.Default018()
+	dev := &tech.NMOSDev
+	s := rng.Derive(52, "bench")
+	const n = 256
+	w, l, id, vds, vsb := laneFixture(s, n)
+	for i := 0; i < n; i++ {
+		if !(id[i] > 0) {
+			id[i] = 1e-5
+		}
+	}
+	var k LaneKernel
+	k.Reset(dev, n)
+	for i := 0; i < n; i++ {
+		k.SetLane(i, w[i], l[i])
+	}
+	act := allLanes(n)
+	vt := lanes.Grow[float64](nil, n)
+	k.VTInto(act, vsb, vt)
+	vgs := lanes.Grow[float64](nil, n)
+	var seeds BiasSeedLanes
+	seeds.Reset(n)
+	var st SecantScratch
+	st.Ensure(n)
+	k.VGSForIDLanes(act, id, vds, vt, vgs, &seeds, &st) // warm the seeds
+	b.ReportAllocs()
+	b.ResetTimer()
+	for it := 0; it < b.N; it++ {
+		// Alternate between two nearby operating points so every call
+		// re-runs the live secant from warm seeds (a no-op re-solve would
+		// take the unchanged-root shortcut and measure nothing).
+		f := 1.02
+		if it&1 == 1 {
+			f = 1 / 1.02
+		}
+		for i := 0; i < n; i++ {
+			id[i] *= f
+		}
+		k.VGSForIDLanes(act, id, vds, vt, vgs, &seeds, &st)
+	}
+}

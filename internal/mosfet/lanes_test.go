@@ -4,17 +4,18 @@ import (
 	"math"
 	"testing"
 
+	"sacga/internal/lanes"
 	"sacga/internal/process"
 	"sacga/internal/rng"
 )
 
 // laneFixture builds n random (geometry, bias, current) lanes for one device.
 func laneFixture(s *rng.Stream, n int) (w, l, id, vds, vsb []float64) {
-	w = make([]float64, n)
-	l = make([]float64, n)
-	id = make([]float64, n)
-	vds = make([]float64, n)
-	vsb = make([]float64, n)
+	w = lanes.Grow[float64](nil, n)
+	l = lanes.Grow[float64](nil, n)
+	id = lanes.Grow[float64](nil, n)
+	vds = lanes.Grow[float64](nil, n)
+	vsb = lanes.Grow[float64](nil, n)
 	for i := 0; i < n; i++ {
 		w[i] = math.Exp(s.Uniform(math.Log(2e-6), math.Log(2e-3)))
 		l[i] = s.Uniform(0.18e-6, 2e-6)
@@ -86,7 +87,7 @@ func TestVGSForIDLanesBitIdentical(t *testing.T) {
 					t.Fatalf("%s round %d lane %d: lane vgs %v != scalar %v (id=%v vds=%v vsb=%v)",
 						dev.Polarity, round, i, vgs[i], want, id[i], vds[i], vsb[i])
 				}
-				if seeds.OK[i] != scalarSeeds[i].OK ||
+				if seeds.OK.Get(i) != scalarSeeds[i].OK ||
 					math.Float64bits(seeds.Veff[i]) != math.Float64bits(scalarSeeds[i].Veff) ||
 					math.Float64bits(seeds.VGS[i]) != math.Float64bits(scalarSeeds[i].VGS) {
 					t.Fatalf("%s round %d lane %d: seed state diverged", dev.Polarity, round, i)
@@ -108,9 +109,9 @@ func TestVGSForIDLanesSubsetMasking(t *testing.T) {
 	for i := 0; i < n; i++ {
 		k.SetLane(i, w[i], l[i])
 	}
-	vt := make([]float64, n)
+	vt := lanes.Grow[float64](nil, n)
 	k.VTInto(allLanes(n), vsb, vt)
-	vgs := make([]float64, n)
+	vgs := lanes.Grow[float64](nil, n)
 	for i := range vgs {
 		vgs[i] = -123
 	}
@@ -139,7 +140,7 @@ func TestSolveLanesBitIdentical(t *testing.T) {
 		s := rng.Derive(99, dev.Polarity.String())
 		const n = 48
 		w, l, _, vds, vsb := laneFixture(s, n)
-		vgs := make([]float64, n)
+		vgs := lanes.Grow[float64](nil, n)
 		for i := 0; i < n; i++ {
 			vgs[i] = s.Uniform(0, 1.8)
 			if i%9 == 4 {
@@ -153,33 +154,33 @@ func TestSolveLanesBitIdentical(t *testing.T) {
 			k.SetLane(i, w[i], l[i])
 		}
 		act := allLanes(n)
-		vt := make([]float64, n)
+		vt := lanes.Grow[float64](nil, n)
 		k.VTInto(act, vsb, vt)
-		vdsat := make([]float64, n)
-		gm := make([]float64, n)
-		gds := make([]float64, n)
-		sat := make([]bool, n)
+		vdsat := lanes.Grow[float64](nil, n)
+		gm := lanes.Grow[float64](nil, n)
+		gds := lanes.Grow[float64](nil, n)
+		sat := lanes.GrowBits(nil, n)
 
-		k.SolveACLanes(act, vgs, vds, vt, vdsat, gm, gds, sat)
+		k.SolveACLanes(n, vgs, vds, vt, vdsat, gm, gds, sat)
 		for i := 0; i < n; i++ {
 			tr := Transistor{Dev: dev, W: w[i], L: l[i]}
 			op := tr.Solve(Bias{VGS: vgs[i], VDS: vds[i], VSB: vsb[i]})
 			if math.Float64bits(vt[i]) != math.Float64bits(op.VT) ||
 				math.Float64bits(vdsat[i]) != math.Float64bits(op.VDsat) ||
-				sat[i] != op.Sat ||
+				sat.Get(i) != op.Sat ||
 				math.Float64bits(gm[i]) != math.Float64bits(op.Gm) ||
 				math.Float64bits(gds[i]) != math.Float64bits(op.Gds) {
 				t.Fatalf("%s lane %d: AC lanes diverged from Solve: got (vt %v vdsat %v sat %v gm %v gds %v) want (%v %v %v %v %v)",
-					dev.Polarity, i, vt[i], vdsat[i], sat[i], gm[i], gds[i],
+					dev.Polarity, i, vt[i], vdsat[i], sat.Get(i), gm[i], gds[i],
 					op.VT, op.VDsat, op.Sat, op.Gm, op.Gds)
 			}
 		}
 
-		k.SolveDCLanes(act, vgs, vds, vt, vdsat, sat)
+		k.SolveDCLanes(n, vgs, vds, vt, vdsat, sat)
 		for i := 0; i < n; i++ {
 			tr := Transistor{Dev: dev, W: w[i], L: l[i]}
 			op := tr.SolveDC(Bias{VGS: vgs[i], VDS: vds[i], VSB: vsb[i]})
-			if math.Float64bits(vdsat[i]) != math.Float64bits(op.VDsat) || sat[i] != op.Sat {
+			if math.Float64bits(vdsat[i]) != math.Float64bits(op.VDsat) || sat.Get(i) != op.Sat {
 				t.Fatalf("%s lane %d: DC lanes diverged from SolveDC", dev.Polarity, i)
 			}
 		}

@@ -16,6 +16,7 @@ package opamp
 import (
 	"math"
 
+	"sacga/internal/lanes"
 	"sacga/internal/mosfet"
 	"sacga/internal/process"
 )
@@ -34,7 +35,7 @@ type SizingLanes struct {
 type WarmLanes struct {
 	M1, M3, M5, M6, M7 mosfet.BiasSeedLanes
 	VS                 []float64
-	VSOK               []bool
+	VSOK               lanes.Bits
 }
 
 // Reset sizes the warm planes for n lanes and cold-starts every lane.
@@ -44,15 +45,8 @@ func (w *WarmLanes) Reset(n int) {
 	w.M5.Reset(n)
 	w.M6.Reset(n)
 	w.M7.Reset(n)
-	if cap(w.VS) < n {
-		w.VS = make([]float64, n)
-		w.VSOK = make([]bool, n)
-	}
-	w.VS = w.VS[:n]
-	w.VSOK = w.VSOK[:n]
-	for i := range w.VSOK {
-		w.VSOK[i] = false
-	}
+	w.VS = lanes.Grow(w.VS, n)
+	w.VSOK = lanes.GrowBits(w.VSOK, n)
 }
 
 // ResultLanes carries the integrator-facing subset of Result as planes: the
@@ -75,7 +69,7 @@ type ResultLanes struct {
 	VosSystematic  []float64
 	Power, Area    []float64
 	WorstSatMargin []float64
-	BiasOK         []bool
+	BiasOK         lanes.Bits
 }
 
 // Ensure sizes every plane for n lanes.
@@ -86,15 +80,9 @@ func (r *ResultLanes) Ensure(n int) {
 		&r.SwingPos, &r.SwingNeg, &r.VosSystematic, &r.Power, &r.Area,
 		&r.WorstSatMargin,
 	} {
-		if cap(*p) < n {
-			*p = make([]float64, n)
-		}
-		*p = (*p)[:n]
+		*p = lanes.Grow(*p, n)
 	}
-	if cap(r.BiasOK) < n {
-		r.BiasOK = make([]bool, n)
-	}
-	r.BiasOK = r.BiasOK[:n]
+	r.BiasOK = lanes.GrowBits(r.BiasOK, n)
 }
 
 // LaneEngine owns the kernels and stage planes one AnalyzeLanes call works
@@ -118,9 +106,9 @@ type LaneEngine struct {
 	vdsat7               []float64
 	gm2, gds2, gm4, gds4 []float64
 	gm6, gds6, gds7      []float64
-	sat1, sat2, sat3     []bool
-	sat4, sat5, sat6     []bool
-	sat7                 []bool
+	sat1, sat2, sat3     lanes.Bits
+	sat4, sat5, sat6     lanes.Bits
+	sat7                 lanes.Bits
 }
 
 func (e *LaneEngine) ensure(n int) {
@@ -131,25 +119,15 @@ func (e *LaneEngine) ensure(n int) {
 		&e.vdsat1, &e.vdsat2, &e.vdsat3, &e.vdsat4, &e.vdsat5, &e.vdsat6,
 		&e.vdsat7, &e.gm2, &e.gds2, &e.gm4, &e.gds4, &e.gm6, &e.gds6, &e.gds7,
 	} {
-		if cap(*p) < n {
-			*p = make([]float64, n)
-		}
-		*p = (*p)[:n]
+		*p = lanes.Grow(*p, n)
 	}
-	for _, p := range []*[]bool{
+	for _, p := range []*lanes.Bits{
 		&e.sat1, &e.sat2, &e.sat3, &e.sat4, &e.sat5, &e.sat6, &e.sat7,
 	} {
-		if cap(*p) < n {
-			*p = make([]bool, n)
-		}
-		*p = (*p)[:n]
+		*p = lanes.GrowBits(*p, n)
 	}
-	if cap(e.act) < n {
-		e.act = make([]int32, n)
-		e.sub = make([]int32, n)
-	}
-	e.act = e.act[:n]
-	e.sub = e.sub[:n]
+	e.act = lanes.Grow(e.act, n)
+	e.sub = lanes.Grow(e.sub, n)
 	e.st.Ensure(n)
 }
 
@@ -193,7 +171,7 @@ func AnalyzeLanes(t *process.Tech, n int, sz SizingLanes, vcm float64, ws *WarmL
 	// placeholder VDS (refined below), seeded by the previous corner's root.
 	for i := 0; i < n; i++ {
 		e.vs[i] = 0.2
-		if ws.VSOK[i] {
+		if ws.VSOK.Get(i) {
 			e.vs[i] = ws.VS[i]
 		}
 		e.va[i] = 0.5
@@ -245,7 +223,8 @@ func AnalyzeLanes(t *process.Tech, n int, sz SizingLanes, vcm float64, ws *WarmL
 	}
 	for _, i := range act {
 		e.vs[i] = e.vs1[i]
-		ws.VS[i], ws.VSOK[i] = e.vs[i], true
+		ws.VS[i] = e.vs[i]
+		ws.VSOK.Set(int(i))
 	}
 
 	// PMOS mirror diode: a placeholder-VDS solve, then the diode-consistent
@@ -297,16 +276,16 @@ func AnalyzeLanes(t *process.Tech, n int, sz SizingLanes, vcm float64, ws *WarmL
 		e.vds4[i] = math.Max(vdd-e.vout1[i], 0)     // op4 VDS
 		e.vb[i] = vdd - vcm                         // op6 VDS
 	}
-	e.m1.SolveDCLanes(act, e.vgs1, e.va, e.vt1, e.vdsat1, e.sat1)
-	e.m1.SolveACLanes(act, e.vgs1, e.vds2, e.vt1, e.vdsat2, e.gm2, e.gds2, e.sat2)
-	e.m3.SolveDCLanes(act, e.vsg3, e.vsg3, e.vtP0, e.vdsat3, e.sat3)
-	e.m3.SolveACLanes(act, e.vsg3, e.vds4, e.vtP0, e.vdsat4, e.gm4, e.gds4, e.sat4)
-	e.m5.SolveDCLanes(act, e.vgs5, e.vs, e.vtN0, e.vdsat5, e.sat5)
-	e.m6.SolveACLanes(act, e.vsg6, e.vb, e.vtP0, e.vdsat6, e.gm6, e.gds6, e.sat6)
+	e.m1.SolveDCLanes(n, e.vgs1, e.va, e.vt1, e.vdsat1, e.sat1)
+	e.m1.SolveACLanes(n, e.vgs1, e.vds2, e.vt1, e.vdsat2, e.gm2, e.gds2, e.sat2)
+	e.m3.SolveDCLanes(n, e.vsg3, e.vsg3, e.vtP0, e.vdsat3, e.sat3)
+	e.m3.SolveACLanes(n, e.vsg3, e.vds4, e.vtP0, e.vdsat4, e.gm4, e.gds4, e.sat4)
+	e.m5.SolveDCLanes(n, e.vgs5, e.vs, e.vtN0, e.vdsat5, e.sat5)
+	e.m6.SolveACLanes(n, e.vsg6, e.vb, e.vtP0, e.vdsat6, e.gm6, e.gds6, e.sat6)
 	for i := 0; i < n; i++ {
 		e.vb[i] = vcm // op7 VDS
 	}
-	e.m7.SolveGdsLanes(act, e.vgs7, e.vb, e.vtN0, e.vdsat7, e.gds7, e.sat7)
+	e.m7.SolveGdsLanes(n, e.vgs7, e.vb, e.vtN0, e.vdsat7, e.gds7, e.sat7)
 
 	// Assembly: the small-signal, noise, swing, power and margin arithmetic
 	// of the scalar tail, one lane at a time.
@@ -317,8 +296,8 @@ func AnalyzeLanes(t *process.Tech, n int, sz SizingLanes, vcm float64, ws *WarmL
 		vgs5, vgs7 := e.vgs5[i], e.vgs7[i]
 		vs, vout1 := e.vs[i], e.vout1[i]
 
-		out.BiasOK[i] = vgs1 < 2.9 && vsg3 < 2.9 && vsg6 < 2.9 && vgs7 < 2.9 &&
-			vgs5 < 2.9 && vs > 0.01 && vout1 > 0.05 && vout1 < vddGate
+		out.BiasOK.SetBool(i, vgs1 < 2.9 && vsg3 < 2.9 && vsg6 < 2.9 && vgs7 < 2.9 &&
+			vgs5 < 2.9 && vs > 0.01 && vout1 > 0.05 && vout1 < vddGate)
 
 		gm1 := e.gm2[i]
 		gm6 := e.gm6[i]
@@ -330,11 +309,11 @@ func AnalyzeLanes(t *process.Tech, n int, sz SizingLanes, vcm float64, ws *WarmL
 		out.A0[i] = a1 * a2
 
 		// Node parasitics from the Meyer/overlap/junction capacitance model.
-		c1cgd, c1cdb, _, _ := laneCaps(nmos, sz.W1[i], sz.L1[i], vgs1, e.vt1[i], e.sat2[i])
-		c4cgd, c4cdb, _, _ := laneCaps(pmos, sz.W3[i], sz.L3[i], vsg3, e.vtP0[i], e.sat4[i])
-		c6cgd, c6cdb, c6cgs, c6cgb := laneCaps(pmos, sz.W6[i], sz.L6[i], vsg6, e.vtP0[i], e.sat6[i])
-		c7cgd, c7cdb, _, _ := laneCaps(nmos, sz.W7[i], sz.L7[i], vgs7, e.vtN0[i], e.sat7[i])
-		cin1cgd, _, cin1cgs, cin1cgb := laneCaps(nmos, sz.W1[i], sz.L1[i], vgs1, e.vt1[i], e.sat1[i])
+		c1cgd, c1cdb, _, _ := laneCaps(nmos, sz.W1[i], sz.L1[i], vgs1, e.vt1[i], e.sat2.Get(i))
+		c4cgd, c4cdb, _, _ := laneCaps(pmos, sz.W3[i], sz.L3[i], vsg3, e.vtP0[i], e.sat4.Get(i))
+		c6cgd, c6cdb, c6cgs, c6cgb := laneCaps(pmos, sz.W6[i], sz.L6[i], vsg6, e.vtP0[i], e.sat6.Get(i))
+		c7cgd, c7cdb, _, _ := laneCaps(nmos, sz.W7[i], sz.L7[i], vgs7, e.vtN0[i], e.sat7.Get(i))
+		cin1cgd, _, cin1cgs, cin1cgb := laneCaps(nmos, sz.W1[i], sz.L1[i], vgs1, e.vt1[i], e.sat1.Get(i))
 
 		out.C1[i] = c1cgd + c1cdb + c4cgd + c4cdb + c6cgs + c6cgb
 		out.CoutSelf[i] = c6cdb + c7cdb + c7cgd

@@ -113,7 +113,7 @@ func TestAnalyzeLanesBitIdenticalAcrossCorners(t *testing.T) {
 						c, i, ck.name, ck.got, ck.want)
 				}
 			}
-			if out.BiasOK[i] != r.BiasOK {
+			if out.BiasOK.Get(i) != r.BiasOK {
 				t.Fatalf("corner %v lane %d BiasOK: lanes %v != scalar %v",
 					c, i, out.BiasOK[i], r.BiasOK)
 			}
@@ -144,7 +144,7 @@ func TestAnalyzeLanesWarmMatchesScalarWarm(t *testing.T) {
 		}
 	}
 	for i := 0; i < n; i++ {
-		if ws.VSOK[i] != scalarWS[i].VSOK || !eqBits(ws.VS[i], scalarWS[i].VS) {
+		if ws.VSOK.Get(i) != scalarWS[i].VSOK || !eqBits(ws.VS[i], scalarWS[i].VS) {
 			t.Fatalf("lane %d: VS warm state diverged: lanes (%v,%v) scalar (%v,%v)",
 				i, ws.VS[i], ws.VSOK[i], scalarWS[i].VS, scalarWS[i].VSOK)
 		}

@@ -8,6 +8,7 @@ package scint
 import (
 	"math"
 
+	"sacga/internal/lanes"
 	"sacga/internal/opamp"
 	"sacga/internal/process"
 )
@@ -33,7 +34,7 @@ type PerfLanes struct {
 	SettleErr      []float64
 	PhaseMarginDeg []float64
 	WorstSatMargin []float64
-	BiasOK         []bool
+	BiasOK         lanes.Bits
 }
 
 // Ensure sizes every plane for n lanes.
@@ -42,15 +43,9 @@ func (p *PerfLanes) Ensure(n int) {
 		&p.Power, &p.Area, &p.DRdB, &p.OutputRange, &p.SettleTime,
 		&p.SettleErr, &p.PhaseMarginDeg, &p.WorstSatMargin,
 	} {
-		if cap(*pl) < n {
-			*pl = make([]float64, n)
-		}
-		*pl = (*pl)[:n]
+		*pl = lanes.Grow(*pl, n)
 	}
-	if cap(p.BiasOK) < n {
-		p.BiasOK = make([]bool, n)
-	}
-	p.BiasOK = p.BiasOK[:n]
+	p.BiasOK = lanes.GrowBits(p.BiasOK, n)
 }
 
 // LaneEngine bundles the amplifier lane engine with its result planes; one
@@ -74,7 +69,7 @@ func EvaluateLanes(t *process.Tech, n int, d DesignLanes, sys System, ws *opamp.
 	kt := t.KT()
 	for i := 0; i < n; i++ {
 		cs, cl := d.Cs[i], d.CL[i]
-		out.BiasOK[i] = amp.BiasOK[i]
+		out.BiasOK.SetBool(i, amp.BiasOK.Get(i))
 		out.WorstSatMargin[i] = amp.WorstSatMargin[i]
 
 		cf := cs / sys.Gain

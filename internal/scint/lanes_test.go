@@ -103,7 +103,7 @@ func TestEvaluateLanesBitIdenticalAcrossCorners(t *testing.T) {
 						c, i, ck.name, ck.got, ck.want)
 				}
 			}
-			if out.BiasOK[i] != perf.BiasOK {
+			if out.BiasOK.Get(i) != perf.BiasOK {
 				t.Fatalf("corner %v lane %d BiasOK diverged", c, i)
 			}
 		}

@@ -1,0 +1,41 @@
+//go:build !amd64 || purego
+
+package simd
+
+// Enabled reports whether the packed AVX2 kernels are in use. On non-amd64
+// or purego builds it is always false and every kernel runs the scalar
+// reference loop. It is a variable (not a constant) so equivalence tests can
+// uniformly save/restore it across build tags.
+var Enabled = false
+
+// Exp computes dst[i] = math.Exp(x[i]).
+func Exp(dst, x []float64) { expRef(dst, x) }
+
+// Log computes dst[i] = math.Log(x[i]).
+func Log(dst, x []float64) { logRef(dst, x) }
+
+// Expm1 computes dst[i] = math.Expm1(x[i]).
+func Expm1(dst, x []float64) { expm1Ref(dst, x) }
+
+// Log1p computes dst[i] = math.Log1p(x[i]).
+func Log1p(dst, x []float64) { log1pRef(dst, x) }
+
+// DecodeLog computes dst[i] = lo * exp(clamp01(u[i]) * lnRatio).
+func DecodeLog(dst, u []float64, lnRatio, lo float64) { decodeLogRef(dst, u, lnRatio, lo) }
+
+// VGSFromVeff inverts the effective overdrive to a rail-clamped VGS.
+func VGSFromVeff(vgs, veff, vt []float64, twoNUT float64) { vgsFromVeffRef(vgs, veff, vt, twoNUT) }
+
+// EffOv computes the EKV-style effective overdrive per lane.
+func EffOv(dst, vov []float64, twoNUT float64) { effOvRef(dst, vov, twoNUT) }
+
+// IDStrongPlanes evaluates the strong-inversion drain current plane.
+func IDStrongPlanes(dst, vov, vds, vt, kwl, lambda, el, invEl []float64, theta1, theta2, vk, nexp float64) {
+	idStrongRef(dst, vov, vds, vt, kwl, lambda, el, invEl, theta1, theta2, vk, nexp)
+}
+
+// SecantStep advances every dense lane one masked-secant step. It reports
+// whether any lane's done flag was set on this step.
+func SecantStep(v0, f0, v1, f1, vds, vt, invID, kwl, lambda, el, invEl, done []float64, theta1, theta2, vk, nexp float64) bool {
+	return secantStepRef(v0, f0, v1, f1, vds, vt, invID, kwl, lambda, el, invEl, done, theta1, theta2, vk, nexp)
+}

@@ -1,0 +1,167 @@
+package simd
+
+import "math"
+
+// The *Ref functions are the scalar references: the exact per-lane
+// expressions the packed kernels must reproduce bit-for-bit. They are always
+// compiled (every build tag) and serve as the fallback implementation and
+// the oracle for the equivalence fuzz tests.
+
+func expRef(dst, x []float64) {
+	for i, v := range x {
+		dst[i] = math.Exp(v)
+	}
+}
+
+func logRef(dst, x []float64) {
+	for i, v := range x {
+		dst[i] = math.Log(v)
+	}
+}
+
+func expm1Ref(dst, x []float64) {
+	for i, v := range x {
+		dst[i] = math.Expm1(v)
+	}
+}
+
+func log1pRef(dst, x []float64) {
+	for i, v := range x {
+		dst[i] = math.Log1p(v)
+	}
+}
+
+// decodeLogRef is the scalar log-scale gene decode from sizing:
+// clamp the unit gene to [0,1] (NaN passes through) and map through
+// lo·exp(u·lnRatio).
+func decodeLogRef(dst, u []float64, lnRatio, lo float64) {
+	for i, v := range u {
+		if v < 0 {
+			v = 0
+		} else if v > 1 {
+			v = 1
+		}
+		dst[i] = lo * math.Exp(v*lnRatio)
+	}
+}
+
+// vgsFromVeffRef is the scalar veffToVGS from mosfet: invert the EKV-style
+// effective overdrive back to VGS and clamp to the physical rail range.
+// twoNUT is 2·n·UT (the moderate-inversion interpolation scale).
+func vgsFromVeffRef(vgs, veff, vt []float64, twoNUT float64) {
+	for i, ve := range veff {
+		x := ve / twoNUT
+		vov := ve
+		if x <= 12 {
+			vov = twoNUT * math.Log(math.Expm1(x))
+		}
+		v := vov + vt[i]
+		if v < 0 {
+			v = 0
+		} else if v > 3 {
+			v = 3
+		}
+		vgs[i] = v
+	}
+}
+
+// effOvRef is the scalar effectiveOverdrive from mosfet:
+// 2nUT·log1p(exp(Vov/2nUT)), short-circuited to Vov deep in strong
+// inversion.
+func effOvRef(dst, vov []float64, twoNUT float64) {
+	for i, v := range vov {
+		x := v / twoNUT
+		if x > 12 {
+			dst[i] = v
+		} else {
+			dst[i] = twoNUT * math.Log1p(math.Exp(x))
+		}
+	}
+}
+
+// idStrongLaneRef mirrors mosfet's devCtx.idStrong operation-for-operation
+// (including mobilityDenominator's clamp, the fastCbrt bit trick and the
+// branch structure), with the devCtx fields passed per lane and the
+// device-uniform fitting parameters passed as scalars. nexp is the mobility
+// exponent (exactly 1 or 2 in the process data; the general math.Pow branch
+// mirrors mobilityDenominator for completeness).
+func idStrongLaneRef(vov, vds, vt, kwl, lambda, el, invEl, theta1, theta2, vk, nexp float64) float64 {
+	base := vov + vt + vt - vk
+	if base < 0 {
+		base = 0
+	}
+	pw := base
+	if nexp == 2 {
+		pw = base * base
+	} else if nexp != 1 {
+		pw = math.Pow(base, nexp)
+	}
+	cb := 0.0
+	if !(base <= 0) { // NaN falls through to the bit trick, like the scalar path
+		b := math.Float64bits(base)/3 + 0x2A9F7893782DA1CE
+		y := math.Float64frombits(b)
+		y3 := y * y * y
+		y = y * (y3 + 2*base) / (2*y3 + base)
+		y3 = y * y * y
+		y = y * (y3 + 2*base) / (2*y3 + base)
+		cb = y
+	}
+	den := 1 + theta1*cb + theta2*pw
+	if vov <= 0 || el <= 0 || vds*(vov+el) >= vov*el {
+		if el > 0 {
+			return kwl * vov * vov * (1 + lambda*vds) / ((1 + vov*invEl) * den)
+		}
+		return kwl * vov * vov * (1 + lambda*vds) / den
+	}
+	vdsat := vov * el / (vov + el)
+	vf := 1.0
+	if !(el <= 0) { // NaN el computes through, like vsatFactor
+		vf = 1 / (1 + vov/el)
+	}
+	idsat := kwl * vov * vov * vf * (1 + lambda*vdsat) / den
+	x := vds / vdsat
+	return idsat * x * (2 - x) * (1 + lambda*(vds-vdsat)/(1+lambda*vdsat))
+}
+
+func idStrongRef(dst, vov, vds, vt, kwl, lambda, el, invEl []float64, theta1, theta2, vk, nexp float64) {
+	for i := range dst {
+		dst[i] = idStrongLaneRef(vov[i], vds[i], vt[i], kwl[i], lambda[i], el[i], invEl[i], theta1, theta2, vk, nexp)
+	}
+}
+
+// doneMask is the all-ones float64 the packed secant step emits for finished
+// lanes (a blend mask stored as-is); zero means still live.
+var doneMask = math.Float64frombits(^uint64(0))
+
+// secantStepRef advances every dense lane one safeguarded-secant step,
+// mirroring the scalar solveVeff loop body: stalled lanes (df == 0) keep
+// their state and finish with the old v1; everyone else shifts (v0,f0) <-
+// (v1,f1), clamps the proposal and evaluates the relative-error residual.
+// It reports whether any done flag was set.
+func secantStepRef(v0, f0, v1, f1, vds, vt, invID, kwl, lambda, el, invEl, done []float64, theta1, theta2, vk, nexp float64) bool {
+	any := false
+	for j := range v1 {
+		df := f1[j] - f0[j]
+		if df == 0 {
+			done[j] = doneMask
+			any = true
+			continue
+		}
+		next := v1[j] - f1[j]*(v1[j]-v0[j])/df
+		if next <= 1e-7 {
+			next = v1[j] / 4
+		} else if next > 4 {
+			next = 4
+		}
+		v0[j], f0[j] = v1[j], f1[j]
+		r := idStrongLaneRef(next, vds[j], vt[j], kwl[j], lambda[j], el[j], invEl[j], theta1, theta2, vk, nexp)*invID[j] - 1
+		v1[j], f1[j] = next, r
+		if math.Abs(r) <= 1e-10 {
+			done[j] = doneMask
+			any = true
+		} else {
+			done[j] = 0
+		}
+	}
+	return any
+}

@@ -1,0 +1,24 @@
+// Package simd provides packed (4-wide AVX2) versions of the transcendental
+// plane kernels that dominate the lane engines' profiles: Exp, Log, Expm1,
+// Log1p, and three fused kernels built from them (DecodeLog, VGSFromVeff,
+// EffOv). Every kernel is bit-exact against the scalar expressions it
+// replaces: the amd64 assembly is an op-for-op port of the exact instruction
+// sequence the Go runtime executes for each lane — math.Exp's FMA assembly
+// path, math.Log's SSE assembly path, and the pure-Go expm1/log1p bodies
+// (which gc compiles without FMA contraction on amd64) — with every
+// data-dependent branch turned into a mask blend. IEEE 754 basic operations
+// are correctly rounded and therefore identical between scalar and packed
+// encodings, so running all branches and blending by mask preserves
+// bit-exactness; floating-point operations never fault, so evaluating a
+// branch a lane does not take is safe.
+//
+// The vector body processes 4 lanes per iteration over the leading len&^3
+// elements; the remainder falls back to the scalar math calls. Callers that
+// pad their planes to a multiple of the lane chunk width (see package lanes)
+// never take the remainder path.
+//
+// Build tags: the assembly is compiled on amd64 unless the purego tag is
+// set; Enabled additionally gates on runtime CPU support (AVX2 + FMA +
+// OS-enabled YMM state). On non-amd64 or purego builds every kernel is the
+// scalar reference loop.
+package simd

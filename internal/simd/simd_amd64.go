@@ -1,0 +1,258 @@
+//go:build !purego
+
+package simd
+
+import (
+	"math"
+	"unsafe"
+)
+
+// Enabled reports whether the packed AVX2 kernels are in use. Tests may
+// clear it to force the scalar reference path for in-process equivalence
+// checks.
+var Enabled = haveAVX2FMA()
+
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv() (eax, edx uint32)
+
+// haveAVX2FMA gates the packed kernels on AVX2 + FMA + OS-managed YMM
+// state. The exp port uses FMA (it mirrors math.Exp's avxfma path, which
+// the runtime selects under exactly these conditions), so all three are
+// required together.
+func haveAVX2FMA() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const (
+		fmaBit     = 1 << 12
+		osxsaveBit = 1 << 27
+		avxBit     = 1 << 28
+	)
+	if ecx1&(fmaBit|osxsaveBit|avxBit) != fmaBit|osxsaveBit|avxBit {
+		return false
+	}
+	if lo, _ := xgetbv(); lo&6 != 6 { // XMM and YMM state enabled by the OS
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	const avx2Bit = 1 << 5
+	return ebx7&avx2Bit != 0
+}
+
+//go:noescape
+func expAsm(dst, x *float64, n int)
+
+//go:noescape
+func logAsm(dst, x *float64, n int)
+
+//go:noescape
+func expm1Asm(dst, x *float64, n int)
+
+//go:noescape
+func log1pAsm(dst, x *float64, n int)
+
+//go:noescape
+func decodeLogAsm(dst, u *float64, n int, lnRatio, lo float64)
+
+//go:noescape
+func vgsFromVeffAsm(vgs, veff, vt *float64, n int, twoNUT float64)
+
+//go:noescape
+func effOvAsm(dst, vov *float64, n int, twoNUT float64)
+
+// Exp computes dst[i] = math.Exp(x[i]).
+func Exp(dst, x []float64) {
+	n := len(x)
+	_ = dst[:n]
+	if !Enabled || n < 4 {
+		expRef(dst[:n], x)
+		return
+	}
+	m := n &^ 3
+	expAsm(&dst[0], &x[0], m)
+	for i := m; i < n; i++ {
+		dst[i] = math.Exp(x[i])
+	}
+}
+
+// Log computes dst[i] = math.Log(x[i]).
+func Log(dst, x []float64) {
+	n := len(x)
+	_ = dst[:n]
+	if !Enabled || n < 4 {
+		logRef(dst[:n], x)
+		return
+	}
+	m := n &^ 3
+	logAsm(&dst[0], &x[0], m)
+	for i := m; i < n; i++ {
+		dst[i] = math.Log(x[i])
+	}
+}
+
+// Expm1 computes dst[i] = math.Expm1(x[i]).
+func Expm1(dst, x []float64) {
+	n := len(x)
+	_ = dst[:n]
+	if !Enabled || n < 4 {
+		expm1Ref(dst[:n], x)
+		return
+	}
+	m := n &^ 3
+	expm1Asm(&dst[0], &x[0], m)
+	for i := m; i < n; i++ {
+		dst[i] = math.Expm1(x[i])
+	}
+}
+
+// Log1p computes dst[i] = math.Log1p(x[i]).
+func Log1p(dst, x []float64) {
+	n := len(x)
+	_ = dst[:n]
+	if !Enabled || n < 4 {
+		log1pRef(dst[:n], x)
+		return
+	}
+	m := n &^ 3
+	log1pAsm(&dst[0], &x[0], m)
+	for i := m; i < n; i++ {
+		dst[i] = math.Log1p(x[i])
+	}
+}
+
+// DecodeLog computes dst[i] = lo * exp(clamp01(u[i]) * lnRatio), the
+// log-scale gene decode.
+func DecodeLog(dst, u []float64, lnRatio, lo float64) {
+	n := len(u)
+	_ = dst[:n]
+	if !Enabled || n < 4 {
+		decodeLogRef(dst[:n], u, lnRatio, lo)
+		return
+	}
+	m := n &^ 3
+	decodeLogAsm(&dst[0], &u[0], m, lnRatio, lo)
+	decodeLogRef(dst[m:n], u[m:n], lnRatio, lo)
+}
+
+// VGSFromVeff inverts the effective overdrive to a rail-clamped VGS
+// (mosfet's veffToVGS per lane).
+func VGSFromVeff(vgs, veff, vt []float64, twoNUT float64) {
+	n := len(veff)
+	_ = vgs[:n]
+	_ = vt[:n]
+	if !Enabled || n < 4 {
+		vgsFromVeffRef(vgs[:n], veff, vt[:n], twoNUT)
+		return
+	}
+	m := n &^ 3
+	vgsFromVeffAsm(&vgs[0], &veff[0], &vt[0], m, twoNUT)
+	vgsFromVeffRef(vgs[m:n], veff[m:n], vt[m:n], twoNUT)
+}
+
+// EffOv computes the EKV-style effective overdrive per lane (mosfet's
+// effectiveOverdrive).
+func EffOv(dst, vov []float64, twoNUT float64) {
+	n := len(vov)
+	_ = dst[:n]
+	if !Enabled || n < 4 {
+		effOvRef(dst[:n], vov, twoNUT)
+		return
+	}
+	m := n &^ 3
+	effOvAsm(&dst[0], &vov[0], m, twoNUT)
+	effOvRef(dst[m:n], vov[m:n], twoNUT)
+}
+
+// idArgs is the single-pointer ABI of idStrongAsm: plane base pointers,
+// padded lane count and the device-uniform fitting parameters at fixed
+// offsets.
+type idArgs struct {
+	dst, vov, vds, vt      unsafe.Pointer
+	kwl, lambda, el, invEl unsafe.Pointer
+	n                      int64
+	theta1, theta2, vk     float64
+	nexp2                  int64
+}
+
+// secArgs is the single-pointer ABI of secantStepAsm. anyDone is an output:
+// nonzero iff any lane's done flag was set on this step.
+type secArgs struct {
+	v0, f0, v1, f1         unsafe.Pointer
+	vds, vt, invID         unsafe.Pointer
+	kwl, lambda, el, invEl unsafe.Pointer
+	done                   unsafe.Pointer
+	n                      int64
+	theta1, theta2, vk     float64
+	nexp2                  int64
+	anyDone                int64
+}
+
+//go:noescape
+func idStrongAsm(a *idArgs)
+
+//go:noescape
+func secantStepAsm(a *secArgs)
+
+// IDStrongPlanes evaluates the strong-inversion drain current for every lane:
+// dst[i] = idStrong(vov[i], vds[i], vt[i]) with the per-lane devCtx planes
+// kwl/lambda/el/invEl and the device-uniform theta1/theta2/vk/nexp. The
+// packed path covers the mobility exponents the process data defines
+// (nexp 1 or 2); any other exponent falls back to the scalar reference.
+func IDStrongPlanes(dst, vov, vds, vt, kwl, lambda, el, invEl []float64, theta1, theta2, vk, nexp float64) {
+	n := len(dst)
+	if !Enabled || n < 4 || (nexp != 1 && nexp != 2) {
+		idStrongRef(dst, vov, vds, vt, kwl, lambda, el, invEl, theta1, theta2, vk, nexp)
+		return
+	}
+	m := n &^ 3
+	var flag int64
+	if nexp == 2 {
+		flag = 1
+	}
+	a := idArgs{
+		dst: unsafe.Pointer(&dst[0]), vov: unsafe.Pointer(&vov[0]),
+		vds: unsafe.Pointer(&vds[0]), vt: unsafe.Pointer(&vt[0]),
+		kwl: unsafe.Pointer(&kwl[0]), lambda: unsafe.Pointer(&lambda[0]),
+		el: unsafe.Pointer(&el[0]), invEl: unsafe.Pointer(&invEl[0]),
+		n: int64(m), theta1: theta1, theta2: theta2, vk: vk, nexp2: flag,
+	}
+	idStrongAsm(&a)
+	if m < n {
+		idStrongRef(dst[m:n], vov[m:n], vds[m:n], vt[m:n], kwl[m:n], lambda[m:n], el[m:n], invEl[m:n], theta1, theta2, vk, nexp)
+	}
+}
+
+// SecantStep advances every dense lane one masked-secant step in place and
+// writes a nonzero done flag for lanes that finished on this step (stalled
+// secant or residual under tolerance). All slices share one length. It
+// reports whether any done flag was set, so callers can skip scanning the
+// done plane on steps where every lane is still live.
+func SecantStep(v0, f0, v1, f1, vds, vt, invID, kwl, lambda, el, invEl, done []float64, theta1, theta2, vk, nexp float64) bool {
+	n := len(v1)
+	if !Enabled || n < 4 || (nexp != 1 && nexp != 2) {
+		return secantStepRef(v0, f0, v1, f1, vds, vt, invID, kwl, lambda, el, invEl, done, theta1, theta2, vk, nexp)
+	}
+	m := n &^ 3
+	var flag int64
+	if nexp == 2 {
+		flag = 1
+	}
+	a := secArgs{
+		v0: unsafe.Pointer(&v0[0]), f0: unsafe.Pointer(&f0[0]),
+		v1: unsafe.Pointer(&v1[0]), f1: unsafe.Pointer(&f1[0]),
+		vds: unsafe.Pointer(&vds[0]), vt: unsafe.Pointer(&vt[0]),
+		invID: unsafe.Pointer(&invID[0]),
+		kwl:   unsafe.Pointer(&kwl[0]), lambda: unsafe.Pointer(&lambda[0]),
+		el: unsafe.Pointer(&el[0]), invEl: unsafe.Pointer(&invEl[0]),
+		done: unsafe.Pointer(&done[0]),
+		n:    int64(m), theta1: theta1, theta2: theta2, vk: vk, nexp2: flag,
+	}
+	secantStepAsm(&a)
+	any := a.anyDone != 0
+	if m < n {
+		any = secantStepRef(v0[m:n], f0[m:n], v1[m:n], f1[m:n], vds[m:n], vt[m:n], invID[m:n], kwl[m:n], lambda[m:n], el[m:n], invEl[m:n], done[m:n], theta1, theta2, vk, nexp) || any
+	}
+	return any
+}

@@ -1,0 +1,1221 @@
+//go:build !purego
+
+#include "textflag.h"
+
+// Packed AVX2 ports of the exact scalar instruction sequences behind
+// math.Exp (exp_amd64.s avxfma path), math.Log (log_amd64.s), math.Expm1
+// and math.Log1p (pure Go, compiled without FMA contraction on amd64).
+// Every data-dependent branch of the scalar code becomes a mask blend here;
+// since IEEE basic operations are correctly rounded, the packed encodings
+// produce bit-identical results lane by lane, and evaluating both sides of
+// a branch is safe because floating-point never faults.
+//
+// Macro register conventions: each *_M macro takes its input in Y0 and
+// leaves its result in Y0. EXP_M and LOG_M clobber Y0-Y9; EXPM1_M and
+// LOG1P_M clobber Y0-Y12. Y13-Y15 are never touched and hold the fused
+// kernels' loop state.
+
+// ---- constants (each broadcast to 4 lanes) ----
+
+DATA c_one<>+0(SB)/8, $1.0
+DATA c_one<>+8(SB)/8, $1.0
+DATA c_one<>+16(SB)/8, $1.0
+DATA c_one<>+24(SB)/8, $1.0
+GLOBL c_one<>(SB), RODATA|NOPTR, $32
+
+DATA c_two<>+0(SB)/8, $2.0
+DATA c_two<>+8(SB)/8, $2.0
+DATA c_two<>+16(SB)/8, $2.0
+DATA c_two<>+24(SB)/8, $2.0
+GLOBL c_two<>(SB), RODATA|NOPTR, $32
+
+DATA c_half<>+0(SB)/8, $0.5
+DATA c_half<>+8(SB)/8, $0.5
+DATA c_half<>+16(SB)/8, $0.5
+DATA c_half<>+24(SB)/8, $0.5
+GLOBL c_half<>(SB), RODATA|NOPTR, $32
+
+DATA c_three<>+0(SB)/8, $3.0
+DATA c_three<>+8(SB)/8, $3.0
+DATA c_three<>+16(SB)/8, $3.0
+DATA c_three<>+24(SB)/8, $3.0
+GLOBL c_three<>(SB), RODATA|NOPTR, $32
+
+DATA c_six<>+0(SB)/8, $6.0
+DATA c_six<>+8(SB)/8, $6.0
+DATA c_six<>+16(SB)/8, $6.0
+DATA c_six<>+24(SB)/8, $6.0
+GLOBL c_six<>(SB), RODATA|NOPTR, $32
+
+DATA c_negone<>+0(SB)/8, $-1.0
+DATA c_negone<>+8(SB)/8, $-1.0
+DATA c_negone<>+16(SB)/8, $-1.0
+DATA c_negone<>+24(SB)/8, $-1.0
+GLOBL c_negone<>(SB), RODATA|NOPTR, $32
+
+DATA c_negtwo<>+0(SB)/8, $-2.0
+DATA c_negtwo<>+8(SB)/8, $-2.0
+DATA c_negtwo<>+16(SB)/8, $-2.0
+DATA c_negtwo<>+24(SB)/8, $-2.0
+GLOBL c_negtwo<>(SB), RODATA|NOPTR, $32
+
+DATA c_inf<>+0(SB)/8, $0x7FF0000000000000
+DATA c_inf<>+8(SB)/8, $0x7FF0000000000000
+DATA c_inf<>+16(SB)/8, $0x7FF0000000000000
+DATA c_inf<>+24(SB)/8, $0x7FF0000000000000
+GLOBL c_inf<>(SB), RODATA|NOPTR, $32
+
+DATA c_neginf<>+0(SB)/8, $0xFFF0000000000000
+DATA c_neginf<>+8(SB)/8, $0xFFF0000000000000
+DATA c_neginf<>+16(SB)/8, $0xFFF0000000000000
+DATA c_neginf<>+24(SB)/8, $0xFFF0000000000000
+GLOBL c_neginf<>(SB), RODATA|NOPTR, $32
+
+DATA c_nan<>+0(SB)/8, $0x7FF8000000000001
+DATA c_nan<>+8(SB)/8, $0x7FF8000000000001
+DATA c_nan<>+16(SB)/8, $0x7FF8000000000001
+DATA c_nan<>+24(SB)/8, $0x7FF8000000000001
+GLOBL c_nan<>(SB), RODATA|NOPTR, $32
+
+DATA c_absmask<>+0(SB)/8, $0x7FFFFFFFFFFFFFFF
+DATA c_absmask<>+8(SB)/8, $0x7FFFFFFFFFFFFFFF
+DATA c_absmask<>+16(SB)/8, $0x7FFFFFFFFFFFFFFF
+DATA c_absmask<>+24(SB)/8, $0x7FFFFFFFFFFFFFFF
+GLOBL c_absmask<>(SB), RODATA|NOPTR, $32
+
+DATA c_signmask<>+0(SB)/8, $0x8000000000000000
+DATA c_signmask<>+8(SB)/8, $0x8000000000000000
+DATA c_signmask<>+16(SB)/8, $0x8000000000000000
+DATA c_signmask<>+24(SB)/8, $0x8000000000000000
+GLOBL c_signmask<>(SB), RODATA|NOPTR, $32
+
+// exp (and expm1's InvLn2, same bits as LOG2E)
+DATA c_log2e<>+0(SB)/8, $1.4426950408889634073599246810018920
+DATA c_log2e<>+8(SB)/8, $1.4426950408889634073599246810018920
+DATA c_log2e<>+16(SB)/8, $1.4426950408889634073599246810018920
+DATA c_log2e<>+24(SB)/8, $1.4426950408889634073599246810018920
+GLOBL c_log2e<>(SB), RODATA|NOPTR, $32
+
+DATA c_ln2u<>+0(SB)/8, $0.69314718055966295651160180568695068359375
+DATA c_ln2u<>+8(SB)/8, $0.69314718055966295651160180568695068359375
+DATA c_ln2u<>+16(SB)/8, $0.69314718055966295651160180568695068359375
+DATA c_ln2u<>+24(SB)/8, $0.69314718055966295651160180568695068359375
+GLOBL c_ln2u<>(SB), RODATA|NOPTR, $32
+
+DATA c_ln2l<>+0(SB)/8, $0.28235290563031577122588448175013436025525412068e-12
+DATA c_ln2l<>+8(SB)/8, $0.28235290563031577122588448175013436025525412068e-12
+DATA c_ln2l<>+16(SB)/8, $0.28235290563031577122588448175013436025525412068e-12
+DATA c_ln2l<>+24(SB)/8, $0.28235290563031577122588448175013436025525412068e-12
+GLOBL c_ln2l<>(SB), RODATA|NOPTR, $32
+
+DATA c_0625<>+0(SB)/8, $0.0625
+DATA c_0625<>+8(SB)/8, $0.0625
+DATA c_0625<>+16(SB)/8, $0.0625
+DATA c_0625<>+24(SB)/8, $0.0625
+GLOBL c_0625<>(SB), RODATA|NOPTR, $32
+
+DATA c_ec9<>+0(SB)/8, $2.4801587301587301587e-5
+DATA c_ec9<>+8(SB)/8, $2.4801587301587301587e-5
+DATA c_ec9<>+16(SB)/8, $2.4801587301587301587e-5
+DATA c_ec9<>+24(SB)/8, $2.4801587301587301587e-5
+GLOBL c_ec9<>(SB), RODATA|NOPTR, $32
+
+DATA c_ec8<>+0(SB)/8, $1.9841269841269841270e-4
+DATA c_ec8<>+8(SB)/8, $1.9841269841269841270e-4
+DATA c_ec8<>+16(SB)/8, $1.9841269841269841270e-4
+DATA c_ec8<>+24(SB)/8, $1.9841269841269841270e-4
+GLOBL c_ec8<>(SB), RODATA|NOPTR, $32
+
+DATA c_ec7<>+0(SB)/8, $1.3888888888888888889e-3
+DATA c_ec7<>+8(SB)/8, $1.3888888888888888889e-3
+DATA c_ec7<>+16(SB)/8, $1.3888888888888888889e-3
+DATA c_ec7<>+24(SB)/8, $1.3888888888888888889e-3
+GLOBL c_ec7<>(SB), RODATA|NOPTR, $32
+
+DATA c_ec6<>+0(SB)/8, $8.3333333333333333333e-3
+DATA c_ec6<>+8(SB)/8, $8.3333333333333333333e-3
+DATA c_ec6<>+16(SB)/8, $8.3333333333333333333e-3
+DATA c_ec6<>+24(SB)/8, $8.3333333333333333333e-3
+GLOBL c_ec6<>(SB), RODATA|NOPTR, $32
+
+DATA c_ec5<>+0(SB)/8, $4.1666666666666666667e-2
+DATA c_ec5<>+8(SB)/8, $4.1666666666666666667e-2
+DATA c_ec5<>+16(SB)/8, $4.1666666666666666667e-2
+DATA c_ec5<>+24(SB)/8, $4.1666666666666666667e-2
+GLOBL c_ec5<>(SB), RODATA|NOPTR, $32
+
+DATA c_ec4<>+0(SB)/8, $1.6666666666666666667e-1
+DATA c_ec4<>+8(SB)/8, $1.6666666666666666667e-1
+DATA c_ec4<>+16(SB)/8, $1.6666666666666666667e-1
+DATA c_ec4<>+24(SB)/8, $1.6666666666666666667e-1
+GLOBL c_ec4<>(SB), RODATA|NOPTR, $32
+
+DATA c_overflow<>+0(SB)/8, $7.09782712893384e+02
+DATA c_overflow<>+8(SB)/8, $7.09782712893384e+02
+DATA c_overflow<>+16(SB)/8, $7.09782712893384e+02
+DATA c_overflow<>+24(SB)/8, $7.09782712893384e+02
+GLOBL c_overflow<>(SB), RODATA|NOPTR, $32
+
+DATA c_qbias<>+0(SB)/8, $0x3FF
+DATA c_qbias<>+8(SB)/8, $0x3FF
+DATA c_qbias<>+16(SB)/8, $0x3FF
+DATA c_qbias<>+24(SB)/8, $0x3FF
+GLOBL c_qbias<>(SB), RODATA|NOPTR, $32
+
+DATA c_q3fe<>+0(SB)/8, $0x3FE
+DATA c_q3fe<>+8(SB)/8, $0x3FE
+DATA c_q3fe<>+16(SB)/8, $0x3FE
+DATA c_q3fe<>+24(SB)/8, $0x3FE
+GLOBL c_q3fe<>(SB), RODATA|NOPTR, $32
+
+DATA c_q7fe<>+0(SB)/8, $0x7FE
+DATA c_q7fe<>+8(SB)/8, $0x7FE
+DATA c_q7fe<>+16(SB)/8, $0x7FE
+DATA c_q7fe<>+24(SB)/8, $0x7FE
+GLOBL c_q7fe<>(SB), RODATA|NOPTR, $32
+
+DATA c_qneg52<>+0(SB)/8, $-52
+DATA c_qneg52<>+8(SB)/8, $-52
+DATA c_qneg52<>+16(SB)/8, $-52
+DATA c_qneg52<>+24(SB)/8, $-52
+GLOBL c_qneg52<>(SB), RODATA|NOPTR, $32
+
+DATA c_q7fef<>+0(SB)/8, $0x7FEFFFFFFFFFFFFF
+DATA c_q7fef<>+8(SB)/8, $0x7FEFFFFFFFFFFFFF
+DATA c_q7fef<>+16(SB)/8, $0x7FEFFFFFFFFFFFFF
+DATA c_q7fef<>+24(SB)/8, $0x7FEFFFFFFFFFFFFF
+GLOBL c_q7fef<>(SB), RODATA|NOPTR, $32
+
+// 2^-1022 (bits 1<<52), the final denormal scale step
+DATA c_2m1022<>+0(SB)/8, $0x0010000000000000
+DATA c_2m1022<>+8(SB)/8, $0x0010000000000000
+DATA c_2m1022<>+16(SB)/8, $0x0010000000000000
+DATA c_2m1022<>+24(SB)/8, $0x0010000000000000
+GLOBL c_2m1022<>(SB), RODATA|NOPTR, $32
+
+// ---- EXP_M: Y0 = exp(Y0), port of math.Exp's avxfma path ----
+// Clobbers Y0-Y9.
+
+#define EXP_M \
+	VMOVAPD Y0, Y2                           \ // Y2 = x (original, for specials)
+	VMULPD  c_log2e<>(SB), Y0, Y1            \
+	VCVTPD2DQY Y1, X3                        \ // k32 = round-nearest(LOG2E*x)
+	VCVTDQ2PD X3, Y1                         \ // kd
+	VPMOVSXDQ X3, Y3                         \ // k64
+	VFNMADD231PD c_ln2u<>(SB), Y1, Y0        \ // t = x - kd*LN2U
+	VFNMADD231PD c_ln2l<>(SB), Y1, Y0        \ // t -= kd*LN2L
+	VMULPD  c_0625<>(SB), Y0, Y0             \ // t *= 0.0625
+	VMOVUPD c_ec9<>(SB), Y4                  \
+	VFMADD213PD c_ec8<>(SB), Y0, Y4          \ // Taylor: acc = acc*t + C
+	VFMADD213PD c_ec7<>(SB), Y0, Y4          \
+	VFMADD213PD c_ec6<>(SB), Y0, Y4          \
+	VFMADD213PD c_ec5<>(SB), Y0, Y4          \
+	VFMADD213PD c_ec4<>(SB), Y0, Y4          \
+	VFMADD213PD c_half<>(SB), Y0, Y4         \
+	VFMADD213PD c_one<>(SB), Y0, Y4          \
+	VMULPD  Y4, Y0, Y0                       \ // t *= acc
+	VADDPD  c_two<>(SB), Y0, Y4              \ // square up: (t+2)*t, 4 times
+	VMULPD  Y4, Y0, Y0                       \
+	VADDPD  c_two<>(SB), Y0, Y4              \
+	VMULPD  Y4, Y0, Y0                       \
+	VADDPD  c_two<>(SB), Y0, Y4              \
+	VMULPD  Y4, Y0, Y0                       \
+	VADDPD  c_two<>(SB), Y0, Y4              \
+	VFMADD213PD c_one<>(SB), Y4, Y0          \ // t = t*(t+2) + 1
+	VPADDQ  c_qbias<>(SB), Y3, Y5            \ // biased = k + 0x3FF
+	VPSLLQ  $52, Y5, Y6                      \
+	VMULPD  Y6, Y0, Y6                       \ // r_norm = t * 2^k
+	VPADDQ  c_q3fe<>(SB), Y5, Y7             \ // denormal: scale by 2^(k+1022)...
+	VPSLLQ  $52, Y7, Y7                      \
+	VMULPD  Y7, Y0, Y7                       \
+	VMULPD  c_2m1022<>(SB), Y7, Y7           \ // ...then by 2^-1022
+	VPXOR   Y8, Y8, Y8                       \
+	VPCMPGTQ Y8, Y5, Y8                      \ // m_pos = biased > 0
+	VMOVUPD c_qneg52<>(SB), Y9               \
+	VPCMPGTQ Y5, Y9, Y9                      \ // m_uf = biased < -52
+	VANDNPD Y7, Y9, Y7                       \ // r_den = 0 where m_uf
+	VBLENDVPD Y8, Y6, Y7, Y0                 \ // r = m_pos ? r_norm : r_den
+	VPCMPGTQ c_q7fe<>(SB), Y5, Y6            \ // m_ovf = biased > 0x7FE
+	VBLENDVPD Y6, c_inf<>(SB), Y0, Y0        \
+	VCMPPD  $0x0E, c_overflow<>(SB), Y2, Y6  \ // m = x > Overflow (GT_OS)
+	VBLENDVPD Y6, c_inf<>(SB), Y0, Y0        \
+	VANDPD  c_absmask<>(SB), Y2, Y6          \
+	VPCMPGTQ c_q7fef<>(SB), Y6, Y6           \ // m_nf = |x| is Inf or NaN
+	VBLENDVPD Y6, Y2, Y0, Y0                 \
+	VPCMPEQQ c_neginf<>(SB), Y2, Y6          \ // exp(-Inf) = +0
+	VANDNPD Y0, Y6, Y0
+
+// func expAsm(dst, x *float64, n int)
+TEXT ·expAsm(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ x+8(FP), SI
+	MOVQ n+16(FP), CX
+	SHRQ $2, CX
+	JZ   expdone
+exploop:
+	VMOVUPD (SI), Y0
+	EXP_M
+	VMOVUPD Y0, (DI)
+	ADDQ $32, SI
+	ADDQ $32, DI
+	DECQ CX
+	JNZ  exploop
+expdone:
+	VZEROUPPER
+	RET
+
+// func decodeLogAsm(dst, u *float64, n int, lnRatio, lo float64)
+// dst[i] = lo * exp(clamp01(u[i]) * lnRatio)
+TEXT ·decodeLogAsm(SB), NOSPLIT, $0-40
+	MOVQ dst+0(FP), DI
+	MOVQ u+8(FP), SI
+	MOVQ n+16(FP), CX
+	VBROADCASTSD lnRatio+24(FP), Y14
+	VBROADCASTSD lo+32(FP), Y15
+	SHRQ $2, CX
+	JZ   dldone
+dlloop:
+	VMOVUPD (SI), Y0
+	VXORPD  Y1, Y1, Y1
+	VMAXPD  Y0, Y1, Y0          // u<0 -> 0 (NaN and -0 pass through)
+	VMOVUPD c_one<>(SB), Y2
+	VMINPD  Y0, Y2, Y0          // u>1 -> 1
+	VMULPD  Y14, Y0, Y0         // x = u * lnRatio
+	EXP_M
+	VMULPD  Y0, Y15, Y0         // lo * exp(...)
+	VMOVUPD Y0, (DI)
+	ADDQ $32, SI
+	ADDQ $32, DI
+	DECQ CX
+	JNZ  dlloop
+dldone:
+	VZEROUPPER
+	RET
+
+// ---- log constants ----
+
+DATA c_hsqrt2<>+0(SB)/8, $7.07106781186547524401e-01
+DATA c_hsqrt2<>+8(SB)/8, $7.07106781186547524401e-01
+DATA c_hsqrt2<>+16(SB)/8, $7.07106781186547524401e-01
+DATA c_hsqrt2<>+24(SB)/8, $7.07106781186547524401e-01
+GLOBL c_hsqrt2<>(SB), RODATA|NOPTR, $32
+
+DATA c_ln2hi<>+0(SB)/8, $6.93147180369123816490e-01
+DATA c_ln2hi<>+8(SB)/8, $6.93147180369123816490e-01
+DATA c_ln2hi<>+16(SB)/8, $6.93147180369123816490e-01
+DATA c_ln2hi<>+24(SB)/8, $6.93147180369123816490e-01
+GLOBL c_ln2hi<>(SB), RODATA|NOPTR, $32
+
+DATA c_ln2lo<>+0(SB)/8, $1.90821492927058770002e-10
+DATA c_ln2lo<>+8(SB)/8, $1.90821492927058770002e-10
+DATA c_ln2lo<>+16(SB)/8, $1.90821492927058770002e-10
+DATA c_ln2lo<>+24(SB)/8, $1.90821492927058770002e-10
+GLOBL c_ln2lo<>(SB), RODATA|NOPTR, $32
+
+DATA c_l1<>+0(SB)/8, $6.666666666666735130e-01
+DATA c_l1<>+8(SB)/8, $6.666666666666735130e-01
+DATA c_l1<>+16(SB)/8, $6.666666666666735130e-01
+DATA c_l1<>+24(SB)/8, $6.666666666666735130e-01
+GLOBL c_l1<>(SB), RODATA|NOPTR, $32
+
+DATA c_l2<>+0(SB)/8, $3.999999999940941908e-01
+DATA c_l2<>+8(SB)/8, $3.999999999940941908e-01
+DATA c_l2<>+16(SB)/8, $3.999999999940941908e-01
+DATA c_l2<>+24(SB)/8, $3.999999999940941908e-01
+GLOBL c_l2<>(SB), RODATA|NOPTR, $32
+
+DATA c_l3<>+0(SB)/8, $2.857142874366239149e-01
+DATA c_l3<>+8(SB)/8, $2.857142874366239149e-01
+DATA c_l3<>+16(SB)/8, $2.857142874366239149e-01
+DATA c_l3<>+24(SB)/8, $2.857142874366239149e-01
+GLOBL c_l3<>(SB), RODATA|NOPTR, $32
+
+DATA c_l4<>+0(SB)/8, $2.222219843214978396e-01
+DATA c_l4<>+8(SB)/8, $2.222219843214978396e-01
+DATA c_l4<>+16(SB)/8, $2.222219843214978396e-01
+DATA c_l4<>+24(SB)/8, $2.222219843214978396e-01
+GLOBL c_l4<>(SB), RODATA|NOPTR, $32
+
+DATA c_l5<>+0(SB)/8, $1.818357216161805012e-01
+DATA c_l5<>+8(SB)/8, $1.818357216161805012e-01
+DATA c_l5<>+16(SB)/8, $1.818357216161805012e-01
+DATA c_l5<>+24(SB)/8, $1.818357216161805012e-01
+GLOBL c_l5<>(SB), RODATA|NOPTR, $32
+
+DATA c_l6<>+0(SB)/8, $1.531383769920937332e-01
+DATA c_l6<>+8(SB)/8, $1.531383769920937332e-01
+DATA c_l6<>+16(SB)/8, $1.531383769920937332e-01
+DATA c_l6<>+24(SB)/8, $1.531383769920937332e-01
+GLOBL c_l6<>(SB), RODATA|NOPTR, $32
+
+DATA c_l7<>+0(SB)/8, $1.479819860511658591e-01
+DATA c_l7<>+8(SB)/8, $1.479819860511658591e-01
+DATA c_l7<>+16(SB)/8, $1.479819860511658591e-01
+DATA c_l7<>+24(SB)/8, $1.479819860511658591e-01
+GLOBL c_l7<>(SB), RODATA|NOPTR, $32
+
+DATA c_mantmask<>+0(SB)/8, $0x000FFFFFFFFFFFFF
+DATA c_mantmask<>+8(SB)/8, $0x000FFFFFFFFFFFFF
+DATA c_mantmask<>+16(SB)/8, $0x000FFFFFFFFFFFFF
+DATA c_mantmask<>+24(SB)/8, $0x000FFFFFFFFFFFFF
+GLOBL c_mantmask<>(SB), RODATA|NOPTR, $32
+
+DATA c_q7ff<>+0(SB)/8, $0x7FF
+DATA c_q7ff<>+8(SB)/8, $0x7FF
+DATA c_q7ff<>+16(SB)/8, $0x7FF
+DATA c_q7ff<>+24(SB)/8, $0x7FF
+GLOBL c_q7ff<>(SB), RODATA|NOPTR, $32
+
+// dword permutation picking the low dword of each qword lane
+DATA c_permidx<>+0(SB)/4, $0
+DATA c_permidx<>+4(SB)/4, $2
+DATA c_permidx<>+8(SB)/4, $4
+DATA c_permidx<>+12(SB)/4, $6
+DATA c_permidx<>+16(SB)/4, $0
+DATA c_permidx<>+20(SB)/4, $0
+DATA c_permidx<>+24(SB)/4, $0
+DATA c_permidx<>+28(SB)/4, $0
+GLOBL c_permidx<>(SB), RODATA|NOPTR, $32
+
+// ---- LOG_M: Y0 = log(Y0), port of math.Log's amd64 assembly ----
+// Clobbers Y0-Y9.
+
+#define LOG_M \
+	VMOVAPD Y0, Y2                      \ // x (original, for specials)
+	VANDPD  c_mantmask<>(SB), Y0, Y1    \
+	VORPD   c_half<>(SB), Y1, Y1        \ // f1 = mant | 0.5 -> [0.5, 1)
+	VPSRLQ  $52, Y0, Y3                 \
+	VPAND   c_q7ff<>(SB), Y3, Y3        \
+	VPSUBQ  c_q3fe<>(SB), Y3, Y3        \ // k64 = exponent - 0x3FE
+	VMOVDQU c_permidx<>(SB), Y4         \
+	VPERMD  Y3, Y4, Y4                  \
+	VCVTDQ2PD X4, Y4                    \ // kd
+	VCMPPD  $0x02, c_hsqrt2<>(SB), Y1, Y5 \ // m = f1 <= sqrt(2)/2
+	VANDPD  c_one<>(SB), Y5, Y6         \ // 1 where m
+	VSUBPD  Y6, Y4, Y4                  \ // k -= 1 where m
+	VADDPD  c_one<>(SB), Y6, Y6         \ // 2 where m, else 1
+	VMULPD  Y6, Y1, Y1                  \ // f1 *= 2 where m
+	VSUBPD  c_one<>(SB), Y1, Y1         \ // f = f1 - 1
+	VADDPD  c_two<>(SB), Y1, Y3         \
+	VDIVPD  Y3, Y1, Y5                  \ // s = f / (2+f)
+	VMULPD  Y5, Y5, Y6                  \ // s2
+	VMULPD  Y6, Y6, Y7                  \ // s4
+	VMOVUPD c_l7<>(SB), Y8              \
+	VMULPD  Y7, Y8, Y8                  \
+	VADDPD  c_l5<>(SB), Y8, Y8          \
+	VMULPD  Y7, Y8, Y8                  \
+	VADDPD  c_l3<>(SB), Y8, Y8          \
+	VMULPD  Y7, Y8, Y8                  \
+	VADDPD  c_l1<>(SB), Y8, Y8          \
+	VMULPD  Y8, Y6, Y6                  \ // t1 = s2*(L1+s4*(L3+s4*(L5+s4*L7)))
+	VMOVUPD c_l6<>(SB), Y8              \
+	VMULPD  Y7, Y8, Y8                  \
+	VADDPD  c_l4<>(SB), Y8, Y8          \
+	VMULPD  Y7, Y8, Y8                  \
+	VADDPD  c_l2<>(SB), Y8, Y8          \
+	VMULPD  Y8, Y7, Y7                  \ // t2 = s4*(L2+s4*(L4+s4*L6))
+	VADDPD  Y7, Y6, Y6                  \ // R = t1 + t2
+	VMOVUPD c_half<>(SB), Y7            \
+	VMULPD  Y1, Y7, Y7                  \
+	VMULPD  Y1, Y7, Y7                  \ // hfsq = 0.5*f*f
+	VADDPD  Y7, Y6, Y6                  \ // hfsq + R
+	VMULPD  Y6, Y5, Y5                  \ // s*(hfsq+R)
+	VMULPD  c_ln2lo<>(SB), Y4, Y6       \
+	VADDPD  Y6, Y5, Y5                  \ // + k*Ln2Lo
+	VSUBPD  Y5, Y7, Y7                  \ // hfsq - (...)
+	VSUBPD  Y1, Y7, Y7                  \ // ... - f
+	VMULPD  c_ln2hi<>(SB), Y4, Y4       \
+	VSUBPD  Y7, Y4, Y0                  \ // k*Ln2Hi - (...)
+	VPCMPGTQ c_q7fef<>(SB), Y2, Y6      \ // m_infnan (positive bits > maxfinite)
+	VBLENDVPD Y6, Y2, Y0, Y0            \
+	VPXOR   Y6, Y6, Y6                  \
+	VPCMPGTQ Y2, Y6, Y6                 \ // m_neg = bits < 0 (sign set)
+	VBLENDVPD Y6, c_nan<>(SB), Y0, Y0   \
+	VANDPD  c_absmask<>(SB), Y2, Y6     \
+	VPXOR   Y7, Y7, Y7                  \
+	VPCMPEQQ Y7, Y6, Y6                 \ // m_zero = |x| == 0
+	VBLENDVPD Y6, c_neginf<>(SB), Y0, Y0
+
+// func logAsm(dst, x *float64, n int)
+TEXT ·logAsm(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ x+8(FP), SI
+	MOVQ n+16(FP), CX
+	SHRQ $2, CX
+	JZ   logdone
+logloop:
+	VMOVUPD (SI), Y0
+	LOG_M
+	VMOVUPD Y0, (DI)
+	ADDQ $32, SI
+	ADDQ $32, DI
+	DECQ CX
+	JNZ  logloop
+logdone:
+	VZEROUPPER
+	RET
+
+// ---- expm1 constants ----
+
+DATA c_othresh<>+0(SB)/8, $7.09782712893383973096e+02
+DATA c_othresh<>+8(SB)/8, $7.09782712893383973096e+02
+DATA c_othresh<>+16(SB)/8, $7.09782712893383973096e+02
+DATA c_othresh<>+24(SB)/8, $7.09782712893383973096e+02
+GLOBL c_othresh<>(SB), RODATA|NOPTR, $32
+
+DATA c_negln2x56<>+0(SB)/8, $-3.88162421113569373274e+01
+DATA c_negln2x56<>+8(SB)/8, $-3.88162421113569373274e+01
+DATA c_negln2x56<>+16(SB)/8, $-3.88162421113569373274e+01
+DATA c_negln2x56<>+24(SB)/8, $-3.88162421113569373274e+01
+GLOBL c_negln2x56<>(SB), RODATA|NOPTR, $32
+
+DATA c_ln2halfx3<>+0(SB)/8, $1.03972077083991796413e+00
+DATA c_ln2halfx3<>+8(SB)/8, $1.03972077083991796413e+00
+DATA c_ln2halfx3<>+16(SB)/8, $1.03972077083991796413e+00
+DATA c_ln2halfx3<>+24(SB)/8, $1.03972077083991796413e+00
+GLOBL c_ln2halfx3<>(SB), RODATA|NOPTR, $32
+
+DATA c_ln2half<>+0(SB)/8, $3.46573590279972654709e-01
+DATA c_ln2half<>+8(SB)/8, $3.46573590279972654709e-01
+DATA c_ln2half<>+16(SB)/8, $3.46573590279972654709e-01
+DATA c_ln2half<>+24(SB)/8, $3.46573590279972654709e-01
+GLOBL c_ln2half<>(SB), RODATA|NOPTR, $32
+
+DATA c_tiny<>+0(SB)/8, $0x3C90000000000000
+DATA c_tiny<>+8(SB)/8, $0x3C90000000000000
+DATA c_tiny<>+16(SB)/8, $0x3C90000000000000
+DATA c_tiny<>+24(SB)/8, $0x3C90000000000000
+GLOBL c_tiny<>(SB), RODATA|NOPTR, $32
+
+DATA c_q1<>+0(SB)/8, $-3.33333333333331316428e-02
+DATA c_q1<>+8(SB)/8, $-3.33333333333331316428e-02
+DATA c_q1<>+16(SB)/8, $-3.33333333333331316428e-02
+DATA c_q1<>+24(SB)/8, $-3.33333333333331316428e-02
+GLOBL c_q1<>(SB), RODATA|NOPTR, $32
+
+DATA c_q2<>+0(SB)/8, $1.58730158725481460165e-03
+DATA c_q2<>+8(SB)/8, $1.58730158725481460165e-03
+DATA c_q2<>+16(SB)/8, $1.58730158725481460165e-03
+DATA c_q2<>+24(SB)/8, $1.58730158725481460165e-03
+GLOBL c_q2<>(SB), RODATA|NOPTR, $32
+
+DATA c_q3<>+0(SB)/8, $-7.93650757867487942473e-05
+DATA c_q3<>+8(SB)/8, $-7.93650757867487942473e-05
+DATA c_q3<>+16(SB)/8, $-7.93650757867487942473e-05
+DATA c_q3<>+24(SB)/8, $-7.93650757867487942473e-05
+GLOBL c_q3<>(SB), RODATA|NOPTR, $32
+
+DATA c_q4<>+0(SB)/8, $4.00821782732936239552e-06
+DATA c_q4<>+8(SB)/8, $4.00821782732936239552e-06
+DATA c_q4<>+16(SB)/8, $4.00821782732936239552e-06
+DATA c_q4<>+24(SB)/8, $4.00821782732936239552e-06
+GLOBL c_q4<>(SB), RODATA|NOPTR, $32
+
+DATA c_q5<>+0(SB)/8, $-2.01099218183624371326e-07
+DATA c_q5<>+8(SB)/8, $-2.01099218183624371326e-07
+DATA c_q5<>+16(SB)/8, $-2.01099218183624371326e-07
+DATA c_q5<>+24(SB)/8, $-2.01099218183624371326e-07
+GLOBL c_q5<>(SB), RODATA|NOPTR, $32
+
+DATA c_negq25<>+0(SB)/8, $-0.25
+DATA c_negq25<>+8(SB)/8, $-0.25
+DATA c_negq25<>+16(SB)/8, $-0.25
+DATA c_negq25<>+24(SB)/8, $-0.25
+GLOBL c_negq25<>(SB), RODATA|NOPTR, $32
+
+DATA c_p53<>+0(SB)/8, $0x20000000000000
+DATA c_p53<>+8(SB)/8, $0x20000000000000
+DATA c_p53<>+16(SB)/8, $0x20000000000000
+DATA c_p53<>+24(SB)/8, $0x20000000000000
+GLOBL c_p53<>(SB), RODATA|NOPTR, $32
+
+DATA c_c56<>+0(SB)/8, $56.0
+DATA c_c56<>+8(SB)/8, $56.0
+DATA c_c56<>+16(SB)/8, $56.0
+DATA c_c56<>+24(SB)/8, $56.0
+GLOBL c_c56<>(SB), RODATA|NOPTR, $32
+
+DATA c_c20<>+0(SB)/8, $20.0
+DATA c_c20<>+8(SB)/8, $20.0
+DATA c_c20<>+16(SB)/8, $20.0
+DATA c_c20<>+24(SB)/8, $20.0
+GLOBL c_c20<>(SB), RODATA|NOPTR, $32
+
+// ---- EXPM1_M: Y0 = expm1(Y0), port of the pure-Go math.expm1 ----
+// (gc compiles it without FMA on amd64, so mul/add stay separate here).
+// Clobbers Y0-Y12.
+
+#define EXPM1_M \
+	VMOVAPD Y0, Y2                           \ // x
+	VANDPD  c_absmask<>(SB), Y0, Y3          \ // absx
+	VCMPPD  $0x0E, c_ln2half<>(SB), Y3, Y4   \ // m_red = absx > 0.5*ln2
+	VCMPPD  $0x01, c_ln2halfx3<>(SB), Y3, Y5 \
+	VANDPD  Y4, Y5, Y5                       \ // m_mid = red && absx < 1.5*ln2
+	VANDNPD Y4, Y5, Y6                       \ // m_bigk = red &^ mid
+	VANDPD  c_signmask<>(SB), Y2, Y7         \
+	VMOVUPD c_one<>(SB), Y8                  \
+	VORPD   Y7, Y8, Y8                       \ // copysign(1, x)
+	VANDPD  Y5, Y8, Y8                       \ // t = +-1 on mid, else 0
+	VMULPD  c_log2e<>(SB), Y0, Y9            \ // InvLn2*x
+	VMOVUPD c_half<>(SB), Y10                \
+	VORPD   Y7, Y10, Y10                     \ // copysign(0.5, x)
+	VADDPD  Y10, Y9, Y9                      \
+	VCVTTPD2DQY Y9, X9                       \ // k = int(InvLn2*x +- 0.5)
+	VCVTDQ2PD X9, Y9                         \
+	VBLENDVPD Y6, Y9, Y8, Y8                 \ // t = k on bigk lanes
+	VCVTTPD2DQY Y8, X9                       \
+	VPMOVSXDQ X9, Y9                         \ // k64 (t is exactly integral)
+	VMULPD  c_ln2hi<>(SB), Y8, Y10           \
+	VSUBPD  Y10, Y0, Y10                     \ // hi = x - t*Ln2Hi
+	VMULPD  c_ln2lo<>(SB), Y8, Y11           \ // lo = t*Ln2Lo
+	VSUBPD  Y11, Y10, Y0                     \ // x' = hi - lo
+	VSUBPD  Y0, Y10, Y10                     \
+	VSUBPD  Y11, Y10, Y10                    \ // c = (hi - x') - lo
+	VCMPPD  $0x01, c_tiny<>(SB), Y3, Y11     \
+	VANDNPD Y11, Y4, Y11                     \ // m_tiny = ~red && absx < 2^-54
+	VMULPD  c_half<>(SB), Y0, Y12            \ // hfx
+	VMULPD  Y12, Y0, Y1                      \ // hxs = x'*hfx
+	VMOVUPD c_q5<>(SB), Y4                   \
+	VMULPD  Y1, Y4, Y4                       \
+	VADDPD  c_q4<>(SB), Y4, Y4               \
+	VMULPD  Y1, Y4, Y4                       \
+	VADDPD  c_q3<>(SB), Y4, Y4               \
+	VMULPD  Y1, Y4, Y4                       \
+	VADDPD  c_q2<>(SB), Y4, Y4               \
+	VMULPD  Y1, Y4, Y4                       \
+	VADDPD  c_q1<>(SB), Y4, Y4               \
+	VMULPD  Y4, Y1, Y4                       \
+	VADDPD  c_one<>(SB), Y4, Y4              \ // r1
+	VMULPD  Y12, Y4, Y5                      \
+	VMOVUPD c_three<>(SB), Y6                \
+	VSUBPD  Y5, Y6, Y5                       \ // tt = 3 - r1*hfx
+	VSUBPD  Y5, Y4, Y6                       \ // r1 - tt
+	VMULPD  Y5, Y0, Y7                       \
+	VMOVUPD c_six<>(SB), Y12                 \
+	VSUBPD  Y7, Y12, Y7                      \ // 6 - x'*tt
+	VDIVPD  Y7, Y6, Y6                       \
+	VMULPD  Y6, Y1, Y6                       \ // e = hxs*((r1-tt)/(6-x'*tt))
+	VMULPD  Y6, Y0, Y7                       \
+	VSUBPD  Y1, Y7, Y7                       \
+	VSUBPD  Y7, Y0, Y7                       \ // res_k0 = x' - (x'*e - hxs)
+	VSUBPD  Y10, Y6, Y6                      \
+	VMULPD  Y6, Y0, Y6                       \
+	VSUBPD  Y10, Y6, Y6                      \
+	VSUBPD  Y1, Y6, Y6                       \ // e2 = (x'*(e-c) - c) - hxs
+	VSUBPD  Y6, Y0, Y1                       \ // x' - e2
+	VMULPD  c_half<>(SB), Y1, Y1             \
+	VSUBPD  c_half<>(SB), Y1, Y1             \ // res_km1 = 0.5*(x'-e2) - 0.5
+	VCMPPD  $0x00, c_negone<>(SB), Y8, Y4    \ // k == -1
+	VBLENDVPD Y4, Y1, Y7, Y7                 \
+	VADDPD  c_half<>(SB), Y0, Y1             \
+	VSUBPD  Y1, Y6, Y1                       \ // e2 - (x'+0.5)
+	VMULPD  c_negtwo<>(SB), Y1, Y1           \ // -2*(...)
+	VSUBPD  Y6, Y0, Y4                       \
+	VMULPD  c_two<>(SB), Y4, Y4              \
+	VADDPD  c_one<>(SB), Y4, Y4              \ // 1 + 2*(x'-e2)
+	VCMPPD  $0x01, c_negq25<>(SB), Y0, Y5    \ // x' < -0.25
+	VBLENDVPD Y5, Y1, Y4, Y1                 \ // res_k1
+	VCMPPD  $0x00, c_one<>(SB), Y8, Y4       \ // k == 1
+	VBLENDVPD Y4, Y1, Y7, Y7                 \
+	VPSLLQ  $52, Y9, Y4                      \ // k<<52 (wraps like uint64(k)<<52)
+	VSUBPD  Y0, Y6, Y5                       \ // e2 - x'
+	VMOVUPD c_one<>(SB), Y12                 \
+	VSUBPD  Y5, Y12, Y10                     \ // y = 1 - (e2-x')
+	VPADDQ  Y4, Y10, Y10                     \ // scale by 2^k via exponent add
+	VSUBPD  Y12, Y10, Y10                    \ // y - 1
+	VCMPPD  $0x02, c_negtwo<>(SB), Y8, Y12   \ // k <= -2
+	VCMPPD  $0x0E, c_c56<>(SB), Y8, Y1       \ // k > 56
+	VORPD   Y1, Y12, Y12                     \
+	VBLENDVPD Y12, Y10, Y7, Y7               \
+	VMOVDQU c_p53<>(SB), Y10                 \
+	VPSRLVQ Y9, Y10, Y10                     \ // 1<<53 >> k
+	VMOVDQU c_one<>(SB), Y12                 \
+	VPSUBQ  Y10, Y12, Y10                    \ // tt = 1 - 2^-k (bits)
+	VSUBPD  Y5, Y10, Y10                     \ // tt - (e2-x')
+	VPADDQ  Y4, Y10, Y10                     \
+	VCMPPD  $0x0D, c_two<>(SB), Y8, Y12      \ // k >= 2
+	VCMPPD  $0x01, c_c20<>(SB), Y8, Y1       \ // k < 20
+	VANDPD  Y1, Y12, Y12                     \
+	VBLENDVPD Y12, Y10, Y7, Y7               \
+	VMOVDQU c_qbias<>(SB), Y10               \
+	VPSUBQ  Y9, Y10, Y10                     \
+	VPSLLQ  $52, Y10, Y10                    \ // tt = 2^-k
+	VADDPD  Y10, Y6, Y10                     \ // e2 + tt
+	VSUBPD  Y10, Y0, Y10                     \ // x' - (e2+tt)
+	VADDPD  c_one<>(SB), Y10, Y10            \ // y++
+	VPADDQ  Y4, Y10, Y10                     \
+	VCMPPD  $0x0D, c_c20<>(SB), Y8, Y12      \ // k >= 20
+	VCMPPD  $0x02, c_c56<>(SB), Y8, Y1       \ // k <= 56
+	VANDPD  Y1, Y12, Y12                     \
+	VBLENDVPD Y12, Y10, Y7, Y7               \
+	VBLENDVPD Y11, Y2, Y7, Y7                \ // tiny: x
+	VCMPPD  $0x02, c_negln2x56<>(SB), Y2, Y12 \ // x <= -56*ln2 -> -1
+	VBLENDVPD Y12, c_negone<>(SB), Y7, Y7    \
+	VCMPPD  $0x0D, c_othresh<>(SB), Y2, Y12  \ // x >= Othreshold -> +Inf
+	VBLENDVPD Y12, c_inf<>(SB), Y7, Y7       \
+	VCMPPD  $0x00, c_neginf<>(SB), Y2, Y12   \ // -Inf -> -1
+	VBLENDVPD Y12, c_negone<>(SB), Y7, Y7    \
+	VCMPPD  $0x03, Y2, Y2, Y12               \ // NaN
+	VCMPPD  $0x00, c_inf<>(SB), Y2, Y1       \ // +Inf
+	VORPD   Y1, Y12, Y12                     \
+	VBLENDVPD Y12, Y2, Y7, Y7                \ // return x
+	VMOVAPD Y7, Y0
+
+// func expm1Asm(dst, x *float64, n int)
+TEXT ·expm1Asm(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ x+8(FP), SI
+	MOVQ n+16(FP), CX
+	SHRQ $2, CX
+	JZ   em1done
+em1loop:
+	VMOVUPD (SI), Y0
+	EXPM1_M
+	VMOVUPD Y0, (DI)
+	ADDQ $32, SI
+	ADDQ $32, DI
+	DECQ CX
+	JNZ  em1loop
+em1done:
+	VZEROUPPER
+	RET
+
+// ---- log1p constants ----
+
+DATA c_sqrt2m1<>+0(SB)/8, $4.142135623730950488017e-01
+DATA c_sqrt2m1<>+8(SB)/8, $4.142135623730950488017e-01
+DATA c_sqrt2m1<>+16(SB)/8, $4.142135623730950488017e-01
+DATA c_sqrt2m1<>+24(SB)/8, $4.142135623730950488017e-01
+GLOBL c_sqrt2m1<>(SB), RODATA|NOPTR, $32
+
+DATA c_sqrt2halfm1<>+0(SB)/8, $-2.928932188134524755992e-01
+DATA c_sqrt2halfm1<>+8(SB)/8, $-2.928932188134524755992e-01
+DATA c_sqrt2halfm1<>+16(SB)/8, $-2.928932188134524755992e-01
+DATA c_sqrt2halfm1<>+24(SB)/8, $-2.928932188134524755992e-01
+GLOBL c_sqrt2halfm1<>(SB), RODATA|NOPTR, $32
+
+DATA c_small<>+0(SB)/8, $0x3E20000000000000
+DATA c_small<>+8(SB)/8, $0x3E20000000000000
+DATA c_small<>+16(SB)/8, $0x3E20000000000000
+DATA c_small<>+24(SB)/8, $0x3E20000000000000
+GLOBL c_small<>(SB), RODATA|NOPTR, $32
+
+DATA c_two53<>+0(SB)/8, $0x4340000000000000
+DATA c_two53<>+8(SB)/8, $0x4340000000000000
+DATA c_two53<>+16(SB)/8, $0x4340000000000000
+DATA c_two53<>+24(SB)/8, $0x4340000000000000
+GLOBL c_two53<>(SB), RODATA|NOPTR, $32
+
+DATA c_sqrt2mantm1<>+0(SB)/8, $0x0006a09e667f3bcc
+DATA c_sqrt2mantm1<>+8(SB)/8, $0x0006a09e667f3bcc
+DATA c_sqrt2mantm1<>+16(SB)/8, $0x0006a09e667f3bcc
+DATA c_sqrt2mantm1<>+24(SB)/8, $0x0006a09e667f3bcc
+GLOBL c_sqrt2mantm1<>(SB), RODATA|NOPTR, $32
+
+DATA c_c23<>+0(SB)/8, $0.66666666666666666
+DATA c_c23<>+8(SB)/8, $0.66666666666666666
+DATA c_c23<>+16(SB)/8, $0.66666666666666666
+DATA c_c23<>+24(SB)/8, $0.66666666666666666
+GLOBL c_c23<>(SB), RODATA|NOPTR, $32
+
+// ---- LOG1P_M: Y0 = log1p(Y0), port of the pure-Go math.log1p ----
+// Clobbers Y0-Y12.
+
+#define LOG1P_M \
+	VMOVAPD Y0, Y2                             \ // x
+	VANDPD  c_absmask<>(SB), Y0, Y3            \ // absx
+	VCMPPD  $0x0D, c_two53<>(SB), Y3, Y4       \ // m_big = absx >= 2^53
+	VADDPD  c_one<>(SB), Y0, Y5                \
+	VBLENDVPD Y4, Y2, Y5, Y5                   \ // u = x on big lanes, else 1+x
+	VPSRLQ  $52, Y5, Y6                        \
+	VPSUBQ  c_qbias<>(SB), Y6, Y6              \ // k64 = exponent - 1023
+	VPXOR   Y7, Y7, Y7                         \ // zero (kept live for ==0 tests)
+	VPCMPGTQ Y7, Y6, Y8                        \ // m_kpos = k64 > 0
+	VSUBPD  Y2, Y5, Y9                         \ // u - x
+	VMOVUPD c_one<>(SB), Y10                   \
+	VSUBPD  Y9, Y10, Y9                        \ // 1 - (u-x)
+	VSUBPD  Y10, Y5, Y11                       \ // u - 1
+	VSUBPD  Y11, Y2, Y11                       \ // x - (u-1)
+	VBLENDVPD Y8, Y9, Y11, Y9                  \
+	VDIVPD  Y5, Y9, Y9                         \ // c = (k>0 ? 1-(u-x) : x-(u-1)) / u
+	VANDNPD Y9, Y4, Y9                         \ // c = 0 on big lanes
+	VPAND   c_mantmask<>(SB), Y5, Y5           \ // M = mantissa bits of u
+	VPCMPGTQ c_sqrt2mantm1<>(SB), Y5, Y10      \ // m_hi = M >= mantissa(sqrt2)
+	VPSUBQ  Y10, Y6, Y6                        \ // k++ on hi lanes
+	VPOR    c_one<>(SB), Y5, Y11               \ // normalize u
+	VPOR    c_half<>(SB), Y5, Y12              \ // normalize u/2
+	VBLENDVPD Y10, Y12, Y11, Y11               \ // u'
+	VMOVDQU c_2m1022<>(SB), Y12                \ // 1<<52
+	VPSUBQ  Y5, Y12, Y12                       \
+	VPSRLQ  $2, Y12, Y12                       \ // (1<<52 - M) >> 2
+	VBLENDVPD Y10, Y12, Y5, Y5                 \ // iu'
+	VSUBPD  c_one<>(SB), Y11, Y11              \ // f = u' - 1
+	VCMPPD  $0x01, c_sqrt2m1<>(SB), Y3, Y8     \ // absx < sqrt2-1
+	VCMPPD  $0x0E, c_sqrt2halfm1<>(SB), Y2, Y10 \ // x > sqrt2/2-1
+	VANDPD  Y10, Y8, Y8                        \
+	VCMPPD  $0x01, c_small<>(SB), Y3, Y10      \ // absx < 2^-29
+	VANDNPD Y8, Y10, Y8                        \ // m_short
+	VBLENDVPD Y8, Y2, Y11, Y11                 \ // f = x on short lanes
+	VANDNPD Y6, Y8, Y6                         \ // k64 = 0 on short lanes
+	VPCMPEQQ Y7, Y5, Y5                        \
+	VANDNPD Y5, Y8, Y5                         \ // m_f0 = iu'==0 && !short
+	VMOVDQU c_permidx<>(SB), Y10               \
+	VPERMD  Y6, Y10, Y10                       \
+	VCVTDQ2PD X10, Y12                         \ // kd
+	VPCMPEQQ Y7, Y6, Y6                        \ // m_kzero
+	VMULPD  c_half<>(SB), Y11, Y4              \
+	VMULPD  Y11, Y4, Y4                        \ // hfsq = (0.5*f)*f
+	VADDPD  c_two<>(SB), Y11, Y7               \
+	VDIVPD  Y7, Y11, Y7                        \ // s = f/(2+f)
+	VMULPD  Y7, Y7, Y8                         \ // z = s*s
+	VMOVUPD c_l7<>(SB), Y10                    \
+	VMULPD  Y8, Y10, Y10                       \
+	VADDPD  c_l6<>(SB), Y10, Y10               \
+	VMULPD  Y8, Y10, Y10                       \
+	VADDPD  c_l5<>(SB), Y10, Y10               \
+	VMULPD  Y8, Y10, Y10                       \
+	VADDPD  c_l4<>(SB), Y10, Y10               \
+	VMULPD  Y8, Y10, Y10                       \
+	VADDPD  c_l3<>(SB), Y10, Y10               \
+	VMULPD  Y8, Y10, Y10                       \
+	VADDPD  c_l2<>(SB), Y10, Y10               \
+	VMULPD  Y8, Y10, Y10                       \
+	VADDPD  c_l1<>(SB), Y10, Y10               \
+	VMULPD  Y10, Y8, Y10                       \ // R = z*poly
+	VADDPD  Y10, Y4, Y8                        \ // hfsq + R
+	VMULPD  Y8, Y7, Y7                         \ // sA = s*(hfsq+R)
+	VSUBPD  Y7, Y4, Y8                         \
+	VSUBPD  Y8, Y11, Y8                        \ // res(k=0) = f - (hfsq - sA)
+	VMULPD  c_ln2lo<>(SB), Y12, Y10            \
+	VADDPD  Y9, Y10, Y10                       \ // kd*Ln2Lo + c
+	VADDPD  Y10, Y7, Y7                        \ // sA + (...)
+	VSUBPD  Y7, Y4, Y7                         \ // hfsq - (...)
+	VSUBPD  Y11, Y7, Y7                        \ // (...) - f
+	VMULPD  c_ln2hi<>(SB), Y12, Y1             \ // kd*Ln2Hi
+	VSUBPD  Y7, Y1, Y7                         \ // res(k!=0)
+	VBLENDVPD Y6, Y8, Y7, Y7                   \ // res_s
+	VMULPD  c_c23<>(SB), Y11, Y8               \
+	VMOVUPD c_one<>(SB), Y10                   \
+	VSUBPD  Y8, Y10, Y8                        \
+	VMULPD  Y8, Y4, Y8                         \ // R' = hfsq*(1 - 2/3*f)
+	VSUBPD  Y8, Y11, Y10                       \ // f - R'
+	VMULPD  c_ln2lo<>(SB), Y12, Y4             \
+	VADDPD  Y9, Y4, Y4                         \ // kd*Ln2Lo + c
+	VSUBPD  Y4, Y8, Y8                         \ // R' - (...)
+	VSUBPD  Y11, Y8, Y8                        \ // (...) - f
+	VSUBPD  Y8, Y1, Y8                         \ // kd*Ln2Hi - (...)
+	VBLENDVPD Y6, Y10, Y8, Y8                  \ // res_f0 (f != 0)
+	VADDPD  Y4, Y1, Y10                        \ // res_f0 (f == 0): kd*Ln2Hi + (c + kd*Ln2Lo)
+	VXORPD  Y12, Y12, Y12                      \
+	VCMPPD  $0x00, Y12, Y11, Y12               \ // f == 0
+	VBLENDVPD Y12, Y10, Y8, Y8                 \
+	VBLENDVPD Y5, Y8, Y7, Y7                   \ // blend the iu'==0 branch in
+	VMULPD  Y2, Y2, Y8                         \
+	VMULPD  c_half<>(SB), Y8, Y8               \
+	VSUBPD  Y8, Y2, Y8                         \ // x - x*x/2
+	VCMPPD  $0x01, c_small<>(SB), Y3, Y10      \
+	VBLENDVPD Y10, Y8, Y7, Y7                  \ // |x| < 2^-29
+	VCMPPD  $0x01, c_tiny<>(SB), Y3, Y10       \
+	VBLENDVPD Y10, Y2, Y7, Y7                  \ // |x| < 2^-54: x
+	VCMPPD  $0x00, c_inf<>(SB), Y2, Y10        \
+	VBLENDVPD Y10, Y2, Y7, Y7                  \ // +Inf: x
+	VCMPPD  $0x00, c_negone<>(SB), Y2, Y10     \
+	VBLENDVPD Y10, c_neginf<>(SB), Y7, Y7      \ // x == -1: -Inf
+	VCMPPD  $0x01, c_negone<>(SB), Y2, Y10     \ // x < -1
+	VCMPPD  $0x03, Y2, Y2, Y12                 \ // NaN
+	VORPD   Y12, Y10, Y10                      \
+	VBLENDVPD Y10, c_nan<>(SB), Y7, Y7         \
+	VMOVAPD Y7, Y0
+
+// func log1pAsm(dst, x *float64, n int)
+TEXT ·log1pAsm(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ x+8(FP), SI
+	MOVQ n+16(FP), CX
+	SHRQ $2, CX
+	JZ   l1pdone
+l1ploop:
+	VMOVUPD (SI), Y0
+	LOG1P_M
+	VMOVUPD Y0, (DI)
+	ADDQ $32, SI
+	ADDQ $32, DI
+	DECQ CX
+	JNZ  l1ploop
+l1pdone:
+	VZEROUPPER
+	RET
+
+// ---- fused mosfet kernels ----
+
+DATA c_twelve<>+0(SB)/8, $12.0
+DATA c_twelve<>+8(SB)/8, $12.0
+DATA c_twelve<>+16(SB)/8, $12.0
+DATA c_twelve<>+24(SB)/8, $12.0
+GLOBL c_twelve<>(SB), RODATA|NOPTR, $32
+
+// func vgsFromVeffAsm(vgs, veff, vt *float64, n int, twoNUT float64)
+// vgs[i] = clamp(vov + vt[i], 0, 3) with
+// vov = x<=12 ? twoNUT*log(expm1(x)) : veff[i], x = veff[i]/twoNUT
+TEXT ·vgsFromVeffAsm(SB), NOSPLIT, $0-40
+	MOVQ vgs+0(FP), DI
+	MOVQ veff+8(FP), SI
+	MOVQ vt+16(FP), DX
+	MOVQ n+24(FP), CX
+	VBROADCASTSD twoNUT+32(FP), Y15
+	SHRQ $2, CX
+	JZ   vgsdone
+vgsloop:
+	VMOVUPD (SI), Y14           // veff
+	VDIVPD  Y15, Y14, Y0        // x = veff / twoNUT
+	VMOVAPD Y0, Y13             // keep x for the branch select
+	EXPM1_M
+	LOG_M
+	VMULPD  Y15, Y0, Y0         // twoNUT * log(expm1(x))
+	VCMPPD  $0x02, c_twelve<>(SB), Y13, Y1 // x <= 12 (false on NaN)
+	VBLENDVPD Y1, Y0, Y14, Y0   // else vov = veff (incl. NaN lanes)
+	VADDPD  (DX), Y0, Y0        // + vt
+	VXORPD  Y1, Y1, Y1
+	VMAXPD  Y0, Y1, Y0          // v < 0 -> 0
+	VMOVUPD c_three<>(SB), Y2
+	VMINPD  Y0, Y2, Y0          // v > 3 -> 3
+	VMOVUPD Y0, (DI)
+	ADDQ $32, SI
+	ADDQ $32, DX
+	ADDQ $32, DI
+	DECQ CX
+	JNZ  vgsloop
+vgsdone:
+	VZEROUPPER
+	RET
+
+// func effOvAsm(dst, vov *float64, n int, twoNUT float64)
+// dst[i] = x>12 ? vov[i] : twoNUT*log1p(exp(x)), x = vov[i]/twoNUT
+TEXT ·effOvAsm(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ vov+8(FP), SI
+	MOVQ n+16(FP), CX
+	VBROADCASTSD twoNUT+24(FP), Y15
+	SHRQ $2, CX
+	JZ   eovdone
+eovloop:
+	VMOVUPD (SI), Y14           // vov
+	VDIVPD  Y15, Y14, Y0        // x = vov / twoNUT
+	VMOVAPD Y0, Y13
+	EXP_M
+	LOG1P_M
+	VMULPD  Y15, Y0, Y0         // twoNUT * log1p(exp(x))
+	VCMPPD  $0x0E, c_twelve<>(SB), Y13, Y1 // x > 12 (false on NaN)
+	VBLENDVPD Y1, Y14, Y0, Y0
+	VMOVUPD Y0, (DI)
+	ADDQ $32, SI
+	ADDQ $32, DI
+	DECQ CX
+	JNZ  eovloop
+eovdone:
+	VZEROUPPER
+	RET
+
+// ---- idStrong constants ----
+
+DATA c_quarter<>+0(SB)/8, $0.25
+DATA c_quarter<>+8(SB)/8, $0.25
+DATA c_quarter<>+16(SB)/8, $0.25
+DATA c_quarter<>+24(SB)/8, $0.25
+GLOBL c_quarter<>(SB), RODATA|NOPTR, $32
+
+DATA c_four<>+0(SB)/8, $4.0
+DATA c_four<>+8(SB)/8, $4.0
+DATA c_four<>+16(SB)/8, $4.0
+DATA c_four<>+24(SB)/8, $4.0
+GLOBL c_four<>(SB), RODATA|NOPTR, $32
+
+DATA c_1em7<>+0(SB)/8, $1e-7
+DATA c_1em7<>+8(SB)/8, $1e-7
+DATA c_1em7<>+16(SB)/8, $1e-7
+DATA c_1em7<>+24(SB)/8, $1e-7
+GLOBL c_1em7<>(SB), RODATA|NOPTR, $32
+
+DATA c_tol<>+0(SB)/8, $1e-10
+DATA c_tol<>+8(SB)/8, $1e-10
+DATA c_tol<>+16(SB)/8, $1e-10
+DATA c_tol<>+24(SB)/8, $1e-10
+GLOBL c_tol<>(SB), RODATA|NOPTR, $32
+
+// reciprocal-multiplication magic for exact uint64/3: low and high dwords
+DATA c_m0_3<>+0(SB)/8, $0x00000000AAAAAAAB
+DATA c_m0_3<>+8(SB)/8, $0x00000000AAAAAAAB
+DATA c_m0_3<>+16(SB)/8, $0x00000000AAAAAAAB
+DATA c_m0_3<>+24(SB)/8, $0x00000000AAAAAAAB
+GLOBL c_m0_3<>(SB), RODATA|NOPTR, $32
+
+DATA c_m1_3<>+0(SB)/8, $0x00000000AAAAAAAA
+DATA c_m1_3<>+8(SB)/8, $0x00000000AAAAAAAA
+DATA c_m1_3<>+16(SB)/8, $0x00000000AAAAAAAA
+DATA c_m1_3<>+24(SB)/8, $0x00000000AAAAAAAA
+GLOBL c_m1_3<>(SB), RODATA|NOPTR, $32
+
+DATA c_lo32<>+0(SB)/8, $0x00000000FFFFFFFF
+DATA c_lo32<>+8(SB)/8, $0x00000000FFFFFFFF
+DATA c_lo32<>+16(SB)/8, $0x00000000FFFFFFFF
+DATA c_lo32<>+24(SB)/8, $0x00000000FFFFFFFF
+GLOBL c_lo32<>(SB), RODATA|NOPTR, $32
+
+DATA c_cbrt<>+0(SB)/8, $0x2A9F7893782DA1CE
+DATA c_cbrt<>+8(SB)/8, $0x2A9F7893782DA1CE
+DATA c_cbrt<>+16(SB)/8, $0x2A9F7893782DA1CE
+DATA c_cbrt<>+24(SB)/8, $0x2A9F7893782DA1CE
+GLOBL c_cbrt<>(SB), RODATA|NOPTR, $32
+
+// ---- IDSTRONG_M: Y0 = idStrong(vov=Y0, vds=Y1, vt=Y2) ----
+// Per-lane devCtx planes: Y3=kwl Y4=lambda Y5=el Y6=invEl.
+// Device-uniform: Y13=theta1 Y14=theta2 Y15=vk, BX=1 when nexp==2.
+// Port of mosfet's scalar idStrong: both regions are evaluated packed and
+// blended by the saturation mask (skipping the triode block when the whole
+// chunk saturates), the cube root runs the same bit trick with uint64/3 done
+// as a packed 64x64 multiply-high. Clobbers Y0-Y12, AX. LN1/LSKIP are label
+// names, unique per instantiation.
+
+#define IDSTRONG_M(LN1, LSKIP) \
+	VADDPD  Y2, Y0, Y7             \ // vov+vt (the vgs argument)
+	VADDPD  Y2, Y7, Y7             \ // +vt
+	VSUBPD  Y15, Y7, Y7            \ // -vk
+	VXORPD  Y8, Y8, Y8             \
+	VMAXPD  Y7, Y8, Y7             \ // base = max(0, .) with NaN passthrough
+	VMOVAPD Y7, Y11                \ // pw = base
+	CMPQ    BX, $0                 \
+	JE      LN1                    \
+	VMULPD  Y7, Y7, Y11            \ // pw = base*base when nexp==2
+LN1:                         \
+	VXORPD  Y8, Y8, Y8             \
+	VCMPPD  $0x02, Y8, Y7, Y12     \ // base <= 0 (cbrt -> 0)
+	VPSRLQ  $32, Y7, Y8            \ // a1 = bits>>32
+	VMOVDQU c_m0_3<>(SB), Y2       \
+	VPMULUDQ Y2, Y7, Y9            \ // a0*m0
+	VPMULUDQ Y2, Y8, Y2            \ // a1*m0
+	VPSRLQ  $32, Y9, Y9            \
+	VPADDQ  Y9, Y2, Y2             \ // t = a1*m0 + hi32(a0*m0)
+	VMOVDQU c_m1_3<>(SB), Y9       \
+	VPMULUDQ Y9, Y8, Y8            \ // a1*m1
+	VPMULUDQ Y9, Y7, Y9            \ // a0*m1
+	VPAND   c_lo32<>(SB), Y2, Y10  \
+	VPADDQ  Y10, Y9, Y9            \ // u = a0*m1 + lo32(t)
+	VPSRLQ  $32, Y2, Y2            \
+	VPADDQ  Y2, Y8, Y8             \
+	VPSRLQ  $32, Y9, Y9            \
+	VPADDQ  Y9, Y8, Y8             \ // mulhi(bits, 1/3 magic)
+	VPSRLQ  $1, Y8, Y8             \ // bits/3 exactly
+	VPADDQ  c_cbrt<>(SB), Y8, Y8   \ // seed y
+	VMULPD  Y8, Y8, Y9             \
+	VMULPD  Y8, Y9, Y9             \ // y3
+	VADDPD  Y7, Y7, Y10            \ // 2x
+	VADDPD  Y10, Y9, Y10           \ // y3+2x
+	VMULPD  Y10, Y8, Y10           \ // y*(y3+2x)
+	VADDPD  Y9, Y9, Y9             \ // 2y3
+	VADDPD  Y7, Y9, Y9             \ // 2y3+x
+	VDIVPD  Y9, Y10, Y8            \ // Halley step 1
+	VMULPD  Y8, Y8, Y9             \
+	VMULPD  Y8, Y9, Y9             \
+	VADDPD  Y7, Y7, Y10            \
+	VADDPD  Y10, Y9, Y10           \
+	VMULPD  Y10, Y8, Y10           \
+	VADDPD  Y9, Y9, Y9             \
+	VADDPD  Y7, Y9, Y9             \
+	VDIVPD  Y9, Y10, Y8            \ // Halley step 2
+	VANDNPD Y8, Y12, Y8            \ // cbrt = 0 where base <= 0
+	VMULPD  Y13, Y8, Y8            \ // theta1*cbrt
+	VADDPD  c_one<>(SB), Y8, Y8    \
+	VMULPD  Y14, Y11, Y11          \ // theta2*pw
+	VADDPD  Y11, Y8, Y7            \ // den
+	VADDPD  Y5, Y0, Y9             \ // vov+el
+	VMULPD  Y9, Y1, Y9             \ // vds*(vov+el)
+	VMULPD  Y5, Y0, Y10            \ // vov*el
+	VCMPPD  $0x0D, Y10, Y9, Y9     \ // >= (saturation inequality)
+	VXORPD  Y10, Y10, Y10          \
+	VCMPPD  $0x02, Y10, Y0, Y8     \ // vov <= 0
+	VCMPPD  $0x02, Y10, Y5, Y10    \ // el <= 0
+	VORPD   Y10, Y8, Y8            \
+	VORPD   Y9, Y8, Y8             \ // m_sat
+	VMULPD  Y3, Y0, Y9             \ // kwl*vov
+	VMULPD  Y0, Y9, Y9             \ // P = (kwl*vov)*vov
+	VMULPD  Y4, Y1, Y10            \ // lambda*vds
+	VADDPD  c_one<>(SB), Y10, Y10  \
+	VMULPD  Y10, Y9, Y10           \ // A = P*(1+lambda*vds)
+	VMULPD  Y6, Y0, Y11            \ // vov*invEl
+	VADDPD  c_one<>(SB), Y11, Y11  \
+	VMULPD  Y7, Y11, Y11           \ // (1+vov*invEl)*den
+	VXORPD  Y12, Y12, Y12          \
+	VCMPPD  $0x0E, Y12, Y5, Y12    \ // el > 0
+	VBLENDVPD Y12, Y11, Y7, Y11    \ // sat denominator (el<=0: just den)
+	VDIVPD  Y11, Y10, Y10          \ // res_sat
+	VMOVMSKPD Y8, AX               \
+	CMPQ    AX, $0x0F              \
+	JE      LSKIP                  \ // whole chunk saturated: skip triode
+	VMULPD  Y5, Y0, Y11            \ // vov*el
+	VADDPD  Y5, Y0, Y12            \ // vov+el
+	VDIVPD  Y12, Y11, Y11          \ // vdsat
+	VDIVPD  Y5, Y0, Y12            \ // vov/el
+	VADDPD  c_one<>(SB), Y12, Y12  \
+	VMOVUPD c_one<>(SB), Y2        \
+	VDIVPD  Y12, Y2, Y12           \ // 1/(1+vov/el)
+	VXORPD  Y6, Y6, Y6             \
+	VCMPPD  $0x02, Y6, Y5, Y6      \ // el <= 0
+	VBLENDVPD Y6, Y2, Y12, Y12     \ // vf (NaN el computes through)
+	VMULPD  Y12, Y9, Y3            \ // P*vf
+	VMULPD  Y4, Y11, Y2            \ // lambda*vdsat
+	VADDPD  c_one<>(SB), Y2, Y2    \ // 1+lambda*vdsat
+	VMULPD  Y2, Y3, Y3             \
+	VDIVPD  Y7, Y3, Y3             \ // idsat
+	VDIVPD  Y11, Y1, Y6            \ // x = vds/vdsat
+	VSUBPD  Y11, Y1, Y9            \ // vds-vdsat
+	VMULPD  Y4, Y9, Y9             \
+	VDIVPD  Y2, Y9, Y9             \
+	VADDPD  c_one<>(SB), Y9, Y9    \ // 1 + lambda*(vds-vdsat)/(1+lambda*vdsat)
+	VMULPD  Y6, Y3, Y3             \ // idsat*x
+	VMOVUPD c_two<>(SB), Y11       \
+	VSUBPD  Y6, Y11, Y11           \ // 2-x
+	VMULPD  Y11, Y3, Y3            \
+	VMULPD  Y9, Y3, Y3             \ // res_triode
+LSKIP:                             \
+	VBLENDVPD Y8, Y10, Y3, Y0
+
+// func idStrongAsm(a *idArgs)
+TEXT ·idStrongAsm(SB), NOSPLIT, $0-8
+	MOVQ a+0(FP), AX
+	MOVQ 0(AX), DI    // dst
+	MOVQ 8(AX), SI    // vov
+	MOVQ 16(AX), DX   // vds
+	MOVQ 24(AX), R8   // vt
+	MOVQ 32(AX), R9   // kwl
+	MOVQ 40(AX), R10  // lambda
+	MOVQ 48(AX), R11  // el
+	MOVQ 56(AX), R12  // invEl
+	MOVQ 64(AX), CX   // n
+	VBROADCASTSD 72(AX), Y13
+	VBROADCASTSD 80(AX), Y14
+	VBROADCASTSD 88(AX), Y15
+	MOVQ 96(AX), BX   // nexp2
+	SHRQ $2, CX
+	JZ   idsdone
+idsloop:
+	VMOVUPD (SI), Y0
+	VMOVUPD (DX), Y1
+	VMOVUPD (R8), Y2
+	VMOVUPD (R9), Y3
+	VMOVUPD (R10), Y4
+	VMOVUPD (R11), Y5
+	VMOVUPD (R12), Y6
+	IDSTRONG_M(idsn1, idsskip)
+	VMOVUPD Y0, (DI)
+	ADDQ $32, DI
+	ADDQ $32, SI
+	ADDQ $32, DX
+	ADDQ $32, R8
+	ADDQ $32, R9
+	ADDQ $32, R10
+	ADDQ $32, R11
+	ADDQ $32, R12
+	DECQ CX
+	JNZ  idsloop
+idsdone:
+	VZEROUPPER
+	RET
+
+// func secantStepAsm(a *secArgs)
+//
+// One masked-secant iteration fused with the packed idStrong evaluation.
+// Lanes whose secant stalls (df == 0) keep their state and report done; all
+// other lanes shift (v0,f0)<-(v1,f1), clamp the secant proposal exactly like
+// the scalar solver, evaluate the residual, and report done when it is
+// within tolerance. The df==0 mask round-trips through the done plane
+// because IDSTRONG_M clobbers every YMM register. An OR of every done sign
+// bit accumulates at 8(SP) and lands in args.anyDone, so the caller can
+// skip scanning the done plane on steps where no lane finished.
+TEXT ·secantStepAsm(SB), NOSPLIT, $16-8
+	MOVQ $0, 8(SP)
+	MOVQ a+0(FP), AX
+	MOVQ 0(AX), DI    // v0
+	MOVQ 8(AX), SI    // f0
+	MOVQ 16(AX), DX   // v1
+	MOVQ 24(AX), R8   // f1
+	MOVQ 32(AX), R9   // vds
+	MOVQ 40(AX), R10  // vt
+	MOVQ 48(AX), R11  // invID
+	MOVQ 56(AX), R12  // kwl
+	MOVQ 64(AX), R13  // lambda
+	MOVQ 72(AX), R14  // el
+	MOVQ 80(AX), R15  // invEl
+	MOVQ 88(AX), CX   // done
+	MOVQ CX, 0(SP)
+	MOVQ 96(AX), CX   // n
+	VBROADCASTSD 104(AX), Y13
+	VBROADCASTSD 112(AX), Y14
+	VBROADCASTSD 120(AX), Y15
+	MOVQ 128(AX), BX  // nexp2
+	SHRQ $2, CX
+	JZ   secdone
+secloop:
+	VMOVUPD (DX), Y0               // v1
+	VMOVUPD (DI), Y1               // v0
+	VMOVUPD (R8), Y2               // f1
+	VMOVUPD (SI), Y3               // f0
+	VSUBPD  Y3, Y2, Y4             // df = f1 - f0
+	VXORPD  Y5, Y5, Y5
+	VCMPPD  $0x00, Y5, Y4, Y5      // m_df0 = (df == 0), false on NaN df
+	VSUBPD  Y1, Y0, Y6             // v1 - v0
+	VMULPD  Y6, Y2, Y6             // f1*(v1-v0)
+	VDIVPD  Y4, Y6, Y6
+	VSUBPD  Y6, Y0, Y6             // next = v1 - f1*(v1-v0)/df
+	VCMPPD  $0x02, c_1em7<>(SB), Y6, Y7 // next <= 1e-7
+	VCMPPD  $0x0E, c_four<>(SB), Y6, Y8 // next > 4 (on the unclamped next)
+	VMULPD  c_quarter<>(SB), Y0, Y9     // v1/4
+	VBLENDVPD Y7, Y9, Y6, Y6
+	VBLENDVPD Y8, c_four<>(SB), Y6, Y6
+	VBLENDVPD Y5, Y1, Y0, Y1       // v0' = df==0 ? v0 : v1
+	VBLENDVPD Y5, Y3, Y2, Y3       // f0' = df==0 ? f0 : f1
+	VMOVUPD Y1, (DI)
+	VMOVUPD Y3, (SI)
+	VBLENDVPD Y5, Y0, Y6, Y0       // v1' = df==0 ? v1 : next
+	VMOVUPD Y0, (DX)
+	MOVQ    0(SP), AX
+	VMOVUPD Y5, (AX)               // stash m_df0 while the YMM bank is reused
+	VMOVUPD (R9), Y1               // vds
+	VMOVUPD (R10), Y2              // vt
+	VMOVUPD (R12), Y3              // kwl
+	VMOVUPD (R13), Y4              // lambda
+	VMOVUPD (R14), Y5              // el
+	VMOVUPD (R15), Y6              // invEl
+	IDSTRONG_M(secn1, secskip)
+	VMULPD  (R11), Y0, Y0          // idStrong(next)*invID
+	VSUBPD  c_one<>(SB), Y0, Y0    // r
+	MOVQ    0(SP), AX
+	VMOVUPD (AX), Y5               // m_df0
+	VMOVUPD (R8), Y2               // old f1
+	VBLENDVPD Y5, Y2, Y0, Y2       // f1' = df==0 ? f1 : r
+	VMOVUPD Y2, (R8)
+	VANDPD  c_absmask<>(SB), Y0, Y0
+	VCMPPD  $0x02, c_tol<>(SB), Y0, Y0 // |r| <= tol, false on NaN
+	VORPD   Y5, Y0, Y0             // done: stalled or converged
+	VMOVUPD Y0, (AX)
+	VMOVMSKPD Y0, AX
+	ORQ     AX, 8(SP)
+	ADDQ $32, DI
+	ADDQ $32, SI
+	ADDQ $32, DX
+	ADDQ $32, R8
+	ADDQ $32, R9
+	ADDQ $32, R10
+	ADDQ $32, R11
+	ADDQ $32, R12
+	ADDQ $32, R13
+	ADDQ $32, R14
+	ADDQ $32, R15
+	ADDQ $32, 0(SP)
+	DECQ CX
+	JNZ  secloop
+secdone:
+	MOVQ a+0(FP), AX
+	MOVQ 8(SP), BX
+	MOVQ BX, 136(AX)  // anyDone
+	VZEROUPPER
+	RET

@@ -1,0 +1,306 @@
+package simd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// adversarial per-function inputs: branch boundaries, specials, denormal
+// ranges, and the never-convergent garbage the lane kernels can feed in.
+var specials = []float64{
+	0, math.Copysign(0, -1), 1, -1, 2, -2, 0.5, -0.5,
+	math.Inf(1), math.Inf(-1), math.NaN(),
+	math.Float64frombits(0x7FF8000000000001),
+	math.Float64frombits(0xFFF8000000000001), // negative NaN
+	math.SmallestNonzeroFloat64, -math.SmallestNonzeroFloat64,
+	math.MaxFloat64, -math.MaxFloat64,
+	1e-300, -1e-300, 1e300, -1e300,
+	// exp overflow/underflow boundaries
+	709.782712893384, math.Nextafter(709.782712893384, 710), 709.78271289338397,
+	-709.78, -744.44, -745.13, math.Nextafter(-745.13, -746), -746,
+	// expm1 thresholds
+	38.816242111356935, -38.816242111356935, 0.34657359027997264,
+	-0.34657359027997264, 1.0397207708399179, -1.0397207708399179,
+	709.78271289338397, 56 * math.Ln2, 57 * math.Ln2, -0.25,
+	// log/log1p thresholds
+	math.Sqrt2 / 2, math.Nextafter(math.Sqrt2/2, 0), math.Sqrt2 - 1,
+	math.Sqrt2/2 - 1, 1 << 53, 1<<53 + 2.0, 1 - 0x1p-29, 0x1p-29, -0x1p-29,
+	0x1p-54, -0x1p-54, 0x1p-55, 3, -3, 0.9999999999999998, // 2-ulp(2) - 1
+	math.Nextafter(2, 0) - 1, math.Nextafter(1, 2) - 1,
+	12 * 0.07, math.Nextafter(12*0.07, 1), math.Nextafter(12*0.07, 0),
+}
+
+func randInputs(r *rand.Rand, n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		switch r.Intn(6) {
+		case 0: // full random bit pattern (any float64, incl. NaN/Inf/denorm)
+			x[i] = math.Float64frombits(r.Uint64())
+		case 1: // exp-relevant range
+			x[i] = (r.Float64() - 0.5) * 1500
+		case 2: // around zero, expm1/log1p primary range
+			x[i] = (r.Float64() - 0.5) * 2.2
+		case 3: // positive, log range
+			x[i] = math.Exp((r.Float64() - 0.5) * 200)
+		case 4: // moderate magnitudes
+			x[i] = (r.Float64() - 0.5) * 100
+		default: // denormal-result territory for exp
+			x[i] = -700 - r.Float64()*60
+		}
+	}
+	copy(x, specials) // always include the fixed adversarial set
+	return x
+}
+
+// checkBitExact compares got against want bit-for-bit (NaN bit patterns
+// included).
+func checkBitExact(t *testing.T, name string, x, got, want []float64) {
+	t.Helper()
+	for i := range want {
+		g, w := math.Float64bits(got[i]), math.Float64bits(want[i])
+		if g != w {
+			t.Fatalf("%s(%v) [lane %d]: got %x (%v), want %x (%v)",
+				name, x[i], i, g, got[i], w, want[i])
+		}
+	}
+}
+
+func TestExpBitExact(t *testing.T) {
+	if !Enabled {
+		t.Skip("packed kernels disabled on this build/CPU; ref path is trivially exact")
+	}
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 4 + r.Intn(500)
+		x := randInputs(r, n)
+		got := make([]float64, n)
+		want := make([]float64, n)
+		Exp(got, x)
+		expRef(want, x)
+		checkBitExact(t, "Exp", x, got, want)
+	}
+}
+
+func TestDecodeLogBitExact(t *testing.T) {
+	if !Enabled {
+		t.Skip("packed kernels disabled on this build/CPU")
+	}
+	r := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 50; trial++ {
+		n := 4 + r.Intn(300)
+		u := randInputs(r, n)
+		lnRatio := r.Float64() * 8
+		lo := math.Exp((r.Float64() - 0.5) * 20)
+		got := make([]float64, n)
+		want := make([]float64, n)
+		DecodeLog(got, u, lnRatio, lo)
+		decodeLogRef(want, u, lnRatio, lo)
+		checkBitExact(t, "DecodeLog", u, got, want)
+	}
+}
+
+func TestLogBitExact(t *testing.T) {
+	if !Enabled {
+		t.Skip("packed kernels disabled on this build/CPU")
+	}
+	r := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 50; trial++ {
+		n := 4 + r.Intn(500)
+		x := randInputs(r, n)
+		got := make([]float64, n)
+		want := make([]float64, n)
+		Log(got, x)
+		logRef(want, x)
+		checkBitExact(t, "Log", x, got, want)
+	}
+}
+
+func TestExpm1BitExact(t *testing.T) {
+	if !Enabled {
+		t.Skip("packed kernels disabled on this build/CPU")
+	}
+	r := rand.New(rand.NewSource(45))
+	for trial := 0; trial < 50; trial++ {
+		n := 4 + r.Intn(500)
+		x := randInputs(r, n)
+		got := make([]float64, n)
+		want := make([]float64, n)
+		Expm1(got, x)
+		expm1Ref(want, x)
+		checkBitExact(t, "Expm1", x, got, want)
+	}
+}
+
+func TestLog1pBitExact(t *testing.T) {
+	if !Enabled {
+		t.Skip("packed kernels disabled on this build/CPU")
+	}
+	r := rand.New(rand.NewSource(46))
+	for trial := 0; trial < 50; trial++ {
+		n := 4 + r.Intn(500)
+		x := randInputs(r, n)
+		got := make([]float64, n)
+		want := make([]float64, n)
+		Log1p(got, x)
+		log1pRef(want, x)
+		checkBitExact(t, "Log1p", x, got, want)
+	}
+}
+
+func TestVGSFromVeffBitExact(t *testing.T) {
+	if !Enabled {
+		t.Skip("packed kernels disabled on this build/CPU")
+	}
+	r := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 50; trial++ {
+		n := 4 + r.Intn(500)
+		veff := randInputs(r, n)
+		vt := randInputs(r, n)
+		const twoNUT = 2 * 0.035
+		got := make([]float64, n)
+		want := make([]float64, n)
+		VGSFromVeff(got, veff, vt, twoNUT)
+		vgsFromVeffRef(want, veff, vt, twoNUT)
+		checkBitExact(t, "VGSFromVeff", veff, got, want)
+	}
+}
+
+func TestEffOvBitExact(t *testing.T) {
+	if !Enabled {
+		t.Skip("packed kernels disabled on this build/CPU")
+	}
+	r := rand.New(rand.NewSource(48))
+	for trial := 0; trial < 50; trial++ {
+		n := 4 + r.Intn(500)
+		vov := randInputs(r, n)
+		const twoNUT = 2 * 0.035
+		got := make([]float64, n)
+		want := make([]float64, n)
+		EffOv(got, vov, twoNUT)
+		effOvRef(want, vov, twoNUT)
+		checkBitExact(t, "EffOv", vov, got, want)
+	}
+}
+
+// mosfetPlanes builds realistic device-context planes plus adversarial lanes
+// (NaN/Inf overdrives, zero and negative el, rail-pinned voltages).
+func mosfetPlanes(r *rand.Rand, n int) (vov, vds, vt, kwl, lambda, el, invEl []float64) {
+	vov = make([]float64, n)
+	vds = make([]float64, n)
+	vt = make([]float64, n)
+	kwl = make([]float64, n)
+	lambda = make([]float64, n)
+	el = make([]float64, n)
+	invEl = make([]float64, n)
+	for i := 0; i < n; i++ {
+		switch r.Intn(8) {
+		case 0:
+			vov[i] = math.Float64frombits(r.Uint64())
+		case 1:
+			vov[i] = -r.Float64() // cutoff
+		case 2:
+			vov[i] = r.Float64() * 4e-7 // clamp floor territory
+		default:
+			vov[i] = r.Float64() * 4
+		}
+		vds[i] = r.Float64() * 5
+		if r.Intn(10) == 0 {
+			vds[i] = 0
+		}
+		vt[i] = 0.3 + r.Float64()*0.6
+		kwl[i] = math.Exp((r.Float64()-0.5)*10 - 8)
+		lambda[i] = r.Float64() * 0.3
+		switch r.Intn(5) {
+		case 0:
+			el[i] = 0
+		case 1:
+			el[i] = -r.Float64()
+		default:
+			el[i] = r.Float64() * 20
+		}
+		if el[i] > 0 {
+			invEl[i] = 1 / el[i]
+		}
+	}
+	copy(vov, specials)
+	return
+}
+
+func TestIDStrongPlanesBitExact(t *testing.T) {
+	if !Enabled {
+		t.Skip("packed kernels disabled on this build/CPU")
+	}
+	r := rand.New(rand.NewSource(49))
+	for trial := 0; trial < 60; trial++ {
+		n := 4 + r.Intn(300)
+		vov, vds, vt, kwl, lambda, el, invEl := mosfetPlanes(r, n)
+		theta1 := r.Float64()
+		theta2 := r.Float64() * 0.5
+		vk := r.Float64()
+		nexp := float64(1 + r.Intn(2))
+		got := make([]float64, n)
+		want := make([]float64, n)
+		IDStrongPlanes(got, vov, vds, vt, kwl, lambda, el, invEl, theta1, theta2, vk, nexp)
+		idStrongRef(want, vov, vds, vt, kwl, lambda, el, invEl, theta1, theta2, vk, nexp)
+		checkBitExact(t, "IDStrongPlanes", vov, got, want)
+	}
+}
+
+func TestSecantStepBitExact(t *testing.T) {
+	if !Enabled {
+		t.Skip("packed kernels disabled on this build/CPU")
+	}
+	r := rand.New(rand.NewSource(50))
+	for trial := 0; trial < 60; trial++ {
+		n := 4 + r.Intn(300)
+		_, vds, vt, kwl, lambda, el, invEl := mosfetPlanes(r, n)
+		theta1 := r.Float64()
+		theta2 := r.Float64() * 0.5
+		vk := r.Float64()
+		nexp := float64(1 + r.Intn(2))
+		mk := func(seed int) ([]float64, []float64) {
+			a := make([]float64, n)
+			b := make([]float64, n)
+			rr := rand.New(rand.NewSource(int64(trial*100 + seed)))
+			for i := range a {
+				switch rr.Intn(6) {
+				case 0:
+					a[i] = math.Float64frombits(rr.Uint64())
+				default:
+					a[i] = rr.Float64() * 3
+				}
+				b[i] = (rr.Float64() - 0.5) * 2
+				if rr.Intn(8) == 0 {
+					b[i] = 0 // manufacture df == 0 stalls
+				}
+			}
+			copy(a, b)
+			copy(b, a)
+			return a, b
+		}
+		v0, f0 := mk(1)
+		v1, f1 := mk(2)
+		invID := make([]float64, n)
+		for i := range invID {
+			invID[i] = math.Exp((r.Float64() - 0.5) * 20)
+		}
+		// equal-residual lanes stall the secant; force a batch of them
+		for i := 0; i < n; i += 7 {
+			f0[i] = f1[i]
+		}
+		gv0 := append([]float64(nil), v0...)
+		gf0 := append([]float64(nil), f0...)
+		gv1 := append([]float64(nil), v1...)
+		gf1 := append([]float64(nil), f1...)
+		gdone := make([]float64, n)
+		wdone := make([]float64, n)
+		SecantStep(gv0, gf0, gv1, gf1, vds, vt, invID, kwl, lambda, el, invEl, gdone, theta1, theta2, vk, nexp)
+		secantStepRef(v0, f0, v1, f1, vds, vt, invID, kwl, lambda, el, invEl, wdone, theta1, theta2, vk, nexp)
+		checkBitExact(t, "SecantStep/v0", v0, gv0, v0)
+		checkBitExact(t, "SecantStep/f0", f0, gf0, f0)
+		checkBitExact(t, "SecantStep/v1", v1, gv1, v1)
+		checkBitExact(t, "SecantStep/f1", f1, gf1, f1)
+		checkBitExact(t, "SecantStep/done", v1, gdone, wdone)
+	}
+}

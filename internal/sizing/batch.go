@@ -3,10 +3,12 @@ package sizing
 import (
 	"sync"
 
+	"sacga/internal/lanes"
 	"sacga/internal/objective"
 	"sacga/internal/opamp"
 	"sacga/internal/process"
 	"sacga/internal/scint"
+	"sacga/internal/simd"
 )
 
 // EvaluateBatch implements objective.BatchProblem: the lane-major fast path
@@ -33,12 +35,23 @@ func (p *Problem) EvaluateBatch(xs [][]float64, out []objective.Result) {
 	sc := getBatchScratch(n)
 	defer putBatchScratch(sc)
 
-	// SoA decode: one transform pass per gene column.
+	// SoA decode: one transform pass per gene column. The raw gene values
+	// are gathered into a contiguous column first, so the log-scaled genes
+	// (most of them) run through the packed clamp+exp kernel.
+	stride := lanes.PadLen(n)
 	for g := range genes {
 		gm := &genes[g]
-		col := sc.planes[g*n : (g+1)*n]
+		col := sc.planes[g*stride : g*stride+n]
+		u := sc.ucol[:n]
 		for i, x := range xs {
-			col[i] = gm.decode(x[g])
+			u[i] = x[g]
+		}
+		if gm.log {
+			simd.DecodeLog(col, u, gm.lnRatio, gm.lo)
+		} else {
+			for i, v := range u {
+				col[i] = gm.decode(v)
+			}
 		}
 	}
 
@@ -61,7 +74,7 @@ func (p *Problem) EvaluateBatch(xs [][]float64, out []objective.Result) {
 			}
 			p.accViolations(sc.perf.DRdB[i], sc.perf.OutputRange[i],
 				sc.perf.SettleTime[i], sc.perf.SettleErr[i],
-				sc.perf.WorstSatMargin[i], sc.perf.BiasOK[i],
+				sc.perf.WorstSatMargin[i], sc.perf.BiasOK.Get(i),
 				sc.perf.PhaseMarginDeg[i], sc.perf.Area[i], out[i].Violations)
 		}
 	}
@@ -82,7 +95,7 @@ func (p *Problem) EvaluateBatch(xs [][]float64, out []objective.Result) {
 			}
 		}
 		out[i].Objectives[0] = sc.nomPow[i]
-		out[i].Objectives[1] = -sc.planes[GeneCL*n+i]
+		out[i].Objectives[1] = -sc.planes[GeneCL*stride+i]
 	}
 }
 
@@ -91,6 +104,7 @@ func (p *Problem) EvaluateBatch(xs [][]float64, out []objective.Result) {
 // amplifier warm planes and the lane engine with its performance planes.
 type batchScratch struct {
 	planes []float64
+	ucol   []float64
 	nomPow []float64
 	warm   opamp.WarmLanes
 	perf   scint.PerfLanes
@@ -98,14 +112,15 @@ type batchScratch struct {
 }
 
 func (sc *batchScratch) ensure(n int) {
-	if cap(sc.planes) < NumGenes*n {
-		sc.planes = make([]float64, NumGenes*n)
+	// Gene planes are laid out at the chunk-padded stride so every column is
+	// a padded plane the chunked kernels can consume without tail handling.
+	stride := lanes.PadLen(n)
+	if cap(sc.planes) < NumGenes*stride {
+		sc.planes = make([]float64, NumGenes*stride)
 	}
-	sc.planes = sc.planes[:NumGenes*n]
-	if cap(sc.nomPow) < n {
-		sc.nomPow = make([]float64, n)
-	}
-	sc.nomPow = sc.nomPow[:n]
+	sc.planes = sc.planes[:NumGenes*stride]
+	sc.ucol = lanes.Grow(sc.ucol, n)
+	sc.nomPow = lanes.Grow(sc.nomPow, n)
 	for i := 0; i < n; i++ {
 		sc.nomPow[i] = 0
 	}
@@ -115,7 +130,8 @@ func (sc *batchScratch) ensure(n int) {
 // struct-of-arrays design view — slice headers into the plane arena, no
 // copying.
 func (sc *batchScratch) designLanes(n int) scint.DesignLanes {
-	pl := func(g int) []float64 { return sc.planes[g*n : (g+1)*n] }
+	stride := lanes.PadLen(n)
+	pl := func(g int) []float64 { return sc.planes[g*stride : g*stride+n] }
 	return scint.DesignLanes{
 		Amp: opamp.SizingLanes{
 			W1: pl(GeneW1), L1: pl(GeneL1),
@@ -137,19 +153,20 @@ func (sc *batchScratch) designLanes(n int) scint.DesignLanes {
 // Designs).
 func (sc *batchScratch) design(i, n int) scint.Design {
 	pl := sc.planes
+	k := lanes.PadLen(n)
 	return scint.Design{
 		Amp: opamp.Sizing{
-			W1: pl[GeneW1*n+i], L1: pl[GeneL1*n+i],
-			W3: pl[GeneW3*n+i], L3: pl[GeneL3*n+i],
-			W5: pl[GeneW5*n+i], L5: pl[GeneL5*n+i],
-			W6: pl[GeneW6*n+i], L6: pl[GeneL6*n+i],
-			W7: pl[GeneW7*n+i], L7: pl[GeneL7*n+i],
-			Itail: pl[GeneItail*n+i],
-			K6:    pl[GeneK6*n+i],
-			Cc:    pl[GeneCc*n+i],
+			W1: pl[GeneW1*k+i], L1: pl[GeneL1*k+i],
+			W3: pl[GeneW3*k+i], L3: pl[GeneL3*k+i],
+			W5: pl[GeneW5*k+i], L5: pl[GeneL5*k+i],
+			W6: pl[GeneW6*k+i], L6: pl[GeneL6*k+i],
+			W7: pl[GeneW7*k+i], L7: pl[GeneL7*k+i],
+			Itail: pl[GeneItail*k+i],
+			K6:    pl[GeneK6*k+i],
+			Cc:    pl[GeneCc*k+i],
 		},
-		Cs: pl[GeneCs*n+i],
-		CL: pl[GeneCL*n+i],
+		Cs: pl[GeneCs*k+i],
+		CL: pl[GeneCL*k+i],
 	}
 }
 

@@ -1,0 +1,38 @@
+package sizing
+
+import (
+	"testing"
+
+	"sacga/internal/lanes"
+	"sacga/internal/simd"
+)
+
+// BenchmarkGeneDecode measures the SoA gene decode exactly as EvaluateBatch
+// runs it: per gene, gather the population's column and push it through the
+// packed clamp+exp map (log-scaled genes) or the scalar affine map.
+func BenchmarkGeneDecode(b *testing.B) {
+	const n = 256
+	xs := randomPopulation(31, n)
+	stride := lanes.PadLen(n)
+	planes := make([]float64, NumGenes*stride)
+	ucol := lanes.Grow[float64](nil, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for it := 0; it < b.N; it++ {
+		for g := range genes {
+			gm := &genes[g]
+			col := planes[g*stride : g*stride+n]
+			u := ucol[:n]
+			for i, x := range xs {
+				u[i] = x[g]
+			}
+			if gm.log {
+				simd.DecodeLog(col, u, gm.lnRatio, gm.lo)
+			} else {
+				for i, v := range u {
+					col[i] = gm.decode(v)
+				}
+			}
+		}
+	}
+}
