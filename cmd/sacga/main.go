@@ -17,7 +17,14 @@
 //
 // Long runs survive preemption with -checkpoint: the engine state is
 // durably snapshotted every -checkpoint-every generations (and on
-// interrupt), and -resume continues bit-identically from the file.
+// interrupt), and -resume continues bit-identically from the file — or,
+// when the newest file is torn or corrupt, from the last-good .prev
+// rotation (with a warning).
+//
+// Exit codes distinguish how a run ended: 0 completed, 1 internal error,
+// 2 usage error, 3 cancelled (Ctrl-C; a second Ctrl-C exits immediately),
+// 4 degraded by evaluation faults (the best-so-far front still prints),
+// 5 stopped by the -maxevals budget.
 //
 // Example:
 //
@@ -75,7 +82,7 @@ func main() {
 
 	prob, isCircuit, err := buildProblem(*problem, *grade, *robust, *seed)
 	if err != nil {
-		fatal(err)
+		fatalUsage(err)
 	}
 	if err := objective.Validate(prob); err != nil {
 		fatal(err)
@@ -111,7 +118,7 @@ func main() {
 		name = "mesacga"
 		sched, err := parseSchedule(*schedule)
 		if err != nil {
-			fatal(err)
+			fatalUsage(err)
 		}
 		span := (*iters - *gentMax) / len(sched)
 		if span < 1 {
@@ -155,7 +162,7 @@ func main() {
 		}
 		opts.Extra = pf
 	default:
-		fatal(fmt.Errorf("unknown algorithm %q (registry has %v)", *algo, search.Names()))
+		fatalUsage(fmt.Errorf("unknown algorithm %q (registry has %v)", *algo, search.Names()))
 	}
 
 	eng, err := search.New(name)
@@ -190,35 +197,60 @@ func main() {
 		}))
 	}
 
-	// Ctrl-C cancels between generations; the partial result still prints.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
+	// The first Ctrl-C cancels between generations and the partial result
+	// still prints; a second Ctrl-C — a run stuck in a hung evaluation, or
+	// an impatient operator — exits immediately.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt)
+	go func() {
+		<-sigc
+		cancel()
+		<-sigc
+		fmt.Fprintln(os.Stderr, "sacga: second interrupt, exiting immediately")
+		os.Exit(exitCancelled)
+	}()
 	var res *search.Result
 	if *resume {
 		if *ckpt == "" {
-			fatal(fmt.Errorf("-resume requires -checkpoint <path>"))
+			fatalUsage(fmt.Errorf("-resume requires -checkpoint <path>"))
 		}
-		cp, lerr := search.LoadCheckpoint(*ckpt)
+		cp, loadedFrom, lerr := search.LoadLatestCheckpoint(*ckpt)
 		if lerr != nil {
 			fatal(lerr)
 		}
-		fmt.Printf("resuming %s from %s at generation %d (%d evaluations)\n", cp.Algo, *ckpt, cp.Gen, cp.Evals)
+		if loadedFrom != *ckpt {
+			fmt.Fprintf(os.Stderr, "sacga: checkpoint %s is corrupt or missing; resuming from last-good %s\n", *ckpt, loadedFrom)
+		}
+		fmt.Printf("resuming %s from %s at generation %d (%d evaluations)\n", cp.Algo, loadedFrom, cp.Gen, cp.Evals)
 		res, err = search.Resume(ctx, eng, counter, opts, cp, observers...)
 	} else {
 		res, err = search.Run(ctx, eng, counter, opts, observers...)
 	}
+	exitCode := exitOK
 	if err != nil {
-		if !errors.Is(err, context.Canceled) {
+		switch {
+		case errors.Is(err, context.Canceled):
+			exitCode = exitCancelled
+			fmt.Fprintf(os.Stderr, "sacga: interrupted after %d generations; reporting the front so far\n", res.Generations)
+			if *ckpt != "" {
+				if serr := search.SaveCheckpoint(*ckpt, eng.Checkpoint()); serr != nil {
+					fmt.Fprintf(os.Stderr, "sacga: checkpoint: %v\n", serr)
+				} else {
+					fmt.Fprintf(os.Stderr, "sacga: checkpoint saved to %s; continue with -resume\n", *ckpt)
+				}
+			}
+		case faultErr(err) && res != nil:
+			exitCode = exitFault
+			fmt.Fprintf(os.Stderr, "sacga: run degraded by evaluation faults: %v\nsacga: reporting the best-so-far front\n", err)
+		default:
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "sacga: interrupted after %d generations; reporting the front so far\n", res.Generations)
-		if *ckpt != "" {
-			if serr := search.SaveCheckpoint(*ckpt, eng.Checkpoint()); serr != nil {
-				fmt.Fprintf(os.Stderr, "sacga: checkpoint: %v\n", serr)
-			} else {
-				fmt.Fprintf(os.Stderr, "sacga: checkpoint saved to %s; continue with -resume\n", *ckpt)
-			}
-		}
+	}
+	if exitCode == exitOK && *maxEvals > 0 && res.Evals >= *maxEvals {
+		exitCode = exitBudget
+		fmt.Fprintf(os.Stderr, "sacga: evaluation budget reached (%d of %d)\n", res.Evals, *maxEvals)
 	}
 	front := res.Front
 
@@ -259,11 +291,40 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *out)
 	}
+	if exitCode != exitOK {
+		os.Exit(exitCode)
+	}
 }
+
+// Exit codes: scripts driving long optimization campaigns need to tell a
+// cancelled run (retryable) from a fault-degraded one (investigate) from an
+// exhausted budget (expected stop) without parsing stderr.
+const (
+	exitOK        = 0
+	exitErr       = 1
+	exitUsage     = 2
+	exitCancelled = 3
+	exitFault     = 4
+	exitBudget    = 5
+)
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "sacga:", err)
-	os.Exit(1)
+	os.Exit(exitErr)
+}
+
+func fatalUsage(err error) {
+	fmt.Fprintln(os.Stderr, "sacga:", err)
+	os.Exit(exitUsage)
+}
+
+// faultErr reports whether err is one of the typed fault-tolerance errors —
+// a degraded-but-valid outcome, distinct from an internal failure.
+func faultErr(err error) bool {
+	var ee *objective.EvalError
+	var we *search.WatchdogError
+	var re *sched.ReplicaError
+	return errors.As(err, &ee) || errors.As(err, &we) || errors.As(err, &re)
 }
 
 // circuitPoint projects a feasible integrator individual to the reported

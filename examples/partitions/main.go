@@ -61,11 +61,14 @@ func main() {
 	fmt.Printf("best swept partition count: m=%d (HV %.2f)\n\n", bestM, bestHV)
 
 	prob := sizing.New(tech, sizing.PaperSpec())
-	res := mesacga.Run(prob, mesacga.Config{
+	res, err := mesacga.Run(prob, mesacga.Config{
 		PopSize: pop, Schedule: mesacga.DefaultSchedule(),
 		PartitionObjective: 1, PartitionLo: clLo, PartitionHi: clHi,
 		GentMax: 150, Span: iters / 7, Seed: 9, Workers: runtime.NumCPU(),
 	})
+	if err != nil {
+		log.Fatalf("mesacga: %v", err)
+	}
 	fmt.Printf("MESACGA (no tuning, schedule 20,13,8,5,3,2,1): HV %.2f\n", paperHV(res.Front))
 	if *fast {
 		fmt.Println("(-fast budgets are noisy; at the full budget MESACGA lands near the best swept SACGA)")

@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
 	"math"
 	"runtime"
 	"sort"
@@ -39,11 +40,14 @@ func main() {
 	clLo, clHi := sizing.ObjectiveRangeCL()
 
 	fmt.Printf("step 1: explore the design surface (MESACGA, %d iterations)\n", iters)
-	res := mesacga.Run(prob, mesacga.Config{
+	res, err := mesacga.Run(prob, mesacga.Config{
 		PopSize: pop, Schedule: mesacga.DefaultSchedule(),
 		PartitionObjective: 1, PartitionLo: clLo, PartitionHi: clHi,
 		GentMax: 120, Span: iters / 7, Seed: 11, Workers: runtime.NumCPU(),
 	})
+	if err != nil {
+		log.Fatalf("mesacga: %v", err)
+	}
 	front := feasibleSorted(res.Front)
 	if len(front) == 0 {
 		fmt.Println("no feasible designs found — increase the budget")

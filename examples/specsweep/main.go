@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
 	"runtime"
 
 	"sacga/internal/ga"
@@ -38,11 +39,14 @@ func main() {
 		spec := ladder[grade-1]
 		prob := sizing.New(tech, spec,
 			sizing.WithRobustness(yield.NewEstimator(1, 8)))
-		res := mesacga.Run(prob, mesacga.Config{
+		res, err := mesacga.Run(prob, mesacga.Config{
 			PopSize: pop, Schedule: mesacga.DefaultSchedule(),
 			PartitionObjective: 1, PartitionLo: clLo, PartitionHi: clHi,
 			GentMax: 120, Span: iters / 7, Seed: 5, Workers: runtime.NumCPU(),
 		})
+		if err != nil {
+			log.Fatalf("mesacga: %v", err)
+		}
 		pts := feasiblePoints(res.Front)
 		minP, maxCL := 1e18, 0.0
 		for _, p := range pts {

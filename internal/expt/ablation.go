@@ -62,6 +62,9 @@ func Ablation(c Config) (*Report, error) {
 			results[i] = c.runIslands(spec, total, seed)
 		}
 	})
+	if err := runsErr(results); err != nil {
+		return rep, err
+	}
 	for i, j := range jobs {
 		name := variants[j.vi]
 		hv[name] = append(hv[name], results[i].hvCover)
@@ -94,7 +97,7 @@ func (c *Config) runLocalOnly(spec sizing.Spec, m, total int, seed int64) runOut
 	prob := objective.NewCounter(c.problem(spec))
 	clLo, clHi := sizing.ObjectiveRangeCL()
 	start := time.Now()
-	res := sacga.RunLocalOnly(prob, sacga.Config{
+	res, err := sacga.RunLocalOnly(prob, sacga.Config{
 		PopSize:            c.PopSize,
 		Partitions:         m,
 		PartitionObjective: 1,
@@ -102,7 +105,12 @@ func (c *Config) runLocalOnly(spec sizing.Spec, m, total int, seed int64) runOut
 		PartitionHi:        clHi,
 		Seed:               seed,
 	}, total)
-	return digest("local-only", res.Front, prob.Count(), time.Since(start), 0)
+	if res == nil {
+		return runOut{algo: "local-only", err: err}
+	}
+	out := digest("local-only", res.Front, prob.Count(), time.Since(start), 0)
+	out.err = err
+	return out
 }
 
 // runSACGAShaped is runSACGA with an explicit participation shape.
@@ -111,7 +119,7 @@ func (c *Config) runSACGAShaped(spec sizing.Spec, m, total int, seed int64, shap
 	clLo, clHi := sizing.ObjectiveRangeCL()
 	gentMax := min(c.iters(200), total/4+1)
 	start := time.Now()
-	e := sacga.NewEngine(prob, sacga.Config{
+	e, err := sacga.NewEngine(prob, sacga.Config{
 		PopSize:            c.PopSize,
 		Partitions:         m,
 		PartitionObjective: 1,
@@ -121,14 +129,24 @@ func (c *Config) runSACGAShaped(spec sizing.Spec, m, total int, seed int64, shap
 		Shape:              shape,
 		Seed:               seed,
 	})
-	gent := e.PhaseI(gentMax)
+	if e == nil {
+		return runOut{algo: "instant-global", err: err}
+	}
+	gent, phaseErr := e.PhaseI(gentMax)
+	if err == nil {
+		err = phaseErr
+	}
 	e.MarkDead()
 	span := total - gent
 	if span < 1 {
 		span = 1
 	}
-	e.PhaseII(span)
-	return digest("instant-global", e.Front(), prob.Count(), time.Since(start), gent)
+	if phase2Err := e.PhaseII(span); err == nil {
+		err = phase2Err
+	}
+	out := digest("instant-global", e.Front(), prob.Count(), time.Since(start), gent)
+	out.err = err
+	return out
 }
 
 // runIslands digests the island-model comparator at an equal evaluation
@@ -141,7 +159,7 @@ func (c *Config) runIslands(spec sizing.Spec, total int, seed int64) runOut {
 		size = 4
 	}
 	start := time.Now()
-	res := islands.Run(prob, islands.Config{
+	res, err := islands.Run(prob, islands.Config{
 		Islands:        nIslands,
 		IslandSize:     size,
 		Generations:    total,
@@ -149,5 +167,10 @@ func (c *Config) runIslands(spec sizing.Spec, total int, seed int64) runOut {
 		Migrants:       2,
 		Seed:           seed,
 	})
-	return digest("islands", res.Front, prob.Count(), time.Since(start), 0)
+	if res == nil {
+		return runOut{algo: "islands", err: err}
+	}
+	out := digest("islands", res.Front, prob.Count(), time.Since(start), 0)
+	out.err = err
+	return out
 }

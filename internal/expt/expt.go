@@ -187,6 +187,7 @@ type runOut struct {
 	evals    int64
 	wall     time.Duration
 	gentUsed int
+	err      error // evaluation fault, if the run degraded (digest still valid)
 }
 
 func frontPoints(front ga.Population) []hypervolume.Point2 {
@@ -219,27 +220,51 @@ func digest(algo string, front ga.Population, evals int64, wall time.Duration, g
 	}
 }
 
-// mustRun drives an engine through the unified search driver; the options
-// the runners build are always valid and the context never cancels, so an
-// error here is a harness bug worth crashing on.
-func mustRun(eng search.Engine, prob objective.Problem, opts search.Options) *search.Result {
+// run drives an engine through the unified search driver. Evaluation
+// faults no longer crash the harness: the best-so-far result comes back
+// alongside the typed error, so runners digest whatever survived and the
+// figure functions propagate the fault.
+func run(eng search.Engine, prob objective.Problem, opts search.Options) (*search.Result, error) {
 	res, err := search.Run(context.Background(), eng, prob, opts)
-	if err != nil {
-		panic(fmt.Sprintf("expt: %v", err))
+	if res == nil {
+		res = &search.Result{}
 	}
-	return res
+	return res, err
+}
+
+// runsErr surfaces the first per-replicate fault, so a figure reports a
+// degraded sweep instead of silently plotting quarantined individuals.
+func runsErr(outs []runOut) error {
+	for i := range outs {
+		if outs[i].err != nil {
+			return fmt.Errorf("expt: %s replicate %d: %w", outs[i].algo, i, outs[i].err)
+		}
+	}
+	return nil
+}
+
+// firstErr is runsErr for sweeps that keep a bare error slice.
+func firstErr(errs []error) error {
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("expt: replicate %d: %w", i, err)
+		}
+	}
+	return nil
 }
 
 // runTPG runs the NSGA-II baseline for `total` iterations.
 func (c *Config) runTPG(spec sizing.Spec, total int, seed int64) runOut {
 	prob := objective.NewCounter(c.problem(spec))
 	start := time.Now()
-	res := mustRun(new(nsga2.Engine), prob, search.Options{
+	res, err := run(new(nsga2.Engine), prob, search.Options{
 		PopSize:     c.PopSize,
 		Generations: total,
 		Seed:        seed,
 	})
-	return digest("TPG", res.Front, prob.Count(), time.Since(start), 0)
+	out := digest("TPG", res.Front, prob.Count(), time.Since(start), 0)
+	out.err = err
+	return out
 }
 
 // runSACGA runs SACGA with m partitions and a total iteration budget: phase
@@ -252,7 +277,7 @@ func (c *Config) runSACGA(spec sizing.Spec, m, total int, seed int64) runOut {
 	gentMax := min(c.iters(200), total/4+1)
 	start := time.Now()
 	eng := new(sacga.Engine)
-	res := mustRun(eng, prob, search.Options{
+	res, err := run(eng, prob, search.Options{
 		PopSize:     c.PopSize,
 		Generations: total,
 		Seed:        seed,
@@ -264,7 +289,9 @@ func (c *Config) runSACGA(spec sizing.Spec, m, total int, seed int64) runOut {
 			GentMax:            gentMax,
 		},
 	})
-	return digest("SACGA", res.Front, prob.Count(), time.Since(start), eng.GentUsed())
+	out := digest("SACGA", res.Front, prob.Count(), time.Since(start), eng.GentUsed())
+	out.err = err
+	return out
 }
 
 // runMESACGA runs MESACGA with the given schedule; the post-phase-I budget
@@ -275,7 +302,7 @@ func (c *Config) runMESACGA(spec sizing.Spec, schedule []int, total int, seed in
 	gentMax := min(c.iters(200), total/4+1)
 	start := time.Now()
 	eng := new(mesacga.Engine)
-	res := mustRun(eng, prob, search.Options{
+	res, err := run(eng, prob, search.Options{
 		PopSize:     c.PopSize,
 		Generations: total,
 		Seed:        seed,
@@ -287,16 +314,18 @@ func (c *Config) runMESACGA(spec sizing.Spec, schedule []int, total int, seed in
 			GentMax:            gentMax,
 		},
 	})
-	return digest("MESACGA", res.Front, prob.Count(), time.Since(start), eng.GentUsed()), eng.Result()
+	out := digest("MESACGA", res.Front, prob.Count(), time.Since(start), eng.GentUsed())
+	out.err = err
+	return out, eng.Result()
 }
 
 // runMESACGASpanned runs MESACGA with an exact per-phase span (fig. 10's
 // x-parameter) instead of a total budget.
-func (c *Config) runMESACGASpanned(spec sizing.Spec, schedule []int, span int, seed int64) *mesacga.Result {
+func (c *Config) runMESACGASpanned(spec sizing.Spec, schedule []int, span int, seed int64) (*mesacga.Result, error) {
 	prob := objective.NewCounter(c.problem(spec))
 	clLo, clHi := sizing.ObjectiveRangeCL()
 	eng := new(mesacga.Engine)
-	mustRun(eng, prob, search.Options{
+	_, err := run(eng, prob, search.Options{
 		PopSize: c.PopSize,
 		Seed:    seed,
 		Extra: &mesacga.Params{
@@ -308,7 +337,7 @@ func (c *Config) runMESACGASpanned(spec sizing.Spec, schedule []int, span int, s
 			Span:               span,
 		},
 	})
-	return eng.Result()
+	return eng.Result(), err
 }
 
 // parallelRuns executes n replicate jobs across the shared worker pool,

@@ -24,6 +24,9 @@ func Fig2(c Config) (*Report, error) {
 	c.parallelRuns(c.Seeds, func(i int) {
 		outs[i] = c.runTPG(sizing.PaperSpec(), total, c.Seed+int64(i))
 	})
+	if err := runsErr(outs); err != nil {
+		return rep, err
+	}
 	cluster := make([]float64, c.Seeds)
 	minCL := make([]float64, c.Seeds)
 	hv := make([]float64, c.Seeds)
@@ -104,6 +107,9 @@ func Fig5(c Config) (*Report, error) {
 			outs[i] = c.runSACGA(sizing.PaperSpec(), 8, total, seed)
 		}
 	})
+	if err := runsErr(outs); err != nil {
+		return rep, err
+	}
 	var hvT, hvS, minT, minS []float64
 	for i := 0; i < len(outs); i += 2 {
 		hvT = append(hvT, outs[i].hv)
@@ -143,11 +149,16 @@ func Fig6(c Config) (*Report, error) {
 	for i := range hv {
 		hv[i] = make([]float64, c.Seeds)
 	}
+	errs := make([]error, len(jobs))
 	c.parallelRuns(len(jobs), func(i int) {
 		j := jobs[i]
 		out := c.runSACGA(sizing.PaperSpec(), ms[j.mi], total, c.Seed+int64(j.si))
 		hv[j.mi][j.si] = out.hv
+		errs[i] = out.err
 	})
+	if err := firstErr(errs); err != nil {
+		return rep, err
+	}
 	var rows [][]float64
 	var series plot.Series
 	series.Name = fmt.Sprintf("HV after %d iters", total)
@@ -206,6 +217,9 @@ func Fig8(c Config) (*Report, error) {
 			outs[i], _ = c.runMESACGA(sizing.PaperSpec(), nil, total, seed)
 		}
 	})
+	if err := runsErr(outs); err != nil {
+		return rep, err
+	}
 	var hvT, hvS, hvM []float64
 	for i := 0; i < len(outs); i += 3 {
 		hvT = append(hvT, outs[i].hv)
@@ -247,11 +261,16 @@ func Fig9(c Config) (*Report, error) {
 	for i := range hv {
 		hv[i] = make([]float64, c.Seeds)
 	}
+	errs := make([]error, len(jobs))
 	c.parallelRuns(len(jobs), func(i int) {
 		j := jobs[i]
 		out := c.runSACGA(sizing.PaperSpec(), 8, c.iters(totals[j.ti]), c.Seed+int64(j.si))
 		hv[j.ti][j.si] = out.hv
+		errs[i] = out.err
 	})
+	if err := firstErr(errs); err != nil {
+		return rep, err
+	}
 	var rows [][]float64
 	var series plot.Series
 	series.Name = "8-partition SACGA"
@@ -308,17 +327,25 @@ func Fig10(c Config) (*Report, error) {
 			jobs = append(jobs, job{si, s})
 		}
 	}
+	errs := make([]error, len(jobs))
 	c.parallelRuns(len(jobs), func(i int) {
 		j := jobs[i]
 		// The span is the figure's x-parameter: pass it exactly (the
 		// TotalBudget mode used elsewhere would stretch it when phase I
 		// exits early).
-		res := c.runMESACGASpanned(sizing.PaperSpec(), schedule, c.iters(spans[j.si]), c.Seed+int64(j.seed))
+		res, err := c.runMESACGASpanned(sizing.PaperSpec(), schedule, c.iters(spans[j.si]), c.Seed+int64(j.seed))
+		errs[i] = err
+		if res == nil {
+			return
+		}
 		for p, front := range res.PhaseFronts {
 			pts := frontPoints(front)
 			phaseHV[j.si][p][j.seed] = hypervolume.PaperMetric(pts) / hvUnit
 		}
 	})
+	if err := firstErr(errs); err != nil {
+		return rep, err
+	}
 	var rows [][]float64
 	for p := range schedule {
 		row := []float64{float64(p + 1)}
@@ -371,6 +398,9 @@ func Fig11(c Config) (*Report, error) {
 			outs[i], _ = c.runMESACGA(sizing.PaperSpec(), nil, c.iters(1250), seed)
 		}
 	})
+	if err := runsErr(outs); err != nil {
+		return rep, err
+	}
 	var hvS, hvM []float64
 	for i := 0; i < len(outs); i += 2 {
 		hvS = append(hvS, outs[i].hv)

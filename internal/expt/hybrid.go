@@ -57,6 +57,9 @@ func Hybrid(c Config) (*Report, error) {
 			results[i] = c.runParallelIslands(spec, total, seed)
 		}
 	})
+	if err := runsErr(results); err != nil {
+		return rep, err
+	}
 
 	hv := make(map[string][]float64, len(variants))
 	minCL := make(map[string][]float64, len(variants))
@@ -93,7 +96,7 @@ func (c *Config) runRelay(spec sizing.Spec, total int, seed int64) runOut {
 	prob := objective.NewCounter(c.problem(spec))
 	start := time.Now()
 	eng := new(sched.Relay)
-	res := mustRun(eng, prob, search.Options{
+	res, err := run(eng, prob, search.Options{
 		PopSize:     c.PopSize,
 		Generations: total,
 		Seed:        seed,
@@ -102,7 +105,9 @@ func (c *Config) runRelay(spec sizing.Spec, total int, seed int64) runOut {
 			{Algo: "sacga", Extra: c.schedSACGAParams(total)},
 		}},
 	})
-	return digest("relay", res.Front, prob.Count(), time.Since(start), 0)
+	out := digest("relay", res.Front, prob.Count(), time.Since(start), 0)
+	out.err = err
+	return out
 }
 
 // runPortfolio digests the NSGA-II vs SACGA race, scored on the reported
@@ -114,7 +119,7 @@ func (c *Config) runPortfolio(spec sizing.Spec, total int, seed int64) runOut {
 	// Each member gets the full population, so the race consumes ~2x the
 	// per-generation evaluations; halving the generation budget keeps the
 	// row budget-comparable with the single-engine reference.
-	res := mustRun(eng, prob, search.Options{
+	res, err := run(eng, prob, search.Options{
 		PopSize:     c.PopSize,
 		Generations: max(total/2, 1),
 		Seed:        seed,
@@ -132,7 +137,9 @@ func (c *Config) runPortfolio(spec sizing.Spec, total int, seed int64) runOut {
 			},
 		},
 	})
-	return digest("portfolio", res.Front, prob.Count(), time.Since(start), 0)
+	out := digest("portfolio", res.Front, prob.Count(), time.Since(start), 0)
+	out.err = err
+	return out
 }
 
 // runParallelIslands digests four concurrent NSGA-II replicas with ring
@@ -142,7 +149,7 @@ func (c *Config) runParallelIslands(spec sizing.Spec, total int, seed int64) run
 	prob := objective.NewCounter(c.problem(spec))
 	start := time.Now()
 	eng := new(sched.ParallelIslands)
-	res := mustRun(eng, prob, search.Options{
+	res, err := run(eng, prob, search.Options{
 		PopSize:     c.PopSize,
 		Generations: total,
 		Seed:        seed,
@@ -151,5 +158,7 @@ func (c *Config) runParallelIslands(spec sizing.Spec, total int, seed int64) run
 			MigrationEvery: 10, Migrants: 2,
 		},
 	})
-	return digest("parislands", res.Front, prob.Count(), time.Since(start), 0)
+	out := digest("parislands", res.Front, prob.Count(), time.Since(start), 0)
+	out.err = err
+	return out
 }

@@ -37,6 +37,7 @@ func Trends(c Config) (*Report, error) {
 			jobs = append(jobs, job{si, ai})
 		}
 	}
+	errs := make([]error, len(jobs))
 	c.parallelRuns(len(jobs), func(i int) {
 		j := jobs[i]
 		var out runOut
@@ -49,7 +50,11 @@ func Trends(c Config) (*Report, error) {
 			out, _ = c.runMESACGA(specs[j.si], nil, total, c.Seed+int64(j.si))
 		}
 		results[j.si][j.ai] = cell{hv: out.hvCover, wall: out.wall.Seconds()}
+		errs[i] = out.err
 	})
+	if err := firstErr(errs); err != nil {
+		return rep, err
+	}
 
 	var rows [][]float64
 	var hvT, hvS, hvM, wT, wS, wM []float64

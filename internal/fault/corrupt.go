@@ -1,0 +1,50 @@
+package fault
+
+import (
+	"fmt"
+	"os"
+)
+
+// Torn-write simulation for durable files (checkpoints): bit flips and
+// truncation, the two corruptions a crashed or interrupted writer leaves
+// behind. Both operate in place on the target path.
+
+// FlipBit inverts one bit of the file at path. bit counts from the start
+// of the file and is reduced modulo the file's size in bits, so any
+// non-negative value is a valid attack position.
+func FlipBit(path string, bit int64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(data) == 0 {
+		return fmt.Errorf("fault: FlipBit on empty file %s", path)
+	}
+	if bit < 0 {
+		return fmt.Errorf("fault: FlipBit with negative bit %d", bit)
+	}
+	bit %= int64(len(data)) * 8
+	data[bit/8] ^= 1 << (bit % 8)
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Truncate cuts the file at path down to keep bytes; a negative keep drops
+// -keep bytes from the end (the classic torn tail). Truncating to at or
+// beyond the current size is an error — the attack must change the file.
+func Truncate(path string, keep int64) error {
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	size := info.Size()
+	if keep < 0 {
+		keep = size + keep
+	}
+	if keep < 0 {
+		keep = 0
+	}
+	if keep >= size {
+		return fmt.Errorf("fault: Truncate(%s, %d) does not shrink %d-byte file", path, keep, size)
+	}
+	return os.Truncate(path, keep)
+}

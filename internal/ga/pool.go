@@ -1,7 +1,9 @@
 package ga
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -33,6 +35,43 @@ type poolJob struct {
 	pending atomic.Int64 // indices not yet completed
 	fn      func(i int)
 	done    chan struct{}
+
+	// Panic isolation: a panicking fn(i) must not kill a pool worker (its
+	// goroutine serves every job in the process), so each call is recovered
+	// and the lowest-index panic is re-raised on the submitting goroutine
+	// as a *PanicError once the job drains. Keeping the lowest index makes
+	// the surfaced panic independent of chunk scheduling.
+	failMu    sync.Mutex
+	failIdx   int64 // lowest panicking index; -1 = none
+	failVal   any
+	failStack []byte
+}
+
+// PanicError is a panic from a Pool loop body, captured on a worker and
+// re-raised on the goroutine that submitted the job. Recoverable layers
+// (ga's Try evaluation) convert it into a typed error; bare Run/RunLimit
+// callers see an ordinary panic on their own stack, with the worker's
+// stack preserved.
+type PanicError struct {
+	// Index is the lowest loop index whose fn panicked.
+	Index int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the worker goroutine's stack at the point of the panic.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("ga: panic in pool worker at index %d: %v", e.Index, e.Value)
+}
+
+// Unwrap exposes a panic value that was itself an error.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
 }
 
 // NewPool starts a pool with the given number of workers; workers <= 0
@@ -87,7 +126,7 @@ func (p *Pool) RunLimit(n, limit int, fn func(i int)) {
 	if limit <= 0 || limit > p.workers+1 {
 		limit = p.workers + 1
 	}
-	j := &poolJob{n: int64(n), fn: fn, done: make(chan struct{})}
+	j := &poolJob{n: int64(n), fn: fn, done: make(chan struct{}), failIdx: -1}
 	j.pending.Store(j.n)
 	j.chunk = chunkFor(n, limit)
 	// Offer the job to at most limit-1 workers (the caller is the limit-th)
@@ -108,6 +147,9 @@ offer:
 	}
 	j.run()
 	<-j.done
+	if j.failIdx >= 0 {
+		panic(&PanicError{Index: int(j.failIdx), Value: j.failVal, Stack: j.failStack})
+	}
 }
 
 // run claims and executes chunks until the cursor is exhausted. The last
@@ -123,12 +165,32 @@ func (j *poolJob) run() {
 			end = j.n
 		}
 		for i := start; i < end; i++ {
-			j.fn(int(i))
+			j.call(int(i))
 		}
 		if j.pending.Add(start-end) == 0 {
 			close(j.done)
 		}
 	}
+}
+
+// call runs fn(i) with panic isolation: a recovered panic is recorded (the
+// lowest index wins) and the loop continues, so one poisoned index never
+// takes down a worker goroutine or starves the job's remaining indices.
+func (j *poolJob) call(i int) {
+	defer func() {
+		if r := recover(); r != nil {
+			j.recordPanic(i, r, debug.Stack())
+		}
+	}()
+	j.fn(i)
+}
+
+func (j *poolJob) recordPanic(i int, v any, stack []byte) {
+	j.failMu.Lock()
+	if j.failIdx < 0 || int64(i) < j.failIdx {
+		j.failIdx, j.failVal, j.failStack = int64(i), v, stack
+	}
+	j.failMu.Unlock()
 }
 
 // chunkFor sizes chunks so each participant gets a few steals' worth of

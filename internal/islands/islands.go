@@ -146,14 +146,14 @@ func (c Config) options() search.Options {
 
 // Run executes the island-model GA on prob — the legacy entry point, a
 // wrapper over the step-wise engine driven by search.Run.
-func Run(prob objective.Problem, cfg Config) *Result {
+func Run(prob objective.Problem, cfg Config) (*Result, error) {
 	cfg.normalize()
 	e := new(Engine)
 	res, err := search.Run(context.Background(), e, prob, cfg.options())
-	if err != nil {
-		panic(fmt.Sprintf("islands: %v", err)) // unreachable: options always valid
+	if res == nil {
+		return nil, err
 	}
-	return &Result{Final: res.Final, Front: res.Front, Generations: res.Generations}
+	return &Result{Final: res.Final, Front: res.Front, Generations: res.Generations}, err
 }
 
 // Engine is the step-wise island-model driver implementing search.Engine.
@@ -247,11 +247,17 @@ func (e *Engine) Init(prob objective.Problem, opts search.Options) error {
 	}
 	e.isles = make([]ga.Population, e.cfg.Islands)
 	e.streams = make([]*rng.Stream, e.cfg.Islands)
+	var evalErr error
 	for k := range e.isles {
 		e.streams[k] = rng.DeriveN(e.cfg.Seed, "island", k)
 		e.isles[k] = e.seedIsland(k)
-		e.isles[k].EvaluateWith(e.prob, e.cfg.Pool, e.cfg.Workers)
+		if err := e.isles[k].TryEvaluateWith(e.prob, e.cfg.Pool, e.cfg.Workers); err != nil && evalErr == nil {
+			evalErr = err // first island's fault; later islands still seed
+		}
 		e.isles[k].AssignRanksAndCrowding()
+	}
+	if evalErr != nil {
+		return fmt.Errorf("islands: %w", evalErr)
 	}
 	return nil
 }
@@ -278,9 +284,14 @@ func (e *Engine) Step() error {
 	if e.Done() {
 		return nil
 	}
+	var evalErr error
 	for k := range e.isles {
-		e.isles[k], e.children, e.union = step(e.prob, e.isles[k], e.streams[k], e.cfg, e.lo, e.hi,
+		var err error
+		e.isles[k], e.children, e.union, err = step(e.prob, e.isles[k], e.streams[k], e.cfg, e.lo, e.hi,
 			&e.arena, e.children, e.union)
+		if err != nil && evalErr == nil {
+			evalErr = err // keep the first island's fault; the ring still advances
+		}
 	}
 	if e.cfg.MigrationEvery > 0 && (e.gen+1)%e.cfg.MigrationEvery == 0 {
 		migrate(e.isles, e.cfg.Migrants, &e.arena)
@@ -291,6 +302,9 @@ func (e *Engine) Step() error {
 	}
 	if e.done() {
 		e.finalize()
+	}
+	if evalErr != nil {
+		return fmt.Errorf("islands: %w", evalErr)
 	}
 	return nil
 }
@@ -420,15 +434,15 @@ func (e *Engine) Restore(prob objective.Problem, opts search.Options, cp *search
 // slices. The survivor slice reuses pop's backing array: the union holds
 // its own copies of the member pointers, so overwriting pop is safe.
 func step(prob objective.Problem, pop ga.Population, s *rng.Stream, cfg Config, lo, hi []float64,
-	arena *ga.Arena, children, union ga.Population) (next, childBuf, unionBuf ga.Population) {
+	arena *ga.Arena, children, union ga.Population) (next, childBuf, unionBuf ga.Population, err error) {
 	size := cfg.IslandSize
 	children = nsga2.MakeChildrenInto(s, pop, cfg.Ops, lo, hi, size, arena, children)
-	children.EvaluateWith(prob, cfg.Pool, cfg.Workers)
+	err = children.TryEvaluateWith(prob, cfg.Pool, cfg.Workers)
 	union = append(append(union[:0], pop...), children...)
 	arena.AssignRanksAndCrowding(union)
 	next = arena.TruncateRecycle(union, size, pop[:0])
 	arena.AssignRanksAndCrowding(next)
-	return next, children, union
+	return next, children, union, err
 }
 
 // migrate sends each island's least-crowded front members (clones) to the

@@ -10,7 +10,7 @@ import (
 )
 
 func TestRunZDT1(t *testing.T) {
-	res := Run(benchfn.ZDT1(8), Config{
+	res := runOK(t, benchfn.ZDT1(8), Config{
 		Islands: 4, IslandSize: 20, Generations: 60, Seed: 1,
 	})
 	if len(res.Front) == 0 {
@@ -31,8 +31,8 @@ func TestRunZDT1(t *testing.T) {
 
 func TestDeterministic(t *testing.T) {
 	cfg := Config{Islands: 3, IslandSize: 12, Generations: 15, Seed: 9}
-	a := Run(benchfn.ZDT1(6), cfg)
-	b := Run(benchfn.ZDT1(6), cfg)
+	a := runOK(t, benchfn.ZDT1(6), cfg)
+	b := runOK(t, benchfn.ZDT1(6), cfg)
 	for i := range a.Final {
 		for k := range a.Final[i].X {
 			if a.Final[i].X[k] != b.Final[i].X[k] {
@@ -47,10 +47,10 @@ func TestIslandsEvolveIndependentlyWithoutMigration(t *testing.T) {
 	// enabled, genetic material spreads. Compare the pooled fronts: the
 	// migrating version should not be worse (on ZDT1 it converges at least
 	// as well), and the runs must differ.
-	iso := Run(benchfn.ZDT1(8), Config{
+	iso := runOK(t, benchfn.ZDT1(8), Config{
 		Islands: 4, IslandSize: 16, Generations: 40, Seed: 3, MigrationEvery: -1,
 	})
-	mig := Run(benchfn.ZDT1(8), Config{
+	mig := runOK(t, benchfn.ZDT1(8), Config{
 		Islands: 4, IslandSize: 16, Generations: 40, Seed: 3, MigrationEvery: 5,
 	})
 	same := true
@@ -72,14 +72,14 @@ func TestMigrationPreservesPopulationSizes(t *testing.T) {
 			t.Fatalf("pooled size %d at gen %d", len(pooled), gen)
 		}
 	}
-	Run(benchfn.ZDT1(6), Config{
+	runOK(t, benchfn.ZDT1(6), Config{
 		Islands: 3, IslandSize: 14, Generations: 20, Seed: 4,
 		MigrationEvery: 3, Migrants: 2, Observer: obs,
 	})
 }
 
 func TestConstrainedFeasibleFront(t *testing.T) {
-	res := Run(benchfn.Constr(), Config{
+	res := runOK(t, benchfn.Constr(), Config{
 		Islands: 3, IslandSize: 20, Generations: 50, Seed: 5,
 	})
 	for _, ind := range res.Front {
@@ -91,7 +91,7 @@ func TestConstrainedFeasibleFront(t *testing.T) {
 
 func TestEvaluationBudget(t *testing.T) {
 	cnt := objective.NewCounter(benchfn.ZDT1(6))
-	Run(cnt, Config{Islands: 2, IslandSize: 10, Generations: 10, Seed: 6})
+	runOK(t, cnt, Config{Islands: 2, IslandSize: 10, Generations: 10, Seed: 6})
 	// init: 2*10; per generation: 2 islands × 10 children.
 	want := int64(20 + 10*20)
 	if cnt.Count() != want {
@@ -114,4 +114,15 @@ func TestNormalizeDefaults(t *testing.T) {
 	if cfg.Migrants > cfg.IslandSize/2 {
 		t.Fatalf("migrants %d exceed half the island", cfg.Migrants)
 	}
+}
+
+// runOK is Run with faults fatal: the fixtures here never fault, so any
+// returned error is a regression in the legacy wrapper.
+func runOK(t *testing.T, prob objective.Problem, cfg Config) *Result {
+	t.Helper()
+	res, err := Run(prob, cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
 }

@@ -154,14 +154,16 @@ func (c Config) options() search.Options {
 }
 
 // Run executes MESACGA — the legacy entry point, a wrapper over the
-// step-wise engine driven by search.Run. It panics on an invalid partition
-// schedule (the Engine Init path returns the error instead).
-func Run(prob objective.Problem, cfg Config) *Result {
+// step-wise engine driven by search.Run. Invalid configuration (e.g. a bad
+// partition schedule) returns a nil result with the error; an evaluation
+// fault returns the best-so-far result alongside the typed error.
+func Run(prob objective.Problem, cfg Config) (*Result, error) {
 	e := new(Engine)
-	if _, err := search.Run(context.Background(), e, prob, cfg.options()); err != nil {
-		panic(fmt.Sprintf("mesacga: %v", err))
+	res, err := search.Run(context.Background(), e, prob, cfg.options())
+	if res == nil {
+		return nil, err
 	}
-	return e.Result()
+	return e.Result(), err
 }
 
 // Result assembles the legacy Result view from the engine's current state.
@@ -268,8 +270,12 @@ func (e *Engine) Init(prob objective.Problem, opts search.Options) error {
 	if err != nil {
 		return err
 	}
-	e.inner = sacga.NewEngine(wrapped, e.sacgaConfig(opts, e.schedule[0]))
+	inner, innerErr := sacga.NewEngine(wrapped, e.sacgaConfig(opts, e.schedule[0]))
+	e.inner = inner
 	e.stage, e.phase, e.t, e.span, e.gentUsed = stagePhaseI, 0, 0, 0, 0
+	if innerErr != nil {
+		return fmt.Errorf("mesacga: %w", innerErr)
+	}
 	return nil
 }
 
@@ -285,9 +291,9 @@ func (e *Engine) Step() error {
 	phaseICap := sacga.BoundedGentMax(gentMax, e.totalIters, e.params.Span <= 0)
 	if e.stage == stagePhaseI {
 		if e.t < phaseICap && !e.inner.FeasibleEverywhere() {
-			e.inner.StepLocal(e.t, gentMax)
+			err := e.inner.StepLocal(e.t, gentMax)
 			e.t++
-			return nil
+			return err
 		}
 		e.gentUsed = e.t
 		e.inner.MarkDead()
@@ -301,7 +307,7 @@ func (e *Engine) Step() error {
 			}
 		}
 	}
-	e.inner.StepMixed(e.t, e.span)
+	stepErr := e.inner.StepMixed(e.t, e.span)
 	e.t++
 	if e.t >= e.span {
 		// Phase complete: record its global front, notify, expand.
@@ -318,7 +324,7 @@ func (e *Engine) Step() error {
 			e.inner.Regrid(e.schedule[e.phase])
 		}
 	}
-	return nil
+	return stepErr
 }
 
 // Done implements search.Engine.

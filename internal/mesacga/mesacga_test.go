@@ -24,7 +24,7 @@ func zdtConfig() Config {
 }
 
 func TestRunZDT1(t *testing.T) {
-	res := Run(benchfn.ZDT1(8), zdtConfig())
+	res := runOK(t, benchfn.ZDT1(8), zdtConfig())
 	if len(res.Front) == 0 {
 		t.Fatal("empty front")
 	}
@@ -53,7 +53,7 @@ func TestEmptyScheduleDefaults(t *testing.T) {
 	cfg := zdtConfig()
 	cfg.Schedule = nil
 	cfg.Span = 5
-	res := Run(benchfn.ZDT1(6), cfg)
+	res := runOK(t, benchfn.ZDT1(6), cfg)
 	if len(res.PhaseFronts) != 7 {
 		t.Fatalf("nil schedule should use the paper's 7 phases, got %d", len(res.PhaseFronts))
 	}
@@ -70,7 +70,7 @@ func TestPhaseObserverCalledInOrder(t *testing.T) {
 			t.Fatalf("phase observer saw population of %d", len(pop))
 		}
 	}
-	Run(benchfn.ZDT1(6), cfg)
+	runOK(t, benchfn.ZDT1(6), cfg)
 	if len(phases) != 4 {
 		t.Fatalf("observer called %d times", len(phases))
 	}
@@ -91,7 +91,7 @@ func TestPhaseFrontsGenerallyImprove(t *testing.T) {
 	// toward the ideal) across phases. On ZDT1 we use the reference-point
 	// hypervolume (higher better) and demand the last phase beats the
 	// first.
-	res := Run(benchfn.ZDT1(8), zdtConfig())
+	res := runOK(t, benchfn.ZDT1(8), zdtConfig())
 	ref := hypervolume.Point2{X: 1.1, Y: 10}
 	hv := func(front ga.Population) float64 {
 		pts := make([]hypervolume.Point2, 0, len(front))
@@ -114,14 +114,14 @@ func TestTotalBudgetMode(t *testing.T) {
 	cfg := zdtConfig()
 	cfg.Span = 0
 	cfg.TotalBudget = 97
-	res := Run(benchfn.ZDT1(6), cfg)
+	res := runOK(t, benchfn.ZDT1(6), cfg)
 	if res.Generations > 97 || res.Generations < 97-len(cfg.Schedule) {
 		t.Fatalf("generations %d should approach the 97 budget (gent %d)",
 			res.Generations, res.GentUsed)
 	}
 	// Evaluation accounting confirms it end to end.
 	cnt := objective.NewCounter(benchfn.ZDT1(6))
-	res = Run(cnt, cfg)
+	res = runOK(t, cnt, cfg)
 	want := int64(cfg.PopSize) * int64(1+res.Generations)
 	if cnt.Count() != want {
 		t.Fatalf("evaluations %d, want %d", cnt.Count(), want)
@@ -129,8 +129,8 @@ func TestTotalBudgetMode(t *testing.T) {
 }
 
 func TestDeterministicAcrossRuns(t *testing.T) {
-	a := Run(benchfn.ZDT1(6), zdtConfig())
-	b := Run(benchfn.ZDT1(6), zdtConfig())
+	a := runOK(t, benchfn.ZDT1(6), zdtConfig())
+	b := runOK(t, benchfn.ZDT1(6), zdtConfig())
 	for i := range a.Final {
 		for k := range a.Final[i].X {
 			if a.Final[i].X[k] != b.Final[i].X[k] {
@@ -143,7 +143,7 @@ func TestDeterministicAcrossRuns(t *testing.T) {
 func TestFinalPhaseSinglePartitionConverges(t *testing.T) {
 	// With the final phase a single partition, MESACGA degenerates to a
 	// global GA at the end; the front should be close to ZDT1's optimum.
-	res := Run(benchfn.ZDT1(8), zdtConfig())
+	res := runOK(t, benchfn.ZDT1(8), zdtConfig())
 	worst := 0.0
 	for _, ind := range res.Front {
 		gap := ind.Objectives[1] - (1 - math.Sqrt(ind.Objectives[0]))
@@ -155,7 +155,7 @@ func TestFinalPhaseSinglePartitionConverges(t *testing.T) {
 }
 
 func TestPhaseFrontsAreDeepCopies(t *testing.T) {
-	res := Run(benchfn.ZDT1(6), zdtConfig())
+	res := runOK(t, benchfn.ZDT1(6), zdtConfig())
 	// Mutating a phase front must not corrupt the final population.
 	for _, front := range res.PhaseFronts {
 		for _, ind := range front {
@@ -167,4 +167,15 @@ func TestPhaseFrontsAreDeepCopies(t *testing.T) {
 			t.Fatal("phase fronts alias the live population")
 		}
 	}
+}
+
+// runOK is Run with faults fatal: the fixtures here never fault, so any
+// returned error is a regression in the legacy wrapper.
+func runOK(t *testing.T, prob objective.Problem, cfg Config) *Result {
+	t.Helper()
+	res, err := Run(prob, cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
 }

@@ -85,16 +85,15 @@ func (c *Config) normalize() {
 }
 
 // Run executes NSGA-II on prob — the legacy entry point, a wrapper over
-// the step-wise engine driven by search.Run.
-func Run(prob objective.Problem, cfg Config) *Result {
+// the step-wise engine driven by search.Run. On an evaluation fault the
+// best-so-far result is returned alongside the typed error.
+func Run(prob objective.Problem, cfg Config) (*Result, error) {
 	eng := new(Engine)
 	res, err := search.Run(context.Background(), eng, prob, cfg.options())
-	if err != nil {
-		// Unreachable: the context never cancels and the mapped options
-		// are always valid. Surfacing it keeps the invariant honest.
-		panic(fmt.Sprintf("nsga2: %v", err))
+	if res == nil {
+		return nil, err
 	}
-	return &Result{Final: res.Final, Front: res.Front, Generations: res.Generations}
+	return &Result{Final: res.Final, Front: res.Front, Generations: res.Generations}, err
 }
 
 // Engine is the step-wise NSGA-II driver implementing search.Engine. The
@@ -143,8 +142,11 @@ func (e *Engine) Init(prob objective.Problem, opts search.Options) error {
 	for len(e.pop) < e.opts.PopSize {
 		e.pop = append(e.pop, ga.NewRandom(e.s, e.lo, e.hi))
 	}
-	e.pop.EvaluateWith(e.prob, e.opts.Pool, e.opts.Workers)
+	evalErr := e.pop.TryEvaluateWith(e.prob, e.opts.Pool, e.opts.Workers)
 	e.arena.AssignRanksAndCrowding(e.pop)
+	if evalErr != nil {
+		return fmt.Errorf("nsga2: %w", evalErr)
+	}
 	return nil
 }
 
@@ -172,7 +174,7 @@ func (e *Engine) Step() error {
 	}
 	cfg := &e.opts
 	e.children = MakeChildrenInto(e.s, e.pop, cfg.Ops, e.lo, e.hi, cfg.PopSize, &e.arena, e.children)
-	e.children.EvaluateWith(e.prob, cfg.Pool, cfg.Workers)
+	evalErr := e.children.TryEvaluateWith(e.prob, cfg.Pool, cfg.Workers)
 	e.union = append(append(e.union[:0], e.pop...), e.children...)
 	e.arena.AssignRanksAndCrowding(e.union)
 	e.next = e.arena.TruncateRecycle(e.union, cfg.PopSize, e.next)
@@ -186,6 +188,12 @@ func (e *Engine) Step() error {
 	e.gen++
 	if cfg.Observer != nil {
 		cfg.Observer(e.gen-1, e.pop) // legacy hook counts generations from 0
+	}
+	if evalErr != nil {
+		// The generation completed — quarantined children simply lost the
+		// selection — so the engine stays valid; the error tells the driver
+		// the run is degraded.
+		return fmt.Errorf("nsga2: %w", evalErr)
 	}
 	return nil
 }

@@ -25,10 +25,10 @@ func frontHV(front ga.Population) float64 {
 // run exactly — same decision vectors, same objectives, same metric.
 func TestParallelEvaluationBitIdentical(t *testing.T) {
 	cfg := Config{PopSize: 40, Generations: 30, Seed: 11}
-	seq := Run(benchfn.ZDT1(8), cfg)
+	seq := runOK(t, benchfn.ZDT1(8), cfg)
 
 	cfg.Workers = 8
-	par := Run(benchfn.ZDT1(8), cfg)
+	par := runOK(t, benchfn.ZDT1(8), cfg)
 
 	if len(seq.Front) != len(par.Front) {
 		t.Fatalf("front sizes differ: %d vs %d", len(seq.Front), len(par.Front))
@@ -58,11 +58,11 @@ func TestPrivatePoolMatchesSharedPool(t *testing.T) {
 	defer pool.Close()
 
 	cfg := Config{PopSize: 40, Generations: 20, Seed: 13}
-	seq := Run(benchfn.ZDT1(6), cfg)
+	seq := runOK(t, benchfn.ZDT1(6), cfg)
 
 	cfg.Workers = 3
 	cfg.Pool = pool
-	private := Run(benchfn.ZDT1(6), cfg)
+	private := runOK(t, benchfn.ZDT1(6), cfg)
 
 	if frontHV(seq.Front) != frontHV(private.Front) {
 		t.Fatal("private-pool run diverged from sequential run")
@@ -76,10 +76,10 @@ func TestPrivatePoolMatchesSharedPool(t *testing.T) {
 func TestBatchProblemEngineDeterminism(t *testing.T) {
 	prob := sizing.New(process.Default018(), sizing.PaperSpec())
 	cfg := Config{PopSize: 26, Generations: 6, Seed: 17, Workers: 1}
-	seq := Run(prob, cfg)
+	seq := runOK(t, prob, cfg)
 
 	cfg.Workers = 5
-	par := Run(prob, cfg)
+	par := runOK(t, prob, cfg)
 
 	for i := range seq.Final {
 		for d := range seq.Final[i].X {

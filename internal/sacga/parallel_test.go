@@ -21,10 +21,10 @@ func zdtFrontHV(front ga.Population) float64 {
 // — the annealed competition consumes the same random streams either way.
 func TestParallelEvaluationBitIdentical(t *testing.T) {
 	cfg := zdtConfig(40, 5)
-	seq := Run(benchfn.ZDT1(8), cfg)
+	seq := runOK(t, benchfn.ZDT1(8), cfg)
 
 	cfg.Workers = 8
-	par := Run(benchfn.ZDT1(8), cfg)
+	par := runOK(t, benchfn.ZDT1(8), cfg)
 
 	if len(seq.Final) != len(par.Final) {
 		t.Fatalf("population sizes differ: %d vs %d", len(seq.Final), len(par.Final))
@@ -53,11 +53,11 @@ func TestPrivatePoolBitIdentical(t *testing.T) {
 	defer pool.Close()
 
 	cfg := zdtConfig(40, 5)
-	seq := Run(benchfn.ZDT1(6), cfg)
+	seq := runOK(t, benchfn.ZDT1(6), cfg)
 
 	cfg.Workers = 4
 	cfg.Pool = pool
-	par := Run(benchfn.ZDT1(6), cfg)
+	par := runOK(t, benchfn.ZDT1(6), cfg)
 
 	if zdtFrontHV(seq.Front) != zdtFrontHV(par.Front) {
 		t.Fatal("private-pool run diverged from sequential run")
@@ -70,11 +70,15 @@ func TestPrivatePoolBitIdentical(t *testing.T) {
 // warm.
 func TestKernelsSteadyStateZeroAlloc(t *testing.T) {
 	prob := benchfn.ZDT1(8)
-	e := NewEngine(prob, zdtConfig(60, 6))
+	e := newEngineOK(t, prob, zdtConfig(60, 6))
 	// Warm every buffer with a few full iterations (children, union,
 	// double-buffered populations, group-by, sorter adjacency).
-	e.PhaseI(3)
-	e.PhaseII(3)
+	if _, err := e.PhaseI(3); err != nil {
+		t.Fatalf("PhaseI: %v", err)
+	}
+	if err := e.PhaseII(3); err != nil {
+		t.Fatalf("PhaseII: %v", err)
+	}
 
 	union := append(append(ga.Population{}, e.pop...), e.pop.Clone()...)
 	e.assign(union)

@@ -214,32 +214,38 @@ func (c Config) options() search.Options {
 // GentMax), then Span iterations of annealed mixed competition. It is the
 // legacy entry point, a wrapper over the step-wise engine driven by
 // search.Run.
-func Run(prob objective.Problem, cfg Config) *Result {
+func Run(prob objective.Problem, cfg Config) (*Result, error) {
 	cfg.normalize(prob.NumObjectives())
 	e := new(Engine)
-	if _, err := search.Run(context.Background(), e, prob, cfg.options()); err != nil {
-		panic(fmt.Sprintf("sacga: %v", err)) // unreachable: options always valid
+	res, err := search.Run(context.Background(), e, prob, cfg.options())
+	if res == nil {
+		return nil, err
 	}
-	return e.result(e.gentUsed)
+	return e.result(e.gentUsed), err
 }
 
 // RunLocalOnly is the paper's §4.3 ablation: local competition for the
 // whole budget, with one global competition at the end to extract the
 // Pareto front. Dead partitions are never discarded (there is no phase
 // boundary). A wrapper over the engine's Params.LocalOnly mode.
-func RunLocalOnly(prob objective.Problem, cfg Config, generations int) *Result {
+func RunLocalOnly(prob objective.Problem, cfg Config, generations int) (*Result, error) {
 	cfg.normalize(prob.NumObjectives())
 	if generations <= 0 {
-		return NewEngine(prob, cfg).result(generations)
+		e, err := NewEngine(prob, cfg)
+		if e == nil {
+			return nil, err
+		}
+		return e.result(generations), err
 	}
 	opts := cfg.options()
 	opts.Generations = generations
 	opts.Extra.(*Params).LocalOnly = true
 	e := new(Engine)
-	if _, err := search.Run(context.Background(), e, prob, opts); err != nil {
-		panic(fmt.Sprintf("sacga: %v", err)) // unreachable: options always valid
+	res, err := search.Run(context.Background(), e, prob, opts)
+	if res == nil {
+		return nil, err
 	}
-	return e.result(e.gen)
+	return e.result(e.gen), err
 }
 
 // Engine exposes SACGA's phases so MESACGA can drive them with an expanding
@@ -288,18 +294,22 @@ type Engine struct {
 	childBuf     ga.Population   // iterate: offspring
 }
 
-// NewEngine initializes the population and partition grid.
-func NewEngine(prob objective.Problem, cfg Config) *Engine {
+// NewEngine initializes the population and partition grid. On an
+// evaluation fault the engine is still returned fully initialized — the
+// failed individuals quarantined — alongside the typed error.
+func NewEngine(prob objective.Problem, cfg Config) (*Engine, error) {
 	e := new(Engine)
-	e.start(prob, cfg, 0)
+	err := e.start(prob, cfg, 0)
 	e.totalIters = cfg.GentMax + cfg.Span
-	return e
+	return e, err
 }
 
 // start is the construction core shared by NewEngine and Init: normalize,
 // wire the evaluation budget, build the grid, seed and evaluate the
-// initial population, and reset the step machine.
-func (e *Engine) start(prob objective.Problem, cfg Config, maxEvals int64) {
+// initial population, and reset the step machine. An evaluation fault
+// quarantines the failed individuals and is returned after the engine is
+// fully initialized.
+func (e *Engine) start(prob objective.Problem, cfg Config, maxEvals int64) error {
 	cfg.normalize(prob.NumObjectives())
 	e.cfg = cfg
 	e.prob = e.budget.Attach(prob, maxEvals)
@@ -318,9 +328,13 @@ func (e *Engine) start(prob objective.Problem, cfg Config, maxEvals int64) {
 	for len(e.pop) < cfg.PopSize {
 		e.pop = append(e.pop, ga.NewRandom(e.s, lo, hi))
 	}
-	e.pop.EvaluateWith(e.prob, cfg.Pool, cfg.Workers)
+	evalErr := e.pop.TryEvaluateWith(e.prob, cfg.Pool, cfg.Workers)
 	e.assign(e.pop)
 	e.localRanks(e.pop)
+	if evalErr != nil {
+		return fmt.Errorf("sacga: %w", evalErr)
+	}
+	return nil
 }
 
 // configFor maps (Options, Params) to the internal Config.
@@ -362,11 +376,11 @@ func (e *Engine) Init(prob objective.Problem, opts search.Options) error {
 		return fmt.Errorf("sacga: %w", err)
 	}
 	opts.Normalize()
-	e.start(prob, configFor(opts, p), opts.MaxEvals)
+	err = e.start(prob, configFor(opts, p), opts.MaxEvals)
 	e.totalIters = opts.Generations
 	e.deriveSpan = p.Span <= 0
 	e.localOnly = p.LocalOnly
-	return nil
+	return err
 }
 
 // Step implements search.Engine: one SACGA iteration. In phase I it first
@@ -379,15 +393,15 @@ func (e *Engine) Step() error {
 		return nil
 	}
 	if e.localOnly {
-		e.iterate(e.t, e.totalIters, true)
+		err := e.iterate(e.t, e.totalIters, true)
 		e.t++
-		return nil
+		return err
 	}
 	if e.stage == stagePhaseI {
 		if e.t < e.phaseICap() && !e.allPartitionsFeasible() {
-			e.iterate(e.t, e.cfg.GentMax, true)
+			err := e.iterate(e.t, e.cfg.GentMax, true)
 			e.t++
-			return nil
+			return err
 		}
 		e.gentUsed = e.t
 		e.MarkDead()
@@ -401,9 +415,9 @@ func (e *Engine) Step() error {
 			}
 		}
 	}
-	e.iterate(e.t, e.span, false)
+	err := e.iterate(e.t, e.span, false)
 	e.t++
-	return nil
+	return err
 }
 
 // BoundedGentMax is the phase-I budget rule shared by the SACGA and
@@ -567,11 +581,11 @@ func (e *Engine) Immigrate(migrants ga.Population) {
 
 // StepLocal runs one pure-local-competition iteration at annealing
 // position t of span — the phase-I grain the MESACGA engine steps at.
-func (e *Engine) StepLocal(t, span int) { e.iterate(t, span, true) }
+func (e *Engine) StepLocal(t, span int) error { return e.iterate(t, span, true) }
 
 // StepMixed runs one annealed mixed-competition iteration at annealing
 // position t of span — the phase-II grain.
-func (e *Engine) StepMixed(t, span int) { e.iterate(t, span, false) }
+func (e *Engine) StepMixed(t, span int) error { return e.iterate(t, span, false) }
 
 // FeasibleEverywhere reports whether every partition currently holds a
 // constraint-satisfying solution — the phase-I exit condition.
@@ -597,14 +611,16 @@ func (e *Engine) Front() ga.Population { return e.pop.FirstFront() }
 // PhaseI runs pure local competition until every partition holds a
 // feasible solution or maxIters is exhausted; it returns the iterations
 // used.
-func (e *Engine) PhaseI(maxIters int) int {
+func (e *Engine) PhaseI(maxIters int) (int, error) {
 	for t := 0; t < maxIters; t++ {
 		if e.allPartitionsFeasible() {
-			return t
+			return t, nil
 		}
-		e.iterate(t, maxIters, true)
+		if err := e.iterate(t, maxIters, true); err != nil {
+			return t + 1, err
+		}
 	}
-	return maxIters
+	return maxIters, nil
 }
 
 // MarkDead discards partitions without a constraint-satisfying solution —
@@ -641,11 +657,15 @@ func (e *Engine) Regrid(m int) {
 	e.localRanks(e.pop)
 }
 
-// PhaseII runs span iterations of annealed mixed competition.
-func (e *Engine) PhaseII(span int) {
+// PhaseII runs span iterations of annealed mixed competition, stopping
+// early on an evaluation fault (the faulting iteration completes first).
+func (e *Engine) PhaseII(span int) error {
 	for t := 0; t < span; t++ {
-		e.iterate(t, span, false)
+		if err := e.iterate(t, span, false); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 func (e *Engine) result(gent int) *Result {
@@ -765,8 +785,11 @@ func (e *Engine) localRanks(pop ga.Population) {
 // iterate performs one SACGA iteration: variation from the current ranked
 // population, then rank revision (local sort, probabilistic global
 // participation unless pureLocal) and quota-based environmental selection
-// on the (µ+λ) union. t/span position the annealing schedule.
-func (e *Engine) iterate(t, span int, pureLocal bool) {
+// on the (µ+λ) union. t/span position the annealing schedule. An
+// evaluation fault quarantines the failed offspring; the iteration —
+// revision, selection, observer — still completes before the error is
+// returned, so the engine is valid at every return.
+func (e *Engine) iterate(t, span int, pureLocal bool) error {
 	lo, hi := e.prob.Bounds()
 	cfg := &e.cfg
 
@@ -791,7 +814,7 @@ func (e *Engine) iterate(t, span int, pureLocal bool) {
 		}
 	}
 	e.childBuf = children
-	children.EvaluateWith(e.prob, cfg.Pool, cfg.Workers)
+	evalErr := children.TryEvaluateWith(e.prob, cfg.Pool, cfg.Workers)
 
 	union := append(append(e.unionBuf[:0], e.pop...), children...)
 	e.unionBuf = union
@@ -810,6 +833,10 @@ func (e *Engine) iterate(t, span int, pureLocal bool) {
 	if cfg.Observer != nil {
 		cfg.Observer(e.gen, e.pop)
 	}
+	if evalErr != nil {
+		return fmt.Errorf("sacga: %w", evalErr)
+	}
+	return nil
 }
 
 // reviseRanks implements the probabilistic global competition: each live

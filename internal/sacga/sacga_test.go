@@ -25,7 +25,7 @@ func zdtConfig(pop, m int) Config {
 }
 
 func TestRunZDT1ProducesSpreadFront(t *testing.T) {
-	res := Run(benchfn.ZDT1(8), zdtConfig(60, 6))
+	res := runOK(t, benchfn.ZDT1(8), zdtConfig(60, 6))
 	if len(res.Front) == 0 {
 		t.Fatal("empty front")
 	}
@@ -51,8 +51,8 @@ func TestRunZDT1ProducesSpreadFront(t *testing.T) {
 }
 
 func TestRunDeterministic(t *testing.T) {
-	a := Run(benchfn.ZDT1(6), zdtConfig(30, 4))
-	b := Run(benchfn.ZDT1(6), zdtConfig(30, 4))
+	a := runOK(t, benchfn.ZDT1(6), zdtConfig(30, 4))
+	b := runOK(t, benchfn.ZDT1(6), zdtConfig(30, 4))
 	if len(a.Final) != len(b.Final) {
 		t.Fatal("sizes differ")
 	}
@@ -68,7 +68,7 @@ func TestRunDeterministic(t *testing.T) {
 func TestPhaseIEndsEarlyWhenFeasibleEverywhere(t *testing.T) {
 	// ZDT1 is unconstrained: every partition is "feasible" as soon as it
 	// is occupied, so phase I should terminate almost immediately.
-	res := Run(benchfn.ZDT1(6), zdtConfig(40, 4))
+	res := runOK(t, benchfn.ZDT1(6), zdtConfig(40, 4))
 	if res.GentUsed > 10 {
 		t.Fatalf("unconstrained phase I used %d iterations", res.GentUsed)
 	}
@@ -81,7 +81,7 @@ func TestPopulationSizeStable(t *testing.T) {
 			t.Fatalf("population size drifted to %d at gen %d", len(pop), gen)
 		}
 	}
-	Run(benchfn.ZDT1(6), cfg)
+	runOK(t, benchfn.ZDT1(6), cfg)
 }
 
 func TestConstrainedProblemFeasibleFront(t *testing.T) {
@@ -95,7 +95,7 @@ func TestConstrainedProblemFeasibleFront(t *testing.T) {
 		Span:               60,
 		Seed:               3,
 	}
-	res := Run(benchfn.Constr(), cfg)
+	res := runOK(t, benchfn.Constr(), cfg)
 	if len(res.Front) == 0 {
 		t.Fatal("empty front")
 	}
@@ -120,7 +120,7 @@ func TestDeadPartitionsMarked(t *testing.T) {
 		Span:               30,
 		Seed:               5,
 	}
-	res := Run(benchfn.Constr(), cfg)
+	res := runOK(t, benchfn.Constr(), cfg)
 	if len(res.Live) != 10 {
 		t.Fatalf("live flags length %d", len(res.Live))
 	}
@@ -152,8 +152,8 @@ func TestRunLocalOnlyKeepsDiversity(t *testing.T) {
 		return hypervolume.RefPoint2D(pts, ref)
 	}
 	cfg := zdtConfig(60, 6)
-	local := RunLocalOnly(prob, cfg, 100)
-	full := Run(prob, cfg)
+	local := runLocalOnlyOK(t, prob, cfg, 100)
+	full := runOK(t, prob, cfg)
 	if len(local.Front) == 0 {
 		t.Fatal("local-only produced empty front")
 	}
@@ -172,11 +172,13 @@ func TestRunLocalOnlyKeepsDiversity(t *testing.T) {
 }
 
 func TestEngineRegrid(t *testing.T) {
-	e := NewEngine(benchfn.ZDT1(6), zdtConfig(40, 8))
+	e := newEngineOK(t, benchfn.ZDT1(6), zdtConfig(40, 8))
 	if e.Grid().M != 8 {
 		t.Fatal("initial grid")
 	}
-	e.PhaseI(5)
+	if _, err := e.PhaseI(5); err != nil {
+		t.Fatalf("PhaseI: %v", err)
+	}
 	e.Regrid(3)
 	if e.Grid().M != 3 {
 		t.Fatal("regrid did not take")
@@ -186,14 +188,16 @@ func TestEngineRegrid(t *testing.T) {
 			t.Fatalf("individual in partition %d after regrid to 3", ind.Partition)
 		}
 	}
-	e.PhaseII(10)
+	if err := e.PhaseII(10); err != nil {
+		t.Fatalf("PhaseII: %v", err)
+	}
 	if len(e.Population()) != 40 {
 		t.Fatalf("population size %d after regrid+phaseII", len(e.Population()))
 	}
 }
 
 func TestFrontIsGloballyNondominated(t *testing.T) {
-	res := Run(benchfn.ZDT3(8), zdtConfig(50, 5))
+	res := runOK(t, benchfn.ZDT3(8), zdtConfig(50, 5))
 	front := res.Front
 	for i := range front {
 		for j := range front {
@@ -248,7 +252,7 @@ func TestObserverSeesBothPhases(t *testing.T) {
 	cfg.GentMax = 5
 	cfg.Span = 20
 	cfg.Observer = func(gen int, pop ga.Population) { gens = gen }
-	res := Run(benchfn.Constr(), wrapConstrRange(cfg))
+	res := runOK(t, benchfn.Constr(), wrapConstrRange(cfg))
 	if gens != res.Generations {
 		t.Fatalf("observer saw %d generations, result says %d", gens, res.Generations)
 	}
@@ -270,7 +274,7 @@ func TestInitialPopulationSeeding(t *testing.T) {
 	}
 	cfg := zdtConfig(20, 4)
 	cfg.Initial = seedPop
-	res := Run(benchfn.ZDT1(6), cfg)
+	res := runOK(t, benchfn.ZDT1(6), cfg)
 	if len(res.Final) != 20 {
 		t.Fatalf("final size %d", len(res.Final))
 	}
@@ -292,7 +296,7 @@ func (degenerateProblem) Evaluate(x []float64) objective.Result {
 }
 
 func TestDegenerateProblemDoesNotPanic(t *testing.T) {
-	res := Run(degenerateProblem{}, zdtConfig(30, 6))
+	res := runOK(t, degenerateProblem{}, zdtConfig(30, 6))
 	if len(res.Final) != 30 {
 		t.Fatalf("population size %d", len(res.Final))
 	}
@@ -324,7 +328,7 @@ func TestFullyInfeasibleProblemSurvives(t *testing.T) {
 	cfg := zdtConfig(24, 4)
 	cfg.GentMax = 8
 	cfg.Span = 12
-	res := Run(hostileProblem{}, cfg)
+	res := runOK(t, hostileProblem{}, cfg)
 	if len(res.Final) != 24 {
 		t.Fatalf("population size %d", len(res.Final))
 	}
@@ -348,9 +352,39 @@ func TestEvaluationBudget(t *testing.T) {
 	cfg := zdtConfig(30, 4)
 	cfg.GentMax = 10
 	cfg.Span = 15
-	res := Run(cnt, cfg)
+	res := runOK(t, cnt, cfg)
 	want := int64(30 + 30*res.Generations)
 	if cnt.Count() != want {
 		t.Fatalf("evaluations = %d, want %d (gens=%d)", cnt.Count(), want, res.Generations)
 	}
+}
+
+// runOK, runLocalOnlyOK and newEngineOK wrap the legacy entry points with
+// faults fatal: the fixtures here never fault, so any returned error is a
+// regression in the wrapper.
+func runOK(t *testing.T, prob objective.Problem, cfg Config) *Result {
+	t.Helper()
+	res, err := Run(prob, cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+func runLocalOnlyOK(t *testing.T, prob objective.Problem, cfg Config, gens int) *Result {
+	t.Helper()
+	res, err := RunLocalOnly(prob, cfg, gens)
+	if err != nil {
+		t.Fatalf("RunLocalOnly: %v", err)
+	}
+	return res
+}
+
+func newEngineOK(t *testing.T, prob objective.Problem, cfg Config) *Engine {
+	t.Helper()
+	e, err := NewEngine(prob, cfg)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	return e
 }

@@ -3,6 +3,7 @@ package sched
 import (
 	"encoding/gob"
 	"fmt"
+	"time"
 
 	"sacga/internal/ga"
 	"sacga/internal/objective"
@@ -55,11 +56,26 @@ type IslandsParams struct {
 	// epoch: 0 selects GOMAXPROCS, 1 forces sequential round-robin
 	// stepping. Results are bit-identical at every setting.
 	StepWorkers int
+	// StepRetries is how many extra attempts a failing replica Step gets
+	// before the replica is dropped at the epoch barrier (default 2).
+	// Negative disables the fault-tolerance layer entirely: the first
+	// replica error aborts the epoch, the pre-fault-tolerant behavior.
+	StepRetries int
+	// RetryBackoff is the sleep before the first retry, doubling per
+	// attempt; 0 retries immediately. Sleeping never affects determinism —
+	// fault schedules are content-keyed, not time-keyed.
+	RetryBackoff time.Duration
+	// StepTimeout arms a per-replica watchdog around every Step attempt
+	// (see search.GuardedStep); 0 leaves replica steps unguarded.
+	StepTimeout time.Duration
 }
 
 func (p *IslandsParams) normalize() {
 	if p.Replicas <= 0 {
 		p.Replicas = 4
+	}
+	if p.StepRetries == 0 {
+		p.StepRetries = 2
 	}
 	if p.Algo == "" {
 		p.Algo = "nsga2"
@@ -95,12 +111,20 @@ type ParallelIslands struct {
 	epoch   int
 	pooled  ga.Population
 	final   bool
+	reps    replicaSet
+	fails   []replicaFailure // per-epoch scratch, index-addressed
+	livebuf []int            // scratch for liveIndices
 }
 
 // IslandsSnapshot is the composite checkpoint payload: every replica's own
-// checkpoint, in replica order.
+// checkpoint, in replica order. Dead/Poisoned record the fault-tolerance
+// state (nil in pre-fault-tolerance snapshots means all replicas alive);
+// Inner holds an empty placeholder for poisoned replicas, whose state was
+// unrecoverable.
 type IslandsSnapshot struct {
-	Inner []*search.Checkpoint
+	Inner    []*search.Checkpoint
+	Dead     []bool
+	Poisoned []bool
 }
 
 // Name implements search.Engine.
@@ -136,6 +160,8 @@ func (e *ParallelIslands) prepare(prob objective.Problem, opts search.Options) e
 		e.probs[i] = childProblem(e.prob)
 	}
 	e.pooled = make(ga.Population, 0, e.opts.PopSize)
+	e.reps.reset(e.p.Replicas)
+	e.fails = make([]replicaFailure, e.p.Replicas)
 	return nil
 }
 
@@ -197,21 +223,52 @@ func (e *ParallelIslands) Init(prob objective.Problem, opts search.Options) erro
 // Step implements search.Engine: one epoch — every live replica advances
 // one generation concurrently, then migration runs at the epoch barrier
 // when due, in replica-index order.
+//
+// Replica faults degrade the ensemble instead of aborting it (unless
+// StepRetries is negative): a replica whose Step keeps failing after the
+// retry budget is dropped at the epoch barrier, in replica-index order, and
+// the remaining replicas finish the run bit-identically to a run configured
+// without the dropped replica's steps. The accumulated *ReplicaError is
+// returned by the finalizing Step, alongside the valid pooled Result — or
+// immediately, when no replica survives.
 func (e *ParallelIslands) Step() error {
 	if e.Done() {
 		return nil
 	}
-	err := runIndexed(len(e.engines), e.p.StepWorkers, func(i int) error {
-		if e.engines[i].Done() {
-			return nil
+	if e.p.StepRetries < 0 {
+		err := runIndexed(len(e.engines), e.p.StepWorkers, func(i int) error {
+			if e.engines[i].Done() {
+				return nil
+			}
+			return e.engines[i].Step()
+		})
+		if err != nil {
+			return fmt.Errorf("sched: parallel-islands: %w", err)
 		}
-		return e.engines[i].Step()
-	})
-	if err != nil {
-		return fmt.Errorf("sched: parallel-islands: %w", err)
+	} else {
+		for i := range e.fails {
+			e.fails[i] = replicaFailure{}
+		}
+		runIndexed(len(e.engines), e.p.StepWorkers, func(i int) error {
+			if e.reps.dead[i] || e.engines[i].Done() {
+				return nil
+			}
+			err, poisoned := stepWithRetry(e.engines[i], e.probs[i], e.p.StepRetries, e.p.RetryBackoff, e.p.StepTimeout)
+			e.fails[i] = replicaFailure{err: err, poisoned: poisoned}
+			return nil
+		})
+		for i, f := range e.fails { // epoch barrier: drops in replica-index order
+			if f.err != nil {
+				e.reps.drop(i, f.err, f.poisoned)
+			}
+		}
+		if e.reps.allDead() {
+			e.finalize()
+			return e.reps.takeErr(e.Name())
+		}
 	}
 	e.epoch++
-	if e.p.MigrationEvery > 0 && e.epoch%e.p.MigrationEvery == 0 && !allDone(e.engines) {
+	if e.p.MigrationEvery > 0 && e.epoch%e.p.MigrationEvery == 0 && !e.done() {
 		e.migrate()
 	}
 	if e.opts.Observer != nil {
@@ -219,46 +276,75 @@ func (e *ParallelIslands) Step() error {
 	}
 	if e.done() {
 		e.finalize()
+		return e.reps.takeErr(e.Name())
 	}
 	return nil
 }
 
-// migrate performs one deterministic exchange: all emigrants are selected
-// (as clones) before any immigration, so the exchange is simultaneous and
-// order-independent; destinations are then served in replica-index order.
+// liveIndices returns the indices of replicas still being stepped, in
+// ascending order.
+func (e *ParallelIslands) liveIndices() []int {
+	e.livebuf = e.livebuf[:0]
+	for i := range e.engines {
+		if !e.reps.dead[i] {
+			e.livebuf = append(e.livebuf, i)
+		}
+	}
+	return e.livebuf
+}
+
+// migrate performs one deterministic exchange over the live replicas: all
+// emigrants are selected (as clones) before any immigration, so the
+// exchange is simultaneous and order-independent; destinations are then
+// served in replica-index order. Dropped replicas fall out of the ring (or
+// star) — the topology contracts over the survivors, in index order, so the
+// exchange stays deterministic at any worker count.
 func (e *ParallelIslands) migrate() {
-	n := len(e.engines)
+	live := e.liveIndices()
+	n := len(live)
 	if n < 2 {
 		return
 	}
 	m := e.p.Migrants
 	if e.p.Topology == Star {
-		hub := e.engines[0].(search.Migrator)
+		hub := e.engines[live[0]].(search.Migrator)
 		broadcast := hub.Emigrants(m)
 		var inbound ga.Population
 		for k := 1; k < n; k++ {
-			inbound = append(inbound, e.engines[k].(search.Migrator).Emigrants(m)...)
+			inbound = append(inbound, e.engines[live[k]].(search.Migrator).Emigrants(m)...)
 		}
 		hub.Immigrate(inbound)
 		for k := 1; k < n; k++ {
 			// Each leaf takes its own clones of the hub's elite; a shared
 			// individual across engines would alias mutable state.
-			e.engines[k].(search.Migrator).Immigrate(broadcast.Clone())
+			e.engines[live[k]].(search.Migrator).Immigrate(broadcast.Clone())
 		}
 		return
 	}
 	outbound := make([]ga.Population, n)
 	for k := 0; k < n; k++ {
-		outbound[k] = e.engines[k].(search.Migrator).Emigrants(m)
+		outbound[k] = e.engines[live[k]].(search.Migrator).Emigrants(m)
 	}
 	for k := 0; k < n; k++ {
-		e.engines[(k+1)%n].(search.Migrator).Immigrate(outbound[k])
+		e.engines[live[(k+1)%n]].(search.Migrator).Immigrate(outbound[k])
 	}
 }
 
-// done is Done without the finalized fast path.
+// done is Done without the finalized fast path: the budget is exhausted or
+// every replica still alive has completed (all-dead finalizes in Step).
 func (e *ParallelIslands) done() bool {
-	return allDone(e.engines) || e.budget.Exhausted()
+	if e.budget.Exhausted() {
+		return true
+	}
+	for i, eng := range e.engines {
+		if e.reps.dead[i] {
+			continue
+		}
+		if !eng.Done() {
+			return false
+		}
+	}
+	return true
 }
 
 // Done implements search.Engine.
@@ -282,7 +368,7 @@ func (e *ParallelIslands) Population() ga.Population {
 }
 
 func (e *ParallelIslands) poolView() ga.Population {
-	e.pooled = poolInto(e.pooled, e.engines)
+	e.pooled = poolInto(e.pooled, e.engines, e.reps.poisoned)
 	return e.pooled
 }
 
@@ -294,10 +380,19 @@ func (e *ParallelIslands) finalize() {
 }
 
 // Checkpoint implements search.Engine: a composite snapshot of every
-// replica's checkpoint.
+// usable replica's checkpoint, plus the liveness state. Poisoned replicas
+// snapshot as empty placeholders — their state belongs to a runaway step.
 func (e *ParallelIslands) Checkpoint() *search.Checkpoint {
-	sn := &IslandsSnapshot{Inner: make([]*search.Checkpoint, len(e.engines))}
+	sn := &IslandsSnapshot{
+		Inner:    make([]*search.Checkpoint, len(e.engines)),
+		Dead:     append([]bool(nil), e.reps.dead...),
+		Poisoned: append([]bool(nil), e.reps.poisoned...),
+	}
 	for i, eng := range e.engines {
+		if e.reps.poisoned[i] {
+			sn.Inner[i] = poisonedPlaceholder()
+			continue
+		}
 		sn.Inner[i] = eng.Checkpoint()
 	}
 	return &search.Checkpoint{Algo: e.Name(), Gen: e.epoch, Evals: e.Evals(), State: sn}
@@ -320,7 +415,11 @@ func (e *ParallelIslands) Restore(prob objective.Problem, opts search.Options, c
 	}
 	e.budget.RestoreEvals(cp.Evals)
 	e.epoch = cp.Gen
+	e.reps.restore(len(e.engines), sn.Dead, sn.Poisoned)
 	if err := runIndexed(len(e.engines), e.p.StepWorkers, func(i int) error {
+		if e.reps.poisoned[i] {
+			return nil // unrecoverable: stays dropped, contributes nothing
+		}
 		return e.engines[i].Restore(e.probs[i], e.replicaOptions(i), sn.Inner[i])
 	}); err != nil {
 		return fmt.Errorf("sched: parallel-islands: %w", err)

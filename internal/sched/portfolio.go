@@ -3,6 +3,7 @@ package sched
 import (
 	"encoding/gob"
 	"fmt"
+	"time"
 
 	"sacga/internal/ga"
 	"sacga/internal/hypervolume"
@@ -41,6 +42,17 @@ type PortfolioParams struct {
 	// epoch: 0 selects GOMAXPROCS, 1 forces sequential round-robin.
 	// Results are bit-identical at every setting.
 	StepWorkers int
+	// StepRetries is how many extra attempts a failing member generation
+	// gets before the member is dropped at the epoch barrier (default 2).
+	// Negative disables the fault-tolerance layer entirely: the first
+	// member error aborts the epoch, the pre-fault-tolerant behavior.
+	StepRetries int
+	// RetryBackoff is the sleep before the first retry, doubling per
+	// attempt; 0 retries immediately.
+	RetryBackoff time.Duration
+	// StepTimeout arms a per-member watchdog around every generation
+	// attempt (see search.GuardedStep); 0 leaves member steps unguarded.
+	StepTimeout time.Duration
 	// Project maps an individual to the 2-D point the hypervolume score
 	// reduces; nil selects the default (feasible individuals' first two
 	// objectives), matching search.HypervolumeObserver.
@@ -50,6 +62,9 @@ type PortfolioParams struct {
 func (p *PortfolioParams) normalize() {
 	if p.EpochGens <= 0 {
 		p.EpochGens = 1
+	}
+	if p.StepRetries == 0 {
+		p.StepRetries = 2
 	}
 	if p.Boost == 0 {
 		p.Boost = 2
@@ -83,18 +98,24 @@ type Portfolio struct {
 	best    int // previous epoch's best member; -1 before the first scoring
 	pooled  ga.Population
 	final   bool
+	reps    replicaSet
+	fails   []replicaFailure // per-epoch scratch, index-addressed
 
 	calc hypervolume.Calc
 	pts  []hypervolume.Point2
 }
 
 // PortfolioSnapshot is the composite checkpoint payload: every member's
-// checkpoint plus the reallocation state.
+// checkpoint plus the reallocation state. Dead/Poisoned record the
+// fault-tolerance state (nil in pre-fault-tolerance snapshots means all
+// members alive); Inner holds an empty placeholder for poisoned members.
 type PortfolioSnapshot struct {
-	Epoch  int
-	Best   int
-	Scores []float64
-	Inner  []*search.Checkpoint
+	Epoch    int
+	Best     int
+	Scores   []float64
+	Inner    []*search.Checkpoint
+	Dead     []bool
+	Poisoned []bool
 }
 
 // Name implements search.Engine.
@@ -130,6 +151,8 @@ func (e *Portfolio) prepare(prob objective.Problem, opts search.Options) error {
 	}
 	e.scores = make([]float64, len(e.engines))
 	e.pooled = make(ga.Population, 0, len(e.engines)*opts.PopSize)
+	e.reps.reset(len(e.engines))
+	e.fails = make([]replicaFailure, len(e.engines))
 	return nil
 }
 
@@ -157,26 +180,68 @@ func (e *Portfolio) Init(prob objective.Problem, opts search.Options) error {
 
 // Step implements search.Engine: one epoch — every live member advances
 // its allocation concurrently, then the barrier rescores the race.
+//
+// Member faults degrade the race instead of aborting it (unless
+// StepRetries is negative): a member whose generation keeps failing after
+// the retry budget is dropped at the epoch barrier, in member-index order;
+// its last-good population still competes in the final pooled front (unless
+// the watchdog abandoned it mid-step) but it receives no further budget and
+// never holds the boost. The accumulated *ReplicaError is returned by the
+// finalizing Step alongside the valid pooled Result — or immediately when
+// no member survives.
 func (e *Portfolio) Step() error {
 	if e.Done() {
 		return nil
 	}
 	base, boost, best := e.p.EpochGens, e.p.Boost, e.best
-	err := runIndexed(len(e.engines), e.p.StepWorkers, func(i int) error {
-		eng := e.engines[i]
-		alloc := base
-		if i == best {
-			alloc += boost
+	if e.p.StepRetries < 0 {
+		err := runIndexed(len(e.engines), e.p.StepWorkers, func(i int) error {
+			eng := e.engines[i]
+			alloc := base
+			if i == best {
+				alloc += boost
+			}
+			for g := 0; g < alloc && !eng.Done(); g++ {
+				if err := eng.Step(); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("sched: portfolio: %w", err)
 		}
-		for g := 0; g < alloc && !eng.Done(); g++ {
-			if err := eng.Step(); err != nil {
-				return err
+	} else {
+		for i := range e.fails {
+			e.fails[i] = replicaFailure{}
+		}
+		runIndexed(len(e.engines), e.p.StepWorkers, func(i int) error {
+			eng := e.engines[i]
+			if e.reps.dead[i] {
+				return nil
+			}
+			alloc := base
+			if i == best {
+				alloc += boost
+			}
+			for g := 0; g < alloc && !eng.Done(); g++ {
+				err, poisoned := stepWithRetry(eng, e.probs[i], e.p.StepRetries, e.p.RetryBackoff, e.p.StepTimeout)
+				if err != nil {
+					e.fails[i] = replicaFailure{err: err, poisoned: poisoned}
+					return nil
+				}
+			}
+			return nil
+		})
+		for i, f := range e.fails { // epoch barrier: drops in member-index order
+			if f.err != nil {
+				e.reps.drop(i, f.err, f.poisoned)
 			}
 		}
-		return nil
-	})
-	if err != nil {
-		return fmt.Errorf("sched: portfolio: %w", err)
+		if e.reps.allDead() {
+			e.finalize()
+			return e.reps.takeErr(e.Name())
+		}
 	}
 	e.epoch++
 	e.rescore()
@@ -185,6 +250,7 @@ func (e *Portfolio) Step() error {
 	}
 	if e.done() {
 		e.finalize()
+		return e.reps.takeErr(e.Name())
 	}
 	return nil
 }
@@ -192,7 +258,9 @@ func (e *Portfolio) Step() error {
 // rescore reduces every member's population to the staircase metric and
 // elects the next epoch's boosted member: the best (lowest) score among
 // live members, ties broken by index. Sequential and pure — the same
-// populations always elect the same member.
+// populations always elect the same member. Poisoned members keep their
+// last score (their population is untouchable); dead-but-valid members are
+// rescored but never elected.
 func (e *Portfolio) rescore() {
 	project := e.p.Project
 	if project == nil {
@@ -200,6 +268,9 @@ func (e *Portfolio) rescore() {
 	}
 	e.best = -1
 	for i, eng := range e.engines {
+		if e.reps.poisoned[i] {
+			continue
+		}
 		e.pts = e.pts[:0]
 		for _, ind := range eng.Population() {
 			if p, ok := project(ind); ok {
@@ -207,7 +278,7 @@ func (e *Portfolio) rescore() {
 			}
 		}
 		e.scores[i] = e.calc.PaperMetric(e.pts)
-		if eng.Done() {
+		if eng.Done() || e.reps.dead[i] {
 			continue
 		}
 		if e.best < 0 || e.scores[i] < e.scores[e.best] {
@@ -223,9 +294,21 @@ func defaultProject(ind *ga.Individual) (hypervolume.Point2, bool) {
 	return hypervolume.Point2{X: ind.Objectives[0], Y: ind.Objectives[1]}, true
 }
 
-// done is Done without the finalized fast path.
+// done is Done without the finalized fast path: the budget is exhausted or
+// every member still alive has completed (all-dead finalizes in Step).
 func (e *Portfolio) done() bool {
-	return allDone(e.engines) || e.budget.Exhausted()
+	if e.budget.Exhausted() {
+		return true
+	}
+	for i, eng := range e.engines {
+		if e.reps.dead[i] {
+			continue
+		}
+		if !eng.Done() {
+			return false
+		}
+	}
+	return true
 }
 
 // Done implements search.Engine.
@@ -256,7 +339,7 @@ func (e *Portfolio) Population() ga.Population {
 }
 
 func (e *Portfolio) poolView() ga.Population {
-	e.pooled = poolInto(e.pooled, e.engines)
+	e.pooled = poolInto(e.pooled, e.engines, e.reps.poisoned)
 	return e.pooled
 }
 
@@ -270,12 +353,18 @@ func (e *Portfolio) finalize() {
 // Checkpoint implements search.Engine.
 func (e *Portfolio) Checkpoint() *search.Checkpoint {
 	sn := &PortfolioSnapshot{
-		Epoch:  e.epoch,
-		Best:   e.best,
-		Scores: append([]float64(nil), e.scores...),
-		Inner:  make([]*search.Checkpoint, len(e.engines)),
+		Epoch:    e.epoch,
+		Best:     e.best,
+		Scores:   append([]float64(nil), e.scores...),
+		Inner:    make([]*search.Checkpoint, len(e.engines)),
+		Dead:     append([]bool(nil), e.reps.dead...),
+		Poisoned: append([]bool(nil), e.reps.poisoned...),
 	}
 	for i, eng := range e.engines {
+		if e.reps.poisoned[i] {
+			sn.Inner[i] = poisonedPlaceholder()
+			continue
+		}
 		sn.Inner[i] = eng.Checkpoint()
 	}
 	return &search.Checkpoint{Algo: e.Name(), Gen: e.epoch, Evals: e.Evals(), State: sn}
@@ -297,6 +386,9 @@ func (e *Portfolio) Restore(prob objective.Problem, opts search.Options, cp *sea
 		return fmt.Errorf("sched: portfolio: checkpoint has %d members, options configure %d", len(sn.Inner), len(e.engines))
 	}
 	for i, inner := range sn.Inner {
+		if i < len(sn.Poisoned) && sn.Poisoned[i] {
+			continue // poisoned members snapshot as placeholders by design
+		}
 		if inner == nil || inner.Algo != e.p.Members[i].Algo {
 			return fmt.Errorf("sched: portfolio member %d: checkpoint ran %q, options configure %q",
 				i, innerAlgo(inner), e.p.Members[i].Algo)
@@ -306,7 +398,11 @@ func (e *Portfolio) Restore(prob objective.Problem, opts search.Options, cp *sea
 	e.epoch = sn.Epoch
 	e.best = sn.Best
 	copy(e.scores, sn.Scores)
+	e.reps.restore(len(e.engines), sn.Dead, sn.Poisoned)
 	if err := runIndexed(len(e.engines), e.p.StepWorkers, func(i int) error {
+		if e.reps.poisoned[i] {
+			return nil // unrecoverable: stays dropped, contributes nothing
+		}
 		return e.engines[i].Restore(e.probs[i], e.memberOptions(i), sn.Inner[i])
 	}); err != nil {
 		return fmt.Errorf("sched: portfolio: %w", err)

@@ -160,10 +160,15 @@ func allDone(engines []search.Engine) bool {
 }
 
 // poolInto rebuilds dst as the concatenated live view of every child
-// population, in engine-index order.
-func poolInto(dst ga.Population, engines []search.Engine) ga.Population {
+// population, in engine-index order. Poisoned engines are skipped — their
+// buffers may still be written by a runaway step — while dead-but-valid
+// replicas contribute their last-good generation.
+func poolInto(dst ga.Population, engines []search.Engine, poisoned []bool) ga.Population {
 	dst = dst[:0]
-	for _, eng := range engines {
+	for i, eng := range engines {
+		if poisoned[i] {
+			continue
+		}
 		dst = append(dst, eng.Population()...)
 	}
 	return dst

@@ -51,7 +51,10 @@ func cases() []engineCase {
 				return search.Options{PopSize: 20, Generations: 12, Seed: 3}
 			},
 			legacy: func(prob objective.Problem) (ga.Population, ga.Population) {
-				res := nsga2.Run(prob, nsga2.Config{PopSize: 20, Generations: 12, Seed: 3})
+				res, err := nsga2.Run(prob, nsga2.Config{PopSize: 20, Generations: 12, Seed: 3})
+				if err != nil {
+					panic(err)
+				}
 				return res.Final, res.Front
 			},
 			checkpointGens: []int{1, 6, 11},
@@ -72,10 +75,13 @@ func cases() []engineCase {
 				}
 			},
 			legacy: func(prob objective.Problem) (ga.Population, ga.Population) {
-				res := sacga.Run(prob, sacga.Config{
+				res, err := sacga.Run(prob, sacga.Config{
 					PopSize: 24, Partitions: 4, PartitionObjective: 0,
 					PartitionLo: 0.1, PartitionHi: 1, GentMax: 4, Span: 9, Seed: 5,
 				})
+				if err != nil {
+					panic(err)
+				}
 				return res.Final, res.Front
 			},
 			// Phase I (or just after), the transition region, and deep in
@@ -97,10 +103,13 @@ func cases() []engineCase {
 				}
 			},
 			legacy: func(prob objective.Problem) (ga.Population, ga.Population) {
-				res := sacga.RunLocalOnly(prob, sacga.Config{
+				res, err := sacga.RunLocalOnly(prob, sacga.Config{
 					PopSize: 20, Partitions: 4, PartitionObjective: 0,
 					PartitionLo: 0, PartitionHi: 1, Seed: 9,
 				}, 10)
+				if err != nil {
+					panic(err)
+				}
 				return res.Final, res.Front
 			},
 			checkpointGens: []int{3, 8},
@@ -121,10 +130,13 @@ func cases() []engineCase {
 				}
 			},
 			legacy: func(prob objective.Problem) (ga.Population, ga.Population) {
-				res := mesacga.Run(prob, mesacga.Config{
+				res, err := mesacga.Run(prob, mesacga.Config{
 					PopSize: 20, Schedule: []int{4, 2, 1}, PartitionObjective: 0,
 					PartitionLo: 0.1, PartitionHi: 1, GentMax: 4, Span: 3, Seed: 7,
 				})
+				if err != nil {
+					panic(err)
+				}
 				return res.Final, res.Front
 			},
 			// Phase I (or just after), mid-schedule, and the final
@@ -145,10 +157,13 @@ func cases() []engineCase {
 				}
 			},
 			legacy: func(prob objective.Problem) (ga.Population, ga.Population) {
-				res := islands.Run(prob, islands.Config{
+				res, err := islands.Run(prob, islands.Config{
 					Islands: 3, IslandSize: 8, Generations: 10,
 					MigrationEvery: 3, Migrants: 2, Seed: 11,
 				})
+				if err != nil {
+					panic(err)
+				}
 				return res.Final, res.Front
 			},
 			// Mid-run, immediately after a migration, and one before done.

@@ -2,6 +2,7 @@ package search
 
 import (
 	"fmt"
+	"time"
 
 	"sacga/internal/ga"
 	"sacga/internal/objective"
@@ -48,6 +49,12 @@ type Options struct {
 	// Pool, when non-nil, supplies the persistent evaluation worker pool;
 	// nil selects the process-wide shared pool.
 	Pool *ga.Pool
+	// StepTimeout, when > 0, arms a per-generation watchdog: a Step that
+	// exceeds the deadline has its problem interrupted (see
+	// objective.Interruptible) and surfaces a *WatchdogError. Engines whose
+	// problems expose no interruption hook are abandoned on expiry — the
+	// run ends with best-so-far results from the last completed generation.
+	StepTimeout time.Duration
 	// Observer, when non-nil, is invoked by the engine itself after every
 	// generation — the legacy per-algorithm hook, preserved so the old
 	// Config.Observer fields keep working, INCLUDING each engine's legacy

@@ -1,25 +1,67 @@
 package search
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 )
 
 // Durable on-disk checkpoints: the gob serialization of a Checkpoint with a
-// small versioned header, written atomically (temp file + rename) so a
-// crash mid-write never corrupts the previous good snapshot. gob is the
-// one codec the Checkpoint types are designed for — Snapshot payloads are
-// registered by their engine packages from init, and gob round-trips the
-// ±Inf crowding distances JSON rejects.
+// small versioned header and a CRC-guarded footer, written atomically
+// (temp file + rename) with last-good rotation. gob is the one codec the
+// Checkpoint types are designed for — Snapshot payloads are registered by
+// their engine packages from init, and gob round-trips the ±Inf crowding
+// distances JSON rejects.
+//
+// On-disk layout (version 2):
+//
+//	[gob(diskCheckpoint)] [payload length: uint64 LE] [CRC32-C: uint32 LE] [footer magic: uint32 LE]
+//
+// The footer turns silent corruption (bit rot, torn writes that survived
+// rename, copy truncation) into a typed *CorruptError instead of a gob
+// panic or a mis-decode. SaveCheckpoint rotates the previous snapshot to
+// path+PrevSuffix before installing the new one, and LoadLatestCheckpoint
+// falls back to it — so one corrupted write never strands a long campaign.
 
 // checkpointMagic identifies a checkpoint file; checkpointVersion gates the
 // layout so a future format change fails loudly instead of mis-decoding.
+// Version 1 files (no footer) are still readable.
 const (
 	checkpointMagic   = "sacga-checkpoint"
-	checkpointVersion = 1
+	checkpointVersion = 2
 )
+
+// footerMagic terminates a version-2 checkpoint file; footerSize is the
+// fixed footer length in bytes.
+const (
+	footerMagic = 0x5ac6ac91
+	footerSize  = 16
+)
+
+// PrevSuffix is appended to a checkpoint path to name the rotated
+// last-good snapshot.
+const PrevSuffix = ".prev"
+
+// CorruptError reports that a checkpoint file exists but cannot be
+// trusted: its CRC does not match, its structure does not decode, or its
+// header identifies something else entirely. Match with errors.As; resume
+// paths use it to fall back to the rotated last-good snapshot.
+type CorruptError struct {
+	// Path is the offending file.
+	Path string
+	// Reason describes the failed integrity check.
+	Reason string
+}
+
+// Error implements error.
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("search: corrupt checkpoint %s: %s", e.Path, e.Reason)
+}
 
 // diskCheckpoint is the on-disk envelope.
 type diskCheckpoint struct {
@@ -28,25 +70,41 @@ type diskCheckpoint struct {
 	Checkpoint *Checkpoint
 }
 
-// SaveCheckpoint durably writes cp to path. The write is atomic: the
-// snapshot is encoded into a temporary file in path's directory, synced,
-// and renamed over path, so readers (and a resume after a crash mid-save)
-// always see either the previous checkpoint or the new one, never a
-// partial file.
+// SaveCheckpoint durably writes cp to path with last-good rotation. The
+// write is atomic: the snapshot is encoded and CRC-sealed into a temporary
+// file in path's directory, synced, and renamed over path, so readers (and
+// a resume after a crash mid-save) always see either the previous
+// checkpoint or the new one, never a partial file. An existing checkpoint
+// at path is first rotated to path+PrevSuffix; a crash between the
+// rotation and the install leaves path missing but the last-good snapshot
+// in place, which LoadLatestCheckpoint recovers.
 func SaveCheckpoint(path string, cp *Checkpoint) error {
 	if cp == nil {
 		return fmt.Errorf("search: SaveCheckpoint with nil checkpoint")
 	}
+	var payload bytes.Buffer
+	enc := gob.NewEncoder(&payload)
+	if err := enc.Encode(&diskCheckpoint{Magic: checkpointMagic, Version: checkpointVersion, Checkpoint: cp}); err != nil {
+		return fmt.Errorf("search: encode checkpoint: %w", err)
+	}
+	var footer [footerSize]byte
+	binary.LittleEndian.PutUint64(footer[0:8], uint64(payload.Len()))
+	binary.LittleEndian.PutUint32(footer[8:12], crc32.Checksum(payload.Bytes(), castagnoli))
+	binary.LittleEndian.PutUint32(footer[12:16], footerMagic)
+
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".checkpoint-*")
 	if err != nil {
 		return fmt.Errorf("search: checkpoint temp file: %w", err)
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	enc := gob.NewEncoder(tmp)
-	if err := enc.Encode(&diskCheckpoint{Magic: checkpointMagic, Version: checkpointVersion, Checkpoint: cp}); err != nil {
+	if _, err := tmp.Write(payload.Bytes()); err != nil {
 		tmp.Close()
-		return fmt.Errorf("search: encode checkpoint: %w", err)
+		return fmt.Errorf("search: write checkpoint: %w", err)
+	}
+	if _, err := tmp.Write(footer[:]); err != nil {
+		tmp.Close()
+		return fmt.Errorf("search: write checkpoint footer: %w", err)
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
@@ -55,34 +113,97 @@ func SaveCheckpoint(path string, cp *Checkpoint) error {
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("search: close checkpoint: %w", err)
 	}
+	if _, err := os.Stat(path); err == nil {
+		if err := os.Rename(path, path+PrevSuffix); err != nil {
+			return fmt.Errorf("search: rotate last-good checkpoint: %w", err)
+		}
+	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("search: install checkpoint: %w", err)
 	}
 	return nil
 }
 
-// LoadCheckpoint reads a checkpoint written by SaveCheckpoint. The engine
-// package that produced the snapshot must be linked into the binary (its
-// init registers the gob payload type); Resume the result on a fresh
-// engine of the same algorithm, under the options the original run used.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// LoadCheckpoint reads a checkpoint written by SaveCheckpoint, verifying
+// the CRC footer before anything is decoded; any integrity failure — bad
+// CRC, truncation, a payload that does not decode — is reported as a
+// *CorruptError, never a gob panic. The engine package that produced the
+// snapshot must be linked into the binary (its init registers the gob
+// payload type); Resume the result on a fresh engine of the same
+// algorithm, under the options the original run used. Version-1 files
+// (written before the footer existed) are still accepted, decode-guarded.
 func LoadCheckpoint(path string) (*Checkpoint, error) {
-	f, err := os.Open(path)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	var disk diskCheckpoint
-	if err := gob.NewDecoder(f).Decode(&disk); err != nil {
-		return nil, fmt.Errorf("search: decode checkpoint %s: %w", path, err)
+	payload := data
+	versionFloor := 1 // footerless legacy files decode as version 1 only
+	if n := len(data); n >= footerSize && binary.LittleEndian.Uint32(data[n-4:]) == footerMagic {
+		plen := binary.LittleEndian.Uint64(data[n-footerSize : n-8])
+		if plen != uint64(n-footerSize) {
+			return nil, &CorruptError{Path: path, Reason: fmt.Sprintf("footer claims %d payload bytes, file carries %d", plen, n-footerSize)}
+		}
+		payload = data[:n-footerSize]
+		if got, want := crc32.Checksum(payload, castagnoli), binary.LittleEndian.Uint32(data[n-8:n-4]); got != want {
+			return nil, &CorruptError{Path: path, Reason: fmt.Sprintf("CRC mismatch: computed %08x, footer records %08x", got, want)}
+		}
+		versionFloor = 2
+	}
+	disk, err := decodeCheckpoint(path, payload)
+	if err != nil {
+		return nil, err
 	}
 	if disk.Magic != checkpointMagic {
-		return nil, fmt.Errorf("search: %s is not a checkpoint file", path)
+		return nil, &CorruptError{Path: path, Reason: "not a checkpoint file"}
 	}
-	if disk.Version != checkpointVersion {
+	if disk.Version < versionFloor || disk.Version > checkpointVersion {
 		return nil, fmt.Errorf("search: checkpoint %s has version %d, this build reads %d", path, disk.Version, checkpointVersion)
 	}
 	if disk.Checkpoint == nil {
-		return nil, fmt.Errorf("search: checkpoint %s is empty", path)
+		return nil, &CorruptError{Path: path, Reason: "empty checkpoint envelope"}
 	}
 	return disk.Checkpoint, nil
+}
+
+// decodeCheckpoint gob-decodes the envelope with a panic guard: gob is not
+// hardened against hostile input, and a corrupted stream can panic deep in
+// reflection. A CRC pass makes that unreachable in practice; the guard
+// covers footerless legacy files and CRC collisions.
+func decodeCheckpoint(path string, payload []byte) (disk *diskCheckpoint, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			disk, err = nil, &CorruptError{Path: path, Reason: fmt.Sprintf("decode panicked: %v", r)}
+		}
+	}()
+	disk = new(diskCheckpoint)
+	if derr := gob.NewDecoder(bytes.NewReader(payload)).Decode(disk); derr != nil {
+		return nil, &CorruptError{Path: path, Reason: fmt.Sprintf("decode: %v", derr)}
+	}
+	return disk, nil
+}
+
+// LoadLatestCheckpoint loads the newest trustworthy snapshot of a rotated
+// checkpoint pair: path itself when it verifies, else the rotated
+// last-good at path+PrevSuffix. It returns the checkpoint, the file that
+// supplied it, and — when the primary was corrupt but the fallback
+// succeeded — a nil error (the corruption is recoverable by construction;
+// callers that must know can compare loadedFrom against path). When both
+// fail, the error joins both causes.
+func LoadLatestCheckpoint(path string) (cp *Checkpoint, loadedFrom string, err error) {
+	cp, err = LoadCheckpoint(path)
+	if err == nil {
+		return cp, path, nil
+	}
+	prev := path + PrevSuffix
+	cp2, err2 := LoadCheckpoint(prev)
+	if err2 == nil {
+		return cp2, prev, nil
+	}
+	if os.IsNotExist(err2) {
+		return nil, "", err
+	}
+	return nil, "", errors.Join(err, err2)
 }

@@ -46,8 +46,8 @@ func TestSaveLoadCheckpointRoundTrip(t *testing.T) {
 }
 
 // TestSaveCheckpointAtomicOverwrite overwrites an existing checkpoint and
-// checks the directory holds exactly the installed file — no temp litter —
-// and that the newest snapshot wins.
+// checks the directory holds exactly the installed file plus the rotated
+// last-good snapshot — no temp litter — and that the newest snapshot wins.
 func TestSaveCheckpointAtomicOverwrite(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "run.ckpt")
@@ -67,8 +67,8 @@ func TestSaveCheckpointAtomicOverwrite(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(entries) != 1 || entries[0].Name() != "run.ckpt" {
-		t.Fatalf("checkpoint dir holds %v, want exactly run.ckpt", entries)
+	if len(entries) != 2 || entries[0].Name() != "run.ckpt" || entries[1].Name() != "run.ckpt"+search.PrevSuffix {
+		t.Fatalf("checkpoint dir holds %v, want exactly run.ckpt and its rotated last-good", entries)
 	}
 	cp, err := search.LoadCheckpoint(path)
 	if err != nil {
@@ -76,6 +76,13 @@ func TestSaveCheckpointAtomicOverwrite(t *testing.T) {
 	}
 	if cp.Gen != 2 {
 		t.Fatalf("loaded generation %d, want the newest snapshot (2)", cp.Gen)
+	}
+	prev, err := search.LoadCheckpoint(path + search.PrevSuffix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prev.Gen != 1 {
+		t.Fatalf("rotated generation %d, want the previous snapshot (1)", prev.Gen)
 	}
 }
 

@@ -2,6 +2,8 @@ package search
 
 import (
 	"context"
+	"errors"
+	"time"
 
 	"sacga/internal/objective"
 )
@@ -15,11 +17,23 @@ import (
 // the population is valid at every generation boundary, so a cancelled run
 // still yields its best-so-far front. Cancellation is checked between
 // generations; a Step in flight completes first.
+//
+// Evaluation faults do not crash the run: failed individuals are
+// quarantined (see objective.EvalError) and the generation completes, so a
+// faulting Step — like a cancelled run — returns the best-so-far Result
+// alongside the typed error. Options.StepTimeout arms a per-generation
+// watchdog (see GuardedStep).
 func Run(ctx context.Context, eng Engine, prob objective.Problem, opts Options, observers ...Observer) (*Result, error) {
 	if err := eng.Init(prob, opts); err != nil {
+		var ee *objective.EvalError
+		if errors.As(err, &ee) {
+			// Initialization completed with quarantined individuals: the
+			// engine is valid, so surface its degraded population.
+			return NewDriver(eng, observers...).Result(), err
+		}
 		return nil, err
 	}
-	return drive(ctx, eng, observers)
+	return drive(ctx, eng, prob, opts.StepTimeout, observers)
 }
 
 // Resume is Run for a checkpointed run: Restore instead of Init, then the
@@ -29,11 +43,12 @@ func Resume(ctx context.Context, eng Engine, prob objective.Problem, opts Option
 	if err := eng.Restore(prob, opts, cp); err != nil {
 		return nil, err
 	}
-	return drive(ctx, eng, observers)
+	return drive(ctx, eng, prob, opts.StepTimeout, observers)
 }
 
-func drive(ctx context.Context, eng Engine, observers []Observer) (*Result, error) {
+func drive(ctx context.Context, eng Engine, prob objective.Problem, stepTimeout time.Duration, observers []Observer) (*Result, error) {
 	d := NewDriver(eng, observers...)
+	d.Guard(prob, stepTimeout)
 	for {
 		more, err := d.Step(ctx)
 		if err != nil {
@@ -51,9 +66,12 @@ func drive(ctx context.Context, eng Engine, observers []Observer) (*Result, erro
 // the observers. The zero value is not usable; construct with NewDriver
 // around an engine that is already Init-ed or Restore-d.
 type Driver struct {
-	eng   Engine
-	obs   []Observer
-	frame Frame
+	eng      Engine
+	obs      []Observer
+	frame    Frame
+	prob     objective.Problem
+	timeout  time.Duration
+	poisoned bool
 }
 
 // NewDriver wraps an initialized engine and its observers. The driver adds
@@ -62,31 +80,72 @@ func NewDriver(eng Engine, observers ...Observer) *Driver {
 	return &Driver{eng: eng, obs: observers, frame: Frame{Engine: eng}}
 }
 
+// Guard arms the per-step watchdog: every subsequent Step runs under
+// GuardedStep(eng, prob, timeout). timeout <= 0 leaves the driver
+// unguarded.
+func (d *Driver) Guard(prob objective.Problem, timeout time.Duration) {
+	d.prob, d.timeout = prob, timeout
+}
+
 // Step checks the context, advances one generation and notifies the
 // observers. It returns false when the engine is done (no generation was
-// executed), and ctx.Err() when cancelled.
+// executed), and ctx.Err() when cancelled. A quarantining generation
+// (objective.EvalError) completes — state and observers included — before
+// the error is returned; a watchdog abandonment poisons the driver, after
+// which the engine is never touched again and Result is empty.
 func (d *Driver) Step(ctx context.Context) (more bool, err error) {
+	if d.poisoned {
+		return false, &WatchdogError{Timeout: d.timeout, Abandoned: true}
+	}
 	if err := ctx.Err(); err != nil {
 		return false, err
 	}
 	if d.eng.Done() {
 		return false, nil
 	}
-	if err := d.eng.Step(); err != nil {
+	if err := d.step(); err != nil {
+		// A direct type assertion, not errors.As: only an abandonment of
+		// THIS driver's step poisons the engine. A fault-tolerant scheduler
+		// may return an error that wraps an abandoned *WatchdogError from a
+		// replica it already dropped — the scheduler itself is still valid.
+		if we, ok := err.(*WatchdogError); ok && we.Abandoned {
+			d.poisoned = true
+			return false, err
+		}
+		d.notify()
 		return false, err
 	}
+	d.notify()
+	return true, nil
+}
+
+// step dispatches to the guarded or plain path. Kept out of Step so the
+// no-watchdog fast path stays a direct engine call.
+func (d *Driver) step() error {
+	if d.timeout > 0 {
+		return GuardedStep(d.eng, d.prob, d.timeout)
+	}
+	return d.eng.Step()
+}
+
+// notify fans the completed generation out to the observers.
+func (d *Driver) notify() {
 	d.frame.Gen = d.eng.Generation()
 	d.frame.Pop = d.eng.Population()
 	d.frame.Evals = d.eng.Evals()
 	for _, o := range d.obs {
 		o.Observe(&d.frame)
 	}
-	return true, nil
 }
 
 // Result assembles the run outcome from the engine's current state. Valid
-// at any generation boundary, which is what makes cancelled runs useful.
+// at any generation boundary, which is what makes cancelled and faulted
+// runs useful. A poisoned driver (watchdog abandonment) returns an empty
+// Result: the engine's buffers still belong to the runaway step.
 func (d *Driver) Result() *Result {
+	if d.poisoned {
+		return &Result{}
+	}
 	pop := d.eng.Population()
 	return &Result{
 		Final:       pop,

@@ -31,6 +31,9 @@ func (p *Problem) EvaluateBatch(xs [][]float64, out []objective.Result) {
 	if n == 0 {
 		return
 	}
+	for _, x := range xs {
+		checkGenome(x)
+	}
 	out = out[:n]
 	sc := getBatchScratch(n)
 	defer putBatchScratch(sc)

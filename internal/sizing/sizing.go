@@ -277,8 +277,18 @@ func (p *Problem) System() scint.System { return p.sys }
 // Tech returns the typical-corner technology.
 func (p *Problem) Tech() *process.Tech { return &p.tech }
 
+// checkGenome validates the genome length up front, so a malformed caller
+// fails with a descriptive panic instead of an index error deep inside the
+// decode (the pool converts the panic to a typed, indexed evaluation error).
+func checkGenome(x []float64) {
+	if len(x) != NumGenes {
+		panic(fmt.Sprintf("sizing: genome has %d genes, want %d", len(x), NumGenes))
+	}
+}
+
 // Decode maps a normalized gene vector to the physical design point.
 func (p *Problem) Decode(x []float64) scint.Design {
+	checkGenome(x)
 	return scint.Design{
 		Amp: opamp.Sizing{
 			W1: genes[GeneW1].decode(x[GeneW1]), L1: genes[GeneL1].decode(x[GeneL1]),
