@@ -21,10 +21,17 @@
 // when the newest file is torn or corrupt, from the last-good .prev
 // rotation (with a warning).
 //
+// The parislands scheduler can shard its replicas across worker OS
+// processes with -shard N: the coordinator spawns N copies of this binary
+// in -worker mode (a non-interactive mode serving the shard protocol on
+// stdin/stdout), ships each replica's checkpoint out for every epoch, and
+// survives worker crashes by respawning and replaying — results are
+// bit-identical to the in-process run, faults or not.
+//
 // Exit codes distinguish how a run ended: 0 completed, 1 internal error,
 // 2 usage error, 3 cancelled (Ctrl-C; a second Ctrl-C exits immediately),
-// 4 degraded by evaluation faults (the best-so-far front still prints),
-// 5 stopped by the -maxevals budget.
+// 4 degraded by evaluation faults or dropped replicas (the best-so-far
+// front still prints), 5 stopped by the -maxevals budget.
 //
 // Example:
 //
@@ -32,6 +39,7 @@
 //	sacga -problem zdt3 -algo sacga -partitions 10 -iters 200
 //	sacga -problem integrator -algo relay -iters 800 -checkpoint run.ckpt
 //	sacga -problem integrator -algo relay -iters 800 -checkpoint run.ckpt -resume
+//	sacga -problem zdt1 -algo parislands -shard 4 -iters 200
 package main
 
 import (
@@ -41,7 +49,9 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
+	"time"
 
 	"sacga/internal/benchfn"
 	"sacga/internal/ga"
@@ -55,6 +65,7 @@ import (
 	"sacga/internal/sched"
 	"sacga/internal/search"
 	_ "sacga/internal/search/engines"
+	"sacga/internal/shard"
 	"sacga/internal/sizing"
 	"sacga/internal/yield"
 )
@@ -77,8 +88,17 @@ func main() {
 		ckpt       = flag.String("checkpoint", "", "durable checkpoint file, written atomically every -checkpoint-every generations and on interrupt")
 		ckptEvery  = flag.Int("checkpoint-every", 50, "generations between checkpoint writes (with -checkpoint)")
 		resume     = flag.Bool("resume", false, "resume from the -checkpoint file instead of starting fresh (same problem/algo/options)")
+		shardProcs = flag.Int("shard", 0, "with -algo parislands: shard the replicas across N worker OS processes (0 = in-process)")
+		worker     = flag.Bool("worker", false, "serve as a shard worker on stdin/stdout (spawned by -shard coordinators; not for interactive use)")
 	)
 	flag.Parse()
+
+	if *worker {
+		if err := runWorker(); err != nil {
+			fatal(fmt.Errorf("worker: %w", err))
+		}
+		return
+	}
 
 	prob, isCircuit, err := buildProblem(*problem, *grade, *robust, *seed)
 	if err != nil {
@@ -140,8 +160,28 @@ func main() {
 		}
 		opts.Extra = &islands.Params{Islands: 5, IslandSize: size, MigrationEvery: 10, Migrants: 2}
 	case "parislands":
-		name = "parallel-islands"
-		opts.Extra = &sched.IslandsParams{Replicas: 4, Algo: "nsga2", MigrationEvery: 10, Migrants: 2}
+		if *shardProcs > 0 {
+			// Same replica ensemble, sharded across worker OS processes.
+			// Results are bit-identical to the in-process run; worker
+			// crashes are retried and, past the retry budget, degrade the
+			// run replica-by-replica (exit code 4).
+			name = shard.NameShardedIslands
+			self, eerr := os.Executable()
+			if eerr != nil {
+				fatal(eerr)
+			}
+			opts.Extra = &shard.Params{
+				Replicas: 4, Algo: "nsga2", MigrationEvery: 10, Migrants: 2,
+				Procs:            *shardProcs,
+				WorkerArgv:       []string{self, "-worker"},
+				Spec:             encodeSpec(*problem, *grade, *robust, *seed),
+				EpochDeadline:    5 * time.Minute,
+				HeartbeatTimeout: 15 * time.Second,
+			}
+		} else {
+			name = "parallel-islands"
+			opts.Extra = &sched.IslandsParams{Replicas: 4, Algo: "nsga2", MigrationEvery: 10, Migrants: 2}
+		}
 	case "relay":
 		// The paper's phase structure as an engine pair: a global-competition
 		// warm start for a quarter of the budget, handing its population to
@@ -164,10 +204,16 @@ func main() {
 	default:
 		fatalUsage(fmt.Errorf("unknown algorithm %q (registry has %v)", *algo, search.Names()))
 	}
+	if *shardProcs > 0 && name != shard.NameShardedIslands {
+		fatalUsage(fmt.Errorf("-shard only applies to -algo parislands"))
+	}
 
 	eng, err := search.New(name)
 	if err != nil {
 		fatal(err)
+	}
+	if sh, ok := eng.(*shard.Islands); ok {
+		defer sh.Close() // reap worker processes even on a cancelled run
 	}
 	var observers []search.Observer
 	hvObs := &search.HypervolumeObserver{Every: *trace}
@@ -292,6 +338,9 @@ func main() {
 		fmt.Printf("wrote %s\n", *out)
 	}
 	if exitCode != exitOK {
+		if sh, ok := eng.(*shard.Islands); ok {
+			sh.Close() // os.Exit skips the deferred close; Close is idempotent
+		}
 		os.Exit(exitCode)
 	}
 }
@@ -335,6 +384,54 @@ func circuitPoint(ind *ga.Individual) (hypervolume.Point2, bool) {
 	}
 	cl, pw := sizing.ReportedPoint(ind.Objectives)
 	return hypervolume.Point2{X: cl, Y: pw}, true
+}
+
+// encodeSpec packs the problem identity the shard coordinator ships to its
+// workers. Workers rebuild the problem from this string alone — it must
+// carry everything buildProblem needs, so a worker's objective function is
+// bit-identical to the coordinator's.
+func encodeSpec(problem string, grade, robust int, seed int64) string {
+	return fmt.Sprintf("%s|%d|%d|%d", problem, grade, robust, seed)
+}
+
+func decodeSpec(spec string) (problem string, grade, robust int, seed int64, err error) {
+	parts := strings.Split(spec, "|")
+	if len(parts) != 4 {
+		return "", 0, 0, 0, fmt.Errorf("malformed problem spec %q", spec)
+	}
+	grade, err = strconv.Atoi(parts[1])
+	if err == nil {
+		robust, err = strconv.Atoi(parts[2])
+	}
+	if err == nil {
+		seed, err = strconv.ParseInt(parts[3], 10, 64)
+	}
+	if err != nil {
+		return "", 0, 0, 0, fmt.Errorf("malformed problem spec %q: %w", spec, err)
+	}
+	return parts[0], grade, robust, seed, nil
+}
+
+// runWorker serves the shard protocol on stdin/stdout until the
+// coordinator closes the pipe. All diagnostics go to stderr — stdout
+// belongs to the frame stream.
+func runWorker() error {
+	return shard.ServeWorker(os.Stdin, os.Stdout, shard.WorkerConfig{
+		Build: func(spec string) (objective.Problem, error) {
+			name, grade, robust, seed, err := decodeSpec(spec)
+			if err != nil {
+				return nil, err
+			}
+			prob, _, err := buildProblem(name, grade, robust, seed)
+			if err != nil {
+				return nil, err
+			}
+			if err := objective.Validate(prob); err != nil {
+				return nil, err
+			}
+			return prob, nil
+		},
+	})
 }
 
 func buildProblem(name string, grade, robust int, seed int64) (objective.Problem, bool, error) {

@@ -1,0 +1,221 @@
+// Relay handoff under faults: a leg boundary is the relay's one compound
+// state transition (finish leg k, clone its population, Init leg k+1), and
+// these tests pin its failure atomicity — a quarantining handoff Init
+// adopts the completed new leg before surfacing the error, a hard handoff
+// failure commits nothing and replays cleanly, and a relay checkpointed
+// right after a degraded handoff resumes bit-identically.
+package fault_test
+
+import (
+	"errors"
+	"testing"
+
+	"sacga/internal/nsga2"
+	"sacga/internal/objective"
+	"sacga/internal/sched"
+	"sacga/internal/search"
+)
+
+// handoffChaosParams configures the handoff-chaos engine. The SAME pointer
+// is handed to every Init attempt (the relay re-news the engine per
+// attempt), so countdown state lives here.
+type handoffChaosParams struct {
+	// HardFailsLeft makes that many Init attempts fail WITHOUT building
+	// any state — the unrecoverable handoff fault.
+	HardFailsLeft int
+	// Quarantine makes the first Init complete normally and then report a
+	// synthetic *objective.EvalError — the quarantining handoff: state is
+	// whole, the error is advisory.
+	Quarantine bool
+}
+
+// handoffChaosEngine is an nsga2 engine whose Init misbehaves on cue.
+type handoffChaosEngine struct {
+	*nsga2.Engine
+}
+
+func init() {
+	search.Register("handoff-chaos", func() search.Engine { return &handoffChaosEngine{Engine: new(nsga2.Engine)} })
+}
+
+var errInjectedHandoff = errors.New("fault test: injected handoff init failure")
+
+func (c *handoffChaosEngine) Init(prob objective.Problem, opts search.Options) error {
+	p, _ := opts.Extra.(*handoffChaosParams)
+	opts.Extra = nil // the inner nsga2 engine requires a nil Extra
+	if p != nil && p.HardFailsLeft > 0 {
+		p.HardFailsLeft--
+		return errInjectedHandoff
+	}
+	if err := c.Engine.Init(prob, opts); err != nil {
+		return err
+	}
+	if p != nil && p.Quarantine {
+		p.Quarantine = false
+		return &objective.EvalError{Index: 0, Count: 1, Err: errors.New("fault test: injected quarantining handoff")}
+	}
+	return nil
+}
+
+// Checkpoint/Restore rewrite the Algo name so the relay's leg/checkpoint
+// consistency check sees this engine's registry identity, not the embedded
+// nsga2's.
+func (c *handoffChaosEngine) Checkpoint() *search.Checkpoint {
+	cp := c.Engine.Checkpoint()
+	cp.Algo = "handoff-chaos"
+	return cp
+}
+
+func (c *handoffChaosEngine) Restore(prob objective.Problem, opts search.Options, cp *search.Checkpoint) error {
+	opts.Extra = nil
+	inner := *cp
+	inner.Algo = "nsga2"
+	return c.Engine.Restore(prob, opts, &inner)
+}
+
+// relayChaosOpts builds a two-leg relay — 3 generations of nsga2 handing
+// off to 3 generations of handoff-chaos.
+func relayChaosOpts(p *handoffChaosParams) search.Options {
+	return search.Options{
+		PopSize: 20, Generations: 6, Seed: 11,
+		Extra: &sched.RelayParams{Legs: []sched.Leg{
+			{Algo: "nsga2", Generations: 3},
+			{Algo: "handoff-chaos", Extra: p, Generations: 3},
+		}},
+	}
+}
+
+// newRelay builds and initializes a relay engine over zdt1.
+func newRelay(t *testing.T, p *handoffChaosParams) search.Engine {
+	t.Helper()
+	eng, err := search.New(sched.NameRelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Init(zdt1(), relayChaosOpts(p)); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// driveToDone steps an engine to completion, failing on any error.
+func driveToDone(t *testing.T, eng search.Engine) {
+	t.Helper()
+	for !eng.Done() {
+		if err := eng.Step(); err != nil {
+			t.Fatalf("step at generation %d: %v", eng.Generation(), err)
+		}
+	}
+}
+
+// TestRelayQuarantiningHandoffAdoptsNewLeg: when the handoff Init
+// completes its population but reports an EvalError, the relay adopts the
+// new leg before surfacing the error — the generation count does not
+// double-count the finished leg, a retried Step continues the NEW leg, and
+// the run finishes bit-identically to a fault-free relay.
+func TestRelayQuarantiningHandoffAdoptsNewLeg(t *testing.T) {
+	eng := newRelay(t, &handoffChaosParams{Quarantine: true})
+	for i := 0; i < 3; i++ {
+		if err := eng.Step(); err != nil {
+			t.Fatalf("leg 0 step %d: %v", i, err)
+		}
+	}
+	err := eng.Step() // the handoff step
+	var ee *objective.EvalError
+	if !errors.As(err, &ee) {
+		t.Fatalf("handoff error is %T (%v), want *objective.EvalError", err, err)
+	}
+	relay := eng.(*sched.Relay)
+	if relay.Leg() != 1 {
+		t.Fatalf("after quarantining handoff: leg %d, want 1 (new leg adopted)", relay.Leg())
+	}
+	if got := eng.Generation(); got != 3 {
+		t.Fatalf("after quarantining handoff: generation %d, want 3 (old leg counted once)", got)
+	}
+	if eng.Done() {
+		t.Fatal("relay reports Done with the new leg un-stepped")
+	}
+	driveToDone(t, eng)
+	if got := eng.Generation(); got != 6 {
+		t.Fatalf("final generation %d, want 6", got)
+	}
+
+	clean := newRelay(t, &handoffChaosParams{})
+	driveToDone(t, clean)
+	if eng.Evals() != clean.Evals() {
+		t.Fatalf("evals %d != fault-free %d", eng.Evals(), clean.Evals())
+	}
+	popsIdentical(t, "population after quarantined handoff", eng.Population(), clean.Population())
+}
+
+// TestRelayHardHandoffFailureReplays: a handoff Init that fails without
+// building state commits NOTHING — leg, generation count and Done are
+// unchanged — and the handoff replays on the next Step until it succeeds,
+// after which the run finishes bit-identically to a fault-free relay.
+func TestRelayHardHandoffFailureReplays(t *testing.T) {
+	eng := newRelay(t, &handoffChaosParams{HardFailsLeft: 2})
+	for i := 0; i < 3; i++ {
+		if err := eng.Step(); err != nil {
+			t.Fatalf("leg 0 step %d: %v", i, err)
+		}
+	}
+	relay := eng.(*sched.Relay)
+	for attempt := 0; attempt < 2; attempt++ {
+		err := eng.Step()
+		if !errors.Is(err, errInjectedHandoff) {
+			t.Fatalf("attempt %d: error %v, want the injected handoff failure", attempt, err)
+		}
+		if relay.Leg() != 0 {
+			t.Fatalf("attempt %d: leg advanced to %d on a failed handoff", attempt, relay.Leg())
+		}
+		if got := eng.Generation(); got != 3 {
+			t.Fatalf("attempt %d: generation %d, want 3 (nothing committed)", attempt, got)
+		}
+		if eng.Done() {
+			t.Fatalf("attempt %d: relay reports Done mid-failed-handoff", attempt)
+		}
+	}
+	driveToDone(t, eng)
+	if relay.Leg() != 1 || eng.Generation() != 6 {
+		t.Fatalf("final leg %d generation %d, want leg 1 generation 6", relay.Leg(), eng.Generation())
+	}
+
+	clean := newRelay(t, &handoffChaosParams{})
+	driveToDone(t, clean)
+	popsIdentical(t, "population after replayed handoff", eng.Population(), clean.Population())
+}
+
+// TestRelayDegradedHandoffCheckpointResume: a relay snapshotted right
+// after a quarantining handoff — the most delicate instant in its state
+// machine — round-trips through the durable layer and finishes
+// bit-identically to the uninterrupted run.
+func TestRelayDegradedHandoffCheckpointResume(t *testing.T) {
+	eng := newRelay(t, &handoffChaosParams{Quarantine: true})
+	for i := 0; i < 3; i++ {
+		if err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var ee *objective.EvalError
+	if err := eng.Step(); !errors.As(err, &ee) {
+		t.Fatalf("handoff error is %v, want *objective.EvalError", err)
+	}
+	cp := eng.Checkpoint()
+
+	fork, err := search.New(sched.NameRelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fork.Restore(zdt1(), relayChaosOpts(&handoffChaosParams{}), cp); err != nil {
+		t.Fatal(err)
+	}
+	if fork.(*sched.Relay).Leg() != 1 || fork.Generation() != 3 {
+		t.Fatalf("restored leg %d generation %d, want leg 1 generation 3", fork.(*sched.Relay).Leg(), fork.Generation())
+	}
+	driveToDone(t, eng)
+	driveToDone(t, fork)
+	if eng.Evals() != fork.Evals() {
+		t.Fatalf("evals diverged: %d != %d", eng.Evals(), fork.Evals())
+	}
+	popsIdentical(t, "resumed degraded relay", fork.Population(), eng.Population())
+}

@@ -45,11 +45,15 @@ type replicaFailure struct {
 	poisoned bool
 }
 
-// replicaSet tracks which child engines the scheduler still trusts. A dead
+// ReplicaSet tracks which child engines a scheduler still trusts. A dead
 // replica is no longer stepped but its last-good population remains in the
 // pooled view; a poisoned replica (watchdog abandonment — a runaway step
-// may still be writing its buffers) is excluded from everything.
-type replicaSet struct {
+// may still be writing its buffers) is excluded from everything. Exported
+// so the cross-process shard coordinator degrades with exactly the same
+// bookkeeping as the in-process schedulers (process isolation means its
+// replicas are only ever dead, never poisoned — a runaway worker cannot
+// touch the coordinator-held state).
+type ReplicaSet struct {
 	dead     []bool
 	poisoned []bool
 	dropped  []int
@@ -57,7 +61,8 @@ type replicaSet struct {
 	reported bool
 }
 
-func (r *replicaSet) reset(n int) {
+// Reset initializes the set with n live replicas.
+func (r *ReplicaSet) Reset(n int) {
 	r.dead = make([]bool, n)
 	r.poisoned = make([]bool, n)
 	r.dropped = nil
@@ -65,9 +70,9 @@ func (r *replicaSet) reset(n int) {
 	r.reported = false
 }
 
-// drop retires replica i. Called at the epoch barrier in replica-index
+// Drop retires replica i. Call at the epoch barrier in replica-index
 // order, so Dropped is deterministic at any worker count.
-func (r *replicaSet) drop(i int, err error, poisoned bool) {
+func (r *ReplicaSet) Drop(i int, err error, poisoned bool) {
 	if r.dead[i] {
 		return
 	}
@@ -77,7 +82,20 @@ func (r *replicaSet) drop(i int, err error, poisoned bool) {
 	r.errs = append(r.errs, err)
 }
 
-func (r *replicaSet) allDead() bool {
+// Dead reports whether replica i has been dropped.
+func (r *ReplicaSet) Dead(i int) bool { return r.dead[i] }
+
+// Poisoned reports whether replica i was dropped with poisoned state.
+func (r *ReplicaSet) Poisoned(i int) bool { return r.poisoned[i] }
+
+// DeadFlags returns a copy of the per-replica dead flags (snapshot form).
+func (r *ReplicaSet) DeadFlags() []bool { return append([]bool(nil), r.dead...) }
+
+// PoisonedFlags returns a copy of the per-replica poisoned flags.
+func (r *ReplicaSet) PoisonedFlags() []bool { return append([]bool(nil), r.poisoned...) }
+
+// AllDead reports whether no replica survives.
+func (r *ReplicaSet) AllDead() bool {
 	for _, d := range r.dead {
 		if !d {
 			return false
@@ -86,9 +104,9 @@ func (r *replicaSet) allDead() bool {
 	return len(r.dead) > 0
 }
 
-// takeErr builds the run's ReplicaError, once: later calls return nil so a
+// TakeErr builds the run's ReplicaError, once: later calls return nil so a
 // finalized scheduler does not re-report on subsequent (no-op) Steps.
-func (r *replicaSet) takeErr(scheduler string) error {
+func (r *ReplicaSet) TakeErr(scheduler string) error {
 	if r.reported || len(r.dropped) == 0 {
 		return nil
 	}
@@ -97,15 +115,15 @@ func (r *replicaSet) takeErr(scheduler string) error {
 		Scheduler: scheduler,
 		Dropped:   append([]int(nil), r.dropped...),
 		Errs:      append([]error(nil), r.errs...),
-		AllDead:   r.allDead(),
+		AllDead:   r.AllDead(),
 	}
 }
 
-// restore rebuilds the liveness state from a checkpoint. nil dead (a
+// RestoreState rebuilds the liveness state from a checkpoint. nil dead (a
 // pre-fault-tolerance snapshot) means all replicas alive. Dropped causes are
 // not persisted; a placeholder keeps the final report well-formed.
-func (r *replicaSet) restore(n int, dead, poisoned []bool) {
-	r.reset(n)
+func (r *ReplicaSet) RestoreState(n int, dead, poisoned []bool) {
+	r.Reset(n)
 	if dead == nil {
 		return
 	}

@@ -111,7 +111,7 @@ type ParallelIslands struct {
 	epoch   int
 	pooled  ga.Population
 	final   bool
-	reps    replicaSet
+	reps    ReplicaSet
 	fails   []replicaFailure // per-epoch scratch, index-addressed
 	livebuf []int            // scratch for liveIndices
 }
@@ -160,18 +160,21 @@ func (e *ParallelIslands) prepare(prob objective.Problem, opts search.Options) e
 		e.probs[i] = childProblem(e.prob)
 	}
 	e.pooled = make(ga.Population, 0, e.opts.PopSize)
-	e.reps.reset(e.p.Replicas)
+	e.reps.Reset(e.p.Replicas)
 	e.fails = make([]replicaFailure, e.p.Replicas)
 	return nil
 }
 
-// replicaShares splits popSize across n replicas so the shares sum EXACTLY
+// ReplicaShares splits popSize across n replicas so the shares sum EXACTLY
 // to popSize — the ensemble must stay budget-matched with a single engine
 // at the same population. Shares are dealt in pairs (largest first) so at
 // most one share is odd: engines that round odd populations up (nsga2)
 // then inflate the total by at most 1, the same guarantee a single such
-// engine gives. Tiny populations floor at 2 per replica.
-func replicaShares(popSize, n int) []int {
+// engine gives. Tiny populations floor at 2 per replica. Exported so the
+// cross-process shard coordinator splits populations identically to the
+// in-process scheduler — the determinism contract between the two rests
+// on byte-equal replica configurations.
+func ReplicaShares(popSize, n int) []int {
 	shares := make([]int, n)
 	pairs := popSize / 2
 	for i := range shares {
@@ -191,21 +194,34 @@ func replicaShares(popSize, n int) []int {
 	return shares
 }
 
-// replicaOptions builds replica i's options: its share of the total
-// population, the matching block of Options.Initial, a per-replica derived
-// seed, and the shared knobs.
-func (e *ParallelIslands) replicaOptions(i int) search.Options {
-	shares := replicaShares(e.opts.PopSize, e.p.Replicas)
+// ReplicaLabel is the rng.ChildSeed label every replica ensemble derives
+// its per-replica identities from. Shared by ParallelIslands and the
+// cross-process shard coordinator: a replica's seed must not depend on
+// which runtime steps it.
+const ReplicaLabel = "sched/replica"
+
+// ReplicaOptions builds replica i's options for an n-replica ensemble over
+// opts: its share of the total population, the matching block of
+// Options.Initial, a per-replica derived seed, and the shared knobs.
+// Exported for the shard coordinator, which must configure worker-side
+// replicas byte-identically to the in-process scheduler.
+func ReplicaOptions(opts search.Options, n, i int, extra any) search.Options {
+	shares := ReplicaShares(opts.PopSize, n)
 	lo := 0
 	for k := 0; k < i; k++ {
 		lo += shares[k]
 	}
 	var initial ga.Population
-	if lo < len(e.opts.Initial) {
-		hi := min(lo+shares[i], len(e.opts.Initial))
-		initial = e.opts.Initial[lo:hi]
+	if lo < len(opts.Initial) {
+		hi := min(lo+shares[i], len(opts.Initial))
+		initial = opts.Initial[lo:hi]
 	}
-	return childOptions(e.opts, shares[i], e.opts.Generations, "sched/replica", i, e.p.Extra, initial)
+	return childOptions(opts, shares[i], opts.Generations, ReplicaLabel, i, extra, initial)
+}
+
+// replicaOptions builds replica i's options.
+func (e *ParallelIslands) replicaOptions(i int) search.Options {
+	return ReplicaOptions(e.opts, e.p.Replicas, i, e.p.Extra)
 }
 
 // Init implements search.Engine: every replica is seeded and evaluated,
@@ -259,12 +275,12 @@ func (e *ParallelIslands) Step() error {
 		})
 		for i, f := range e.fails { // epoch barrier: drops in replica-index order
 			if f.err != nil {
-				e.reps.drop(i, f.err, f.poisoned)
+				e.reps.Drop(i, f.err, f.poisoned)
 			}
 		}
-		if e.reps.allDead() {
+		if e.reps.AllDead() {
 			e.finalize()
-			return e.reps.takeErr(e.Name())
+			return e.reps.TakeErr(e.Name())
 		}
 	}
 	e.epoch++
@@ -276,7 +292,7 @@ func (e *ParallelIslands) Step() error {
 	}
 	if e.done() {
 		e.finalize()
-		return e.reps.takeErr(e.Name())
+		return e.reps.TakeErr(e.Name())
 	}
 	return nil
 }
@@ -293,41 +309,46 @@ func (e *ParallelIslands) liveIndices() []int {
 	return e.livebuf
 }
 
-// migrate performs one deterministic exchange over the live replicas: all
+// Migrate performs one deterministic exchange over engines[live[k]]: all
 // emigrants are selected (as clones) before any immigration, so the
 // exchange is simultaneous and order-independent; destinations are then
 // served in replica-index order. Dropped replicas fall out of the ring (or
 // star) — the topology contracts over the survivors, in index order, so the
-// exchange stays deterministic at any worker count.
-func (e *ParallelIslands) migrate() {
-	live := e.liveIndices()
+// exchange stays deterministic at any worker count. Every listed engine
+// must implement search.Migrator. Exported so the shard coordinator applies
+// the identical exchange to its restored replica mirrors.
+func Migrate(engines []search.Engine, live []int, topology Topology, migrants int) {
 	n := len(live)
 	if n < 2 {
 		return
 	}
-	m := e.p.Migrants
-	if e.p.Topology == Star {
-		hub := e.engines[live[0]].(search.Migrator)
-		broadcast := hub.Emigrants(m)
+	if topology == Star {
+		hub := engines[live[0]].(search.Migrator)
+		broadcast := hub.Emigrants(migrants)
 		var inbound ga.Population
 		for k := 1; k < n; k++ {
-			inbound = append(inbound, e.engines[live[k]].(search.Migrator).Emigrants(m)...)
+			inbound = append(inbound, engines[live[k]].(search.Migrator).Emigrants(migrants)...)
 		}
 		hub.Immigrate(inbound)
 		for k := 1; k < n; k++ {
 			// Each leaf takes its own clones of the hub's elite; a shared
 			// individual across engines would alias mutable state.
-			e.engines[live[k]].(search.Migrator).Immigrate(broadcast.Clone())
+			engines[live[k]].(search.Migrator).Immigrate(broadcast.Clone())
 		}
 		return
 	}
 	outbound := make([]ga.Population, n)
 	for k := 0; k < n; k++ {
-		outbound[k] = e.engines[live[k]].(search.Migrator).Emigrants(m)
+		outbound[k] = engines[live[k]].(search.Migrator).Emigrants(migrants)
 	}
 	for k := 0; k < n; k++ {
-		e.engines[live[(k+1)%n]].(search.Migrator).Immigrate(outbound[k])
+		engines[live[(k+1)%n]].(search.Migrator).Immigrate(outbound[k])
 	}
+}
+
+// migrate runs one exchange over this scheduler's live replicas.
+func (e *ParallelIslands) migrate() {
+	Migrate(e.engines, e.liveIndices(), e.p.Topology, e.p.Migrants)
 }
 
 // done is Done without the finalized fast path: the budget is exhausted or
@@ -368,7 +389,7 @@ func (e *ParallelIslands) Population() ga.Population {
 }
 
 func (e *ParallelIslands) poolView() ga.Population {
-	e.pooled = poolInto(e.pooled, e.engines, e.reps.poisoned)
+	e.pooled = PoolPopulations(e.pooled, e.engines, e.reps.poisoned)
 	return e.pooled
 }
 
@@ -415,7 +436,7 @@ func (e *ParallelIslands) Restore(prob objective.Problem, opts search.Options, c
 	}
 	e.budget.RestoreEvals(cp.Evals)
 	e.epoch = cp.Gen
-	e.reps.restore(len(e.engines), sn.Dead, sn.Poisoned)
+	e.reps.RestoreState(len(e.engines), sn.Dead, sn.Poisoned)
 	if err := runIndexed(len(e.engines), e.p.StepWorkers, func(i int) error {
 		if e.reps.poisoned[i] {
 			return nil // unrecoverable: stays dropped, contributes nothing

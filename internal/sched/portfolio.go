@@ -98,7 +98,7 @@ type Portfolio struct {
 	best    int // previous epoch's best member; -1 before the first scoring
 	pooled  ga.Population
 	final   bool
-	reps    replicaSet
+	reps    ReplicaSet
 	fails   []replicaFailure // per-epoch scratch, index-addressed
 
 	calc hypervolume.Calc
@@ -151,7 +151,7 @@ func (e *Portfolio) prepare(prob objective.Problem, opts search.Options) error {
 	}
 	e.scores = make([]float64, len(e.engines))
 	e.pooled = make(ga.Population, 0, len(e.engines)*opts.PopSize)
-	e.reps.reset(len(e.engines))
+	e.reps.Reset(len(e.engines))
 	e.fails = make([]replicaFailure, len(e.engines))
 	return nil
 }
@@ -235,12 +235,12 @@ func (e *Portfolio) Step() error {
 		})
 		for i, f := range e.fails { // epoch barrier: drops in member-index order
 			if f.err != nil {
-				e.reps.drop(i, f.err, f.poisoned)
+				e.reps.Drop(i, f.err, f.poisoned)
 			}
 		}
-		if e.reps.allDead() {
+		if e.reps.AllDead() {
 			e.finalize()
-			return e.reps.takeErr(e.Name())
+			return e.reps.TakeErr(e.Name())
 		}
 	}
 	e.epoch++
@@ -250,7 +250,7 @@ func (e *Portfolio) Step() error {
 	}
 	if e.done() {
 		e.finalize()
-		return e.reps.takeErr(e.Name())
+		return e.reps.TakeErr(e.Name())
 	}
 	return nil
 }
@@ -339,7 +339,7 @@ func (e *Portfolio) Population() ga.Population {
 }
 
 func (e *Portfolio) poolView() ga.Population {
-	e.pooled = poolInto(e.pooled, e.engines, e.reps.poisoned)
+	e.pooled = PoolPopulations(e.pooled, e.engines, e.reps.poisoned)
 	return e.pooled
 }
 
@@ -398,7 +398,7 @@ func (e *Portfolio) Restore(prob objective.Problem, opts search.Options, cp *sea
 	e.epoch = sn.Epoch
 	e.best = sn.Best
 	copy(e.scores, sn.Scores)
-	e.reps.restore(len(e.engines), sn.Dead, sn.Poisoned)
+	e.reps.RestoreState(len(e.engines), sn.Dead, sn.Poisoned)
 	if err := runIndexed(len(e.engines), e.p.StepWorkers, func(i int) error {
 		if e.reps.poisoned[i] {
 			return nil // unrecoverable: stays dropped, contributes nothing

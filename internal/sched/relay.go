@@ -2,6 +2,7 @@ package sched
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 
 	"sacga/internal/ga"
@@ -164,10 +165,7 @@ func (e *Relay) Step() error {
 		return nil
 	}
 	if e.inner.Done() {
-		e.doneGens += e.inner.Generation()
-		e.handoff = e.inner.Population().Clone()
-		e.leg++
-		if err := e.startLeg(e.leg, e.handoff); err != nil {
+		if err := e.handoffToNext(); err != nil {
 			return err
 		}
 	}
@@ -176,6 +174,45 @@ func (e *Relay) Step() error {
 	}
 	if e.opts.Observer != nil {
 		e.opts.Observer(e.Generation(), e.inner.Population())
+	}
+	return nil
+}
+
+// handoffToNext advances the relay to the next leg: the finished leg's
+// population is cloned, the next engine is built and initialized around
+// it, and the relay's bookkeeping (doneGens, leg, inner) is committed —
+// atomically with respect to failure:
+//
+//   - A quarantining Init (the error chain carries *objective.EvalError)
+//     completed its initial population — quarantined individuals carry
+//     worst-case objectives, the engine is whole — so the new leg IS
+//     adopted and the error surfaces afterward: a retried Step continues
+//     the new leg. The previous code returned before adopting the engine
+//     with doneGens and leg already advanced, so Generation() counted the
+//     old leg twice and a retry either re-ran the handoff (running the
+//     relay off its leg list) or silently reported the relay Done.
+//   - Any other Init failure commits NOTHING: a retried Step replays the
+//     whole handoff from the old leg's final state.
+func (e *Relay) handoffToNext() error {
+	next := e.leg + 1
+	handoff := e.inner.Population().Clone()
+	eng, err := search.New(e.legs[next].Algo)
+	if err != nil {
+		return fmt.Errorf("sched: relay leg %d: %w", next, err)
+	}
+	ierr := eng.Init(childProblem(e.prob), e.legOptions(next, handoff))
+	if ierr != nil {
+		var ee *objective.EvalError
+		if !errors.As(ierr, &ee) {
+			return fmt.Errorf("sched: relay leg %d (%s): %w", next, e.legs[next].Algo, ierr)
+		}
+	}
+	e.doneGens += e.inner.Generation()
+	e.handoff = handoff
+	e.leg = next
+	e.inner = eng
+	if ierr != nil {
+		return fmt.Errorf("sched: relay leg %d (%s): %w", next, e.legs[next].Algo, ierr)
 	}
 	return nil
 }

@@ -159,14 +159,17 @@ func allDone(engines []search.Engine) bool {
 	return true
 }
 
-// poolInto rebuilds dst as the concatenated live view of every child
-// population, in engine-index order. Poisoned engines are skipped — their
-// buffers may still be written by a runaway step — while dead-but-valid
-// replicas contribute their last-good generation.
-func poolInto(dst ga.Population, engines []search.Engine, poisoned []bool) ga.Population {
+// PoolPopulations rebuilds dst as the concatenated live view of every
+// child population, in engine-index order. Poisoned engines are skipped —
+// their buffers may still be written by a runaway step — while
+// dead-but-valid replicas contribute their last-good generation. A nil
+// poisoned slice pools every engine (the shard coordinator's case: process
+// isolation means no replica state is ever poisoned). Exported so pooling
+// order — part of the determinism contract — has exactly one definition.
+func PoolPopulations(dst ga.Population, engines []search.Engine, poisoned []bool) ga.Population {
 	dst = dst[:0]
 	for i, eng := range engines {
-		if poisoned[i] {
+		if poisoned != nil && poisoned[i] {
 			continue
 		}
 		dst = append(dst, eng.Population()...)

@@ -16,4 +16,5 @@ import (
 	_ "sacga/internal/nsga2"
 	_ "sacga/internal/sacga"
 	_ "sacga/internal/sched"
+	_ "sacga/internal/shard"
 )

@@ -11,22 +11,26 @@ import (
 	"path/filepath"
 )
 
-// Durable on-disk checkpoints: the gob serialization of a Checkpoint with a
-// small versioned header and a CRC-guarded footer, written atomically
-// (temp file + rename) with last-good rotation. gob is the one codec the
-// Checkpoint types are designed for — Snapshot payloads are registered by
-// their engine packages from init, and gob round-trips the ±Inf crowding
-// distances JSON rejects.
+// Durable checkpoints: the gob serialization of a Checkpoint with a
+// small versioned header and a CRC-guarded footer. EncodeCheckpoint and
+// DecodeCheckpoint expose the sealed byte form itself — it doubles as the
+// wire format the cross-process shard runtime ships between coordinator
+// and workers — while SaveCheckpoint/LoadCheckpoint add the on-disk
+// atomicity layer (temp file + rename) with last-good rotation. gob is
+// the one codec the Checkpoint types are designed for — Snapshot payloads
+// are registered by their engine packages from init, and gob round-trips
+// the ±Inf crowding distances JSON rejects.
 //
-// On-disk layout (version 2):
+// Layout (version 2):
 //
 //	[gob(diskCheckpoint)] [payload length: uint64 LE] [CRC32-C: uint32 LE] [footer magic: uint32 LE]
 //
 // The footer turns silent corruption (bit rot, torn writes that survived
-// rename, copy truncation) into a typed *CorruptError instead of a gob
-// panic or a mis-decode. SaveCheckpoint rotates the previous snapshot to
-// path+PrevSuffix before installing the new one, and LoadLatestCheckpoint
-// falls back to it — so one corrupted write never strands a long campaign.
+// rename, copy truncation, a frame mangled in transit) into a typed
+// *CorruptError instead of a gob panic or a mis-decode. SaveCheckpoint
+// rotates the previous snapshot to path+PrevSuffix before installing the
+// new one, and LoadLatestCheckpoint falls back to it — so one corrupted
+// write never strands a long campaign.
 
 // checkpointMagic identifies a checkpoint file; checkpointVersion gates the
 // layout so a future format change fails loudly instead of mis-decoding.
@@ -70,6 +74,26 @@ type diskCheckpoint struct {
 	Checkpoint *Checkpoint
 }
 
+// EncodeCheckpoint serializes cp into the sealed checkpoint form: the gob
+// envelope followed by the length/CRC footer. The bytes are exactly what
+// SaveCheckpoint writes to disk, and what the shard runtime ships over
+// worker pipes — one format, one integrity check.
+func EncodeCheckpoint(cp *Checkpoint) ([]byte, error) {
+	if cp == nil {
+		return nil, fmt.Errorf("search: encode nil checkpoint")
+	}
+	var payload bytes.Buffer
+	enc := gob.NewEncoder(&payload)
+	if err := enc.Encode(&diskCheckpoint{Magic: checkpointMagic, Version: checkpointVersion, Checkpoint: cp}); err != nil {
+		return nil, fmt.Errorf("search: encode checkpoint: %w", err)
+	}
+	var footer [footerSize]byte
+	binary.LittleEndian.PutUint64(footer[0:8], uint64(payload.Len()))
+	binary.LittleEndian.PutUint32(footer[8:12], crc32.Checksum(payload.Bytes(), castagnoli))
+	binary.LittleEndian.PutUint32(footer[12:16], footerMagic)
+	return append(payload.Bytes(), footer[:]...), nil
+}
+
 // SaveCheckpoint durably writes cp to path with last-good rotation. The
 // write is atomic: the snapshot is encoded and CRC-sealed into a temporary
 // file in path's directory, synced, and renamed over path, so readers (and
@@ -78,33 +102,27 @@ type diskCheckpoint struct {
 // at path is first rotated to path+PrevSuffix; a crash between the
 // rotation and the install leaves path missing but the last-good snapshot
 // in place, which LoadLatestCheckpoint recovers.
+//
+// Durability invariant: the renames only become crash-safe once the parent
+// directory's metadata reaches disk, so after installing the new file the
+// DIRECTORY is fsynced too. Syncing only the file (as this function once
+// did) leaves a window where a power loss forgets both the install and the
+// .prev rotation — the data blocks were durable but no directory entry
+// pointed at them.
 func SaveCheckpoint(path string, cp *Checkpoint) error {
-	if cp == nil {
-		return fmt.Errorf("search: SaveCheckpoint with nil checkpoint")
+	data, err := EncodeCheckpoint(cp)
+	if err != nil {
+		return err
 	}
-	var payload bytes.Buffer
-	enc := gob.NewEncoder(&payload)
-	if err := enc.Encode(&diskCheckpoint{Magic: checkpointMagic, Version: checkpointVersion, Checkpoint: cp}); err != nil {
-		return fmt.Errorf("search: encode checkpoint: %w", err)
-	}
-	var footer [footerSize]byte
-	binary.LittleEndian.PutUint64(footer[0:8], uint64(payload.Len()))
-	binary.LittleEndian.PutUint32(footer[8:12], crc32.Checksum(payload.Bytes(), castagnoli))
-	binary.LittleEndian.PutUint32(footer[12:16], footerMagic)
-
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".checkpoint-*")
 	if err != nil {
 		return fmt.Errorf("search: checkpoint temp file: %w", err)
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if _, err := tmp.Write(payload.Bytes()); err != nil {
+	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		return fmt.Errorf("search: write checkpoint: %w", err)
-	}
-	if _, err := tmp.Write(footer[:]); err != nil {
-		tmp.Close()
-		return fmt.Errorf("search: write checkpoint footer: %w", err)
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
@@ -121,66 +139,85 @@ func SaveCheckpoint(path string, cp *Checkpoint) error {
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("search: install checkpoint: %w", err)
 	}
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("search: sync checkpoint directory: %w", err)
+	}
 	return nil
+}
+
+// syncDir flushes a directory's metadata (the rename pair) to disk.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
-// LoadCheckpoint reads a checkpoint written by SaveCheckpoint, verifying
+// DecodeCheckpoint parses data in the sealed checkpoint form, verifying
 // the CRC footer before anything is decoded; any integrity failure — bad
 // CRC, truncation, a payload that does not decode — is reported as a
-// *CorruptError, never a gob panic. The engine package that produced the
-// snapshot must be linked into the binary (its init registers the gob
-// payload type); Resume the result on a fresh engine of the same
-// algorithm, under the options the original run used. Version-1 files
-// (written before the footer existed) are still accepted, decode-guarded.
-func LoadCheckpoint(path string) (*Checkpoint, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
+// *CorruptError (src names the origin: a file path, a worker stream),
+// never a gob panic. Version-1 payloads (written before the footer
+// existed) are still accepted, decode-guarded.
+func DecodeCheckpoint(src string, data []byte) (*Checkpoint, error) {
 	payload := data
 	versionFloor := 1 // footerless legacy files decode as version 1 only
 	if n := len(data); n >= footerSize && binary.LittleEndian.Uint32(data[n-4:]) == footerMagic {
 		plen := binary.LittleEndian.Uint64(data[n-footerSize : n-8])
 		if plen != uint64(n-footerSize) {
-			return nil, &CorruptError{Path: path, Reason: fmt.Sprintf("footer claims %d payload bytes, file carries %d", plen, n-footerSize)}
+			return nil, &CorruptError{Path: src, Reason: fmt.Sprintf("footer claims %d payload bytes, file carries %d", plen, n-footerSize)}
 		}
 		payload = data[:n-footerSize]
 		if got, want := crc32.Checksum(payload, castagnoli), binary.LittleEndian.Uint32(data[n-8:n-4]); got != want {
-			return nil, &CorruptError{Path: path, Reason: fmt.Sprintf("CRC mismatch: computed %08x, footer records %08x", got, want)}
+			return nil, &CorruptError{Path: src, Reason: fmt.Sprintf("CRC mismatch: computed %08x, footer records %08x", got, want)}
 		}
 		versionFloor = 2
 	}
-	disk, err := decodeCheckpoint(path, payload)
+	disk, err := decodeEnvelope(src, payload)
 	if err != nil {
 		return nil, err
 	}
 	if disk.Magic != checkpointMagic {
-		return nil, &CorruptError{Path: path, Reason: "not a checkpoint file"}
+		return nil, &CorruptError{Path: src, Reason: "not a checkpoint file"}
 	}
 	if disk.Version < versionFloor || disk.Version > checkpointVersion {
-		return nil, fmt.Errorf("search: checkpoint %s has version %d, this build reads %d", path, disk.Version, checkpointVersion)
+		return nil, fmt.Errorf("search: checkpoint %s has version %d, this build reads %d", src, disk.Version, checkpointVersion)
 	}
 	if disk.Checkpoint == nil {
-		return nil, &CorruptError{Path: path, Reason: "empty checkpoint envelope"}
+		return nil, &CorruptError{Path: src, Reason: "empty checkpoint envelope"}
 	}
 	return disk.Checkpoint, nil
 }
 
-// decodeCheckpoint gob-decodes the envelope with a panic guard: gob is not
+// LoadCheckpoint reads a checkpoint written by SaveCheckpoint. The engine
+// package that produced the snapshot must be linked into the binary (its
+// init registers the gob payload type); Resume the result on a fresh
+// engine of the same algorithm, under the options the original run used.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeCheckpoint(path, data)
+}
+
+// decodeEnvelope gob-decodes the envelope with a panic guard: gob is not
 // hardened against hostile input, and a corrupted stream can panic deep in
 // reflection. A CRC pass makes that unreachable in practice; the guard
 // covers footerless legacy files and CRC collisions.
-func decodeCheckpoint(path string, payload []byte) (disk *diskCheckpoint, err error) {
+func decodeEnvelope(src string, payload []byte) (disk *diskCheckpoint, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			disk, err = nil, &CorruptError{Path: path, Reason: fmt.Sprintf("decode panicked: %v", r)}
+			disk, err = nil, &CorruptError{Path: src, Reason: fmt.Sprintf("decode panicked: %v", r)}
 		}
 	}()
 	disk = new(diskCheckpoint)
 	if derr := gob.NewDecoder(bytes.NewReader(payload)).Decode(disk); derr != nil {
-		return nil, &CorruptError{Path: path, Reason: fmt.Sprintf("decode: %v", derr)}
+		return nil, &CorruptError{Path: src, Reason: fmt.Sprintf("decode: %v", derr)}
 	}
 	return disk, nil
 }

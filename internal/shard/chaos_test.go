@@ -1,0 +1,505 @@
+// The process-level chaos suite: the cross-process coordinator is run
+// against real worker OS processes (this test binary re-execed, see
+// TestMain) that are SIGKILLed, wedged, or corrupt their reply frames on
+// cue — and every outcome is compared BIT-IDENTICALLY against the
+// in-process sched.ParallelIslands scheduler, which is the package's
+// determinism contract: sharding, process count, and transient faults must
+// all be invisible in the result.
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"sacga/internal/benchfn"
+	"sacga/internal/fault"
+	"sacga/internal/ga"
+	"sacga/internal/nsga2"
+	"sacga/internal/objective"
+	"sacga/internal/rng"
+	"sacga/internal/sched"
+	"sacga/internal/search"
+)
+
+// TestMain doubles as the worker binary: when SHARD_WORKER=1 the process
+// serves the shard protocol on stdin/stdout instead of running tests —
+// the standard re-exec harness, so the chaos suite spawns real OS
+// processes without building a separate binary.
+func TestMain(m *testing.M) {
+	if os.Getenv("SHARD_WORKER") == "1" {
+		cfg := WorkerConfig{
+			Build:          buildTestProblem,
+			HeartbeatEvery: 50 * time.Millisecond,
+		}
+		applyChaosEnv(&cfg)
+		if err := ServeWorker(os.Stdin, os.Stdout, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "shard worker:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func buildTestProblem(spec string) (objective.Problem, error) {
+	if spec != "zdt1" {
+		return nil, fmt.Errorf("unknown test problem %q", spec)
+	}
+	return benchfn.ZDT1(6), nil
+}
+
+// applyChaosEnv arms the worker's chaos hooks from SHARD_CHAOS:
+//
+//	<mode>:<replica>:<epoch>:<maxAttempt>
+//
+// where mode is kill (SIGKILL self before the step — a worker dying
+// mid-epoch), wedge (block forever; the coordinator's heartbeat/lease
+// machinery must reclaim it), or corrupt (flip one bit of the sealed reply
+// frame, through fault.FlipBit on a scratch file — the transport-corruption
+// attack). The fault fires for the matching replica and epoch on attempts
+// 0..maxAttempt — a respawned worker re-reads the same env, so attempt
+// gating is what separates a transient fault from a permanent one.
+func applyChaosEnv(cfg *WorkerConfig) {
+	spec := os.Getenv("SHARD_CHAOS")
+	if spec == "" {
+		return
+	}
+	parts := strings.Split(spec, ":")
+	if len(parts) != 4 {
+		fmt.Fprintf(os.Stderr, "shard worker: bad SHARD_CHAOS %q\n", spec)
+		os.Exit(1)
+	}
+	mode := parts[0]
+	replica, _ := strconv.Atoi(parts[1])
+	epoch, _ := strconv.Atoi(parts[2])
+	maxAttempt, _ := strconv.Atoi(parts[3])
+	match := func(info StepInfo) bool {
+		return !info.Init && info.Replica == replica && info.Epoch == epoch && info.Attempt <= maxAttempt
+	}
+	switch mode {
+	case "kill":
+		cfg.OnStep = func(info StepInfo) {
+			if match(info) {
+				syscall.Kill(os.Getpid(), syscall.SIGKILL)
+			}
+		}
+	case "wedge":
+		cfg.OnStep = func(info StepInfo) {
+			if match(info) {
+				// Effectively frozen: no reply, no heartbeats. (A bare
+				// select{} would trip the runtime's deadlock detector and
+				// crash the process instead of wedging it.)
+				time.Sleep(24 * time.Hour)
+			}
+		}
+	case "corrupt":
+		cfg.TransformReply = func(info StepInfo, frame []byte) []byte {
+			if !match(info) {
+				return frame
+			}
+			return flipFrameBit(frame)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "shard worker: unknown SHARD_CHAOS mode %q\n", mode)
+		os.Exit(1)
+	}
+}
+
+// flipFrameBit inverts one mid-frame bit via the fault package's file
+// attack (round-tripping through a scratch file so the corruption comes
+// from the same primitive the torn-write suite uses).
+func flipFrameBit(frame []byte) []byte {
+	path := filepath.Join(os.TempDir(), fmt.Sprintf("shard-chaos-%d", os.Getpid()))
+	if err := os.WriteFile(path, frame, 0o644); err != nil {
+		return frame
+	}
+	defer os.Remove(path)
+	if err := fault.FlipBit(path, int64(len(frame))*4+1); err != nil {
+		return frame
+	}
+	out, err := os.ReadFile(path)
+	if err != nil {
+		return frame
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// In-process comparator: a chaos replica whose Step fails permanently from
+// a given epoch WITHOUT advancing — the in-process twin of a worker process
+// that is SIGKILLed before stepping, every attempt.
+
+// procChaosParams selects the failing replica by its derived seed (the
+// scheduler hands the same Extra to every replica) and the epoch its
+// failures start.
+type procChaosParams struct {
+	TargetSeed int64
+	FailFrom   int
+}
+
+type procChaosReplica struct {
+	*nsga2.Engine
+	p     procChaosParams
+	seed  int64
+	steps int // successful steps only: retries must observe the same epoch
+}
+
+func init() {
+	search.Register("proc-chaos-replica", func() search.Engine { return &procChaosReplica{Engine: new(nsga2.Engine)} })
+}
+
+func (c *procChaosReplica) capture(opts *search.Options) {
+	if p, ok := opts.Extra.(*procChaosParams); ok {
+		c.p = *p
+	}
+	c.seed = opts.Seed
+	opts.Extra = nil
+}
+
+func (c *procChaosReplica) Init(prob objective.Problem, opts search.Options) error {
+	c.capture(&opts)
+	return c.Engine.Init(prob, opts)
+}
+
+func (c *procChaosReplica) Restore(prob objective.Problem, opts search.Options, cp *search.Checkpoint) error {
+	c.capture(&opts)
+	return c.Engine.Restore(prob, opts, cp)
+}
+
+func (c *procChaosReplica) Step() error {
+	if c.seed == c.p.TargetSeed && c.steps >= c.p.FailFrom {
+		return errors.New("proc chaos: injected permanent failure")
+	}
+	c.steps++
+	return c.Engine.Step()
+}
+
+// ---------------------------------------------------------------------------
+// Harness.
+
+const (
+	testSeed     = 7
+	testReplicas = 3
+)
+
+func baseOpts() search.Options {
+	return search.Options{PopSize: 24, Generations: 8, Seed: testSeed}
+}
+
+// shardedOpts configures a sharded run at the given process count, with
+// chaosEnv ("" for none) armed in the workers.
+func shardedOpts(t *testing.T, procs int, chaosEnv string) search.Options {
+	t.Helper()
+	self, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := []string{"SHARD_WORKER=1"}
+	if chaosEnv != "" {
+		env = append(env, "SHARD_CHAOS="+chaosEnv)
+	}
+	opts := baseOpts()
+	opts.Extra = &Params{
+		Replicas: testReplicas, Algo: "nsga2",
+		MigrationEvery: 3, Migrants: 2, Topology: sched.Ring,
+		Procs: procs, WorkerArgv: []string{self}, WorkerEnv: env,
+		Spec: "zdt1", Retries: 2,
+		EpochDeadline: 20 * time.Second, HeartbeatTimeout: time.Second,
+	}
+	return opts
+}
+
+// inProcessOpts configures the comparator run on sched.ParallelIslands.
+func inProcessOpts(algo string, extra any) search.Options {
+	opts := baseOpts()
+	opts.Extra = &sched.IslandsParams{
+		Replicas: testReplicas, Algo: algo, Extra: extra,
+		MigrationEvery: 3, Migrants: 2, Topology: sched.Ring,
+		StepWorkers: 1, StepRetries: 2,
+	}
+	return opts
+}
+
+// supervisedRun drives an engine to completion with a hang guard: a
+// coordination bug must fail the test, not deadlock the suite.
+func supervisedRun(t *testing.T, name string, opts search.Options) (*search.Result, error) {
+	t.Helper()
+	eng, err := search.New(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, ok := eng.(*Islands); ok {
+		defer s.Close()
+	}
+	type outcome struct {
+		res *search.Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		res, rerr := search.Run(context.Background(), eng, benchfn.ZDT1(6), opts)
+		ch <- outcome{res, rerr}
+	}()
+	select {
+	case o := <-ch:
+		return o.res, o.err
+	case <-time.After(90 * time.Second):
+		t.Fatal("run hung: a fault escaped the lease/heartbeat machinery")
+		return nil, nil
+	}
+}
+
+func popsIdentical(t *testing.T, what string, a, b ga.Population) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: size %d != %d", what, len(a), len(b))
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		for j := range x.X {
+			if x.X[j] != y.X[j] {
+				t.Fatalf("%s: individual %d gene %d: %v != %v", what, i, j, x.X[j], y.X[j])
+			}
+		}
+		for j := range x.Objectives {
+			if x.Objectives[j] != y.Objectives[j] {
+				t.Fatalf("%s: individual %d objective %d: %v != %v", what, i, j, x.Objectives[j], y.Objectives[j])
+			}
+		}
+		if x.Rank != y.Rank || x.Crowding != y.Crowding {
+			t.Fatalf("%s: individual %d rank/crowding (%d,%v) != (%d,%v)", what, i, x.Rank, x.Crowding, y.Rank, y.Crowding)
+		}
+	}
+}
+
+// replicaTarget is replica i's derived seed under the test master seed.
+func replicaTarget(i int) int64 { return rng.ChildSeed(testSeed, sched.ReplicaLabel, i) }
+
+// ---------------------------------------------------------------------------
+// The determinism and chaos properties.
+
+// TestShardedMatchesInProcess: with no faults, a sharded run is
+// bit-identical to the in-process scheduler at every process count —
+// sharding is an implementation detail of WHERE replicas step, invisible
+// in the result.
+func TestShardedMatchesInProcess(t *testing.T) {
+	ref, err := supervisedRun(t, sched.NameParallelIslands, inProcessOpts("nsga2", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, procs := range []int{1, 4} {
+		t.Run(fmt.Sprintf("procs=%d", procs), func(t *testing.T) {
+			res, err := supervisedRun(t, NameShardedIslands, shardedOpts(t, procs, ""))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Evals != ref.Evals {
+				t.Fatalf("evals %d != in-process %d", res.Evals, ref.Evals)
+			}
+			if res.Generations != ref.Generations {
+				t.Fatalf("generations %d != in-process %d", res.Generations, ref.Generations)
+			}
+			popsIdentical(t, "final population", res.Final, ref.Final)
+			popsIdentical(t, "front", res.Front, ref.Front)
+		})
+	}
+}
+
+// TestShardedBudgetMatchesInProcess: the coordinator-owned MaxEvals budget
+// stops a sharded run at exactly the epoch the in-process scheduler stops —
+// the "within one epoch" rule holds across the process boundary.
+func TestShardedBudgetMatchesInProcess(t *testing.T) {
+	inOpts := inProcessOpts("nsga2", nil)
+	inOpts.MaxEvals = 100
+	ref, err := supervisedRun(t, sched.NameParallelIslands, inOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shOpts := shardedOpts(t, 4, "")
+	shOpts.MaxEvals = 100
+	res, err := supervisedRun(t, NameShardedIslands, shOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evals != ref.Evals || res.Generations != ref.Generations {
+		t.Fatalf("budget stop: sharded (evals %d, gens %d) != in-process (evals %d, gens %d)",
+			res.Evals, res.Generations, ref.Evals, ref.Generations)
+	}
+	popsIdentical(t, "budget-capped population", res.Final, ref.Final)
+}
+
+// TestShardedTransientFaultsMasked: a worker SIGKILLed (or corrupting its
+// reply frame) on one attempt is respawned and the step replayed from the
+// authoritative checkpoint — bit-identical replay, so the run's result is
+// IDENTICAL to a fault-free run. The strongest form of the recovery
+// property: a transient crash leaves no trace at all.
+func TestShardedTransientFaultsMasked(t *testing.T) {
+	ref, err := supervisedRun(t, sched.NameParallelIslands, inProcessOpts("nsga2", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ name, chaos string }{
+		{"kill", "kill:1:3:0"},       // SIGKILL replica 1's worker mid-epoch 3, first attempt only
+		{"corrupt", "corrupt:1:2:0"}, // one corrupted reply frame
+	} {
+		for _, procs := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s/procs=%d", tc.name, procs), func(t *testing.T) {
+				res, err := supervisedRun(t, NameShardedIslands, shardedOpts(t, procs, tc.chaos))
+				if err != nil {
+					t.Fatalf("transient fault was not masked: %v", err)
+				}
+				if res.Evals != ref.Evals {
+					t.Fatalf("evals %d != fault-free %d", res.Evals, ref.Evals)
+				}
+				popsIdentical(t, "final population", res.Final, ref.Final)
+			})
+		}
+	}
+}
+
+// TestShardedPermanentKillDropsBitIdentical: a worker SIGKILLed on EVERY
+// attempt of replica 1's epoch-3 step exhausts the retry budget; the
+// replica is dropped at that epoch's barrier, and the degraded run is
+// bit-identical to the in-process scheduler dropping the same replica at
+// the same epoch (the comparator's chaos replica fails from epoch 3
+// without advancing, exactly like a worker that dies before stepping).
+func TestShardedPermanentKillDropsBitIdentical(t *testing.T) {
+	refOpts := inProcessOpts("proc-chaos-replica", &procChaosParams{TargetSeed: replicaTarget(1), FailFrom: 3})
+	ref, refErr := supervisedRun(t, sched.NameParallelIslands, refOpts)
+	var refRE *sched.ReplicaError
+	if !errors.As(refErr, &refRE) || len(refRE.Dropped) != 1 || refRE.Dropped[0] != 1 {
+		t.Fatalf("comparator: %v, want replica 1 dropped", refErr)
+	}
+	for _, procs := range []int{1, 4} {
+		t.Run(fmt.Sprintf("procs=%d", procs), func(t *testing.T) {
+			res, err := supervisedRun(t, NameShardedIslands, shardedOpts(t, procs, "kill:1:3:99"))
+			var re *sched.ReplicaError
+			if !errors.As(err, &re) {
+				t.Fatalf("error is %T (%v), want *sched.ReplicaError", err, err)
+			}
+			if len(re.Dropped) != 1 || re.Dropped[0] != 1 || re.AllDead {
+				t.Fatalf("dropped %v (allDead=%v), want exactly replica 1", re.Dropped, re.AllDead)
+			}
+			popsIdentical(t, "degraded population", res.Final, ref.Final)
+			popsIdentical(t, "degraded front", res.Front, ref.Front)
+		})
+	}
+}
+
+// TestShardedWedgedWorkerReclaimed: a frozen worker (no reply, no
+// heartbeats) trips the heartbeat deadline, is SIGKILLed by the
+// coordinator, and — wedging every attempt — its replica is dropped
+// bit-identically to the in-process comparator. The watchdog property one
+// level up: reclamation of a wedged process always succeeds.
+func TestShardedWedgedWorkerReclaimed(t *testing.T) {
+	refOpts := inProcessOpts("proc-chaos-replica", &procChaosParams{TargetSeed: replicaTarget(2), FailFrom: 2})
+	ref, refErr := supervisedRun(t, sched.NameParallelIslands, refOpts)
+	var refRE *sched.ReplicaError
+	if !errors.As(refErr, &refRE) || len(refRE.Dropped) != 1 || refRE.Dropped[0] != 2 {
+		t.Fatalf("comparator: %v, want replica 2 dropped", refErr)
+	}
+	opts := shardedOpts(t, 4, "wedge:2:2:99")
+	p := opts.Extra.(*Params)
+	p.HeartbeatTimeout = 400 * time.Millisecond
+	p.Retries = 1
+	res, err := supervisedRun(t, NameShardedIslands, opts)
+	var re *sched.ReplicaError
+	if !errors.As(err, &re) {
+		t.Fatalf("error is %T (%v), want *sched.ReplicaError", err, err)
+	}
+	if len(re.Dropped) != 1 || re.Dropped[0] != 2 {
+		t.Fatalf("dropped %v, want exactly replica 2", re.Dropped)
+	}
+	if !strings.Contains(re.Errs[0].Error(), "heartbeat") {
+		t.Fatalf("drop cause %q does not name the heartbeat deadline", re.Errs[0])
+	}
+	popsIdentical(t, "degraded population", res.Final, ref.Final)
+}
+
+// TestShardedCorruptFramesDropTyped: a worker permanently corrupting its
+// reply frames is retried (fresh process each time — the stream is
+// tainted), then dropped; the drop cause is the typed *search.CorruptError
+// from the frame CRC, never a gob panic, and the degraded result is
+// bit-identical to the comparator.
+func TestShardedCorruptFramesDropTyped(t *testing.T) {
+	refOpts := inProcessOpts("proc-chaos-replica", &procChaosParams{TargetSeed: replicaTarget(0), FailFrom: 4})
+	ref, refErr := supervisedRun(t, sched.NameParallelIslands, refOpts)
+	var refRE *sched.ReplicaError
+	if !errors.As(refErr, &refRE) || len(refRE.Dropped) != 1 || refRE.Dropped[0] != 0 {
+		t.Fatalf("comparator: %v, want replica 0 dropped", refErr)
+	}
+	res, err := supervisedRun(t, NameShardedIslands, shardedOpts(t, 4, "corrupt:0:4:99"))
+	var re *sched.ReplicaError
+	if !errors.As(err, &re) {
+		t.Fatalf("error is %T (%v), want *sched.ReplicaError", err, err)
+	}
+	if len(re.Dropped) != 1 || re.Dropped[0] != 0 {
+		t.Fatalf("dropped %v, want exactly replica 0", re.Dropped)
+	}
+	var ce *search.CorruptError
+	if !errors.As(re.Errs[0], &ce) {
+		t.Fatalf("drop cause is %T (%v), want *search.CorruptError", re.Errs[0], re.Errs[0])
+	}
+	popsIdentical(t, "degraded population", res.Final, ref.Final)
+}
+
+// TestShardedCheckpointResume: a sharded run snapshotted mid-flight,
+// persisted through the durable checkpoint layer, and resumed on a FRESH
+// coordinator (fresh worker processes) finishes bit-identically to the
+// uninterrupted run — state outlives every process involved.
+func TestShardedCheckpointResume(t *testing.T) {
+	prob := benchfn.ZDT1(6)
+	opts := shardedOpts(t, 2, "")
+
+	full, err := search.New(NameShardedIslands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer full.(*Islands).Close()
+	if err := full.Init(prob, opts); err != nil {
+		t.Fatal(err)
+	}
+	fork, err := search.New(NameShardedIslands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fork.(*Islands).Close()
+	for i := 0; i < 4; i++ {
+		if err := full.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "sharded.ckpt")
+	if err := search.SaveCheckpoint(path, full.Checkpoint()); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := search.LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fork.Restore(prob, opts, cp); err != nil {
+		t.Fatal(err)
+	}
+	for !full.Done() {
+		if err := full.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for !fork.Done() {
+		if err := fork.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if full.Evals() != fork.Evals() {
+		t.Fatalf("evals diverged: %d != %d", full.Evals(), fork.Evals())
+	}
+	popsIdentical(t, "resumed population", fork.Population(), full.Population())
+}

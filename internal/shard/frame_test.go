@@ -1,0 +1,179 @@
+package shard
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sacga/internal/fault"
+	"sacga/internal/search"
+)
+
+// sealFrame builds one complete frame's bytes.
+func sealFrame(t testing.TB, typ frameType, payload []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, typ, payload); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// wantCorrupt asserts a readFrame error is a typed *search.CorruptError.
+func wantCorrupt(t *testing.T, what string, err error) {
+	t.Helper()
+	var ce *search.CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("%s: error is %T (%v), want *search.CorruptError", what, err, err)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte{0xa5}, 4096)}
+	var buf bytes.Buffer
+	for i, p := range payloads {
+		if err := writeFrame(&buf, frameType(1+i%3), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, p := range payloads {
+		typ, got, err := readFrame(&buf, "test")
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if typ != frameType(1+i%3) {
+			t.Fatalf("frame %d: type %d, want %d", i, typ, 1+i%3)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("frame %d: payload mismatch", i)
+		}
+	}
+	if _, _, err := readFrame(&buf, "test"); err != io.EOF {
+		t.Fatalf("after last frame: %v, want io.EOF", err)
+	}
+}
+
+// TestFrameTruncation: every torn prefix of a valid frame is a typed
+// corruption (except the zero-byte cut, which is a clean EOF boundary).
+// The cuts run through fault.Truncate on a real file — the same attack
+// primitive the checkpoint torn-write suite uses.
+func TestFrameTruncation(t *testing.T) {
+	frame := sealFrame(t, frameRequest, []byte("truncation victim payload"))
+	dir := t.TempDir()
+	for keep := len(frame) - 1; keep >= 0; keep-- {
+		path := filepath.Join(dir, "frame")
+		if err := os.WriteFile(path, frame, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := fault.Truncate(path, int64(keep)); err != nil {
+			t.Fatal(err)
+		}
+		torn, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _, rerr := readFrame(bytes.NewReader(torn), "test")
+		if keep == 0 {
+			if rerr != io.EOF {
+				t.Fatalf("empty cut: %v, want io.EOF", rerr)
+			}
+			continue
+		}
+		if rerr == nil {
+			t.Fatalf("keep=%d: torn frame decoded cleanly", keep)
+		}
+		wantCorrupt(t, "torn frame", rerr)
+	}
+}
+
+// TestFrameFlipBit: flipping any single bit of a frame — header, payload
+// or CRC — yields a typed corruption, never a clean decode or a panic.
+// Every byte position is attacked through fault.FlipBit.
+func TestFrameFlipBit(t *testing.T) {
+	frame := sealFrame(t, frameReply, []byte("bitflip victim payload"))
+	dir := t.TempDir()
+	for byteIdx := 0; byteIdx < len(frame); byteIdx++ {
+		for _, bit := range []int64{0, 7} {
+			path := filepath.Join(dir, "frame")
+			if err := os.WriteFile(path, frame, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if err := fault.FlipBit(path, int64(byteIdx)*8+bit); err != nil {
+				t.Fatal(err)
+			}
+			flipped, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, _, rerr := readFrame(bytes.NewReader(flipped), "test")
+			if rerr == nil {
+				t.Fatalf("byte %d bit %d: flipped frame decoded cleanly", byteIdx, bit)
+			}
+			wantCorrupt(t, "flipped frame", rerr)
+		}
+	}
+}
+
+// TestFrameOversizedLength: a length field past the cap is rejected before
+// any allocation its value would imply.
+func TestFrameOversizedLength(t *testing.T) {
+	frame := sealFrame(t, frameRequest, []byte("x"))
+	// Overwrite the length field (bytes 5..9) with maxFramePayload+1.
+	frame[5], frame[6], frame[7], frame[8] = 0x01, 0x00, 0x00, 0x41 // 1<<30 + 1 LE
+	_, _, err := readFrame(bytes.NewReader(frame), "test")
+	wantCorrupt(t, "oversized length", err)
+}
+
+// FuzzFrameDecode pins the codec's total-safety contract: arbitrary bytes
+// never panic, never hang, and produce only io.EOF, a typed
+// *search.CorruptError, or a clean frame; a clean frame's payload then
+// gob-decodes under the same guarantee.
+func FuzzFrameDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(sealFrame(f, frameRequest, []byte("seed")))
+	reply, err := encodePayload(&Reply{Replica: 1, Epoch: 2, Evals: 3})
+	if err != nil {
+		f.Fatal(err)
+	}
+	full := sealFrame(f, frameReply, reply)
+	f.Add(full)
+	f.Add(full[:len(full)-3])
+	f.Add(append(append([]byte(nil), full...), full...))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for {
+			typ, payload, err := readFrame(r, "fuzz")
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				var ce *search.CorruptError
+				if !errors.As(err, &ce) {
+					t.Fatalf("non-typed frame error %T: %v", err, err)
+				}
+				return
+			}
+			var v any
+			switch typ {
+			case frameRequest:
+				v = new(Request)
+			case frameReply:
+				v = new(Reply)
+			case frameHeartbeat:
+				v = new(Heartbeat)
+			default:
+				return // unknown type is the transport layer's problem
+			}
+			if derr := decodePayload("fuzz", payload, v); derr != nil {
+				var ce *search.CorruptError
+				if !errors.As(derr, &ce) {
+					t.Fatalf("non-typed payload error %T: %v", derr, derr)
+				}
+				return
+			}
+		}
+	})
+}
