@@ -44,7 +44,14 @@ func main() {
 		for _, id := range expt.IDs() {
 			fmt.Printf("%-7s %s\n", id, expt.Title(id))
 		}
-		fmt.Printf("\nsearch engines: %s\n", strings.Join(search.Names(), ", "))
+		fmt.Println("\nsearch engines:")
+		for _, e := range search.Registered() {
+			if e.Extension != "" {
+				fmt.Printf("  %-12s params: %s\n", e.Name, e.Extension)
+			} else {
+				fmt.Printf("  %s\n", e.Name)
+			}
+		}
 		return
 	}
 

@@ -49,7 +49,6 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
-	"strconv"
 	"strings"
 	"time"
 
@@ -60,14 +59,13 @@ import (
 	"sacga/internal/mesacga"
 	"sacga/internal/objective"
 	"sacga/internal/plot"
-	"sacga/internal/process"
+	"sacga/internal/probspec"
 	"sacga/internal/sacga"
 	"sacga/internal/sched"
 	"sacga/internal/search"
 	_ "sacga/internal/search/engines"
 	"sacga/internal/shard"
 	"sacga/internal/sizing"
-	"sacga/internal/yield"
 )
 
 func main() {
@@ -100,12 +98,10 @@ func main() {
 		return
 	}
 
-	prob, isCircuit, err := buildProblem(*problem, *grade, *robust, *seed)
+	spec := probspec.Spec{Name: *problem, Grade: *grade, Robust: *robust, Seed: *seed}
+	prob, isCircuit, err := spec.BuildValidated()
 	if err != nil {
 		fatalUsage(err)
-	}
-	if err := objective.Validate(prob); err != nil {
-		fatal(err)
 	}
 	counter := objective.NewCounter(prob)
 
@@ -174,7 +170,7 @@ func main() {
 				Replicas: 4, Algo: "nsga2", MigrationEvery: 10, Migrants: 2,
 				Procs:            *shardProcs,
 				WorkerArgv:       []string{self, "-worker"},
-				Spec:             encodeSpec(*problem, *grade, *robust, *seed),
+				Spec:             spec.Encode(),
 				EpochDeadline:    5 * time.Minute,
 				HeartbeatTimeout: 15 * time.Second,
 			}
@@ -386,72 +382,20 @@ func circuitPoint(ind *ga.Individual) (hypervolume.Point2, bool) {
 	return hypervolume.Point2{X: cl, Y: pw}, true
 }
 
-// encodeSpec packs the problem identity the shard coordinator ships to its
-// workers. Workers rebuild the problem from this string alone — it must
-// carry everything buildProblem needs, so a worker's objective function is
-// bit-identical to the coordinator's.
-func encodeSpec(problem string, grade, robust int, seed int64) string {
-	return fmt.Sprintf("%s|%d|%d|%d", problem, grade, robust, seed)
-}
-
-func decodeSpec(spec string) (problem string, grade, robust int, seed int64, err error) {
-	parts := strings.Split(spec, "|")
-	if len(parts) != 4 {
-		return "", 0, 0, 0, fmt.Errorf("malformed problem spec %q", spec)
-	}
-	grade, err = strconv.Atoi(parts[1])
-	if err == nil {
-		robust, err = strconv.Atoi(parts[2])
-	}
-	if err == nil {
-		seed, err = strconv.ParseInt(parts[3], 10, 64)
-	}
-	if err != nil {
-		return "", 0, 0, 0, fmt.Errorf("malformed problem spec %q: %w", spec, err)
-	}
-	return parts[0], grade, robust, seed, nil
-}
-
 // runWorker serves the shard protocol on stdin/stdout until the
 // coordinator closes the pipe. All diagnostics go to stderr — stdout
 // belongs to the frame stream.
 func runWorker() error {
 	return shard.ServeWorker(os.Stdin, os.Stdout, shard.WorkerConfig{
 		Build: func(spec string) (objective.Problem, error) {
-			name, grade, robust, seed, err := decodeSpec(spec)
+			ps, err := probspec.Decode(spec)
 			if err != nil {
 				return nil, err
 			}
-			prob, _, err := buildProblem(name, grade, robust, seed)
-			if err != nil {
-				return nil, err
-			}
-			if err := objective.Validate(prob); err != nil {
-				return nil, err
-			}
-			return prob, nil
+			prob, _, err := ps.BuildValidated()
+			return prob, err
 		},
 	})
-}
-
-func buildProblem(name string, grade, robust int, seed int64) (objective.Problem, bool, error) {
-	if name == "integrator" {
-		spec := sizing.PaperSpec()
-		if grade >= 1 && grade <= 20 {
-			spec = sizing.SpecLadder(20)[grade-1]
-		} else if grade != 0 {
-			return nil, false, fmt.Errorf("grade %d outside 1..20", grade)
-		}
-		var opts []sizing.Option
-		if robust > 0 {
-			opts = append(opts, sizing.WithRobustness(yield.NewEstimator(seed, robust)))
-		}
-		return sizing.New(process.Default018(), spec, opts...), true, nil
-	}
-	if p := benchfn.ByName(name); p != nil {
-		return p, false, nil
-	}
-	return nil, false, fmt.Errorf("unknown problem %q", name)
 }
 
 // partitionRange picks the partitioned axis: the −CL objective for the

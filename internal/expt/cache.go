@@ -8,6 +8,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+
+	"sacga/internal/search"
 )
 
 // Cache persists completed experiment reports keyed by (experiment id,
@@ -58,10 +60,16 @@ func OpenCache(path string) (*Cache, error) {
 // Path returns the backing file path.
 func (c *Cache) Path() string { return c.path }
 
-// cacheKey fingerprints one experiment run.
+// cacheKey fingerprints one experiment run: the shared result-determining
+// digest (search.Fingerprint, the same helper the job server keys dedup and
+// checkpoint files on) plus a hash of the running executable. The binary
+// hash is this cache's extra ingredient — figures must be invalidated by a
+// rebuild, whereas a job server restart on the same state directory must
+// NOT orphan its checkpoints — which is why the helper excludes it.
 func cacheKey(id string, cfg Config) string {
-	return fmt.Sprintf("%s|seed=%d|scale=%g|pop=%d|robust=%d|seeds=%d|bin=%s",
-		id, cfg.Seed, cfg.Scale, cfg.PopSize, cfg.RobustSamples, cfg.Seeds,
+	return fmt.Sprintf("%s|cfg=%s|bin=%s",
+		id,
+		search.Fingerprint(cfg.Seed, cfg.Scale, cfg.PopSize, cfg.RobustSamples, cfg.Seeds),
 		binaryFingerprint())
 }
 

@@ -32,6 +32,7 @@ import (
 
 func init() {
 	search.Register("islands", func() search.Engine { return new(Engine) })
+	search.RegisterExtension("islands", func() any { return new(Params) })
 	gob.Register(&Snapshot{}) // so Checkpoint.State round-trips through encoding/gob
 }
 

@@ -27,6 +27,7 @@ import (
 
 func init() {
 	search.Register("mesacga", func() search.Engine { return new(Engine) })
+	search.RegisterExtension("mesacga", func() any { return new(Params) })
 	gob.Register(&Snapshot{}) // so Checkpoint.State round-trips through encoding/gob
 }
 

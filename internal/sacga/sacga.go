@@ -45,6 +45,7 @@ import (
 
 func init() {
 	search.Register("sacga", func() search.Engine { return new(Engine) })
+	search.RegisterExtension("sacga", func() any { return new(Params) })
 	gob.Register(&Snapshot{}) // so Checkpoint.State round-trips through encoding/gob
 }
 

@@ -145,15 +145,21 @@ const poisonedAlgo = "sched/poisoned"
 
 func poisonedPlaceholder() *search.Checkpoint { return &search.Checkpoint{Algo: poisonedAlgo} }
 
-// stepWithRetry advances one child engine under the scheduler's fault
+// StepWithRetry advances one engine under the scheduler's shared fault
 // policy: a failing Step is retried up to `retries` more times, sleeping
 // backoff (doubling per attempt) between tries, each attempt guarded by the
-// watchdog when timeout > 0. poisoned reports watchdog abandonment — the
-// engine's buffers may still be written by the runaway step, so the caller
-// must never touch the engine again. Retrying a quarantining engine is
-// meaningful because engines complete their generation before reporting the
-// fault: each attempt is a fresh generation that may evaluate cleanly.
-func stepWithRetry(eng search.Engine, prob objective.Problem, retries int, backoff, timeout time.Duration) (err error, poisoned bool) {
+// watchdog when timeout > 0 and by a panic recover when not. poisoned
+// reports watchdog abandonment — the engine's buffers may still be written
+// by the runaway step, so the caller must never touch the engine again.
+// Retrying a quarantining engine is meaningful because engines complete
+// their generation before reporting the fault: each attempt is a fresh
+// generation that may evaluate cleanly.
+//
+// Exported because this per-step isolation contract is shared budget-wide:
+// the in-process schedulers apply it to their replicas, and the job server
+// (internal/serve) applies it to every tenant's turn — one misbehaving job
+// degrades itself, never the ensemble or the serving process.
+func StepWithRetry(eng search.Engine, prob objective.Problem, retries int, backoff, timeout time.Duration) (err error, poisoned bool) {
 	for attempt := 0; ; attempt++ {
 		err = tryStep(eng, prob, timeout)
 		if err == nil {

@@ -12,6 +12,7 @@ import (
 
 func init() {
 	search.Register(NameParallelIslands, func() search.Engine { return new(ParallelIslands) })
+	search.RegisterExtension(NameParallelIslands, func() any { return new(IslandsParams) })
 	gob.Register(&IslandsSnapshot{}) // so Checkpoint.State round-trips through encoding/gob
 }
 
@@ -269,7 +270,7 @@ func (e *ParallelIslands) Step() error {
 			if e.reps.dead[i] || e.engines[i].Done() {
 				return nil
 			}
-			err, poisoned := stepWithRetry(e.engines[i], e.probs[i], e.p.StepRetries, e.p.RetryBackoff, e.p.StepTimeout)
+			err, poisoned := StepWithRetry(e.engines[i], e.probs[i], e.p.StepRetries, e.p.RetryBackoff, e.p.StepTimeout)
 			e.fails[i] = replicaFailure{err: err, poisoned: poisoned}
 			return nil
 		})

@@ -13,6 +13,7 @@ import (
 
 func init() {
 	search.Register(NamePortfolio, func() search.Engine { return new(Portfolio) })
+	search.RegisterExtension(NamePortfolio, func() any { return new(PortfolioParams) })
 	gob.Register(&PortfolioSnapshot{}) // so Checkpoint.State round-trips through encoding/gob
 }
 
@@ -225,7 +226,7 @@ func (e *Portfolio) Step() error {
 				alloc += boost
 			}
 			for g := 0; g < alloc && !eng.Done(); g++ {
-				err, poisoned := stepWithRetry(eng, e.probs[i], e.p.StepRetries, e.p.RetryBackoff, e.p.StepTimeout)
+				err, poisoned := StepWithRetry(eng, e.probs[i], e.p.StepRetries, e.p.RetryBackoff, e.p.StepTimeout)
 				if err != nil {
 					e.fails[i] = replicaFailure{err: err, poisoned: poisoned}
 					return nil

@@ -12,6 +12,7 @@ import (
 
 func init() {
 	search.Register(NameRelay, func() search.Engine { return new(Relay) })
+	search.RegisterExtension(NameRelay, func() any { return new(RelayParams) })
 	gob.Register(&RelaySnapshot{}) // so Checkpoint.State round-trips through encoding/gob
 }
 

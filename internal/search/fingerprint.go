@@ -1,0 +1,58 @@
+package search
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// Fingerprint digests a run's result-determining configuration into a short
+// stable hex string: the key the experiment cache, the job server's
+// submission dedup and its checkpoint file naming all share. Callers pass
+// exactly the values that determine a run's numbers — problem identity,
+// engine name, JobOptions, extension parameters — and must exclude the ones
+// that do not (worker counts, output paths): the engine contract guarantees
+// bit-identical results at any parallelism, so two configurations differing
+// only there are the same run.
+//
+// Each part is canonicalized through JSON before hashing. Maps marshal with
+// sorted keys, so a json.RawMessage (or any already-decoded JSON value)
+// fingerprints by content, not by the key order or whitespace a client
+// happened to send — Canon does that normalization for raw JSON. Parts that
+// cannot be marshaled (a struct carrying a func-typed observer hook, say)
+// would make the configuration unfingerprintable, which must be loud:
+// Fingerprint panics rather than silently colliding. Fingerprint the raw
+// wire form of such parts instead.
+func Fingerprint(parts ...any) string {
+	h := sha256.New()
+	enc := json.NewEncoder(h)
+	for i, p := range parts {
+		// Encode appends a newline after every value, so adjacent parts
+		// cannot splice into each other ("ab","c" vs "a","bc").
+		if err := enc.Encode(p); err != nil {
+			panic(fmt.Sprintf("search: unfingerprintable part %d (%T): %v", i, p, err))
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)[:12])
+}
+
+// Canon normalizes a raw JSON document for fingerprinting: it decodes and
+// re-marshals, which compacts whitespace and sorts object keys at every
+// depth, so two byte-wise different documents with the same content produce
+// the same fingerprint part. Invalid JSON is returned as an error — the
+// admission layer rejects it before anything is keyed on it.
+func Canon(raw json.RawMessage) (json.RawMessage, error) {
+	if len(raw) == 0 {
+		return nil, nil
+	}
+	var v any
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return nil, fmt.Errorf("search: canonicalize JSON: %w", err)
+	}
+	out, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("search: canonicalize JSON: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,92 @@
+package search
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// jobConfig is the shape of a job-server submission key: every field is
+// result-determining, so every field must perturb the fingerprint.
+type jobConfig struct {
+	Problem string
+	Grade   int
+	Robust  int
+	Engine  string
+	Opts    JobOptions
+	Params  json.RawMessage
+}
+
+func (c jobConfig) key() string {
+	canon, err := Canon(c.Params)
+	if err != nil {
+		panic(err)
+	}
+	return Fingerprint(c.Problem, c.Grade, c.Robust, c.Engine, c.Opts, canon)
+}
+
+// TestFingerprintCoversResultDeterminingFields mirrors the expt cache-key
+// sweep: mutating any single result-determining field must change the
+// fingerprint, or a dedup hit would silently serve the wrong run's front.
+func TestFingerprintCoversResultDeterminingFields(t *testing.T) {
+	base := jobConfig{
+		Problem: "zdt1", Grade: 0, Robust: 8, Engine: "nsga2",
+		Opts:   JobOptions{PopSize: 40, Generations: 100, MaxEvals: 5000, Seed: 7},
+		Params: json.RawMessage(`{"Partitions":8,"GentMax":200}`),
+	}
+	for name, mutate := range map[string]func(*jobConfig){
+		"problem":     func(c *jobConfig) { c.Problem = "zdt2" },
+		"grade":       func(c *jobConfig) { c.Grade++ },
+		"robust":      func(c *jobConfig) { c.Robust++ },
+		"engine":      func(c *jobConfig) { c.Engine = "sacga" },
+		"pop size":    func(c *jobConfig) { c.Opts.PopSize++ },
+		"generations": func(c *jobConfig) { c.Opts.Generations++ },
+		"max evals":   func(c *jobConfig) { c.Opts.MaxEvals++ },
+		"seed":        func(c *jobConfig) { c.Opts.Seed++ },
+		"params":      func(c *jobConfig) { c.Params = json.RawMessage(`{"Partitions":9,"GentMax":200}`) },
+	} {
+		changed := base
+		mutate(&changed)
+		if base.key() == changed.key() {
+			t.Errorf("fingerprint missed result-determining field %q", name)
+		}
+	}
+	if base.key() != base.key() {
+		t.Error("fingerprint is not deterministic")
+	}
+}
+
+// Semantically identical params — reordered keys, reshuffled whitespace —
+// are the same job; byte-wise hashing would re-run it.
+func TestFingerprintCanonicalizesRawJSON(t *testing.T) {
+	a := jobConfig{Engine: "sacga", Params: json.RawMessage(`{"Partitions": 8, "GentMax": 200}`)}
+	b := jobConfig{Engine: "sacga", Params: json.RawMessage(`{ "GentMax":200,"Partitions":8 }`)}
+	if a.key() != b.key() {
+		t.Error("key order / whitespace changed the fingerprint")
+	}
+	if _, err := Canon(json.RawMessage(`{not json`)); err == nil {
+		t.Error("invalid JSON must be rejected, not silently fingerprinted")
+	}
+	if canon, err := Canon(nil); err != nil || canon != nil {
+		t.Errorf("empty raw message: got (%q, %v), want (nil, nil)", canon, err)
+	}
+}
+
+// Adjacent parts must not splice: ("ab","c") and ("a","bc") would collide
+// under naive concatenation.
+func TestFingerprintPartBoundaries(t *testing.T) {
+	if Fingerprint("ab", "c") == Fingerprint("a", "bc") {
+		t.Error("part boundaries are not preserved")
+	}
+	if Fingerprint("a") == Fingerprint("a", nil) {
+		t.Error("part count is not fingerprinted")
+	}
+}
+
+func TestFingerprintUnmarshalablePartPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("a func-typed part must panic, not silently collide")
+		}
+	}()
+	Fingerprint(func() {})
+}

@@ -14,6 +14,7 @@ import (
 var (
 	registryMu sync.RWMutex
 	registry   = map[string]func() Engine{}
+	extensions = map[string]func() any{}
 )
 
 // Register makes an engine factory selectable by name. It panics on a
@@ -40,6 +41,66 @@ func New(name string) (Engine, error) {
 		return nil, fmt.Errorf("search: unknown algorithm %q (have %v)", name, Names())
 	}
 	return factory(), nil
+}
+
+// RegisterExtension declares the Options.Extra extension struct an engine
+// understands, as a factory for a fresh zero value (e.g. func() any { return
+// new(Params) }). Engine packages call it from init alongside Register.
+// Registration is what lets generic front ends — the job server's admission
+// layer, enumerating CLIs — decode wire parameters into the right concrete
+// type without importing every engine package by hand. Engines that take no
+// extension (nsga2) simply never call it.
+func RegisterExtension(name string, prototype func() any) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if name == "" || prototype == nil {
+		panic("search: RegisterExtension with empty name or nil prototype")
+	}
+	if _, dup := extensions[name]; dup {
+		panic(fmt.Sprintf("search: duplicate RegisterExtension(%q)", name))
+	}
+	extensions[name] = prototype
+}
+
+// NewExtra returns a fresh zero value of the named engine's extension
+// struct, ready to unmarshal wire parameters into and hand to
+// Options.Extra. ok is false when the engine registered no extension type —
+// such engines require Extra to stay nil.
+func NewExtra(name string) (extra any, ok bool) {
+	registryMu.RLock()
+	prototype, ok := extensions[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	return prototype(), true
+}
+
+// EngineInfo describes one registry entry: the canonical name plus the Go
+// type of the extension struct its Options.Extra accepts ("" when the
+// engine takes none).
+type EngineInfo struct {
+	Name      string `json:"name"`
+	Extension string `json:"extension,omitempty"`
+}
+
+// Registered enumerates the registry in sorted name order — the one
+// sanctioned way to list engines with their extension types. Front ends
+// (the job server's list endpoint, cmd/expts -list) use it instead of
+// iterating the registry maps themselves.
+func Registered() []EngineInfo {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	infos := make([]EngineInfo, 0, len(registry))
+	for name := range registry {
+		info := EngineInfo{Name: name}
+		if prototype, ok := extensions[name]; ok {
+			info.Extension = fmt.Sprintf("%T", prototype())
+		}
+		infos = append(infos, info)
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos
 }
 
 // Names lists the registered algorithms in sorted order.

@@ -1,0 +1,95 @@
+package search
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// stubEngine is a registry placeholder; the registry never calls into it.
+type stubEngine struct{ Engine }
+
+type stubParams struct{ Knob int }
+
+func TestRegisteredListsExtensionTypes(t *testing.T) {
+	Register("registry-test-ext", func() Engine { return stubEngine{} })
+	Register("registry-test-plain", func() Engine { return stubEngine{} })
+	RegisterExtension("registry-test-ext", func() any { return new(stubParams) })
+
+	var withExt, plain *EngineInfo
+	infos := Registered()
+	for i := range infos {
+		switch infos[i].Name {
+		case "registry-test-ext":
+			withExt = &infos[i]
+		case "registry-test-plain":
+			plain = &infos[i]
+		}
+	}
+	if withExt == nil || plain == nil {
+		t.Fatalf("Registered() missing test entries: %v", infos)
+	}
+	if withExt.Extension != "*search.stubParams" {
+		t.Errorf("extension type = %q, want *search.stubParams", withExt.Extension)
+	}
+	if plain.Extension != "" {
+		t.Errorf("extension-less engine reports %q", plain.Extension)
+	}
+	for i := 1; i < len(infos); i++ {
+		if infos[i-1].Name >= infos[i].Name {
+			t.Fatalf("Registered() not sorted: %q >= %q", infos[i-1].Name, infos[i].Name)
+		}
+	}
+
+	if extra, ok := NewExtra("registry-test-ext"); !ok {
+		t.Error("NewExtra must find the registered extension")
+	} else if _, isParams := extra.(*stubParams); !isParams {
+		t.Errorf("NewExtra returned %T, want *stubParams", extra)
+	}
+	// Each call must mint a fresh value: decoding one request's params into
+	// a shared prototype would leak state between jobs.
+	a, _ := NewExtra("registry-test-ext")
+	b, _ := NewExtra("registry-test-ext")
+	if a.(*stubParams) == b.(*stubParams) {
+		t.Error("NewExtra returned a shared value")
+	}
+	if _, ok := NewExtra("registry-test-plain"); ok {
+		t.Error("NewExtra must report no extension for a plain engine")
+	}
+}
+
+// The job server hits the registry from concurrent request handlers while
+// the admission path mints extension values; everything behind registryMu
+// must be race-free (run under -race in CI).
+func TestRegistryConcurrentAccess(t *testing.T) {
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 200; i++ {
+				switch i % 5 {
+				case 0:
+					Names()
+				case 1:
+					Registered()
+				case 2:
+					NewExtra("registry-conc-0")
+				case 3:
+					if _, err := New("no-such-engine"); err == nil {
+						t.Error("unknown engine must error")
+					}
+				case 4:
+					if i == 4 { // one unique registration per goroutine
+						Register(fmt.Sprintf("registry-conc-%d-%d", g, i), func() Engine { return stubEngine{} })
+						RegisterExtension(fmt.Sprintf("registry-conc-%d-%d", g, i), func() any { return new(stubParams) })
+					}
+				}
+			}
+		}(g)
+	}
+	close(start)
+	wg.Wait()
+}

@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"sacga/internal/search"
+)
+
+// recoverJobs replays the job table from the state directory: every
+// <id>.job is re-admitted through the same validation as a live submission,
+// terminal jobs load their persisted <id>.done result, and interrupted jobs
+// arm their newest trustworthy checkpoint so their first turn Restores
+// instead of Inits — completing bit-identically to never having stopped.
+// Files that fail validation are logged and skipped, never fatal: one
+// damaged job must not keep the server from booting.
+func (s *Server) recoverJobs() error {
+	entries, err := os.ReadDir(s.cfg.Dir)
+	if err != nil {
+		return fmt.Errorf("serve: read state dir: %w", err)
+	}
+	for _, e := range entries { // ReadDir sorts by name: deterministic replay order
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".job") {
+			continue
+		}
+		id := strings.TrimSuffix(e.Name(), ".job")
+		path := filepath.Join(s.cfg.Dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			s.cfg.Log.Printf("serve: recover %s: %v", e.Name(), err)
+			continue
+		}
+		var req JobRequest
+		if err := json.Unmarshal(data, &req); err != nil {
+			s.cfg.Log.Printf("serve: recover %s: bad request JSON: %v", e.Name(), err)
+			continue
+		}
+		ad, err := s.admit(req)
+		if err != nil {
+			s.cfg.Log.Printf("serve: recover %s: no longer admissible: %v", e.Name(), err)
+			continue
+		}
+		if ad.id != id {
+			// The file's content does not hash to its name: renamed by hand
+			// or damaged. Its checkpoints are keyed by the name, so nothing
+			// on disk can be trusted for it.
+			s.cfg.Log.Printf("serve: recover %s: fingerprint mismatch (content hashes to %s), skipped", e.Name(), ad.id)
+			continue
+		}
+		j := newJob(ad)
+		if s.recoverTerminal(j) {
+			s.addRecovered(j, false)
+			continue
+		}
+		s.recoverCheckpoint(j)
+		s.addRecovered(j, true)
+	}
+	return nil
+}
+
+// recoverTerminal loads a persisted <id>.done result, reporting whether the
+// job is terminal and needs no further execution.
+func (s *Server) recoverTerminal(j *Job) bool {
+	data, err := os.ReadFile(filepath.Join(s.cfg.Dir, j.ID+".done"))
+	if err != nil {
+		return false
+	}
+	var res ResultView
+	if err := json.Unmarshal(data, &res); err != nil || !res.State.Terminal() {
+		s.cfg.Log.Printf("serve: recover %s: bad result file, re-running: %v", j.ID, err)
+		return false
+	}
+	var cause error
+	if res.Error != "" {
+		cause = errors.New(res.Error)
+	}
+	j.finalize(res.State, cause, res.Front, res.Gen, res.Evals)
+	return true
+}
+
+// recoverCheckpoint arms an interrupted job's newest trustworthy checkpoint
+// (falling back past corruption to the rotated last-good snapshot). With no
+// usable checkpoint the job simply restarts from generation zero — still
+// bit-identical to a fresh run of the same configuration.
+func (s *Server) recoverCheckpoint(j *Job) {
+	cp, loadedFrom, err := search.LoadLatestCheckpoint(s.ckptPath(j.ID))
+	switch {
+	case err == nil:
+		j.restoreCP = cp
+		s.cfg.Log.Printf("serve: job %s resumes from %s (gen %d)", j.ID, filepath.Base(loadedFrom), cp.Gen)
+	case os.IsNotExist(err):
+		// Interrupted before its first checkpoint: a fresh run.
+	default:
+		s.cfg.Log.Printf("serve: job %s: checkpoints unusable, restarting from scratch: %v", j.ID, err)
+	}
+}
+
+// addRecovered installs a recovered job in the table and, when runnable,
+// the turn queue. Runs before the workers start, so no lock ordering issues
+// with the scheduler.
+func (s *Server) addRecovered(j *Job, runnable bool) {
+	s.mu.Lock()
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j)
+	s.mu.Unlock()
+	if runnable {
+		s.queue.push(j)
+	}
+}

@@ -18,6 +18,7 @@ const NameShardedIslands = "sharded-islands"
 
 func init() {
 	search.Register(NameShardedIslands, func() search.Engine { return new(Islands) })
+	search.RegisterExtension(NameShardedIslands, func() any { return new(Params) })
 }
 
 // Params is the Islands extension struct carried by search.Options.Extra.
@@ -342,7 +343,7 @@ func (e *Islands) dispatch(init bool) []stepResult {
 
 // stepReplica drives one replica's step to success or retry exhaustion on
 // slot's worker process. The retry ladder, in parity with the in-process
-// stepWithRetry:
+// sched.StepWithRetry:
 //
 //   - transport faults (spawn failure, crash/EOF, lease or heartbeat
 //     expiry, corrupt frame, desynced stream) taint the process: it is
