@@ -26,7 +26,10 @@
 // in -worker mode (a non-interactive mode serving the shard protocol on
 // stdin/stdout), ships each replica's checkpoint out for every epoch, and
 // survives worker crashes by respawning and replaying — results are
-// bit-identical to the in-process run, faults or not.
+// bit-identical to the in-process run, faults or not. With -fleet
+// addr,addr the same replicas shard over TCP worker daemons (cmd/sacgaw)
+// instead — or as well: -shard and -fleet combine into one mixed pool of
+// local processes and remote machines, still bit-identical.
 //
 // Exit codes distinguish how a run ended: 0 completed, 1 internal error,
 // 2 usage error, 3 cancelled (Ctrl-C; a second Ctrl-C exits immediately),
@@ -40,6 +43,7 @@
 //	sacga -problem integrator -algo relay -iters 800 -checkpoint run.ckpt
 //	sacga -problem integrator -algo relay -iters 800 -checkpoint run.ckpt -resume
 //	sacga -problem zdt1 -algo parislands -shard 4 -iters 200
+//	sacga -problem zdt1 -algo parislands -fleet host1:9750,host2:9750
 package main
 
 import (
@@ -87,6 +91,7 @@ func main() {
 		ckptEvery  = flag.Int("checkpoint-every", 50, "generations between checkpoint writes (with -checkpoint)")
 		resume     = flag.Bool("resume", false, "resume from the -checkpoint file instead of starting fresh (same problem/algo/options)")
 		shardProcs = flag.Int("shard", 0, "with -algo parislands: shard the replicas across N worker OS processes (0 = in-process)")
+		fleetAddrs = flag.String("fleet", "", "with -algo parislands: comma-separated sacgaw worker daemon addresses to shard over TCP (combinable with -shard N for a mixed pool)")
 		worker     = flag.Bool("worker", false, "serve as a shard worker on stdin/stdout (spawned by -shard coordinators; not for interactive use)")
 	)
 	flag.Parse()
@@ -156,24 +161,32 @@ func main() {
 		}
 		opts.Extra = &islands.Params{Islands: 5, IslandSize: size, MigrationEvery: 10, Migrants: 2}
 	case "parislands":
-		if *shardProcs > 0 {
-			// Same replica ensemble, sharded across worker OS processes.
-			// Results are bit-identical to the in-process run; worker
-			// crashes are retried and, past the retry budget, degrade the
-			// run replica-by-replica (exit code 4).
+		if *shardProcs > 0 || *fleetAddrs != "" {
+			// Same replica ensemble, sharded across worker processes
+			// (-shard N child processes of this binary), TCP worker daemons
+			// (-fleet addr,addr naming cmd/sacgaw instances), or a mixed
+			// pool of both. Results are bit-identical to the in-process
+			// run; worker crashes are retried and, past the retry budget,
+			// degrade the run replica-by-replica (exit code 4).
 			name = shard.NameShardedIslands
-			self, eerr := os.Executable()
-			if eerr != nil {
-				fatal(eerr)
-			}
-			opts.Extra = &shard.Params{
+			p := &shard.Params{
 				Replicas: 4, Algo: "nsga2", MigrationEvery: 10, Migrants: 2,
-				Procs:            *shardProcs,
-				WorkerArgv:       []string{self, "-worker"},
 				Spec:             spec.Encode(),
 				EpochDeadline:    5 * time.Minute,
 				HeartbeatTimeout: 15 * time.Second,
 			}
+			if *shardProcs > 0 {
+				self, eerr := os.Executable()
+				if eerr != nil {
+					fatal(eerr)
+				}
+				p.Procs = *shardProcs
+				p.WorkerArgv = []string{self, "-worker"}
+			}
+			if *fleetAddrs != "" {
+				p.Workers = splitAddrs(*fleetAddrs)
+			}
+			opts.Extra = p
 		} else {
 			name = "parallel-islands"
 			opts.Extra = &sched.IslandsParams{Replicas: 4, Algo: "nsga2", MigrationEvery: 10, Migrants: 2}
@@ -200,8 +213,8 @@ func main() {
 	default:
 		fatalUsage(fmt.Errorf("unknown algorithm %q (registry has %v)", *algo, search.Names()))
 	}
-	if *shardProcs > 0 && name != shard.NameShardedIslands {
-		fatalUsage(fmt.Errorf("-shard only applies to -algo parislands"))
+	if (*shardProcs > 0 || *fleetAddrs != "") && name != shard.NameShardedIslands {
+		fatalUsage(fmt.Errorf("-shard and -fleet only apply to -algo parislands"))
 	}
 
 	eng, err := search.New(name)
@@ -407,6 +420,18 @@ func partitionRange(prob objective.Problem, isCircuit bool) (lo, hi float64, obj
 		return lo, hi, 1
 	}
 	return 0, 1, 0
+}
+
+// splitAddrs parses a -fleet value: comma-separated worker daemon
+// addresses, blanks dropped so trailing commas are harmless.
+func splitAddrs(s string) []string {
+	var addrs []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	return addrs
 }
 
 func parseSchedule(s string) ([]int, error) {

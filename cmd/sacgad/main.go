@@ -11,6 +11,13 @@
 // having stopped. Identical submissions dedup onto one execution by
 // configuration fingerprint.
 //
+// With -fleet addr,addr the server additionally owns a shared worker
+// fleet: a pool of TCP connections to cmd/sacgaw worker daemons that
+// jobs submitting the "sharded-islands" engine draw from (the fleet is
+// the operator's; clients cannot name worker commands or addresses).
+// Fleet health is served on GET /workers. Without -fleet, sharded jobs
+// are rejected at admission.
+//
 // Endpoints (see internal/serve):
 //
 //	POST   /jobs              submit a job
@@ -20,6 +27,7 @@
 //	GET    /jobs/{id}/stream  SSE progress stream
 //	POST   /jobs/{id}/cancel  cancel; the best-so-far front is kept
 //	GET    /engines           registered engines with their parameter types
+//	GET    /workers           shared-fleet worker health (empty without -fleet)
 //	GET    /healthz           liveness + drain state
 //
 // On SIGTERM or SIGINT the server drains gracefully: admission returns
@@ -33,6 +41,7 @@
 // Example:
 //
 //	sacgad -addr :8080 -dir /var/lib/sacgad
+//	sacgad -addr :8080 -fleet host1:9750,host2:9750
 //	curl -s localhost:8080/jobs -d '{"problem":{"name":"zdt1"},"engine":"sacga","options":{"seed":1,"generations":200},"params":{"Partitions":10}}'
 package main
 
@@ -45,9 +54,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"sacga/internal/fleet"
 	"sacga/internal/serve"
 )
 
@@ -60,12 +71,28 @@ func main() {
 		ckptEvery = flag.Int("checkpoint-every", 50, "generations between durable checkpoints of each running job (with -dir)")
 		stepTO    = flag.Duration("step-timeout", 0, "per-generation watchdog; a wedged job is failed instead of occupying a slot forever (0 = off)")
 		maxJobs   = flag.Int("max-jobs", 0, "admission cap on the job table size (0 = default 10000)")
+		fleetList = flag.String("fleet", "", "comma-separated sacgaw worker daemon addresses forming the shared fleet for sharded-islands jobs ('' = sharded jobs rejected)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "sacgad: unexpected arguments: %v\n", flag.Args())
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	var pool *fleet.Pool
+	if *fleetList != "" {
+		var transports []fleet.Transport
+		for _, a := range strings.Split(*fleetList, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				transports = append(transports, &fleet.TCPTransport{Address: a})
+			}
+		}
+		if len(transports) == 0 {
+			fmt.Fprintln(os.Stderr, "sacgad: -fleet lists no addresses")
+			os.Exit(2)
+		}
+		pool = fleet.NewPool(transports...)
 	}
 
 	srv, err := serve.New(serve.Config{
@@ -75,6 +102,7 @@ func main() {
 		CheckpointEvery: *ckptEvery,
 		StepTimeout:     *stepTO,
 		MaxJobs:         *maxJobs,
+		Fleet:           pool,
 	})
 	if err != nil {
 		fatal(err)
@@ -111,6 +139,9 @@ func main() {
 	// jobs, and closes every stream subscription so the SSE handlers unwind
 	// — without that, Shutdown would wait on them forever.
 	interrupted := srv.Drain()
+	if pool != nil {
+		pool.Close() // after Drain: no worker goroutine steps a sharded job anymore
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {

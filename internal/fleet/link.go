@@ -1,0 +1,102 @@
+package fleet
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Frame is one decoded incoming frame (or the read error that ended the
+// stream).
+type Frame struct {
+	Type    FrameType
+	Payload []byte
+	Err     error
+}
+
+// Link is a dialed connection plus its reader goroutine: incoming frames
+// (and the terminal stream error) are delivered on Frames in order, so a
+// caller can select over them alongside lease and heartbeat timers. The
+// channel closes when the stream ends. Like the Conn under it, a Link is
+// owned by one user at a time.
+type Link struct {
+	conn   Conn
+	addr   string
+	frames chan Frame
+	last   atomic.Int64 // unix nanos of the last good frame; liveness stat
+	drop   sync.Once
+}
+
+// NewLink wraps an already-handshaken connection and starts its reader.
+// addr labels the stream in errors and stats.
+func NewLink(c Conn, addr string) *Link {
+	l := &Link{conn: c, addr: addr, frames: make(chan Frame, 4)}
+	go func() {
+		defer close(l.frames)
+		for {
+			typ, payload, err := ReadFrame(c, addr)
+			if err == nil {
+				l.last.Store(time.Now().UnixNano())
+			}
+			l.frames <- Frame{Type: typ, Payload: payload, Err: err}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	return l
+}
+
+// Addr names the worker this link reaches.
+func (l *Link) Addr() string { return l.addr }
+
+// Frames is the incoming frame stream.
+func (l *Link) Frames() <-chan Frame { return l.frames }
+
+// WriteFrame sends one frame on the connection.
+func (l *Link) WriteFrame(typ FrameType, payload []byte) error {
+	return WriteFrame(l.conn, typ, payload)
+}
+
+// SetDeadline arms (or, with the zero time, clears) read and write
+// deadlines on connections that support them — the per-step backstop
+// derived from the epoch lease. A no-op elsewhere.
+func (l *Link) SetDeadline(t time.Time) {
+	if d, ok := l.conn.(Deadliner); ok {
+		d.SetDeadline(t)
+	}
+}
+
+// LastFrame is when the worker last proved liveness on this link (zero
+// time if it never has).
+func (l *Link) LastFrame() time.Time {
+	ns := l.last.Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
+}
+
+// Kill tears the link down immediately (tainted connection) and unblocks
+// the reader. Idempotent.
+func (l *Link) Kill() {
+	l.drop.Do(func() {
+		l.conn.Kill()
+		l.drain()
+	})
+}
+
+// Close shuts the link down gracefully (clean worker exit where the
+// transport distinguishes one). Idempotent with Kill.
+func (l *Link) Close() {
+	l.drop.Do(func() {
+		l.conn.Close()
+		l.drain()
+	})
+}
+
+// drain consumes the reader goroutine's remaining frames so it can exit.
+func (l *Link) drain() {
+	for range l.frames {
+	}
+}

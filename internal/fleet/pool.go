@@ -1,0 +1,297 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+)
+
+// WorkerState classifies a pool worker for health reporting.
+type WorkerState string
+
+const (
+	// WorkerIdle: checked in, last contact healthy (or never dialed).
+	WorkerIdle WorkerState = "idle"
+	// WorkerBusy: checked out by a session right now.
+	WorkerBusy WorkerState = "busy"
+	// WorkerDown: consecutive failures outstanding; redialed with backoff.
+	WorkerDown WorkerState = "down"
+)
+
+// WorkerStat is one worker's health row, JSON-tagged for the job server's
+// GET /workers endpoint (the search.Registered style of enumeration).
+type WorkerStat struct {
+	// Addr is the transport's worker name (host:port, or proc:argv0).
+	Addr string `json:"addr"`
+	// State is the worker's current classification.
+	State WorkerState `json:"state"`
+	// Connected reports a live connection to the worker.
+	Connected bool `json:"connected"`
+	// EpochsServed counts successful request round-trips.
+	EpochsServed int64 `json:"epochs_served"`
+	// Failures counts consecutive failures since the last success.
+	Failures int `json:"consecutive_failures"`
+	// LastHeartbeat is the last frame received from the worker (absent if
+	// none yet).
+	LastHeartbeat time.Time `json:"last_heartbeat,omitzero"`
+	// LastError is the most recent failure ("" after any success).
+	LastError string `json:"last_error,omitempty"`
+}
+
+// worker is one pool entry. All fields are guarded by the pool mutex
+// except the link's own internals.
+type worker struct {
+	transport Transport
+	busy      bool
+	link      *Link
+	fails     int       // consecutive failures since the last success
+	epochs    int64     // successful round-trips served
+	lastErr   string    // most recent failure text
+	nextDial  time.Time // redial backoff gate after failures
+	lastBeat  time.Time // carried over from killed links
+}
+
+// Pool is a fixed, index-ordered registry of workers with exclusive
+// checkout. Acquire hands out one worker at a time per session — sessions
+// ARE the bounded worker budget, whether the pool belongs to a single
+// sharded run or is shared by every tenant of a job server.
+//
+// Assignment prefers ready workers (no outstanding failures, or failures
+// whose redial backoff has expired) with the fewest failures, then the
+// fewest epochs served, then the lowest index; when every free worker is
+// failing but a healthy one is merely busy, Acquire waits for the healthy
+// one rather than burning the caller's retry budget on a dead machine.
+// Only when the whole pool is failing does it hand out the least-failed
+// worker immediately and let the caller's retry ladder decide.
+type Pool struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	workers []*worker
+	closed  bool
+}
+
+// NewPool builds a pool over the given transports, in index order.
+func NewPool(transports ...Transport) *Pool {
+	p := &Pool{workers: make([]*worker, len(transports))}
+	p.cond = sync.NewCond(&p.mu)
+	for i, t := range transports {
+		p.workers[i] = &worker{transport: t}
+	}
+	return p
+}
+
+// Size is the number of workers (the concurrency the pool can carry).
+func (p *Pool) Size() int { return len(p.workers) }
+
+// Acquire checks out one worker, blocking until one is available. It
+// returns nil when the pool is closed. The caller must Release the
+// session, after reporting the outcome with Served or Fail.
+func (p *Pool) Acquire() *Session {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if p.closed {
+			return nil
+		}
+		now := time.Now()
+		var best *worker
+		healthyBusy := false
+		for _, w := range p.workers {
+			if w.busy {
+				if w.fails == 0 {
+					healthyBusy = true
+				}
+				continue
+			}
+			if best == nil || less(w, best) {
+				best = w
+			}
+		}
+		if best != nil {
+			ready := best.fails == 0 || !now.Before(best.nextDial)
+			if ready || !healthyBusy {
+				best.busy = true
+				return &Session{p: p, w: best}
+			}
+		}
+		p.cond.Wait()
+	}
+}
+
+// less orders free workers for assignment; iteration order (index) breaks
+// the remaining ties.
+func less(a, b *worker) bool {
+	if a.fails != b.fails {
+		return a.fails < b.fails
+	}
+	return a.epochs < b.epochs
+}
+
+// Close shuts the pool down: waiters and future Acquires get nil, and
+// every live connection is closed (gracefully, in parallel). Sessions
+// still checked out keep their worker entry valid — their reports land in
+// the stats, harmlessly — but their links die under them, which surfaces
+// as an ordinary transport error on the in-flight step.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	var links []*Link
+	for _, w := range p.workers {
+		if w.link != nil {
+			links = append(links, w.link)
+			w.noteBeat()
+			w.link = nil
+		}
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, l := range links {
+		wg.Add(1)
+		go func(l *Link) {
+			defer wg.Done()
+			l.Close()
+		}(l)
+	}
+	wg.Wait()
+}
+
+// Stats reports every worker's health, in index order.
+func (p *Pool) Stats() []WorkerStat {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	stats := make([]WorkerStat, len(p.workers))
+	for i, w := range p.workers {
+		w.noteBeat()
+		state := WorkerIdle
+		switch {
+		case w.busy:
+			state = WorkerBusy
+		case w.fails > 0:
+			state = WorkerDown
+		}
+		stats[i] = WorkerStat{
+			Addr:          w.transport.Addr(),
+			State:         state,
+			Connected:     w.link != nil,
+			EpochsServed:  w.epochs,
+			Failures:      w.fails,
+			LastHeartbeat: w.lastBeat,
+			LastError:     w.lastErr,
+		}
+	}
+	return stats
+}
+
+// noteBeat folds the live link's last-frame time into the worker's
+// sticky liveness stat. Pool mutex held.
+func (w *worker) noteBeat() {
+	if w.link == nil {
+		return
+	}
+	if t := w.link.LastFrame(); t.After(w.lastBeat) {
+		w.lastBeat = t
+	}
+}
+
+// Session is one exclusive checkout of a pool worker.
+type Session struct {
+	p *Pool
+	w *worker
+}
+
+// Addr names the checked-out worker.
+func (s *Session) Addr() string { return s.w.transport.Addr() }
+
+// Link returns the worker's live connection, dialing one if needed. A
+// redial after failures honors the backoff gate (sleeping out the
+// remainder). Dial errors are recorded as failures automatically; the
+// link stays owned by the pool — Fail kills it, Release does not.
+func (s *Session) Link() (*Link, error) {
+	p := s.p
+	p.mu.Lock()
+	if l := s.w.link; l != nil {
+		p.mu.Unlock()
+		return l, nil
+	}
+	wait := time.Until(s.w.nextDial)
+	p.mu.Unlock()
+	if wait > 0 {
+		time.Sleep(wait)
+	}
+	c, err := s.w.transport.Dial()
+	if err != nil {
+		p.mu.Lock()
+		s.w.record(err)
+		p.mu.Unlock()
+		return nil, err
+	}
+	l := NewLink(c, s.w.transport.Addr())
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		l.Close()
+		return nil, errClosed
+	}
+	s.w.link = l
+	p.mu.Unlock()
+	return l, nil
+}
+
+var errClosed = poolClosedError{}
+
+type poolClosedError struct{}
+
+func (poolClosedError) Error() string { return "fleet: pool closed" }
+
+// Fail reports a transport fault on the session's worker: the connection
+// is tainted — killed, never reused — and the worker enters redial
+// backoff.
+func (s *Session) Fail(err error) {
+	p := s.p
+	p.mu.Lock()
+	l := s.w.link
+	if l != nil {
+		s.w.noteBeat()
+		s.w.link = nil
+	}
+	s.w.record(err)
+	p.mu.Unlock()
+	if l != nil {
+		l.Kill()
+	}
+}
+
+// record notes one failure. Pool mutex held.
+func (w *worker) record(err error) {
+	w.fails++
+	w.lastErr = err.Error()
+	shift := w.fails - 1
+	if shift > 6 {
+		shift = 6 // cap the doubling at ~3.2s between redials
+	}
+	w.nextDial = time.Now().Add(50 * time.Millisecond << shift)
+}
+
+// Served reports one successful round-trip: the worker is healthy again.
+func (s *Session) Served() {
+	p := s.p
+	p.mu.Lock()
+	s.w.epochs++
+	s.w.fails = 0
+	s.w.lastErr = ""
+	p.mu.Unlock()
+}
+
+// Release returns the worker to the pool. Call exactly once per session,
+// after Served or Fail (or neither, if no request was attempted).
+func (s *Session) Release() {
+	p := s.p
+	p.mu.Lock()
+	s.w.busy = false
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}

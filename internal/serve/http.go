@@ -17,6 +17,7 @@ import (
 //	GET    /jobs/{id}/stream  SSE progress stream (see sse.go)
 //	POST   /jobs/{id}/cancel  request cancellation (also DELETE /jobs/{id})
 //	GET    /engines           registry listing → []search.EngineInfo
+//	GET    /workers           shared-fleet health → []fleet.WorkerStat
 //	GET    /healthz           liveness + drain state
 //
 // Admission failures map to 400, an unknown job to 404, a full table to
@@ -31,6 +32,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /engines", s.handleEngines)
+	mux.HandleFunc("GET /workers", s.handleWorkers)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	return mux
 }
@@ -113,6 +115,10 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleEngines(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, search.Registered())
+}
+
+func (s *Server) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.WorkerStats())
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {

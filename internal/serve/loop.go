@@ -9,6 +9,7 @@ import (
 	"sacga/internal/objective"
 	"sacga/internal/sched"
 	"sacga/internal/search"
+	"sacga/internal/shard"
 )
 
 // turnQueue is the fair scheduler's heart: a FIFO of runnable jobs. A job
@@ -178,6 +179,21 @@ func (s *Server) initJob(j *Job) (err error) {
 		return err
 	} else if extra != nil {
 		opts.Extra = extra
+	}
+	if j.Engine == shard.NameShardedIslands {
+		// A sharded tenant draws its workers from the server's shared
+		// fleet, and from nowhere else: the exec-capable Params fields are
+		// wiped even though the wire cannot set them (json:"-"), the pool
+		// is injected process-locally, and Spec is pinned to the job's own
+		// problem so workers always build what the coordinator mirrors.
+		p, _ := opts.Extra.(*shard.Params)
+		if p == nil {
+			p = new(shard.Params)
+		}
+		p.WorkerArgv, p.WorkerEnv, p.Workers = nil, nil, nil
+		p.Pool = s.cfg.Fleet
+		p.Spec = j.Spec.Encode()
+		opts.Extra = p
 	}
 	j.prob = objective.NewCounter(prob)
 	j.opts = opts

@@ -54,6 +54,7 @@ import (
 	"sync"
 	"time"
 
+	"sacga/internal/fleet"
 	"sacga/internal/objective"
 	"sacga/internal/probspec"
 	_ "sacga/internal/search/engines" // every registry engine selectable by wire name
@@ -84,6 +85,15 @@ type Config struct {
 	// search.GuardedStep): a wedged tenant is reclaimed instead of
 	// occupying a slot forever.
 	StepTimeout time.Duration
+	// Fleet, when non-nil, is the server's shared worker fleet (a
+	// fleet.Pool over TCP worker daemons, built by sacgad -fleet). Jobs
+	// submitting the "sharded-islands" engine draw worker sessions from
+	// it — the fleet is the only worker source a job can use: the
+	// exec-capable shard.Params fields never cross the wire, and without a
+	// fleet the engine is rejected at admission. The pool is owned by the
+	// caller, shared across tenants, and never closed by the server;
+	// results remain bit-identical to a solo run at any fleet size.
+	Fleet *fleet.Pool
 	// StepRetries is how many extra attempts a failing Step gets before
 	// the job goes terminal (default 0: first quarantining generation ends
 	// the job with its best-so-far front, matching cmd/sacga).
@@ -222,6 +232,16 @@ func (s *Server) job(id string) (*Job, bool) {
 	defer s.mu.Unlock()
 	j, ok := s.jobs[id]
 	return j, ok
+}
+
+// WorkerStats reports the shared fleet's per-worker health snapshot.
+// Empty (never nil — it serializes as a JSON array) when the server runs
+// without a fleet.
+func (s *Server) WorkerStats() []fleet.WorkerStat {
+	if s.cfg.Fleet == nil {
+		return []fleet.WorkerStat{}
+	}
+	return s.cfg.Fleet.Stats()
 }
 
 // Jobs returns the admission-ordered job views.

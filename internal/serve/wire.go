@@ -10,6 +10,7 @@ import (
 
 	"sacga/internal/probspec"
 	"sacga/internal/search"
+	"sacga/internal/shard"
 )
 
 // JobRequest is the submission wire schema: problem identity, engine name
@@ -130,6 +131,13 @@ func (s *Server) admit(req JobRequest) (*admitted, error) {
 	}
 	if _, err := search.New(req.Engine); err != nil {
 		return nil, badRequest("serve: %v", err)
+	}
+	if req.Engine == shard.NameShardedIslands && s.cfg.Fleet == nil {
+		// The exec-capable worker knobs (shard.Params.WorkerArgv/Workers)
+		// are json:"-" by design, so the server's shared fleet is the only
+		// worker source a job could ever use; without one the engine can
+		// only fail at its first turn. Reject at admission instead.
+		return nil, badRequest("serve: engine %q needs a worker fleet; start the server with -fleet", req.Engine)
 	}
 	canonParams, err := search.Canon(req.Params)
 	if err != nil {

@@ -39,12 +39,18 @@ func TestMain(m *testing.M) {
 			Build:          buildTestProblem,
 			HeartbeatEvery: 50 * time.Millisecond,
 		}
-		applyChaosEnv(&cfg)
+		if fp := os.Getenv("SHARD_BUILD_FP"); fp != "" {
+			cfg.Handshake.Build = fp // advertise a fake fingerprint: the mismatch tests run one binary
+		}
+		applyChaosEnv(&cfg, func() { os.Exit(1) })
 		if err := ServeWorker(os.Stdin, os.Stdout, cfg); err != nil {
 			fmt.Fprintln(os.Stderr, "shard worker:", err)
 			os.Exit(1)
 		}
 		os.Exit(0)
+	}
+	if os.Getenv("SHARD_TCP_WORKER") == "1" {
+		runTCPChaosWorker() // never returns; see tcp_chaos_test.go
 	}
 	os.Exit(m.Run())
 }
@@ -62,12 +68,16 @@ func buildTestProblem(spec string) (objective.Problem, error) {
 //
 // where mode is kill (SIGKILL self before the step — a worker dying
 // mid-epoch), wedge (block forever; the coordinator's heartbeat/lease
-// machinery must reclaim it), or corrupt (flip one bit of the sealed reply
+// machinery must reclaim it), corrupt (flip one bit of the sealed reply
 // frame, through fault.FlipBit on a scratch file — the transport-corruption
-// attack). The fault fires for the matching replica and epoch on attempts
-// 0..maxAttempt — a respawned worker re-reads the same env, so attempt
-// gating is what separates a transient fault from a permanent one.
-func applyChaosEnv(cfg *WorkerConfig) {
+// attack), or drop (truncate the sealed reply through fault.Truncate and
+// then end the stream — a connection torn mid-frame; endStream supplies
+// what "end the stream" means: os.Exit for the stdio worker, closing just
+// the one connection for the TCP daemon). The fault fires for the matching
+// replica and epoch on attempts 0..maxAttempt — a respawned worker
+// re-reads the same env, so attempt gating is what separates a transient
+// fault from a permanent one.
+func applyChaosEnv(cfg *WorkerConfig, endStream func()) {
 	spec := os.Getenv("SHARD_CHAOS")
 	if spec == "" {
 		return
@@ -107,6 +117,18 @@ func applyChaosEnv(cfg *WorkerConfig) {
 			}
 			return flipFrameBit(frame)
 		}
+	case "drop":
+		cfg.TransformReply = func(info StepInfo, frame []byte) []byte {
+			if !match(info) {
+				return frame
+			}
+			return truncateFrame(frame)
+		}
+		cfg.AfterReply = func(info StepInfo) {
+			if match(info) {
+				endStream() // the truncated reply is the stream's last bytes
+			}
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "shard worker: unknown SHARD_CHAOS mode %q\n", mode)
 		os.Exit(1)
@@ -117,12 +139,29 @@ func applyChaosEnv(cfg *WorkerConfig) {
 // attack (round-tripping through a scratch file so the corruption comes
 // from the same primitive the torn-write suite uses).
 func flipFrameBit(frame []byte) []byte {
+	return fileAttack(frame, func(path string) error {
+		return fault.FlipBit(path, int64(len(frame))*4+1)
+	})
+}
+
+// truncateFrame keeps only the first half of the sealed frame via
+// fault.Truncate — a reply whose connection dies mid-write.
+func truncateFrame(frame []byte) []byte {
+	return fileAttack(frame, func(path string) error {
+		return fault.Truncate(path, int64(len(frame))/2)
+	})
+}
+
+// fileAttack round-trips frame through a scratch file under the given
+// fault primitive; on any filesystem error the frame passes unharmed (the
+// test then fails on the missing fault, not on a confusing corruption).
+func fileAttack(frame []byte, attack func(path string) error) []byte {
 	path := filepath.Join(os.TempDir(), fmt.Sprintf("shard-chaos-%d", os.Getpid()))
 	if err := os.WriteFile(path, frame, 0o644); err != nil {
 		return frame
 	}
 	defer os.Remove(path)
-	if err := fault.FlipBit(path, int64(len(frame))*4+1); err != nil {
+	if err := attack(path); err != nil {
 		return frame
 	}
 	out, err := os.ReadFile(path)

@@ -1,7 +1,7 @@
 // Package shard is the crash-tolerant cross-process scheduler runtime: a
-// coordinator that shards sched.ParallelIslands replicas across worker OS
+// coordinator that shards sched.ParallelIslands replicas across worker
 // processes while keeping the in-process determinism contract — at any
-// process count, with or without transient worker deaths, the pooled
+// worker count, with or without transient worker deaths, the pooled
 // result is bit-identical to the in-process scheduler.
 //
 // The design rests on one invariant: workers are STATELESS between epochs.
@@ -11,123 +11,60 @@
 // generation, and ships the new checkpoint back. A worker that crashes,
 // wedges or corrupts its stream therefore loses nothing the coordinator
 // cannot replay: the last epoch snapshot is re-dispatched to a fresh
-// process, and a retried step is bit-identical to the one that was lost —
+// worker, and a retried step is bit-identical to the one that was lost —
 // which is why a SIGKILLed worker is fully masked, not merely tolerated.
+//
+// HOW workers are reached lives one layer down, in internal/fleet: the
+// coordinator draws connections from a fleet.Pool, whose transports spawn
+// child processes on framed stdio (fleet.ProcTransport — the original
+// runtime) or dial long-lived TCP worker daemons (fleet.TCPTransport +
+// cmd/sacgaw). Params.WorkerArgv, Params.Workers and Params.Pool select
+// among them; the determinism contract is transport-independent, because
+// a stateless request replays identically over any byte stream.
 //
 // Failure handling mirrors PR 7's in-process layer, one level up:
 //
-//   - lease expiry (per-epoch deadline) and missed heartbeats kill and
-//     respawn the worker process — the process analogue of
-//     search.GuardedStep, except reclamation always succeeds (SIGKILL
-//     needs no cooperation), so there is no poisoned state class;
+//   - lease expiry (per-epoch deadline) and missed heartbeats kill the
+//     connection and respawn-or-redial the worker — the process analogue
+//     of search.GuardedStep, except reclamation always succeeds (SIGKILL
+//     or a dropped connection needs no cooperation), so there is no
+//     poisoned state class;
 //   - failed attempts retry with doubling backoff, re-dispatching the last
-//     authoritative checkpoint;
+//     authoritative checkpoint — against whichever pool worker is healthy;
 //   - a replica whose retry budget is exhausted is dropped at the epoch
 //     barrier in replica-index order, exactly like the in-process
 //     scheduler's drops, accumulating into *sched.ReplicaError;
 //   - corrupt or torn frames — and corrupt checkpoints inside them —
-//     surface as typed *search.CorruptError, never a gob panic.
+//     surface as typed *search.CorruptError, never a gob panic; a
+//     coordinator/worker binary mismatch is a typed *fleet.VersionError
+//     at dial time, which fails the replica without burning retries.
 package shard
 
 import (
-	"encoding/binary"
-	"fmt"
-	"hash/crc32"
 	"io"
 
-	"sacga/internal/search"
+	"sacga/internal/fleet"
 )
 
-// Frame layout — every message on a worker pipe is one frame:
-//
-//	[magic: uint32 LE] [type: uint8] [payload length: uint32 LE]
-//	[payload bytes]
-//	[CRC32-C over type+length+payload: uint32 LE]
-//
-// The CRC covers the type and length bytes as well as the payload, so ANY
-// bit flip inside a frame (fuzz-pinned) is a typed *search.CorruptError —
-// there is no unprotected byte whose corruption could silently change the
-// protocol's behavior. The magic leads every frame so a desynced stream
-// fails loudly instead of mis-framing.
+// The frame codec lives in internal/fleet (both ends of every transport
+// share it); these aliases keep this package's vocabulary — and its
+// frame-level fuzz and fault tests — unchanged.
 
-// frameMagic identifies a shard protocol frame ("sfm1").
-const frameMagic = 0x73666d31
-
-// frameHeaderSize is magic(4) + type(1) + length(4).
-const frameHeaderSize = 9
-
-// maxFramePayload bounds a frame so a corrupted length field cannot make
-// the reader allocate unbounded memory before the CRC check.
-const maxFramePayload = 1 << 30
-
-// frameType tags what a frame's payload decodes to.
-type frameType uint8
+type frameType = fleet.FrameType
 
 const (
-	// frameRequest carries a gob Request (coordinator → worker).
-	frameRequest frameType = 1
-	// frameReply carries a gob Reply (worker → coordinator).
-	frameReply frameType = 2
-	// frameHeartbeat carries a gob Heartbeat (worker → coordinator,
-	// periodically while a step is in flight).
-	frameHeartbeat frameType = 3
+	frameRequest   = fleet.FrameRequest
+	frameReply     = fleet.FrameReply
+	frameHeartbeat = fleet.FrameHeartbeat
 )
 
 // writeFrame emits one sealed frame on w.
 func writeFrame(w io.Writer, typ frameType, payload []byte) error {
-	if len(payload) > maxFramePayload {
-		return fmt.Errorf("shard: frame payload %d bytes exceeds the %d cap", len(payload), maxFramePayload)
-	}
-	buf := make([]byte, frameHeaderSize+len(payload)+4)
-	binary.LittleEndian.PutUint32(buf[0:4], frameMagic)
-	buf[4] = byte(typ)
-	binary.LittleEndian.PutUint32(buf[5:9], uint32(len(payload)))
-	copy(buf[frameHeaderSize:], payload)
-	crc := crc32.Checksum(buf[4:frameHeaderSize+len(payload)], castagnoli)
-	binary.LittleEndian.PutUint32(buf[frameHeaderSize+len(payload):], crc)
-	_, err := w.Write(buf)
-	return err
+	return fleet.WriteFrame(w, typ, payload)
 }
 
-var castagnoli = crc32.MakeTable(crc32.Castagnoli)
-
-// readFrame reads one frame from r. src names the stream in errors. A
-// clean EOF at a frame boundary returns io.EOF; every malformed frame —
-// bad magic, oversized length, truncation mid-frame, CRC mismatch — is a
-// typed *search.CorruptError; transport failures surface as the underlying
-// read error.
+// readFrame reads one frame from r; see fleet.ReadFrame for the contract
+// (clean EOF at a boundary, typed *search.CorruptError on any mangling).
 func readFrame(r io.Reader, src string) (frameType, []byte, error) {
-	var header [frameHeaderSize]byte
-	if _, err := io.ReadFull(r, header[:]); err != nil {
-		if err == io.EOF {
-			return 0, nil, io.EOF // clean boundary: the peer closed between frames
-		}
-		if err == io.ErrUnexpectedEOF {
-			return 0, nil, &search.CorruptError{Path: src, Reason: "truncated frame header"}
-		}
-		return 0, nil, err
-	}
-	if got := binary.LittleEndian.Uint32(header[0:4]); got != frameMagic {
-		return 0, nil, &search.CorruptError{Path: src, Reason: fmt.Sprintf("bad frame magic %08x", got)}
-	}
-	typ := frameType(header[4])
-	n := binary.LittleEndian.Uint32(header[5:9])
-	if n > maxFramePayload {
-		return 0, nil, &search.CorruptError{Path: src, Reason: fmt.Sprintf("frame length %d exceeds the %d cap", n, maxFramePayload)}
-	}
-	body := make([]byte, int(n)+4) // payload + CRC
-	if _, err := io.ReadFull(r, body); err != nil {
-		if err == io.EOF || err == io.ErrUnexpectedEOF {
-			return 0, nil, &search.CorruptError{Path: src, Reason: "truncated frame body"}
-		}
-		return 0, nil, err
-	}
-	payload := body[:n]
-	want := binary.LittleEndian.Uint32(body[n:])
-	got := crc32.Checksum(header[4:], castagnoli)
-	got = crc32.Update(got, castagnoli, payload)
-	if got != want {
-		return 0, nil, &search.CorruptError{Path: src, Reason: fmt.Sprintf("frame CRC mismatch: computed %08x, frame records %08x", got, want)}
-	}
-	return typ, payload, nil
+	return fleet.ReadFrame(r, src)
 }

@@ -1,12 +1,14 @@
 package shard
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"sacga/internal/fleet"
 	"sacga/internal/ga"
 	"sacga/internal/objective"
 	"sacga/internal/sched"
@@ -54,11 +56,25 @@ type Params struct {
 	// replica cannot matter.
 	Procs int
 	// WorkerArgv is the command line spawned for each worker process
-	// (argv[0] = binary). Required. The worker must run ServeWorker on its
+	// (argv[0] = binary). The worker must run ServeWorker on its
 	// stdin/stdout — e.g. `cmd/sacga -worker`, or a test binary re-exec.
-	WorkerArgv []string
+	// At least one of WorkerArgv, Workers or Pool is required. Excluded
+	// from JSON: a job server must never exec a client-supplied command.
+	WorkerArgv []string `json:"-"`
 	// WorkerEnv is appended to the inherited environment of each worker.
-	WorkerEnv []string
+	WorkerEnv []string `json:"-"`
+	// Workers lists TCP worker daemon addresses (cmd/sacgaw) to dial, in
+	// place of — or mixed with — the WorkerArgv child processes. Each
+	// address is one pool slot; a dropped daemon is redialed with backoff
+	// and its in-flight step replayed elsewhere. Excluded from JSON for
+	// the same reason as WorkerArgv: the fleet is the operator's to
+	// configure, not the client's.
+	Workers []string `json:"-"`
+	// Pool, when non-nil, is an externally owned shared fleet (the job
+	// server's): the run draws sessions from it instead of building its
+	// own, and does NOT close it. WorkerArgv/Workers are ignored with it.
+	// Process-local by nature; excluded from both JSON and the wire.
+	Pool *fleet.Pool `json:"-"`
 	// Spec names the problem for the workers' Build hook. The coordinator
 	// treats it as opaque; it must describe the same problem the
 	// coordinator engine was given (the mirrors use the local one).
@@ -72,6 +88,14 @@ type Params struct {
 	// stop for this long while a step is in flight — catching a wedged
 	// process long before a generous lease expires (0 = disabled).
 	HeartbeatTimeout time.Duration
+	// HeartbeatEvery is the workers' heartbeat period while a step is in
+	// flight, shipped inside each Request so both sides tune from one
+	// knob — a WAN fleet wants a longer period than the LAN default. 0
+	// keeps the worker's own default (DefaultHeartbeatEvery). Validated:
+	// must be positive and shorter than HeartbeatTimeout and
+	// EpochDeadline when those are set, or every step would be declared
+	// dead before its first heartbeat.
+	HeartbeatEvery time.Duration
 	// Retries is how many extra attempts a failing replica step gets
 	// before the replica is dropped at the epoch barrier (default 2,
 	// negative = none). Transport faults (crash, lease, corrupt frame)
@@ -88,7 +112,7 @@ type Params struct {
 	ShutdownGrace time.Duration
 }
 
-func (p *Params) normalize() {
+func (p *Params) normalize() error {
 	if p.Replicas <= 0 {
 		p.Replicas = 4
 	}
@@ -119,6 +143,32 @@ func (p *Params) normalize() {
 	if p.ShutdownGrace <= 0 {
 		p.ShutdownGrace = 2 * time.Second
 	}
+	// The liveness knobs are validated, not clamped: a nonsensical lease
+	// configuration (negative durations, a heartbeat period that cannot
+	// fit inside the deadlines watching it) silently degrades into
+	// spurious worker kills, so it must fail loudly at Init.
+	for _, d := range []struct {
+		name string
+		v    time.Duration
+	}{
+		{"EpochDeadline", p.EpochDeadline},
+		{"HeartbeatTimeout", p.HeartbeatTimeout},
+		{"HeartbeatEvery", p.HeartbeatEvery},
+		{"RetryBackoff", p.RetryBackoff},
+	} {
+		if d.v < 0 {
+			return fmt.Errorf("shard: Params.%s is %v, must be positive (or 0 for the default)", d.name, d.v)
+		}
+	}
+	if p.HeartbeatEvery > 0 {
+		if p.HeartbeatTimeout > 0 && p.HeartbeatEvery >= p.HeartbeatTimeout {
+			return fmt.Errorf("shard: Params.HeartbeatEvery %v must be shorter than HeartbeatTimeout %v", p.HeartbeatEvery, p.HeartbeatTimeout)
+		}
+		if p.EpochDeadline > 0 && p.HeartbeatEvery >= p.EpochDeadline {
+			return fmt.Errorf("shard: Params.HeartbeatEvery %v must be shorter than EpochDeadline %v", p.HeartbeatEvery, p.EpochDeadline)
+		}
+	}
+	return nil
 }
 
 // Islands shards a sched.ParallelIslands-shaped replica ensemble across
@@ -162,8 +212,12 @@ type Islands struct {
 	pooled ga.Population
 	final  bool
 
-	slots  []*proc // one per worker process, spawned lazily, index-owned
-	closed bool
+	// pool is where step dispatch draws worker connections from. Owned
+	// (built from WorkerArgv/Workers and closed with the engine) unless
+	// Params.Pool supplied a shared one.
+	pool     *fleet.Pool
+	ownsPool bool
+	closed   bool
 }
 
 // stepResult is one replica's dispatch outcome for an epoch, written by
@@ -190,9 +244,11 @@ func (e *Islands) prepare(prob objective.Problem, opts search.Options) error {
 	}
 	opts.Normalize()
 	e.p = *p
-	e.p.normalize()
-	if len(e.p.WorkerArgv) == 0 {
-		return fmt.Errorf("shard: Params.WorkerArgv is required (the worker command line)")
+	if err := e.p.normalize(); err != nil {
+		return err
+	}
+	if e.p.Pool == nil && len(e.p.WorkerArgv) == 0 && len(e.p.Workers) == 0 {
+		return fmt.Errorf("shard: a worker source is required: Params.WorkerArgv (child processes), Params.Workers (TCP daemons) or Params.Pool (shared fleet)")
 	}
 	e.opts = opts
 	e.prob = prob
@@ -208,7 +264,28 @@ func (e *Islands) prepare(prob objective.Problem, opts search.Options) error {
 	e.mirrors = nil
 	e.mirrorsFresh = false
 	e.pooled = make(ga.Population, 0, e.opts.PopSize)
-	e.slots = make([]*proc, e.p.Procs)
+	if e.p.Pool != nil {
+		e.pool, e.ownsPool = e.p.Pool, false
+		return nil
+	}
+	// Build the run's own pool: Procs child-process slots (when a worker
+	// command line is configured) plus one slot per TCP daemon address.
+	hello := fleet.HandshakeConfig{Problem: e.p.Spec}
+	var transports []fleet.Transport
+	if len(e.p.WorkerArgv) > 0 {
+		for s := 0; s < e.p.Procs; s++ {
+			transports = append(transports, &fleet.ProcTransport{
+				Argv:  e.p.WorkerArgv,
+				Env:   e.p.WorkerEnv,
+				Grace: e.p.ShutdownGrace,
+				Hello: hello,
+			})
+		}
+	}
+	for _, addr := range e.p.Workers {
+		transports = append(transports, &fleet.TCPTransport{Address: addr, Hello: hello})
+	}
+	e.pool, e.ownsPool = fleet.NewPool(transports...), true
 	return nil
 }
 
@@ -296,10 +373,13 @@ func (e *Islands) Step() error {
 	return nil
 }
 
-// dispatch runs one epoch's worth of replica requests across the worker
-// slots: each slot goroutine owns one process and pulls replica indices
-// from a shared cursor. Results are written by index — which slot executes
-// which replica cannot matter, because workers are stateless.
+// dispatch runs one epoch's worth of replica requests across the pool:
+// each dispatch goroutine pulls replica indices from a shared cursor and
+// checks a worker out of the pool per attempt. Results are written by
+// index — which worker executes which replica cannot matter, because
+// workers are stateless. The goroutine count is bounded by the pool size,
+// so a goroutine holding no session never blocks an exclusive pool
+// (shared pools may make it wait its turn — that is the shared budget).
 func (e *Islands) dispatch(init bool) []stepResult {
 	n := e.p.Replicas
 	results := make([]stepResult, n)
@@ -309,23 +389,23 @@ func (e *Islands) dispatch(init bool) []stepResult {
 			live = append(live, i)
 		}
 	}
-	workers := min(len(e.slots), len(live))
+	workers := min(e.pool.Size(), len(live))
 	if workers == 0 {
 		return results
 	}
 	var next atomic.Int64
-	run := func(slot int) {
+	run := func() {
 		for {
 			k := int(next.Add(1)) - 1
 			if k >= len(live) {
 				return
 			}
 			i := live[k]
-			results[i] = e.stepReplica(slot, i, init)
+			results[i] = e.stepReplica(i, init)
 		}
 	}
 	if workers == 1 {
-		run(0)
+		run()
 		return results
 	}
 	var wg sync.WaitGroup
@@ -333,36 +413,42 @@ func (e *Islands) dispatch(init bool) []stepResult {
 	for s := 1; s < workers; s++ {
 		go func() {
 			defer wg.Done()
-			run(s)
+			run()
 		}()
 	}
-	run(0)
+	run()
 	wg.Wait()
 	return results
 }
 
-// stepReplica drives one replica's step to success or retry exhaustion on
-// slot's worker process. The retry ladder, in parity with the in-process
-// sched.StepWithRetry:
+// stepReplica drives one replica's step to success or retry exhaustion,
+// checking a worker out of the pool for each attempt. The retry ladder,
+// in parity with the in-process sched.StepWithRetry:
 //
-//   - transport faults (spawn failure, crash/EOF, lease or heartbeat
-//     expiry, corrupt frame, desynced stream) taint the process: it is
-//     killed, and the SAME request — same checkpoint — is replayed against
-//     a fresh one after the backoff. A replay is bit-identical to the lost
-//     step, so a fault that stops recurring leaves no trace in the result.
+//   - transport faults (dial failure, crash/EOF, lease or heartbeat
+//     expiry, corrupt frame, desynced stream) taint the connection: it is
+//     killed, and the SAME request — same checkpoint — is replayed over a
+//     fresh one after the backoff, on whichever pool worker is healthiest
+//     (a dead machine degrades to the survivors, not to a dropped
+//     replica). A replay is bit-identical to the lost step, so a fault
+//     that stops recurring leaves no trace in the result.
 //   - engine faults (the reply carries Err) adopt the reply's checkpoint
 //     when present — engines complete their generation before reporting,
 //     so each retry is a fresh generation, exactly like retrying a
 //     quarantining in-process engine. During Init they are fatal
 //     immediately, matching the in-process scheduler's fail-fast Init.
-func (e *Islands) stepReplica(slot, i int, init bool) stepResult {
+//   - a *fleet.VersionError is permanent by construction — every redial
+//     of the mismatched binary reproduces it — so it fails the replica
+//     without burning the retry budget.
+func (e *Islands) stepReplica(i int, init bool) stepResult {
 	req := &Request{
-		Replica: i,
-		Epoch:   e.epoch,
-		Init:    init,
-		Algo:    e.p.Algo,
-		Spec:    e.p.Spec,
-		Opts:    ToWire(e.replicaOptions(i)),
+		Replica:        i,
+		Epoch:          e.epoch,
+		Init:           init,
+		Algo:           e.p.Algo,
+		Spec:           e.p.Spec,
+		Opts:           ToWire(e.replicaOptions(i)),
+		HeartbeatEvery: e.p.HeartbeatEvery,
 	}
 	if !init {
 		req.Ckpt = e.ckpts[i]
@@ -378,24 +464,32 @@ func (e *Islands) stepReplica(slot, i int, init bool) stepResult {
 			time.Sleep(e.p.RetryBackoff << (attempt - 1))
 		}
 		req.Attempt = attempt
-		p := e.slots[slot]
-		if p == nil {
-			var err error
-			p, err = startProc(e.p.WorkerArgv, e.p.WorkerEnv)
-			if err != nil {
-				lastErr = err
-				continue
-			}
-			e.slots[slot] = p
+		sess := e.pool.Acquire()
+		if sess == nil {
+			res.err = fmt.Errorf("shard: replica %d epoch %d: worker pool closed", i, req.Epoch)
+			return res
 		}
-		reply, err := p.roundTrip(req, e.p.EpochDeadline, e.p.HeartbeatTimeout)
+		link, err := sess.Link() // dial failures are recorded on the worker by the session
 		if err != nil {
-			p.kill()
-			e.slots[slot] = nil
+			sess.Release()
+			var ve *fleet.VersionError
+			if errors.As(err, &ve) {
+				res.err = fmt.Errorf("shard: replica %d: %w", i, err)
+				return res
+			}
+			lastErr = fmt.Errorf("shard: replica %d epoch %d attempt %d: %w", i, req.Epoch, attempt, err)
+			continue
+		}
+		reply, err := roundTrip(link, req, e.p.EpochDeadline, e.p.HeartbeatTimeout)
+		if err != nil {
+			sess.Fail(err)
+			sess.Release()
 			lastErr = fmt.Errorf("shard: replica %d epoch %d attempt %d: %w", i, req.Epoch, attempt, err)
 			continue
 		}
 		if reply.Err != "" {
+			sess.Served() // an engine fault is the replica's, not the transport's
+			sess.Release()
 			lastErr = fmt.Errorf("shard: replica %d epoch %d attempt %d: %s", i, req.Epoch, attempt, reply.Err)
 			if len(reply.Ckpt) > 0 {
 				if cp, derr := search.DecodeCheckpoint(fmt.Sprintf("shard: replica %d reply", i), reply.Ckpt); derr == nil {
@@ -412,12 +506,14 @@ func (e *Islands) stepReplica(slot, i int, init bool) stepResult {
 		cp, derr := search.DecodeCheckpoint(fmt.Sprintf("shard: replica %d reply", i), reply.Ckpt)
 		if derr != nil {
 			// The frame CRC passed but the checkpoint inside is corrupt:
-			// do not adopt; the process is suspect.
-			p.kill()
-			e.slots[slot] = nil
+			// do not adopt; the connection is suspect.
+			sess.Fail(derr)
+			sess.Release()
 			lastErr = derr
 			continue
 		}
+		sess.Served()
+		sess.Release()
 		res.ckpt, res.cp, res.done, res.err = reply.Ckpt, cp, reply.Done, nil
 		return res
 	}
@@ -603,25 +699,18 @@ func (e *Islands) Restore(prob objective.Problem, opts search.Options, cp *searc
 	return nil
 }
 
-// Close reaps the worker processes (clean stdin-close shutdown, kill after
-// ShutdownGrace). Idempotent; called implicitly when the run finalizes.
-// Callers abandoning an unfinished engine must call it.
+// Close reaps the run's workers: an owned pool is closed (clean
+// stdin-close shutdown for child processes, kill after ShutdownGrace;
+// connection close for TCP daemons, which outlive their connections). A
+// shared Params.Pool is left untouched — its owner closes it. Idempotent;
+// called implicitly when the run finalizes. Callers abandoning an
+// unfinished engine must call it.
 func (e *Islands) Close() {
 	if e.closed {
 		return
 	}
 	e.closed = true
-	var wg sync.WaitGroup
-	for s, p := range e.slots {
-		if p == nil {
-			continue
-		}
-		wg.Add(1)
-		go func(p *proc) {
-			defer wg.Done()
-			p.shutdown(e.p.ShutdownGrace)
-		}(p)
-		e.slots[s] = nil
+	if e.ownsPool && e.pool != nil {
+		e.pool.Close()
 	}
-	wg.Wait()
 }

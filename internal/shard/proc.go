@@ -3,103 +3,16 @@ package shard
 import (
 	"fmt"
 	"io"
-	"os"
-	"os/exec"
 	"time"
+
+	"sacga/internal/fleet"
 )
-
-// proc is one spawned worker process and its framed stdio pipes. A proc is
-// owned by one dispatch goroutine at a time; there is no internal locking.
-// Once roundTrip returns an error the proc is TAINTED — the stream may be
-// desynced, the process wedged or gone — and must be killed, never reused.
-type proc struct {
-	cmd    *exec.Cmd
-	stdin  io.WriteCloser
-	frames chan procFrame // reader goroutine → roundTrip
-}
-
-// procFrame is one decoded frame (or the read error that ended the stream).
-type procFrame struct {
-	typ     frameType
-	payload []byte
-	err     error
-}
-
-// startProc spawns argv as a worker process. extraEnv entries are appended
-// to the inherited environment; stderr passes through for diagnostics.
-func startProc(argv, extraEnv []string) (*proc, error) {
-	if len(argv) == 0 {
-		return nil, fmt.Errorf("shard: empty worker argv")
-	}
-	cmd := exec.Command(argv[0], argv[1:]...)
-	cmd.Env = append(os.Environ(), extraEnv...)
-	cmd.Stderr = os.Stderr
-	stdin, err := cmd.StdinPipe()
-	if err != nil {
-		return nil, fmt.Errorf("shard: worker stdin pipe: %w", err)
-	}
-	stdout, err := cmd.StdoutPipe()
-	if err != nil {
-		return nil, fmt.Errorf("shard: worker stdout pipe: %w", err)
-	}
-	if err := cmd.Start(); err != nil {
-		return nil, fmt.Errorf("shard: spawn worker %q: %w", argv[0], err)
-	}
-	p := &proc{cmd: cmd, stdin: stdin, frames: make(chan procFrame, 4)}
-	go func() {
-		// The reader owns stdout: frames (and the terminal error — EOF on
-		// worker death, CorruptError on a mangled stream) flow to whoever
-		// is waiting in roundTrip. The channel closes when the stream ends.
-		defer close(p.frames)
-		for {
-			typ, payload, err := readFrame(stdout, "shard: worker stdout")
-			p.frames <- procFrame{typ: typ, payload: payload, err: err}
-			if err != nil {
-				return
-			}
-		}
-	}()
-	return p, nil
-}
-
-// shutdown asks the worker to exit cleanly by closing its stdin (the
-// worker's loop returns on EOF), waiting up to grace before killing it.
-// Always reaps the process.
-func (p *proc) shutdown(grace time.Duration) {
-	p.stdin.Close()
-	done := make(chan struct{})
-	go func() {
-		p.cmd.Wait()
-		close(done)
-	}()
-	select {
-	case <-done:
-	case <-time.After(grace):
-		p.cmd.Process.Kill()
-		<-done
-	}
-	p.drain()
-}
-
-// kill terminates the worker immediately (SIGKILL) and reaps it.
-func (p *proc) kill() {
-	p.cmd.Process.Kill()
-	p.stdin.Close()
-	p.cmd.Wait()
-	p.drain()
-}
-
-// drain consumes the reader goroutine's remaining frames so it can exit.
-func (p *proc) drain() {
-	for range p.frames {
-	}
-}
 
 // leaseError reports a worker that missed a liveness deadline: the
 // per-epoch lease expired, or heartbeats stopped while a step was in
 // flight. The process analogue of *search.WatchdogError — except the
-// coordinator's reclamation (SIGKILL + respawn) always succeeds, so a
-// lease breach never poisons anything.
+// coordinator's reclamation (kill the connection, respawn or redial)
+// always succeeds, so a lease breach never poisons anything.
 type leaseError struct {
 	replica int
 	epoch   int
@@ -111,16 +24,29 @@ func (e *leaseError) Error() string {
 	return fmt.Sprintf("shard: replica %d epoch %d: worker %s deadline missed after %v", e.replica, e.epoch, e.kind, e.after)
 }
 
-// roundTrip sends req and waits for its Reply. lease bounds the whole
-// exchange (0 = unbounded); hbTimeout bounds the gap between worker frames
-// (0 = no heartbeat monitoring). On any non-nil error the proc is tainted:
-// the caller must kill it and spawn a fresh one before retrying.
-func (p *proc) roundTrip(req *Request, lease, hbTimeout time.Duration) (*Reply, error) {
+// leaseSlack pads the connection-level deadline past the lease timer, so
+// the timer fires first and reports the typed leaseError; the deadline is
+// the backstop for the one case the timer cannot reach — a Write blocked
+// on a wedged worker's full pipe or socket buffer.
+const leaseSlack = 2 * time.Second
+
+// roundTrip sends req on the link and waits for its Reply. lease bounds
+// the whole exchange (0 = unbounded); hbTimeout bounds the gap between
+// worker frames (0 = no heartbeat monitoring). When a lease is set, the
+// connection's read/write deadlines are armed from it for the duration of
+// the step. On any non-nil error the link is TAINTED — the stream may be
+// desynced, the worker wedged or gone — and the caller must fail it on
+// its pool session, never reuse it.
+func roundTrip(l *fleet.Link, req *Request, lease, hbTimeout time.Duration) (*Reply, error) {
 	payload, err := encodePayload(req)
 	if err != nil {
 		return nil, err
 	}
-	if err := writeFrame(p.stdin, frameRequest, payload); err != nil {
+	if lease > 0 {
+		l.SetDeadline(time.Now().Add(lease + leaseSlack))
+		defer l.SetDeadline(time.Time{})
+	}
+	if err := l.WriteFrame(frameRequest, payload); err != nil {
 		return nil, fmt.Errorf("shard: send request: %w", err)
 	}
 	var leaseC <-chan time.Time
@@ -138,15 +64,15 @@ func (p *proc) roundTrip(req *Request, lease, hbTimeout time.Duration) (*Reply, 
 	}
 	for {
 		select {
-		case f, ok := <-p.frames:
+		case f, ok := <-l.Frames():
 			if !ok {
 				return nil, fmt.Errorf("shard: worker stream closed mid-step")
 			}
-			if f.err != nil {
-				if f.err == io.EOF {
+			if f.Err != nil {
+				if f.Err == io.EOF {
 					return nil, fmt.Errorf("shard: worker exited mid-step (replica %d epoch %d)", req.Replica, req.Epoch)
 				}
-				return nil, f.err
+				return nil, f.Err
 			}
 			if hbT != nil {
 				// Any frame proves liveness; restart the gap timer.
@@ -158,12 +84,12 @@ func (p *proc) roundTrip(req *Request, lease, hbTimeout time.Duration) (*Reply, 
 				}
 				hbT.Reset(hbTimeout)
 			}
-			switch f.typ {
+			switch f.Type {
 			case frameHeartbeat:
 				continue
 			case frameReply:
 				var reply Reply
-				if err := decodePayload("shard: worker stdout", f.payload, &reply); err != nil {
+				if err := decodePayload("shard: worker stream", f.Payload, &reply); err != nil {
 					return nil, err
 				}
 				if reply.Replica != req.Replica || reply.Epoch != req.Epoch {
@@ -172,7 +98,7 @@ func (p *proc) roundTrip(req *Request, lease, hbTimeout time.Duration) (*Reply, 
 				}
 				return &reply, nil
 			default:
-				return nil, fmt.Errorf("shard: unexpected frame type %d from worker", f.typ)
+				return nil, fmt.Errorf("shard: unexpected frame type %d from worker", f.Type)
 			}
 		case <-leaseC:
 			return nil, &leaseError{replica: req.Replica, epoch: req.Epoch, kind: "lease", after: lease}

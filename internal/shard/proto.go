@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"time"
 
 	"sacga/internal/ga"
 	"sacga/internal/search"
@@ -48,6 +49,11 @@ type Request struct {
 	// coordinator with sched.ReplicaOptions so worker-side replicas are
 	// configured byte-identically to in-process ones.
 	Opts WireOptions
+	// HeartbeatEvery, when positive, overrides the worker's configured
+	// heartbeat period for this step (Params.HeartbeatEvery shipped along,
+	// so one knob tunes both sides of the liveness machinery). Ignored by
+	// workers whose configuration disables heartbeats outright.
+	HeartbeatEvery time.Duration
 	// Ckpt is the replica's sealed checkpoint (search.EncodeCheckpoint
 	// form, CRC footer included) to restore before stepping. Empty when
 	// Init is set.

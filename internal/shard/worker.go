@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"sacga/internal/fleet"
 	"sacga/internal/objective"
 	"sacga/internal/search"
 )
@@ -30,8 +31,18 @@ type WorkerConfig struct {
 	OnStep func(StepInfo)
 	// TransformReply, when non-nil, may rewrite the fully sealed reply
 	// frame bytes before they are written — the chaos suite's corruption
-	// point (flip a bit to exercise the coordinator's CRC path).
+	// point (flip a bit to exercise the coordinator's CRC path, truncate
+	// it to tear the stream mid-frame).
 	TransformReply func(StepInfo, []byte) []byte
+	// AfterReply, when non-nil, runs after each reply frame is written —
+	// the chaos suite's torn-stream point (exit here and a truncated
+	// reply is the connection's last bytes, a drop mid-frame).
+	AfterReply func(StepInfo)
+	// Handshake configures the worker side of the dial-time handshake
+	// (fleet.ServerHandshake). The zero value advertises the real build
+	// fingerprint; a Check hook is installed by ServeWorker to vet the
+	// coordinator's announced problem through Build unless one is set.
+	Handshake fleet.HandshakeConfig
 }
 
 // StepInfo identifies one request for the test hooks.
@@ -42,15 +53,19 @@ type StepInfo struct {
 	Init    bool
 }
 
-// ServeWorker runs the worker side of the shard protocol: read a Request
-// frame, build/restore the replica engine, advance it one generation, write
-// the Reply frame; repeat until r closes (clean EOF → nil — the
-// coordinator's shutdown signal is closing the pipe). Heartbeat frames are
-// emitted while a step is in flight.
+// ServeWorker runs the worker side of the shard protocol on one stream:
+// answer the dial-time handshake, then read a Request frame, build/restore
+// the replica engine, advance it one generation, write the Reply frame;
+// repeat until r closes (clean EOF → nil — the coordinator's shutdown
+// signal is closing the connection). Heartbeat frames are emitted while a
+// step is in flight.
 //
 // The worker holds no replica state between requests — every request
 // carries everything needed to replay it, which is what lets the
-// coordinator mask this process being SIGKILLed at any moment.
+// coordinator mask this process being SIGKILLed (or this connection being
+// dropped) at any moment. One stdio process serves one stream; a TCP
+// daemon (cmd/sacgaw) calls this once per accepted connection,
+// concurrently.
 func ServeWorker(r io.Reader, w io.Writer, cfg WorkerConfig) error {
 	if cfg.Build == nil {
 		return fmt.Errorf("shard: ServeWorker requires a Build hook")
@@ -58,10 +73,36 @@ func ServeWorker(r io.Reader, w io.Writer, cfg WorkerConfig) error {
 	if cfg.HeartbeatEvery == 0 {
 		cfg.HeartbeatEvery = DefaultHeartbeatEvery
 	}
-	var wmu sync.Mutex // serializes reply and heartbeat frames
 	problems := make(map[string]objective.Problem)
+	hs := cfg.Handshake
+	if hs.Check == nil {
+		// Vet the coordinator's announced problem at dial time: a worker
+		// that cannot build it must reject the handshake, not fail the
+		// first request mid-run.
+		hs.Check = func(peer fleet.Hello) error {
+			if peer.Problem == "" {
+				return nil
+			}
+			if _, ok := problems[peer.Problem]; ok {
+				return nil
+			}
+			prob, err := cfg.Build(peer.Problem)
+			if err != nil {
+				return fmt.Errorf("build problem %q: %v", peer.Problem, err)
+			}
+			problems[peer.Problem] = prob
+			return nil
+		}
+	}
+	if _, err := fleet.ServerHandshake(r, w, hs); err != nil {
+		if err == io.EOF {
+			return nil // dialed and hung up before the hello (port probe)
+		}
+		return err
+	}
+	var wmu sync.Mutex // serializes reply and heartbeat frames
 	for {
-		typ, payload, err := readFrame(r, "shard: worker stdin")
+		typ, payload, err := readFrame(r, "shard: worker stream")
 		if err == io.EOF {
 			return nil
 		}
@@ -69,17 +110,21 @@ func ServeWorker(r io.Reader, w io.Writer, cfg WorkerConfig) error {
 			return err
 		}
 		if typ != frameRequest {
-			return &search.CorruptError{Path: "shard: worker stdin", Reason: fmt.Sprintf("unexpected frame type %d", typ)}
+			return &search.CorruptError{Path: "shard: worker stream", Reason: fmt.Sprintf("unexpected frame type %d", typ)}
 		}
 		var req Request
-		if err := decodePayload("shard: worker stdin", payload, &req); err != nil {
+		if err := decodePayload("shard: worker stream", payload, &req); err != nil {
 			return err
 		}
 		info := StepInfo{Replica: req.Replica, Epoch: req.Epoch, Attempt: req.Attempt, Init: req.Init}
 		if cfg.OnStep != nil {
 			cfg.OnStep(info)
 		}
-		stop := startHeartbeats(w, &wmu, cfg.HeartbeatEvery, req.Replica, req.Epoch)
+		period := cfg.HeartbeatEvery
+		if req.HeartbeatEvery > 0 && period > 0 {
+			period = req.HeartbeatEvery // coordinator tuning; a disabled worker stays disabled
+		}
+		stop := startHeartbeats(w, &wmu, period, req.Replica, req.Epoch)
 		reply := handleRequest(&req, problems, cfg.Build)
 		stop()
 		frame, err := sealReply(reply)
@@ -94,6 +139,9 @@ func ServeWorker(r io.Reader, w io.Writer, cfg WorkerConfig) error {
 		wmu.Unlock()
 		if err != nil {
 			return err
+		}
+		if cfg.AfterReply != nil {
+			cfg.AfterReply(info)
 		}
 	}
 }
